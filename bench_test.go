@@ -1,0 +1,144 @@
+package relcomp
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index), plus kernel
+// benchmarks of every estimator on every dataset (the per-sample cost that
+// Tables 9–14 report).
+//
+// The per-table/figure benchmarks run the corresponding harness experiment
+// end-to-end at a miniature configuration, so `go test -bench=.` exercises
+// the full measurement pipeline; `cmd/experiments` regenerates the
+// experiments at realistic scale.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"relcomp/internal/harness"
+)
+
+// benchOptions is the miniature configuration used by the per-experiment
+// benchmarks.
+func benchOptions() harness.Options {
+	return harness.Options{
+		Scale:    0.02,
+		Pairs:    3,
+		Hops:     2,
+		Repeats:  3,
+		InitialK: 100,
+		StepK:    100,
+		MaxK:     300,
+		Rho:      0.01,
+		Seed:     5,
+	}
+}
+
+// benchExperiment runs one registered experiment per iteration on a fresh
+// runner (no caching across iterations, so every iteration measures the
+// full pipeline).
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	exp, err := harness.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(benchOptions())
+		if err := exp.Run(r, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFig5_LPBias(b *testing.B)                { benchExperiment(b, "fig5") }
+func BenchmarkFig7_Convergence(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8_LargeKReference(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig9_TradeoffLastFM(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10_TradeoffAS(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11_TradeoffBioMine(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12_MemoryUsage(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13_IndexCost(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkFig14_DistanceConvergence(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15_DistanceTime(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFig16_ThresholdSensitivity(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17_StratumSensitivity(b *testing.B)   { benchExperiment(b, "fig17") }
+
+// --- Tables ---
+
+func BenchmarkTable3_RelErrLastFM(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkTable4_RelErrNetHept(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkTable5_RelErrAS(b *testing.B)          { benchExperiment(b, "table5") }
+func BenchmarkTable6_RelErrDBLP02(b *testing.B)      { benchExperiment(b, "table6") }
+func BenchmarkTable7_RelErrDBLP005(b *testing.B)     { benchExperiment(b, "table7") }
+func BenchmarkTable8_RelErrBioMine(b *testing.B)     { benchExperiment(b, "table8") }
+func BenchmarkTable9_TimeLastFM(b *testing.B)        { benchExperiment(b, "table9") }
+func BenchmarkTable10_TimeNetHept(b *testing.B)      { benchExperiment(b, "table10") }
+func BenchmarkTable11_TimeAS(b *testing.B)           { benchExperiment(b, "table11") }
+func BenchmarkTable12_TimeDBLP02(b *testing.B)       { benchExperiment(b, "table12") }
+func BenchmarkTable13_TimeDBLP005(b *testing.B)      { benchExperiment(b, "table13") }
+func BenchmarkTable14_TimeBioMine(b *testing.B)      { benchExperiment(b, "table14") }
+func BenchmarkTable15_IndexResample(b *testing.B)    { benchExperiment(b, "table15") }
+func BenchmarkTable16_ProbTreeCoupling(b *testing.B) { benchExperiment(b, "table16") }
+
+// --- Estimator kernels (per-query cost, the quantity behind Tables 9–14) ---
+
+// benchQuery measures one s-t query at K=250 on a scaled-down dataset.
+func benchQuery(b *testing.B, dataset, estimator string) {
+	b.Helper()
+	opts := harness.Options{Scale: 0.1, Pairs: 3, MaxK: 300, Seed: 7}
+	r := harness.NewRunner(opts)
+	g, err := r.Graph(dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := r.Pairs(dataset, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := r.NewEstimator(estimator, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pairs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Estimate(p.S, p.T, 250)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	for _, ds := range []string{"lastFM", "NetHept", "AS_Topology", "DBLP_0.2", "DBLP_0.05", "BioMine"} {
+		for _, est := range harness.EstimatorSet {
+			b.Run(fmt.Sprintf("%s/%s", ds, est), func(b *testing.B) {
+				benchQuery(b, ds, est)
+			})
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures the offline index construction of the two
+// index-based methods (Fig. 13a).
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, method := range []string{"BFSSharing", "ProbTree"} {
+		b.Run(method, func(b *testing.B) {
+			opts := harness.Options{Scale: 0.1, MaxK: 300, Seed: 7}
+			r := harness.NewRunner(opts)
+			g, err := r.Graph("lastFM")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.NewEstimator(method, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

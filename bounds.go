@@ -1,0 +1,39 @@
+package relcomp
+
+import (
+	"relcomp/internal/bounds"
+	"relcomp/internal/repworld"
+)
+
+// Polynomial-time bounds and related analytic tools (the "theory" branch
+// of the paper's taxonomy), re-exported from internal/bounds and
+// internal/repworld.
+
+// ReliablePath is a most-reliable s-t path with its probability.
+type ReliablePath = bounds.Path
+
+// MostReliablePath returns the s-t path maximizing the product of edge
+// probabilities; its probability is a valid lower bound on R(s,t).
+func MostReliablePath(g *Graph, s, t NodeID) (ReliablePath, error) {
+	return bounds.MostReliablePath(g, s, t)
+}
+
+// ReliabilityBounds returns polynomial-time lower and upper bounds on
+// R(s,t): the edge-disjoint-paths product bound and the best BFS level-cut
+// bound. Always lower <= R(s,t) <= upper.
+func ReliabilityBounds(g *Graph, s, t NodeID) (lower, upper float64, err error) {
+	return bounds.Bounds(g, s, t)
+}
+
+// ChernoffSamples returns the Monte Carlo sample count guaranteeing
+// Pr(|R̂−R| >= eps·R) <= lambda when R >= rLow (Eq. 5 of the paper).
+func ChernoffSamples(eps, lambda, rLow float64) (int, error) {
+	return bounds.ChernoffSamples(eps, lambda, rLow)
+}
+
+// RepresentativeWorld extracts a single deterministic possible world whose
+// node degrees approximate the uncertain graph's expected degrees (Parchas
+// et al., SIGMOD 2014). Queries on it are instant but collapse the
+// probability distribution — see the `ablation-repworld` experiment for
+// the accuracy cost.
+func RepresentativeWorld(g *Graph) *Graph { return repworld.Extract(g) }

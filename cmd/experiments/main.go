@@ -1,0 +1,85 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md §5 for the experiment index).
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -exp table3
+//	experiments -exp all -pairs 20 -repeats 15
+//	experiments -exp fig7 -paper          # the paper's 100×100 setting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"relcomp/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment name (fig5..fig17, table3..table16) or \"all\"")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		paper   = flag.Bool("paper", false, "use the paper's workload scale (100 pairs, T=100; hours of compute)")
+		scale   = flag.Float64("scale", 0, "dataset scale factor (default 1.0)")
+		pairs   = flag.Int("pairs", 0, "s-t pairs per dataset (default 20)")
+		repeats = flag.Int("repeats", 0, "repetitions T behind each variance (default 15)")
+		maxK    = flag.Int("maxk", 0, "sweep cap and BFS Sharing index width (default 2500)")
+		seed    = flag.Uint64("seed", 0, "random seed (default 42)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-9s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "experiments: need -exp <name> or -list")
+		os.Exit(2)
+	}
+
+	opts := harness.Defaults()
+	if *paper {
+		opts = harness.PaperScale()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *pairs > 0 {
+		opts.Pairs = *pairs
+	}
+	if *repeats > 0 {
+		opts.Repeats = *repeats
+	}
+	if *maxK > 0 {
+		opts.MaxK = *maxK
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	r := harness.NewRunner(opts)
+	fmt.Printf("# options: scale=%.2f pairs=%d hops=%d repeats=%d K=%d..%d step %d rho<%g seed=%d\n\n",
+		opts.Scale, opts.Pairs, opts.Hops, opts.Repeats, opts.InitialK, opts.MaxK, opts.StepK, opts.Rho, opts.Seed)
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = harness.RunAll(r, os.Stdout)
+	} else {
+		var e harness.Experiment
+		e, err = harness.ByName(*exp)
+		if err == nil {
+			fmt.Printf("=== %s — %s ===\n", e.Name, e.Title)
+			err = e.Run(r, os.Stdout)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n# done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,47 @@
+// Command relserver serves s-t reliability queries over a fixed uncertain
+// graph as a JSON HTTP API. See server.go for the endpoint list.
+//
+// Example:
+//
+//	relserver -dataset BioMine -addr :8080
+//	curl 'localhost:8080/v1/reliability?s=10&t=250&k=1000&estimator=RSS'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"relcomp"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataset   = flag.String("dataset", "lastFM", "synthetic dataset to serve")
+		graphFile = flag.String("graph", "", "graph file in text format (overrides -dataset)")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		maxK      = flag.Int("maxk", 2000, "maximum samples per query (BFS Sharing index width)")
+	)
+	flag.Parse()
+
+	var (
+		g   *relcomp.Graph
+		err error
+	)
+	if *graphFile != "" {
+		g, err = relcomp.ReadGraphFile(*graphFile)
+	} else {
+		g, err = relcomp.Dataset(*dataset, *scale, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := newServer(g, *seed, *maxK)
+	fmt.Printf("relserver: serving %s (%d nodes, %d edges) on %s\n",
+		g.Name(), g.NumNodes(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"relcomp"
+)
+
+// server exposes reliability queries over a fixed uncertain graph as a
+// small JSON HTTP API:
+//
+//	GET /v1/graph                             graph statistics
+//	GET /v1/estimators                        available estimator names
+//	GET /v1/reliability?s=0&t=5&k=1000&estimator=RSS
+//	GET /v1/bounds?s=0&t=5                    analytic bounds + best path
+//	GET /v1/topk?s=0&n=10&k=1000              top-n reliable targets
+//
+// Estimators keep per-instance scratch state and are not safe for
+// concurrent use, so the server serializes queries per estimator with a
+// mutex; concurrent requests across different estimators proceed in
+// parallel.
+type server struct {
+	graph *relcomp.Graph
+	maxK  int
+	seed  uint64
+
+	mu   sync.Mutex
+	ests map[string]*guardedEstimator
+}
+
+type guardedEstimator struct {
+	mu  sync.Mutex
+	est relcomp.Estimator
+}
+
+func newServer(g *relcomp.Graph, seed uint64, maxK int) *server {
+	s := &server{
+		graph: g,
+		maxK:  maxK,
+		seed:  seed,
+		ests:  make(map[string]*guardedEstimator),
+	}
+	for _, est := range relcomp.Estimators(g, seed, maxK) {
+		s.ests[est.Name()] = &guardedEstimator{est: est}
+	}
+	s.ests["ParallelMC"] = &guardedEstimator{est: relcomp.NewParallelMC(g, seed, 0)}
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/graph", s.handleGraph)
+	mux.HandleFunc("/v1/estimators", s.handleEstimators)
+	mux.HandleFunc("/v1/reliability", s.handleReliability)
+	mux.HandleFunc("/v1/bounds", s.handleBounds)
+	mux.HandleFunc("/v1/topk", s.handleTopK)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
+	writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// intParam parses a required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// intParamDefault parses an optional integer query parameter.
+func intParamDefault(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func (s *server) nodeParam(r *http.Request, name string) (relcomp.NodeID, error) {
+	v, err := intParam(r, name)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= s.graph.NumNodes() {
+		return 0, fmt.Errorf("parameter %q: node %d out of range [0,%d)", name, v, s.graph.NumNodes())
+	}
+	return relcomp.NodeID(v), nil
+}
+
+func (s *server) samplesParam(r *http.Request) (int, error) {
+	k, err := intParamDefault(r, "k", 1000)
+	if err != nil {
+		return 0, err
+	}
+	if k <= 0 || k > s.maxK {
+		return 0, fmt.Errorf("parameter \"k\": %d outside (0,%d]", k, s.maxK)
+	}
+	return k, nil
+}
+
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	sum := s.graph.ProbSummary()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":         s.graph.Name(),
+		"nodes":        s.graph.NumNodes(),
+		"edges":        s.graph.NumEdges(),
+		"probMean":     sum.Mean,
+		"probStdDev":   sum.StdDev,
+		"probQuartile": []float64{sum.Q1, sum.Q2, sum.Q3},
+		"maxSamples":   s.maxK,
+	})
+}
+
+func (s *server) handleEstimators(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.ests))
+	for n := range s.ests {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"estimators": names})
+}
+
+func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	src, err := s.nodeParam(r, "s")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	dst, err := s.nodeParam(r, "t")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	k, err := s.samplesParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	name := r.URL.Query().Get("estimator")
+	if name == "" {
+		name = "RSS"
+	}
+	s.mu.Lock()
+	ge := s.ests[name]
+	s.mu.Unlock()
+	if ge == nil {
+		badRequest(w, "unknown estimator %q", name)
+		return
+	}
+
+	ge.mu.Lock()
+	start := time.Now()
+	est := ge.est.Estimate(src, dst, k)
+	elapsed := time.Since(start)
+	ge.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"s": src, "t": dst, "k": k,
+		"estimator":   name,
+		"reliability": est,
+		"timeMs":      float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	src, err := s.nodeParam(r, "s")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	dst, err := s.nodeParam(r, "t")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	lo, hi, err := relcomp.ReliabilityBounds(s.graph, src, dst)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	path, err := relcomp.MostReliablePath(s.graph, src, dst)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"s": src, "t": dst,
+		"lower":           lo,
+		"upper":           hi,
+		"bestPath":        path.Nodes,
+		"bestPathProb":    path.Prob,
+		"samplingAdvised": hi-lo > 0.05,
+	})
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	src, err := s.nodeParam(r, "s")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	n, err := intParamDefault(r, "n", 10)
+	if err != nil || n <= 0 {
+		badRequest(w, "parameter \"n\" must be a positive integer")
+		return
+	}
+	k, err := s.samplesParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	ge := s.ests["BFSSharing"]
+	s.mu.Unlock()
+
+	ge.mu.Lock()
+	start := time.Now()
+	top, err := relcomp.TopKReliableTargets(ge.est, s.graph, src, n, k)
+	elapsed := time.Since(start)
+	ge.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	type entry struct {
+		Node        relcomp.NodeID `json:"node"`
+		Reliability float64        `json:"reliability"`
+	}
+	out := make([]entry, len(top))
+	for i, t := range top {
+		out[i] = entry{t.Node, t.R}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"s": src, "k": k,
+		"targets": out,
+		"timeMs":  float64(elapsed.Microseconds()) / 1000,
+	})
+}

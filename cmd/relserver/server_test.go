@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"relcomp"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	g, err := relcomp.Dataset("lastFM", 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(g, 42, 500)
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/graph")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["nodes"].(float64) <= 0 || body["edges"].(float64) <= 0 {
+		t.Errorf("graph stats %v", body)
+	}
+}
+
+func TestEstimatorsEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/estimators")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	names := body["estimators"].([]interface{})
+	if len(names) < 7 { // six from the paper + ParallelMC
+		t.Errorf("only %d estimators: %v", len(names), names)
+	}
+}
+
+func TestReliabilityEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	for _, est := range []string{"MC", "RSS", "ProbTree", "LP+", "ParallelMC"} {
+		code, body := get(t, h, "/v1/reliability?s=0&t=5&k=200&estimator="+url.QueryEscape(est))
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", est, code, body)
+		}
+		r := body["reliability"].(float64)
+		if r < 0 || r > 1 {
+			t.Errorf("%s: reliability %v", est, r)
+		}
+		if body["estimator"].(string) != est {
+			t.Errorf("wrong estimator echoed: %v", body["estimator"])
+		}
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	h := testServer(t).handler()
+	cases := []string{
+		"/v1/reliability",                         // missing params
+		"/v1/reliability?s=0&t=999999",            // t out of range
+		"/v1/reliability?s=-1&t=3",                // s negative
+		"/v1/reliability?s=0&t=3&k=0",             // k zero
+		"/v1/reliability?s=0&t=3&k=100000",        // k above index width
+		"/v1/reliability?s=0&t=3&estimator=bogus", // unknown estimator
+		"/v1/reliability?s=abc&t=3",               // non-numeric
+	}
+	for _, url := range cases {
+		code, body := get(t, h, url)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %v", url, code, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: no error message", url)
+		}
+	}
+}
+
+func TestBoundsEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/bounds?s=0&t=5")
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	lo := body["lower"].(float64)
+	hi := body["upper"].(float64)
+	if lo < 0 || hi > 1 || lo > hi {
+		t.Errorf("bounds [%v, %v]", lo, hi)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/topk?s=0&n=5&k=200")
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	targets := body["targets"].([]interface{})
+	if len(targets) > 5 {
+		t.Errorf("%d targets", len(targets))
+	}
+	prev := 2.0
+	for _, raw := range targets {
+		e := raw.(map[string]interface{})
+		r := e["reliability"].(float64)
+		if r > prev {
+			t.Error("targets not sorted")
+		}
+		prev = r
+	}
+	if code, _ := get(t, h, "/v1/topk?s=0&n=0"); code != http.StatusBadRequest {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestConcurrentRequests: the per-estimator mutexes must make concurrent
+// queries safe (run with -race).
+func TestConcurrentRequests(t *testing.T) {
+	h := testServer(t).handler()
+	var wg sync.WaitGroup
+	urls := []string{
+		"/v1/reliability?s=0&t=5&k=100&estimator=MC",
+		"/v1/reliability?s=1&t=6&k=100&estimator=MC",
+		"/v1/reliability?s=0&t=5&k=100&estimator=RSS",
+		"/v1/topk?s=0&n=3&k=100",
+		"/v1/bounds?s=0&t=5",
+		"/v1/graph",
+	}
+	for i := 0; i < 4; i++ {
+		for _, url := range urls {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodGet, url, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: status %d", url, rec.Code)
+				}
+			}(url)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package relcomp_test
+
+import (
+	"fmt"
+
+	"relcomp"
+)
+
+// The four-node "two routes" graph used across the examples.
+func exampleGraph() *relcomp.Graph {
+	b := relcomp.NewGraphBuilder(4)
+	b.MustAddEdge(0, 1, 0.9)
+	b.MustAddEdge(1, 3, 0.8)
+	b.MustAddEdge(0, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.7)
+	return b.Build()
+}
+
+// Estimating s-t reliability with the paper's recommended default
+// workflow: exact for tiny graphs, RSS for everything else.
+func Example() {
+	g := exampleGraph()
+	exact, _ := relcomp.ExactReliability(g, 0, 3)
+	fmt.Printf("exact R(0,3) = %.4f\n", exact)
+
+	est := relcomp.NewRSS(g, 42)
+	r := est.Estimate(0, 3, 50000)
+	fmt.Printf("RSS close to exact: %v\n", r > exact-0.02 && r < exact+0.02)
+	// Output:
+	// exact R(0,3) = 0.8180
+	// RSS close to exact: true
+}
+
+// Polynomial-time bounds bracket the reliability without any sampling.
+func ExampleReliabilityBounds() {
+	g := exampleGraph()
+	lo, hi, _ := relcomp.ReliabilityBounds(g, 0, 3)
+	exact, _ := relcomp.ExactReliability(g, 0, 3)
+	fmt.Printf("bounds hold: %v\n", lo <= exact && exact <= hi)
+	// The two routes are edge-disjoint, so the lower bound is exact here.
+	fmt.Printf("lower bound tight: %v\n", exact-lo < 1e-9)
+	// Output:
+	// bounds hold: true
+	// lower bound tight: true
+}
+
+// The most reliable single path is the product-optimal route.
+func ExampleMostReliablePath() {
+	g := exampleGraph()
+	p, _ := relcomp.MostReliablePath(g, 0, 3)
+	fmt.Println(p.Nodes)
+	fmt.Printf("%.2f\n", p.Prob)
+	// Output:
+	// [0 1 3]
+	// 0.72
+}
+
+// Conditioning answers "what if we knew edge X was up/down?".
+func ExampleConditionGraph() {
+	g := exampleGraph()
+	top := g.FindEdge(0, 1)
+	// Suppose we learn the 0->1 link is down.
+	cg, _ := relcomp.ConditionGraph(g, nil, []relcomp.EdgeID{top})
+	r, _ := relcomp.ExactReliability(cg, 0, 3)
+	fmt.Printf("R(0,3 | 0->1 down) = %.4f\n", r)
+	// Output:
+	// R(0,3 | 0->1 down) = 0.3500
+	//
+}
+
+// ChernoffSamples sizes a Monte Carlo run for a target guarantee (Eq. 5
+// of the paper).
+func ExampleChernoffSamples() {
+	k, _ := relcomp.ChernoffSamples(0.05, 0.01, 0.5)
+	fmt.Printf("K >= %d samples for ±5%% at 99%% confidence (R >= 0.5)\n", k)
+	// Output:
+	// K >= 12716 samples for ±5% at 99% confidence (R >= 0.5)
+}

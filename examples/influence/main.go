@@ -1,0 +1,70 @@
+// Influence: the social-influence use case from the paper's introduction —
+// "evaluating information diffusions in a social influence network" (Kempe
+// et al.). Under the independent-cascade model, the probability that a
+// message seeded at user s ever reaches user t equals exactly the s-t
+// reliability of the influence graph.
+//
+// We generate the LastFM-style social network (edge probability =
+// 1/out-degree, the classic weighted-cascade model) and pick the best seed
+// user for reaching a fixed target audience, comparing LP+ and MC — LP+
+// gives identical answers at a fraction of the probing cost on these
+// low-probability graphs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"relcomp"
+)
+
+func main() {
+	g, err := relcomp.Dataset("lastFM", 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social network: %d users, %d follow links (weighted-cascade probabilities)\n\n",
+		g.NumNodes(), g.NumEdges())
+
+	// The campaign target: a specific influencer we want the message to
+	// reach. Candidate seeds: the top-degree users.
+	type cand struct {
+		node relcomp.NodeID
+		deg  int
+	}
+	cands := make([]cand, 0, g.NumNodes())
+	for v := relcomp.NodeID(0); int(v) < g.NumNodes(); v++ {
+		cands = append(cands, cand{v, g.OutDegree(v)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].deg > cands[j].deg })
+	target := cands[0].node
+	seeds := cands[1:9]
+
+	fmt.Printf("target: user %d (degree %d)\n", target, cands[0].deg)
+	fmt.Printf("candidate seeds: 8 high-degree users\n\n")
+
+	const k = 3000
+	lp := relcomp.NewLazyProp(g, 42)
+	mc := relcomp.NewMC(g, 42)
+
+	fmt.Printf("%-8s %-6s %-14s %-14s\n", "seed", "deg", "LP+ reach prob", "MC reach prob")
+	bestR, bestSeed := -1.0, relcomp.NodeID(-1)
+	var lpTime, mcTime time.Duration
+	for _, sd := range seeds {
+		t0 := time.Now()
+		rl := lp.Estimate(sd.node, target, k)
+		lpTime += time.Since(t0)
+		t0 = time.Now()
+		rm := mc.Estimate(sd.node, target, k)
+		mcTime += time.Since(t0)
+		fmt.Printf("%-8d %-6d %-14.4f %-14.4f\n", sd.node, sd.deg, rl, rm)
+		if rl > bestR {
+			bestR, bestSeed = rl, sd.node
+		}
+	}
+	fmt.Printf("\nbest seed: user %d (reach probability %.4f)\n", bestSeed, bestR)
+	fmt.Printf("LP+ total %v vs MC total %v — lazy probing pays off when most\n", lpTime.Round(time.Millisecond), mcTime.Round(time.Millisecond))
+	fmt.Println("edges have small probability (the paper's Tables 9-14 finding).")
+}

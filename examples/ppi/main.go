@@ -1,0 +1,71 @@
+// PPI: the protein-interaction use case from the paper's introduction —
+// "finding other proteins that are highly probable to be connected with a
+// specific protein in a protein-protein interaction network" (Jin et al.).
+//
+// We generate the BioMine-style heterogeneous biological graph, pick a
+// query protein, and rank candidate proteins by their estimated
+// reliability from the query, using RSS (the paper's best-variance
+// estimator) and verifying the top hits with MC.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"relcomp"
+)
+
+func main() {
+	g, err := relcomp.Dataset("BioMine", 0.3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPI network: %d nodes, %d directed interactions (edge prob %s)\n\n",
+		g.NumNodes(), g.NumEdges(), g.ProbSummary())
+
+	// The query protein: a well-connected node.
+	var query relcomp.NodeID
+	for v := relcomp.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.OutDegree(v) > g.OutDegree(query) {
+			query = v
+		}
+	}
+	fmt.Printf("query protein: node %d (degree %d)\n", query, g.OutDegree(query))
+
+	// Candidates: everything within 3 hops of the query.
+	dist := g.HopDistances(query, 3)
+	var candidates []relcomp.NodeID
+	for v, d := range dist {
+		if d >= 2 { // direct neighbors are trivially related
+			candidates = append(candidates, relcomp.NodeID(v))
+		}
+	}
+	fmt.Printf("candidates at 2-3 hops: %d\n\n", len(candidates))
+	if len(candidates) > 400 {
+		candidates = candidates[:400]
+	}
+
+	// Rank by reliability using RSS at a modest sample budget.
+	const kScreen, kVerify = 500, 5000
+	rss := relcomp.NewRSS(g, 42)
+	type scored struct {
+		node relcomp.NodeID
+		r    float64
+	}
+	scores := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		scores = append(scores, scored{c, rss.Estimate(query, c, kScreen)})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].r > scores[j].r })
+
+	fmt.Println("top 10 most reliably connected proteins (screened with RSS, verified with MC):")
+	mc := relcomp.NewMC(g, 43)
+	fmt.Printf("%-8s %-6s %-12s %-12s\n", "rank", "node", "RSS(K=500)", "MC(K=5000)")
+	for i := 0; i < 10 && i < len(scores); i++ {
+		v := mc.Estimate(query, scores[i].node, kVerify)
+		fmt.Printf("%-8d %-6d %-12.4f %-12.4f\n", i+1, scores[i].node, scores[i].r, v)
+	}
+	fmt.Println("\nScreen-with-RSS / verify-with-MC exploits RSS's lower variance at")
+	fmt.Println("small K (the paper's Fig. 7) to cut the screening budget by ~4x.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a small uncertain graph by hand, estimate the s-t
+// reliability with all six estimators of the paper, and compare against
+// the exact value (feasible here because the graph is tiny).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relcomp"
+)
+
+func main() {
+	// A small "bridge" network: two routes from node 0 to node 5 with a
+	// crossover edge, like the classic two-terminal reliability examples
+	// from device networks.
+	b := relcomp.NewGraphBuilder(6)
+	edges := []relcomp.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 0, To: 2, P: 0.8},
+		{From: 1, To: 3, P: 0.7},
+		{From: 2, To: 4, P: 0.9},
+		{From: 1, To: 4, P: 0.5}, // crossover
+		{From: 3, To: 5, P: 0.8},
+		{From: 4, To: 5, P: 0.7},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	const s, t, k = 0, 5, 20000
+	exact, err := relcomp.ExactReliability(g, s, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact R(%d,%d)      = %.6f\n\n", s, t, exact)
+
+	for _, est := range relcomp.Estimators(g, 42, k) {
+		r := est.Estimate(s, t, k)
+		fmt.Printf("%-12s R(%d,%d) = %.6f   (error %+.4f)\n", est.Name(), s, t, r, r-exact)
+	}
+
+	fmt.Println("\nAll six estimators are unbiased: with K=20000 samples each lands")
+	fmt.Println("within sampling noise of the exact value.")
+}

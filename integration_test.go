@@ -1,0 +1,126 @@
+package relcomp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPipelineCrossEstimatorAgreement runs the full pipeline — dataset
+// generation, workload selection, estimation — on every dataset and
+// requires all six estimators to agree with a high-K MC reference within
+// sampling tolerance. This is the library-level integration test: any
+// break in a generator, the workload, or an estimator shows up here.
+func TestPipelineCrossEstimatorAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const (
+		scale = 0.05
+		k     = 2000
+		refK  = 8000
+	)
+	for _, name := range DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Dataset(name, scale, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs, err := QueryPairs(g, 3, 2, 13)
+			if err != nil {
+				t.Skipf("no 2-hop workload at this scale: %v", err)
+			}
+			ref := NewMC(g, 99)
+			for _, p := range pairs {
+				want := ref.Estimate(p.S, p.T, refK)
+				// Binomial tolerance: 4 standard deviations of the K-sample
+				// estimator plus reference noise.
+				tol := 4*math.Sqrt(want*(1-want)/k) + 0.02
+				for _, est := range Estimators(g, 7, k) {
+					got := est.Estimate(p.S, p.T, k)
+					if math.Abs(got-want) > tol {
+						t.Errorf("%s on pair %v: %.4f vs MC@%d %.4f (tol %.4f)",
+							est.Name(), p, got, refK, want, tol)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEstimatorChernoffProperty: for random small graphs, MC with the
+// Chernoff-sized sample count stays within the requested relative error of
+// the exact value — Eq. 5 of the paper, verified end-to-end. lambda=0.01
+// per trial over ~30 trials keeps the flake probability ~1e-1... so we
+// allow a single failure across the batch.
+func TestEstimatorChernoffProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	failures := 0
+	trials := 0
+	f := func(seed uint64) bool {
+		trials++
+		b := NewGraphBuilder(6)
+		// Deterministic pseudo-random small graph from the seed.
+		x := seed
+		next := func(n int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int((x >> 33) % uint64(n))
+		}
+		for i := 0; i < 10; i++ {
+			u, v := NodeID(next(6)), NodeID(next(6))
+			if u == v {
+				continue
+			}
+			p := 0.2 + 0.6*float64(next(1000))/1000
+			b.AddEdge(u, v, p)
+		}
+		g := b.Build()
+		want, err := ExactReliability(g, 0, 5)
+		if err != nil || want < 0.05 {
+			return true // skip degenerate cases
+		}
+		k, err := ChernoffSamples(0.1, 0.01, want)
+		if err != nil {
+			return false
+		}
+		got := NewMC(g, seed^0xabcdef).Estimate(0, 5, k)
+		if math.Abs(got-want) > 0.1*want {
+			failures++
+		}
+		return failures <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Errorf("Chernoff guarantee violated more than once in %d trials: %v", trials, err)
+	}
+}
+
+// TestDeterministicEndToEnd: the whole pipeline is reproducible from
+// seeds — same dataset, same workload, same estimates.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() []float64 {
+		g, err := Dataset("AS_Topology", 0.05, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := QueryPairs(g, 4, 2, 22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, est := range Estimators(g, 23, 500) {
+			for _, p := range pairs {
+				out = append(out, est.Estimate(p.S, p.T, 500))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128} {
+		v := New(128)
+		v.Fill(n)
+		if got := v.Count(); got != n {
+			t.Errorf("Fill(%d).Count = %d", n, got)
+		}
+		for i := 0; i < 128; i++ {
+			if v.Get(i) != (i < n) {
+				t.Errorf("Fill(%d): bit %d = %v", n, i, v.Get(i))
+			}
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	v := New(100)
+	v.Fill(100)
+	v.Zero()
+	if v.Count() != 0 {
+		t.Error("Zero left bits set")
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := WordsFor(n); got != want {
+			t.Errorf("WordsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WordsFor(-1) did not panic")
+		}
+	}()
+	WordsFor(-1)
+}
+
+func TestOrAndInto(t *testing.T) {
+	dst, a, b := New(128), New(128), New(128)
+	a.Set(3)
+	a.Set(70)
+	b.Set(3)
+	b.Set(71)
+	if !OrAndInto(dst, a, b) {
+		t.Error("OrAndInto reported no change")
+	}
+	if !dst.Get(3) || dst.Get(70) || dst.Get(71) {
+		t.Error("OrAndInto computed wrong bits")
+	}
+	if OrAndInto(dst, a, b) {
+		t.Error("second OrAndInto reported a change")
+	}
+}
+
+func TestOr(t *testing.T) {
+	dst, a := New(64), New(64)
+	a.Set(5)
+	if !Or(dst, a) || !dst.Get(5) {
+		t.Error("Or failed")
+	}
+	if Or(dst, a) {
+		t.Error("idempotent Or reported change")
+	}
+}
+
+func TestEqualAndCopy(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(42)
+	if Equal(a, b) {
+		t.Error("unequal vectors reported equal")
+	}
+	Copy(b, a)
+	if !Equal(a, b) {
+		t.Error("copy not equal")
+	}
+	if Equal(a, New(200)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(64)
+	v.Set(1)
+	s := v.String()
+	if len(s) != 64 || s[0] != '0' || s[1] != '1' {
+		t.Errorf("String = %q", s[:8])
+	}
+}
+
+// Property: OrAndInto implements dst' = dst | (a & b) bitwise.
+func TestOrAndIntoProperty(t *testing.T) {
+	f := func(d, a, b uint64) bool {
+		dst := Vector{d}
+		changed := OrAndInto(dst, Vector{a}, Vector{b})
+		want := d | (a & b)
+		return dst[0] == want && changed == (want != d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the sum of per-bit Gets.
+func TestCountProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		v := Vector{a, b}
+		n := 0
+		for i := 0; i < 128; i++ {
+			if v.Get(i) {
+				n++
+			}
+		}
+		return n == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(10, 100)
+	if a.Len() != 10 || a.WordsPerVector() != 2 {
+		t.Fatalf("arena shape %d/%d", a.Len(), a.WordsPerVector())
+	}
+	if a.Bytes() != 10*2*8 {
+		t.Errorf("Bytes = %d", a.Bytes())
+	}
+	v0, v9 := a.Vec(0), a.Vec(9)
+	v0.Set(5)
+	v9.Set(99)
+	if !a.Vec(0).Get(5) || !a.Vec(9).Get(99) {
+		t.Error("arena vectors not persistent")
+	}
+	if a.Vec(1).Count() != 0 {
+		t.Error("arena vectors alias each other")
+	}
+	a.ZeroAll()
+	if a.Vec(0).Count() != 0 || a.Vec(9).Count() != 0 {
+		t.Error("ZeroAll incomplete")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Vec did not panic")
+		}
+	}()
+	a.Vec(10)
+}
+
+func TestArenaVectorCapped(t *testing.T) {
+	// Appending to an arena vector must not bleed into the next vector.
+	a := NewArena(2, 64)
+	v := a.Vec(0)
+	v = append(v, 0xdead)
+	_ = v
+	if a.Vec(1).Count() != 0 {
+		t.Error("append to arena vector corrupted its neighbor")
+	}
+}
+
+func TestArenaFromWords(t *testing.T) {
+	words := make([]uint64, 6)
+	a, err := ArenaFromWords(words, 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if _, err := ArenaFromWords(words, 4, 128); err == nil {
+		t.Error("mismatched word count accepted")
+	}
+}

@@ -1,0 +1,250 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+func buildGraph(t *testing.T, n int, edges []uncertain.Edge) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func randomGraph(r *rng.Source, n, m int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := uncertain.NodeID(r.Intn(n)), uncertain.NodeID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+func TestMostReliablePathChain(t *testing.T) {
+	g := buildGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 2, P: 0.8},
+		{From: 2, To: 3, P: 0.7},
+	})
+	p, err := MostReliablePath(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Prob-0.9*0.8*0.7) > 1e-12 {
+		t.Errorf("prob %v", p.Prob)
+	}
+	if len(p.Nodes) != 4 || p.Nodes[0] != 0 || p.Nodes[3] != 3 {
+		t.Errorf("path %v", p.Nodes)
+	}
+}
+
+func TestMostReliablePathPicksBetterRoute(t *testing.T) {
+	// Short low-prob route vs long high-prob route.
+	g := buildGraph(t, 5, []uncertain.Edge{
+		{From: 0, To: 4, P: 0.2},
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 2, P: 0.9},
+		{From: 2, To: 3, P: 0.9},
+		{From: 3, To: 4, P: 0.9},
+	})
+	p, err := MostReliablePath(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 0.9 * 0.9 * 0.9 // 0.6561 > 0.2
+	if math.Abs(p.Prob-want) > 1e-12 {
+		t.Errorf("prob %v, want %v", p.Prob, want)
+	}
+	if len(p.Nodes) != 5 {
+		t.Errorf("path %v", p.Nodes)
+	}
+}
+
+func TestMostReliablePathUnreachable(t *testing.T) {
+	g := buildGraph(t, 3, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	p, err := MostReliablePath(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Prob != 0 || p.Nodes != nil {
+		t.Errorf("unreachable path %+v", p)
+	}
+	p, err = MostReliablePath(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Prob != 1 || len(p.Nodes) != 1 {
+		t.Errorf("s==t path %+v", p)
+	}
+	if _, err := MostReliablePath(g, 0, 9); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+// TestMostReliablePathOptimal compares against brute-force path search on
+// random small graphs.
+func TestMostReliablePathOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		g := randomGraph(r, n, r.Intn(12))
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		got, err := MostReliablePath(g, s, tt)
+		if err != nil {
+			return false
+		}
+		want := bestPathBrute(g, s, tt)
+		return math.Abs(got.Prob-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bestPathBrute finds the max-probability simple path by DFS enumeration.
+func bestPathBrute(g *uncertain.Graph, s, t uncertain.NodeID) float64 {
+	if s == t {
+		return 1
+	}
+	visited := make([]bool, g.NumNodes())
+	best := 0.0
+	var dfs func(v uncertain.NodeID, prob float64)
+	dfs = func(v uncertain.NodeID, prob float64) {
+		if v == t {
+			if prob > best {
+				best = prob
+			}
+			return
+		}
+		visited[v] = true
+		tos := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for i, w := range tos {
+			if !visited[w] {
+				dfs(w, prob*ps[i])
+			}
+		}
+		visited[v] = false
+	}
+	dfs(s, 1)
+	return best
+}
+
+// TestBoundsSandwichExact: lower <= exact <= upper on random small graphs
+// (the defining property of the bounds).
+func TestBoundsSandwichExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		g := randomGraph(r, n, r.Intn(12))
+		if g.NumEdges() > exact.MaxEnumerationEdges {
+			return true
+		}
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		lo, hi, err := Bounds(g, s, tt)
+		if err != nil {
+			return false
+		}
+		ex, err := exact.Factoring(g, s, tt)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		return lo <= ex+tol && ex <= hi+tol && lo >= -tol && hi <= 1+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsTightOnSeriesParallel(t *testing.T) {
+	// Single path: both bounds are exact.
+	g := buildGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.6},
+		{From: 1, To: 2, P: 0.5},
+	})
+	lo, hi, err := Bounds(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-0.3) > 1e-12 {
+		t.Errorf("lower %v, want 0.3 (path product)", lo)
+	}
+	if hi < 0.3 || hi > 0.6+1e-12 {
+		t.Errorf("upper %v outside [0.3, 0.6]", hi)
+	}
+
+	// Two disjoint parallel paths: the lower bound is exact.
+	g2 := buildGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 3, P: 0.8},
+		{From: 0, To: 2, P: 0.5},
+		{From: 2, To: 3, P: 0.7},
+	})
+	want := 1 - (1-0.9*0.8)*(1-0.5*0.7)
+	lo2, _, err := Bounds(g2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo2-want) > 1e-9 {
+		t.Errorf("disjoint-paths lower bound %v, want exact %v", lo2, want)
+	}
+}
+
+func TestBoundsUnreachable(t *testing.T) {
+	g := buildGraph(t, 3, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	lo, hi, err := Bounds(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 0 {
+		t.Errorf("unreachable bounds (%v, %v)", lo, hi)
+	}
+	lo, hi, err = Bounds(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1 || hi != 1 {
+		t.Errorf("s==t bounds (%v, %v)", lo, hi)
+	}
+}
+
+func TestChernoffSamples(t *testing.T) {
+	// Eq. 5 with eps=0.1, lambda=0.05, R=0.5: K = 3/(0.01*0.5)*ln(40).
+	k, err := ChernoffSamples(0.1, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(3 / (0.01 * 0.5) * math.Log(40)))
+	if k != want {
+		t.Errorf("K = %d, want %d", k, want)
+	}
+	// Lower reliability needs more samples.
+	k2, err := ChernoffSamples(0.1, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 <= k {
+		t.Errorf("K(R=0.05) = %d not above K(R=0.5) = %d", k2, k)
+	}
+	for _, bad := range [][3]float64{{0, 0.1, 0.5}, {0.1, 0, 0.5}, {0.1, 1, 0.5}, {0.1, 0.1, 0}, {0.1, 0.1, 2}} {
+		if _, err := ChernoffSamples(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("ChernoffSamples(%v) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package convergence implements the paper's evaluation metrics and
+// convergence criterion (Section 3.1.4):
+//
+//   - per-pair estimator variance over T repeated runs (Eq. 11),
+//   - the averages V_K and R_K over the query workload (Eq. 12–13),
+//   - the index of dispersion ρ_K = V_K / R_K, with convergence declared
+//     when ρ_K < 0.001,
+//   - relative error against MC at convergence (Eq. 14), and
+//   - the pairwise deviation of relative errors across estimators (Eq. 15).
+package convergence
+
+import (
+	"fmt"
+
+	"relcomp/internal/core"
+	"relcomp/internal/rng"
+	"relcomp/internal/stats"
+	"relcomp/internal/workload"
+)
+
+// DefaultRho is the paper's convergence threshold on the index of
+// dispersion V_K / R_K.
+const DefaultRho = 0.001
+
+// Config controls a convergence sweep.
+type Config struct {
+	InitialK int     // first sample size (paper: 250)
+	StepK    int     // increment between sweep points (paper: 250)
+	MaxK     int     // hard cap on the sweep (0 means 10×InitialK steps)
+	Repeats  int     // T, the repetitions behind each variance (paper: 100)
+	Rho      float64 // convergence threshold (paper: 0.001)
+	SeedBase uint64  // master seed for the repeat streams
+}
+
+// withDefaults fills unset fields with the paper's settings.
+func (c Config) withDefaults() Config {
+	if c.InitialK <= 0 {
+		c.InitialK = 250
+	}
+	if c.StepK <= 0 {
+		c.StepK = 250
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = c.InitialK + 10*c.StepK
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 100
+	}
+	if c.Rho <= 0 {
+		c.Rho = DefaultRho
+	}
+	if c.SeedBase == 0 {
+		c.SeedBase = 0x5eed
+	}
+	return c
+}
+
+// resampler matches index-based estimators (BFS Sharing) whose pre-sampled
+// worlds must be redrawn between independent runs; prefixResampler lets
+// them redraw only the k bits a subsequent Estimate(k) will read.
+type resampler interface{ Resample() }
+
+type prefixResampler interface{ ResamplePrefix(k int) }
+
+// freshen gives est a new random stream (and new index worlds) for one
+// independent run at sample size k.
+func freshen(est core.Estimator, seed uint64, k int) {
+	if s, ok := est.(core.Seeder); ok {
+		s.Reseed(seed)
+	}
+	if pr, ok := est.(prefixResampler); ok {
+		pr.ResamplePrefix(k)
+	} else if r, ok := est.(resampler); ok {
+		r.Resample()
+	}
+}
+
+// PairStats holds, per workload pair, the mean and variance of the T
+// repeated estimates at one sample size K.
+type PairStats struct {
+	K    int
+	Mean []float64 // R̄(s_i, t_i, K) over the T runs
+	Var  []float64 // V(s_i, t_i, K), Eq. 11
+}
+
+// RK returns the workload-average reliability (Eq. 13).
+func (p PairStats) RK() float64 { return stats.Mean(p.Mean) }
+
+// VK returns the workload-average variance (Eq. 12).
+func (p PairStats) VK() float64 { return stats.Mean(p.Var) }
+
+// Rho returns the index of dispersion V_K / R_K (∞-guarded: 0 reliability
+// with 0 variance counts as converged).
+func (p PairStats) Rho() float64 {
+	rk := p.RK()
+	if rk == 0 {
+		return 0
+	}
+	return p.VK() / rk
+}
+
+// Evaluate runs est T times on every pair with sample size k, reseeding
+// between runs, and returns the per-pair means and variances.
+func Evaluate(est core.Estimator, pairs []workload.Pair, k, repeats int, seedBase uint64) PairStats {
+	if repeats < 1 {
+		repeats = 1
+	}
+	master := rng.New(seedBase)
+	ps := PairStats{
+		K:    k,
+		Mean: make([]float64, len(pairs)),
+		Var:  make([]float64, len(pairs)),
+	}
+	for i, pr := range pairs {
+		var w stats.Welford
+		for rep := 0; rep < repeats; rep++ {
+			freshen(est, master.Uint64(), k)
+			w.Add(est.Estimate(pr.S, pr.T, k))
+		}
+		ps.Mean[i] = w.Mean()
+		ps.Var[i] = w.Variance()
+	}
+	return ps
+}
+
+// Point is one sweep sample of the convergence curve (Fig. 7).
+type Point struct {
+	K   int
+	VK  float64
+	RK  float64
+	Rho float64
+}
+
+// Result is a full convergence sweep for one estimator.
+type Result struct {
+	Name        string
+	Curve       []Point
+	ConvergedAt int        // K at convergence; 0 if MaxK reached without convergence
+	AtConverged *PairStats // stats at the convergence K (nil if none)
+}
+
+// Sweep increases K from InitialK in steps of StepK until ρ_K < Rho or
+// MaxK is exceeded, computing the variance of est at each point.
+func Sweep(est core.Estimator, pairs []workload.Pair, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Name: est.Name()}
+	for k := cfg.InitialK; k <= cfg.MaxK; k += cfg.StepK {
+		ps := Evaluate(est, pairs, k, cfg.Repeats, cfg.SeedBase+uint64(k))
+		pt := Point{K: k, VK: ps.VK(), RK: ps.RK(), Rho: ps.Rho()}
+		res.Curve = append(res.Curve, pt)
+		if pt.Rho < cfg.Rho {
+			res.ConvergedAt = k
+			res.AtConverged = &ps
+			return res
+		}
+	}
+	return res
+}
+
+// RelativeError computes Eq. 14: the mean over pairs of
+// |R(s_i,t_i,K) − base_i| / base_i, where base is MC's per-pair reliability
+// at convergence. Pairs whose baseline is zero are skipped (their relative
+// error is undefined); an error is returned if every baseline is zero.
+func RelativeError(estimate, base []float64) (float64, error) {
+	if len(estimate) != len(base) {
+		return 0, fmt.Errorf("convergence: %d estimates vs %d baselines", len(estimate), len(base))
+	}
+	sum, n := 0.0, 0
+	for i := range base {
+		if base[i] == 0 {
+			continue
+		}
+		d := estimate[i] - base[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d / base[i]
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("convergence: all baseline reliabilities are zero")
+	}
+	return sum / float64(n), nil
+}
+
+// PairwiseDeviation computes Eq. 15 over the relative errors of the
+// estimators: D = 1/(k(k-1)) ΣΣ |RE(i) − RE(j)| for k estimators.
+func PairwiseDeviation(res []float64) float64 {
+	k := len(res)
+	if k < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			d := res[i] - res[j]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum / float64(k*(k-1))
+}

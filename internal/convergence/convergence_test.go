@@ -1,0 +1,179 @@
+package convergence
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/datasets"
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+	"relcomp/internal/workload"
+)
+
+func smallGraph(t *testing.T) *uncertain.Graph {
+	t.Helper()
+	r := rng.New(19)
+	b := uncertain.NewBuilder(10)
+	for i := 0; i < 24; i++ {
+		u, v := uncertain.NodeID(r.Intn(10)), uncertain.NodeID(r.Intn(10))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.2+0.6*r.Float64())
+	}
+	return b.Build()
+}
+
+func TestEvaluateUnbiased(t *testing.T) {
+	g := smallGraph(t)
+	pairs := []workload.Pair{{S: 0, T: 1}, {S: 1, T: 4}}
+	est := core.NewMC(g, 3)
+	ps := Evaluate(est, pairs, 2000, 20, 77)
+	if len(ps.Mean) != 2 || len(ps.Var) != 2 {
+		t.Fatalf("wrong shape: %d/%d", len(ps.Mean), len(ps.Var))
+	}
+	for i, p := range pairs {
+		want, err := exact.Factoring(g, p.S, p.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ps.Mean[i]-want) > 0.05 {
+			t.Errorf("pair %d: mean %.4f, exact %.4f", i, ps.Mean[i], want)
+		}
+		if ps.Var[i] < 0 {
+			t.Errorf("pair %d: negative variance", i)
+		}
+	}
+	if ps.RK() <= 0 || ps.VK() < 0 || ps.Rho() < 0 {
+		t.Error("aggregate metrics out of range")
+	}
+}
+
+// TestVarianceShrinksWithK: the defining property behind the paper's
+// convergence criterion.
+func TestVarianceShrinksWithK(t *testing.T) {
+	g := smallGraph(t)
+	pairs := []workload.Pair{{S: 0, T: 1}}
+	est := core.NewMC(g, 3)
+	small := Evaluate(est, pairs, 100, 40, 5).VK()
+	large := Evaluate(est, pairs, 3200, 40, 5).VK()
+	if large >= small {
+		t.Errorf("variance did not shrink: V(100)=%.3g V(3200)=%.3g", small, large)
+	}
+}
+
+func TestSweepConverges(t *testing.T) {
+	g := datasets.LastFM(0.05, 3)
+	pairs, err := workload.Pairs(g, 5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := core.NewRSS(g, 3)
+	res := Sweep(est, pairs, Config{
+		InitialK: 100, StepK: 100, MaxK: 3000, Repeats: 10, SeedBase: 9,
+	})
+	if res.Name != "RSS" {
+		t.Errorf("name %q", res.Name)
+	}
+	if res.ConvergedAt == 0 {
+		t.Fatalf("RSS did not converge by K=3000; curve: %+v", res.Curve)
+	}
+	if res.AtConverged == nil {
+		t.Fatal("no stats at convergence")
+	}
+	last := res.Curve[len(res.Curve)-1]
+	if last.K != res.ConvergedAt || last.Rho >= DefaultRho {
+		t.Errorf("curve end %+v inconsistent with convergence at %d", last, res.ConvergedAt)
+	}
+}
+
+func TestSweepMaxKWithoutConvergence(t *testing.T) {
+	g := smallGraph(t)
+	pairs := []workload.Pair{{S: 0, T: 1}}
+	est := core.NewMC(g, 3)
+	// One step with tiny K and an impossible threshold.
+	res := Sweep(est, pairs, Config{
+		InitialK: 10, StepK: 10, MaxK: 20, Repeats: 5, Rho: 1e-12, SeedBase: 9,
+	})
+	if res.ConvergedAt != 0 || res.AtConverged != nil {
+		t.Error("impossible threshold reported convergence")
+	}
+	if len(res.Curve) != 2 {
+		t.Errorf("curve has %d points, want 2", len(res.Curve))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.InitialK != 250 || c.StepK != 250 || c.Repeats != 100 || c.Rho != DefaultRho {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.MaxK <= c.InitialK {
+		t.Errorf("MaxK default %d", c.MaxK)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	re, err := RelativeError([]float64{0.11, 0.22}, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re-0.1) > 1e-9 {
+		t.Errorf("RE = %v, want 0.1", re)
+	}
+	// Zero baselines are skipped.
+	re, err = RelativeError([]float64{0.5, 0.11}, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re-0.1) > 1e-6 {
+		t.Errorf("RE with zero baseline = %v", re)
+	}
+	if _, err = RelativeError([]float64{0.5}, []float64{0}); err == nil {
+		t.Error("all-zero baseline accepted")
+	}
+	if _, err = RelativeError([]float64{0.5}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestPairwiseDeviation(t *testing.T) {
+	if d := PairwiseDeviation(nil); d != 0 {
+		t.Errorf("empty deviation %v", d)
+	}
+	if d := PairwiseDeviation([]float64{1}); d != 0 {
+		t.Errorf("singleton deviation %v", d)
+	}
+	// Two estimators at RE 1 and 3: D = (|1-3|+|3-1|)/(2*1) = 2.
+	if d := PairwiseDeviation([]float64{1, 3}); math.Abs(d-2) > 1e-12 {
+		t.Errorf("deviation %v, want 2", d)
+	}
+	// Identical errors deviate by zero.
+	if d := PairwiseDeviation([]float64{2, 2, 2}); d != 0 {
+		t.Errorf("uniform deviation %v", d)
+	}
+}
+
+func TestPairStatsRhoZeroReliability(t *testing.T) {
+	ps := PairStats{K: 10, Mean: []float64{0}, Var: []float64{0}}
+	if ps.Rho() != 0 {
+		t.Errorf("rho of zero-reliability workload = %v, want 0 (converged)", ps.Rho())
+	}
+}
+
+// TestFreshenResamplesIndex: BFS Sharing must give different estimates
+// across freshen calls (new worlds), while reseeding MC changes its stream.
+func TestFreshenResamplesIndex(t *testing.T) {
+	g := smallGraph(t)
+	bs := core.NewBFSSharing(g, 3, 400)
+	seen := map[float64]bool{}
+	for rep := 0; rep < 8; rep++ {
+		freshen(bs, uint64(rep)*7919, 400)
+		seen[bs.Estimate(0, 1, 400)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("freshen did not vary the BFS Sharing estimate")
+	}
+}

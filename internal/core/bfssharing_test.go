@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// TestBFSSharingCascade exercises the cascading update of Algorithm 3: in
+// this diamond-with-back-edge graph, node 1 is visited before node 2, but
+// worlds reaching 1 only via 2 -> 1 must still be credited to 1's
+// downstream edge, which requires the cascade.
+func TestBFSSharingCascade(t *testing.T) {
+	// s=0, t=3. Paths: 0->1->3 and 0->2->1->3 (via back edge 2->1).
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.3},
+		{From: 0, To: 2, P: 0.9},
+		{From: 2, To: 1, P: 0.9},
+		{From: 1, To: 3, P: 0.8},
+	})
+	want, err := exact.Factoring(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBFSSharing(g, 3, 200000)
+	got := bs.Estimate(0, 3, 200000)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("cascade graph: R = %.4f, exact %.4f", got, want)
+	}
+}
+
+// TestBFSSharingCycle: reachability through a directed cycle must be
+// handled by the fixpoint propagation without hanging.
+func TestBFSSharingCycle(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 2, P: 0.9},
+		{From: 2, To: 1, P: 0.9}, // cycle 1 <-> 2
+		{From: 2, To: 3, P: 0.9},
+	})
+	want, err := exact.Factoring(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBFSSharing(g, 4, 100000)
+	got := bs.Estimate(0, 3, 100000)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("cycle graph: R = %.4f, exact %.4f", got, want)
+	}
+}
+
+// TestBFSSharingPrefix: estimates with k below the index width use only
+// the first k worlds and remain unbiased.
+func TestBFSSharingPrefix(t *testing.T) {
+	r := rng.New(41)
+	g := randomTestGraph(r, 8, 16)
+	want, err := exact.Factoring(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewBFSSharing(g, 5, 50000)
+	got := bs.Estimate(0, 7, 20000) // k < width
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("prefix estimate: R = %.4f, exact %.4f", got, want)
+	}
+}
+
+// TestBFSSharingResampleIndependence: resampling redraws the worlds, so
+// two estimates with different resamples differ (almost surely) while both
+// staying near the truth.
+func TestBFSSharingResampleIndependence(t *testing.T) {
+	r := rng.New(43)
+	g := randomTestGraph(r, 10, 25)
+	bs := NewBFSSharing(g, 7, 2000)
+	a := bs.Estimate(0, 9, 2000)
+	bs.Resample()
+	b := bs.Estimate(0, 9, 2000)
+	if a == b {
+		// Identical estimates after a resample are possible but unlikely
+		// unless reliability is degenerate.
+		if a != 0 && a != 1 {
+			t.Errorf("estimates identical across resample: %v", a)
+		}
+	}
+	bs.ResamplePrefix(500)
+	c := bs.Estimate(0, 9, 500)
+	if c < 0 || c > 1 {
+		t.Errorf("prefix-resampled estimate %v out of range", c)
+	}
+}
+
+// TestBFSSharingWidthExceeded: asking for more samples than the index
+// width must panic (the index simply has no more worlds).
+func TestBFSSharingWidthExceeded(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	bs := NewBFSSharing(g, 1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("Estimate beyond index width did not panic")
+		}
+	}()
+	bs.Estimate(0, 1, 65)
+}
+
+// TestBFSSharingIndexRoundTrip: the serialized index reproduces identical
+// estimates, and loading against the wrong graph fails.
+func TestBFSSharingIndexRoundTrip(t *testing.T) {
+	r := rng.New(47)
+	g := randomTestGraph(r, 12, 30)
+	bs := NewBFSSharing(g, 9, 1024)
+	var buf bytes.Buffer
+	if err := bs.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBFSSharing(g, &buf, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Width() != bs.Width() {
+		t.Fatalf("width %d after load, want %d", loaded.Width(), bs.Width())
+	}
+	if a, b := bs.Estimate(0, 11, 1024), loaded.Estimate(0, 11, 1024); a != b {
+		t.Errorf("estimates diverge after round trip: %v vs %v", a, b)
+	}
+
+	other := randomTestGraph(rng.New(48), 12, 29)
+	if other.NumEdges() != g.NumEdges() {
+		buf.Reset()
+		if err := bs.WriteIndex(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBFSSharing(other, &buf, 9); err == nil {
+			t.Error("LoadBFSSharing accepted an index for a different graph")
+		}
+	}
+}
+
+// TestBFSSharingIndexBits: the sampled bit densities match the edge
+// probabilities (law of large numbers over the index width).
+func TestBFSSharingIndexBits(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.25},
+		{From: 1, To: 2, P: 0.75},
+	})
+	const width = 100000
+	bs := NewBFSSharing(g, 11, width)
+	for id := 0; id < g.NumEdges(); id++ {
+		p := g.Edge(uncertain.EdgeID(id)).P
+		density := float64(bs.edgeBits.Vec(id).Count()) / width
+		if math.Abs(density-p) > 0.01 {
+			t.Errorf("edge %d: bit density %.4f, probability %.4f", id, density, p)
+		}
+	}
+}
+
+// TestCountPrefix checks the masked popcount helper at word boundaries.
+func TestCountPrefix(t *testing.T) {
+	v := make([]uint64, 2)
+	v[0] = ^uint64(0)
+	v[1] = 0b1011
+	cases := []struct{ k, want int }{
+		{0, 0}, {1, 1}, {63, 63}, {64, 64}, {65, 65}, {66, 66}, {67, 66}, {68, 67}, {128, 67},
+	}
+	for _, c := range cases {
+		if got := countPrefix(v, c.k); got != c.want {
+			t.Errorf("countPrefix(k=%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// condition is the shared substrate of the two recursive estimators (RHH,
+// RSS). It maintains a partial possible-world assignment — every edge is
+// undetermined, included (exists in all worlds of the prefix group), or
+// excluded — with O(1) backtracking, plus the structural queries the
+// recursions terminate on and the conditioned Monte Carlo fallback used
+// below the sample-size threshold.
+//
+// In the paper's notation a state corresponds to the prefix group
+// G(E1, E2): E1 = included edges, E2 = excluded edges (Eq. 6–7).
+type condition struct {
+	g     *uncertain.Graph
+	state []int8             // 0 undetermined, +1 included, -1 excluded
+	trail []uncertain.EdgeID // decision log for backtracking
+	seen  *epochSet          // scratch for traversals
+	queue []uncertain.NodeID // scratch BFS queue
+	edges []uncertain.EdgeID // scratch for edge selection
+}
+
+func newCondition(g *uncertain.Graph) *condition {
+	return &condition{
+		g:     g,
+		state: make([]int8, g.NumEdges()),
+		seen:  newEpochSet(g.NumNodes()),
+		queue: make([]uncertain.NodeID, 0, 256),
+	}
+}
+
+// mark returns an undo token for the current trail position.
+func (c *condition) mark() int { return len(c.trail) }
+
+// include adds e to E1.
+func (c *condition) include(e uncertain.EdgeID) {
+	c.state[e] = 1
+	c.trail = append(c.trail, e)
+}
+
+// exclude adds e to E2.
+func (c *condition) exclude(e uncertain.EdgeID) {
+	c.state[e] = -1
+	c.trail = append(c.trail, e)
+}
+
+// undoTo reverts all decisions made since mark.
+func (c *condition) undoTo(mark int) {
+	for i := len(c.trail) - 1; i >= mark; i-- {
+		c.state[c.trail[i]] = 0
+	}
+	c.trail = c.trail[:mark]
+}
+
+// reset clears every decision.
+func (c *condition) reset() { c.undoTo(0) }
+
+// hasIncludedPath reports whether E1 already contains an s-t path
+// (RG(E1,E2)(s,t) = 1).
+func (c *condition) hasIncludedPath(s, t uncertain.NodeID) bool {
+	if s == t {
+		return true
+	}
+	g := c.g
+	c.seen.nextRound()
+	c.seen.visit(s)
+	q := c.queue[:0]
+	q = append(q, s)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		ids := g.OutEdgeIDs(v)
+		tos := g.OutNeighbors(v)
+		for i, id := range ids {
+			if c.state[id] != 1 {
+				continue
+			}
+			w := tos[i]
+			if w == t {
+				c.queue = q
+				return true
+			}
+			if !c.seen.visited(w) {
+				c.seen.visit(w)
+				q = append(q, w)
+			}
+		}
+	}
+	c.queue = q
+	return false
+}
+
+// hasCut reports whether E2 contains an s-t cut, i.e. t is unreachable from
+// s even if every undetermined edge existed (RG(E1,E2)(s,t) = 0).
+func (c *condition) hasCut(s, t uncertain.NodeID) bool {
+	if s == t {
+		return false
+	}
+	g := c.g
+	c.seen.nextRound()
+	c.seen.visit(s)
+	q := c.queue[:0]
+	q = append(q, s)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		ids := g.OutEdgeIDs(v)
+		tos := g.OutNeighbors(v)
+		for i, id := range ids {
+			if c.state[id] == -1 {
+				continue
+			}
+			w := tos[i]
+			if w == t {
+				c.queue = q
+				return false
+			}
+			if !c.seen.visited(w) {
+				c.seen.visit(w)
+				q = append(q, w)
+			}
+		}
+	}
+	c.queue = q
+	return true
+}
+
+// selectEdgeDFS returns the first undetermined edge encountered by a
+// depth-first search from s that traverses included edges, matching the
+// experimentally best expansion strategy of Jin et al.: explore the first
+// neighbor fully before moving to the next. Returns -1 if no undetermined
+// edge leaves the region reachable through E1.
+func (c *condition) selectEdgeDFS(s uncertain.NodeID) uncertain.EdgeID {
+	g := c.g
+	c.seen.nextRound()
+	c.seen.visit(s)
+	stack := c.queue[:0]
+	stack = append(stack, s)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ids := g.OutEdgeIDs(v)
+		tos := g.OutNeighbors(v)
+		for i, id := range ids {
+			switch c.state[id] {
+			case 0:
+				if !c.seen.visited(tos[i]) {
+					c.queue = stack
+					return id
+				}
+			case 1:
+				if w := tos[i]; !c.seen.visited(w) {
+					c.seen.visit(w)
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	c.queue = stack
+	return -1
+}
+
+// selectEdgesBFS collects up to r undetermined edges in BFS order from s,
+// traversing non-excluded edges, as RSS's stratum construction requires
+// (Alg. 5 line 9). The returned slice is scratch owned by c.
+func (c *condition) selectEdgesBFS(s uncertain.NodeID, r int) []uncertain.EdgeID {
+	g := c.g
+	c.seen.nextRound()
+	c.seen.visit(s)
+	q := c.queue[:0]
+	q = append(q, s)
+	c.edges = c.edges[:0]
+	for head := 0; head < len(q) && len(c.edges) < r; head++ {
+		v := q[head]
+		ids := g.OutEdgeIDs(v)
+		tos := g.OutNeighbors(v)
+		for i, id := range ids {
+			st := c.state[id]
+			if st == -1 {
+				continue
+			}
+			if st == 0 && !c.seen.visited(tos[i]) {
+				c.edges = append(c.edges, id)
+				if len(c.edges) == r {
+					break
+				}
+			}
+			if w := tos[i]; !c.seen.visited(w) {
+				c.seen.visit(w)
+				q = append(q, w)
+			}
+		}
+	}
+	c.queue = q
+	return c.edges
+}
+
+// conditionedMC estimates RG(E1,E2)(s,t) with k Monte Carlo samples: a BFS
+// from s in which included edges always exist, excluded edges never exist,
+// and undetermined edges are sampled with their probability. This is the
+// non-recursive fallback of both recursive estimators.
+func (c *condition) conditionedMC(s, t uncertain.NodeID, k int, r *rng.Source) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if s == t {
+		return 1
+	}
+	g := c.g
+	hits := 0
+	for i := 0; i < k; i++ {
+		c.seen.nextRound()
+		c.seen.visit(s)
+		q := c.queue[:0]
+		q = append(q, s)
+		found := false
+	sample:
+		for head := 0; head < len(q); head++ {
+			v := q[head]
+			ids := g.OutEdgeIDs(v)
+			tos := g.OutNeighbors(v)
+			ps := g.OutProbs(v)
+			for j, id := range ids {
+				w := tos[j]
+				if c.seen.visited(w) {
+					continue
+				}
+				switch c.state[id] {
+				case -1:
+					continue
+				case 0:
+					if !r.Bernoulli(ps[j]) {
+						continue
+					}
+				}
+				if w == t {
+					found = true
+					break sample
+				}
+				c.seen.visit(w)
+				q = append(q, w)
+			}
+		}
+		c.queue = q
+		if found {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// memoryBytes reports the resident scratch of the condition substrate.
+func (c *condition) memoryBytes() int64 {
+	return int64(len(c.state)) +
+		int64(cap(c.trail))*4 +
+		c.seen.bytes() +
+		int64(cap(c.queue))*4 +
+		int64(cap(c.edges))*4
+}

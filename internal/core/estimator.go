@@ -1,0 +1,98 @@
+// Package core implements the six s-t reliability estimators compared by
+// the paper, behind one Estimator interface:
+//
+//   - MC            — Monte Carlo sampling with per-sample lazy BFS (Alg. 1)
+//   - BFSSharing    — offline K-world bit-vector index + shared BFS with
+//     cascading updates (Alg. 2–3)
+//   - RHH           — recursive sampling of Jin et al. (Alg. 4)
+//   - RSS           — recursive stratified sampling of Li et al. (Alg. 5)
+//   - LazyProp      — lazy propagation sampling (Alg. 6), in both the
+//     original (biased) LP form and the corrected LP+ form
+//   - ProbTree      — FWD tree-decomposition index (Alg. 7–8) wrapping any
+//     inner estimator
+//
+// All estimators are deterministic given their seed and are not safe for
+// concurrent use; create one per goroutine. They share the read-only
+// *uncertain.Graph.
+package core
+
+import (
+	"fmt"
+
+	"relcomp/internal/uncertain"
+)
+
+// Estimator estimates the s-t reliability of a fixed uncertain graph.
+type Estimator interface {
+	// Name returns the estimator's short name as used in the paper's
+	// tables ("MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", ...).
+	Name() string
+
+	// Estimate returns an estimate of R(s,t) using a total budget of k
+	// samples. It panics if s or t is out of range or k <= 0; use
+	// CheckQuery for validated input.
+	Estimate(s, t uncertain.NodeID, k int) float64
+}
+
+// MemoryReporter is implemented by estimators that can report the resident
+// bytes of their online scratch state and (for index-based methods) their
+// index, for the paper's memory-usage comparison (Fig. 12).
+type MemoryReporter interface {
+	MemoryBytes() int64
+}
+
+// Seeder is implemented by estimators whose random stream can be reset;
+// the convergence harness reseeds between the T repetitions of Eq. 11.
+type Seeder interface {
+	Reseed(seed uint64)
+}
+
+// CheckQuery validates an s-t query against g.
+func CheckQuery(g *uncertain.Graph, s, t uncertain.NodeID, k int) error {
+	n := uncertain.NodeID(g.NumNodes())
+	if s < 0 || s >= n {
+		return fmt.Errorf("core: source %d out of range [0,%d)", s, n)
+	}
+	if t < 0 || t >= n {
+		return fmt.Errorf("core: target %d out of range [0,%d)", t, n)
+	}
+	if k <= 0 {
+		return fmt.Errorf("core: sample budget %d must be positive", k)
+	}
+	return nil
+}
+
+func mustValidQuery(g *uncertain.Graph, s, t uncertain.NodeID, k int) {
+	if err := CheckQuery(g, s, t, k); err != nil {
+		panic(err)
+	}
+}
+
+// epochSet is a reusable visited-set over node ids: marking is O(1) and
+// clearing between samples is a single counter increment, which matters
+// when an estimate runs thousands of BFS rounds.
+type epochSet struct {
+	mark  []int32
+	epoch int32
+}
+
+func newEpochSet(n int) *epochSet {
+	return &epochSet{mark: make([]int32, n)}
+}
+
+// nextRound invalidates all marks.
+func (e *epochSet) nextRound() {
+	e.epoch++
+	if e.epoch == 0 { // wrapped: do the O(n) clear once every 2^31 rounds
+		for i := range e.mark {
+			e.mark[i] = 0
+		}
+		e.epoch = 1
+	}
+}
+
+func (e *epochSet) visit(v uncertain.NodeID) { e.mark[v] = e.epoch }
+
+func (e *epochSet) visited(v uncertain.NodeID) bool { return e.mark[v] == e.epoch }
+
+func (e *epochSet) bytes() int64 { return int64(len(e.mark)) * 4 }

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// testGraph builds a graph from an edge list, failing the test on invalid
+// input.
+func testGraph(t *testing.T, n int, edges []uncertain.Edge) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return b.Build()
+}
+
+// randomTestGraph builds a random graph guaranteed valid by construction.
+func randomTestGraph(r *rng.Source, n, m int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		from := uncertain.NodeID(r.Intn(n))
+		to := uncertain.NodeID(r.Intn(n))
+		if from == to {
+			continue
+		}
+		b.MustAddEdge(from, to, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+// allEstimators returns one instance of each of the six estimators for g,
+// with BFS Sharing sized for up to maxK samples.
+func allEstimators(g *uncertain.Graph, seed uint64, maxK int) []Estimator {
+	return []Estimator{
+		NewMC(g, seed),
+		NewBFSSharing(g, seed, maxK),
+		NewProbTree(g, seed),
+		NewLazyProp(g, seed),
+		NewRHH(g, seed),
+		NewRSS(g, seed),
+	}
+}
+
+// TestEstimatorsAgainstExactSmallGraphs is the central correctness test:
+// every estimator must land near the exact reliability on a portfolio of
+// small random graphs. With K=20000 samples the MC-class standard error is
+// below 0.004, so a 0.03 tolerance gives negligible flake probability
+// while catching any systematic bias.
+func TestEstimatorsAgainstExactSmallGraphs(t *testing.T) {
+	const k = 20000
+	r := rng.New(7)
+	cases := 0
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(5)
+		m := 3 + r.Intn(9)
+		g := randomTestGraph(r, n, m)
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		if s == tt {
+			continue
+		}
+		want, err := exact.Factoring(g, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases++
+		for _, est := range allEstimators(g, uint64(trial)*977+13, k) {
+			got := est.Estimate(s, tt, k)
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("trial %d %s: R(%d,%d) = %.4f, exact %.4f (n=%d m=%d)",
+					trial, est.Name(), s, tt, got, want, n, g.NumEdges())
+			}
+		}
+	}
+	if cases < 10 {
+		t.Fatalf("only %d usable cases generated", cases)
+	}
+}
+
+// TestEstimatorsSourceEqualsTarget: R(s,s) is 1 by definition for every
+// estimator.
+func TestEstimatorsSourceEqualsTarget(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 1, To: 2, P: 0.5},
+	})
+	for _, est := range allEstimators(g, 1, 100) {
+		if got := est.Estimate(1, 1, 100); got != 1 {
+			t.Errorf("%s: R(1,1) = %v, want 1", est.Name(), got)
+		}
+	}
+}
+
+// TestEstimatorsUnreachable: disconnected targets must report 0.
+func TestEstimatorsUnreachable(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 2, To: 3, P: 0.9},
+	})
+	for _, est := range allEstimators(g, 1, 200) {
+		if got := est.Estimate(0, 3, 200); got != 0 {
+			t.Errorf("%s: R(0,3) = %v, want 0", est.Name(), got)
+		}
+	}
+}
+
+// TestEstimatorsDirectionality: reachability must respect edge direction.
+func TestEstimatorsDirectionality(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 1}})
+	for _, est := range allEstimators(g, 1, 100) {
+		if got := est.Estimate(0, 1, 100); got != 1 {
+			t.Errorf("%s: forward R = %v, want 1", est.Name(), got)
+		}
+		if got := est.Estimate(1, 0, 100); got != 0 {
+			t.Errorf("%s: backward R = %v, want 0", est.Name(), got)
+		}
+	}
+}
+
+// TestEstimatorsCertainChain: probability-1 edges make reliability exact.
+func TestEstimatorsCertainChain(t *testing.T) {
+	g := testGraph(t, 5, []uncertain.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 1, To: 2, P: 1},
+		{From: 2, To: 3, P: 1},
+		{From: 3, To: 4, P: 1},
+	})
+	for _, est := range allEstimators(g, 1, 100) {
+		if got := est.Estimate(0, 4, 100); got != 1 {
+			t.Errorf("%s: certain chain R = %v, want 1", est.Name(), got)
+		}
+	}
+}
+
+// TestEstimatorsRangeInvariant: estimates always lie in [0, 1].
+func TestEstimatorsRangeInvariant(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(8)
+		g := randomTestGraph(r, n, r.Intn(16))
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		for _, est := range allEstimators(g, uint64(trial), 500) {
+			got := est.Estimate(s, tt, 500)
+			if got < 0 || got > 1 {
+				t.Errorf("%s: R(%d,%d) = %v outside [0,1]", est.Name(), s, tt, got)
+			}
+		}
+	}
+}
+
+// TestEstimatorsValidation: out-of-range queries and non-positive budgets
+// must panic with a descriptive error.
+func TestEstimatorsValidation(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	for _, est := range allEstimators(g, 1, 10) {
+		for _, bad := range []struct {
+			s, t uncertain.NodeID
+			k    int
+		}{{-1, 1, 10}, {0, 5, 10}, {0, 1, 0}, {0, 1, -3}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: Estimate(%d,%d,%d) did not panic", est.Name(), bad.s, bad.t, bad.k)
+					}
+				}()
+				est.Estimate(bad.s, bad.t, bad.k)
+			}()
+		}
+	}
+}
+
+// TestCheckQuery covers the error paths of the exported validator.
+func TestCheckQuery(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	if err := CheckQuery(g, 0, 2, 10); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	for _, bad := range []struct {
+		s, t uncertain.NodeID
+		k    int
+	}{{-1, 0, 1}, {3, 0, 1}, {0, -1, 1}, {0, 3, 1}, {0, 1, 0}} {
+		if err := CheckQuery(g, bad.s, bad.t, bad.k); err == nil {
+			t.Errorf("CheckQuery(%v) accepted invalid input", bad)
+		}
+	}
+}
+
+// TestReseedDeterminism: reseeding with the same seed must reproduce the
+// same estimate for the stochastic estimators.
+func TestReseedDeterminism(t *testing.T) {
+	r := rng.New(5)
+	g := randomTestGraph(r, 8, 20)
+	for _, est := range allEstimators(g, 1, 500) {
+		seeder, ok := est.(Seeder)
+		if !ok {
+			t.Errorf("%s does not implement Seeder", est.Name())
+			continue
+		}
+		seeder.Reseed(12345)
+		if re, ok := est.(interface{ Resample() }); ok {
+			re.Resample()
+		}
+		a := est.Estimate(0, 7, 500)
+		seeder.Reseed(12345)
+		if re, ok := est.(interface{ Resample() }); ok {
+			re.Resample()
+		}
+		b := est.Estimate(0, 7, 500)
+		if a != b {
+			t.Errorf("%s: same seed gave %v then %v", est.Name(), a, b)
+		}
+	}
+}
+
+// TestMemoryReporters: every estimator reports a positive footprint after
+// use.
+func TestMemoryReporters(t *testing.T) {
+	r := rng.New(6)
+	g := randomTestGraph(r, 10, 25)
+	for _, est := range allEstimators(g, 1, 100) {
+		est.Estimate(0, 9, 100)
+		m, ok := est.(MemoryReporter)
+		if !ok {
+			t.Errorf("%s does not implement MemoryReporter", est.Name())
+			continue
+		}
+		if m.MemoryBytes() <= 0 {
+			t.Errorf("%s: MemoryBytes = %d, want > 0", est.Name(), m.MemoryBytes())
+		}
+	}
+}
+
+// epoch set behaviour, including the wrap-around path.
+func TestEpochSet(t *testing.T) {
+	e := newEpochSet(4)
+	e.nextRound()
+	e.visit(2)
+	if !e.visited(2) || e.visited(1) {
+		t.Fatal("visit/visited broken")
+	}
+	e.nextRound()
+	if e.visited(2) {
+		t.Fatal("nextRound did not clear marks")
+	}
+	// Force wrap-around.
+	e.epoch = math.MaxInt32
+	e.nextRound()
+	if e.visited(0) || e.visited(3) {
+		t.Fatal("wrap-around left stale marks")
+	}
+	e.visit(3)
+	if !e.visited(3) {
+		t.Fatal("visit after wrap-around broken")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"relcomp/internal/bitvec"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// Index persistence. Both index-based estimators can serialize their
+// offline structures and be reconstructed against the same graph, which is
+// what the paper's Fig. 13(c) "index loading time" measures: the cost of
+// bringing a pre-built index into main memory before answering queries.
+
+type bfsSharingIndexFile struct {
+	Width    int
+	NumEdges int
+	Words    []uint64
+}
+
+// WriteIndex serializes the offline index (edge bit vectors) to w.
+func (b *BFSSharing) WriteIndex(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(bfsSharingIndexFile{
+		Width:    b.width,
+		NumEdges: b.g.NumEdges(),
+		Words:    b.edgeBits.Words(),
+	})
+}
+
+// LoadBFSSharing reconstructs a BFSSharing estimator from a serialized
+// index over the same graph it was built from.
+func LoadBFSSharing(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSSharing, error) {
+	var f bfsSharingIndexFile
+	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding BFSSharing index: %w", err)
+	}
+	if f.NumEdges != g.NumEdges() {
+		return nil, fmt.Errorf("core: index built for %d edges, graph has %d", f.NumEdges, g.NumEdges())
+	}
+	if f.Width <= 0 {
+		return nil, fmt.Errorf("core: invalid index width %d", f.Width)
+	}
+	arena, err := bitvec.ArenaFromWords(f.Words, f.NumEdges, f.Width)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstructing BFSSharing index: %w", err)
+	}
+	b := &BFSSharing{g: g, width: f.Width, edgeBits: arena, rng: rng.New(seed)}
+	return b, nil
+}
+
+type probTreeBagFile struct {
+	Covered  int32
+	Nodes    []uncertain.NodeID
+	Raw      []uncertain.Edge
+	Parent   int
+	Children []int
+	Contrib  []uncertain.Edge
+}
+
+type probTreeIndexFile struct {
+	Width    int
+	NumNodes int
+	Root     int
+	BagOf    []int32
+	Bags     []probTreeBagFile
+}
+
+// WriteIndex serializes the FWD tree (bags, parent links, pre-computed
+// contributions) to w.
+func (pt *ProbTree) WriteIndex(w io.Writer) error {
+	f := probTreeIndexFile{
+		Width:    pt.width,
+		NumNodes: pt.g.NumNodes(),
+		Root:     pt.root,
+		BagOf:    pt.bagOf,
+		Bags:     make([]probTreeBagFile, len(pt.bags)),
+	}
+	for i, b := range pt.bags {
+		f.Bags[i] = probTreeBagFile{
+			Covered:  b.covered,
+			Nodes:    b.nodes,
+			Raw:      b.raw,
+			Parent:   b.parent,
+			Children: b.children,
+			Contrib:  b.contrib,
+		}
+	}
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// LoadProbTree reconstructs a ProbTree estimator from a serialized index
+// over the same graph, with the given inner estimator factory (nil = MC).
+func LoadProbTree(g *uncertain.Graph, rd io.Reader, seed uint64, inner InnerFactory) (*ProbTree, error) {
+	var f probTreeIndexFile
+	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding ProbTree index: %w", err)
+	}
+	if f.NumNodes != g.NumNodes() {
+		return nil, fmt.Errorf("core: index built for %d nodes, graph has %d", f.NumNodes, g.NumNodes())
+	}
+	if f.Root < 0 || f.Root >= len(f.Bags) {
+		return nil, fmt.Errorf("core: invalid root bag %d of %d", f.Root, len(f.Bags))
+	}
+	name := "ProbTree"
+	if inner == nil {
+		inner = func(qg *uncertain.Graph, s uint64) Estimator { return NewMC(qg, s) }
+	} else {
+		probe := inner(uncertain.NewBuilder(1).Build(), 1)
+		if probe.Name() != "MC" {
+			name = "ProbTree+" + probe.Name()
+		}
+	}
+	pt := &ProbTree{
+		g:         g,
+		width:     f.Width,
+		inner:     inner,
+		root:      f.Root,
+		bagOf:     f.BagOf,
+		innerName: name,
+	}
+	pt.bags = make([]ptBag, len(f.Bags))
+	for i, b := range f.Bags {
+		pt.bags[i] = ptBag{
+			covered:  b.Covered,
+			nodes:    b.Nodes,
+			raw:      b.Raw,
+			parent:   b.Parent,
+			children: b.Children,
+			contrib:  b.Contrib,
+		}
+	}
+	pt.expandedStamp = make([]int32, len(pt.bags))
+	pt.nodeOf = make(map[uncertain.NodeID]uncertain.NodeID)
+	pt.rng = rng.New(seed)
+	return pt, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// exactKTerminal enumerates all worlds and checks that every target is
+// reachable from s.
+func exactKTerminal(g *uncertain.Graph, s uncertain.NodeID, targets []uncertain.NodeID) float64 {
+	m := g.NumEdges()
+	total := 0.0
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		pr := 1.0
+		for i, e := range g.Edges() {
+			if mask&(1<<uint(i)) != 0 {
+				pr *= e.P
+			} else {
+				pr *= 1 - e.P
+			}
+		}
+		reach := map[uncertain.NodeID]bool{s: true}
+		stack := []uncertain.NodeID{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ids := g.OutEdgeIDs(v)
+			tos := g.OutNeighbors(v)
+			for i, id := range ids {
+				if mask&(1<<uint(id)) != 0 && !reach[tos[i]] {
+					reach[tos[i]] = true
+					stack = append(stack, tos[i])
+				}
+			}
+		}
+		all := true
+		for _, t := range targets {
+			if !reach[t] {
+				all = false
+				break
+			}
+		}
+		if all {
+			total += pr
+		}
+	}
+	return total
+}
+
+func TestKTerminalMatchesExact(t *testing.T) {
+	r := rng.New(103)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(4)
+		g := randomTestGraph(r, n, 4+r.Intn(8))
+		targets := []uncertain.NodeID{uncertain.NodeID(n - 1), uncertain.NodeID(n - 2)}
+		want := exactKTerminal(g, 0, targets)
+		kt, err := NewKTerminal(g, uint64(trial)+7, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := kt.Estimate(0, 30000)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("trial %d: %.4f, exact %.4f", trial, got, want)
+		}
+	}
+}
+
+func TestKTerminalSingleTargetEqualsST(t *testing.T) {
+	r := rng.New(107)
+	g := randomTestGraph(r, 8, 20)
+	want, err := exact.Factoring(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := NewKTerminal(g, 5, []uncertain.NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kt.Estimate(0, 40000); math.Abs(got-want) > 0.02 {
+		t.Errorf("|T|=1: %.4f, exact s-t %.4f", got, want)
+	}
+}
+
+func TestKTerminalAtMostMinimum(t *testing.T) {
+	// P(all targets reachable) <= min_t P(t reachable).
+	r := rng.New(109)
+	g := randomTestGraph(r, 10, 25)
+	targets := []uncertain.NodeID{5, 7, 9}
+	kt, err := NewKTerminal(g, 5, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := kt.Estimate(0, 20000)
+	mc := NewMC(g, 5)
+	for _, tgt := range targets {
+		single := mc.Estimate(0, tgt, 20000)
+		if all > single+0.02 {
+			t.Errorf("P(all)=%.4f exceeds P(%d)=%.4f", all, tgt, single)
+		}
+	}
+}
+
+func TestKTerminalValidation(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	if _, err := NewKTerminal(g, 1, nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := NewKTerminal(g, 1, []uncertain.NodeID{99}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	kt, err := NewKTerminal(g, 1, []uncertain.NodeID{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kt.Targets()) != 1 {
+		t.Errorf("duplicates not removed: %v", kt.Targets())
+	}
+	if kt.Name() != "KTerminal(|T|=1)" {
+		t.Errorf("name %q", kt.Name())
+	}
+	if kt.MemoryBytes() <= 0 {
+		t.Error("no memory reported")
+	}
+	// Source in target set counts as reached.
+	kt2, err := NewKTerminal(g, 1, []uncertain.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kt2.Estimate(0, 100); got != 1 {
+		t.Errorf("source-only target set: %v", got)
+	}
+}
+
+func TestConditionTransform(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5}, // id 0
+		{From: 1, To: 2, P: 0.5}, // id 1
+		{From: 0, To: 2, P: 0.5}, // id 2
+	})
+	// Condition on 0->1 present and 0->2 absent: R(0,2) = P(1->2) = 0.5.
+	cg, err := uncertain.Condition(g, []uncertain.EdgeID{0}, []uncertain.EdgeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Factoring(cg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-0.5) > 1e-12 {
+		t.Errorf("conditioned exact %.4f, want 0.5", want)
+	}
+	// Validation.
+	if _, err := uncertain.Condition(g, []uncertain.EdgeID{99}, nil); err == nil {
+		t.Error("out-of-range include accepted")
+	}
+	if _, err := uncertain.Condition(g, nil, []uncertain.EdgeID{-1}); err == nil {
+		t.Error("negative exclude accepted")
+	}
+	if _, err := uncertain.Condition(g, []uncertain.EdgeID{0}, []uncertain.EdgeID{0}); err == nil {
+		t.Error("contradictory condition accepted")
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 1, To: 2, P: 0.5},
+	})
+	if id := g.FindEdge(0, 1); id != 0 {
+		t.Errorf("FindEdge(0,1) = %d", id)
+	}
+	if id := g.FindEdge(1, 0); id != -1 {
+		t.Errorf("FindEdge(1,0) = %d, want -1", id)
+	}
+	if id := g.FindEdge(-1, 0); id != -1 {
+		t.Errorf("FindEdge(-1,0) = %d, want -1", id)
+	}
+}

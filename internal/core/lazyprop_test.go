@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// TestLazyPropNames distinguishes the corrected and original variants.
+func TestLazyPropNames(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	if n := NewLazyProp(g, 1).Name(); n != "LP+" {
+		t.Errorf("corrected name = %q, want LP+", n)
+	}
+	if n := NewLazyPropOriginal(g, 1).Name(); n != "LP" {
+		t.Errorf("original name = %q, want LP", n)
+	}
+	if !NewLazyProp(g, 1).Corrected() || NewLazyPropOriginal(g, 1).Corrected() {
+		t.Error("Corrected flags wrong")
+	}
+}
+
+// TestLazyPropOriginalOverestimates reproduces the paper's Fig. 5 /
+// Example 1 finding: the original LP schedule (X' + c_v) systematically
+// overestimates reliability, while LP+ matches the truth. A two-node
+// single-edge graph isolates the effect: the true reliability is p.
+func TestLazyPropOriginalOverestimates(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.3}})
+	const k = 100000
+	lpPlus := NewLazyProp(g, 5).Estimate(0, 1, k)
+	lpOrig := NewLazyPropOriginal(g, 5).Estimate(0, 1, k)
+	if math.Abs(lpPlus-0.3) > 0.01 {
+		t.Errorf("LP+ = %.4f, want ≈ 0.30", lpPlus)
+	}
+	if lpOrig <= lpPlus+0.02 {
+		t.Errorf("LP (%.4f) does not overestimate vs LP+ (%.4f) as in the paper", lpOrig, lpPlus)
+	}
+}
+
+// TestLazyPropOriginalBiasOnPath: the bias compounds on longer paths.
+func TestLazyPropOriginalBiasOnPath(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.4},
+		{From: 1, To: 2, P: 0.4},
+		{From: 2, To: 3, P: 0.4},
+	})
+	want := 0.4 * 0.4 * 0.4
+	const k = 200000
+	lpPlus := NewLazyProp(g, 7).Estimate(0, 3, k)
+	lpOrig := NewLazyPropOriginal(g, 7).Estimate(0, 3, k)
+	if math.Abs(lpPlus-want) > 0.01 {
+		t.Errorf("LP+ = %.4f, want ≈ %.4f", lpPlus, want)
+	}
+	if lpOrig < want+0.02 {
+		t.Errorf("LP = %.4f shows no overestimation over exact %.4f", lpOrig, want)
+	}
+}
+
+// TestLazyPropMatchesMC: LP+ is statistically equivalent to MC; over a
+// batch of random graphs their estimates agree within sampling error.
+func TestLazyPropMatchesMC(t *testing.T) {
+	r := rng.New(53)
+	const k = 30000
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(6)
+		g := randomTestGraph(r, n, 4+r.Intn(12))
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		if s == tt {
+			continue
+		}
+		mc := NewMC(g, uint64(trial)+100).Estimate(s, tt, k)
+		lp := NewLazyProp(g, uint64(trial)+200).Estimate(s, tt, k)
+		if math.Abs(mc-lp) > 0.02 {
+			t.Errorf("trial %d: MC %.4f vs LP+ %.4f diverge", trial, mc, lp)
+		}
+	}
+}
+
+// TestLazyPropSchedulePersistence: heaps persist across samples within one
+// Estimate call but must not leak across calls — two identical calls with
+// reseeding give identical results, and a second call without reseeding
+// still gives a valid (fresh-state) estimate.
+func TestLazyPropSchedulePersistence(t *testing.T) {
+	r := rng.New(59)
+	g := randomTestGraph(r, 10, 24)
+	lp := NewLazyProp(g, 17)
+	a := lp.Estimate(0, 9, 5000)
+	lp.Reseed(17)
+	b := lp.Estimate(0, 9, 5000)
+	if a != b {
+		t.Errorf("reseeded estimate %v differs from original %v", a, b)
+	}
+	c := lp.Estimate(0, 9, 5000)
+	if c < 0 || c > 1 {
+		t.Errorf("estimate %v out of range on reused estimator", c)
+	}
+}
+
+// TestLazyPropHighProbability: probability-1 edges exist in every world
+// (geometric variate 0 every round).
+func TestLazyPropHighProbability(t *testing.T) {
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 1, To: 2, P: 1},
+	})
+	if got := NewLazyProp(g, 1).Estimate(0, 2, 1000); got != 1 {
+		t.Errorf("certain chain via LP+ = %v, want 1", got)
+	}
+}
+
+// TestLazyPropLowProbability: very low probabilities are where the lazy
+// schedule pays off; the estimate must stay unbiased.
+func TestLazyPropLowProbability(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.01}})
+	const k = 400000
+	got := NewLazyProp(g, 3).Estimate(0, 1, k)
+	if math.Abs(got-0.01) > 0.002 {
+		t.Errorf("LP+ on p=0.01 edge: %.5f, want ≈ 0.01", got)
+	}
+}
+
+// TestLPHeap exercises the inlined binary heap directly.
+func TestLPHeap(t *testing.T) {
+	var h []lpEntry
+	rounds := []int64{5, 1, 9, 3, 3, 0, 7}
+	for i, rd := range rounds {
+		heapPush(&h, lpEntry{round: rd, slot: int32(i)})
+	}
+	prev := int64(-1)
+	for len(h) > 0 {
+		e := heapPop(&h)
+		if e.round < prev {
+			t.Fatalf("heap pop out of order: %d after %d", e.round, prev)
+		}
+		prev = e.round
+	}
+	// heapify path.
+	h = append(h[:0],
+		lpEntry{round: 4}, lpEntry{round: 2}, lpEntry{round: 6}, lpEntry{round: 1})
+	heapify(h)
+	if h[0].round != 1 {
+		t.Errorf("heapify min = %d, want 1", h[0].round)
+	}
+}
+
+// TestExactReferenceForLPGraphs cross-checks the LP test fixtures against
+// the exact baseline, guarding the expected values used above.
+func TestExactReferenceForLPGraphs(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.4},
+		{From: 1, To: 2, P: 0.4},
+		{From: 2, To: 3, P: 0.4},
+	})
+	want, err := exact.Enumerate(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-0.064) > 1e-12 {
+		t.Errorf("exact chain reliability %v, want 0.064", want)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// MC is the baseline Monte Carlo estimator (Fishman 1986), Algorithm 1 of
+// the paper: for each of the K samples it runs a BFS from s that samples
+// each encountered edge on demand with its probability, stopping early as
+// soon as t is reached. The fraction of samples in which t was reached is
+// an unbiased estimate of R(s,t) with variance R(1-R)/K (Eq. 3–4).
+type MC struct {
+	g     *uncertain.Graph
+	rng   *rng.Source
+	seen  *epochSet
+	queue []uncertain.NodeID
+}
+
+// NewMC returns an MC estimator over g with the given random seed.
+func NewMC(g *uncertain.Graph, seed uint64) *MC {
+	return &MC{
+		g:     g,
+		rng:   rng.New(seed),
+		seen:  newEpochSet(g.NumNodes()),
+		queue: make([]uncertain.NodeID, 0, 256),
+	}
+}
+
+// Name implements Estimator.
+func (mc *MC) Name() string { return "MC" }
+
+// Reseed implements Seeder.
+func (mc *MC) Reseed(seed uint64) { mc.rng.Seed(seed) }
+
+// Estimate implements Estimator.
+func (mc *MC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(mc.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if mc.sampleOnce(s, t) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// sampleOnce draws one possible world lazily and reports whether t is
+// reachable from s in it. Each edge is probed at most once per sample
+// because every node is dequeued at most once.
+func (mc *MC) sampleOnce(s, t uncertain.NodeID) bool {
+	g, r := mc.g, mc.rng
+	mc.seen.nextRound()
+	mc.seen.visit(s)
+	q := mc.queue[:0]
+	q = append(q, s)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		tos := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for i, w := range tos {
+			if mc.seen.visited(w) {
+				continue
+			}
+			if !r.Bernoulli(ps[i]) {
+				continue
+			}
+			if w == t {
+				mc.queue = q
+				return true
+			}
+			mc.seen.visit(w)
+			q = append(q, w)
+		}
+	}
+	mc.queue = q
+	return false
+}
+
+// MemoryBytes implements MemoryReporter: MC keeps only the visited set and
+// the BFS queue beyond the shared graph.
+func (mc *MC) MemoryBytes() int64 {
+	return mc.seen.bytes() + int64(cap(mc.queue))*4
+}

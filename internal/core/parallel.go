@@ -1,0 +1,107 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"relcomp/internal/uncertain"
+)
+
+// ParallelMC is a multi-core extension of the baseline Monte Carlo
+// estimator. The paper restricts its comparison to sequential algorithms
+// (its §1 explicitly excludes distributed ones); ParallelMC is the obvious
+// next step it leaves open: MC samples are embarrassingly parallel, so the
+// K-sample budget is sharded over W workers with independent RNG streams.
+// The estimate is statistically identical to MC's (same unbiasedness and
+// variance), only wall-clock time changes.
+//
+// Unlike the other estimators, ParallelMC's Estimate is itself safe for
+// the internal concurrency it manages, but the type still must not be
+// shared between goroutines.
+type ParallelMC struct {
+	g       *uncertain.Graph
+	seed    uint64
+	epoch   uint64
+	workers int
+	pool    sync.Pool // *MC workers
+}
+
+// NewParallelMC returns a ParallelMC with workers goroutines (0 means
+// GOMAXPROCS).
+func NewParallelMC(g *uncertain.Graph, seed uint64, workers int) *ParallelMC {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelMC{g: g, seed: seed, workers: workers}
+	p.pool.New = func() interface{} { return NewMC(g, seed) }
+	return p
+}
+
+// Name implements Estimator.
+func (p *ParallelMC) Name() string { return "ParallelMC" }
+
+// Reseed implements Seeder.
+func (p *ParallelMC) Reseed(seed uint64) {
+	p.seed = seed
+	p.epoch = 0
+}
+
+// Estimate implements Estimator: it shards k samples over the workers and
+// averages the per-shard hit counts.
+func (p *ParallelMC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(p.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	p.epoch++
+	workers := p.workers
+	if workers > k {
+		workers = k
+	}
+	hits := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := k / workers
+		if w < k%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			mc := p.pool.Get().(*MC)
+			// Derive an independent stream per (epoch, worker).
+			mc.Reseed(mix(p.seed, p.epoch, uint64(w)))
+			n := 0
+			for i := 0; i < share; i++ {
+				if mc.sampleOnce(s, t) {
+					n++
+				}
+			}
+			hits[w] = n
+			p.pool.Put(mc)
+		}(w, share)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	return float64(total) / float64(k)
+}
+
+// mix combines the seed, query epoch, and worker id into one stream seed
+// (splitmix64 finalizer).
+func mix(seed, epoch, worker uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*epoch + 0xbf58476d1ce4e5b9*worker + 1
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// MemoryBytes implements MemoryReporter: one MC scratch per worker.
+func (p *ParallelMC) MemoryBytes() int64 {
+	per := NewMC(p.g, 0).MemoryBytes()
+	return per * int64(p.workers)
+}
+
+var _ Estimator = (*ParallelMC)(nil)

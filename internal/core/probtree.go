@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// DefaultTreeWidth is the FWD decomposition width. The index is lossless
+// for widths up to 2 (Maniu et al., TODS 2017), so the paper fixes w = 2.
+const DefaultTreeWidth = 2
+
+// InnerFactory builds the estimator ProbTree runs on the spliced query
+// graph. The paper's default is MC; Section 3.8 couples ProbTree with LP+,
+// RHH and RSS through this hook.
+type InnerFactory func(g *uncertain.Graph, seed uint64) Estimator
+
+// ProbTree is the FWD (fixed-width tree decomposition) index of Maniu et
+// al. (TODS 2017), Algorithms 7–8 of the paper. Offline, nodes of degree
+// at most w are iteratively eliminated into "bags" holding their incident
+// probabilistic edges, and each bag's two-terminal reachability
+// probabilities are folded bottom-up into its parent. Online, an s-t query
+// splices together the bags on the leaf-to-root paths of s and t plus the
+// pre-computed contributions of all untouched branches, producing a small
+// equivalent graph on which any estimator can run.
+//
+// Following the paper's complexity adaptation, only reachability
+// probabilities (not full distance distributions) are pre-computed, making
+// the per-bag cost O(w²) instead of O(w²·d).
+type ProbTree struct {
+	g     *uncertain.Graph
+	width int
+	inner InnerFactory
+	rng   *rng.Source
+
+	bags  []ptBag
+	root  int
+	bagOf []int32 // node -> index of the bag covering it, -1 if in root
+
+	// Query scratch.
+	expandedStamp []int32
+	stampRound    int32
+	nodeOf        map[uncertain.NodeID]uncertain.NodeID
+	innerName     string
+}
+
+type ptBag struct {
+	covered  uncertain.NodeID // eliminated node (-1 for the root bag)
+	nodes    []uncertain.NodeID
+	raw      []uncertain.Edge // original edges owned by this bag
+	parent   int              // -1 for root
+	children []int
+	contrib  []uncertain.Edge // derived edges between the uncovered nodes
+}
+
+// NewProbTree builds the FWD index with the default width (2) and MC as
+// the inner estimator.
+func NewProbTree(g *uncertain.Graph, seed uint64) *ProbTree {
+	return NewProbTreeWith(g, seed, DefaultTreeWidth, nil)
+}
+
+// NewProbTreeWith builds the index with an explicit width and inner
+// estimator factory (nil means MC). Widths above 2 make the index lossy;
+// the constructor allows them for experimentation but the paper (and the
+// tests) use w <= 2.
+func NewProbTreeWith(g *uncertain.Graph, seed uint64, width int, inner InnerFactory) *ProbTree {
+	if width < 1 {
+		panic(fmt.Sprintf("core: ProbTree width %d must be >= 1", width))
+	}
+	name := "ProbTree"
+	if inner == nil {
+		inner = func(qg *uncertain.Graph, s uint64) Estimator { return NewMC(qg, s) }
+	} else {
+		probe := inner(uncertain.NewBuilder(1).Build(), 1)
+		if probe.Name() != "MC" {
+			name = "ProbTree+" + probe.Name()
+		}
+	}
+	pt := &ProbTree{
+		g:         g,
+		width:     width,
+		inner:     inner,
+		rng:       rng.New(seed),
+		innerName: name,
+	}
+	pt.build()
+	return pt
+}
+
+// Name implements Estimator.
+func (pt *ProbTree) Name() string { return pt.innerName }
+
+// Reseed implements Seeder.
+func (pt *ProbTree) Reseed(seed uint64) { pt.rng.Seed(seed) }
+
+// Width returns the decomposition width.
+func (pt *ProbTree) Width() int { return pt.width }
+
+// NumBags returns the number of bags including the root.
+func (pt *ProbTree) NumBags() int { return len(pt.bags) }
+
+// RootSize returns the number of nodes left in the root bag.
+func (pt *ProbTree) RootSize() int { return len(pt.bags[pt.root].nodes) }
+
+// build runs the three phases of Algorithm 7: relaxed fixed-width
+// decomposition, tree construction, and bottom-up reliability
+// pre-computation.
+func (pt *ProbTree) build() {
+	g := pt.g
+	n := g.NumNodes()
+
+	// --- Phase 1: elimination on the undirected skeleton. ---
+	// adj[v] = current undirected neighbor set (original + fill edges).
+	adj := make([]map[uncertain.NodeID]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[uncertain.NodeID]bool)
+	}
+	for _, e := range g.Edges() {
+		adj[e.From][e.To] = true
+		adj[e.To][e.From] = true
+	}
+
+	// Original directed edges between a node pair, keyed undirected.
+	type pairKey struct{ a, b uncertain.NodeID }
+	key := func(u, v uncertain.NodeID) pairKey {
+		if u > v {
+			u, v = v, u
+		}
+		return pairKey{u, v}
+	}
+	pairEdges := make(map[pairKey][]uncertain.EdgeID, g.NumEdges())
+	for id, e := range g.Edges() {
+		k := key(e.From, e.To)
+		pairEdges[k] = append(pairEdges[k], uncertain.EdgeID(id))
+	}
+	edgeMarked := make([]bool, g.NumEdges())
+	removed := make([]bool, n)
+
+	pt.bagOf = make([]int32, n)
+	for i := range pt.bagOf {
+		pt.bagOf[i] = -1
+	}
+
+	// Candidate queue of nodes with degree <= width, processed smallest
+	// degree first (lazily revalidated).
+	takeUnmarked := func(bag *ptBag, u, v uncertain.NodeID) {
+		for _, id := range pairEdges[key(u, v)] {
+			if !edgeMarked[id] {
+				edgeMarked[id] = true
+				bag.raw = append(bag.raw, g.Edge(id))
+			}
+		}
+	}
+
+	// Worklist elimination, smallest degree first, equivalent to
+	// Algorithm 7's "for d = 1..w: while there exists a node with degree
+	// d" but linear: buckets[d] holds candidate nodes whose degree was d
+	// when enqueued, lazily revalidated at pop time.
+	buckets := make([][]uncertain.NodeID, pt.width+1)
+	for v := 0; v < n; v++ {
+		if d := len(adj[v]); d >= 1 && d <= pt.width {
+			buckets[d] = append(buckets[d], uncertain.NodeID(v))
+		}
+	}
+	for {
+		var v uncertain.NodeID = -1
+	scan:
+		for d := 1; d <= pt.width; d++ {
+			for len(buckets[d]) > 0 {
+				cand := buckets[d][len(buckets[d])-1]
+				buckets[d] = buckets[d][:len(buckets[d])-1]
+				if !removed[cand] && len(adj[cand]) == d {
+					v = cand
+					break scan
+				}
+				if !removed[cand] {
+					// Stale entry: requeue under its current degree, and
+					// restart the sweep if that degree is lower.
+					if cd := len(adj[cand]); cd >= 1 && cd <= pt.width && cd != d {
+						buckets[cd] = append(buckets[cd], cand)
+						if cd < d {
+							d = cd - 1 // loop post-statement restores d = cd
+							continue scan
+						}
+					}
+				}
+			}
+		}
+		if v < 0 {
+			break
+		}
+		nbrs := pt.eliminate(v, adj, removed, takeUnmarked)
+		for _, u := range nbrs {
+			if d := len(adj[u]); d >= 1 && d <= pt.width {
+				buckets[d] = append(buckets[d], u)
+			}
+		}
+	}
+
+	// --- Root bag: everything left. ---
+	root := ptBag{covered: -1, parent: -1}
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			root.nodes = append(root.nodes, uncertain.NodeID(v))
+		}
+	}
+	for id, e := range g.Edges() {
+		if !edgeMarked[id] {
+			root.raw = append(root.raw, e)
+		}
+	}
+	pt.root = len(pt.bags)
+	pt.bags = append(pt.bags, root)
+
+	// --- Phase 2: parent links. ---
+	// A bag's uncovered nodes are all eliminated later than its covered
+	// node (or never); the bag covering the earliest-eliminated uncovered
+	// node contains the whole uncovered set thanks to the fill-in clique.
+	for i := range pt.bags {
+		if i == pt.root {
+			continue
+		}
+		b := &pt.bags[i]
+		parent := pt.root
+		best := int32(-1)
+		for _, u := range b.nodes {
+			if u == b.covered {
+				continue
+			}
+			if cov := pt.bagOf[u]; cov >= 0 && (best < 0 || cov < best) {
+				best = cov
+			}
+		}
+		if best >= 0 {
+			parent = int(best)
+		}
+		b.parent = parent
+		pt.bags[parent].children = append(pt.bags[parent].children, i)
+	}
+
+	// --- Phase 3: bottom-up contribution pre-computation. ---
+	// Bags were created in elimination order, so every child precedes its
+	// parent; one forward pass is bottom-up.
+	for i := range pt.bags {
+		if i == pt.root {
+			continue
+		}
+		pt.computeContribution(i)
+	}
+
+	pt.expandedStamp = make([]int32, len(pt.bags))
+	pt.nodeOf = make(map[uncertain.NodeID]uncertain.NodeID)
+}
+
+// eliminate removes v into a new bag, marking its incident unmarked edges
+// and adding the fill-in clique among its neighbors. It returns v's
+// neighbors so the caller can refresh its elimination worklist.
+func (pt *ProbTree) eliminate(
+	v uncertain.NodeID,
+	adj []map[uncertain.NodeID]bool,
+	removed []bool,
+	takeUnmarked func(bag *ptBag, u, w uncertain.NodeID),
+) []uncertain.NodeID {
+	nbrs := make([]uncertain.NodeID, 0, len(adj[v]))
+	for u := range adj[v] {
+		nbrs = append(nbrs, u)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+
+	bag := ptBag{covered: v}
+	bag.nodes = append(bag.nodes, v)
+	bag.nodes = append(bag.nodes, nbrs...)
+
+	// Own every unmarked original edge among the bag's nodes.
+	for i, u := range bag.nodes {
+		for _, w := range bag.nodes[i+1:] {
+			takeUnmarked(&bag, u, w)
+		}
+	}
+
+	// Remove v, add the fill-in clique among its neighbors.
+	for _, u := range nbrs {
+		delete(adj[u], v)
+	}
+	adj[v] = nil
+	removed[v] = true
+	for i, u := range nbrs {
+		for _, w := range nbrs[i+1:] {
+			adj[u][w] = true
+			adj[w][u] = true
+		}
+	}
+
+	pt.bagOf[v] = int32(len(pt.bags))
+	pt.bags = append(pt.bags, bag)
+	return nbrs
+}
+
+// computeContribution folds bag i's subtree into derived edges between its
+// uncovered nodes: for each ordered uncovered pair (a,b), the exact
+// probability that b is reachable from a within the bag's effective graph
+// (raw edges plus children contributions). With w <= 2 the bag graph has
+// at most 3 nodes, so exact enumeration is cheap and the fold is lossless
+// per direction.
+func (pt *ProbTree) computeContribution(i int) {
+	b := &pt.bags[i]
+	uncovered := make([]uncertain.NodeID, 0, len(b.nodes)-1)
+	for _, u := range b.nodes {
+		if u != b.covered {
+			uncovered = append(uncovered, u)
+		}
+	}
+	if len(uncovered) < 2 {
+		return
+	}
+
+	// Effective edge multiset.
+	eff := append([]uncertain.Edge(nil), b.raw...)
+	for _, c := range b.children {
+		eff = append(eff, pt.bags[c].contrib...)
+	}
+	if len(eff) == 0 {
+		return
+	}
+
+	for x := 0; x < len(uncovered); x++ {
+		for y := 0; y < len(uncovered); y++ {
+			if x == y {
+				continue
+			}
+			a, bb := uncovered[x], uncovered[y]
+			p := smallReliability(eff, a, bb)
+			if p > 0 {
+				b.contrib = append(b.contrib, uncertain.Edge{From: a, To: bb, P: p})
+			}
+		}
+	}
+}
+
+// smallReliability computes exact s-t reliability over an edge list with a
+// handful of distinct nodes (<= w+1 = 3 for the default width). Parallel
+// directed edges are merged with noisy-or first (exact, since edges are
+// independent); then all 2^m worlds of the merged list are enumerated.
+func smallReliability(edges []uncertain.Edge, s, t uncertain.NodeID) float64 {
+	merged := make(map[[2]uncertain.NodeID]float64, len(edges))
+	for _, e := range edges {
+		k := [2]uncertain.NodeID{e.From, e.To}
+		merged[k] = 1 - (1-merged[k])*(1-e.P)
+	}
+	type dedge struct {
+		from, to uncertain.NodeID
+		p        float64
+	}
+	list := make([]dedge, 0, len(merged))
+	for k, p := range merged {
+		list = append(list, dedge{k[0], k[1], p})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].from != list[j].from {
+			return list[i].from < list[j].from
+		}
+		return list[i].to < list[j].to
+	})
+	if len(list) > 20 {
+		panic(fmt.Sprintf("core: bag graph with %d merged edges exceeds exact fold limit", len(list)))
+	}
+
+	total := 0.0
+	for mask := uint32(0); mask < 1<<uint(len(list)); mask++ {
+		pr := 1.0
+		for i, e := range list {
+			if mask&(1<<uint(i)) != 0 {
+				pr *= e.p
+			} else {
+				pr *= 1 - e.p
+			}
+		}
+		if pr == 0 {
+			continue
+		}
+		// Tiny reachability over the selected edges.
+		reached := map[uncertain.NodeID]bool{s: true}
+		for changed := true; changed; {
+			changed = false
+			for i, e := range list {
+				if mask&(1<<uint(i)) != 0 && reached[e.from] && !reached[e.to] {
+					reached[e.to] = true
+					changed = true
+				}
+			}
+		}
+		if reached[t] {
+			total += pr
+		}
+	}
+	return total
+}
+
+// QueryGraph materializes the small equivalent graph for an s-t query
+// (Algorithm 8) and returns it together with the renamed endpoints. The
+// boolean result is false when s or t has no edges in the spliced graph,
+// in which case the reliability is 0 (or 1 if s == t).
+func (pt *ProbTree) QueryGraph(s, t uncertain.NodeID) (qg *uncertain.Graph, qs, qt uncertain.NodeID, ok bool) {
+	pt.stampRound++
+	stamp := pt.stampRound
+	// Expand the leaf-to-root chains of s and t.
+	for _, v := range []uncertain.NodeID{s, t} {
+		b := pt.bagOf[v]
+		for b >= 0 {
+			pt.expandedStamp[b] = stamp
+			b = int32(pt.bags[b].parent)
+		}
+	}
+	pt.expandedStamp[pt.root] = stamp
+
+	// Gather edges: every expanded bag donates its raw edges; every
+	// non-expanded child of an expanded bag donates its contribution.
+	var edges []uncertain.Edge
+	for i := range pt.bags {
+		if pt.expandedStamp[i] != stamp {
+			continue
+		}
+		edges = append(edges, pt.bags[i].raw...)
+		for _, c := range pt.bags[i].children {
+			if pt.expandedStamp[c] != stamp {
+				edges = append(edges, pt.bags[c].contrib...)
+			}
+		}
+	}
+
+	// Rename nodes densely.
+	nodeOf := pt.nodeOf
+	for k := range nodeOf {
+		delete(nodeOf, k)
+	}
+	id := uncertain.NodeID(0)
+	intern := func(v uncertain.NodeID) uncertain.NodeID {
+		nv, seen := nodeOf[v]
+		if !seen {
+			nv = id
+			nodeOf[v] = nv
+			id++
+		}
+		return nv
+	}
+	intern(s)
+	intern(t)
+	for _, e := range edges {
+		intern(e.From)
+		intern(e.To)
+	}
+
+	qb := uncertain.NewBuilder(int(id)).SetName("probtree-query")
+	for _, e := range edges {
+		qb.MustAddEdge(nodeOf[e.From], nodeOf[e.To], e.P)
+	}
+	return qb.Build(), nodeOf[s], nodeOf[t], len(edges) > 0
+}
+
+// Estimate implements Estimator: build the query graph, then run the inner
+// estimator on it with the full sample budget.
+func (pt *ProbTree) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(pt.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	qg, qs, qt, ok := pt.QueryGraph(s, t)
+	if !ok {
+		return 0
+	}
+	inner := pt.inner(qg, pt.rng.Uint64())
+	return inner.Estimate(qs, qt, k)
+}
+
+// IndexBytes returns the approximate index size: bag structure, raw edges
+// and contributions.
+func (pt *ProbTree) IndexBytes() int64 {
+	var bytes int64
+	for i := range pt.bags {
+		b := &pt.bags[i]
+		bytes += 32 // fixed fields
+		bytes += int64(len(b.nodes)) * 4
+		bytes += int64(len(b.raw)+len(b.contrib)) * 24
+		bytes += int64(len(b.children)) * 8
+	}
+	bytes += int64(len(pt.bagOf)) * 4
+	return bytes
+}
+
+// MemoryBytes implements MemoryReporter: the loaded index plus query
+// scratch.
+func (pt *ProbTree) MemoryBytes() int64 {
+	return pt.IndexBytes() + int64(len(pt.expandedStamp))*4
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// randomDAG builds a random DAG (edges only from lower to higher id), on
+// which the ProbTree fold is exact: reverse reachability is impossible, so
+// the direction-independence adaptation loses nothing.
+func randomDAG(r *rng.Source, n, m int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := uncertain.NodeID(r.Intn(n))
+		v := uncertain.NodeID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		b.MustAddEdge(u, v, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+// randomTree builds a random bi-directed tree; every node has skeleton
+// degree <= its child count + 1, so the decomposition collapses the whole
+// graph and the index must stay exact.
+func randomTree(r *rng.Source, n int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		parent := uncertain.NodeID(r.Intn(v))
+		p := 0.1 + 0.8*r.Float64()
+		b.MustAddEdge(uncertain.NodeID(v), parent, p)
+		b.MustAddEdge(parent, uncertain.NodeID(v), p)
+	}
+	return b.Build()
+}
+
+// queryGraphExact computes the exact reliability of the spliced query
+// graph, isolating the index transformation from sampling noise.
+func queryGraphExact(t *testing.T, pt *ProbTree, s, tt uncertain.NodeID) float64 {
+	t.Helper()
+	qg, qs, qt, ok := pt.QueryGraph(s, tt)
+	if !ok {
+		return 0
+	}
+	r, err := exact.Factoring(qg, qs, qt)
+	if err != nil {
+		t.Fatalf("exact on query graph: %v", err)
+	}
+	return r
+}
+
+// TestProbTreeLosslessOnTrees: on bi-directed trees the w=2 decomposition
+// must preserve reliability exactly (bags have at most one uncovered node,
+// so no approximation enters at all).
+func TestProbTreeLosslessOnTrees(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(9)
+		g := randomTree(r, n)
+		pt := NewProbTree(g, 1)
+		for q := 0; q < 5; q++ {
+			s := uncertain.NodeID(r.Intn(n))
+			tt := uncertain.NodeID(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			want, err := exact.Factoring(g, s, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := queryGraphExact(t, pt, s, tt)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("trial %d: tree query (%d,%d): index %.6f, exact %.6f",
+					trial, s, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestProbTreeLosslessOnDAGs: on DAGs only one direction per contribution
+// pair can be non-zero, so the fold is exact too.
+func TestProbTreeLosslessOnDAGs(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(7)
+		g := randomDAG(r, n, 3+r.Intn(10))
+		pt := NewProbTree(g, 1)
+		for q := 0; q < 4; q++ {
+			s := uncertain.NodeID(r.Intn(n))
+			tt := uncertain.NodeID(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			want, err := exact.Factoring(g, s, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := queryGraphExact(t, pt, s, tt)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("trial %d: DAG query (%d,%d): index %.6f, exact %.6f (m=%d)",
+					trial, s, tt, got, want, g.NumEdges())
+			}
+		}
+	}
+}
+
+// TestProbTreeNearLosslessGeneral: on general bi-directed graphs the
+// direction-independence adaptation may introduce tiny error; the paper
+// treats w=2 as lossless in practice. Assert the deviation stays small.
+func TestProbTreeNearLosslessGeneral(t *testing.T) {
+	r := rng.New(17)
+	worst := 0.0
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(6)
+		g := randomTestGraph(r, n, 3+r.Intn(9))
+		if g.NumEdges() > exact.MaxEnumerationEdges {
+			continue
+		}
+		pt := NewProbTree(g, 1)
+		for q := 0; q < 4; q++ {
+			s := uncertain.NodeID(r.Intn(n))
+			tt := uncertain.NodeID(r.Intn(n))
+			if s == tt {
+				continue
+			}
+			want, err := exact.Factoring(g, s, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := queryGraphExact(t, pt, s, tt)
+			if d := math.Abs(got - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst index deviation %.4f exceeds 0.05", worst)
+	}
+	t.Logf("worst ProbTree query-graph deviation from exact: %.6f", worst)
+}
+
+// TestProbTreeStructureInvariants checks the decomposition bookkeeping on
+// random graphs via testing/quick: every non-root node is covered exactly
+// once, parents contain their children's uncovered nodes, and parent
+// indices always point to later-created bags (or the root).
+func TestProbTreeStructureInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(20)
+		g := randomTestGraph(r, n, r.Intn(40))
+		pt := NewProbTree(g, 1)
+
+		coveredCount := make(map[uncertain.NodeID]int)
+		for i, b := range pt.bags {
+			if i == pt.root {
+				if b.covered != -1 {
+					return false
+				}
+				continue
+			}
+			coveredCount[b.covered]++
+			if b.parent == i || b.parent < 0 {
+				return false
+			}
+			if b.parent != pt.root && b.parent < i {
+				// Parents are eliminated after their children.
+				return false
+			}
+			parentNodes := make(map[uncertain.NodeID]bool)
+			for _, u := range pt.bags[b.parent].nodes {
+				parentNodes[u] = true
+			}
+			for _, u := range b.nodes {
+				if u != b.covered && !parentNodes[u] {
+					return false
+				}
+			}
+		}
+		for _, c := range coveredCount {
+			if c != 1 {
+				return false
+			}
+		}
+		// bagOf agrees with the bags.
+		for v := 0; v < n; v++ {
+			if bi := pt.bagOf[v]; bi >= 0 {
+				if pt.bags[bi].covered != uncertain.NodeID(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbTreeEdgeConservation: every original edge is owned by exactly
+// one bag (counting the root).
+func TestProbTreeEdgeConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(15)
+		g := randomTestGraph(r, n, r.Intn(30))
+		pt := NewProbTree(g, 1)
+		total := 0
+		for _, b := range pt.bags {
+			total += len(b.raw)
+		}
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbTreeQueryGraphSmaller: on tree-like graphs the spliced query
+// graph must be no larger than the original.
+func TestProbTreeQueryGraphSmaller(t *testing.T) {
+	r := rng.New(23)
+	g := randomTree(r, 200)
+	pt := NewProbTree(g, 1)
+	if pt.RootSize() > 3 {
+		t.Errorf("tree decomposition left %d nodes in the root", pt.RootSize())
+	}
+	qg, _, _, ok := pt.QueryGraph(5, 150)
+	if !ok {
+		t.Fatal("query graph empty for connected tree")
+	}
+	if qg.NumEdges() >= g.NumEdges() {
+		t.Errorf("query graph has %d edges, original %d: no reduction", qg.NumEdges(), g.NumEdges())
+	}
+}
+
+// TestProbTreeInnerCoupling: the coupled estimators produce consistent
+// estimates and carry composed names.
+func TestProbTreeInnerCoupling(t *testing.T) {
+	r := rng.New(29)
+	g := randomTree(r, 12)
+	want, err := exact.Factoring(g, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := map[string]InnerFactory{
+		"ProbTree+LP+": func(qg *uncertain.Graph, s uint64) Estimator { return NewLazyProp(qg, s) },
+		"ProbTree+RHH": func(qg *uncertain.Graph, s uint64) Estimator { return NewRHH(qg, s) },
+		"ProbTree+RSS": func(qg *uncertain.Graph, s uint64) Estimator { return NewRSS(qg, s) },
+	}
+	for name, f := range factories {
+		pt := NewProbTreeWith(g, 3, DefaultTreeWidth, f)
+		if pt.Name() != name {
+			t.Errorf("Name = %q, want %q", pt.Name(), name)
+		}
+		got := pt.Estimate(0, 11, 20000)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%s: R = %.4f, exact %.4f", name, got, want)
+		}
+	}
+}
+
+// TestProbTreeIndexRoundTrip: serialize + load must preserve structure and
+// estimates.
+func TestProbTreeIndexRoundTrip(t *testing.T) {
+	r := rng.New(31)
+	g := randomTestGraph(r, 30, 60)
+	pt := NewProbTree(g, 5)
+	var buf bytes.Buffer
+	if err := pt.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProbTree(g, &buf, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumBags() != pt.NumBags() || loaded.RootSize() != pt.RootSize() {
+		t.Fatalf("loaded index shape mismatch: bags %d/%d root %d/%d",
+			loaded.NumBags(), pt.NumBags(), loaded.RootSize(), pt.RootSize())
+	}
+	a := pt.Estimate(0, 29, 5000)
+	b := loaded.Estimate(0, 29, 5000)
+	if a != b {
+		t.Errorf("estimates diverge after round trip: %v vs %v", a, b)
+	}
+	// Loading against a mismatched graph must fail.
+	other := randomTestGraph(rng.New(32), 31, 60)
+	buf.Reset()
+	if err := pt.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProbTree(other, &buf, 5, nil); err == nil {
+		t.Error("LoadProbTree accepted an index for a different graph")
+	}
+}
+
+// TestSmallReliability sanity-checks the exact per-bag fold helper.
+func TestSmallReliability(t *testing.T) {
+	// Two parallel paths 0->1 direct (0.5) and 0->2->1 (0.6*0.7).
+	edges := []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 0, To: 2, P: 0.6},
+		{From: 2, To: 1, P: 0.7},
+	}
+	want := 1 - (1-0.5)*(1-0.6*0.7)
+	if got := smallReliability(edges, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("smallReliability = %v, want %v", got, want)
+	}
+	// Parallel duplicate edges merge with noisy-or.
+	dup := []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 0, To: 1, P: 0.5},
+	}
+	if got := smallReliability(dup, 0, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("parallel merge = %v, want 0.75", got)
+	}
+	if got := smallReliability(edges, 1, 0); got != 0 {
+		t.Errorf("reverse = %v, want 0", got)
+	}
+}
+
+// TestProbTreeWidthOne still produces valid estimates (degenerate
+// decomposition; only degree-1 chains collapse).
+func TestProbTreeWidthOne(t *testing.T) {
+	r := rng.New(37)
+	g := randomTree(r, 20)
+	pt := NewProbTreeWith(g, 1, 1, nil)
+	want, err := exact.Factoring(g, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := queryGraphExact(t, pt, 0, 19)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("w=1 index: %.6f, exact %.6f", got, want)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"relcomp/internal/uncertain"
+)
+
+// Advanced queries built on the six estimators. The paper notes (§2.9)
+// that "many of the efficient sampling and indexing strategies that we
+// investigate in this work can also be employed to answer such advanced
+// queries"; this file implements the two it repeatedly references:
+//
+//   - single-source / top-k reliability search — the query BFS Sharing was
+//     originally designed for (Zhu et al., ICDM 2015),
+//   - distance-constrained reachability — the query RHH was originally
+//     designed for (Jin et al., PVLDB 2011).
+
+// EstimateAll runs the shared BFS once and returns the reliability of
+// every node from the source s, which is what one BFS Sharing traversal
+// actually computes (the s-t query of Algorithm 2 just reads one entry).
+// The returned slice has one value per node; unvisited nodes have 0.
+func (b *BFSSharing) EstimateAll(s uncertain.NodeID, k int) []float64 {
+	// Reuse Estimate's traversal by querying any target; the node vectors
+	// left behind cover every reached node.
+	mustValidQuery(b.g, s, s, k)
+	if k > b.width {
+		panic(fmt.Sprintf("core: BFSSharing asked for %d samples but index width is %d", k, b.width))
+	}
+	// Run the traversal with t = s (never early-terminates BFS Sharing
+	// anyway — the method has no early termination).
+	b.Estimate(s, wrapTarget(s, b.g.NumNodes()), k)
+	out := make([]float64, b.g.NumNodes())
+	for v := range out {
+		if uncertain.NodeID(v) == s {
+			out[v] = 1
+			continue
+		}
+		if b.inSet[v] {
+			out[v] = float64(countPrefix(b.nodeBits.Vec(v), k)) / float64(k)
+		}
+	}
+	return out
+}
+
+// wrapTarget picks a target distinct from s so Estimate's validation
+// passes (single-node graphs keep s, where R = 1 trivially).
+func wrapTarget(s uncertain.NodeID, n int) uncertain.NodeID {
+	if n <= 1 {
+		return s
+	}
+	if s == 0 {
+		return 1
+	}
+	return 0
+}
+
+// Reliability pairs a node with its estimated reliability from a source.
+type Reliability struct {
+	Node uncertain.NodeID
+	R    float64
+}
+
+// TopKReliableTargets returns the k nodes with the highest estimated
+// reliability from s (excluding s itself), the top-k reliability search
+// of Zhu et al. When the estimator is a *BFSSharing, one shared traversal
+// answers the whole query; any other estimator is called once per
+// candidate node (quadratically slower, provided for comparison).
+func TopKReliableTargets(est Estimator, g *uncertain.Graph, s uncertain.NodeID, topK, samples int) ([]Reliability, error) {
+	if err := CheckQuery(g, s, s, samples); err != nil {
+		return nil, err
+	}
+	if topK <= 0 {
+		return nil, fmt.Errorf("core: topK %d must be positive", topK)
+	}
+	var all []Reliability
+	if bs, ok := est.(*BFSSharing); ok {
+		rs := bs.EstimateAll(s, samples)
+		for v, r := range rs {
+			if uncertain.NodeID(v) != s && r > 0 {
+				all = append(all, Reliability{uncertain.NodeID(v), r})
+			}
+		}
+	} else {
+		for v := uncertain.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if v == s {
+				continue
+			}
+			if r := est.Estimate(s, v, samples); r > 0 {
+				all = append(all, Reliability{v, r})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].R != all[j].R {
+			return all[i].R > all[j].R
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > topK {
+		all = all[:topK]
+	}
+	return all, nil
+}
+
+// DistanceConstrainedMC estimates the d-hop constrained reliability
+// R_d(s,t): the probability that t is reachable from s within at most d
+// hops — the query recursive sampling was originally proposed for. It is
+// a Monte Carlo estimator with the same guarantees as MC.
+type DistanceConstrainedMC struct {
+	mc   *MC
+	d    int
+	dist []int32
+}
+
+// NewDistanceConstrainedMC returns an estimator of R_d(s,t) with hop bound
+// d >= 1.
+func NewDistanceConstrainedMC(g *uncertain.Graph, seed uint64, d int) *DistanceConstrainedMC {
+	if d < 1 {
+		panic(fmt.Sprintf("core: distance bound %d must be >= 1", d))
+	}
+	return &DistanceConstrainedMC{
+		mc:   NewMC(g, seed),
+		d:    d,
+		dist: make([]int32, g.NumNodes()),
+	}
+}
+
+// Name implements Estimator.
+func (dc *DistanceConstrainedMC) Name() string { return fmt.Sprintf("MC(d<=%d)", dc.d) }
+
+// Reseed implements Seeder.
+func (dc *DistanceConstrainedMC) Reseed(seed uint64) { dc.mc.Reseed(seed) }
+
+// Bound returns the hop bound d.
+func (dc *DistanceConstrainedMC) Bound() int { return dc.d }
+
+// Estimate implements Estimator.
+func (dc *DistanceConstrainedMC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mc := dc.mc
+	mustValidQuery(mc.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if dc.sampleOnce(s, t) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// sampleOnce is MC's lazy BFS with a hop budget.
+func (dc *DistanceConstrainedMC) sampleOnce(s, t uncertain.NodeID) bool {
+	mc := dc.mc
+	g, r := mc.g, mc.rng
+	mc.seen.nextRound()
+	mc.seen.visit(s)
+	dc.dist[s] = 0
+	q := mc.queue[:0]
+	q = append(q, s)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		if int(dc.dist[v]) >= dc.d {
+			continue
+		}
+		tos := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for i, w := range tos {
+			if mc.seen.visited(w) {
+				continue
+			}
+			if !r.Bernoulli(ps[i]) {
+				continue
+			}
+			if w == t {
+				mc.queue = q
+				return true
+			}
+			mc.seen.visit(w)
+			dc.dist[w] = dc.dist[v] + 1
+			q = append(q, w)
+		}
+	}
+	mc.queue = q
+	return false
+}
+
+// MemoryBytes implements MemoryReporter.
+func (dc *DistanceConstrainedMC) MemoryBytes() int64 {
+	return dc.mc.MemoryBytes() + int64(len(dc.dist))*4
+}

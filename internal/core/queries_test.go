@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// --- ParallelMC ---
+
+func TestParallelMCMatchesExact(t *testing.T) {
+	r := rng.New(91)
+	g := randomTestGraph(r, 10, 24)
+	want, err := exact.Factoring(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		p := NewParallelMC(g, 5, workers)
+		got := p.Estimate(0, 9, 40000)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("workers=%d: %.4f, exact %.4f", workers, got, want)
+		}
+	}
+}
+
+func TestParallelMCEdgeCases(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	p := NewParallelMC(g, 1, 4)
+	if p.Name() != "ParallelMC" {
+		t.Errorf("name %q", p.Name())
+	}
+	if got := p.Estimate(1, 1, 10); got != 1 {
+		t.Errorf("R(1,1) = %v", got)
+	}
+	// More workers than samples.
+	if got := p.Estimate(0, 1, 2); got < 0 || got > 1 {
+		t.Errorf("tiny budget estimate %v", got)
+	}
+	if p.MemoryBytes() <= 0 {
+		t.Error("no memory reported")
+	}
+	p.Reseed(7)
+	a := p.Estimate(0, 1, 1000)
+	p.Reseed(7)
+	b := p.Estimate(0, 1, 1000)
+	if a != b {
+		t.Errorf("reseeded parallel estimates differ: %v vs %v", a, b)
+	}
+}
+
+// --- Single-source / top-k ---
+
+func TestEstimateAllMatchesPerPair(t *testing.T) {
+	r := rng.New(93)
+	g := randomTestGraph(r, 10, 25)
+	const k = 60000
+	bs := NewBFSSharing(g, 3, k)
+	all := bs.EstimateAll(0, k)
+	if len(all) != g.NumNodes() {
+		t.Fatalf("got %d values", len(all))
+	}
+	if all[0] != 1 {
+		t.Errorf("R(s,s) = %v", all[0])
+	}
+	for v := uncertain.NodeID(1); int(v) < g.NumNodes(); v++ {
+		want, err := exact.Factoring(g, 0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(all[v]-want) > 0.02 {
+			t.Errorf("node %d: %.4f, exact %.4f", v, all[v], want)
+		}
+	}
+}
+
+func TestTopKReliableTargets(t *testing.T) {
+	r := rng.New(97)
+	g := randomTestGraph(r, 12, 30)
+	const k = 4000
+	bs := NewBFSSharing(g, 3, k)
+	top, err := TopKReliableTargets(bs, g, 0, 5, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) > 5 {
+		t.Fatalf("returned %d > 5", len(top))
+	}
+	if !sort.SliceIsSorted(top, func(i, j int) bool {
+		if top[i].R != top[j].R {
+			return top[i].R > top[j].R
+		}
+		return top[i].Node < top[j].Node
+	}) {
+		t.Error("results not sorted by reliability")
+	}
+	for _, tr := range top {
+		if tr.Node == 0 {
+			t.Error("source included in top-k")
+		}
+	}
+
+	// Generic path (per-candidate estimation) must broadly agree on the
+	// membership of the very top entry.
+	mc := NewMC(g, 3)
+	topMC, err := TopKReliableTargets(mc, g, 0, 5, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) > 0 && len(topMC) > 0 {
+		if math.Abs(top[0].R-topMC[0].R) > 0.05 {
+			t.Errorf("BFSSharing top (%v) and MC top (%v) disagree", top[0], topMC[0])
+		}
+	}
+
+	if _, err := TopKReliableTargets(mc, g, 0, 0, k); err == nil {
+		t.Error("topK=0 accepted")
+	}
+	if _, err := TopKReliableTargets(mc, g, -1, 3, k); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+// --- Distance-constrained reliability ---
+
+// exactDistanceConstrained enumerates all worlds and checks reachability
+// within d hops, as the ground truth.
+func exactDistanceConstrained(g *uncertain.Graph, s, t uncertain.NodeID, d int) float64 {
+	m := g.NumEdges()
+	total := 0.0
+	for mask := uint64(0); mask < 1<<uint(m); mask++ {
+		pr := 1.0
+		for i, e := range g.Edges() {
+			if mask&(1<<uint(i)) != 0 {
+				pr *= e.P
+			} else {
+				pr *= 1 - e.P
+			}
+		}
+		// BFS with hop budget over present edges.
+		dist := map[uncertain.NodeID]int{s: 0}
+		queue := []uncertain.NodeID{s}
+		found := s == t
+		for head := 0; head < len(queue) && !found; head++ {
+			v := queue[head]
+			if dist[v] >= d {
+				continue
+			}
+			ids := g.OutEdgeIDs(v)
+			tos := g.OutNeighbors(v)
+			for i, id := range ids {
+				if mask&(1<<uint(id)) == 0 {
+					continue
+				}
+				w := tos[i]
+				if _, ok := dist[w]; ok {
+					continue
+				}
+				dist[w] = dist[v] + 1
+				if w == t {
+					found = true
+					break
+				}
+				queue = append(queue, w)
+			}
+		}
+		if found {
+			total += pr
+		}
+	}
+	return total
+}
+
+func TestDistanceConstrainedMC(t *testing.T) {
+	// 0->1->2 plus shortcut 0->2: R_1 uses only the shortcut, R_2 both.
+	g := testGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.8},
+		{From: 1, To: 2, P: 0.8},
+		{From: 0, To: 2, P: 0.3},
+	})
+	const k = 100000
+	for d := 1; d <= 3; d++ {
+		want := exactDistanceConstrained(g, 0, 2, d)
+		dc := NewDistanceConstrainedMC(g, 7, d)
+		got := dc.Estimate(0, 2, k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("d=%d: %.4f, exact %.4f", d, got, want)
+		}
+	}
+	// Unbounded d equals plain reliability.
+	want, err := exact.Factoring(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := NewDistanceConstrainedMC(g, 7, 10)
+	if got := dc.Estimate(0, 2, k); math.Abs(got-want) > 0.01 {
+		t.Errorf("large d: %.4f, plain exact %.4f", got, want)
+	}
+}
+
+func TestDistanceConstrainedMCMonotone(t *testing.T) {
+	r := rng.New(101)
+	g := randomTestGraph(r, 8, 20)
+	const k = 20000
+	prev := -1.0
+	for d := 1; d <= 6; d++ {
+		dc := NewDistanceConstrainedMC(g, 7, d)
+		got := dc.Estimate(0, 7, k)
+		if got < prev-0.02 {
+			t.Errorf("R_d not (approximately) monotone: d=%d gives %.4f after %.4f", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDistanceConstrainedMCValidation(t *testing.T) {
+	g := testGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	dc := NewDistanceConstrainedMC(g, 1, 2)
+	if dc.Name() != "MC(d<=2)" || dc.Bound() != 2 {
+		t.Errorf("name %q bound %d", dc.Name(), dc.Bound())
+	}
+	if dc.Estimate(0, 0, 10) != 1 {
+		t.Error("R_d(s,s) != 1")
+	}
+	if dc.MemoryBytes() <= 0 {
+		t.Error("no memory reported")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("d=0 did not panic")
+		}
+	}()
+	NewDistanceConstrainedMC(g, 1, 0)
+}

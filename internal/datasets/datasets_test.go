@@ -1,0 +1,182 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/uncertain"
+)
+
+func TestAllSpecsGenerate(t *testing.T) {
+	for _, spec := range All() {
+		g := spec.Generate(0.05, 7)
+		if g.NumNodes() < 8 {
+			t.Errorf("%s: only %d nodes", spec.Name, g.NumNodes())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", spec.Name)
+		}
+		if g.Name() != spec.Name {
+			t.Errorf("%s: graph named %q", spec.Name, g.Name())
+		}
+		for _, e := range g.Edges() {
+			if !(e.P > 0 && e.P <= 1) {
+				t.Fatalf("%s: edge probability %v out of range", spec.Name, e.P)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("lastFM"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range All() {
+		a := spec.Generate(0.05, 11)
+		b := spec.Generate(0.05, 11)
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed, different shapes", spec.Name)
+		}
+		for i := range a.Edges() {
+			if a.Edge(uncertain.EdgeID(i)) != b.Edge(uncertain.EdgeID(i)) {
+				t.Fatalf("%s: same seed, different edge %d", spec.Name, i)
+			}
+		}
+		c := spec.Generate(0.05, 12)
+		if a.NumEdges() == c.NumEdges() {
+			same := true
+			for i := range a.Edges() {
+				if a.Edge(uncertain.EdgeID(i)) != c.Edge(uncertain.EdgeID(i)) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds produced identical graphs", spec.Name)
+			}
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	small := LastFM(0.05, 3)
+	big := LastFM(0.2, 3)
+	if big.NumNodes() <= small.NumNodes() {
+		t.Errorf("scaling has no effect: %d vs %d", big.NumNodes(), small.NumNodes())
+	}
+}
+
+// TestLastFMProbabilityModel: edge probability is 1/outdeg of the source.
+func TestLastFMProbabilityModel(t *testing.T) {
+	g := LastFM(0.05, 5)
+	for v := uncertain.NodeID(0); int(v) < g.NumNodes(); v++ {
+		deg := g.OutDegree(v)
+		for _, p := range g.OutProbs(v) {
+			if math.Abs(p-1/float64(deg)) > 1e-9 {
+				t.Fatalf("node %d (deg %d): probability %v, want %v", v, deg, p, 1/float64(deg))
+			}
+		}
+	}
+}
+
+// TestNetHEPTProbabilityModel: probabilities come from {0.1, 0.01, 0.001}.
+func TestNetHEPTProbabilityModel(t *testing.T) {
+	g := NetHEPT(0.05, 5)
+	allowed := map[float64]bool{0.1: true, 0.01: true, 0.001: true}
+	counts := map[float64]int{}
+	for _, e := range g.Edges() {
+		if !allowed[e.P] {
+			t.Fatalf("probability %v outside the trinary model", e.P)
+		}
+		counts[e.P]++
+	}
+	for p := range allowed {
+		if counts[p] == 0 {
+			t.Errorf("probability %v never drawn", p)
+		}
+	}
+}
+
+// TestASTopologyProbabilityModel: snapshot-ratio probabilities are
+// multiples of 1/(window+1) in (0,1] and bi-directed with equal values.
+func TestASTopologyProbabilityModel(t *testing.T) {
+	g := ASTopology(0.05, 5)
+	for _, e := range g.Edges() {
+		if e.P <= 0 || e.P > 1 {
+			t.Fatalf("probability %v out of range", e.P)
+		}
+	}
+	s := g.ProbSummary()
+	if s.Mean < 0.1 || s.Mean > 0.5 {
+		t.Errorf("AS mean probability %.3f far from the paper's 0.23", s.Mean)
+	}
+}
+
+// TestDBLPProbabilityModel: both variants share topology; µ=5 yields
+// higher probabilities than µ=20, and every probability is 1-exp(-c/µ)
+// for integer c.
+func TestDBLPProbabilityModel(t *testing.T) {
+	g02 := DBLP02(0.05, 9)
+	g005 := DBLP005(0.05, 9)
+	if g02.NumEdges() != g005.NumEdges() {
+		t.Fatalf("DBLP variants differ in topology: %d vs %d edges", g02.NumEdges(), g005.NumEdges())
+	}
+	for i := range g02.Edges() {
+		e02, e005 := g02.Edge(uncertain.EdgeID(i)), g005.Edge(uncertain.EdgeID(i))
+		if e02.From != e005.From || e02.To != e005.To {
+			t.Fatal("DBLP variants have different edges")
+		}
+		if e02.P <= e005.P {
+			t.Fatalf("µ=5 probability %v not above µ=20 probability %v", e02.P, e005.P)
+		}
+		// c = -µ·ln(1-p) must be a positive integer (same for both).
+		c := -5 * math.Log(1-e02.P)
+		if math.Abs(c-math.Round(c)) > 1e-6 || c < 0.5 {
+			t.Fatalf("probability %v not of the form 1-exp(-c/5)", e02.P)
+		}
+	}
+	if m := g02.ProbSummary().Mean; m < 0.1 || m > 0.5 {
+		t.Errorf("DBLP 0.2 mean probability %.3f implausible", m)
+	}
+	if m := g005.ProbSummary().Mean; m > 0.2 {
+		t.Errorf("DBLP 0.05 mean probability %.3f implausible", m)
+	}
+}
+
+// TestBioMineDirected: BioMine is the one directed dataset — some reverse
+// edges must be missing.
+func TestBioMineDirected(t *testing.T) {
+	g := BioMine(0.05, 5)
+	reverse := make(map[[2]uncertain.NodeID]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		reverse[[2]uncertain.NodeID{e.From, e.To}] = true
+	}
+	asymmetric := 0
+	for _, e := range g.Edges() {
+		if !reverse[[2]uncertain.NodeID{e.To, e.From}] {
+			asymmetric++
+		}
+	}
+	if asymmetric == 0 {
+		t.Error("BioMine came out fully bi-directed")
+	}
+}
+
+// TestSizeOrdering: the stand-ins keep the paper's dataset size ordering.
+func TestSizeOrdering(t *testing.T) {
+	seed := uint64(4)
+	lfm := LastFM(0.1, seed)
+	hept := NetHEPT(0.1, seed)
+	as := ASTopology(0.1, seed)
+	dblp := DBLP02(0.1, seed)
+	if !(lfm.NumNodes() < hept.NumNodes() && hept.NumNodes() < as.NumNodes() && as.NumNodes() < dblp.NumNodes()) {
+		t.Errorf("node ordering broken: %d %d %d %d",
+			lfm.NumNodes(), hept.NumNodes(), as.NumNodes(), dblp.NumNodes())
+	}
+}

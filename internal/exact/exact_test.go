@@ -1,0 +1,267 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+func buildGraph(t *testing.T, n int, edges []uncertain.Edge) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return b.Build()
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleEdge(t *testing.T) {
+	g := buildGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.3}})
+	for _, fn := range []func(*uncertain.Graph, uncertain.NodeID, uncertain.NodeID) (float64, error){Enumerate, Factoring} {
+		r, err := fn(g, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(r, 0.3, 1e-12) {
+			t.Errorf("R(0,1) = %v, want 0.3", r)
+		}
+		// Reverse direction is unreachable.
+		r, err = fn(g, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 0 {
+			t.Errorf("R(1,0) = %v, want 0", r)
+		}
+	}
+}
+
+func TestSeriesPath(t *testing.T) {
+	// 0 -> 1 -> 2: reliability is the product of the edge probabilities.
+	g := buildGraph(t, 3, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 1, To: 2, P: 0.4},
+	})
+	want := 0.5 * 0.4
+	r, err := Enumerate(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, want, 1e-12) {
+		t.Errorf("Enumerate = %v, want %v", r, want)
+	}
+	r, err = Factoring(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, want, 1e-12) {
+		t.Errorf("Factoring = %v, want %v", r, want)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	// Two disjoint 0->x->3 paths: R = 1 - (1-p1p2)(1-p3p4).
+	g := buildGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 3, P: 0.8},
+		{From: 0, To: 2, P: 0.5},
+		{From: 2, To: 3, P: 0.7},
+	})
+	want := 1 - (1-0.9*0.8)*(1-0.5*0.7)
+	for _, fn := range []func(*uncertain.Graph, uncertain.NodeID, uncertain.NodeID) (float64, error){Enumerate, Factoring} {
+		r, err := fn(g, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(r, want, 1e-12) {
+			t.Errorf("R = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestBridgeGraph(t *testing.T) {
+	// The classic Wheatstone bridge: 0->1, 0->2, 1->3, 2->3, and bridge
+	// 1->2. Known closed form by conditioning on the bridge.
+	p := map[string]float64{"01": 0.6, "02": 0.5, "13": 0.55, "23": 0.45, "12": 0.3}
+	g := buildGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: p["01"]},
+		{From: 0, To: 2, P: p["02"]},
+		{From: 1, To: 3, P: p["13"]},
+		{From: 2, To: 3, P: p["23"]},
+		{From: 1, To: 2, P: p["12"]},
+	})
+	// Condition on bridge 1->2.
+	// Present: R = 1-(1-p01)(1-p02·...) — easier: with 1->2 present,
+	// paths: 0-1-3, 0-2-3, 0-1-2-3.
+	withBridge := func() float64 {
+		// Enumerate the remaining 4 edges exactly.
+		total := 0.0
+		edges := []struct {
+			name     string
+			from, to int
+		}{{"01", 0, 1}, {"02", 0, 2}, {"13", 1, 3}, {"23", 2, 3}}
+		for mask := 0; mask < 16; mask++ {
+			pr := 1.0
+			adj := map[int][]int{1: {2}} // bridge present
+			for i, e := range edges {
+				if mask&(1<<i) != 0 {
+					pr *= p[e.name]
+					adj[e.from] = append(adj[e.from], e.to)
+				} else {
+					pr *= 1 - p[e.name]
+				}
+			}
+			// reachability 0 -> 3
+			seen := map[int]bool{0: true}
+			stack := []int{0}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+			if seen[3] {
+				total += pr
+			}
+		}
+		return total
+	}()
+	withoutBridge := 1 - (1-p["01"]*p["13"])*(1-p["02"]*p["23"])
+	want := p["12"]*withBridge + (1-p["12"])*withoutBridge
+
+	for _, fn := range []func(*uncertain.Graph, uncertain.NodeID, uncertain.NodeID) (float64, error){Enumerate, Factoring} {
+		r, err := fn(g, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(r, want, 1e-12) {
+			t.Errorf("R = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestSourceEqualsTarget(t *testing.T) {
+	g := buildGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	r, err := Enumerate(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("R(1,1) = %v, want 1", r)
+	}
+	r, err = Factoring(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("R(0,0) = %v, want 1", r)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := buildGraph(t, 2, []uncertain.Edge{{From: 0, To: 1, P: 0.5}})
+	if _, err := Enumerate(g, -1, 1); err == nil {
+		t.Error("Enumerate accepted negative source")
+	}
+	if _, err := Factoring(g, 0, 99); err == nil {
+		t.Error("Factoring accepted out-of-range target")
+	}
+}
+
+func TestEnumerationLimit(t *testing.T) {
+	b := uncertain.NewBuilder(30)
+	for i := 0; i < 28; i++ {
+		if err := b.AddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if _, err := Enumerate(g, 0, 29); err == nil {
+		t.Error("Enumerate accepted graph above the edge limit")
+	}
+	// Factoring has no such limit and the chain has a product closed form.
+	r, err := Factoring(g, 0, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.5, 28)
+	if !almostEqual(r, want, 1e-15) {
+		t.Errorf("Factoring chain = %v, want %v", r, want)
+	}
+}
+
+// randomGraph builds a random graph with n nodes and m edges (valid by
+// construction, no self loops; parallel edges merge in the builder).
+func randomGraph(r *rng.Source, n, m int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		from := uncertain.NodeID(r.Intn(n))
+		to := uncertain.NodeID(r.Intn(n))
+		if from == to {
+			continue
+		}
+		p := 0.05 + 0.9*r.Float64()
+		b.MustAddEdge(from, to, p)
+	}
+	return b.Build()
+}
+
+// TestFactoringMatchesEnumeration cross-checks the two independent exact
+// algorithms on random small graphs.
+func TestFactoringMatchesEnumeration(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	seedCounter := uint64(0)
+	f := func(seed uint64) bool {
+		seedCounter++
+		r := rng.New(seed + seedCounter)
+		n := 2 + r.Intn(6)
+		m := r.Intn(11)
+		g := randomGraph(r, n, m)
+		if g.NumEdges() > MaxEnumerationEdges {
+			return true
+		}
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		re, err := Enumerate(g, s, tt)
+		if err != nil {
+			return false
+		}
+		rf, err := Factoring(g, s, tt)
+		if err != nil {
+			return false
+		}
+		return almostEqual(re, rf, 1e-9)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReliabilityBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(5)
+		g := randomGraph(r, n, r.Intn(9))
+		s := uncertain.NodeID(r.Intn(n))
+		tt := uncertain.NodeID(r.Intn(n))
+		rel, err := Factoring(g, s, tt)
+		if err != nil {
+			return false
+		}
+		return rel >= 0 && rel <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

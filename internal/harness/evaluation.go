@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"relcomp/internal/convergence"
+	"relcomp/internal/core"
+	"relcomp/internal/memtrack"
+	"relcomp/internal/uncertain"
+	"relcomp/internal/workload"
+)
+
+// EstEval holds everything the paper's tables report about one estimator
+// on one dataset: the convergence sweep, statistics at convergence and at
+// the fixed K=1000 the prior literature used, wall times, and memory.
+type EstEval struct {
+	Name      string
+	Sweep     convergence.Result
+	Converged bool
+	ConvK     int // K at convergence, or the sweep cap if never converged
+
+	StatsAtConv  convergence.PairStats
+	StatsAtFixed convergence.PairStats // at FixedK (1000 by default)
+
+	TimeAtConv  time.Duration // average per query at ConvK
+	TimeAtFixed time.Duration // average per query at FixedK
+	MemoryBytes int64         // online memory at convergence
+}
+
+// PerSample returns the average time per sample at convergence.
+func (e *EstEval) PerSample() time.Duration {
+	if e.ConvK == 0 {
+		return 0
+	}
+	return e.TimeAtConv / time.Duration(e.ConvK)
+}
+
+// DatasetEval bundles the evaluation of the full estimator set on one
+// dataset, including the MC-at-convergence per-pair baseline that the
+// relative errors of Eq. 14 are measured against.
+type DatasetEval struct {
+	Dataset  string
+	Graph    *uncertain.Graph
+	Pairs    []workload.Pair
+	FixedK   int
+	Ests     []*EstEval // in EstimatorSet order
+	Baseline []float64  // MC per-pair reliability at its convergence
+}
+
+// Est returns the evaluation of the named estimator.
+func (d *DatasetEval) Est(name string) (*EstEval, error) {
+	for _, e := range d.Ests {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: estimator %q not evaluated on %s", name, d.Dataset)
+}
+
+// RelErr returns Eq. 14 for the given per-pair means against the MC
+// baseline, as a percentage.
+func (d *DatasetEval) RelErr(means []float64) float64 {
+	re, err := convergence.RelativeError(means, d.Baseline)
+	if err != nil {
+		return 0
+	}
+	return re * 100
+}
+
+// Evaluate runs (and caches) the full estimator-set evaluation on a
+// dataset: convergence sweeps, fixed-K statistics, timings, and memory.
+func (r *Runner) Evaluate(dataset string) (*DatasetEval, error) {
+	if d, ok := r.evals[dataset]; ok {
+		return d, nil
+	}
+
+	g, err := r.Graph(dataset)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := r.Pairs(dataset, r.opts.Hops)
+	if err != nil {
+		return nil, err
+	}
+	fixedK := 1000
+	if fixedK > r.opts.MaxK {
+		fixedK = r.opts.MaxK
+	}
+	d := &DatasetEval{Dataset: dataset, Graph: g, Pairs: pairs, FixedK: fixedK}
+	cfg := r.convConfig()
+
+	for _, name := range EstimatorSet {
+		est, err := r.NewEstimator(name, g)
+		if err != nil {
+			return nil, err
+		}
+		ee := &EstEval{Name: name}
+		ee.Sweep = convergence.Sweep(est, pairs, cfg)
+		ee.Converged = ee.Sweep.ConvergedAt > 0
+		if ee.Converged {
+			ee.ConvK = ee.Sweep.ConvergedAt
+			ee.StatsAtConv = *ee.Sweep.AtConverged
+		} else {
+			ee.ConvK = cfg.MaxK
+			ee.StatsAtConv = convergence.Evaluate(est, pairs, ee.ConvK, cfg.Repeats, cfg.SeedBase)
+		}
+		ee.StatsAtFixed = convergence.Evaluate(est, pairs, fixedK, cfg.Repeats, cfg.SeedBase+1)
+
+		ee.TimeAtConv = perQueryTime(est, pairs, ee.ConvK)
+		ee.TimeAtFixed = perQueryTime(est, pairs, fixedK)
+		ee.MemoryBytes = measureMemory(est, pairs, ee.ConvK)
+		d.Ests = append(d.Ests, ee)
+	}
+
+	mc, err := d.Est("MC")
+	if err != nil {
+		return nil, err
+	}
+	d.Baseline = mc.StatsAtConv.Mean
+	r.evals[dataset] = d
+	return d, nil
+}
+
+// perQueryTime measures the average wall time per query at sample size k,
+// excluding any index resampling between queries.
+func perQueryTime(est core.Estimator, pairs []workload.Pair, k int) time.Duration {
+	if len(pairs) == 0 {
+		return 0
+	}
+	total := timeQueries(est, pairs, k)
+	return total / time.Duration(len(pairs))
+}
+
+// measureMemory reports the online memory of one query at sample size k:
+// the analytic resident footprint where available, otherwise the heap
+// delta of the call.
+func measureMemory(est core.Estimator, pairs []workload.Pair, k int) int64 {
+	if len(pairs) == 0 {
+		return memtrack.Bytes(est)
+	}
+	p := pairs[0]
+	return memtrack.Measure(est, func() { est.Estimate(p.S, p.T, k) })
+}
+
+// gb renders bytes as gigabytes with three decimals, the unit of Fig. 12.
+func gb(b int64) string { return fmt.Sprintf("%.4f", float64(b)/(1<<30)) }
+
+// secs renders a duration in seconds with three significant decimals.
+func secs(t time.Duration) string { return fmt.Sprintf("%.4f", t.Seconds()) }
+
+// ms renders a duration in milliseconds.
+func ms(t time.Duration) string { return fmt.Sprintf("%.4f", float64(t.Microseconds())/1000) }

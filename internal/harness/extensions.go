@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"relcomp/internal/bounds"
+	"relcomp/internal/convergence"
+	"relcomp/internal/repworld"
+)
+
+// Extension experiments covering the remaining branches of the paper's
+// taxonomy (Fig. 2): polynomial-time bounds and representative possible
+// worlds, each contrasted against the sampling estimators on the same
+// workloads.
+
+func init() {
+	register("ablation-bounds", "Extension: polynomial-time bounds vs MC estimates (all datasets)", runAblationBounds)
+	register("ablation-repworld", "Extension: representative-world heuristic vs MC (accuracy cost)", runAblationRepWorld)
+}
+
+// runAblationBounds checks, per dataset, how often the O(m log n) bounds
+// already bracket the sampled reliability tightly — when they do, a
+// practitioner can skip sampling entirely.
+func runAblationBounds(r *Runner, w io.Writer) error {
+	tbl := newTable(w)
+	tbl.row("Dataset", "avg lower", "avg MC", "avg upper", "avg gap", "violations")
+	for _, name := range []string{"lastFM", "NetHept", "AS_Topology", "BioMine"} {
+		g, err := r.Graph(name)
+		if err != nil {
+			return err
+		}
+		pairs, err := r.Pairs(name, r.opts.Hops)
+		if err != nil {
+			return err
+		}
+		mc, err := r.NewEstimator("MC", g)
+		if err != nil {
+			return err
+		}
+		k := 1000
+		if k > r.opts.MaxK {
+			k = r.opts.MaxK
+		}
+		st := convergence.Evaluate(mc, pairs, k, r.opts.Repeats, r.opts.Seed+13)
+
+		var loSum, hiSum, mcSum, gapSum float64
+		violations := 0
+		for i, p := range pairs {
+			lo, hi, err := bounds.Bounds(g, p.S, p.T)
+			if err != nil {
+				return err
+			}
+			est := st.Mean[i]
+			loSum += lo
+			hiSum += hi
+			mcSum += est
+			gapSum += hi - lo
+			// Allow sampling noise: 3 standard errors.
+			slack := 3 * math.Sqrt(st.Var[i]/float64(r.opts.Repeats))
+			if est < lo-slack-0.01 || est > hi+slack+0.01 {
+				violations++
+			}
+		}
+		n := float64(len(pairs))
+		tbl.row(name,
+			fmt.Sprintf("%.4f", loSum/n),
+			fmt.Sprintf("%.4f", mcSum/n),
+			fmt.Sprintf("%.4f", hiSum/n),
+			fmt.Sprintf("%.4f", gapSum/n),
+			violations)
+	}
+	tbl.flush()
+	fmt.Fprintln(w, "(violations counts MC estimates outside [lower-3se, upper+3se]; expected 0)")
+	return nil
+}
+
+// runAblationRepWorld quantifies the accuracy a single representative
+// world gives up against sampling: its answers are 0/1, so its absolute
+// error on mid-range reliabilities is structural, not statistical.
+func runAblationRepWorld(r *Runner, w io.Writer) error {
+	tbl := newTable(w)
+	tbl.row("Dataset", "avg |RepWorld - MC|", "avg |MC(rerun) - MC|", "discrepancy/node")
+	for _, name := range []string{"lastFM", "AS_Topology", "BioMine"} {
+		g, err := r.Graph(name)
+		if err != nil {
+			return err
+		}
+		pairs, err := r.Pairs(name, r.opts.Hops)
+		if err != nil {
+			return err
+		}
+		k := 1000
+		if k > r.opts.MaxK {
+			k = r.opts.MaxK
+		}
+		mc, err := r.NewEstimator("MC", g)
+		if err != nil {
+			return err
+		}
+		base := convergence.Evaluate(mc, pairs, k, r.opts.Repeats, r.opts.Seed+17)
+		rerun := convergence.Evaluate(mc, pairs, k, r.opts.Repeats, r.opts.Seed+18)
+
+		rw := repworld.NewEstimator(g)
+		var rwErr, mcErr float64
+		for i, p := range pairs {
+			rwErr += math.Abs(rw.Estimate(p.S, p.T, 1) - base.Mean[i])
+			mcErr += math.Abs(rerun.Mean[i] - base.Mean[i])
+		}
+		n := float64(len(pairs))
+		disc, err := repworld.Discrepancy(g, rw.World())
+		if err != nil {
+			return err
+		}
+		tbl.row(name,
+			fmt.Sprintf("%.4f", rwErr/n),
+			fmt.Sprintf("%.4f", mcErr/n),
+			fmt.Sprintf("%.3f", disc/float64(g.NumNodes())))
+	}
+	tbl.flush()
+	fmt.Fprintln(w, "(the representative world answers 0/1, so its error dwarfs re-sampling noise)")
+	return nil
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"relcomp/internal/convergence"
+	"relcomp/internal/datasets"
+)
+
+func init() {
+	register("fig5", "LP bias: reliability of MC vs LP+ vs LP at convergence (DBLP, BioMine)", runFig5)
+	register("fig7", "Estimator variance and convergence: ρ_K vs K on all datasets", runFig7)
+	register("fig8", "Reliability vs K against MC at very large K (BioMine)", runFig8)
+	register("fig9", "Trade-off: relative error / time / memory vs K (lastFM)", figTradeoff("lastFM"))
+	register("fig10", "Trade-off: relative error / time / memory vs K (AS Topology)", figTradeoff("AS_Topology"))
+	register("fig11", "Trade-off: relative error / time / memory vs K (BioMine)", figTradeoff("BioMine"))
+	register("fig12", "Online memory usage per estimator on all datasets", runFig12)
+}
+
+// runFig5 reproduces Figure 5: the uncorrected lazy-propagation sampler
+// (LP) overestimates reliability, while the corrected LP+ tracks MC.
+func runFig5(r *Runner, w io.Writer) error {
+	tbl := newTable(w)
+	tbl.row("Dataset", "MC", "LP+", "LP")
+	for _, name := range []string{"DBLP_0.2", "BioMine"} {
+		d, err := r.Evaluate(name)
+		if err != nil {
+			return err
+		}
+		mc, err := d.Est("MC")
+		if err != nil {
+			return err
+		}
+		lpp, err := d.Est("LP+")
+		if err != nil {
+			return err
+		}
+		// LP is not part of the regular estimator set: evaluate it at
+		// MC's convergence K.
+		lpEst, err := r.NewEstimator("LP", d.Graph)
+		if err != nil {
+			return err
+		}
+		lpStats := convergence.Evaluate(lpEst, d.Pairs, mc.ConvK, r.opts.Repeats, r.opts.Seed+99)
+		tbl.row(name,
+			fmt.Sprintf("%.4f", mc.StatsAtConv.RK()),
+			fmt.Sprintf("%.4f", lpp.StatsAtConv.RK()),
+			fmt.Sprintf("%.4f", lpStats.RK()))
+	}
+	tbl.flush()
+	return nil
+}
+
+// runFig7 reproduces Figure 7(a–f): for every dataset the sweep of the
+// dispersion ratio ρ_K = V_K/R_K per estimator, with the convergence K.
+func runFig7(r *Runner, w io.Writer) error {
+	for _, spec := range datasets.All() {
+		d, err := r.Evaluate(spec.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "-- %s --\n", spec.Name)
+		tbl := newTable(w)
+		tbl.row("Estimator", "K", "rho_K (x1e-3)", "V_K", "R_K", "converged")
+		for _, ee := range d.Ests {
+			for _, pt := range ee.Sweep.Curve {
+				conv := ""
+				if ee.Converged && pt.K == ee.ConvK {
+					conv = "<== convergence"
+				}
+				tbl.row(ee.Name, pt.K,
+					fmt.Sprintf("%.4f", pt.Rho*1000),
+					fmt.Sprintf("%.3g", pt.VK),
+					fmt.Sprintf("%.4f", pt.RK),
+					conv)
+			}
+			if !ee.Converged {
+				tbl.row(ee.Name, "-", "-", "-", "-", "did not converge by MaxK")
+			}
+		}
+		tbl.flush()
+	}
+	return nil
+}
+
+// runFig8 reproduces Figure 8: the reliability each estimator reports as K
+// grows, against MC at a very large K (the paper uses K=10000 ≈ 4×MaxK).
+func runFig8(r *Runner, w io.Writer) error {
+	const dataset = "BioMine"
+	d, err := r.Evaluate(dataset)
+	if err != nil {
+		return err
+	}
+	refK := 4 * r.opts.MaxK
+	mcRef, err := r.NewEstimator("MC", d.Graph)
+	if err != nil {
+		return err
+	}
+	refStats := convergence.Evaluate(mcRef, d.Pairs, refK, 1, r.opts.Seed+123)
+	fmt.Fprintf(w, "MC reference at K=%d: R = %.4f (dashed line in the paper)\n", refK, refStats.RK())
+
+	tbl := newTable(w)
+	tbl.row("Estimator", "K", "R_K", "convergence")
+	for _, ee := range d.Ests {
+		for _, pt := range ee.Sweep.Curve {
+			conv := ""
+			if ee.Converged && pt.K == ee.ConvK {
+				conv = "<== convergence"
+			}
+			tbl.row(ee.Name, pt.K, fmt.Sprintf("%.4f", pt.RK), conv)
+		}
+	}
+	tbl.flush()
+	return nil
+}
+
+// figTradeoff reproduces Figures 9–11: per sweep point, the relative error
+// against the MC baseline, the per-query running time, and the online
+// memory usage.
+func figTradeoff(dataset string) func(r *Runner, w io.Writer) error {
+	return func(r *Runner, w io.Writer) error {
+		d, err := r.Evaluate(dataset)
+		if err != nil {
+			return err
+		}
+		tbl := newTable(w)
+		tbl.row("Estimator", "K", "RelErr (%)", "Time (s)", "Memory (GB)")
+		for _, name := range EstimatorSet {
+			ee, err := d.Est(name)
+			if err != nil {
+				return err
+			}
+			est, err := r.NewEstimator(name, d.Graph)
+			if err != nil {
+				return err
+			}
+			for k := r.opts.InitialK; k <= ee.ConvK; k += r.opts.StepK {
+				st := convergence.Evaluate(est, d.Pairs, k, r.opts.Repeats, r.opts.Seed+uint64(k))
+				t := perQueryTime(est, d.Pairs, k)
+				mem := measureMemory(est, d.Pairs, k)
+				tbl.row(name, k,
+					fmt.Sprintf("%.3f", d.RelErr(st.Mean)),
+					secs(t), gb(mem))
+			}
+		}
+		tbl.flush()
+		return nil
+	}
+}
+
+// runFig12 reproduces Figure 12: the online memory usage of each estimator
+// at convergence, per dataset.
+func runFig12(r *Runner, w io.Writer) error {
+	tbl := newTable(w)
+	header := []interface{}{"Dataset"}
+	for _, n := range EstimatorSet {
+		header = append(header, n)
+	}
+	tbl.row(header...)
+	for _, spec := range datasets.All() {
+		d, err := r.Evaluate(spec.Name)
+		if err != nil {
+			return err
+		}
+		row := []interface{}{spec.Name}
+		for _, name := range EstimatorSet {
+			ee, err := d.Est(name)
+			if err != nil {
+				return err
+			}
+			row = append(row, gb(ee.MemoryBytes))
+		}
+		tbl.row(row...)
+	}
+	tbl.flush()
+	fmt.Fprintln(w, "(GB; expected ordering MC < LP+ < ProbTree < BFSSharing < RHH ≈ RSS)")
+	return nil
+}

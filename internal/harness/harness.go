@@ -1,0 +1,274 @@
+// Package harness orchestrates the paper's evaluation: it wires datasets,
+// query workloads, estimators, and the convergence machinery into one
+// runner per table and figure of the paper (see DESIGN.md §5 for the
+// experiment index). Every experiment prints the same rows or series the
+// paper reports, at a configurable scale.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"relcomp/internal/convergence"
+	"relcomp/internal/core"
+	"relcomp/internal/datasets"
+	"relcomp/internal/uncertain"
+	"relcomp/internal/workload"
+)
+
+// Options scales the evaluation. The zero value is not usable; start from
+// Defaults (laptop scale) or PaperScale (the paper's settings, hours of
+// compute).
+type Options struct {
+	Scale    float64 // dataset scale factor (1.0 = laptop default sizes)
+	Pairs    int     // s-t pairs per dataset (paper: 100)
+	Hops     int     // s-t shortest-path distance (paper: 2)
+	Repeats  int     // T repetitions behind each variance (paper: 100)
+	InitialK int     // first sample size (paper: 250)
+	StepK    int     // sweep step (paper: 250)
+	MaxK     int     // sweep cap (also the BFS Sharing index width bound)
+	Rho      float64 // convergence threshold (paper: 0.001)
+	Seed     uint64
+}
+
+// Defaults returns laptop-scale options: small enough that the full suite
+// finishes in minutes, large enough that every qualitative finding of the
+// paper reproduces.
+func Defaults() Options {
+	return Options{
+		Scale:    1.0,
+		Pairs:    20,
+		Hops:     2,
+		Repeats:  15,
+		InitialK: 250,
+		StepK:    250,
+		MaxK:     2500,
+		Rho:      convergence.DefaultRho,
+		Seed:     42,
+	}
+}
+
+// PaperScale returns the paper's settings (100 pairs, T=100). Running the
+// full suite at this scale takes hours even on the scaled-down datasets.
+func PaperScale() Options {
+	o := Defaults()
+	o.Pairs = 100
+	o.Repeats = 100
+	return o
+}
+
+// Runner caches datasets, workloads, and evaluations across experiments.
+type Runner struct {
+	opts   Options
+	graphs map[string]*uncertain.Graph
+	pairs  map[string][]workload.Pair // key: dataset/hops
+	evals  map[string]*DatasetEval
+}
+
+// NewRunner returns a Runner with the given options (zero fields replaced
+// by Defaults).
+func NewRunner(opts Options) *Runner {
+	d := Defaults()
+	if opts.Scale <= 0 {
+		opts.Scale = d.Scale
+	}
+	if opts.Pairs <= 0 {
+		opts.Pairs = d.Pairs
+	}
+	if opts.Hops <= 0 {
+		opts.Hops = d.Hops
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = d.Repeats
+	}
+	if opts.InitialK <= 0 {
+		opts.InitialK = d.InitialK
+	}
+	if opts.StepK <= 0 {
+		opts.StepK = d.StepK
+	}
+	if opts.MaxK <= 0 {
+		opts.MaxK = d.MaxK
+	}
+	if opts.Rho <= 0 {
+		opts.Rho = d.Rho
+	}
+	if opts.Seed == 0 {
+		opts.Seed = d.Seed
+	}
+	return &Runner{
+		opts:   opts,
+		graphs: make(map[string]*uncertain.Graph),
+		pairs:  make(map[string][]workload.Pair),
+		evals:  make(map[string]*DatasetEval),
+	}
+}
+
+// Options returns the runner's effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Graph returns (generating and caching) the named dataset.
+func (r *Runner) Graph(name string) (*uncertain.Graph, error) {
+	if g, ok := r.graphs[name]; ok {
+		return g, nil
+	}
+	spec, err := datasets.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Generate(r.opts.Scale, r.opts.Seed)
+	r.graphs[name] = g
+	return g, nil
+}
+
+// Pairs returns (generating and caching) the workload for a dataset at the
+// given hop distance.
+func (r *Runner) Pairs(name string, hops int) ([]workload.Pair, error) {
+	key := fmt.Sprintf("%s/%d", name, hops)
+	if p, ok := r.pairs[key]; ok {
+		return p, nil
+	}
+	g, err := r.Graph(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := workload.Pairs(g, r.opts.Pairs, hops, r.opts.Seed+uint64(hops))
+	if err != nil {
+		return nil, err
+	}
+	r.pairs[key] = p
+	return p, nil
+}
+
+// EstimatorSet names the six estimators in the paper's table order.
+var EstimatorSet = []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS"}
+
+// NewEstimator constructs one of the named estimators over g. BFS Sharing
+// is built with index width = the runner's MaxK.
+func (r *Runner) NewEstimator(name string, g *uncertain.Graph) (core.Estimator, error) {
+	seed := r.opts.Seed + 1
+	switch name {
+	case "MC":
+		return core.NewMC(g, seed), nil
+	case "BFSSharing":
+		return core.NewBFSSharing(g, seed, r.opts.MaxK), nil
+	case "ProbTree":
+		return core.NewProbTree(g, seed), nil
+	case "LP+":
+		return core.NewLazyProp(g, seed), nil
+	case "LP":
+		return core.NewLazyPropOriginal(g, seed), nil
+	case "RHH":
+		return core.NewRHH(g, seed), nil
+	case "RSS":
+		return core.NewRSS(g, seed), nil
+	case "ProbTree+LP+":
+		return core.NewProbTreeWith(g, seed, core.DefaultTreeWidth, func(qg *uncertain.Graph, s uint64) core.Estimator {
+			return core.NewLazyProp(qg, s)
+		}), nil
+	case "ProbTree+RHH":
+		return core.NewProbTreeWith(g, seed, core.DefaultTreeWidth, func(qg *uncertain.Graph, s uint64) core.Estimator {
+			return core.NewRHH(qg, s)
+		}), nil
+	case "ProbTree+RSS":
+		return core.NewProbTreeWith(g, seed, core.DefaultTreeWidth, func(qg *uncertain.Graph, s uint64) core.Estimator {
+			return core.NewRSS(qg, s)
+		}), nil
+	}
+	return nil, fmt.Errorf("harness: unknown estimator %q", name)
+}
+
+// convConfig translates the options into a convergence.Config.
+func (r *Runner) convConfig() convergence.Config {
+	return convergence.Config{
+		InitialK: r.opts.InitialK,
+		StepK:    r.opts.StepK,
+		MaxK:     r.opts.MaxK,
+		Repeats:  r.opts.Repeats,
+		Rho:      r.opts.Rho,
+		SeedBase: r.opts.Seed + 7,
+	}
+}
+
+// timeIt measures fn's wall time.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// timeQueries measures the total wall time of running est once on every
+// pair with sample size k, excluding index resampling.
+func timeQueries(est core.Estimator, pairs []workload.Pair, k int) time.Duration {
+	var total time.Duration
+	for _, p := range pairs {
+		total += timeIt(func() { est.Estimate(p.S, p.T, k) })
+	}
+	return total
+}
+
+// table is a small aligned-text table writer.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprint(t.tw, c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(r *Runner, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(name, title string, run func(r *Runner, w io.Writer) error) {
+	registry = append(registry, Experiment{Name: name, Title: title, Run: run})
+}
+
+// Experiments returns every registered experiment sorted by name.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (see `experiments -list`)", name)
+}
+
+// RunAll executes every experiment in registration (paper) order.
+func RunAll(r *Runner, w io.Writer) error {
+	for _, e := range registry {
+		fmt.Fprintf(w, "=== %s — %s ===\n", e.Name, e.Title)
+		if err := e.Run(r, w); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

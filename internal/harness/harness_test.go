@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOptions makes the experiments finish in seconds for testing.
+func tinyOptions() Options {
+	return Options{
+		Scale:    0.03,
+		Pairs:    4,
+		Hops:     2,
+		Repeats:  4,
+		InitialK: 100,
+		StepK:    100,
+		MaxK:     400,
+		Rho:      0.01, // loose threshold so sweeps converge fast
+		Seed:     5,
+	}
+}
+
+func TestRunnerDefaults(t *testing.T) {
+	r := NewRunner(Options{})
+	if r.Options() != Defaults() {
+		t.Errorf("zero options not replaced by defaults: %+v", r.Options())
+	}
+	p := PaperScale()
+	if p.Pairs != 100 || p.Repeats != 100 {
+		t.Errorf("paper scale wrong: %+v", p)
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	g1, err := r.Graph("lastFM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := r.Graph("lastFM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("graph not cached")
+	}
+	p1, err := r.Pairs("lastFM", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.Pairs("lastFM", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Error("pairs not cached")
+	}
+	if _, err := r.Graph("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNewEstimatorNames(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	g, err := r.Graph("lastFM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range append(append([]string{}, EstimatorSet...), "LP", "ProbTree+LP+", "ProbTree+RHH", "ProbTree+RSS") {
+		est, err := r.NewEstimator(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Name() != name {
+			t.Errorf("estimator %q reports name %q", name, est.Name())
+		}
+	}
+	if _, err := r.NewEstimator("bogus", g); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+func TestEvaluateProducesBaseline(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	d, err := r.Evaluate("lastFM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ests) != len(EstimatorSet) {
+		t.Fatalf("%d estimator evals", len(d.Ests))
+	}
+	if len(d.Baseline) != len(d.Pairs) {
+		t.Fatalf("baseline %d values for %d pairs", len(d.Baseline), len(d.Pairs))
+	}
+	mc, err := d.Est("MC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.ConvK <= 0 || mc.TimeAtConv < 0 {
+		t.Errorf("MC eval fields: %+v", mc)
+	}
+	if _, err := d.Est("nope"); err == nil {
+		t.Error("unknown estimator lookup accepted")
+	}
+	// Cache hit.
+	d2, err := r.Evaluate("lastFM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != d2 {
+		t.Error("evaluation not cached")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	want := []string{
+		"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17",
+		"table3", "table4", "table5", "table6", "table7", "table8",
+		"table9", "table10", "table11", "table12", "table13", "table14",
+		"table15", "table16",
+	}
+	for _, name := range want {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("experiment %s missing: %v", name, err)
+		}
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunAllExperiments executes every registered experiment end-to-end on
+// a tiny configuration: the integration test of the whole measurement
+// pipeline (datasets -> workloads -> estimators -> metrics -> tables).
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness integration test")
+	}
+	r := NewRunner(tinyOptions())
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := exp.Run(r, &buf); err != nil {
+				t.Fatalf("%s: %v", exp.Name, err)
+			}
+			out := buf.String()
+			if len(strings.TrimSpace(out)) == 0 {
+				t.Errorf("%s produced no output", exp.Name)
+			}
+		})
+	}
+}
+
+// TestRunAllTopLevel covers the RunAll driver on a pair of cheap
+// experiments by temporarily checking its formatting contract.
+func TestRunAllHeaderFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness integration test")
+	}
+	r := NewRunner(tinyOptions())
+	var buf bytes.Buffer
+	if err := RunAll(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== fig5", "=== table3", "=== table17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := newTable(&buf)
+	tbl.row("a", 1, 2.5)
+	tbl.row("bb", 10, "x")
+	tbl.flush()
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "bb") {
+		t.Errorf("table output %q", out)
+	}
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"relcomp/internal/convergence"
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+func init() {
+	register("fig14", "Sensitivity to s-t distance: convergence K and relative error (BioMine)", runFig14)
+	register("fig15", "Sensitivity to s-t distance: running time at convergence (BioMine)", runFig15)
+	register("fig16", "Sensitivity to the recursive sample-size threshold (BioMine, K=1000)", runFig16)
+	register("fig17", "Sensitivity to the stratum count r of RSS (BioMine)", runFig17)
+}
+
+// distanceSensitivity evaluates the estimator set on BioMine workloads at
+// hop distances 2, 4, 6, 8 and caches nothing (these runs are specific to
+// Figures 14–15).
+func (r *Runner) distanceSweeps(dataset string, hops []int) (map[int]map[string]distResult, *uncertain.Graph, error) {
+	g, err := r.Graph(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[int]map[string]distResult)
+	cfg := r.convConfig()
+	for _, h := range hops {
+		pairs, err := r.Pairs(dataset, h)
+		if err != nil {
+			// Large hop distances can be unreachable at small scales;
+			// report and skip.
+			out[h] = nil
+			continue
+		}
+		byEst := make(map[string]distResult)
+		var baseline []float64
+		for _, name := range EstimatorSet {
+			est, err := r.NewEstimator(name, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			sweep := convergence.Sweep(est, pairs, cfg)
+			convK := sweep.ConvergedAt
+			var st convergence.PairStats
+			if convK > 0 {
+				st = *sweep.AtConverged
+			} else {
+				convK = cfg.MaxK
+				st = convergence.Evaluate(est, pairs, convK, cfg.Repeats, cfg.SeedBase)
+			}
+			dr := distResult{
+				convK:     convK,
+				converged: sweep.ConvergedAt > 0,
+				stats:     st,
+				time:      perQueryTime(est, pairs, convK),
+			}
+			if name == "MC" {
+				baseline = st.Mean
+			}
+			byEst[name] = dr
+		}
+		for name, dr := range byEst {
+			re, err := convergence.RelativeError(dr.stats.Mean, baseline)
+			if err == nil {
+				dr.relErr = re * 100
+			}
+			byEst[name] = dr
+		}
+		out[h] = byEst
+	}
+	return out, g, nil
+}
+
+type distResult struct {
+	convK     int
+	converged bool
+	stats     convergence.PairStats
+	time      interface{ Seconds() float64 }
+	relErr    float64
+}
+
+var distHops = []int{2, 4, 6, 8}
+
+// runFig14 reproduces Figure 14: per hop distance h, the K needed for
+// convergence (a) and the relative error at convergence (b).
+func runFig14(r *Runner, w io.Writer) error {
+	sweeps, _, err := r.distanceSweeps("BioMine", distHops)
+	if err != nil {
+		return err
+	}
+	tbl := newTable(w)
+	tbl.row("Estimator", "h", "K(conv)", "R(conv)", "RelErr vs MC (%)")
+	for _, name := range EstimatorSet {
+		for _, h := range distHops {
+			byEst := sweeps[h]
+			if byEst == nil {
+				tbl.row(name, h, "-", "no pairs at this distance", "")
+				continue
+			}
+			dr := byEst[name]
+			kStr := fmt.Sprint(dr.convK)
+			if !dr.converged {
+				kStr = fmt.Sprintf(">%d", dr.convK)
+			}
+			tbl.row(name, h, kStr,
+				fmt.Sprintf("%.4f", dr.stats.RK()),
+				fmt.Sprintf("%.3f", dr.relErr))
+		}
+	}
+	tbl.flush()
+	return nil
+}
+
+// runFig15 reproduces Figure 15: running time at convergence per hop
+// distance, split into the paper's "faster" and "slower" estimator panels.
+func runFig15(r *Runner, w io.Writer) error {
+	sweeps, _, err := r.distanceSweeps("BioMine", distHops)
+	if err != nil {
+		return err
+	}
+	groups := [][]string{
+		{"ProbTree", "LP+", "RHH", "RSS"}, // Fig. 15(a) faster estimators
+		{"MC", "BFSSharing"},              // Fig. 15(b) slower estimators
+	}
+	for gi, grp := range groups {
+		fmt.Fprintf(w, "-- panel (%c) --\n", 'a'+gi)
+		tbl := newTable(w)
+		tbl.row("Estimator", "h", "Time@conv (s)")
+		for _, name := range grp {
+			for _, h := range distHops {
+				byEst := sweeps[h]
+				if byEst == nil {
+					tbl.row(name, h, "-")
+					continue
+				}
+				dr := byEst[name]
+				tbl.row(name, h, fmt.Sprintf("%.4f", dr.time.Seconds()))
+			}
+		}
+		tbl.flush()
+	}
+	return nil
+}
+
+// runFig16 reproduces Figure 16: variance and running time of RHH and RSS
+// as the non-recursive fallback threshold grows, with MC as the reference
+// line; the paper's sweet spot is threshold = 5.
+func runFig16(r *Runner, w io.Writer) error {
+	const dataset = "BioMine"
+	g, err := r.Graph(dataset)
+	if err != nil {
+		return err
+	}
+	pairs, err := r.Pairs(dataset, r.opts.Hops)
+	if err != nil {
+		return err
+	}
+	k := 1000
+	if k > r.opts.MaxK {
+		k = r.opts.MaxK
+	}
+
+	mc := core.NewMC(g, r.opts.Seed)
+	mcStats := convergence.Evaluate(mc, pairs, k, r.opts.Repeats, r.opts.Seed+5)
+	mcTime := perQueryTime(mc, pairs, k)
+	fmt.Fprintf(w, "MC reference at K=%d: variance %.3g, time %s s\n", k, mcStats.VK(), secs(mcTime))
+
+	thresholds := []int{2, 5, 10, 20, 50, 100}
+	tbl := newTable(w)
+	tbl.row("Method", "Threshold", "Variance", "Time (s)")
+	for _, th := range thresholds {
+		rhh := core.NewRHHThreshold(g, r.opts.Seed, th)
+		st := convergence.Evaluate(rhh, pairs, k, r.opts.Repeats, r.opts.Seed+uint64(th))
+		tbl.row("RHH", th, fmt.Sprintf("%.3g", st.VK()), secs(perQueryTime(rhh, pairs, k)))
+	}
+	for _, th := range thresholds {
+		rss := core.NewRSSParams(g, r.opts.Seed, th, core.DefaultStratumCount)
+		st := convergence.Evaluate(rss, pairs, k, r.opts.Repeats, r.opts.Seed+uint64(th))
+		tbl.row("RSS", th, fmt.Sprintf("%.3g", st.VK()), secs(perQueryTime(rss, pairs, k)))
+	}
+	tbl.flush()
+	return nil
+}
+
+// runFig17 reproduces Figure 17: variance and running time of RSS as the
+// stratum count r grows, at K=500 and K=1000; variance stops improving
+// past r = 50 and time is insensitive to r.
+func runFig17(r *Runner, w io.Writer) error {
+	const dataset = "BioMine"
+	g, err := r.Graph(dataset)
+	if err != nil {
+		return err
+	}
+	pairs, err := r.Pairs(dataset, r.opts.Hops)
+	if err != nil {
+		return err
+	}
+	ks := []int{500, 1000}
+	stratums := []int{5, 10, 20, 50, 80, 100}
+	tbl := newTable(w)
+	tbl.row("K", "r", "Variance", "Time (s)")
+	for _, k := range ks {
+		if k > r.opts.MaxK {
+			k = r.opts.MaxK
+		}
+		for _, sr := range stratums {
+			rss := core.NewRSSParams(g, r.opts.Seed, core.DefaultRecursiveThreshold, sr)
+			st := convergence.Evaluate(rss, pairs, k, r.opts.Repeats, r.opts.Seed+uint64(sr))
+			tbl.row(k, sr, fmt.Sprintf("%.3g", st.VK()), secs(perQueryTime(rss, pairs, k)))
+		}
+	}
+	tbl.flush()
+	return nil
+}

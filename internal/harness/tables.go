@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"relcomp/internal/convergence"
+	"relcomp/internal/datasets"
+)
+
+func init() {
+	for i, spec := range datasets.All() {
+		reTable := fmt.Sprintf("table%d", 3+i)
+		timeTable := fmt.Sprintf("table%d", 9+i)
+		name := spec.Name
+		register(reTable, "Relative error at convergence and at K=1000: "+name,
+			func(r *Runner, w io.Writer) error { return runRelErrTable(r, w, name) })
+		register(timeTable, "Running time at convergence, at K=1000, and per sample: "+name,
+			func(r *Runner, w io.Writer) error { return runTimeTable(r, w, name) })
+	}
+}
+
+// runRelErrTable reproduces Tables 3–8: per estimator, the convergence K,
+// the average reliability and relative error at convergence and at the
+// fixed K=1000 of the prior literature, plus the pairwise deviation of
+// relative errors across estimators (Eq. 15).
+func runRelErrTable(r *Runner, w io.Writer, dataset string) error {
+	d, err := r.Evaluate(dataset)
+	if err != nil {
+		return err
+	}
+	tbl := newTable(w)
+	tbl.row("Estimator", "K(conv)", "R(conv)", "RE(conv) %", fmt.Sprintf("R(K=%d)", d.FixedK), fmt.Sprintf("RE(K=%d) %%", d.FixedK))
+	var reConv, reFixed []float64
+	for _, ee := range d.Ests {
+		rc := d.RelErr(ee.StatsAtConv.Mean)
+		rf := d.RelErr(ee.StatsAtFixed.Mean)
+		reConv = append(reConv, rc)
+		reFixed = append(reFixed, rf)
+		tbl.row(ee.Name, ee.ConvK,
+			fmt.Sprintf("%.4f", ee.StatsAtConv.RK()),
+			fmt.Sprintf("%.2f", rc),
+			fmt.Sprintf("%.4f", ee.StatsAtFixed.RK()),
+			fmt.Sprintf("%.2f", rf))
+	}
+	tbl.row("Pairwise Deviation", "",
+		"", fmt.Sprintf("%.2f", convergence.PairwiseDeviation(reConv)),
+		"", fmt.Sprintf("%.2f", convergence.PairwiseDeviation(reFixed)))
+	tbl.flush()
+	return nil
+}
+
+// runTimeTable reproduces Tables 9–14: per estimator, the average
+// per-query running time at convergence and at K=1000, and the time per
+// sample in milliseconds.
+func runTimeTable(r *Runner, w io.Writer, dataset string) error {
+	d, err := r.Evaluate(dataset)
+	if err != nil {
+		return err
+	}
+	tbl := newTable(w)
+	tbl.row("Estimator", "K(conv)", "Time@conv (s)", fmt.Sprintf("Time@K=%d (s)", d.FixedK), "Time/sample (ms)")
+	for _, ee := range d.Ests {
+		tbl.row(ee.Name, ee.ConvK,
+			secs(ee.TimeAtConv),
+			secs(ee.TimeAtFixed),
+			ms(ee.PerSample()))
+	}
+	tbl.flush()
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package memtrack measures the online memory footprint of estimators for
+// the paper's memory comparison (Fig. 12). Two complementary measurements
+// are combined: the analytic resident-bytes report of estimators that
+// implement core.MemoryReporter (exact for index and scratch structures),
+// and the Go heap delta around a call (captures transient allocation).
+package memtrack
+
+import (
+	"runtime"
+
+	"relcomp/internal/core"
+)
+
+// Bytes returns the analytic memory footprint of est (0 if the estimator
+// does not report one).
+func Bytes(est core.Estimator) int64 {
+	if r, ok := est.(core.MemoryReporter); ok {
+		return r.MemoryBytes()
+	}
+	return 0
+}
+
+// HeapDelta runs fn and returns the growth of the Go heap across it, in
+// bytes (never negative). A GC is forced before each reading, so this is
+// suitable for coarse per-query accounting, not for micro-measurements.
+func HeapDelta(fn func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	d := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Measure runs fn and returns the larger of the analytic footprint after
+// the call and the heap delta across it, which is the "online memory
+// usage" number the harness reports.
+func Measure(est core.Estimator, fn func()) int64 {
+	delta := HeapDelta(fn)
+	if a := Bytes(est); a > delta {
+		return a
+	}
+	return delta
+}

@@ -1,0 +1,54 @@
+package memtrack
+
+import (
+	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+func fixture() *uncertain.Graph {
+	r := rng.New(3)
+	b := uncertain.NewBuilder(50)
+	for i := 0; i < 150; i++ {
+		u, v := uncertain.NodeID(r.Intn(50)), uncertain.NodeID(r.Intn(50))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.3+0.5*r.Float64())
+	}
+	return b.Build()
+}
+
+func TestBytes(t *testing.T) {
+	g := fixture()
+	mc := core.NewMC(g, 1)
+	if Bytes(mc) <= 0 {
+		t.Error("MC reports no analytic footprint")
+	}
+}
+
+// heapSink keeps the allocation live across the post-measurement GC.
+var heapSink []byte
+
+func TestHeapDeltaNonNegative(t *testing.T) {
+	if d := HeapDelta(func() {}); d < 0 {
+		t.Errorf("empty delta %d", d)
+	}
+	d := HeapDelta(func() { heapSink = make([]byte, 1<<22) })
+	if d < 1<<21 {
+		t.Errorf("4MiB allocation measured as %d bytes", d)
+	}
+	heapSink = nil
+}
+
+func TestMeasureCoversIndex(t *testing.T) {
+	g := fixture()
+	bs := core.NewBFSSharing(g, 1, 2048)
+	m := Measure(bs, func() { bs.Estimate(0, 49, 2048) })
+	// The analytic footprint (index + node vectors) must dominate here.
+	if m < bs.IndexBytes() {
+		t.Errorf("Measure %d below index size %d", m, bs.IndexBytes())
+	}
+}

@@ -1,0 +1,146 @@
+// Package repworld extracts a single representative possible world from an
+// uncertain graph, the "pursuit of a good possible world" branch of the
+// paper's taxonomy (Fig. 2, Parchas et al. SIGMOD 2014; Song et al.
+// DASFAA 2016). Queries on the representative world are deterministic and
+// extremely fast, at the cost of collapsing the probability distribution —
+// the paper classifies this as a *simplified version* of the reliability
+// problem, and the harness's ablation shows exactly what that
+// simplification costs in accuracy.
+//
+// The extraction follows the degree-based principle of ADR: include edges
+// so that every node's in/out degree in the representative world is as
+// close as possible to its expected degree in the uncertain graph.
+package repworld
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relcomp/internal/uncertain"
+)
+
+// Extract returns a deterministic subgraph of g (every kept edge with
+// probability 1) whose node degrees approximate the expected degrees of
+// g. The extraction is deterministic.
+func Extract(g *uncertain.Graph) *uncertain.Graph {
+	n := g.NumNodes()
+	expOut := make([]float64, n)
+	expIn := make([]float64, n)
+	for _, e := range g.Edges() {
+		expOut[e.From] += e.P
+		expIn[e.To] += e.P
+	}
+
+	// Greedy pass: consider edges by decreasing probability; keep an edge
+	// when both endpoints still fall short of their expected degree, i.e.
+	// keeping it reduces total degree discrepancy.
+	type cand struct {
+		e uncertain.Edge
+	}
+	cands := make([]cand, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		cands = append(cands, cand{e})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].e.P != cands[j].e.P {
+			return cands[i].e.P > cands[j].e.P
+		}
+		if cands[i].e.From != cands[j].e.From {
+			return cands[i].e.From < cands[j].e.From
+		}
+		return cands[i].e.To < cands[j].e.To
+	})
+
+	curOut := make([]float64, n)
+	curIn := make([]float64, n)
+	keep := make([]bool, len(cands))
+	// gain of adding edge (u,v): reduction of |curOut[u]-expOut[u]| +
+	// |curIn[v]-expIn[v]| when incrementing both by 1.
+	gain := func(e uncertain.Edge) float64 {
+		du := math.Abs(curOut[e.From]+1-expOut[e.From]) - math.Abs(curOut[e.From]-expOut[e.From])
+		dv := math.Abs(curIn[e.To]+1-expIn[e.To]) - math.Abs(curIn[e.To]-expIn[e.To])
+		return -(du + dv) // positive = discrepancy shrinks
+	}
+	for i, c := range cands {
+		if gain(c.e) > 0 {
+			keep[i] = true
+			curOut[c.e.From]++
+			curIn[c.e.To]++
+		}
+	}
+	// Rewiring pass: re-examine skipped edges once more; earlier greedy
+	// choices may have left residual capacity.
+	for i, c := range cands {
+		if keep[i] {
+			continue
+		}
+		if gain(c.e) > 0 {
+			keep[i] = true
+			curOut[c.e.From]++
+			curIn[c.e.To]++
+		}
+	}
+
+	b := uncertain.NewBuilder(n).SetName(g.Name() + "-repworld")
+	for i, c := range cands {
+		if keep[i] {
+			b.MustAddEdge(c.e.From, c.e.To, 1)
+		}
+	}
+	return b.Build()
+}
+
+// Discrepancy returns Σ_v |deg_world(v) − E[deg_G(v)]| over out- and
+// in-degrees: the objective the extraction minimizes (lower is more
+// representative).
+func Discrepancy(g, world *uncertain.Graph) (float64, error) {
+	if g.NumNodes() != world.NumNodes() {
+		return 0, fmt.Errorf("repworld: node counts differ (%d vs %d)", g.NumNodes(), world.NumNodes())
+	}
+	n := g.NumNodes()
+	expOut := make([]float64, n)
+	expIn := make([]float64, n)
+	for _, e := range g.Edges() {
+		expOut[e.From] += e.P
+		expIn[e.To] += e.P
+	}
+	d := 0.0
+	for v := uncertain.NodeID(0); int(v) < n; v++ {
+		d += math.Abs(float64(world.OutDegree(v)) - expOut[v])
+		d += math.Abs(float64(world.InDegree(v)) - expIn[v])
+	}
+	return d, nil
+}
+
+// Estimator answers s-t reliability queries on the representative world:
+// 1 if t is reachable from s in it, 0 otherwise, regardless of the sample
+// budget. It exists to quantify (in the harness ablation) how much
+// accuracy the one-world simplification gives up against sampling.
+type Estimator struct {
+	world *uncertain.Graph
+}
+
+// NewEstimator extracts the representative world of g once.
+func NewEstimator(g *uncertain.Graph) *Estimator {
+	return &Estimator{world: Extract(g)}
+}
+
+// World returns the extracted representative world.
+func (e *Estimator) World() *uncertain.Graph { return e.world }
+
+// Name implements the core.Estimator contract.
+func (e *Estimator) Name() string { return "RepWorld" }
+
+// Estimate implements the core.Estimator contract; k is ignored (the
+// answer is deterministic).
+func (e *Estimator) Estimate(s, t uncertain.NodeID, k int) float64 {
+	n := uncertain.NodeID(e.world.NumNodes())
+	if s < 0 || s >= n || t < 0 || t >= n || k <= 0 {
+		panic(fmt.Sprintf("repworld: invalid query (%d,%d,%d)", s, t, k))
+	}
+	if e.world.Reachable(s, t) {
+		return 1
+	}
+	return 0
+}

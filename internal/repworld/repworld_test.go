@@ -1,0 +1,171 @@
+package repworld
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/datasets"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+func randomGraph(r *rng.Source, n, m int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := uncertain.NodeID(r.Intn(n)), uncertain.NodeID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	g := datasets.LastFM(0.05, 9)
+	a, b := Extract(g), Extract(g)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("extraction not deterministic")
+	}
+	for i := range a.Edges() {
+		if a.Edge(uncertain.EdgeID(i)) != b.Edge(uncertain.EdgeID(i)) {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func TestExtractSubgraphWithCertainEdges(t *testing.T) {
+	r := rng.New(3)
+	g := randomGraph(r, 20, 60)
+	w := Extract(g)
+	orig := make(map[[2]uncertain.NodeID]bool)
+	for _, e := range g.Edges() {
+		orig[[2]uncertain.NodeID{e.From, e.To}] = true
+	}
+	for _, e := range w.Edges() {
+		if e.P != 1 {
+			t.Fatalf("representative edge with probability %v", e.P)
+		}
+		if !orig[[2]uncertain.NodeID{e.From, e.To}] {
+			t.Fatalf("edge (%d,%d) not in the original graph", e.From, e.To)
+		}
+	}
+}
+
+// TestExtractBeatsNaiveThreshold: the degree-based extraction must have a
+// discrepancy no worse than keeping all edges or the p>=0.5 threshold
+// world — the baseline Parchas et al. improve upon.
+func TestExtractBeatsNaiveThreshold(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g := datasets.BioMine(0.05, seed)
+		w := Extract(g)
+		dw, err := Discrepancy(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Threshold world.
+		b := uncertain.NewBuilder(g.NumNodes())
+		for _, e := range g.Edges() {
+			if e.P >= 0.5 {
+				b.MustAddEdge(e.From, e.To, 1)
+			}
+		}
+		dthr, err := Discrepancy(g, b.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full world.
+		bf := uncertain.NewBuilder(g.NumNodes())
+		for _, e := range g.Edges() {
+			bf.MustAddEdge(e.From, e.To, 1)
+		}
+		dfull, err := Discrepancy(g, bf.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dw > dthr || dw > dfull {
+			t.Errorf("seed %d: extraction discrepancy %.1f worse than threshold %.1f / full %.1f",
+				seed, dw, dthr, dfull)
+		}
+	}
+}
+
+// TestDiscrepancyProperty: discrepancy is non-negative and zero iff the
+// world matches expected degrees exactly (certain graphs reproduce
+// themselves).
+func TestDiscrepancyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(10)
+		// A certain graph: all probabilities 1.
+		b := uncertain.NewBuilder(n)
+		for i := 0; i < r.Intn(20); i++ {
+			u, v := uncertain.NodeID(r.Intn(n)), uncertain.NodeID(r.Intn(n))
+			if u == v {
+				continue
+			}
+			b.MustAddEdge(u, v, 1)
+		}
+		g := b.Build()
+		w := Extract(g)
+		d, err := Discrepancy(g, w)
+		if err != nil {
+			return false
+		}
+		// Expected degrees are integers; the extraction must match them
+		// exactly by keeping every edge.
+		return math.Abs(d) < 1e-9 && w.NumEdges() == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscrepancyMismatchedGraphs(t *testing.T) {
+	g1 := uncertain.NewBuilder(2).Build()
+	g2 := uncertain.NewBuilder(3).Build()
+	if _, err := Discrepancy(g1, g2); err == nil {
+		t.Error("mismatched node counts accepted")
+	}
+}
+
+func TestEstimator(t *testing.T) {
+	b := uncertain.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.99)
+	b.MustAddEdge(1, 2, 0.99)
+	g := b.Build()
+	e := NewEstimator(g)
+	if e.Name() != "RepWorld" {
+		t.Errorf("name %q", e.Name())
+	}
+	if e.World().NumNodes() != 3 {
+		t.Error("world shape")
+	}
+	// Near-certain chain must be kept.
+	if got := e.Estimate(0, 2, 1); got != 1 {
+		t.Errorf("R = %v on near-certain chain", got)
+	}
+	if got := e.Estimate(2, 0, 1); got != 0 {
+		t.Errorf("reverse R = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid query did not panic")
+		}
+	}()
+	e.Estimate(0, 5, 1)
+}
+
+// TestEstimatorCollapsesDistribution documents the known failure mode the
+// harness ablation quantifies: on a single 50/50 edge the representative
+// world must answer 0 or 1, never 0.5.
+func TestEstimatorCollapsesDistribution(t *testing.T) {
+	b := uncertain.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.5)
+	e := NewEstimator(b.Build())
+	got := e.Estimate(0, 1, 1000)
+	if got != 0 && got != 1 {
+		t.Errorf("representative estimate %v, want 0 or 1", got)
+	}
+}

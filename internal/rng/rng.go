@@ -1,0 +1,163 @@
+// Package rng provides fast, deterministic pseudo-random number generation
+// for the reliability estimators. Hot sampling loops draw billions of
+// variates, so the package uses a xoshiro256++ core seeded via splitmix64
+// rather than math/rand, and exposes the exact variates the estimators
+// need: uniform floats, Bernoulli trials against an edge probability, and
+// geometric "failures before first success" counts for lazy propagation.
+//
+// All generators in this package are deterministic given their seed and are
+// NOT safe for concurrent use; create one per goroutine.
+package rng
+
+import "math"
+
+// Source is a xoshiro256++ pseudo-random generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, so that nearby seeds
+// yield uncorrelated streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state from seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli reports whether a trial with success probability p succeeds.
+// p <= 0 never succeeds; p >= 1 always succeeds.
+func (r *Source) Bernoulli(p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling; the slight modulo bias
+	// of the plain multiply-shift is below 2^-32 for the n used here, but we
+	// do the rejection step anyway for correctness under testing/quick.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Geometric returns the number of failed Bernoulli(p) trials before the
+// first success, i.e. a variate X with P(X=k) = (1-p)^k p for k = 0,1,2,...
+// This matches the lazy-propagation semantics of Li et al. [30]: X is the
+// number of possible worlds to skip before the edge next exists.
+//
+// p must be in (0, 1]; p >= 1 always returns 0.
+func (r *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric with non-positive p")
+	}
+	// Inversion: X = floor(ln U / ln(1-p)), U uniform in (0,1).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	x := math.Floor(math.Log(u) / math.Log1p(-p))
+	if x < 0 {
+		return 0
+	}
+	const maxGeo = 1 << 40 // clamp pathological tails (p ~ 1e-12)
+	if x > maxGeo {
+		return maxGeo
+	}
+	return int(x)
+}
+
+// Perm fills dst with a uniformly random permutation of 0..len(dst)-1
+// (Fisher–Yates).
+func (r *Source) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Exp returns an exponential variate with rate lambda (mean 1/lambda).
+func (r *Source) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp with non-positive lambda")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / lambda
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseed did not reproduce stream at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean %.4f, want ≈ 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(3)
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		if math.Abs(rate-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) rate %.4f", p, rate)
+		}
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := New(4)
+	const n, draws = 7, 140000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d", n, v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d count %d, want ≈ %.0f", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(5).Intn(0)
+}
+
+// TestGeometricMean: E[X] = (1-p)/p for the failures-before-success
+// geometric.
+func TestGeometricMean(t *testing.T) {
+	r := New(6)
+	for _, p := range []float64{0.05, 0.3, 0.7, 1} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		mean := sum / n
+		want := (1 - p) / p
+		tol := 0.05 * (want + 0.02)
+		if math.Abs(mean-want) > tol+0.01 {
+			t.Errorf("Geometric(%v) mean %.4f, want %.4f", p, mean, want)
+		}
+	}
+}
+
+// TestGeometricDistribution: P(X=0) must equal p itself.
+func TestGeometricZeroMass(t *testing.T) {
+	r := New(8)
+	const p, n = 0.37, 200000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		if r.Geometric(p) == 0 {
+			zeros++
+		}
+	}
+	rate := float64(zeros) / n
+	if math.Abs(rate-p) > 0.01 {
+		t.Errorf("P(X=0) = %.4f, want %.4f", rate, p)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0) did not panic")
+		}
+	}()
+	New(9).Geometric(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%32)
+		dst := make([]int, n)
+		r.Perm(dst)
+		seen := make([]bool, n)
+		for _, v := range dst {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(10)
+	const lambda, n = 2.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(lambda)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Errorf("Exp(%v) mean %.4f, want %.4f", lambda, mean, 1/lambda)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	New(11).Exp(0)
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ x, y, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if a, b := r.Uint64(), r.Uint64(); a == 0 && b == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small set of statistical summaries the
+// experiment harness reports: streaming mean/variance (Welford), quartiles,
+// and distribution summaries matching Table 2 of the paper
+// ("Edge Prob: Mean, SD, Quartiles").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and (unbiased) sample variance.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations), matching Eq. 11 of the paper (divisor T-1).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs around its mean
+// (0 for fewer than two observations).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary describes a sample distribution in the format of the paper's
+// Table 2: mean ± standard deviation plus the three quartiles.
+type Summary struct {
+	N          int
+	Mean       float64
+	StdDev     float64
+	Q1, Q2, Q3 float64
+	Min, Max   float64
+}
+
+// Summarize computes a Summary of xs. It panics on empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: summarize empty slice")
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Q1:     Quantile(xs, 0.25),
+		Q2:     Quantile(xs, 0.50),
+		Q3:     Quantile(xs, 0.75),
+		Min:    Quantile(xs, 0),
+		Max:    Quantile(xs, 1),
+	}
+	return s
+}
+
+// String renders the summary in the paper's Table 2 style, e.g.
+// "0.29±0.25, {0.13, 0.20, 0.33}".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f±%.2f, {%.3g, %.3g, %.3g}", s.Mean, s.StdDev, s.Q1, s.Q2, s.Q3)
+}

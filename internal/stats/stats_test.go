@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			w.Add(xs[i])
+		}
+		return w.N() == n &&
+			math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.Variance()-Variance(xs)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not zero")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Error("single observation")
+	}
+	w.Add(7)
+	if !almost(w.Mean(), 6) || !almost(w.Variance(), 2) {
+		t.Errorf("two observations: mean %v var %v", w.Mean(), w.Variance())
+	}
+	if !almost(w.StdDev(), math.Sqrt(2)) {
+		t.Errorf("stddev %v", w.StdDev())
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("empty/singleton cases")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("mean %v", Mean(xs))
+	}
+	// Unbiased variance of this classic set: sum sq dev = 32, n-1 = 7.
+	if !almost(Variance(xs), 32.0/7) {
+		t.Errorf("variance %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7)) {
+		t.Errorf("stddev %v", StdDev(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.5, 4}, {-1, 1},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated (Quantile sorts a copy).
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Q2, 3) || !almost(s.Min, 1) || !almost(s.Max, 5) {
+		t.Errorf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(empty) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + int(seed%20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package uncertain
+
+import "fmt"
+
+// Condition returns the uncertain graph conditioned on partial knowledge
+// of the world: every edge in include definitely exists (probability 1)
+// and every edge in exclude definitely does not (removed). Reliability on
+// the conditioned graph equals the conditional reliability
+// R(s,t | E1 ⊆ world, E2 ∩ world = ∅) of the original graph — the
+// conditional-reliability query of Khan et al. (TKDE 2018), and the same
+// conditioning that underlies the recursive estimators' prefix groups.
+func Condition(g *Graph, include, exclude []EdgeID) (*Graph, error) {
+	m := EdgeID(g.NumEdges())
+	state := make([]int8, m)
+	for _, e := range include {
+		if e < 0 || e >= m {
+			return nil, fmt.Errorf("uncertain: include edge %d out of range [0,%d)", e, m)
+		}
+		state[e] = 1
+	}
+	for _, e := range exclude {
+		if e < 0 || e >= m {
+			return nil, fmt.Errorf("uncertain: exclude edge %d out of range [0,%d)", e, m)
+		}
+		if state[e] == 1 {
+			return nil, fmt.Errorf("uncertain: edge %d both included and excluded", e)
+		}
+		state[e] = -1
+	}
+	b := NewBuilder(g.NumNodes()).SetName(g.Name() + "-conditioned")
+	for id, e := range g.Edges() {
+		switch state[id] {
+		case -1:
+			continue
+		case 1:
+			b.MustAddEdge(e.From, e.To, 1)
+		default:
+			b.MustAddEdge(e.From, e.To, e.P)
+		}
+	}
+	return b.Build(), nil
+}
+
+// FindEdge returns the id of the edge from -> to, or -1 if absent.
+func (g *Graph) FindEdge(from, to NodeID) EdgeID {
+	if from < 0 || int(from) >= g.n {
+		return -1
+	}
+	ids := g.OutEdgeIDs(from)
+	tos := g.OutNeighbors(from)
+	for i, w := range tos {
+		if w == to {
+			return ids[i]
+		}
+	}
+	return -1
+}

@@ -1,0 +1,270 @@
+// Package uncertain implements the uncertain (probabilistic) graph model of
+// the paper: a directed graph G = (V, E, P) whose edges carry independent
+// existence probabilities in (0, 1]. Under possible-world semantics G
+// represents 2^m deterministic graphs, each obtained by keeping every edge e
+// independently with probability P(e) (Eq. 1 of the paper).
+//
+// The Graph type is an immutable compressed-sparse-row structure with both
+// out- and in-adjacency (the BFS Sharing estimator needs in-neighbors), and
+// is shared read-only by all estimators; per-query scratch state lives in
+// the estimators. Graphs are constructed through a Builder or the text I/O
+// in io.go.
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+
+	"relcomp/internal/stats"
+)
+
+// NodeID identifies a node; nodes are dense integers in [0, NumNodes).
+type NodeID = int32
+
+// EdgeID identifies an edge; edges are dense integers in [0, NumEdges).
+type EdgeID = int32
+
+// Edge is one directed probabilistic edge.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	P    float64
+}
+
+// Graph is an immutable uncertain graph in CSR form.
+type Graph struct {
+	name string
+	n    int
+
+	// Out-adjacency CSR: for node v, the edge slots are
+	// outIndex[v] .. outIndex[v+1].
+	outIndex []int32
+	outTo    []NodeID
+	outProb  []float64
+	outEdge  []EdgeID
+
+	// In-adjacency CSR (same edges, keyed by destination).
+	inIndex []int32
+	inFrom  []NodeID
+	inEdge  []EdgeID
+
+	edges []Edge
+}
+
+// Name returns the graph's human-readable name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E| (directed edges).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns the backing edge slice. Callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *Graph) OutDegree(v NodeID) int {
+	return int(g.outIndex[v+1] - g.outIndex[v])
+}
+
+// InDegree returns the number of incoming edges of v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inIndex[v+1] - g.inIndex[v])
+}
+
+// OutEdgeIDs returns the ids of v's outgoing edges. The slice aliases graph
+// storage and must not be modified.
+func (g *Graph) OutEdgeIDs(v NodeID) []EdgeID {
+	return g.outEdge[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// OutNeighbors returns the heads of v's outgoing edges, aligned with
+// OutProbs and OutEdgeIDs. The slice aliases graph storage.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	return g.outTo[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// OutProbs returns the probabilities of v's outgoing edges, aligned with
+// OutNeighbors. The slice aliases graph storage.
+func (g *Graph) OutProbs(v NodeID) []float64 {
+	return g.outProb[g.outIndex[v]:g.outIndex[v+1]]
+}
+
+// InEdgeIDs returns the ids of v's incoming edges. The slice aliases graph
+// storage.
+func (g *Graph) InEdgeIDs(v NodeID) []EdgeID {
+	return g.inEdge[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// InNeighbors returns the tails of v's incoming edges, aligned with
+// InEdgeIDs. The slice aliases graph storage.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	return g.inFrom[g.inIndex[v]:g.inIndex[v+1]]
+}
+
+// ProbSummary summarizes the edge-probability distribution in the style of
+// the paper's Table 2. It panics if the graph has no edges.
+func (g *Graph) ProbSummary() stats.Summary {
+	ps := make([]float64, len(g.edges))
+	for i, e := range g.edges {
+		ps[i] = e.P
+	}
+	return stats.Summarize(ps)
+}
+
+// MemoryBytes returns the approximate in-memory footprint of the CSR
+// structure, used by the harness's memory accounting.
+func (g *Graph) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(g.outIndex)+len(g.inIndex)) * 4
+	b += int64(len(g.outTo)+len(g.outEdge)+len(g.inFrom)+len(g.inEdge)) * 4
+	b += int64(len(g.outProb)) * 8
+	b += int64(len(g.edges)) * 24
+	return b
+}
+
+// String implements fmt.Stringer.
+func (g *Graph) String() string {
+	return fmt.Sprintf("uncertain.Graph{%s: n=%d m=%d}", g.name, g.n, len(g.edges))
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is not usable; construct with NewBuilder.
+type Builder struct {
+	name  string
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("uncertain: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// SetName sets the graph's name.
+func (b *Builder) SetName(name string) *Builder {
+	b.name = name
+	return b
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge adds a directed edge from -> to with existence probability p.
+// It returns an error if the endpoints are out of range, the edge is a self
+// loop, or p is outside (0, 1].
+func (b *Builder) AddEdge(from, to NodeID, p float64) error {
+	if from < 0 || int(from) >= b.n || to < 0 || int(to) >= b.n {
+		return fmt.Errorf("uncertain: edge (%d,%d) out of range [0,%d)", from, to, b.n)
+	}
+	if from == to {
+		return fmt.Errorf("uncertain: self loop at node %d", from)
+	}
+	if !(p > 0 && p <= 1) {
+		return fmt.Errorf("uncertain: edge (%d,%d) probability %v outside (0,1]", from, to, p)
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to, P: p})
+	return nil
+}
+
+// AddBidirected adds both directions of an undirected relation, each with
+// probability p, as the paper's bi-directed datasets (LastFM, NetHEPT,
+// DBLP) do.
+func (b *Builder) AddBidirected(u, v NodeID, p float64) error {
+	if err := b.AddEdge(u, v, p); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u, p)
+}
+
+// MustAddEdge is AddEdge that panics on error, for use in generators whose
+// inputs are valid by construction.
+func (b *Builder) MustAddEdge(from, to NodeID, p float64) {
+	if err := b.AddEdge(from, to, p); err != nil {
+		panic(err)
+	}
+}
+
+// Build produces the immutable Graph. Parallel edges (same from/to added
+// more than once) are merged into a single edge whose probability is the
+// probability that at least one copy exists: 1 - Π(1-p_i). Build leaves the
+// builder reusable but further edges will not affect the built graph.
+func (b *Builder) Build() *Graph {
+	edges := mergeParallel(b.edges)
+
+	g := &Graph{
+		name:  b.name,
+		n:     b.n,
+		edges: edges,
+	}
+	m := len(edges)
+
+	g.outIndex = make([]int32, b.n+1)
+	g.inIndex = make([]int32, b.n+1)
+	for _, e := range edges {
+		g.outIndex[e.From+1]++
+		g.inIndex[e.To+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.outIndex[v+1] += g.outIndex[v]
+		g.inIndex[v+1] += g.inIndex[v]
+	}
+
+	g.outTo = make([]NodeID, m)
+	g.outProb = make([]float64, m)
+	g.outEdge = make([]EdgeID, m)
+	g.inFrom = make([]NodeID, m)
+	g.inEdge = make([]EdgeID, m)
+
+	outPos := make([]int32, b.n)
+	inPos := make([]int32, b.n)
+	for id, e := range edges {
+		op := g.outIndex[e.From] + outPos[e.From]
+		g.outTo[op] = e.To
+		g.outProb[op] = e.P
+		g.outEdge[op] = EdgeID(id)
+		outPos[e.From]++
+
+		ip := g.inIndex[e.To] + inPos[e.To]
+		g.inFrom[ip] = e.From
+		g.inEdge[ip] = EdgeID(id)
+		inPos[e.To]++
+	}
+	return g
+}
+
+// mergeParallel sorts edges by (from, to) and merges duplicates with the
+// noisy-or combination 1 - Π(1-p).
+func mergeParallel(in []Edge) []Edge {
+	if len(in) == 0 {
+		return nil
+	}
+	edges := append([]Edge(nil), in...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		last := &out[len(out)-1]
+		if e.From == last.From && e.To == last.To {
+			q := (1 - last.P) * (1 - e.P)
+			last.P = 1 - q
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

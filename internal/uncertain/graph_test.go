@@ -1,0 +1,233 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/rng"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(3)
+	cases := []struct {
+		from, to NodeID
+		p        float64
+	}{
+		{-1, 0, 0.5},  // negative from
+		{0, 3, 0.5},   // to out of range
+		{1, 1, 0.5},   // self loop
+		{0, 1, 0},     // zero probability
+		{0, 1, -0.2},  // negative probability
+		{0, 1, 1.001}, // above one
+		{0, 1, math.NaN()},
+	}
+	for _, c := range cases {
+		if err := b.AddEdge(c.from, c.to, c.p); err == nil {
+			t.Errorf("AddEdge(%d,%d,%v) accepted", c.from, c.to, c.p)
+		}
+	}
+	if b.NumEdges() != 0 {
+		t.Errorf("invalid edges were recorded: %d", b.NumEdges())
+	}
+	if err := b.AddEdge(0, 1, 1.0); err != nil {
+		t.Errorf("p=1 rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative node count did not panic")
+		}
+	}()
+	NewBuilder(-1)
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	b := NewBuilder(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge did not panic")
+		}
+	}()
+	b.MustAddEdge(0, 0, 0.5)
+}
+
+func TestCSRConsistency(t *testing.T) {
+	b := NewBuilder(4).SetName("csr")
+	b.MustAddEdge(0, 1, 0.1)
+	b.MustAddEdge(0, 2, 0.2)
+	b.MustAddEdge(1, 2, 0.3)
+	b.MustAddEdge(3, 0, 0.4)
+	g := b.Build()
+
+	if g.Name() != "csr" || g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("basic shape wrong: %v", g)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 2 || g.OutDegree(2) != 0 {
+		t.Error("degrees wrong")
+	}
+	// Every out edge appears in the target's in-adjacency.
+	for v := NodeID(0); v < 4; v++ {
+		ids := g.OutEdgeIDs(v)
+		tos := g.OutNeighbors(v)
+		ps := g.OutProbs(v)
+		for i, id := range ids {
+			e := g.Edge(id)
+			if e.From != v || e.To != tos[i] || e.P != ps[i] {
+				t.Errorf("out slot mismatch at %d/%d", v, i)
+			}
+			found := false
+			for _, iid := range g.InEdgeIDs(e.To) {
+				if iid == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d missing from in-adjacency of %d", id, e.To)
+			}
+		}
+	}
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive")
+	}
+	if g.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestParallelEdgeMerge(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not merged: %d", g.NumEdges())
+	}
+	if got := g.Edge(0).P; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("merged probability %v, want 0.75 (noisy-or)", got)
+	}
+}
+
+func TestAddBidirected(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddBidirected(0, 1, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.NumEdges() != 2 || g.OutDegree(0) != 1 || g.OutDegree(1) != 1 {
+		t.Error("bidirected edge wrong")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph shape")
+	}
+	g2 := NewBuilder(5).Build()
+	if g2.OutDegree(3) != 0 || g2.InDegree(0) != 0 {
+		t.Error("edgeless graph degrees")
+	}
+}
+
+// Property: CSR round-trips the edge multiset (after dedup) for random
+// graphs.
+func TestCSRProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < r.Intn(60); i++ {
+			u, v := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if u == v {
+				continue
+			}
+			b.MustAddEdge(u, v, 0.01+0.99*r.Float64())
+		}
+		g := b.Build()
+		// Out-CSR and in-CSR must each cover every edge exactly once.
+		outSeen := make([]bool, g.NumEdges())
+		inSeen := make([]bool, g.NumEdges())
+		for v := NodeID(0); int(v) < n; v++ {
+			for _, id := range g.OutEdgeIDs(v) {
+				if outSeen[id] {
+					return false
+				}
+				outSeen[id] = true
+			}
+			for _, id := range g.InEdgeIDs(v) {
+				if inSeen[id] {
+					return false
+				}
+				inSeen[id] = true
+			}
+		}
+		for i := range outSeen {
+			if !outSeen[i] || !inSeen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbSummary(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.2)
+	b.MustAddEdge(1, 2, 0.4)
+	s := b.Build().ProbSummary()
+	if math.Abs(s.Mean-0.3) > 1e-12 || s.N != 2 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	b := NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	g := b.Build()
+	d := g.HopDistances(0, -1)
+	want := []int32{0, 1, 2, 3, -1}
+	for i, w := range want {
+		if d[i] != w {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+	d = g.HopDistances(0, 2)
+	if d[3] != -1 || d[2] != 2 {
+		t.Errorf("bounded BFS wrong: %v", d)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	g := b.Build()
+	if !g.Reachable(0, 1) || !g.Reachable(0, 0) {
+		t.Error("reachability false negative")
+	}
+	if g.Reachable(0, 3) || g.Reachable(1, 0) {
+		t.Error("reachability false positive")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	g := b.Build()
+	if d := g.Diameter(0); d != 3 {
+		t.Errorf("diameter %d, want 3", d)
+	}
+	if d := g.Diameter(2); d < 1 {
+		t.Errorf("sampled diameter %d", d)
+	}
+	if d := NewBuilder(0).Build().Diameter(0); d != 0 {
+		t.Errorf("empty diameter %d", d)
+	}
+}

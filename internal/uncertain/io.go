@@ -1,0 +1,127 @@
+package uncertain
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is one header line "n m" followed by m lines
+// "from to prob", whitespace separated, '#' comments and blank lines
+// ignored. This matches the layout the original RelComp C++ release uses
+// for its datasets.
+
+// Write serializes g to w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", g.Name()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.From, e.To, e.P); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from r in the text format. The optional name is
+// attached to the returned graph.
+func Read(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var b *Builder
+	wantEdges := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("uncertain: line %d: want header \"n m\", got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("uncertain: line %d: bad node count: %v", line, err)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("uncertain: line %d: bad edge count: %v", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("uncertain: line %d: negative header values", line)
+			}
+			b = NewBuilder(n).SetName(name)
+			wantEdges = m
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("uncertain: line %d: want \"from to prob\", got %q", line, text)
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: bad from: %v", line, err)
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: bad to: %v", line, err)
+		}
+		p, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: bad probability: %v", line, err)
+		}
+		if err := b.AddEdge(NodeID(from), NodeID(to), p); err != nil {
+			return nil, fmt.Errorf("uncertain: line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("uncertain: empty input")
+	}
+	if b.NumEdges() != wantEdges {
+		return nil, fmt.Errorf("uncertain: header promised %d edges, got %d", wantEdges, b.NumEdges())
+	}
+	return b.Build(), nil
+}
+
+// WriteFile writes g to path in the text format.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a graph from path; the graph's name is the path's base.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	return Read(f, name)
+}

@@ -1,0 +1,93 @@
+package uncertain
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := NewBuilder(4).SetName("roundtrip")
+	b.MustAddEdge(0, 1, 0.25)
+	b.MustAddEdge(1, 2, 0.5)
+	b.MustAddEdge(3, 0, 0.125)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %v vs %v", g2, g)
+	}
+	for i, e := range g.Edges() {
+		if g2.Edge(EdgeID(i)) != e {
+			t.Errorf("edge %d changed: %v vs %v", i, g2.Edge(EdgeID(i)), e)
+		}
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"comment only":     "# nothing\n",
+		"bad header":       "x y\n",
+		"header too short": "3\n",
+		"negative header":  "-1 2\n",
+		"bad edge arity":   "2 1\n0 1\n",
+		"bad from":         "2 1\nx 1 0.5\n",
+		"bad to":           "2 1\n0 y 0.5\n",
+		"bad prob":         "2 1\n0 1 z\n",
+		"prob zero":        "2 1\n0 1 0\n",
+		"prob above one":   "2 1\n0 1 1.5\n",
+		"self loop":        "2 1\n0 0 0.5\n",
+		"out of range":     "2 1\n0 5 0.5\n",
+		"count mismatch":   "2 2\n0 1 0.5\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input), "bad"); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	input := "# header comment\n\n3 2\n# edges\n0 1 0.5\n\n1 2 0.25\n"
+	g, err := Read(strings.NewReader(input), "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges %d, want 2", g.NumEdges())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 2, 0.75)
+	g := b.Build()
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name() != "g.txt" {
+		t.Errorf("name %q", g2.Name())
+	}
+	if g2.NumEdges() != 1 || g2.Edge(0).P != 0.75 {
+		t.Error("content changed")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.txt")); !os.IsNotExist(err) {
+		t.Errorf("missing file: got %v, want not-exist error", err)
+	}
+}

@@ -1,0 +1,83 @@
+package uncertain
+
+// Deterministic traversals over the graph skeleton (probabilities ignored).
+// These support workload generation (h-hop pair selection) and structural
+// checks inside the estimators.
+
+// HopDistances returns the BFS hop distance from s to every node over the
+// directed skeleton, with -1 for unreachable nodes. maxHops < 0 means
+// unbounded.
+func (g *Graph) HopDistances(s NodeID, maxHops int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[s] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && int(dist[v]) >= maxHops {
+			continue
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Reachable reports whether t is reachable from s over the directed
+// skeleton (every edge assumed present).
+func (g *Graph) Reachable(s, t NodeID) bool {
+	if s == t {
+		return true
+	}
+	seen := make([]bool, g.n)
+	seen[s] = true
+	stack := []NodeID{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.OutNeighbors(v) {
+			if w == t {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// Diameter returns the longest finite BFS eccentricity over a sample of
+// source nodes (all nodes if sample <= 0 or sample >= n). It is an estimate
+// used only for reporting, not for correctness.
+func (g *Graph) Diameter(sample int) int {
+	if g.n == 0 {
+		return 0
+	}
+	step := 1
+	if sample > 0 && sample < g.n {
+		step = g.n / sample
+		if step == 0 {
+			step = 1
+		}
+	}
+	best := 0
+	for s := 0; s < g.n; s += step {
+		dist := g.HopDistances(NodeID(s), -1)
+		for _, d := range dist {
+			if int(d) > best {
+				best = int(d)
+			}
+		}
+	}
+	return best
+}

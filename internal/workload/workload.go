@@ -1,0 +1,66 @@
+// Package workload generates the s-t query workloads of the paper's
+// evaluation: pairs of distinct nodes whose shortest-path distance over the
+// graph skeleton is exactly h hops (h = 2 by default; the sensitivity study
+// of Section 3.9 uses h up to 8). The same pairs are used for every
+// estimator on a dataset, which is the paper's central fairness requirement.
+package workload
+
+import (
+	"fmt"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// Pair is one s-t reliability query.
+type Pair struct {
+	S, T uncertain.NodeID
+}
+
+// Pairs draws count distinct s-t pairs at exact hop distance h: sources are
+// sampled uniformly, and for each source one target is picked uniformly
+// among the nodes exactly h hops away (paper §3.1.3). Sources without any
+// h-hop target are redrawn. It returns an error if the graph cannot supply
+// count distinct pairs within a bounded number of attempts.
+func Pairs(g *uncertain.Graph, count, h int, seed uint64) ([]Pair, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("workload: pair count %d must be positive", count)
+	}
+	if h <= 0 {
+		return nil, fmt.Errorf("workload: hop distance %d must be positive", h)
+	}
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("workload: graph has %d nodes, need at least 2", n)
+	}
+	r := rng.New(seed)
+	seen := make(map[Pair]bool, count)
+	pairs := make([]Pair, 0, count)
+	candidates := make([]uncertain.NodeID, 0, 256)
+
+	maxAttempts := 200 * count
+	for attempt := 0; attempt < maxAttempts && len(pairs) < count; attempt++ {
+		s := uncertain.NodeID(r.Intn(n))
+		dist := g.HopDistances(s, h)
+		candidates = candidates[:0]
+		for v, d := range dist {
+			if int(d) == h {
+				candidates = append(candidates, uncertain.NodeID(v))
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		t := candidates[r.Intn(len(candidates))]
+		p := Pair{S: s, T: t}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	if len(pairs) < count {
+		return nil, fmt.Errorf("workload: only found %d/%d pairs at distance %d", len(pairs), count, h)
+	}
+	return pairs, nil
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"relcomp/internal/datasets"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+func chain(n int) *uncertain.Graph {
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.MustAddEdge(uncertain.NodeID(i), uncertain.NodeID(i+1), 0.5)
+	}
+	return b.Build()
+}
+
+func TestPairsExactDistance(t *testing.T) {
+	g := datasets.LastFM(0.05, 3)
+	for _, h := range []int{1, 2, 3} {
+		pairs, err := Pairs(g, 20, h, 7)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if len(pairs) != 20 {
+			t.Fatalf("h=%d: got %d pairs", h, len(pairs))
+		}
+		seen := map[Pair]bool{}
+		for _, p := range pairs {
+			if seen[p] {
+				t.Errorf("duplicate pair %v", p)
+			}
+			seen[p] = true
+			d := g.HopDistances(p.S, h)
+			if int(d[p.T]) != h {
+				t.Errorf("pair %v at distance %d, want %d", p, d[p.T], h)
+			}
+		}
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	g := datasets.NetHEPT(0.05, 3)
+	a, err := Pairs(g, 10, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pairs(g, 10, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c, err := Pairs(g, 10, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestPairsValidation(t *testing.T) {
+	g := chain(5)
+	if _, err := Pairs(g, 0, 2, 1); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := Pairs(g, 5, 0, 1); err == nil {
+		t.Error("hops 0 accepted")
+	}
+	if _, err := Pairs(uncertain.NewBuilder(1).Build(), 1, 1, 1); err == nil {
+		t.Error("single-node graph accepted")
+	}
+}
+
+func TestPairsInfeasible(t *testing.T) {
+	// A 3-node chain has only two pairs at distance 1 and one at distance
+	// 2; asking for more must fail rather than loop forever.
+	g := chain(3)
+	if _, err := Pairs(g, 5, 2, 1); err == nil {
+		t.Error("infeasible workload accepted")
+	}
+	// Distance beyond the diameter.
+	if _, err := Pairs(g, 1, 10, 1); err == nil {
+		t.Error("unreachable distance accepted")
+	}
+}
+
+func TestPairsSmallFeasible(t *testing.T) {
+	g := chain(4)
+	pairs, err := Pairs(g, 1, 3, rng.New(1).Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs[0].S != 0 || pairs[0].T != 3 {
+		t.Errorf("unique distance-3 pair is (0,3), got %v", pairs[0])
+	}
+}

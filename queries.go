@@ -1,0 +1,65 @@
+package relcomp
+
+import (
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// Extensions beyond the paper's six s-t estimators: the advanced queries
+// its related-work section points to, and multi-core sampling.
+
+// Reliability pairs a node with its estimated reliability from a source.
+type Reliability = core.Reliability
+
+// NewParallelMC returns a Monte Carlo estimator that shards its sample
+// budget over `workers` goroutines (0 = GOMAXPROCS). Statistically
+// identical to NewMC — same unbiasedness and variance — at a fraction of
+// the wall-clock time.
+func NewParallelMC(g *Graph, seed uint64, workers int) Estimator {
+	return core.NewParallelMC(g, seed, workers)
+}
+
+// NewDistanceConstrainedMC estimates R_d(s,t), the probability that t is
+// reachable from s within at most d hops — the distance-constrained
+// reachability query of Jin et al. (PVLDB 2011).
+func NewDistanceConstrainedMC(g *Graph, seed uint64, d int) Estimator {
+	return core.NewDistanceConstrainedMC(g, seed, d)
+}
+
+// TopKReliableTargets returns the topK nodes with the highest estimated
+// reliability from s — the top-k reliability search of Zhu et al. (ICDM
+// 2015). Pass a BFS Sharing estimator (NewBFSSharing) to answer the whole
+// query with a single shared traversal; any other estimator is evaluated
+// once per candidate node.
+func TopKReliableTargets(est Estimator, g *Graph, s NodeID, topK, samples int) ([]Reliability, error) {
+	return core.TopKReliableTargets(est, g, s, topK, samples)
+}
+
+// SingleSourceReliability estimates the reliability of every node from s
+// using one shared BFS Sharing traversal with `samples` pre-sampled
+// worlds.
+func SingleSourceReliability(g *Graph, s NodeID, samples int, seed uint64) []float64 {
+	bs := core.NewBFSSharing(g, seed, samples)
+	return bs.EstimateAll(s, samples)
+}
+
+// ConditionGraph returns g conditioned on partial world knowledge: edges
+// in include exist with certainty, edges in exclude are removed.
+// Reliability over the result equals the conditional reliability
+// R(s,t | include ⊆ world, exclude ∩ world = ∅) — the conditional
+// reliability query of Khan et al. (TKDE 2018). Use Graph.FindEdge to map
+// endpoint pairs to edge ids.
+func ConditionGraph(g *Graph, include, exclude []EdgeID) (*Graph, error) {
+	return uncertain.Condition(g, include, exclude)
+}
+
+// KTerminalReliability estimates the probability that every node of
+// targets is reachable from s (source-rooted k-terminal reliability),
+// from k Monte Carlo samples.
+func KTerminalReliability(g *Graph, s NodeID, targets []NodeID, k int, seed uint64) (float64, error) {
+	kt, err := core.NewKTerminal(g, seed, targets)
+	if err != nil {
+		return 0, err
+	}
+	return kt.Estimate(s, k), nil
+}

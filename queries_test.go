@@ -1,0 +1,91 @@
+package relcomp
+
+import (
+	"math"
+	"testing"
+)
+
+func bridgeGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewGraphBuilder(6)
+	for _, e := range []Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 0, To: 2, P: 0.8},
+		{From: 1, To: 3, P: 0.7},
+		{From: 2, To: 4, P: 0.9},
+		{From: 1, To: 4, P: 0.5},
+		{From: 3, To: 5, P: 0.8},
+		{From: 4, To: 5, P: 0.7},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestParallelMCFacade(t *testing.T) {
+	g := bridgeGraph(t)
+	want, err := ExactReliability(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewParallelMC(g, 42, 4).Estimate(0, 5, 40000)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("ParallelMC %.4f vs exact %.4f", got, want)
+	}
+}
+
+func TestDistanceConstrainedFacade(t *testing.T) {
+	g := bridgeGraph(t)
+	unbounded, err := ExactReliability(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 40000
+	r2 := NewDistanceConstrainedMC(g, 42, 2).Estimate(0, 5, k)
+	r3 := NewDistanceConstrainedMC(g, 42, 3).Estimate(0, 5, k)
+	if r2 > r3+0.02 {
+		t.Errorf("R_2 (%.4f) exceeds R_3 (%.4f)", r2, r3)
+	}
+	if math.Abs(r3-unbounded) > 0.02 {
+		t.Errorf("R_3 (%.4f) should equal unbounded R (%.4f) on this 3-hop graph", r3, unbounded)
+	}
+}
+
+func TestTopKFacade(t *testing.T) {
+	g := bridgeGraph(t)
+	const k = 5000
+	est := NewBFSSharing(g, 42, k)
+	top, err := TopKReliableTargets(est, g, 0, 3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d results", len(top))
+	}
+	// Node 1 (p=0.9 direct) must rank first.
+	if top[0].Node != 1 {
+		t.Errorf("top node %d, want 1 (direct 0.9 edge)", top[0].Node)
+	}
+}
+
+func TestSingleSourceReliabilityFacade(t *testing.T) {
+	g := bridgeGraph(t)
+	rs := SingleSourceReliability(g, 0, 20000, 42)
+	if len(rs) != g.NumNodes() {
+		t.Fatalf("got %d values", len(rs))
+	}
+	if rs[0] != 1 {
+		t.Errorf("R(s,s) = %v", rs[0])
+	}
+	for v := NodeID(1); int(v) < g.NumNodes(); v++ {
+		want, err := ExactReliability(g, 0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rs[v]-want) > 0.03 {
+			t.Errorf("node %d: %.4f vs exact %.4f", v, rs[v], want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package relcomp is a Go reproduction of "An In-Depth Comparison of s-t
+// Reliability Algorithms over Uncertain Graphs" (Ke, Khan, Lim; 2019).
+//
+// An uncertain graph assigns every directed edge an independent existence
+// probability; the s-t reliability R(s,t) is the probability that t is
+// reachable from s across the exponentially many possible worlds. Exact
+// computation is #P-complete, so this package provides the six
+// state-of-the-art estimators the paper compares — Monte Carlo sampling,
+// BFS Sharing, ProbTree indexing, corrected lazy propagation (LP+), and
+// the two recursive estimators RHH and RSS — together with exact baselines
+// for small graphs, dataset generators, query workloads, and the full
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	b := relcomp.NewGraphBuilder(4)
+//	b.AddEdge(0, 1, 0.9)
+//	b.AddEdge(1, 3, 0.8)
+//	b.AddEdge(0, 2, 0.5)
+//	b.AddEdge(2, 3, 0.7)
+//	g := b.Build()
+//	est := relcomp.NewRSS(g, 42)
+//	r := est.Estimate(0, 3, 1000)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture and the experiment index.
+package relcomp
+
+import (
+	"relcomp/internal/convergence"
+	"relcomp/internal/core"
+	"relcomp/internal/datasets"
+	"relcomp/internal/exact"
+	"relcomp/internal/uncertain"
+	"relcomp/internal/workload"
+)
+
+// Core graph types, re-exported from the internal substrate.
+type (
+	// Graph is an immutable uncertain (probabilistic) directed graph.
+	Graph = uncertain.Graph
+	// GraphBuilder accumulates probabilistic edges into a Graph.
+	GraphBuilder = uncertain.Builder
+	// Edge is one directed probabilistic edge.
+	Edge = uncertain.Edge
+	// NodeID identifies a node (dense integers from 0).
+	NodeID = uncertain.NodeID
+	// EdgeID identifies an edge (dense integers from 0).
+	EdgeID = uncertain.EdgeID
+
+	// Estimator estimates s-t reliability with a sample budget.
+	Estimator = core.Estimator
+	// Pair is one s-t reliability query.
+	Pair = workload.Pair
+
+	// ConvergenceConfig controls a variance-convergence sweep.
+	ConvergenceConfig = convergence.Config
+	// ConvergenceResult is the outcome of a sweep.
+	ConvergenceResult = convergence.Result
+)
+
+// NewGraphBuilder returns a builder for an uncertain graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return uncertain.NewBuilder(n) }
+
+// ReadGraphFile loads a graph from the text format ("n m" header followed
+// by "from to prob" lines).
+func ReadGraphFile(path string) (*Graph, error) { return uncertain.ReadFile(path) }
+
+// WriteGraphFile stores a graph in the text format.
+func WriteGraphFile(path string, g *Graph) error { return uncertain.WriteFile(path, g) }
+
+// NewMC returns the baseline Monte Carlo estimator (Alg. 1 of the paper).
+func NewMC(g *Graph, seed uint64) Estimator { return core.NewMC(g, seed) }
+
+// NewBFSSharing builds the BFS Sharing index with `width` pre-sampled
+// possible worlds and returns its estimator (Alg. 2–3). Estimate calls may
+// use any k <= width.
+func NewBFSSharing(g *Graph, seed uint64, width int) Estimator {
+	return core.NewBFSSharing(g, seed, width)
+}
+
+// NewRHH returns the recursive sampling estimator of Jin et al. (Alg. 4).
+func NewRHH(g *Graph, seed uint64) Estimator { return core.NewRHH(g, seed) }
+
+// NewRSS returns the recursive stratified sampling estimator of Li et al.
+// (Alg. 5).
+func NewRSS(g *Graph, seed uint64) Estimator { return core.NewRSS(g, seed) }
+
+// NewLazyProp returns the corrected lazy propagation estimator LP+
+// (Alg. 6 with the paper's c_v+1 fix).
+func NewLazyProp(g *Graph, seed uint64) Estimator { return core.NewLazyProp(g, seed) }
+
+// NewProbTree builds the FWD ProbTree index (w = 2, lossless) and returns
+// its estimator with MC as the inner sampler (Alg. 7–8).
+func NewProbTree(g *Graph, seed uint64) Estimator { return core.NewProbTree(g, seed) }
+
+// Estimators returns fresh instances of the paper's six estimators, in
+// table order, sharing the graph. The BFS Sharing index is sized for
+// Estimate calls up to maxK samples.
+func Estimators(g *Graph, seed uint64, maxK int) []Estimator {
+	return []Estimator{
+		core.NewMC(g, seed),
+		core.NewBFSSharing(g, seed, maxK),
+		core.NewProbTree(g, seed),
+		core.NewLazyProp(g, seed),
+		core.NewRHH(g, seed),
+		core.NewRSS(g, seed),
+	}
+}
+
+// ExactReliability computes R(s,t) exactly by the factoring recursion.
+// It is exponential in the worst case; intended for small graphs and
+// validation.
+func ExactReliability(g *Graph, s, t NodeID) (float64, error) {
+	return exact.Factoring(g, s, t)
+}
+
+// QueryPairs draws count s-t pairs at exact hop distance hops, the
+// workload shape of the paper's evaluation.
+func QueryPairs(g *Graph, count, hops int, seed uint64) ([]Pair, error) {
+	return workload.Pairs(g, count, hops, seed)
+}
+
+// DatasetNames lists the six synthetic stand-in datasets in the paper's
+// order.
+func DatasetNames() []string {
+	specs := datasets.All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Dataset generates the named synthetic dataset at the given scale
+// (1.0 = laptop default size) and seed.
+func Dataset(name string, scale float64, seed uint64) (*Graph, error) {
+	spec, err := datasets.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(scale, seed), nil
+}
+
+// ConvergenceSweep runs the paper's variance-convergence procedure
+// (ρ_K = V_K/R_K < 0.001) for one estimator over a workload.
+func ConvergenceSweep(est Estimator, pairs []Pair, cfg ConvergenceConfig) ConvergenceResult {
+	return convergence.Sweep(est, pairs, cfg)
+}

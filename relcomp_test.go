@@ -1,0 +1,99 @@
+package relcomp
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	b := NewGraphBuilder(4)
+	for _, e := range []Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 1, To: 3, P: 0.8},
+		{From: 0, To: 2, P: 0.5},
+		{From: 2, To: 3, P: 0.7},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	want, err := ExactReliability(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 20000
+	for _, est := range Estimators(g, 42, k) {
+		got := est.Estimate(0, 3, k)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%s: %.4f vs exact %.4f", est.Name(), got, want)
+		}
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	g, err := Dataset("lastFM", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []Estimator{
+		NewMC(g, 1), NewBFSSharing(g, 1, 100), NewRHH(g, 1),
+		NewRSS(g, 1), NewLazyProp(g, 1), NewProbTree(g, 1),
+	} {
+		r := est.Estimate(0, NodeID(g.NumNodes()-1), 100)
+		if r < 0 || r > 1 {
+			t.Errorf("%s: estimate %v out of range", est.Name(), r)
+		}
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("%d datasets", len(names))
+	}
+	if _, err := Dataset("bogus", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFacadeWorkloadAndSweep(t *testing.T) {
+	g, err := Dataset("lastFM", 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := QueryPairs(g, 5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	res := ConvergenceSweep(NewRSS(g, 3), pairs, ConvergenceConfig{
+		InitialK: 100, StepK: 100, MaxK: 2000, Repeats: 8, SeedBase: 4,
+	})
+	if len(res.Curve) == 0 {
+		t.Error("empty sweep curve")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	b := NewGraphBuilder(3)
+	if err := b.AddEdge(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if err := WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 1 || g2.Edge(0).P != 0.5 {
+		t.Error("round trip changed the graph")
+	}
+}
