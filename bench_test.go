@@ -13,6 +13,7 @@ package relcomp
 import (
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"relcomp/internal/harness"
@@ -119,6 +120,84 @@ func BenchmarkQuery(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Engine (concurrent batch query engine, DESIGN.md §4) ---
+
+// engineBenchWorkload builds the engine comparison workload: a 64-query
+// batch of 8 sources x 8 targets on lastFM, the shape where batching can
+// amortize per-source work (one BFS Sharing traversal per source instead
+// of one per query).
+func engineBenchWorkload(b *testing.B) (*Graph, []Query) {
+	b.Helper()
+	g, err := Dataset("lastFM", 0.1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := QueryPairs(g, 8, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]Query, 0, len(pairs)*len(pairs))
+	for _, src := range pairs {
+		for _, dst := range pairs {
+			queries = append(queries, Query{
+				S: src.S, T: dst.T, K: 250, Estimator: "BFSSharing",
+			})
+		}
+	}
+	return g, queries
+}
+
+// BenchmarkEngineBatch pushes the 64-query batch through an 8-worker
+// engine (cache disabled, so every query is computed). Compare the qps
+// metric against BenchmarkEngineSerialized: the engine groups the batch
+// by source, so it runs 8 shared traversals where the serialized path
+// runs 64.
+func BenchmarkEngineBatch(b *testing.B) {
+	g, queries := engineBenchWorkload(b)
+	eng, err := NewEngine(g, EngineConfig{Workers: 8, MaxK: 250, Seed: 7, CacheSize: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pools so replica index construction (the serialized
+	// baseline's NewBFSSharing, built outside its timer) is not
+	// measured. One pass may build fewer replicas than the pool cap —
+	// instances returned early get reused — so run a few.
+	for i := 0; i < 3; i++ {
+		eng.EstimateBatch(queries)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range eng.EstimateBatch(queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkEngineSerialized is the pre-engine baseline the server used to
+// run: one estimator instance behind a mutex, answering the same 64
+// queries one at a time.
+func BenchmarkEngineSerialized(b *testing.B) {
+	g, queries := engineBenchWorkload(b)
+	est := NewBFSSharing(g, 7, 250)
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			mu.Lock()
+			est.Estimate(q.S, q.T, q.K)
+			mu.Unlock()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
 }
 
 // BenchmarkIndexBuild measures the offline index construction of the two

@@ -1,10 +1,15 @@
 // Command relserver serves s-t reliability queries over a fixed uncertain
-// graph as a JSON HTTP API. See server.go for the endpoint list.
+// graph as a JSON HTTP API, backed by the concurrent batch query engine.
+// See server.go for the endpoint list.
 //
 // Example:
 //
-//	relserver -dataset BioMine -addr :8080
+//	relserver -dataset BioMine -addr :8080 -workers 8
 //	curl 'localhost:8080/v1/reliability?s=10&t=250&k=1000&estimator=RSS'
+//	curl 'localhost:8080/v1/reliability?s=10&t=250&k=1000'   # adaptive routing
+//	curl -d '{"queries":[{"s":10,"t":250,"k":1000},{"s":10,"t":251,"k":1000,"estimator":"BFSSharing"}]}' \
+//	     'localhost:8080/v1/batch'
+//	curl 'localhost:8080/v1/engine/stats'
 package main
 
 import (
@@ -24,6 +29,8 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		maxK      = flag.Int("maxk", 2000, "maximum samples per query (BFS Sharing index width)")
+		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 4096, "result cache capacity (0 disables)")
 	)
 	flag.Parse()
 
@@ -40,7 +47,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := newServer(g, *seed, *maxK)
+	srv := newServerWith(g, relcomp.EngineConfig{
+		Seed:      *seed,
+		MaxK:      *maxK,
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+	})
 	fmt.Printf("relserver: serving %s (%d nodes, %d edges) on %s\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))

@@ -2,10 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"relcomp"
@@ -14,42 +14,43 @@ import (
 // server exposes reliability queries over a fixed uncertain graph as a
 // small JSON HTTP API:
 //
-//	GET /v1/graph                             graph statistics
-//	GET /v1/estimators                        available estimator names
-//	GET /v1/reliability?s=0&t=5&k=1000&estimator=RSS
-//	GET /v1/bounds?s=0&t=5                    analytic bounds + best path
-//	GET /v1/topk?s=0&n=10&k=1000              top-n reliable targets
+//	GET  /v1/graph                             graph statistics
+//	GET  /v1/estimators                        available estimator names
+//	GET  /v1/reliability?s=0&t=5&k=1000&estimator=RSS
+//	     (omit estimator= to let the engine route adaptively)
+//	GET  /v1/bounds?s=0&t=5                    analytic bounds + best path
+//	GET  /v1/topk?s=0&n=10&k=1000              top-n reliable targets
+//	POST /v1/batch                             {"queries":[{"s":..,"t":..,"k":..,"estimator":".."}]}
+//	GET  /v1/engine/stats                      engine counters (cache, routing, latency)
 //
-// Estimators keep per-instance scratch state and are not safe for
-// concurrent use, so the server serializes queries per estimator with a
-// mutex; concurrent requests across different estimators proceed in
-// parallel.
+// All query traffic goes through the concurrent batch query engine
+// (relcomp.Engine): per-estimator instance pools replace the old
+// per-estimator mutexes, so queries to the same estimator no longer
+// serialize behind one in-flight request; batch requests amortize
+// per-source work; repeated queries hit the LRU result cache.
 type server struct {
-	graph *relcomp.Graph
-	maxK  int
-	seed  uint64
-
-	mu   sync.Mutex
-	ests map[string]*guardedEstimator
+	graph  *relcomp.Graph
+	engine *relcomp.Engine
 }
 
-type guardedEstimator struct {
-	mu  sync.Mutex
-	est relcomp.Estimator
-}
+// maxBatchQueries bounds the work and result memory one POST /v1/batch
+// request can demand; maxBatchBytes bounds the body size before
+// decoding. Neither is global admission control — concurrent requests
+// each get their own engine workers; put rate limiting in front of the
+// server for that.
+const (
+	maxBatchQueries = 4096
+	maxBatchBytes   = 4 << 20
+)
 
-func newServer(g *relcomp.Graph, seed uint64, maxK int) *server {
-	s := &server{
-		graph: g,
-		maxK:  maxK,
-		seed:  seed,
-		ests:  make(map[string]*guardedEstimator),
+func newServerWith(g *relcomp.Graph, cfg relcomp.EngineConfig) *server {
+	eng, err := relcomp.NewEngine(g, cfg)
+	if err != nil {
+		// The default estimator set is statically known; a failure here is
+		// a programming error, not an input error.
+		panic(err)
 	}
-	for _, est := range relcomp.Estimators(g, seed, maxK) {
-		s.ests[est.Name()] = &guardedEstimator{est: est}
-	}
-	s.ests["ParallelMC"] = &guardedEstimator{est: relcomp.NewParallelMC(g, seed, 0)}
-	return s
+	return &server{graph: g, engine: eng}
 }
 
 func (s *server) handler() http.Handler {
@@ -59,6 +60,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/reliability", s.handleReliability)
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
 	mux.HandleFunc("/v1/topk", s.handleTopK)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/engine/stats", s.handleEngineStats)
 	return mux
 }
 
@@ -102,24 +105,42 @@ func intParamDefault(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// checkNode validates a node id at int width, before any int32 NodeID
+// conversion could silently truncate huge values onto a valid node.
+func (s *server) checkNode(name string, v int) error {
+	if v < 0 || v >= s.graph.NumNodes() {
+		return fmt.Errorf("parameter %q: node %d out of range [0,%d)", name, v, s.graph.NumNodes())
+	}
+	return nil
+}
+
 func (s *server) nodeParam(r *http.Request, name string) (relcomp.NodeID, error) {
 	v, err := intParam(r, name)
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 || v >= s.graph.NumNodes() {
-		return 0, fmt.Errorf("parameter %q: node %d out of range [0,%d)", name, v, s.graph.NumNodes())
+	if err := s.checkNode(name, v); err != nil {
+		return 0, err
 	}
 	return relcomp.NodeID(v), nil
 }
 
+// defaultK is the implicit sample budget when a request omits k, clamped
+// to the engine's cap.
+func (s *server) defaultK() int {
+	if k := s.engine.MaxK(); k < 1000 {
+		return k
+	}
+	return 1000
+}
+
 func (s *server) samplesParam(r *http.Request) (int, error) {
-	k, err := intParamDefault(r, "k", 1000)
+	k, err := intParamDefault(r, "k", s.defaultK())
 	if err != nil {
 		return 0, err
 	}
-	if k <= 0 || k > s.maxK {
-		return 0, fmt.Errorf("parameter \"k\": %d outside (0,%d]", k, s.maxK)
+	if k <= 0 || k > s.engine.MaxK() {
+		return 0, fmt.Errorf("parameter \"k\": %d outside (0,%d]", k, s.engine.MaxK())
 	}
 	return k, nil
 }
@@ -133,18 +154,49 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		"probMean":     sum.Mean,
 		"probStdDev":   sum.StdDev,
 		"probQuartile": []float64{sum.Q1, sum.Q2, sum.Q3},
-		"maxSamples":   s.maxK,
+		"maxSamples":   s.engine.MaxK(),
 	})
 }
 
 func (s *server) handleEstimators(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	names := make([]string, 0, len(s.ests))
-	for n := range s.ests {
-		names = append(names, n)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"estimators": s.engine.Names(),
+		"adaptive":   true, // omit estimator= and the engine routes per query
+		// Also accepted: the no-sampling analytic-bounds pseudo-estimator.
+		"pseudoEstimators": []string{relcomp.EngineBoundsName},
+	})
+}
+
+// resultJSON is the wire form of one engine result.
+type resultJSON struct {
+	S           int     `json:"s"`
+	T           int     `json:"t"`
+	K           int     `json:"k"`
+	Estimator   string  `json:"estimator"`
+	Reliability float64 `json:"reliability"`
+	Cached      bool    `json:"cached"`
+	TimeMs      float64 `json:"timeMs"`
+	Error       string  `json:"error,omitempty"`
+}
+
+func toJSON(res relcomp.Result) resultJSON {
+	used := res.Used
+	if used == "" {
+		// Engine-rejected queries never resolve an estimator; echo the
+		// requested one so clients can still correlate failures.
+		used = res.Query.Estimator
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"estimators": names})
+	out := resultJSON{
+		S: int(res.S), T: int(res.T), K: res.K,
+		Estimator:   used,
+		Reliability: res.Reliability,
+		Cached:      res.Cached,
+		TimeMs:      float64(res.Latency.Microseconds()) / 1000,
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
 }
 
 func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
@@ -158,35 +210,115 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	k, err := s.samplesParam(r)
+	name := r.URL.Query().Get("estimator")
+	var k int
+	if name == relcomp.EngineBoundsName {
+		// The bounds pseudo-estimator draws no samples; accept any k so
+		// the same query succeeds here and on /v1/batch.
+		k, err = intParamDefault(r, "k", s.defaultK())
+	} else {
+		k, err = s.samplesParam(r)
+	}
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	name := r.URL.Query().Get("estimator")
-	if name == "" {
-		name = "RSS"
-	}
-	s.mu.Lock()
-	ge := s.ests[name]
-	s.mu.Unlock()
-	if ge == nil {
-		badRequest(w, "unknown estimator %q", name)
+	res := s.engine.Estimate(relcomp.Query{
+		S: src, T: dst, K: k,
+		Estimator: name,
+	})
+	if res.Err != nil {
+		badRequest(w, "%v", res.Err)
 		return
 	}
+	writeJSON(w, http.StatusOK, toJSON(res))
+}
 
-	ge.mu.Lock()
+// batchRequest is the POST /v1/batch body. K is a pointer so an omitted
+// budget (defaulted) is distinguishable from an explicit k:0 (rejected,
+// as on the single-query endpoint).
+type batchRequest struct {
+	Queries []struct {
+		S         int    `json:"s"`
+		T         int    `json:"t"`
+		K         *int   `json:"k"`
+		Estimator string `json:"estimator"`
+	} `json:"queries"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST required"})
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("batch body exceeds %d bytes; split into smaller batches", maxBatchBytes)})
+			return
+		}
+		badRequest(w, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		badRequest(w, "empty batch")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		badRequest(w, "batch of %d queries exceeds limit %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	// Range-check node ids at int width before the int32 NodeID
+	// conversion — a converted-then-validated id would silently truncate
+	// huge values onto a valid node instead of failing.
+	out := make([]resultJSON, len(req.Queries))
+	failed := 0
+	queries := make([]relcomp.Query, 0, len(req.Queries))
+	engineIdx := make([]int, 0, len(req.Queries)) // out position per engine query
+	for i, q := range req.Queries {
+		k := s.defaultK()
+		if q.K != nil {
+			k = *q.K
+		}
+		out[i] = resultJSON{S: q.S, T: q.T, K: k, Estimator: q.Estimator}
+		err := s.checkNode("s", q.S)
+		if err == nil {
+			err = s.checkNode("t", q.T)
+		}
+		if err != nil {
+			out[i].Error = err.Error()
+			failed++
+			continue
+		}
+		queries = append(queries, relcomp.Query{
+			S: relcomp.NodeID(q.S), T: relcomp.NodeID(q.T),
+			K: k, Estimator: q.Estimator,
+		})
+		engineIdx = append(engineIdx, i)
+	}
 	start := time.Now()
-	est := ge.est.Estimate(src, dst, k)
+	results := s.engine.EstimateBatch(queries)
 	elapsed := time.Since(start)
-	ge.mu.Unlock()
 
+	for j, res := range results {
+		out[engineIdx[j]] = toJSON(res)
+		if res.Err != nil {
+			failed++
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"s": src, "t": dst, "k": k,
-		"estimator":   name,
-		"reliability": est,
-		"timeMs":      float64(elapsed.Microseconds()) / 1000,
+		"results": out,
+		"queries": len(out),
+		"failed":  failed,
+		"timeMs":  float64(elapsed.Microseconds()) / 1000,
 	})
+}
+
+func (s *server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
 func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
@@ -236,15 +368,14 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	ge := s.ests["BFSSharing"]
-	s.mu.Unlock()
-
-	ge.mu.Lock()
+	var top []relcomp.Reliability
 	start := time.Now()
-	top, err := relcomp.TopKReliableTargets(ge.est, s.graph, src, n, k)
+	err = relcomp.BorrowEstimator(s.engine, "BFSSharing", func(est relcomp.Estimator) error {
+		var err error
+		top, err = relcomp.TopKReliableTargets(est, s.graph, src, n, k)
+		return err
+	})
 	elapsed := time.Since(start)
-	ge.mu.Unlock()
 	if err != nil {
 		badRequest(w, "%v", err)
 		return

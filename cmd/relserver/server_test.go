@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 
@@ -17,7 +19,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(g, 42, 500)
+	return newServerWith(g, relcomp.EngineConfig{Seed: 42, MaxK: 500, CacheSize: 4096})
 }
 
 func get(t *testing.T, h http.Handler, url string) (int, map[string]interface{}) {
@@ -30,6 +32,18 @@ func get(t *testing.T, h http.Handler, url string) (int, map[string]interface{})
 		t.Fatalf("%s: invalid JSON %q: %v", url, rec.Body.String(), err)
 	}
 	return rec.Code, body
+}
+
+func post(t *testing.T, h http.Handler, url, body string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", url, rec.Body.String(), err)
+	}
+	return rec.Code, out
 }
 
 func TestGraphEndpoint(t *testing.T) {
@@ -72,6 +86,38 @@ func TestReliabilityEndpoint(t *testing.T) {
 	}
 }
 
+// TestReliabilityAdaptive: omitting estimator= routes the query through
+// the engine's adaptive router, which reports what answered it.
+func TestReliabilityAdaptive(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/reliability?s=0&t=5&k=200")
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	if body["estimator"].(string) == "" {
+		t.Error("adaptive query reports no estimator")
+	}
+	r := body["reliability"].(float64)
+	if r < 0 || r > 1 {
+		t.Errorf("reliability %v", r)
+	}
+}
+
+// TestReliabilityCached: the second identical query must be a cache hit
+// with the identical value.
+func TestReliabilityCached(t *testing.T) {
+	h := testServer(t).handler()
+	url := "/v1/reliability?s=0&t=5&k=200&estimator=MC"
+	_, first := get(t, h, url)
+	_, second := get(t, h, url)
+	if !second["cached"].(bool) {
+		t.Fatal("second query not cached")
+	}
+	if first["reliability"] != second["reliability"] {
+		t.Errorf("cache changed the answer: %v vs %v", first["reliability"], second["reliability"])
+	}
+}
+
 func TestReliabilityValidation(t *testing.T) {
 	h := testServer(t).handler()
 	cases := []string{
@@ -91,6 +137,111 @@ func TestReliabilityValidation(t *testing.T) {
 		if body["error"] == "" {
 			t.Errorf("%s: no error message", url)
 		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	body := `{"queries":[
+		{"s":0,"t":5,"k":200,"estimator":"MC"},
+		{"s":0,"t":6,"k":200,"estimator":"BFSSharing"},
+		{"s":1,"t":6,"k":200,"estimator":"BFSSharing"},
+		{"s":2,"t":7,"k":200}
+	]}`
+	code, out := post(t, h, "/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, out)
+	}
+	results := out["results"].([]interface{})
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	if out["failed"].(float64) != 0 {
+		t.Fatalf("failures: %v", out)
+	}
+	for i, raw := range results {
+		res := raw.(map[string]interface{})
+		r := res["reliability"].(float64)
+		if r < 0 || r > 1 {
+			t.Errorf("result %d: reliability %v", i, r)
+		}
+		if res["estimator"].(string) == "" {
+			t.Errorf("result %d: no estimator", i)
+		}
+	}
+}
+
+func TestBatchPartialFailure(t *testing.T) {
+	h := testServer(t).handler()
+	// Second query: out-of-range target. Third: explicit k:0 must be
+	// rejected like the single-query endpoint, not silently defaulted —
+	// only an omitted k takes the default.
+	code, out := post(t, h, "/v1/batch",
+		`{"queries":[{"s":0,"t":5,"k":200,"estimator":"MC"},{"s":0,"t":999999,"k":200},{"s":0,"t":5,"k":0}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, out)
+	}
+	if out["failed"].(float64) != 2 {
+		t.Fatalf("failed = %v, want 2", out["failed"])
+	}
+	results := out["results"].([]interface{})
+	for _, i := range []int{1, 2} {
+		if results[i].(map[string]interface{})["error"].(string) == "" {
+			t.Errorf("failed query %d has no error message", i)
+		}
+	}
+}
+
+// TestBatchHugeNodeID: ids beyond int32 must be rejected, not silently
+// truncated onto a valid node by the NodeID conversion.
+func TestBatchHugeNodeID(t *testing.T) {
+	h := testServer(t).handler()
+	code, out := post(t, h, "/v1/batch",
+		`{"queries":[{"s":4294967296,"t":5,"k":200},{"s":0,"t":-4294967291,"k":200}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, out)
+	}
+	if out["failed"].(float64) != 2 {
+		t.Fatalf("failed = %v, want 2: %v", out["failed"], out)
+	}
+	for i, raw := range out["results"].([]interface{}) {
+		if raw.(map[string]interface{})["error"].(string) == "" {
+			t.Errorf("query %d: huge id accepted", i)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	h := testServer(t).handler()
+	if code, _ := post(t, h, "/v1/batch", `{"queries":[]}`); code != http.StatusBadRequest {
+		t.Error("empty batch accepted")
+	}
+	if code, _ := post(t, h, "/v1/batch", `{bogus`); code != http.StatusBadRequest {
+		t.Error("malformed JSON accepted")
+	}
+	code, _ := get(t, h, "/v1/batch")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: status %d", code)
+	}
+}
+
+func TestEngineStatsEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	get(t, h, "/v1/reliability?s=0&t=5&k=200&estimator=MC")
+	get(t, h, "/v1/reliability?s=0&t=5&k=200&estimator=MC") // cache hit
+	code, body := get(t, h, "/v1/engine/stats")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body["queries"].(float64) < 2 {
+		t.Errorf("queries %v", body["queries"])
+	}
+	if body["cacheHits"].(float64) < 1 {
+		t.Errorf("cacheHits %v", body["cacheHits"])
+	}
+	ests := body["estimators"].(map[string]interface{})
+	if _, ok := ests["MC"]; !ok {
+		t.Errorf("no MC stats: %v", ests)
 	}
 }
 
@@ -131,32 +282,103 @@ func TestTopKEndpoint(t *testing.T) {
 	}
 }
 
-// TestConcurrentRequests: the per-estimator mutexes must make concurrent
-// queries safe (run with -race).
-func TestConcurrentRequests(t *testing.T) {
-	h := testServer(t).handler()
-	var wg sync.WaitGroup
-	urls := []string{
-		"/v1/reliability?s=0&t=5&k=100&estimator=MC",
-		"/v1/reliability?s=1&t=6&k=100&estimator=MC",
-		"/v1/reliability?s=0&t=5&k=100&estimator=RSS",
-		"/v1/topk?s=0&n=3&k=100",
-		"/v1/bounds?s=0&t=5",
-		"/v1/graph",
-	}
-	for i := 0; i < 4; i++ {
-		for _, url := range urls {
-			wg.Add(1)
-			go func(url string) {
-				defer wg.Done()
-				req := httptest.NewRequest(http.MethodGet, url, nil)
-				rec := httptest.NewRecorder()
-				h.ServeHTTP(rec, req)
-				if rec.Code != http.StatusOK {
-					t.Errorf("%s: status %d", url, rec.Code)
-				}
-			}(url)
+// TestConcurrentMatchesSequential is the rewired server's
+// sequential-equivalence check (run with -race): concurrent mixed
+// single/batch traffic against one server must return exactly the values
+// a second, identically configured server returns sequentially. Holds
+// because engine results are deterministic per query given the seed.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	sequential := testServer(t).handler()
+	concurrent := testServer(t).handler()
+
+	type stq struct{ s, t, k int }
+	var queries []stq
+	for s := 0; s < 4; s++ {
+		for d := 4; d < 8; d++ {
+			queries = append(queries, stq{s, d, 100 + 50*(s%2)})
 		}
+	}
+	ests := []string{"MC", "BFSSharing", "RSS", "LP+"}
+
+	relURL := func(q stq, est string) string {
+		return fmt.Sprintf("/v1/reliability?s=%d&t=%d&k=%d&estimator=%s",
+			q.s, q.t, q.k, url.QueryEscape(est))
+	}
+	batchBody := func(est string) string {
+		parts := make([]string, len(queries))
+		for i, q := range queries {
+			parts[i] = fmt.Sprintf(`{"s":%d,"t":%d,"k":%d,"estimator":%q}`, q.s, q.t, q.k, est)
+		}
+		return `{"queries":[` + strings.Join(parts, ",") + `]}`
+	}
+
+	// Sequential ground truth per (query, estimator).
+	want := make(map[string]float64)
+	for _, est := range ests {
+		for _, q := range queries {
+			code, body := get(t, sequential, relURL(q, est))
+			if code != http.StatusOK {
+				t.Fatalf("%v/%s: status %d", q, est, code)
+			}
+			want[relURL(q, est)] = body["reliability"].(float64)
+		}
+	}
+
+	var wg sync.WaitGroup
+	fail := t.Errorf // goroutine-safe per the testing package
+	for round := 0; round < 2; round++ {
+		for _, est := range ests {
+			// Single-query clients.
+			for _, q := range queries {
+				wg.Add(1)
+				go func(q stq, est string) {
+					defer wg.Done()
+					req := httptest.NewRequest(http.MethodGet, relURL(q, est), nil)
+					rec := httptest.NewRecorder()
+					concurrent.ServeHTTP(rec, req)
+					var body map[string]interface{}
+					if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || rec.Code != http.StatusOK {
+						fail("%s: status %d err %v", relURL(q, est), rec.Code, err)
+						return
+					}
+					if got := body["reliability"].(float64); got != want[relURL(q, est)] {
+						fail("%s: concurrent %v != sequential %v", relURL(q, est), got, want[relURL(q, est)])
+					}
+				}(q, est)
+			}
+			// Batch clients.
+			wg.Add(1)
+			go func(est string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(batchBody(est)))
+				rec := httptest.NewRecorder()
+				concurrent.ServeHTTP(rec, req)
+				var out map[string]interface{}
+				if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || rec.Code != http.StatusOK {
+					fail("batch %s: status %d err %v", est, rec.Code, err)
+					return
+				}
+				for i, raw := range out["results"].([]interface{}) {
+					res := raw.(map[string]interface{})
+					if got := res["reliability"].(float64); got != want[relURL(queries[i], est)] {
+						fail("batch %s query %d: %v != %v", est, i, got, want[relURL(queries[i], est)])
+					}
+				}
+			}(est)
+		}
+		// Stats and topk readers race along.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/v1/engine/stats", nil)
+			concurrent.ServeHTTP(httptest.NewRecorder(), req)
+			req = httptest.NewRequest(http.MethodGet, "/v1/topk?s=0&n=3&k=100", nil)
+			rec := httptest.NewRecorder()
+			concurrent.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				fail("topk: status %d", rec.Code)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -1,0 +1,59 @@
+package relcomp
+
+import (
+	"relcomp/internal/engine"
+)
+
+// The concurrent batch query engine, re-exported from internal/engine.
+// The engine is the serving layer over the six estimators: per-worker
+// estimator pools (the estimators are not goroutine-safe), a batch API
+// that groups queries by source so BFS Sharing amortizes one traversal
+// across all targets of a source, a bounded LRU result cache, and an
+// adaptive per-query estimator router driven by analytic bounds width and
+// online latency statistics. See cmd/relserver for the HTTP surface and
+// DESIGN.md §4 for the architecture.
+
+type (
+	// Engine is the concurrent batch query engine; all methods are safe
+	// for concurrent use.
+	Engine = engine.Engine
+	// EngineConfig configures NewEngine.
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of engine counters (cache hit/miss,
+	// per-estimator latency, routing decisions).
+	EngineStats = engine.Stats
+	// EngineEstimatorStats is one estimator's entry in
+	// EngineStats.Estimators.
+	EngineEstimatorStats = engine.EstimatorStats
+	// Query is one s-t reliability request; an empty Estimator field
+	// selects the estimator adaptively.
+	Query = engine.Query
+	// Result is the engine's answer to one Query.
+	Result = engine.Result
+)
+
+// EngineBoundsName is the pseudo-estimator name reported when the
+// analytic bounds answer a routed query without sampling.
+const EngineBoundsName = engine.BoundsName
+
+// NewEngine builds a concurrent batch query engine over g. Estimator
+// replicas are constructed lazily, so this is cheap even for the
+// index-based methods.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
+	return engine.New(g, cfg)
+}
+
+// DefaultEngineEstimators lists the estimators an engine builds when the
+// config leaves the set empty: the paper's six plus ParallelMC.
+func DefaultEngineEstimators() []string { return engine.DefaultEstimators() }
+
+// BorrowEstimator runs fn with exclusive use of a pooled instance of the
+// named estimator — the escape hatch for advanced queries (TopK,
+// single-source) that need a concrete estimator rather than one Estimate
+// call. The instance is reseeded at borrow time, so results depend only
+// on the engine seed, not on earlier traffic. fn must not call back into
+// the engine for the same estimator — on a single-replica pool that
+// blocks forever.
+func BorrowEstimator(e *Engine, name string, fn func(Estimator) error) error {
+	return e.Do(name, fn)
+}

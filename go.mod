@@ -1,0 +1,3 @@
+module relcomp
+
+go 1.24

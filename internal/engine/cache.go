@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"relcomp/internal/uncertain"
+)
+
+// cacheKey identifies one answered query (or, with est/k zeroed, one
+// (s,t) pair for the router's bounds memo). Results are deterministic
+// given the engine seed (replica pools + per-query reseeding), so a
+// cached value is exactly the value a fresh computation would return and
+// caching is invisible to callers except in latency and the Cached flag.
+type cacheKey struct {
+	s, t uncertain.NodeID
+	est  string
+	k    int
+}
+
+// lruCache is a bounded least-recently-used cache with hit/miss
+// counters. All methods are safe for concurrent use.
+type lruCache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry[V any] struct {
+	key   cacheKey
+	value V
+}
+
+// newLRUCache returns a cache holding up to capacity values; capacity <=
+// 0 returns nil, and a nil *lruCache is a valid always-miss cache.
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache[V]{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get looks the key up, promoting it to most-recently-used on a hit.
+func (c *lruCache[V]) get(key cacheKey) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry[V]).value, true
+}
+
+// put inserts or refreshes the key, evicting the least-recently-used
+// entry when the cache is full.
+func (c *lruCache[V]) put(key cacheKey, value V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry[V]).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry[V]{key: key, value: value})
+}
+
+// counters returns (hits, misses, current length, capacity).
+func (c *lruCache[V]) counters() (hits, misses uint64, length, capacity int) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.capacity
+}

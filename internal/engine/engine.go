@@ -1,0 +1,782 @@
+// Package engine is the concurrent batch query engine layered over the
+// paper's six s-t reliability estimators. It exists to serve estimator
+// traffic at production concurrency, which the estimators themselves
+// cannot: each keeps per-instance scratch state and is not goroutine-safe.
+//
+// The engine combines four mechanisms:
+//
+//   - Estimator pooling: per-estimator pools of replica instances (same
+//     graph, same seed) hand every worker an exclusive instance, so
+//     concurrent queries never contend on scratch state (pool.go).
+//   - Batching: EstimateBatch groups queries by (estimator, source) so the
+//     source-rooted methods amortize their per-source work — one BFS
+//     Sharing traversal answers every target of a source via EstimateAll,
+//     turning an n-query group into one traversal.
+//   - Result caching: a bounded LRU keyed by (s, t, estimator, k) with
+//     hit/miss counters (cache.go).
+//   - Adaptive routing: queries that do not name an estimator are routed
+//     from the analytic bounds width and online latency statistics,
+//     following the paper's selection guidance (router.go).
+//
+// Results are deterministic given Config.Seed: replicas are identical and
+// every Estimate call reseeds the instance from the query key, so a query
+// returns the same value no matter which worker runs it, whether it was
+// batched, and whether it was cached. Concurrent execution is therefore
+// observationally equivalent to sequential execution (asserted by the
+// package's -race tests), with the one exception of adaptively routed
+// queries, whose estimator choice depends on latencies observed so far.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// BoundsName is the pseudo-estimator name reported when the analytic
+// bounds pinch a routed query tightly enough to answer it outright. It
+// is also accepted as Query.Estimator: such queries are answered by the
+// bounds-interval midpoint with no sampling, whatever the width.
+const BoundsName = "bounds"
+
+// DefaultEstimators lists the estimators an engine builds when Config
+// leaves the set empty: the paper's six, in table order, plus the
+// multi-core ParallelMC extension.
+func DefaultEstimators() []string {
+	return []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", "ParallelMC"}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Workers bounds the number of concurrently processed batch groups
+	// and the replica count of every estimator pool. <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxK caps the per-query sample budget and sizes the BFS Sharing
+	// index width. <= 0 means 2000 (the paper's safe L bound is 1500).
+	MaxK int
+	// Seed drives every estimator replica and per-query reseed; engines
+	// with equal configs return identical results. (ParallelMC shards
+	// its sample budget over Workers goroutines, so its values — unlike
+	// every other estimator's — also change if Workers changes.)
+	Seed uint64
+	// CacheSize bounds the LRU result cache; <= 0 disables caching.
+	CacheSize int
+	// Estimators names the pools to build; empty means DefaultEstimators.
+	Estimators []string
+	// BoundsCutoff is the bounds width at or below which a routed query
+	// is answered by the interval midpoint without sampling; <= 0 means
+	// 0.02.
+	BoundsCutoff float64
+	// HardWidth is the bounds width above which routing prefers accuracy
+	// over speed; <= 0 means 0.25.
+	HardWidth float64
+}
+
+// Query is one s-t reliability request.
+type Query struct {
+	S, T uncertain.NodeID
+	K    int
+	// Estimator names the method to use; empty selects adaptively, and
+	// BoundsName requests the no-sampling analytic answer.
+	Estimator string
+}
+
+// Result is the engine's answer to one Query.
+type Result struct {
+	Query
+	// Used is the estimator that produced the value (BoundsName when the
+	// analytic bounds answered a routed query outright).
+	Used        string
+	Reliability float64
+	// Cached reports the value was reused rather than computed: an LRU
+	// result-cache hit, or an intra-batch duplicate answered by the
+	// first copy's computation (counted in Stats.DedupedQueries).
+	Cached bool
+	// Latency covers routing plus estimation for single Estimate calls;
+	// batch results report each query's estimation (or amortized
+	// traversal) share, with the parallel routing phase excluded.
+	Latency time.Duration
+	Err     error
+}
+
+// Engine is the concurrent batch query engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	g      *uncertain.Graph
+	cfg    Config
+	names  []string // configured estimators, stable order
+	pools  map[string]*pool
+	cache  *lruCache[float64]
+	router *router
+
+	mu      sync.Mutex
+	queries uint64
+	batches uint64
+	batched uint64 // queries answered (not rejected) via EstimateBatch
+	deduped uint64 // intra-batch duplicates answered by reuse
+	perEst  map[string]*estCounter
+}
+
+type estCounter struct {
+	queries   uint64
+	computed  uint64 // queries answered by running the estimator (not cached)
+	totalSecs float64
+}
+
+// New builds an engine over g. It constructs one replica per configured
+// estimator lazily on first demand, so construction is cheap.
+func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 2000
+	}
+	if len(cfg.Estimators) == 0 {
+		cfg.Estimators = DefaultEstimators()
+	}
+	e := &Engine{
+		g:      g,
+		cfg:    cfg,
+		pools:  make(map[string]*pool, len(cfg.Estimators)),
+		cache:  newLRUCache[float64](cfg.CacheSize),
+		perEst: make(map[string]*estCounter, len(cfg.Estimators)),
+	}
+	for _, name := range cfg.Estimators {
+		if _, dup := e.pools[name]; dup {
+			return nil, fmt.Errorf("engine: estimator %q configured twice", name)
+		}
+		factory, err := factoryFor(name, g, replicaSeed(cfg.Seed, name), cfg.MaxK, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		capacity := cfg.Workers
+		if name == "ParallelMC" {
+			// ParallelMC already fans its budget out over GOMAXPROCS
+			// goroutines per Estimate; pooling it Workers-deep would run
+			// up to Workers x GOMAXPROCS CPU-bound samplers at once.
+			capacity = 1
+		}
+		e.pools[name] = newPool(capacity, factory)
+		e.names = append(e.names, name)
+		e.perEst[name] = &estCounter{}
+	}
+	// The router's bounds memo is not result caching — it amortizes a
+	// static, expensive graph walk — so it stays on even when the result
+	// cache is disabled, and a small result cache must not shrink it.
+	memoSize := cfg.CacheSize
+	if memoSize < 1024 {
+		memoSize = 1024
+	}
+	// Pools capped below the worker count (ParallelMC) are excluded from
+	// routing: steering adaptive traffic at a single-replica pool would
+	// serialize concurrent queries behind one instance — exactly the
+	// bottleneck the engine exists to remove. They stay reachable by
+	// explicit request.
+	var candidates []string
+	for _, name := range e.names {
+		if e.pools[name].capacity >= cfg.Workers {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = e.names
+	}
+	e.router = newRouter(g, candidates, cfg.BoundsCutoff, cfg.HardWidth, memoSize)
+	return e, nil
+}
+
+// factoryFor maps an estimator name to its replica constructor. workers
+// sizes ParallelMC's internal fan-out, pinning its (otherwise
+// GOMAXPROCS-dependent) sample sharding to the engine config.
+func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int) (func() core.Estimator, error) {
+	switch name {
+	case "MC":
+		return func() core.Estimator { return core.NewMC(g, seed) }, nil
+	case "BFSSharing":
+		return func() core.Estimator { return core.NewBFSSharing(g, seed, maxK) }, nil
+	case "ProbTree":
+		return func() core.Estimator { return core.NewProbTree(g, seed) }, nil
+	case "LP+":
+		return func() core.Estimator { return core.NewLazyProp(g, seed) }, nil
+	case "RHH":
+		return func() core.Estimator { return core.NewRHH(g, seed) }, nil
+	case "RSS":
+		return func() core.Estimator { return core.NewRSS(g, seed) }, nil
+	case "ParallelMC":
+		return func() core.Estimator { return core.NewParallelMC(g, seed, workers) }, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown estimator %q", name)
+	}
+}
+
+// replicaSeed derives the shared construction seed of a pool's replicas.
+func replicaSeed(seed uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return mix64(seed ^ h.Sum64())
+}
+
+// querySeed derives the deterministic per-query stream seed: equal for
+// equal (engine seed, estimator, s, t, k) and uncorrelated otherwise.
+func querySeed(seed uint64, name string, s, t uncertain.NodeID, k int) uint64 {
+	z := replicaSeed(seed, name)
+	z = mix64(z + 0x9e3779b97f4a7c15*uint64(s))
+	z = mix64(z + 0xbf58476d1ce4e5b9*uint64(t))
+	return mix64(z + 0x94d049bb133111eb*uint64(k))
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Names returns the configured estimator names in stable order.
+func (e *Engine) Names() []string {
+	out := make([]string, len(e.names))
+	copy(out, e.names)
+	return out
+}
+
+// Graph returns the engine's underlying uncertain graph.
+func (e *Engine) Graph() *uncertain.Graph { return e.g }
+
+// MaxK returns the per-query sample budget cap.
+func (e *Engine) MaxK() int { return e.cfg.MaxK }
+
+// validate rejects malformed queries before they can reach an estimator
+// (which would panic).
+func (e *Engine) validate(q Query) error {
+	if q.Estimator == BoundsName {
+		// The bounds path draws no samples, so K is unused and a zero
+		// value must not be an error; only the endpoints matter.
+		return core.CheckQuery(e.g, q.S, q.T, 1)
+	}
+	if err := core.CheckQuery(e.g, q.S, q.T, q.K); err != nil {
+		return err
+	}
+	if q.K > e.cfg.MaxK {
+		return fmt.Errorf("engine: sample budget %d exceeds engine maximum %d", q.K, e.cfg.MaxK)
+	}
+	if q.Estimator != "" && q.Estimator != BoundsName {
+		if _, ok := e.pools[q.Estimator]; !ok {
+			return fmt.Errorf("engine: unknown estimator %q", q.Estimator)
+		}
+	}
+	return nil
+}
+
+// Estimate answers one query: route if unnamed, consult the cache, then
+// borrow a pooled instance, reseed it from the query key, and run it.
+func (e *Engine) Estimate(q Query) Result {
+	res := Result{Query: q}
+	if err := e.validate(q); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	name, done := e.resolve(q, &res)
+	if done {
+		res.Latency = time.Since(start)
+		return res
+	}
+	e.runSingle(name, q, &res)
+	// Report the full cost including any routing bounds walk; the
+	// estimator-only time was already fed to the router inside.
+	res.Latency = time.Since(start)
+	return res
+}
+
+// resolve names the estimator for a validated query, routing adaptively
+// when the query names none. When the analytic bounds pinch the answer —
+// or the query explicitly asks for the BoundsName pseudo-estimator — it
+// fills res in and reports done; no sampling runs at all.
+func (e *Engine) resolve(q Query, res *Result) (name string, done bool) {
+	if q.Estimator == BoundsName {
+		start := time.Now()
+		res.Used = BoundsName
+		res.Reliability = e.router.midpoint(q.S, q.T)
+		res.Latency = time.Since(start)
+		e.record(BoundsName, res.Latency.Seconds(), false)
+		return "", true
+	}
+	if q.Estimator != "" {
+		return q.Estimator, false
+	}
+	start := time.Now()
+	d := e.router.route(q.S, q.T)
+	if d.pinched {
+		res.Used = BoundsName
+		res.Reliability = d.value
+		// The bounds walk is the whole cost of a pinched answer; record
+		// it so the "bounds" stats row reflects reality, not zero.
+		res.Latency = time.Since(start)
+		e.record(BoundsName, res.Latency.Seconds(), false)
+		return "", true
+	}
+	return d.estimator, false
+}
+
+// runSingle answers one validated query with the named estimator: cache
+// lookup, then a borrowed, per-query-reseeded instance.
+func (e *Engine) runSingle(name string, q Query, res *Result) {
+	res.Used = name
+	key := cacheKey{s: q.S, t: q.T, est: name, k: q.K}
+	if v, ok := e.cache.get(key); ok {
+		res.Reliability = v
+		res.Cached = true
+		e.record(name, 0, true)
+		return
+	}
+	p := e.pools[name]
+	inst := p.get()
+	defer p.put(inst) // return the replica even if the estimator panics
+	e.runBorrowed(inst, name, q, res)
+}
+
+// runBorrowed answers one query on an already-borrowed instance and does
+// the full accounting: timing, cache fill, router observation, counters.
+func (e *Engine) runBorrowed(inst core.Estimator, name string, q Query, res *Result) {
+	start := time.Now()
+	res.Reliability = e.runOne(inst, name, q)
+	res.Latency = time.Since(start)
+	e.cache.put(cacheKey{s: q.S, t: q.T, est: name, k: q.K}, res.Reliability)
+	e.router.observe(name, res.Latency.Seconds())
+	e.record(name, res.Latency.Seconds(), false)
+}
+
+// runOne reseeds inst for the query and runs the estimate.
+func (e *Engine) runOne(inst core.Estimator, name string, q Query) float64 {
+	if s, ok := inst.(core.Seeder); ok {
+		s.Reseed(querySeed(e.cfg.Seed, name, q.S, q.T, q.K))
+	}
+	return inst.Estimate(q.S, q.T, q.K)
+}
+
+// workUnit is one batch work item. Two shapes:
+//   - est == "BFSSharing": a (source, k) group — every same-source,
+//     same-budget query of the batch, answered by one amortized shared
+//     traversal;
+//   - otherwise: one distinct (estimator, s, t, k) query, computed once
+//     and fanned out to every batch position that asked for it.
+//
+// Adaptive (unnamed-estimator) queries are resolved in a parallel phase
+// before units are built, so queries the router sends to BFS Sharing
+// join its amortized source groups too.
+type workUnit struct {
+	est  string
+	s    uncertain.NodeID
+	k    int
+	idxs []int // query indices the unit answers
+}
+
+// sharedName is the only estimator whose core API currently exposes
+// multi-target amortization (BFS Sharing's traversal computes every
+// target's reliability at once, read out via EstimateAll). ProbTree would
+// also benefit from per-source amortization, but its index offers only
+// per-(s,t) query-graph splicing today — tracked in ROADMAP.md. All other
+// estimators answer per query, so their batch queries become individual
+// work units and spread over all workers instead of serializing behind a
+// shared source.
+const sharedName = "BFSSharing"
+
+// orderedGroups accumulates query indices per key, remembering the keys'
+// first-appearance order so iteration — and with it unit execution order
+// — is deterministic run to run.
+type orderedGroups[K comparable] struct {
+	groups map[K][]int
+	order  []K
+}
+
+func newOrderedGroups[K comparable]() *orderedGroups[K] {
+	return &orderedGroups[K]{groups: make(map[K][]int)}
+}
+
+func (g *orderedGroups[K]) add(key K, i int) {
+	if _, seen := g.groups[key]; !seen {
+		g.order = append(g.order, key)
+	}
+	g.groups[key] = append(g.groups[key], i)
+}
+
+// EstimateBatch answers a set of queries concurrently: validated up
+// front, adaptively routed in a parallel resolve phase, turned into work
+// units (amortized (source, k) groups for BFS Sharing, per-query units
+// otherwise), and spread over the engine's workers. Results are
+// positionally aligned with the input and identical to what sequential
+// Estimate calls would return (modulo adaptive routing, which is
+// latency-dependent).
+func (e *Engine) EstimateBatch(queries []Query) []Result {
+	results := make([]Result, len(queries))
+	names := make([]string, len(queries))
+	routed := newOrderedGroups[cacheKey]() // adaptive queries by (s, t)
+	for i, q := range queries {
+		results[i].Query = q
+		if err := e.validate(q); err != nil {
+			results[i].Err = err
+			continue
+		}
+		if q.Estimator == "" || q.Estimator == BoundsName {
+			// Routing depends only on (s, t) — dedupe so a batch full of
+			// one hot pair pays the bounds walk once, not once per query.
+			// The estimator field keeps explicit bounds requests in their
+			// own group, apart from adaptive ones.
+			routed.add(cacheKey{s: q.S, t: q.T, est: q.Estimator}, i)
+			continue
+		}
+		names[i] = q.Estimator
+	}
+	// Resolve adaptive queries across the workers first — the analytic
+	// bounds walk dominates routing cost and must not run serially —
+	// so routed queries join the amortized groups below like named ones.
+	e.forEachParallel(len(routed.order), func(j int) {
+		idxs := routed.groups[routed.order[j]]
+		first := idxs[0]
+		name, done := e.resolve(queries[first], &results[first])
+		if !done {
+			names[first] = name
+		}
+		for _, i := range idxs[1:] {
+			if done {
+				// Duplicates reuse the first answer with the same
+				// cache-hit semantics as every other dedup path, and
+				// count in the bounds counters like separate calls.
+				results[i].Used = results[first].Used
+				results[i].Reliability = results[first].Reliability
+				results[i].Cached = true
+				e.router.notePinched()
+				e.noteDeduped()
+				e.record(BoundsName, 0, true)
+			} else {
+				names[i] = name
+				e.router.noteRouted(name)
+			}
+		}
+	})
+
+	type sourceBudget struct {
+		s uncertain.NodeID
+		k int
+	}
+	// Units are built in first-appearance order so execution order (and
+	// with it replica construction and stats accumulation) is the same
+	// on every run of an identical batch.
+	shared := newOrderedGroups[sourceBudget]()
+	single := newOrderedGroups[cacheKey]()
+	for i, q := range queries {
+		switch names[i] {
+		case "": // invalid or already answered by the bounds
+		case sharedName:
+			shared.add(sourceBudget{s: q.S, k: q.K}, i)
+		default:
+			// Dedup identical queries: one computation fans out to every
+			// batch position that asked for it.
+			single.add(cacheKey{s: q.S, t: q.T, est: names[i], k: q.K}, i)
+		}
+	}
+	units := make([]workUnit, 0, len(single.order)+len(shared.order))
+	for _, key := range single.order {
+		units = append(units, workUnit{est: key.est, s: key.s, k: key.k, idxs: single.groups[key]})
+	}
+	// One unit per (source, k): same-source traversals with different
+	// budgets are independent, so they parallelize too.
+	for _, key := range shared.order {
+		units = append(units, workUnit{est: sharedName, s: key.s, k: key.k, idxs: shared.groups[key]})
+	}
+	// Units of single-instance pools (ParallelMC) run last: placed
+	// earlier they would pile all workers up blocked on the one replica
+	// while runnable units wait in the queue.
+	var unconstrained, constrained []workUnit
+	for _, u := range units {
+		if e.pools[u.est].capacity == 1 {
+			constrained = append(constrained, u)
+		} else {
+			unconstrained = append(unconstrained, u)
+		}
+	}
+	units = append(unconstrained, constrained...)
+
+	e.forEachParallel(len(units), func(j int) {
+		u := units[j]
+		if u.est == sharedName {
+			e.runShared(u.s, u.k, u.idxs, queries, results)
+			return
+		}
+		first := u.idxs[0]
+		e.runSingle(u.est, queries[first], &results[first])
+		for _, i := range u.idxs[1:] {
+			// Duplicates reuse the computed value — cache-hit semantics,
+			// whether or not the cache itself is enabled.
+			results[i].Used = results[first].Used
+			results[i].Reliability = results[first].Reliability
+			results[i].Cached = true
+			e.noteDeduped()
+			e.record(u.est, 0, true)
+		}
+	})
+
+	answered := uint64(0)
+	for i := range results {
+		if results[i].Err == nil {
+			answered++
+		}
+	}
+	e.mu.Lock()
+	e.batches++
+	e.batched += answered
+	e.mu.Unlock()
+	return results
+}
+
+// forEachParallel runs fn(0..n-1) across up to Workers goroutines,
+// returning when all calls complete. A panic in fn is re-raised on the
+// caller's goroutine — an unrecovered panic on an engine-spawned
+// goroutine would kill the whole process, where the caller (e.g. an
+// net/http handler) may have a recover boundary of its own.
+func (e *Engine) forEachParallel(n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			fn(j)
+		}
+		return
+	}
+	work := make(chan int, n)
+	for j := 0; j < n; j++ {
+		work <- j
+	}
+	close(work)
+	var (
+		wg         sync.WaitGroup
+		panicOnce  sync.Once
+		panicMsg   string
+		panicFired bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								// Keep the faulting goroutine's stack — the
+								// re-panic below happens frames away from
+								// the actual bug — and drain the queue so
+								// no further units run on a doomed call.
+								panicMsg = fmt.Sprintf("engine: worker panic: %v\n%s", r, debug.Stack())
+								panicFired = true
+								for range work {
+								}
+							})
+						}
+					}()
+					fn(j)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicFired {
+		panic(panicMsg)
+	}
+}
+
+// runShared amortizes a BFS Sharing (source, k) group: every query shares
+// the source and sample budget, so one EstimateAll traversal answers all
+// of its targets at once. EstimateAll(s, k)[t] is exactly
+// Estimate(s, t, k) — the s-t query just reads one entry of the traversal
+// the method computes anyway — so amortization does not change results.
+func (e *Engine) runShared(s uncertain.NodeID, k int, idxs []int, queries []Query, results []Result) {
+	// Dedupe by target first, then consult the cache once per unique
+	// target — duplicates never touch the cache counters, matching the
+	// per-query dedup path.
+	byTarget := newOrderedGroups[uncertain.NodeID]()
+	for _, i := range idxs {
+		results[i].Used = sharedName
+		byTarget.add(queries[i].T, i)
+	}
+	reuse := func(first int, dups []int) {
+		for _, i := range dups {
+			results[i].Reliability = results[first].Reliability
+			results[i].Cached = true
+			e.noteDeduped()
+			e.record(sharedName, 0, true)
+		}
+	}
+	var missTargets []uncertain.NodeID
+	for _, t := range byTarget.order {
+		grp := byTarget.groups[t]
+		if v, hit := e.cache.get(cacheKey{s: s, t: t, est: sharedName, k: k}); hit {
+			results[grp[0]].Reliability = v
+			results[grp[0]].Cached = true
+			e.record(sharedName, 0, true)
+			reuse(grp[0], grp[1:])
+			continue
+		}
+		missTargets = append(missTargets, t)
+	}
+	if len(missTargets) == 0 {
+		return
+	}
+
+	p := e.pools[sharedName]
+	inst := p.get()
+	defer p.put(inst)
+	bs := inst.(*core.BFSSharing) // factoryFor guarantees the concrete type
+	if len(missTargets) == 1 {
+		// A lone target gains nothing from EstimateAll's O(n) readout;
+		// answer it like any other estimator would.
+		grp := byTarget.groups[missTargets[0]]
+		e.runBorrowed(bs, sharedName, queries[grp[0]], &results[grp[0]])
+		reuse(grp[0], grp[1:])
+		return
+	}
+	start := time.Now()
+	all := bs.EstimateAll(s, k)
+	elapsed := time.Since(start)
+	// Each query's Latency reports its amortized share of the shared
+	// traversal, but the router sees the full traversal cost once: a
+	// single adaptive query routed here would pay all of it.
+	share := elapsed / time.Duration(len(missTargets))
+	e.router.observe(sharedName, elapsed.Seconds())
+	for _, t := range missTargets {
+		grp := byTarget.groups[t]
+		first := grp[0]
+		results[first].Reliability = all[t]
+		results[first].Latency = share
+		e.cache.put(cacheKey{s: s, t: t, est: sharedName, k: k}, all[t])
+		e.record(sharedName, share.Seconds(), false)
+		reuse(first, grp[1:])
+	}
+}
+
+// Do borrows an instance of the named estimator for fn's exclusive use —
+// the escape hatch for advanced queries (top-k, single-source) that need
+// the concrete estimator rather than one Estimate call. The instance is
+// reseeded before fn runs, so a borrowed sampling estimator's stream
+// depends only on the engine seed, never on the queries the replica
+// happened to serve earlier.
+//
+// fn must not call back into the engine for the same estimator: it holds
+// one of a bounded pool of replicas, and on a single-replica pool
+// (Workers = 1, or ParallelMC) a re-entrant borrow blocks forever.
+func (e *Engine) Do(name string, fn func(core.Estimator) error) error {
+	p, ok := e.pools[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown estimator %q", name)
+	}
+	inst := p.get()
+	defer p.put(inst)
+	if s, ok := inst.(core.Seeder); ok {
+		s.Reseed(mix64(replicaSeed(e.cfg.Seed, name) + 0xD0e5eed))
+	}
+	return fn(inst)
+}
+
+// noteDeduped counts one intra-batch duplicate answered by reuse, so the
+// per-result Cached flags reconcile with Stats even when the LRU is
+// disabled (CacheHits + DedupedQueries covers every reused answer).
+func (e *Engine) noteDeduped() {
+	e.mu.Lock()
+	e.deduped++
+	e.mu.Unlock()
+}
+
+// record accumulates per-estimator counters. Cached answers count as
+// queries but contribute no latency.
+func (e *Engine) record(name string, seconds float64, cached bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries++
+	c := e.perEst[name]
+	if c == nil {
+		c = &estCounter{}
+		e.perEst[name] = c
+	}
+	c.queries++
+	if !cached {
+		c.computed++
+		c.totalSecs += seconds
+	}
+}
+
+// EstimatorStats reports one estimator's share of engine traffic.
+type EstimatorStats struct {
+	Queries       uint64  `json:"queries"`
+	AvgLatencyMs  float64 `json:"avgLatencyMs"`
+	EwmaLatencyMs float64 `json:"ewmaLatencyMs"`
+	Routed        uint64  `json:"routed"`
+	PoolReplicas  int     `json:"poolReplicas"`
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Queries        uint64                    `json:"queries"`
+	Batches        uint64                    `json:"batches"`
+	BatchQueries   uint64                    `json:"batchQueries"`
+	CacheHits      uint64                    `json:"cacheHits"`
+	CacheMisses    uint64                    `json:"cacheMisses"`
+	DedupedQueries uint64                    `json:"dedupedQueries"`
+	CacheLen       int                       `json:"cacheLen"`
+	CacheCap       int                       `json:"cacheCap"`
+	BoundsAnswered uint64                    `json:"boundsAnswered"`
+	Workers        int                       `json:"workers"`
+	Estimators     map[string]EstimatorStats `json:"estimators"`
+}
+
+// Stats snapshots the engine's counters. The cache, router, and engine
+// counters are sampled under their own locks without a global freeze, so
+// a snapshot taken under concurrent traffic can be skewed by in-flight
+// queries (e.g. CacheHits momentarily exceeding Queries).
+func (e *Engine) Stats() Stats {
+	routed, ewma, pinched := e.router.snapshot()
+	hits, misses, length, capacity := e.cache.counters()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Queries:        e.queries,
+		Batches:        e.batches,
+		BatchQueries:   e.batched,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		DedupedQueries: e.deduped,
+		CacheLen:       length,
+		CacheCap:       capacity,
+		BoundsAnswered: pinched,
+		Workers:        e.cfg.Workers,
+		Estimators:     make(map[string]EstimatorStats, len(e.perEst)),
+	}
+	for name, c := range e.perEst {
+		es := EstimatorStats{
+			Queries:       c.queries,
+			Routed:        routed[name],
+			EwmaLatencyMs: ewma[name] * 1000,
+		}
+		if c.computed > 0 {
+			es.AvgLatencyMs = c.totalSecs / float64(c.computed) * 1000
+		}
+		if p := e.pools[name]; p != nil {
+			es.PoolReplicas = p.size()
+		}
+		st.Estimators[name] = es
+	}
+	return st
+}

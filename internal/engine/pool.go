@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync"
+
+	"relcomp/internal/core"
+)
+
+// pool hands out estimator instances of one kind. The paper's estimators
+// keep per-instance scratch state (visited sets, node bit-vectors, lazy
+// propagation heaps) and are not goroutine-safe, so every borrower gets an
+// instance for its exclusive use and returns it when done.
+//
+// Instances are replicas: they are all constructed with the same seed, so
+// an index-based estimator (BFSSharing, ProbTree) builds the identical
+// index in every replica and any replica answers a query with the same
+// value. The sampling estimators are made query-deterministic by the
+// engine, which reseeds the borrowed instance from the query key before
+// every Estimate call (see querySeed). Together these make results
+// independent of which worker serves which query — the property the
+// engine's sequential-equivalence guarantee rests on.
+//
+// Construction is lazy: a replica is built the first time demand exceeds
+// the number of existing idle instances, up to capacity. This matters for
+// the index-based estimators, whose per-replica build cost (and index
+// memory) is only paid at the concurrency level actually reached.
+type pool struct {
+	factory func() core.Estimator
+	idle    chan core.Estimator
+
+	mu       sync.Mutex
+	created  int
+	capacity int
+}
+
+func newPool(capacity int, factory func() core.Estimator) *pool {
+	return &pool{
+		factory:  factory,
+		idle:     make(chan core.Estimator, capacity),
+		capacity: capacity,
+	}
+}
+
+// get returns an idle instance, builds a new one if under capacity, or
+// blocks until an instance is returned.
+func (p *pool) get() core.Estimator {
+	select {
+	case est := <-p.idle:
+		return est
+	default:
+	}
+	p.mu.Lock()
+	// Recheck idle under the lock: an instance may have been returned
+	// between the poll above and here, and building a redundant replica
+	// costs index construction plus permanently retained index memory.
+	select {
+	case est := <-p.idle:
+		p.mu.Unlock()
+		return est
+	default:
+	}
+	if p.created < p.capacity {
+		p.created++
+		p.mu.Unlock()
+		// Build outside the lock: index construction can be slow and must
+		// not serialize unrelated borrowers.
+		return p.factory()
+	}
+	p.mu.Unlock()
+	return <-p.idle
+}
+
+// put returns an instance to the pool.
+func (p *pool) put(est core.Estimator) { p.idle <- est }
+
+// size reports how many replicas have been constructed so far.
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}

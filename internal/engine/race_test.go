@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"relcomp/internal/uncertain"
+)
+
+// TestConcurrentMatchesSequential is the engine's sequential-equivalence
+// guarantee under -race: a storm of parallel mixed single/batch queries
+// must return exactly the results sequential execution returns. The
+// workload names its estimators explicitly — adaptive routing is
+// deliberately latency-dependent and is exercised separately in
+// TestConcurrentRoutedQueries.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	cfg := Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 128}
+	queries := testQueries(DefaultEstimators())
+
+	// Sequential ground truth on a fresh engine.
+	seq := testEngine(t, cfg)
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		res := seq.Estimate(q)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want[i] = res.Reliability
+	}
+
+	// Concurrent mixed execution on another fresh engine: goroutines
+	// interleave single Estimate calls, EstimateBatch slices, and Stats
+	// reads, with the cache in play.
+	conc := testEngine(t, cfg)
+	var wg sync.WaitGroup
+	errs := make(chan string, 1024)
+	check := func(i int, got Result) {
+		if got.Err != nil {
+			errs <- got.Err.Error()
+			return
+		}
+		if got.Reliability != want[i] {
+			errs <- "mismatch"
+		}
+	}
+	for round := 0; round < 3; round++ {
+		// Single-query callers.
+		for i := range queries {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				check(i, conc.Estimate(queries[i]))
+			}(i)
+		}
+		// Batch callers, one per chunk of the workload.
+		const chunk = 10
+		for lo := 0; lo < len(queries); lo += chunk {
+			hi := lo + chunk
+			if hi > len(queries) {
+				hi = len(queries)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for off, res := range conc.EstimateBatch(queries[lo:hi]) {
+					check(lo+off, res)
+				}
+			}(lo, hi)
+		}
+		// Stats readers race with the writers.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = conc.Stats()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatalf("concurrent execution diverged from sequential: %s", msg)
+	}
+}
+
+// TestConcurrentRoutedQueries races adaptively routed traffic (whose
+// estimator choice is timing-dependent) purely for data-race and sanity
+// coverage.
+func TestConcurrentRoutedQueries(t *testing.T) {
+	e := testEngine(t, Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				res := e.Estimate(Query{
+					S: uncertain.NodeID((w + i) % 6),
+					T: uncertain.NodeID(6 + (w*i)%6),
+					K: 100,
+				})
+				if res.Err != nil {
+					t.Error(res.Err)
+					return
+				}
+				if res.Reliability < 0 || res.Reliability > 1 {
+					t.Errorf("reliability %v", res.Reliability)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
