@@ -200,6 +200,86 @@ func BenchmarkEngineSerialized(b *testing.B) {
 	b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
 }
 
+// probTreeBenchGraph builds the workload shape ProbTree's index exists
+// for (tree-like, low treewidth): a random tree plus a few cross edges,
+// so the width-2 elimination absorbs almost every node into a bag and the
+// spliced query graphs stay small. On such graphs the per-(s,t) splice
+// cost is dominated by the full bag scan Algorithm 8 performs per query —
+// exactly the part the source-grouped path pays once per group.
+func probTreeBenchGraph(b *testing.B, n, extra int) *Graph {
+	b.Helper()
+	gb := NewGraphBuilder(n)
+	r := uint64(12345)
+	next := func(bound int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return int((r >> 33) % uint64(bound))
+	}
+	for v := 1; v < n; v++ {
+		parent := NodeID(next(v))
+		p := 0.5 + float64(next(40))/100 // 0.5–0.9
+		gb.AddEdge(parent, NodeID(v), p)
+		gb.AddEdge(NodeID(v), parent, p)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := NodeID(next(n)), NodeID(next(n))
+		if u != v {
+			gb.AddEdge(u, v, 0.3)
+		}
+	}
+	return gb.Build()
+}
+
+// BenchmarkProbTreeBatch measures the ProbTree source-group amortization:
+// a wide single-source batch answered through the engine's grouped path
+// (one QueryGraphAll expands and pre-collects the s-side bag chain once
+// for every target) against the same queries through the per-(s,t) splice
+// path (each query re-expands and re-scans the whole bag tree). Same
+// seed, bit-identical results; Workers is pinned to 1 so the comparison
+// isolates the algorithmic amortization from multi-core parallelism.
+func BenchmarkProbTreeBatch(b *testing.B) {
+	g := probTreeBenchGraph(b, 50000, 25)
+	queries := make([]Query, 0, 64)
+	for d := 1; len(queries) < 64; d += 311 {
+		queries = append(queries, Query{S: 0, T: NodeID(d % g.NumNodes()), K: 100, Estimator: "ProbTree"})
+	}
+	newEngine := func() *Engine {
+		eng, err := NewEngine(g, EngineConfig{Workers: 1, MaxK: 100, Seed: 7, CacheSize: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Estimate(queries[0]) // build the shared index outside the timer
+		return eng
+	}
+	b.Run("grouped", func(b *testing.B) {
+		eng := newEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.EstimateBatch(queries) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run("per-query", func(b *testing.B) {
+		eng := newEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if res := eng.Estimate(q); res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+	})
+}
+
 // BenchmarkIndexBuild measures the offline index construction of the two
 // index-based methods (Fig. 13a).
 func BenchmarkIndexBuild(b *testing.B) {

@@ -10,13 +10,22 @@
 //	curl -d '{"queries":[{"s":10,"t":250,"k":1000},{"s":10,"t":251,"k":1000,"estimator":"BFSSharing"}]}' \
 //	     'localhost:8080/v1/batch'
 //	curl 'localhost:8080/v1/engine/stats'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// new connections, drains in-flight requests (bounded by -shutdown-grace),
+// then exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"relcomp"
 )
@@ -31,6 +40,9 @@ func main() {
 		maxK      = flag.Int("maxk", 2000, "maximum samples per query (BFS Sharing index width)")
 		workers   = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", 4096, "result cache capacity (0 disables)")
+		readTO    = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout (full request, headers and body)")
+		writeTO   = flag.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers batch computation)")
+		grace     = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -53,7 +65,41 @@ func main() {
 		Workers:   *workers,
 		CacheSize: *cacheSize,
 	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Slow-client protection: a stalled reader or writer must not pin
+		// a connection (and its engine work) forever. The write timeout is
+		// sized for batch requests, which compute before responding.
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  2 * time.Minute,
+	}
+
 	fmt.Printf("relserver: serving %s (%d nodes, %d edges) on %s\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed outright (e.g. address in use).
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("relserver: signal received, draining in-flight requests (up to %s)", *grace)
+		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Fatalf("relserver: shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("relserver: serve: %v", err)
+		}
+		log.Print("relserver: drained, bye")
+	}
 }

@@ -6,12 +6,16 @@ import (
 
 // The concurrent batch query engine, re-exported from internal/engine.
 // The engine is the serving layer over the six estimators: per-worker
-// estimator pools (the estimators are not goroutine-safe), a batch API
-// that groups queries by source so BFS Sharing amortizes one traversal
-// across all targets of a source, a bounded LRU result cache, and an
-// adaptive per-query estimator router driven by analytic bounds width and
-// online latency statistics. See cmd/relserver for the HTTP surface and
-// DESIGN.md §4 for the architecture.
+// estimator pools (the estimators are not goroutine-safe) whose
+// index-based members share one immutable offline index per estimator
+// kind — pool replicas are cheap online-scratch handles, so index memory
+// stays O(index) regardless of Workers — a batch API that groups queries
+// by source so BFS Sharing amortizes one traversal across all targets of
+// a source and ProbTree amortizes its source-side bag expansion across a
+// source group, a bounded LRU result cache, and an adaptive per-query
+// estimator router driven by analytic bounds width and online latency
+// statistics. See cmd/relserver for the HTTP surface and DESIGN.md §4 for
+// the architecture.
 
 type (
 	// Engine is the concurrent batch query engine; all methods are safe

@@ -65,6 +65,30 @@ func (v Vector) Zero() {
 	}
 }
 
+// ClearRange clears bits [lo, hi), leaving every bit outside the range
+// untouched. The BFS Sharing index uses it to redraw a sub-range of each
+// edge vector without disturbing worlds sampled on either side.
+func (v Vector) ClearRange(lo, hi int) {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("bitvec: invalid clear range [%d,%d)", lo, hi))
+	}
+	if lo == hi {
+		return
+	}
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)          // bits >= lo within loWord
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63)) // bits < hi within hiWord
+	if loWord == hiWord {
+		v[loWord] &^= loMask & hiMask
+		return
+	}
+	v[loWord] &^= loMask
+	for i := loWord + 1; i < hiWord; i++ {
+		v[i] = 0
+	}
+	v[hiWord] &^= hiMask
+}
+
 // Count returns the number of 1 bits.
 func (v Vector) Count() int {
 	n := 0

@@ -197,3 +197,28 @@ func TestArenaFromWords(t *testing.T) {
 		t.Error("mismatched word count accepted")
 	}
 }
+
+func TestClearRange(t *testing.T) {
+	for _, tc := range []struct{ lo, hi int }{
+		{0, 0}, {0, 1}, {0, 64}, {0, 65}, {1, 63}, {63, 65}, {64, 128},
+		{5, 5}, {100, 192}, {191, 192}, {0, 192}, {67, 130},
+	} {
+		v := New(192)
+		for i := 0; i < 192; i++ {
+			v.Set(i)
+		}
+		v.ClearRange(tc.lo, tc.hi)
+		for i := 0; i < 192; i++ {
+			want := i < tc.lo || i >= tc.hi
+			if v.Get(i) != want {
+				t.Fatalf("ClearRange(%d,%d): bit %d = %v, want %v", tc.lo, tc.hi, i, v.Get(i), want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid range accepted")
+		}
+	}()
+	New(64).ClearRange(3, 2)
+}

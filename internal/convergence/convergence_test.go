@@ -177,3 +177,31 @@ func TestFreshenResamplesIndex(t *testing.T) {
 		t.Error("freshen did not vary the BFS Sharing estimate")
 	}
 }
+
+// TestEvaluateThenLargerKStaysFresh is the regression test for the BFS
+// Sharing stale-tail hazard: Evaluate at a small K ends with the index
+// prefix-resampled to that K, and a later estimate at a larger K used to
+// read the zeroed slack of the prefix draw's last word plus a stale tail.
+// On a certain graph (every edge probability 1) any such leftover shows
+// up as an estimate below 1.
+func TestEvaluateThenLargerKStaysFresh(t *testing.T) {
+	b := uncertain.NewBuilder(3)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(1, 2, 1)
+	g := b.Build()
+	bs := core.NewBFSSharing(g, 3, 400)
+	pairs := []workload.Pair{{S: 0, T: 2}}
+
+	// Sweep-style increasing K: each Evaluate prefix-resamples to its K.
+	for _, k := range []int{100, 150} {
+		ps := Evaluate(bs, pairs, k, 3, 11)
+		if ps.Mean[0] != 1 {
+			t.Fatalf("K=%d: mean %v on a certain graph, want 1", k, ps.Mean[0])
+		}
+	}
+	// A direct estimate above the last evaluated K must see only fully
+	// drawn worlds.
+	if got := bs.Estimate(0, 2, 400); got != 1 {
+		t.Fatalf("Estimate at K=400 after prefix resamples = %v, want 1 (stale/zeroed tail)", got)
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"relcomp/internal/uncertain"
 )
 
-// BFSSharing is the index-based estimator of Zhu et al. (ICDM 2015),
+// BFS Sharing is the index-based estimator of Zhu et al. (ICDM 2015),
 // Algorithms 2–3 of the paper. Offline it samples L possible worlds and
 // stores, per edge, an L-bit vector whose i-th bit says whether the edge
 // exists in world i. Online, an s-t query runs a single BFS over the
@@ -20,104 +20,168 @@ import (
 // O(K(m+n)) — NOT independent of K — because each node and edge can be
 // revisited up to K times by cascading updates, and no early termination is
 // possible.
-type BFSSharing struct {
+//
+// The implementation splits the estimator along the paper's offline/online
+// boundary: BFSIndex is the offline product (the edge bit-vector arena,
+// built once and read-only afterwards), and BFSQuerier is a lightweight
+// online handle (node vectors, visited set, worklists) over an index. Any
+// number of queriers may share one index from concurrent goroutines, which
+// is what lets a serving layer keep index memory O(1) in its worker count;
+// each individual querier serves one goroutine at a time. BFSSharing
+// bundles a privately owned index with one querier, preserving the
+// original single-instance API (including resampling) for the harness and
+// the convergence sweeps.
+
+// BFSIndex is the offline BFS Sharing index: per edge, the first `width`
+// bits record the edge's existence in `width` independently pre-sampled
+// possible worlds (the paper uses a safe bound L = 1500 since the
+// convergence K is not known a priori).
+//
+// Once built, the index is read-only for queriers and safe to share. The
+// resampling methods (Resample, ResamplePrefix, and the lazy tail refresh
+// an Estimate above the valid prefix triggers) mutate it and require the
+// caller to own the index exclusively — they exist for the convergence
+// harness, which charges an index redraw between independent runs, not for
+// shared serving.
+type BFSIndex struct {
 	g   *uncertain.Graph
-	rng *rng.Source
+	rng *rng.Source // sampling stream; used only while (re)building
 
 	width    int // L: bits sampled per edge in the index
+	valid    int // bits [0, valid) are from the latest draw
 	edgeBits *bitvec.Arena
-
-	// Online scratch, allocated on first query (the paper counts node
-	// vectors as online memory).
-	nodeBits  *bitvec.Arena
-	inSet     []bool
-	worklist  []uncertain.NodeID
-	cascadeQ  []uncertain.NodeID
-	buildSecs float64
 }
 
-// NewBFSSharing builds the offline index with width pre-sampled possible
-// worlds (the paper uses a safe bound L=1500 since the convergence K is not
-// known a priori). Estimate may then be called with any k <= width.
-func NewBFSSharing(g *uncertain.Graph, seed uint64, width int) *BFSSharing {
+// NewBFSIndex samples the offline index: bit i of edge e is set with
+// probability P(e), independently, for i < width.
+func NewBFSIndex(g *uncertain.Graph, seed uint64, width int) *BFSIndex {
 	if width <= 0 {
 		panic(fmt.Sprintf("core: BFSSharing width %d must be positive", width))
 	}
-	b := &BFSSharing{
-		g:     g,
-		rng:   rng.New(seed),
-		width: width,
+	ix := &BFSIndex{
+		g:        g,
+		rng:      rng.New(seed),
+		width:    width,
+		edgeBits: bitvec.NewArena(g.NumEdges(), width),
 	}
-	b.buildIndex()
-	return b
+	ix.resampleRange(0, width)
+	ix.valid = width
+	return ix
 }
 
-// buildIndex (re)samples every edge's bit vector: bit i of edge e is set
-// with probability P(e), independently.
-func (b *BFSSharing) buildIndex() {
-	if b.edgeBits == nil {
-		b.edgeBits = bitvec.NewArena(b.g.NumEdges(), b.width)
-	}
-	b.resampleBits(b.width)
-}
-
-// resampleBits redraws the first k bits of every edge vector. Sampling
-// uses geometric skips between set bits, so an edge of probability p costs
-// O(p·k) rather than O(k) — this makes low-probability datasets (NetHEPT)
-// orders of magnitude cheaper to index while producing exactly independent
+// resampleRange redraws bits [lo, hi) of every edge vector, leaving bits
+// outside the range untouched. Sampling uses geometric skips between set
+// bits, so an edge of probability p costs O(p·(hi-lo)) rather than
+// O(hi-lo) — this makes low-probability datasets (NetHEPT) orders of
+// magnitude cheaper to index while producing exactly independent
 // Bernoulli(p) bits.
-func (b *BFSSharing) resampleBits(k int) {
-	g := b.g
-	words := bitvec.WordsFor(k)
+func (ix *BFSIndex) resampleRange(lo, hi int) {
+	g := ix.g
 	for id := 0; id < g.NumEdges(); id++ {
 		p := g.Edge(uncertain.EdgeID(id)).P
-		v := b.edgeBits.Vec(id)[:words]
-		v.Zero()
-		for i := b.rng.Geometric(p); i < k; i += 1 + b.rng.Geometric(p) {
+		v := ix.edgeBits.Vec(id)
+		v.ClearRange(lo, hi)
+		for i := lo + ix.rng.Geometric(p); i < hi; i += 1 + ix.rng.Geometric(p) {
 			v.Set(i)
 		}
 	}
 }
 
 // Resample regenerates the whole index. The paper (Table 15) charges this
-// per query when successive queries must be independent.
-func (b *BFSSharing) Resample() { b.resampleBits(b.width) }
+// per query when successive queries must be independent. Requires
+// exclusive ownership of the index.
+func (ix *BFSIndex) Resample() {
+	ix.resampleRange(0, ix.width)
+	ix.valid = ix.width
+}
 
 // ResamplePrefix regenerates only the first k bits of the index, which is
 // all a subsequent Estimate with the same k will read. The convergence
 // harness uses this to avoid redrawing the full safe-bound width between
-// repeated runs at small K.
-func (b *BFSSharing) ResamplePrefix(k int) {
-	if k > b.width {
-		k = b.width
+// repeated runs at small K. Bits at or beyond k keep the previous draw;
+// the valid prefix shrinks to k, and a later Estimate with a larger budget
+// refreshes the missing range before reading it (see ensureValid) so fresh
+// and stale worlds are never mixed in one estimate. Requires exclusive
+// ownership of the index.
+func (ix *BFSIndex) ResamplePrefix(k int) {
+	if k > ix.width {
+		k = ix.width
 	}
-	b.resampleBits(k)
+	if k < 0 {
+		k = 0
+	}
+	ix.resampleRange(0, k)
+	ix.valid = k
+}
+
+// ensureValid extends the valid prefix to cover k bits, redrawing the
+// stale range [valid, k) left behind by an earlier ResamplePrefix. The
+// refresh mutates the index, so — like ResamplePrefix itself — it only
+// ever runs under exclusive ownership: an index that was never
+// prefix-resampled is fully valid and this is a no-op.
+func (ix *BFSIndex) ensureValid(k int) {
+	if k <= ix.valid {
+		return
+	}
+	ix.resampleRange(ix.valid, k)
+	ix.valid = k
 }
 
 // Width returns the index width L.
-func (b *BFSSharing) Width() int { return b.width }
+func (ix *BFSIndex) Width() int { return ix.width }
+
+// ValidPrefix returns how many leading bits of every edge vector belong to
+// the latest draw. It equals Width unless ResamplePrefix shrank it.
+func (ix *BFSIndex) ValidPrefix() int { return ix.valid }
+
+// Bytes returns the size of the index's edge bit-vector arena.
+func (ix *BFSIndex) Bytes() int64 { return ix.edgeBits.Bytes() }
+
+// Querier returns a fresh online handle over the index. The handle holds
+// only the online scratch (node vectors, visited set, worklists), so it is
+// cheap to construct; many handles may share one index, each serving a
+// single goroutine.
+func (ix *BFSIndex) Querier() *BFSQuerier { return &BFSQuerier{ix: ix} }
+
+// BFSQuerier is the online half of BFS Sharing: per-borrower scratch over
+// a shared read-only BFSIndex. It implements Estimator. Not safe for
+// concurrent use — one querier per goroutine; the shared index is.
+type BFSQuerier struct {
+	ix *BFSIndex
+
+	// Online scratch, allocated on first query (the paper counts node
+	// vectors as online memory).
+	nodeBits *bitvec.Arena
+	inSet    []bool
+	worklist []uncertain.NodeID
+	cascadeQ []uncertain.NodeID
+}
+
+// Index returns the shared offline index this querier reads.
+func (q *BFSQuerier) Index() *BFSIndex { return q.ix }
+
+// Width returns the index width L.
+func (q *BFSQuerier) Width() int { return q.ix.width }
 
 // Name implements Estimator.
-func (b *BFSSharing) Name() string { return "BFSSharing" }
-
-// Reseed implements Seeder. Reseeding alone does not change the index; call
-// Resample afterwards to draw new worlds.
-func (b *BFSSharing) Reseed(seed uint64) { b.rng.Seed(seed) }
+func (q *BFSQuerier) Name() string { return "BFSSharing" }
 
 // Estimate implements Estimator. k must not exceed the index width; the
 // query uses the first k pre-sampled worlds.
-func (b *BFSSharing) Estimate(s, t uncertain.NodeID, k int) float64 {
-	mustValidQuery(b.g, s, t, k)
-	if k > b.width {
-		panic(fmt.Sprintf("core: BFSSharing asked for %d samples but index width is %d", k, b.width))
+func (q *BFSQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
+	ix := q.ix
+	mustValidQuery(ix.g, s, t, k)
+	if k > ix.width {
+		panic(fmt.Sprintf("core: BFSSharing asked for %d samples but index width is %d", k, ix.width))
 	}
+	ix.ensureValid(k)
 	if s == t {
 		return 1
 	}
-	g := b.g
-	if b.nodeBits == nil {
-		b.nodeBits = bitvec.NewArena(g.NumNodes(), b.width)
-		b.inSet = make([]bool, g.NumNodes())
+	g := ix.g
+	if q.nodeBits == nil {
+		q.nodeBits = bitvec.NewArena(g.NumNodes(), ix.width)
+		q.inSet = make([]bool, g.NumNodes())
 	}
 
 	// Only the first words covering k bits participate; the final word is
@@ -129,80 +193,80 @@ func (b *BFSSharing) Estimate(s, t uncertain.NodeID, k int) float64 {
 
 	// Reset the node vectors and visited set for the touched nodes of the
 	// previous query.
-	b.nodeBits.ZeroAll()
-	for i := range b.inSet {
-		b.inSet[i] = false
+	q.nodeBits.ZeroAll()
+	for i := range q.inSet {
+		q.inSet[i] = false
 	}
 
 	// Is <- all ones over the first k bits.
-	is := b.nodeBits.Vec(int(s))
+	is := q.nodeBits.Vec(int(s))
 	is.Fill(k)
-	b.inSet[s] = true
+	q.inSet[s] = true
 
 	// Worklist BFS (Algorithm 2).
-	wl := b.worklist[:0]
+	wl := q.worklist[:0]
 	wl = append(wl, g.OutNeighbors(s)...)
 	for head := 0; head < len(wl); head++ {
 		v := wl[head]
-		if b.inSet[v] {
+		if q.inSet[v] {
 			continue
 		}
-		b.inSet[v] = true
-		iv := vec(b.nodeBits, int(v))
+		q.inSet[v] = true
+		iv := vec(q.nodeBits, int(v))
 
 		// Absorb all visited in-neighbors: Iv |= Iin & Ie(in,v).
 		ins := g.InNeighbors(v)
 		ids := g.InEdgeIDs(v)
 		for i, in := range ins {
-			if b.inSet[in] {
-				bitvec.OrAndInto(iv, vec(b.nodeBits, int(in)), vec(b.edgeBits, int(ids[i])))
+			if q.inSet[in] {
+				bitvec.OrAndInto(iv, vec(q.nodeBits, int(in)), vec(ix.edgeBits, int(ids[i])))
 			}
 		}
 
 		outs := g.OutNeighbors(v)
 		oids := g.OutEdgeIDs(v)
 		for i, out := range outs {
-			if !b.inSet[out] {
+			if !q.inSet[out] {
 				wl = append(wl, out)
 			} else {
-				b.cascadeUpdate(v, out, oids[i], words)
+				q.cascadeUpdate(v, out, oids[i], words)
 			}
 		}
 	}
-	b.worklist = wl
+	q.worklist = wl
 
-	it := vec(b.nodeBits, int(t))
+	it := vec(q.nodeBits, int(t))
 	return float64(countPrefix(it, k)) / float64(k)
 }
 
 // cascadeUpdate implements Algorithm 3: after Iv gained worlds, push them
 // through already-visited out-neighbors until a fixpoint. Termination is
 // guaranteed because vectors only ever gain bits.
-func (b *BFSSharing) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, words int) {
-	g := b.g
+func (q *BFSQuerier) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, words int) {
+	g := q.ix.g
 	vec := func(arena *bitvec.Arena, i int) bitvec.Vector {
 		return arena.Vec(i)[:words]
 	}
-	if !bitvec.OrAndInto(vec(b.nodeBits, int(u)), vec(b.nodeBits, int(v)), vec(b.edgeBits, int(e))) {
+	if !bitvec.OrAndInto(vec(q.nodeBits, int(u)), vec(q.nodeBits, int(v)), vec(q.ix.edgeBits, int(e))) {
 		return
 	}
-	q := b.cascadeQ[:0]
-	q = append(q, u)
-	for head := 0; head < len(q); head++ {
-		w := q[head]
-		iw := vec(b.nodeBits, int(w))
+	queue := q.cascadeQ[:0]
+	queue = append(queue, u)
+	for head := 0; head < len(queue); head++ {
+		w := queue[head]
+		iw := vec(q.nodeBits, int(w))
 		outs := g.OutNeighbors(w)
 		oids := g.OutEdgeIDs(w)
 		for i, x := range outs {
-			if !b.inSet[x] {
+			if !q.inSet[x] {
 				continue
 			}
-			if bitvec.OrAndInto(vec(b.nodeBits, int(x)), iw, vec(b.edgeBits, int(oids[i]))) {
-				q = append(q, x)
+			if bitvec.OrAndInto(vec(q.nodeBits, int(x)), iw, vec(q.ix.edgeBits, int(oids[i]))) {
+				queue = append(queue, x)
 			}
 		}
 	}
-	b.cascadeQ = q
+	q.cascadeQ = queue
 }
 
 // countPrefix counts set bits among the first k bits of v.
@@ -224,16 +288,49 @@ func onesCount(w uint64) int {
 }
 
 // IndexBytes returns the size of the offline index (edge bit vectors).
-func (b *BFSSharing) IndexBytes() int64 { return b.edgeBits.Bytes() }
+func (q *BFSQuerier) IndexBytes() int64 { return q.ix.Bytes() }
 
-// MemoryBytes implements MemoryReporter: the loaded index plus the online
-// node vectors and BFS state.
-func (b *BFSSharing) MemoryBytes() int64 {
-	m := b.IndexBytes()
-	if b.nodeBits != nil {
-		m += b.nodeBits.Bytes()
-		m += int64(len(b.inSet))
+// ScratchBytes returns the size of this handle's online state alone: node
+// vectors, visited set, and BFS worklists. This is the marginal memory of
+// one more querier over a shared index.
+func (q *BFSQuerier) ScratchBytes() int64 {
+	var m int64
+	if q.nodeBits != nil {
+		m += q.nodeBits.Bytes()
+		m += int64(len(q.inSet))
 	}
-	m += int64(cap(b.worklist)+cap(b.cascadeQ)) * 4
+	m += int64(cap(q.worklist)+cap(q.cascadeQ)) * 4
 	return m
 }
+
+// MemoryBytes implements MemoryReporter: the loaded index plus the online
+// node vectors and BFS state. Handles sharing one index each report the
+// full index size; use ScratchBytes for the marginal cost of a handle.
+func (q *BFSQuerier) MemoryBytes() int64 { return q.IndexBytes() + q.ScratchBytes() }
+
+// BFSSharing bundles a privately owned BFSIndex with one querier — the
+// original single-owner estimator API used by the harness and the
+// convergence sweeps. The resampling methods mutate the index, so a
+// BFSSharing must not hand its index to other queriers.
+type BFSSharing struct {
+	BFSQuerier
+}
+
+// NewBFSSharing builds the offline index with width pre-sampled possible
+// worlds and returns the estimator that owns it. Estimate may then be
+// called with any k <= width.
+func NewBFSSharing(g *uncertain.Graph, seed uint64, width int) *BFSSharing {
+	return &BFSSharing{BFSQuerier{ix: NewBFSIndex(g, seed, width)}}
+}
+
+// Resample regenerates the whole index (Table 15 charges this per query
+// when successive queries must be independent).
+func (b *BFSSharing) Resample() { b.ix.Resample() }
+
+// ResamplePrefix regenerates only the first k bits of the index; see
+// BFSIndex.ResamplePrefix.
+func (b *BFSSharing) ResamplePrefix(k int) { b.ix.ResamplePrefix(k) }
+
+// Reseed implements Seeder. Reseeding alone does not change the index;
+// call Resample afterwards to draw new worlds.
+func (b *BFSSharing) Reseed(seed uint64) { b.ix.rng.Seed(seed) }

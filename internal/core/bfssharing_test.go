@@ -150,7 +150,7 @@ func TestBFSSharingIndexBits(t *testing.T) {
 	bs := NewBFSSharing(g, 11, width)
 	for id := 0; id < g.NumEdges(); id++ {
 		p := g.Edge(uncertain.EdgeID(id)).P
-		density := float64(bs.edgeBits.Vec(id).Count()) / width
+		density := float64(bs.ix.edgeBits.Vec(id).Count()) / width
 		if math.Abs(density-p) > 0.01 {
 			t.Errorf("edge %d: bit density %.4f, probability %.4f", id, density, p)
 		}
@@ -169,5 +169,101 @@ func TestCountPrefix(t *testing.T) {
 		if got := countPrefix(v, c.k); got != c.want {
 			t.Errorf("countPrefix(k=%d) = %d, want %d", c.k, got, c.want)
 		}
+	}
+}
+
+// TestResamplePrefixTracksValidWidth: ResamplePrefix(k) must leave the
+// index tail untouched (it belongs to the previous draw) and shrink the
+// valid prefix to k, and a subsequent Estimate with a larger budget must
+// refresh the missing range before reading it — never mixing freshly
+// drawn worlds with the previous draw's tail, and never reading the
+// zeroed slack of the prefix draw's final word.
+func TestResamplePrefixTracksValidWidth(t *testing.T) {
+	r := rng.New(99)
+	g := randomTestGraph(r, 30, 80) // enough edges that a redraw is visible
+	const width = 192               // three words per edge vector
+	bs := NewBFSSharing(g, 5, width)
+	if got := bs.Index().ValidPrefix(); got != width {
+		t.Fatalf("fresh index valid prefix %d, want %d", got, width)
+	}
+	snapshot := func() []uint64 {
+		return append([]uint64(nil), bs.ix.edgeBits.Words()...)
+	}
+	words := func(ws []uint64, edge, word int) uint64 { return ws[edge*3+word] }
+
+	before := snapshot()
+	bs.ResamplePrefix(64)
+	if got := bs.Index().ValidPrefix(); got != 64 {
+		t.Fatalf("valid prefix after ResamplePrefix(64) = %d, want 64", got)
+	}
+	mid := snapshot()
+	prefixChanged := false
+	for e := 0; e < g.NumEdges(); e++ {
+		if words(mid, e, 0) != words(before, e, 0) {
+			prefixChanged = true
+		}
+		// The tail is the previous draw and must be byte-identical — the
+		// old implementation zeroed the rest of the last redrawn word.
+		for w := 1; w < 3; w++ {
+			if words(mid, e, w) != words(before, e, w) {
+				t.Fatalf("edge %d word %d disturbed by prefix resample", e, w)
+			}
+		}
+	}
+	if !prefixChanged {
+		t.Fatal("ResamplePrefix(64) did not redraw the prefix")
+	}
+
+	// An estimate above the valid prefix refreshes [64, 192) first.
+	if r := bs.Estimate(0, 1, width); r < 0 || r > 1 {
+		t.Fatalf("estimate %v out of range", r)
+	}
+	if got := bs.Index().ValidPrefix(); got != width {
+		t.Fatalf("valid prefix after Estimate(%d) = %d, want %d", width, got, width)
+	}
+	after := snapshot()
+	tailChanged := false
+	for e := 0; e < g.NumEdges(); e++ {
+		if words(after, e, 0) != words(mid, e, 0) {
+			t.Fatalf("edge %d prefix word redrawn by the tail refresh", e)
+		}
+		for w := 1; w < 3; w++ {
+			if words(after, e, w) != words(mid, e, w) {
+				tailChanged = true
+			}
+		}
+	}
+	if !tailChanged {
+		t.Fatal("Estimate above the valid prefix did not refresh the stale tail")
+	}
+}
+
+// TestSharedIndexManyQueriers: independent queriers over one shared index
+// must agree with a privately owned estimator bit for bit, and report the
+// identical index object.
+func TestSharedIndexManyQueriers(t *testing.T) {
+	r := rng.New(7)
+	g := randomTestGraph(r, 40, 120)
+	const width = 300
+	owned := NewBFSSharing(g, 11, width)
+	ix := NewBFSIndex(g, 11, width)
+	q1, q2 := ix.Querier(), ix.Querier()
+	if q1.Index() != ix || q2.Index() != ix {
+		t.Fatal("queriers do not report the shared index")
+	}
+	for s := uncertain.NodeID(0); s < 5; s++ {
+		for d := uncertain.NodeID(5); d < 10; d++ {
+			want := owned.Estimate(s, d, width)
+			if got := q1.Estimate(s, d, width); got != want {
+				t.Fatalf("querier 1 (%d,%d) = %v, owned = %v", s, d, got, want)
+			}
+			if got := q2.Estimate(s, d, width); got != want {
+				t.Fatalf("querier 2 (%d,%d) = %v, owned = %v", s, d, got, want)
+			}
+		}
+	}
+	if q1.MemoryBytes() != ix.Bytes()+q1.ScratchBytes() {
+		t.Errorf("MemoryBytes %d != index %d + scratch %d",
+			q1.MemoryBytes(), ix.Bytes(), q1.ScratchBytes())
 	}
 }

@@ -22,17 +22,20 @@ type bfsSharingIndexFile struct {
 }
 
 // WriteIndex serializes the offline index (edge bit vectors) to w.
-func (b *BFSSharing) WriteIndex(w io.Writer) error {
+func (ix *BFSIndex) WriteIndex(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(bfsSharingIndexFile{
-		Width:    b.width,
-		NumEdges: b.g.NumEdges(),
-		Words:    b.edgeBits.Words(),
+		Width:    ix.width,
+		NumEdges: ix.g.NumEdges(),
+		Words:    ix.edgeBits.Words(),
 	})
 }
 
-// LoadBFSSharing reconstructs a BFSSharing estimator from a serialized
-// index over the same graph it was built from.
-func LoadBFSSharing(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSSharing, error) {
+// WriteIndex serializes the querier's shared offline index to w.
+func (q *BFSQuerier) WriteIndex(w io.Writer) error { return q.ix.WriteIndex(w) }
+
+// LoadBFSIndex reconstructs a shared BFS Sharing index from its serialized
+// form over the same graph it was built from.
+func LoadBFSIndex(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSIndex, error) {
 	var f bfsSharingIndexFile
 	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding BFSSharing index: %w", err)
@@ -47,8 +50,23 @@ func LoadBFSSharing(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSSharing,
 	if err != nil {
 		return nil, fmt.Errorf("core: reconstructing BFSSharing index: %w", err)
 	}
-	b := &BFSSharing{g: g, width: f.Width, edgeBits: arena, rng: rng.New(seed)}
-	return b, nil
+	return &BFSIndex{
+		g:        g,
+		rng:      rng.New(seed),
+		width:    f.Width,
+		valid:    f.Width, // a serialized index is one consistent draw
+		edgeBits: arena,
+	}, nil
+}
+
+// LoadBFSSharing reconstructs a BFSSharing estimator from a serialized
+// index over the same graph it was built from.
+func LoadBFSSharing(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSSharing, error) {
+	ix, err := LoadBFSIndex(g, rd, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &BFSSharing{BFSQuerier{ix: ix}}, nil
 }
 
 type probTreeBagFile struct {
@@ -70,15 +88,15 @@ type probTreeIndexFile struct {
 
 // WriteIndex serializes the FWD tree (bags, parent links, pre-computed
 // contributions) to w.
-func (pt *ProbTree) WriteIndex(w io.Writer) error {
+func (ix *ProbTreeIndex) WriteIndex(w io.Writer) error {
 	f := probTreeIndexFile{
-		Width:    pt.width,
-		NumNodes: pt.g.NumNodes(),
-		Root:     pt.root,
-		BagOf:    pt.bagOf,
-		Bags:     make([]probTreeBagFile, len(pt.bags)),
+		Width:    ix.width,
+		NumNodes: ix.g.NumNodes(),
+		Root:     ix.root,
+		BagOf:    ix.bagOf,
+		Bags:     make([]probTreeBagFile, len(ix.bags)),
 	}
-	for i, b := range pt.bags {
+	for i, b := range ix.bags {
 		f.Bags[i] = probTreeBagFile{
 			Covered:  b.covered,
 			Nodes:    b.nodes,
@@ -91,9 +109,12 @@ func (pt *ProbTree) WriteIndex(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(f)
 }
 
-// LoadProbTree reconstructs a ProbTree estimator from a serialized index
-// over the same graph, with the given inner estimator factory (nil = MC).
-func LoadProbTree(g *uncertain.Graph, rd io.Reader, seed uint64, inner InnerFactory) (*ProbTree, error) {
+// WriteIndex serializes the querier's shared offline index to w.
+func (q *ProbTreeQuerier) WriteIndex(w io.Writer) error { return q.ix.WriteIndex(w) }
+
+// LoadProbTreeIndex reconstructs a shared FWD index from its serialized
+// form over the same graph it was built from.
+func LoadProbTreeIndex(g *uncertain.Graph, rd io.Reader) (*ProbTreeIndex, error) {
 	var f probTreeIndexFile
 	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
 		return nil, fmt.Errorf("core: decoding ProbTree index: %w", err)
@@ -104,26 +125,15 @@ func LoadProbTree(g *uncertain.Graph, rd io.Reader, seed uint64, inner InnerFact
 	if f.Root < 0 || f.Root >= len(f.Bags) {
 		return nil, fmt.Errorf("core: invalid root bag %d of %d", f.Root, len(f.Bags))
 	}
-	name := "ProbTree"
-	if inner == nil {
-		inner = func(qg *uncertain.Graph, s uint64) Estimator { return NewMC(qg, s) }
-	} else {
-		probe := inner(uncertain.NewBuilder(1).Build(), 1)
-		if probe.Name() != "MC" {
-			name = "ProbTree+" + probe.Name()
-		}
+	ix := &ProbTreeIndex{
+		g:     g,
+		width: f.Width,
+		root:  f.Root,
+		bagOf: f.BagOf,
+		bags:  make([]ptBag, len(f.Bags)),
 	}
-	pt := &ProbTree{
-		g:         g,
-		width:     f.Width,
-		inner:     inner,
-		root:      f.Root,
-		bagOf:     f.BagOf,
-		innerName: name,
-	}
-	pt.bags = make([]ptBag, len(f.Bags))
 	for i, b := range f.Bags {
-		pt.bags[i] = ptBag{
+		ix.bags[i] = ptBag{
 			covered:  b.Covered,
 			nodes:    b.Nodes,
 			raw:      b.Raw,
@@ -132,8 +142,15 @@ func LoadProbTree(g *uncertain.Graph, rd io.Reader, seed uint64, inner InnerFact
 			contrib:  b.Contrib,
 		}
 	}
-	pt.expandedStamp = make([]int32, len(pt.bags))
-	pt.nodeOf = make(map[uncertain.NodeID]uncertain.NodeID)
-	pt.rng = rng.New(seed)
-	return pt, nil
+	return ix, nil
+}
+
+// LoadProbTree reconstructs a ProbTree estimator from a serialized index
+// over the same graph, with the given inner estimator factory (nil = MC).
+func LoadProbTree(g *uncertain.Graph, rd io.Reader, seed uint64, inner InnerFactory) (*ProbTree, error) {
+	ix, err := LoadProbTreeIndex(g, rd)
+	if err != nil {
+		return nil, err
+	}
+	return &ProbTree{*ix.Querier(seed, inner)}, nil
 }

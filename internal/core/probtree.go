@@ -29,21 +29,24 @@ type InnerFactory func(g *uncertain.Graph, seed uint64) Estimator
 // Following the paper's complexity adaptation, only reachability
 // probabilities (not full distance distributions) are pre-computed, making
 // the per-bag cost O(w²) instead of O(w²·d).
-type ProbTree struct {
+//
+// Like BFS Sharing, the implementation splits along the offline/online
+// boundary: ProbTreeIndex holds the decomposition (bags, parent links,
+// pre-computed contributions), built once and read-only afterwards;
+// ProbTreeQuerier holds the per-borrower splice scratch and the inner
+// sampler's random stream. Many queriers share one index concurrently;
+// each querier serves one goroutine. ProbTree bundles a privately owned
+// index with one querier, preserving the original API.
+
+// ProbTreeIndex is the offline FWD decomposition. Once built it is
+// read-only and safe to share across any number of queriers.
+type ProbTreeIndex struct {
 	g     *uncertain.Graph
 	width int
-	inner InnerFactory
-	rng   *rng.Source
 
 	bags  []ptBag
 	root  int
 	bagOf []int32 // node -> index of the bag covering it, -1 if in root
-
-	// Query scratch.
-	expandedStamp []int32
-	stampRound    int32
-	nodeOf        map[uncertain.NodeID]uncertain.NodeID
-	innerName     string
 }
 
 type ptBag struct {
@@ -55,60 +58,48 @@ type ptBag struct {
 	contrib  []uncertain.Edge // derived edges between the uncovered nodes
 }
 
-// NewProbTree builds the FWD index with the default width (2) and MC as
-// the inner estimator.
-func NewProbTree(g *uncertain.Graph, seed uint64) *ProbTree {
-	return NewProbTreeWith(g, seed, DefaultTreeWidth, nil)
-}
-
-// NewProbTreeWith builds the index with an explicit width and inner
-// estimator factory (nil means MC). Widths above 2 make the index lossy;
-// the constructor allows them for experimentation but the paper (and the
-// tests) use w <= 2.
-func NewProbTreeWith(g *uncertain.Graph, seed uint64, width int, inner InnerFactory) *ProbTree {
+// NewProbTreeIndex builds the FWD index with the given width. Widths above
+// 2 make the index lossy; the constructor allows them for experimentation
+// but the paper (and the tests) use w <= 2. Construction is deterministic:
+// it consumes no randomness.
+func NewProbTreeIndex(g *uncertain.Graph, width int) *ProbTreeIndex {
 	if width < 1 {
 		panic(fmt.Sprintf("core: ProbTree width %d must be >= 1", width))
 	}
-	name := "ProbTree"
-	if inner == nil {
-		inner = func(qg *uncertain.Graph, s uint64) Estimator { return NewMC(qg, s) }
-	} else {
-		probe := inner(uncertain.NewBuilder(1).Build(), 1)
-		if probe.Name() != "MC" {
-			name = "ProbTree+" + probe.Name()
-		}
-	}
-	pt := &ProbTree{
-		g:         g,
-		width:     width,
-		inner:     inner,
-		rng:       rng.New(seed),
-		innerName: name,
-	}
-	pt.build()
-	return pt
+	ix := &ProbTreeIndex{g: g, width: width}
+	ix.build()
+	return ix
 }
 
-// Name implements Estimator.
-func (pt *ProbTree) Name() string { return pt.innerName }
-
-// Reseed implements Seeder.
-func (pt *ProbTree) Reseed(seed uint64) { pt.rng.Seed(seed) }
-
 // Width returns the decomposition width.
-func (pt *ProbTree) Width() int { return pt.width }
+func (ix *ProbTreeIndex) Width() int { return ix.width }
 
 // NumBags returns the number of bags including the root.
-func (pt *ProbTree) NumBags() int { return len(pt.bags) }
+func (ix *ProbTreeIndex) NumBags() int { return len(ix.bags) }
 
 // RootSize returns the number of nodes left in the root bag.
-func (pt *ProbTree) RootSize() int { return len(pt.bags[pt.root].nodes) }
+func (ix *ProbTreeIndex) RootSize() int { return len(ix.bags[ix.root].nodes) }
+
+// Bytes returns the approximate index size: bag structure, raw edges and
+// contributions.
+func (ix *ProbTreeIndex) Bytes() int64 {
+	var bytes int64
+	for i := range ix.bags {
+		b := &ix.bags[i]
+		bytes += 32 // fixed fields
+		bytes += int64(len(b.nodes)) * 4
+		bytes += int64(len(b.raw)+len(b.contrib)) * 24
+		bytes += int64(len(b.children)) * 8
+	}
+	bytes += int64(len(ix.bagOf)) * 4
+	return bytes
+}
 
 // build runs the three phases of Algorithm 7: relaxed fixed-width
 // decomposition, tree construction, and bottom-up reliability
 // pre-computation.
-func (pt *ProbTree) build() {
-	g := pt.g
+func (ix *ProbTreeIndex) build() {
+	g := ix.g
 	n := g.NumNodes()
 
 	// --- Phase 1: elimination on the undirected skeleton. ---
@@ -138,9 +129,9 @@ func (pt *ProbTree) build() {
 	edgeMarked := make([]bool, g.NumEdges())
 	removed := make([]bool, n)
 
-	pt.bagOf = make([]int32, n)
-	for i := range pt.bagOf {
-		pt.bagOf[i] = -1
+	ix.bagOf = make([]int32, n)
+	for i := range ix.bagOf {
+		ix.bagOf[i] = -1
 	}
 
 	// Candidate queue of nodes with degree <= width, processed smallest
@@ -158,16 +149,16 @@ func (pt *ProbTree) build() {
 	// Algorithm 7's "for d = 1..w: while there exists a node with degree
 	// d" but linear: buckets[d] holds candidate nodes whose degree was d
 	// when enqueued, lazily revalidated at pop time.
-	buckets := make([][]uncertain.NodeID, pt.width+1)
+	buckets := make([][]uncertain.NodeID, ix.width+1)
 	for v := 0; v < n; v++ {
-		if d := len(adj[v]); d >= 1 && d <= pt.width {
+		if d := len(adj[v]); d >= 1 && d <= ix.width {
 			buckets[d] = append(buckets[d], uncertain.NodeID(v))
 		}
 	}
 	for {
 		var v uncertain.NodeID = -1
 	scan:
-		for d := 1; d <= pt.width; d++ {
+		for d := 1; d <= ix.width; d++ {
 			for len(buckets[d]) > 0 {
 				cand := buckets[d][len(buckets[d])-1]
 				buckets[d] = buckets[d][:len(buckets[d])-1]
@@ -178,7 +169,7 @@ func (pt *ProbTree) build() {
 				if !removed[cand] {
 					// Stale entry: requeue under its current degree, and
 					// restart the sweep if that degree is lower.
-					if cd := len(adj[cand]); cd >= 1 && cd <= pt.width && cd != d {
+					if cd := len(adj[cand]); cd >= 1 && cd <= ix.width && cd != d {
 						buckets[cd] = append(buckets[cd], cand)
 						if cd < d {
 							d = cd - 1 // loop post-statement restores d = cd
@@ -191,9 +182,9 @@ func (pt *ProbTree) build() {
 		if v < 0 {
 			break
 		}
-		nbrs := pt.eliminate(v, adj, removed, takeUnmarked)
+		nbrs := ix.eliminate(v, adj, removed, takeUnmarked)
 		for _, u := range nbrs {
-			if d := len(adj[u]); d >= 1 && d <= pt.width {
+			if d := len(adj[u]); d >= 1 && d <= ix.width {
 				buckets[d] = append(buckets[d], u)
 			}
 		}
@@ -211,25 +202,25 @@ func (pt *ProbTree) build() {
 			root.raw = append(root.raw, e)
 		}
 	}
-	pt.root = len(pt.bags)
-	pt.bags = append(pt.bags, root)
+	ix.root = len(ix.bags)
+	ix.bags = append(ix.bags, root)
 
 	// --- Phase 2: parent links. ---
 	// A bag's uncovered nodes are all eliminated later than its covered
 	// node (or never); the bag covering the earliest-eliminated uncovered
 	// node contains the whole uncovered set thanks to the fill-in clique.
-	for i := range pt.bags {
-		if i == pt.root {
+	for i := range ix.bags {
+		if i == ix.root {
 			continue
 		}
-		b := &pt.bags[i]
-		parent := pt.root
+		b := &ix.bags[i]
+		parent := ix.root
 		best := int32(-1)
 		for _, u := range b.nodes {
 			if u == b.covered {
 				continue
 			}
-			if cov := pt.bagOf[u]; cov >= 0 && (best < 0 || cov < best) {
+			if cov := ix.bagOf[u]; cov >= 0 && (best < 0 || cov < best) {
 				best = cov
 			}
 		}
@@ -237,27 +228,24 @@ func (pt *ProbTree) build() {
 			parent = int(best)
 		}
 		b.parent = parent
-		pt.bags[parent].children = append(pt.bags[parent].children, i)
+		ix.bags[parent].children = append(ix.bags[parent].children, i)
 	}
 
 	// --- Phase 3: bottom-up contribution pre-computation. ---
 	// Bags were created in elimination order, so every child precedes its
 	// parent; one forward pass is bottom-up.
-	for i := range pt.bags {
-		if i == pt.root {
+	for i := range ix.bags {
+		if i == ix.root {
 			continue
 		}
-		pt.computeContribution(i)
+		ix.computeContribution(i)
 	}
-
-	pt.expandedStamp = make([]int32, len(pt.bags))
-	pt.nodeOf = make(map[uncertain.NodeID]uncertain.NodeID)
 }
 
 // eliminate removes v into a new bag, marking its incident unmarked edges
 // and adding the fill-in clique among its neighbors. It returns v's
 // neighbors so the caller can refresh its elimination worklist.
-func (pt *ProbTree) eliminate(
+func (ix *ProbTreeIndex) eliminate(
 	v uncertain.NodeID,
 	adj []map[uncertain.NodeID]bool,
 	removed []bool,
@@ -293,8 +281,8 @@ func (pt *ProbTree) eliminate(
 		}
 	}
 
-	pt.bagOf[v] = int32(len(pt.bags))
-	pt.bags = append(pt.bags, bag)
+	ix.bagOf[v] = int32(len(ix.bags))
+	ix.bags = append(ix.bags, bag)
 	return nbrs
 }
 
@@ -304,8 +292,8 @@ func (pt *ProbTree) eliminate(
 // (raw edges plus children contributions). With w <= 2 the bag graph has
 // at most 3 nodes, so exact enumeration is cheap and the fold is lossless
 // per direction.
-func (pt *ProbTree) computeContribution(i int) {
-	b := &pt.bags[i]
+func (ix *ProbTreeIndex) computeContribution(i int) {
+	b := &ix.bags[i]
 	uncovered := make([]uncertain.NodeID, 0, len(b.nodes)-1)
 	for _, u := range b.nodes {
 		if u != b.covered {
@@ -319,7 +307,7 @@ func (pt *ProbTree) computeContribution(i int) {
 	// Effective edge multiset.
 	eff := append([]uncertain.Edge(nil), b.raw...)
 	for _, c := range b.children {
-		eff = append(eff, pt.bags[c].contrib...)
+		eff = append(eff, ix.bags[c].contrib...)
 	}
 	if len(eff) == 0 {
 		return
@@ -398,52 +386,120 @@ func smallReliability(edges []uncertain.Edge, s, t uncertain.NodeID) float64 {
 	return total
 }
 
+// Querier returns a fresh online handle over the index: the per-borrower
+// splice scratch plus the inner sampler stream seeded from seed (nil inner
+// means MC). Handles are cheap; many may share one index, each serving a
+// single goroutine.
+func (ix *ProbTreeIndex) Querier(seed uint64, inner InnerFactory) *ProbTreeQuerier {
+	name := "ProbTree"
+	if inner == nil {
+		inner = func(qg *uncertain.Graph, s uint64) Estimator { return NewMC(qg, s) }
+	} else {
+		probe := inner(uncertain.NewBuilder(1).Build(), 1)
+		if probe.Name() != "MC" {
+			name = "ProbTree+" + probe.Name()
+		}
+	}
+	return &ProbTreeQuerier{
+		ix:            ix,
+		inner:         inner,
+		rng:           rng.New(seed),
+		innerName:     name,
+		expandedStamp: make([]int32, len(ix.bags)),
+		nodeOf:        make(map[uncertain.NodeID]uncertain.NodeID),
+	}
+}
+
+// ProbTreeQuerier is the online half of ProbTree: per-borrower splice
+// scratch and inner-sampler stream over a shared read-only ProbTreeIndex.
+// It implements Estimator. Not safe for concurrent use — one querier per
+// goroutine; the shared index is.
+type ProbTreeQuerier struct {
+	ix        *ProbTreeIndex
+	inner     InnerFactory
+	rng       *rng.Source
+	innerName string
+
+	// Query scratch.
+	expandedStamp []int32
+	stampRound    int32
+	nodeOf        map[uncertain.NodeID]uncertain.NodeID
+	edgeScratch   []uncertain.Edge
+	chainScratch  []int
+	tChainScratch []int
+}
+
+// Index returns the shared offline index this querier reads.
+func (q *ProbTreeQuerier) Index() *ProbTreeIndex { return q.ix }
+
+// Name implements Estimator.
+func (q *ProbTreeQuerier) Name() string { return q.innerName }
+
+// Reseed implements Seeder.
+func (q *ProbTreeQuerier) Reseed(seed uint64) { q.rng.Seed(seed) }
+
+// Width returns the decomposition width.
+func (q *ProbTreeQuerier) Width() int { return q.ix.width }
+
+// NumBags returns the number of bags including the root.
+func (q *ProbTreeQuerier) NumBags() int { return q.ix.NumBags() }
+
+// RootSize returns the number of nodes left in the root bag.
+func (q *ProbTreeQuerier) RootSize() int { return q.ix.RootSize() }
+
 // QueryGraph materializes the small equivalent graph for an s-t query
 // (Algorithm 8) and returns it together with the renamed endpoints. The
 // boolean result is false when s or t has no edges in the spliced graph,
 // in which case the reliability is 0 (or 1 if s == t).
-func (pt *ProbTree) QueryGraph(s, t uncertain.NodeID) (qg *uncertain.Graph, qs, qt uncertain.NodeID, ok bool) {
-	pt.stampRound++
-	stamp := pt.stampRound
+func (q *ProbTreeQuerier) QueryGraph(s, t uncertain.NodeID) (qg *uncertain.Graph, qs, qt uncertain.NodeID, ok bool) {
+	ix := q.ix
+	q.stampRound++
+	stamp := q.stampRound
 	// Expand the leaf-to-root chains of s and t.
 	for _, v := range []uncertain.NodeID{s, t} {
-		b := pt.bagOf[v]
+		b := ix.bagOf[v]
 		for b >= 0 {
-			pt.expandedStamp[b] = stamp
-			b = int32(pt.bags[b].parent)
+			q.expandedStamp[b] = stamp
+			b = int32(ix.bags[b].parent)
 		}
 	}
-	pt.expandedStamp[pt.root] = stamp
+	q.expandedStamp[ix.root] = stamp
 
 	// Gather edges: every expanded bag donates its raw edges; every
 	// non-expanded child of an expanded bag donates its contribution.
-	var edges []uncertain.Edge
-	for i := range pt.bags {
-		if pt.expandedStamp[i] != stamp {
+	edges := q.edgeScratch[:0]
+	for i := range ix.bags {
+		if q.expandedStamp[i] != stamp {
 			continue
 		}
-		edges = append(edges, pt.bags[i].raw...)
-		for _, c := range pt.bags[i].children {
-			if pt.expandedStamp[c] != stamp {
-				edges = append(edges, pt.bags[c].contrib...)
+		edges = append(edges, ix.bags[i].raw...)
+		for _, c := range ix.bags[i].children {
+			if q.expandedStamp[c] != stamp {
+				edges = append(edges, ix.bags[c].contrib...)
 			}
 		}
 	}
+	q.edgeScratch = edges
 
-	// Rename nodes densely.
-	nodeOf := pt.nodeOf
+	qg, qs, qt = q.buildSpliced(s, t, edges)
+	return qg, qs, qt, len(edges) > 0
+}
+
+// buildSpliced renames the spliced edge list's nodes densely (s first,
+// then t, then edge endpoints in order) and builds the query graph. Both
+// the per-query and the source-grouped splice paths funnel through it, so
+// a given edge list always yields the identical graph.
+func (q *ProbTreeQuerier) buildSpliced(s, t uncertain.NodeID, edges []uncertain.Edge) (*uncertain.Graph, uncertain.NodeID, uncertain.NodeID) {
+	nodeOf := q.nodeOf
 	for k := range nodeOf {
 		delete(nodeOf, k)
 	}
 	id := uncertain.NodeID(0)
-	intern := func(v uncertain.NodeID) uncertain.NodeID {
-		nv, seen := nodeOf[v]
-		if !seen {
-			nv = id
-			nodeOf[v] = nv
+	intern := func(v uncertain.NodeID) {
+		if _, seen := nodeOf[v]; !seen {
+			nodeOf[v] = id
 			id++
 		}
-		return nv
 	}
 	intern(s)
 	intern(t)
@@ -456,41 +512,79 @@ func (pt *ProbTree) QueryGraph(s, t uncertain.NodeID) (qg *uncertain.Graph, qs, 
 	for _, e := range edges {
 		qb.MustAddEdge(nodeOf[e.From], nodeOf[e.To], e.P)
 	}
-	return qb.Build(), nodeOf[s], nodeOf[t], len(edges) > 0
+	return qb.Build(), nodeOf[s], nodeOf[t]
+}
+
+// SplicedQuery is one target's spliced equivalent graph, ready for an
+// inner estimator. The flags mirror Estimate's trivial cases so
+// EstimateSpliced(Splice(s, t), k) is exactly Estimate(s, t, k).
+type SplicedQuery struct {
+	G    *uncertain.Graph
+	S, T uncertain.NodeID // renamed endpoints within G
+	OK   bool             // false: empty spliced graph, reliability is 0
+	Same bool             // source == target, reliability is 1
+}
+
+// Splice builds the spliced query graph for one (s, t) pair.
+func (q *ProbTreeQuerier) Splice(s, t uncertain.NodeID) SplicedQuery {
+	if s == t {
+		return SplicedQuery{Same: true}
+	}
+	qg, qs, qt, ok := q.QueryGraph(s, t)
+	return SplicedQuery{G: qg, S: qs, T: qt, OK: ok}
+}
+
+// EstimateSpliced runs the inner estimator on an already-spliced query
+// graph with the full sample budget.
+func (q *ProbTreeQuerier) EstimateSpliced(sq SplicedQuery, k int) float64 {
+	if sq.Same {
+		return 1
+	}
+	if !sq.OK {
+		return 0
+	}
+	inner := q.inner(sq.G, q.rng.Uint64())
+	return inner.Estimate(sq.S, sq.T, k)
 }
 
 // Estimate implements Estimator: build the query graph, then run the inner
 // estimator on it with the full sample budget.
-func (pt *ProbTree) Estimate(s, t uncertain.NodeID, k int) float64 {
-	mustValidQuery(pt.g, s, t, k)
-	if s == t {
-		return 1
-	}
-	qg, qs, qt, ok := pt.QueryGraph(s, t)
-	if !ok {
-		return 0
-	}
-	inner := pt.inner(qg, pt.rng.Uint64())
-	return inner.Estimate(qs, qt, k)
+func (q *ProbTreeQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(q.ix.g, s, t, k)
+	return q.EstimateSpliced(q.Splice(s, t), k)
 }
 
 // IndexBytes returns the approximate index size: bag structure, raw edges
 // and contributions.
-func (pt *ProbTree) IndexBytes() int64 {
-	var bytes int64
-	for i := range pt.bags {
-		b := &pt.bags[i]
-		bytes += 32 // fixed fields
-		bytes += int64(len(b.nodes)) * 4
-		bytes += int64(len(b.raw)+len(b.contrib)) * 24
-		bytes += int64(len(b.children)) * 8
-	}
-	bytes += int64(len(pt.bagOf)) * 4
-	return bytes
+func (q *ProbTreeQuerier) IndexBytes() int64 { return q.ix.Bytes() }
+
+// ScratchBytes returns the size of this handle's online splice scratch
+// alone — the marginal memory of one more querier over a shared index.
+func (q *ProbTreeQuerier) ScratchBytes() int64 {
+	return int64(len(q.expandedStamp))*4 +
+		int64(cap(q.edgeScratch))*24 +
+		int64(cap(q.chainScratch)+cap(q.tChainScratch))*8
 }
 
 // MemoryBytes implements MemoryReporter: the loaded index plus query
-// scratch.
-func (pt *ProbTree) MemoryBytes() int64 {
-	return pt.IndexBytes() + int64(len(pt.expandedStamp))*4
+// scratch. Handles sharing one index each report the full index size; use
+// ScratchBytes for the marginal cost of a handle.
+func (q *ProbTreeQuerier) MemoryBytes() int64 { return q.IndexBytes() + q.ScratchBytes() }
+
+// ProbTree bundles a privately owned ProbTreeIndex with one querier — the
+// original single-owner estimator API.
+type ProbTree struct {
+	ProbTreeQuerier
+}
+
+// NewProbTree builds the FWD index with the default width (2) and MC as
+// the inner estimator.
+func NewProbTree(g *uncertain.Graph, seed uint64) *ProbTree {
+	return NewProbTreeWith(g, seed, DefaultTreeWidth, nil)
+}
+
+// NewProbTreeWith builds the index with an explicit width and inner
+// estimator factory (nil means MC).
+func NewProbTreeWith(g *uncertain.Graph, seed uint64, width int, inner InnerFactory) *ProbTree {
+	return &ProbTree{*NewProbTreeIndex(g, width).Querier(seed, inner)}
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"relcomp/internal/uncertain"
+)
+
+// Source-grouped ProbTree splicing. A batch of same-source queries repeats
+// the s-side half of Algorithm 8 for every target: the leaf-to-root chain
+// of s, its raw edges, and the contributions of its untouched children are
+// identical across the group. QueryGraphAll expands that chain once and
+// splices each target against the pre-collected s-side material, so a
+// group of n targets pays one s-side expansion plus n cheap t-side walks
+// instead of n full expansions (each of which scans every bag).
+
+// ptSpan remembers where one child's contribution sits inside a
+// pre-concatenated segment, so a target whose chain passes through that
+// child can skip exactly its slice.
+type ptSpan struct {
+	start, end int
+}
+
+// ptSeg is one s-chain bag's pre-collected donation: its raw edges
+// followed by the contributions of its children that are off the s-chain,
+// in child order — exactly what QueryGraph's scan emits for the bag when
+// the target's chain avoids it.
+type ptSeg struct {
+	bag   int
+	edges []uncertain.Edge
+}
+
+// QueryGraphAll splices the query graph of (s, t) for every t in ts,
+// expanding and collecting the s-side bag chain once for the whole group.
+// Result i is exactly what Splice(s, ts[i]) returns — same renamed node
+// ids, same edge order — so inner estimates over the group splice are
+// bit-identical to per-query splicing. All result graphs are materialized
+// at once; when the group is large and the spliced graphs are not small,
+// prefer QueryGraphEach, which streams one splice at a time at O(1) graph
+// memory.
+func (q *ProbTreeQuerier) QueryGraphAll(s uncertain.NodeID, ts []uncertain.NodeID) []SplicedQuery {
+	out := make([]SplicedQuery, len(ts))
+	q.QueryGraphEach(s, ts, func(i int, sq SplicedQuery) {
+		out[i] = sq
+	})
+	return out
+}
+
+// QueryGraphEach is the streaming form of QueryGraphAll: it performs the
+// same once-per-group s-side expansion and calls fn(i, splice) for each
+// target in order, without retaining the spliced graphs. Callers that
+// consume each splice immediately (estimate and discard) keep peak memory
+// at one spliced graph regardless of group size. fn must not call back
+// into the querier's splice methods (it may estimate on the delivered
+// graph, which is independent of the splice scratch).
+//
+// Per target the work is O(|t-chain| + spliced edges): the per-query
+// path's full scan over every bag (and over every child of every expanded
+// bag) is replaced by whole-segment copies of the pre-collected s-side
+// material, with at most one span skipped via an O(1) lookup.
+func (q *ProbTreeQuerier) QueryGraphEach(s uncertain.NodeID, ts []uncertain.NodeID, fn func(i int, sq SplicedQuery)) {
+	ix := q.ix
+
+	// Stamp and collect the s-side chain. Bag indices ascend along the
+	// chain (every child precedes its parent, the root comes last), which
+	// the per-target merge below relies on.
+	q.stampRound++
+	sStamp := q.stampRound
+	chain := q.chainScratch[:0]
+	for b := ix.bagOf[s]; b >= 0; b = int32(ix.bags[b].parent) {
+		q.expandedStamp[b] = sStamp
+		chain = append(chain, int(b))
+	}
+	if q.expandedStamp[ix.root] != sStamp { // s lives in the root bag
+		q.expandedStamp[ix.root] = sStamp
+		chain = append(chain, ix.root)
+	}
+	q.chainScratch = chain
+
+	// Pre-concatenate each s-chain bag's donation. Exactly one child of
+	// one s-chain bag can lie on any single target's chain — the topmost
+	// t-only bag, child of the bag where the two chains meet — so per
+	// target the segments are emitted whole except for at most one
+	// skipped span, found through spanOf in O(1).
+	segs := make([]ptSeg, len(chain))
+	spanOf := make(map[int]ptSpanRef)
+	for i, bag := range chain {
+		bg := &ix.bags[bag]
+		seg := ptSeg{bag: bag}
+		seg.edges = append(seg.edges, bg.raw...)
+		for _, c := range bg.children {
+			if q.expandedStamp[c] == sStamp {
+				continue
+			}
+			spanOf[c] = ptSpanRef{seg: i, span: ptSpan{
+				start: len(seg.edges),
+				end:   len(seg.edges) + len(ix.bags[c].contrib),
+			}}
+			seg.edges = append(seg.edges, ix.bags[c].contrib...)
+		}
+		segs[i] = seg
+	}
+
+	for i, t := range ts {
+		if t == s {
+			fn(i, SplicedQuery{Same: true})
+			continue
+		}
+		fn(i, q.spliceAgainstChain(s, t, sStamp, segs, spanOf))
+	}
+}
+
+// ptSpanRef locates one child's contribution span within the group's
+// pre-collected segments.
+type ptSpanRef struct {
+	seg  int
+	span ptSpan
+}
+
+// spliceAgainstChain splices one target against the pre-collected s-side
+// segments, reproducing QueryGraph's bag-index edge order exactly.
+func (q *ProbTreeQuerier) spliceAgainstChain(s, t uncertain.NodeID, sStamp int32, segs []ptSeg, spanOf map[int]ptSpanRef) SplicedQuery {
+	ix := q.ix
+
+	// Walk the target's chain up until the s-chain absorbs it. The bags
+	// collected here are exactly the expanded bags QueryGraph would visit
+	// beyond the s-chain, in ascending index order.
+	q.stampRound++
+	tStamp := q.stampRound
+	tOnly := q.tChainScratch[:0]
+	for b := ix.bagOf[t]; b >= 0 && q.expandedStamp[b] != sStamp; b = int32(ix.bags[b].parent) {
+		q.expandedStamp[b] = tStamp
+		tOnly = append(tOnly, int(b))
+	}
+	q.tChainScratch = tOnly
+
+	// The only s-side span any target can knock out belongs to the
+	// topmost t-only bag (its parent is where the chains meet).
+	skipSeg, skip := -1, ptSpan{}
+	if len(tOnly) > 0 {
+		if ref, ok := spanOf[tOnly[len(tOnly)-1]]; ok {
+			skipSeg, skip = ref.seg, ref.span
+		}
+	}
+
+	// Merge the two ascending chains so bags donate edges in exactly the
+	// index order QueryGraph's full scan produces.
+	edges := q.edgeScratch[:0]
+	si, ti := 0, 0
+	for si < len(segs) || ti < len(tOnly) {
+		if ti >= len(tOnly) || (si < len(segs) && segs[si].bag < tOnly[ti]) {
+			seg := &segs[si]
+			if si == skipSeg {
+				// Skip the contribution of the child the target's chain
+				// expands; its raw edges are donated when the merge
+				// reaches it.
+				edges = append(edges, seg.edges[:skip.start]...)
+				edges = append(edges, seg.edges[skip.end:]...)
+			} else {
+				edges = append(edges, seg.edges...)
+			}
+			si++
+		} else {
+			bg := &ix.bags[tOnly[ti]]
+			ti++
+			edges = append(edges, bg.raw...)
+			for _, c := range bg.children {
+				if st := q.expandedStamp[c]; st != sStamp && st != tStamp {
+					edges = append(edges, ix.bags[c].contrib...)
+				}
+			}
+		}
+	}
+	q.edgeScratch = edges
+
+	qg, qs, qt := q.buildSpliced(s, t, edges)
+	return SplicedQuery{G: qg, S: qs, T: qt, OK: len(edges) > 0}
+}

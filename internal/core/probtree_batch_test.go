@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// graphsEqual compares two graphs structurally: node count plus the exact
+// edge list (order-sensitive after the builder's canonicalization).
+func graphsEqual(a, b *uncertain.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryGraphAllMatchesQueryGraph: the source-grouped splice must
+// produce, for every target, exactly the graph the per-query splice
+// produces — same renamed endpoints, same edge list — on random graphs
+// and widths. This is the property the engine's batch determinism relies
+// on: inner estimates over group-spliced graphs are bit-identical to
+// per-query ones.
+func TestQueryGraphAllMatchesQueryGraph(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(30)
+		g := randomTestGraph(r, n, r.Intn(70))
+		width := 1 + r.Intn(2)
+		ix := NewProbTreeIndex(g, width)
+		grouped := ix.Querier(1, nil)
+		perQuery := ix.Querier(1, nil)
+
+		s := uncertain.NodeID(r.Intn(n))
+		ts := make([]uncertain.NodeID, 0, 8)
+		for len(ts) < 8 {
+			ts = append(ts, uncertain.NodeID(r.Intn(n)))
+		}
+		ts = append(ts, s) // the same-node case must round-trip too
+
+		all := grouped.QueryGraphAll(s, ts)
+		for i, tt := range ts {
+			want := perQuery.Splice(s, tt)
+			got := all[i]
+			if got.Same != want.Same || got.OK != want.OK {
+				t.Logf("seed %d: (%d,%d) flags got %+v want %+v", seed, s, tt, got, want)
+				return false
+			}
+			if want.Same || !want.OK {
+				continue
+			}
+			if got.S != want.S || got.T != want.T {
+				t.Logf("seed %d: (%d,%d) endpoints got (%d,%d) want (%d,%d)",
+					seed, s, tt, got.S, got.T, want.S, want.T)
+				return false
+			}
+			if !graphsEqual(got.G, want.G) {
+				t.Logf("seed %d: (%d,%d) spliced graphs differ:\n%v\nvs\n%v",
+					seed, s, tt, got.G, want.G)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimateSplicedMatchesEstimate: reseeding before each
+// EstimateSpliced over a group splice reproduces per-query Estimate calls
+// exactly, which is how the engine's batch path stays bit-identical to
+// its single-query path.
+func TestEstimateSplicedMatchesEstimate(t *testing.T) {
+	r := rng.New(17)
+	g := randomTestGraph(r, 25, 60)
+	ix := NewProbTreeIndex(g, DefaultTreeWidth)
+	grouped := ix.Querier(1, nil)
+	perQuery := ix.Querier(1, nil)
+
+	s := uncertain.NodeID(0)
+	ts := []uncertain.NodeID{1, 5, 9, 13, 17, 21, 0}
+	const k = 400
+	all := grouped.QueryGraphAll(s, ts)
+	for i, tt := range ts {
+		seed := 1000*uint64(i) + 7
+		grouped.Reseed(seed)
+		got := grouped.EstimateSpliced(all[i], k)
+		perQuery.Reseed(seed)
+		want := perQuery.Estimate(s, tt, k)
+		if got != want {
+			t.Errorf("target %d: grouped %v, per-query %v", tt, got, want)
+		}
+	}
+}
+
+// TestProbTreeSharedIndexQueriers: queriers sharing one index must report
+// the identical index object and answer like a privately owned ProbTree.
+func TestProbTreeSharedIndexQueriers(t *testing.T) {
+	r := rng.New(29)
+	g := randomTestGraph(r, 30, 70)
+	owned := NewProbTree(g, 3)
+	ix := NewProbTreeIndex(g, DefaultTreeWidth)
+	q1, q2 := ix.Querier(3, nil), ix.Querier(3, nil)
+	if q1.Index() != ix || q2.Index() != ix {
+		t.Fatal("queriers do not report the shared index")
+	}
+	for s := uncertain.NodeID(0); s < 4; s++ {
+		for d := uncertain.NodeID(4); d < 8; d++ {
+			owned.Reseed(42)
+			want := owned.Estimate(s, d, 300)
+			q1.Reseed(42)
+			if got := q1.Estimate(s, d, 300); got != want {
+				t.Fatalf("querier 1 (%d,%d) = %v, owned = %v", s, d, got, want)
+			}
+			q2.Reseed(42)
+			if got := q2.Estimate(s, d, 300); got != want {
+				t.Fatalf("querier 2 (%d,%d) = %v, owned = %v", s, d, got, want)
+			}
+		}
+	}
+}

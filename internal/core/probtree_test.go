@@ -161,8 +161,8 @@ func TestProbTreeStructureInvariants(t *testing.T) {
 		pt := NewProbTree(g, 1)
 
 		coveredCount := make(map[uncertain.NodeID]int)
-		for i, b := range pt.bags {
-			if i == pt.root {
+		for i, b := range pt.ix.bags {
+			if i == pt.ix.root {
 				if b.covered != -1 {
 					return false
 				}
@@ -172,12 +172,12 @@ func TestProbTreeStructureInvariants(t *testing.T) {
 			if b.parent == i || b.parent < 0 {
 				return false
 			}
-			if b.parent != pt.root && b.parent < i {
+			if b.parent != pt.ix.root && b.parent < i {
 				// Parents are eliminated after their children.
 				return false
 			}
 			parentNodes := make(map[uncertain.NodeID]bool)
-			for _, u := range pt.bags[b.parent].nodes {
+			for _, u := range pt.ix.bags[b.parent].nodes {
 				parentNodes[u] = true
 			}
 			for _, u := range b.nodes {
@@ -193,8 +193,8 @@ func TestProbTreeStructureInvariants(t *testing.T) {
 		}
 		// bagOf agrees with the bags.
 		for v := 0; v < n; v++ {
-			if bi := pt.bagOf[v]; bi >= 0 {
-				if pt.bags[bi].covered != uncertain.NodeID(v) {
+			if bi := pt.ix.bagOf[v]; bi >= 0 {
+				if pt.ix.bags[bi].covered != uncertain.NodeID(v) {
 					return false
 				}
 			}
@@ -215,7 +215,7 @@ func TestProbTreeEdgeConservation(t *testing.T) {
 		g := randomTestGraph(r, n, r.Intn(30))
 		pt := NewProbTree(g, 1)
 		total := 0
-		for _, b := range pt.bags {
+		for _, b := range pt.ix.bags {
 			total += len(b.raw)
 		}
 		return total == g.NumEdges()

@@ -17,28 +17,37 @@ import (
 //   - distance-constrained reachability — the query RHH was originally
 //     designed for (Jin et al., PVLDB 2011).
 
+// SourceEstimator is implemented by estimators that can answer every
+// target of one source in a single traversal (BFS Sharing's queriers);
+// batch layers use it to amortize same-source query groups.
+type SourceEstimator interface {
+	Estimator
+	EstimateAll(s uncertain.NodeID, k int) []float64
+}
+
 // EstimateAll runs the shared BFS once and returns the reliability of
 // every node from the source s, which is what one BFS Sharing traversal
 // actually computes (the s-t query of Algorithm 2 just reads one entry).
 // The returned slice has one value per node; unvisited nodes have 0.
-func (b *BFSSharing) EstimateAll(s uncertain.NodeID, k int) []float64 {
+func (q *BFSQuerier) EstimateAll(s uncertain.NodeID, k int) []float64 {
 	// Reuse Estimate's traversal by querying any target; the node vectors
 	// left behind cover every reached node.
-	mustValidQuery(b.g, s, s, k)
-	if k > b.width {
-		panic(fmt.Sprintf("core: BFSSharing asked for %d samples but index width is %d", k, b.width))
+	g := q.ix.g
+	mustValidQuery(g, s, s, k)
+	if k > q.ix.width {
+		panic(fmt.Sprintf("core: BFSSharing asked for %d samples but index width is %d", k, q.ix.width))
 	}
 	// Run the traversal with t = s (never early-terminates BFS Sharing
 	// anyway — the method has no early termination).
-	b.Estimate(s, wrapTarget(s, b.g.NumNodes()), k)
-	out := make([]float64, b.g.NumNodes())
+	q.Estimate(s, wrapTarget(s, g.NumNodes()), k)
+	out := make([]float64, g.NumNodes())
 	for v := range out {
 		if uncertain.NodeID(v) == s {
 			out[v] = 1
 			continue
 		}
-		if b.inSet[v] {
-			out[v] = float64(countPrefix(b.nodeBits.Vec(v), k)) / float64(k)
+		if q.inSet[v] {
+			out[v] = float64(countPrefix(q.nodeBits.Vec(v), k)) / float64(k)
 		}
 	}
 	return out
@@ -64,9 +73,10 @@ type Reliability struct {
 
 // TopKReliableTargets returns the k nodes with the highest estimated
 // reliability from s (excluding s itself), the top-k reliability search
-// of Zhu et al. When the estimator is a *BFSSharing, one shared traversal
-// answers the whole query; any other estimator is called once per
-// candidate node (quadratically slower, provided for comparison).
+// of Zhu et al. When the estimator is a SourceEstimator (BFS Sharing),
+// one shared traversal answers the whole query; any other estimator is
+// called once per candidate node (quadratically slower, provided for
+// comparison).
 func TopKReliableTargets(est Estimator, g *uncertain.Graph, s uncertain.NodeID, topK, samples int) ([]Reliability, error) {
 	if err := CheckQuery(g, s, s, samples); err != nil {
 		return nil, err
@@ -75,7 +85,7 @@ func TopKReliableTargets(est Estimator, g *uncertain.Graph, s uncertain.NodeID, 
 		return nil, fmt.Errorf("core: topK %d must be positive", topK)
 	}
 	var all []Reliability
-	if bs, ok := est.(*BFSSharing); ok {
+	if bs, ok := est.(SourceEstimator); ok {
 		rs := bs.EstimateAll(s, samples)
 		for v, r := range rs {
 			if uncertain.NodeID(v) != s && r > 0 {

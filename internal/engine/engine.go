@@ -7,11 +7,16 @@
 //
 //   - Estimator pooling: per-estimator pools of replica instances (same
 //     graph, same seed) hand every worker an exclusive instance, so
-//     concurrent queries never contend on scratch state (pool.go).
+//     concurrent queries never contend on scratch state (pool.go). The
+//     index-based estimators share one immutable offline index per
+//     estimator kind; replicas are cheap online-scratch handles over it,
+//     so index memory is O(index), not O(Workers × index), and only the
+//     first borrow pays index build latency.
 //   - Batching: EstimateBatch groups queries by (estimator, source) so the
 //     source-rooted methods amortize their per-source work — one BFS
 //     Sharing traversal answers every target of a source via EstimateAll,
-//     turning an n-query group into one traversal.
+//     and one ProbTree group splice (QueryGraphAll) expands the source-side
+//     bag chain once for every target of a source.
 //   - Result caching: a bounded LRU keyed by (s, t, estimator, k) with
 //     hit/miss counters (cache.go).
 //   - Adaptive routing: queries that do not name an estimator are routed
@@ -196,14 +201,23 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 // factoryFor maps an estimator name to its replica constructor. workers
 // sizes ParallelMC's internal fan-out, pinning its (otherwise
 // GOMAXPROCS-dependent) sample sharding to the engine config.
+//
+// The index-based estimators build their immutable offline index exactly
+// once per estimator kind — lazily, on the pool's first borrow — and every
+// replica is a lightweight online-scratch handle over that shared index.
+// Engine memory for an index is therefore O(index) regardless of Workers,
+// and only the first borrow pays build latency; all later replicas
+// construct in near-zero time.
 func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int) (func() core.Estimator, error) {
 	switch name {
 	case "MC":
 		return func() core.Estimator { return core.NewMC(g, seed) }, nil
 	case "BFSSharing":
-		return func() core.Estimator { return core.NewBFSSharing(g, seed, maxK) }, nil
+		index := sync.OnceValue(func() *core.BFSIndex { return core.NewBFSIndex(g, seed, maxK) })
+		return func() core.Estimator { return index().Querier() }, nil
 	case "ProbTree":
-		return func() core.Estimator { return core.NewProbTree(g, seed) }, nil
+		index := sync.OnceValue(func() *core.ProbTreeIndex { return core.NewProbTreeIndex(g, core.DefaultTreeWidth) })
+		return func() core.Estimator { return index().Querier(seed, nil) }, nil
 	case "LP+":
 		return func() core.Estimator { return core.NewLazyProp(g, seed) }, nil
 	case "RHH":
@@ -363,15 +377,15 @@ func (e *Engine) runOne(inst core.Estimator, name string, q Query) float64 {
 }
 
 // workUnit is one batch work item. Two shapes:
-//   - est == "BFSSharing": a (source, k) group — every same-source,
-//     same-budget query of the batch, answered by one amortized shared
-//     traversal;
+//   - a groupable estimator (BFS Sharing, ProbTree): a (source, k) group —
+//     every same-source, same-budget query of the batch, answered with the
+//     per-source work amortized across the group;
 //   - otherwise: one distinct (estimator, s, t, k) query, computed once
 //     and fanned out to every batch position that asked for it.
 //
 // Adaptive (unnamed-estimator) queries are resolved in a parallel phase
-// before units are built, so queries the router sends to BFS Sharing
-// join its amortized source groups too.
+// before units are built, so queries the router sends to a groupable
+// estimator join its amortized source groups too.
 type workUnit struct {
 	est  string
 	s    uncertain.NodeID
@@ -379,15 +393,21 @@ type workUnit struct {
 	idxs []int // query indices the unit answers
 }
 
-// sharedName is the only estimator whose core API currently exposes
-// multi-target amortization (BFS Sharing's traversal computes every
-// target's reliability at once, read out via EstimateAll). ProbTree would
-// also benefit from per-source amortization, but its index offers only
-// per-(s,t) query-graph splicing today — tracked in ROADMAP.md. All other
-// estimators answer per query, so their batch queries become individual
-// work units and spread over all workers instead of serializing behind a
-// shared source.
-const sharedName = "BFSSharing"
+// sharedName and ptName are the estimators whose core API exposes
+// multi-target amortization: one BFS Sharing traversal computes every
+// target's reliability at once (EstimateAll), and one ProbTree group
+// splice expands the source-side bag chain once for all targets
+// (QueryGraphAll). All other estimators answer per query, so their batch
+// queries become individual work units and spread over all workers
+// instead of serializing behind a shared source.
+const (
+	sharedName = "BFSSharing"
+	ptName     = "ProbTree"
+)
+
+// groupable reports whether name's batch queries are amortized per
+// (source, k) group rather than answered per query.
+func groupable(name string) bool { return name == sharedName || name == ptName }
 
 // orderedGroups accumulates query indices per key, remembering the keys'
 // first-appearance order so iteration — and with it unit execution order
@@ -463,20 +483,17 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 		}
 	})
 
-	type sourceBudget struct {
-		s uncertain.NodeID
-		k int
-	}
 	// Units are built in first-appearance order so execution order (and
 	// with it replica construction and stats accumulation) is the same
-	// on every run of an identical batch.
-	shared := newOrderedGroups[sourceBudget]()
+	// on every run of an identical batch. Group keys reuse cacheKey: for
+	// amortized groups the target is zeroed, keying on (estimator, s, k).
+	shared := newOrderedGroups[cacheKey]()
 	single := newOrderedGroups[cacheKey]()
 	for i, q := range queries {
-		switch names[i] {
-		case "": // invalid or already answered by the bounds
-		case sharedName:
-			shared.add(sourceBudget{s: q.S, k: q.K}, i)
+		switch {
+		case names[i] == "": // invalid or already answered by the bounds
+		case groupable(names[i]):
+			shared.add(cacheKey{s: q.S, est: names[i], k: q.K}, i)
 		default:
 			// Dedup identical queries: one computation fans out to every
 			// batch position that asked for it.
@@ -487,10 +504,11 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 	for _, key := range single.order {
 		units = append(units, workUnit{est: key.est, s: key.s, k: key.k, idxs: single.groups[key]})
 	}
-	// One unit per (source, k): same-source traversals with different
-	// budgets are independent, so they parallelize too.
+	// One unit per (estimator, source, k): same-source groups with
+	// different budgets (or estimators) are independent, so they
+	// parallelize too.
 	for _, key := range shared.order {
-		units = append(units, workUnit{est: sharedName, s: key.s, k: key.k, idxs: shared.groups[key]})
+		units = append(units, workUnit{est: key.est, s: key.s, k: key.k, idxs: shared.groups[key]})
 	}
 	// Units of single-instance pools (ParallelMC) run last: placed
 	// earlier they would pile all workers up blocked on the one replica
@@ -507,8 +525,8 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 
 	e.forEachParallel(len(units), func(j int) {
 		u := units[j]
-		if u.est == sharedName {
-			e.runShared(u.s, u.k, u.idxs, queries, results)
+		if groupable(u.est) {
+			e.runShared(u.est, u.s, u.k, u.idxs, queries, results)
 			return
 		}
 		first := u.idxs[0]
@@ -598,18 +616,23 @@ func (e *Engine) forEachParallel(n int, fn func(int)) {
 	}
 }
 
-// runShared amortizes a BFS Sharing (source, k) group: every query shares
-// the source and sample budget, so one EstimateAll traversal answers all
-// of its targets at once. EstimateAll(s, k)[t] is exactly
-// Estimate(s, t, k) — the s-t query just reads one entry of the traversal
-// the method computes anyway — so amortization does not change results.
-func (e *Engine) runShared(s uncertain.NodeID, k int, idxs []int, queries []Query, results []Result) {
+// runShared amortizes a groupable (estimator, source, k) group: every
+// query shares the estimator, source, and sample budget, so the
+// per-source work is paid once for the whole group. For BFS Sharing one
+// EstimateAll traversal answers all targets at once — EstimateAll(s, k)[t]
+// is exactly Estimate(s, t, k), the s-t query just reads one entry of the
+// traversal the method computes anyway. For ProbTree one QueryGraphAll
+// call expands the s-side bag chain once and splices every target against
+// it, producing per-target query graphs identical to per-query splicing;
+// each target's inner estimate then runs under its own per-query reseed.
+// On both paths amortization does not change results.
+func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, queries []Query, results []Result) {
 	// Dedupe by target first, then consult the cache once per unique
 	// target — duplicates never touch the cache counters, matching the
 	// per-query dedup path.
 	byTarget := newOrderedGroups[uncertain.NodeID]()
 	for _, i := range idxs {
-		results[i].Used = sharedName
+		results[i].Used = name
 		byTarget.add(queries[i].T, i)
 	}
 	reuse := func(first int, dups []int) {
@@ -617,16 +640,16 @@ func (e *Engine) runShared(s uncertain.NodeID, k int, idxs []int, queries []Quer
 			results[i].Reliability = results[first].Reliability
 			results[i].Cached = true
 			e.noteDeduped()
-			e.record(sharedName, 0, true)
+			e.record(name, 0, true)
 		}
 	}
 	var missTargets []uncertain.NodeID
 	for _, t := range byTarget.order {
 		grp := byTarget.groups[t]
-		if v, hit := e.cache.get(cacheKey{s: s, t: t, est: sharedName, k: k}); hit {
+		if v, hit := e.cache.get(cacheKey{s: s, t: t, est: name, k: k}); hit {
 			results[grp[0]].Reliability = v
 			results[grp[0]].Cached = true
-			e.record(sharedName, 0, true)
+			e.record(name, 0, true)
 			reuse(grp[0], grp[1:])
 			continue
 		}
@@ -636,33 +659,51 @@ func (e *Engine) runShared(s uncertain.NodeID, k int, idxs []int, queries []Quer
 		return
 	}
 
-	p := e.pools[sharedName]
+	p := e.pools[name]
 	inst := p.get()
 	defer p.put(inst)
-	bs := inst.(*core.BFSSharing) // factoryFor guarantees the concrete type
 	if len(missTargets) == 1 {
-		// A lone target gains nothing from EstimateAll's O(n) readout;
-		// answer it like any other estimator would.
+		// A lone target gains nothing from amortization; answer it like
+		// any other estimator would.
 		grp := byTarget.groups[missTargets[0]]
-		e.runBorrowed(bs, sharedName, queries[grp[0]], &results[grp[0]])
+		e.runBorrowed(inst, name, queries[grp[0]], &results[grp[0]])
 		reuse(grp[0], grp[1:])
 		return
 	}
 	start := time.Now()
-	all := bs.EstimateAll(s, k)
+	vals := make([]float64, len(missTargets))
+	switch est := inst.(type) { // factoryFor guarantees the concrete types
+	case *core.BFSQuerier:
+		all := est.EstimateAll(s, k)
+		for i, t := range missTargets {
+			vals[i] = all[t]
+		}
+	case *core.ProbTreeQuerier:
+		// Streamed so only one spliced graph is alive at a time, however
+		// wide the group.
+		est.QueryGraphEach(s, missTargets, func(i int, sq core.SplicedQuery) {
+			// The same per-query reseed as runOne, so the inner sampler
+			// stream — and with it the estimate — matches a single
+			// Estimate call bit for bit.
+			est.Reseed(querySeed(e.cfg.Seed, name, s, missTargets[i], k))
+			vals[i] = est.EstimateSpliced(sq, k)
+		})
+	default:
+		panic(fmt.Sprintf("engine: estimator %q grouped without an amortized path", name))
+	}
 	elapsed := time.Since(start)
 	// Each query's Latency reports its amortized share of the shared
-	// traversal, but the router sees the full traversal cost once: a
-	// single adaptive query routed here would pay all of it.
+	// group, but the router sees the full group cost once: a single
+	// adaptive query routed here would pay all of it.
 	share := elapsed / time.Duration(len(missTargets))
-	e.router.observe(sharedName, elapsed.Seconds())
-	for _, t := range missTargets {
+	e.router.observe(name, elapsed.Seconds())
+	for i, t := range missTargets {
 		grp := byTarget.groups[t]
 		first := grp[0]
-		results[first].Reliability = all[t]
+		results[first].Reliability = vals[i]
 		results[first].Latency = share
-		e.cache.put(cacheKey{s: s, t: t, est: sharedName, k: k}, all[t])
-		e.record(sharedName, share.Seconds(), false)
+		e.cache.put(cacheKey{s: s, t: t, est: name, k: k}, vals[i])
+		e.record(name, share.Seconds(), false)
 		reuse(first, grp[1:])
 	}
 }

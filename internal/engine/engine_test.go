@@ -348,7 +348,7 @@ func TestStatsCounters(t *testing.T) {
 func TestDo(t *testing.T) {
 	e := testEngine(t, Config{Workers: 1, MaxK: 300, Seed: 42})
 	err := e.Do("BFSSharing", func(est core.Estimator) error {
-		bs, ok := est.(*core.BFSSharing)
+		bs, ok := est.(*core.BFSQuerier)
 		if !ok {
 			t.Fatalf("borrowed %T", est)
 		}

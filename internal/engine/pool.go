@@ -12,66 +12,83 @@ import (
 // instance for its exclusive use and returns it when done.
 //
 // Instances are replicas: they are all constructed with the same seed, so
-// an index-based estimator (BFSSharing, ProbTree) builds the identical
-// index in every replica and any replica answers a query with the same
-// value. The sampling estimators are made query-deterministic by the
-// engine, which reseeds the borrowed instance from the query key before
-// every Estimate call (see querySeed). Together these make results
-// independent of which worker serves which query — the property the
-// engine's sequential-equivalence guarantee rests on.
+// any replica answers a query with the same value. The index-based
+// estimators (BFSSharing, ProbTree) share one immutable offline index
+// across all of a pool's replicas — each replica is a cheap online-scratch
+// handle over it (see factoryFor) — so pool memory stays O(index), not
+// O(capacity × index). The sampling estimators are made
+// query-deterministic by the engine, which reseeds the borrowed instance
+// from the query key before every Estimate call (see querySeed). Together
+// these make results independent of which worker serves which query — the
+// property the engine's sequential-equivalence guarantee rests on.
 //
 // Construction is lazy: a replica is built the first time demand exceeds
-// the number of existing idle instances, up to capacity. This matters for
-// the index-based estimators, whose per-replica build cost (and index
-// memory) is only paid at the concurrency level actually reached.
+// the number of existing idle instances, up to capacity. The shared index
+// is built once, on the pool's first borrow; every further replica costs
+// only its online scratch.
 type pool struct {
 	factory func() core.Estimator
-	idle    chan core.Estimator
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled when idle gains an instance or a build slot frees
+	idle     []core.Estimator
 	created  int
 	capacity int
 }
 
 func newPool(capacity int, factory func() core.Estimator) *pool {
-	return &pool{
+	p := &pool{
 		factory:  factory,
-		idle:     make(chan core.Estimator, capacity),
+		idle:     make([]core.Estimator, 0, capacity),
 		capacity: capacity,
 	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // get returns an idle instance, builds a new one if under capacity, or
-// blocks until an instance is returned.
+// blocks until an instance is returned (or a build slot frees up).
 func (p *pool) get() core.Estimator {
-	select {
-	case est := <-p.idle:
-		return est
-	default:
-	}
 	p.mu.Lock()
-	// Recheck idle under the lock: an instance may have been returned
-	// between the poll above and here, and building a redundant replica
-	// costs index construction plus permanently retained index memory.
-	select {
-	case est := <-p.idle:
-		p.mu.Unlock()
-		return est
-	default:
+	for {
+		if n := len(p.idle); n > 0 {
+			est := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return est
+		}
+		if p.created < p.capacity {
+			p.created++
+			p.mu.Unlock()
+			// Build outside the lock: index construction can be slow and
+			// must not serialize unrelated borrowers. A panicking factory
+			// must give its capacity slot back on the way out — and wake a
+			// parked borrower so it can retry the build — otherwise every
+			// panic permanently burns a slot and waiters block forever.
+			built := false
+			defer func() {
+				if !built {
+					p.mu.Lock()
+					p.created--
+					p.cond.Signal()
+					p.mu.Unlock()
+				}
+			}()
+			est := p.factory()
+			built = true
+			return est
+		}
+		p.cond.Wait()
 	}
-	if p.created < p.capacity {
-		p.created++
-		p.mu.Unlock()
-		// Build outside the lock: index construction can be slow and must
-		// not serialize unrelated borrowers.
-		return p.factory()
-	}
-	p.mu.Unlock()
-	return <-p.idle
 }
 
 // put returns an instance to the pool.
-func (p *pool) put(est core.Estimator) { p.idle <- est }
+func (p *pool) put(est core.Estimator) {
+	p.mu.Lock()
+	p.idle = append(p.idle, est)
+	p.cond.Signal()
+	p.mu.Unlock()
+}
 
 // size reports how many replicas have been constructed so far.
 func (p *pool) size() int {

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// TestPoolPanickingFactoryReleasesCapacity: a factory panic must give the
+// capacity slot back. Before the fix, get() incremented created and then
+// panicked out of factory(), permanently burning the slot — with capacity
+// 1, every later borrower blocked forever on an idle channel nothing
+// would ever feed.
+func TestPoolPanickingFactoryReleasesCapacity(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	calls := 0
+	p := newPool(1, func() core.Estimator {
+		calls++
+		if calls <= 2 {
+			panic("factory boom")
+		}
+		return core.NewMC(g, 1)
+	})
+
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("factory panic swallowed")
+				}
+			}()
+			p.get()
+		}()
+		if n := p.size(); n != 0 {
+			t.Fatalf("after panic %d: %d replicas accounted, want 0", i+1, n)
+		}
+	}
+
+	// The slot must still be buildable: this get has to construct a fresh
+	// replica rather than block forever on the never-fed idle channel.
+	got := make(chan core.Estimator, 1)
+	go func() { got <- p.get() }()
+	select {
+	case est := <-got:
+		p.put(est)
+	case <-time.After(10 * time.Second):
+		t.Fatal("get blocked after factory panics — capacity slot leaked")
+	}
+	if n := p.size(); n != 1 {
+		t.Fatalf("replicas %d, want 1", n)
+	}
+}
+
+// TestEngineSurvivesWorkerPanicCapacity: the engine-level view of the same
+// bug — a query that panics mid-batch (here: forced through a panicking
+// estimator path) must not eat pool capacity. Exercised via forEachParallel
+// already; this guards the pool contract directly under repeated borrows.
+func TestPoolReusesInstancesAfterPanic(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	fail := true
+	p := newPool(2, func() core.Estimator {
+		if fail {
+			panic("first build fails")
+		}
+		return core.NewMC(g, 1)
+	})
+	func() {
+		defer func() { recover() }()
+		p.get()
+	}()
+	fail = false
+	a, b := p.get(), p.get()
+	if a == nil || b == nil {
+		t.Fatal("pool failed to build after factory recovered")
+	}
+	p.put(a)
+	p.put(b)
+	if n := p.size(); n != 2 {
+		t.Fatalf("replicas %d, want 2 (panicked build must not count)", n)
+	}
+}
+
+// TestPoolWakesParkedWaiterAfterPanic: a borrower parked because the pool
+// was at capacity must be woken when a concurrent factory panic frees the
+// build slot, and must then retry the build itself — not sleep forever on
+// an idle list nothing will ever feed.
+func TestPoolWakesParkedWaiterAfterPanic(t *testing.T) {
+	g := uncertain.NewBuilder(2).Build()
+	firstBuild := make(chan struct{})   // closed when the doomed build starts
+	releaseBuild := make(chan struct{}) // closed to let the doomed build panic
+	call := 0
+	p := newPool(1, func() core.Estimator {
+		call++
+		if call == 1 {
+			close(firstBuild)
+			<-releaseBuild
+			panic("factory boom")
+		}
+		return core.NewMC(g, 1)
+	})
+
+	panicked := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() != nil {
+				close(panicked)
+			}
+		}()
+		p.get()
+	}()
+	<-firstBuild // the build slot is now claimed
+
+	// Park a second borrower: capacity is exhausted and nothing is idle.
+	got := make(chan core.Estimator, 1)
+	go func() { got <- p.get() }()
+
+	close(releaseBuild) // first build panics, freeing the slot
+	<-panicked
+	select {
+	case est := <-got:
+		p.put(est)
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked borrower never woken after the factory panic freed the slot")
+	}
+	if n := p.size(); n != 1 {
+		t.Fatalf("replicas %d, want 1", n)
+	}
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// TestSharedIndexAcrossReplicas: an engine with Workers = N must hold
+// exactly one BFS Sharing edge-bit arena and one ProbTree bag set — every
+// pool replica is a scratch handle over the same index object. This is
+// the memory guarantee of the Index/Scratch split: index bytes are
+// O(index), not O(Workers × index).
+func TestSharedIndexAcrossReplicas(t *testing.T) {
+	const workers = 4
+	e := testEngine(t, Config{Workers: workers, MaxK: 200, Seed: 42,
+		Estimators: []string{"BFSSharing", "ProbTree"}})
+
+	// Force every replica into existence by borrowing up to capacity.
+	borrowAll := func(name string) []core.Estimator {
+		p := e.pools[name]
+		insts := make([]core.Estimator, workers)
+		for i := range insts {
+			insts[i] = p.get()
+		}
+		return insts
+	}
+	returnAll := func(name string, insts []core.Estimator) {
+		for _, inst := range insts {
+			e.pools[name].put(inst)
+		}
+	}
+
+	bss := borrowAll("BFSSharing")
+	first := bss[0].(*core.BFSQuerier)
+	for i, inst := range bss {
+		q := inst.(*core.BFSQuerier)
+		if q == first && i > 0 {
+			t.Fatalf("replica %d is the same handle as replica 0", i)
+		}
+		if q.Index() != first.Index() {
+			t.Fatalf("BFS replica %d holds its own index copy", i)
+		}
+		// Each handle must answer through the shared arena.
+		if r := q.Estimate(0, 5, 200); r < 0 || r > 1 {
+			t.Fatalf("replica %d estimate %v", i, r)
+		}
+	}
+	if e.pools["BFSSharing"].size() != workers {
+		t.Fatalf("built %d BFS replicas, want %d", e.pools["BFSSharing"].size(), workers)
+	}
+	// Total index memory across all replicas is one arena: every handle
+	// reports the same index object, whose size is one index.
+	if got, want := first.MemoryBytes()-first.ScratchBytes(), first.Index().Bytes(); got != want {
+		t.Fatalf("index accounting %d, want %d", got, want)
+	}
+	returnAll("BFSSharing", bss)
+
+	pts := borrowAll("ProbTree")
+	pfirst := pts[0].(*core.ProbTreeQuerier)
+	for i, inst := range pts {
+		q := inst.(*core.ProbTreeQuerier)
+		if q.Index() != pfirst.Index() {
+			t.Fatalf("ProbTree replica %d holds its own bag set", i)
+		}
+	}
+	returnAll("ProbTree", pts)
+}
+
+// TestRunSharedAccounting pins the counter semantics of the amortized
+// batch path for both groupable estimators: intra-batch duplicates count
+// in DedupedQueries only (never as cache hits), unique targets touch the
+// LRU exactly once per batch, and nothing is double-counted when the same
+// batch repeats against a warm cache.
+func TestRunSharedAccounting(t *testing.T) {
+	for _, est := range []string{"BFSSharing", "ProbTree"} {
+		t.Run(est, func(t *testing.T) {
+			e := testEngine(t, Config{Workers: 2, MaxK: 200, Seed: 42, CacheSize: 64,
+				Estimators: []string{est}})
+			q := func(s, d int) Query {
+				return Query{S: uncertain.NodeID(s), T: uncertain.NodeID(d), K: 100, Estimator: est}
+			}
+			batch := []Query{q(0, 5), q(0, 5), q(0, 6)} // one source group, one duplicate
+
+			results := e.EstimateBatch(batch)
+			cached := 0
+			for _, r := range results {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				if r.Cached {
+					cached++
+				}
+			}
+			if cached != 1 {
+				t.Errorf("cold batch: %d results flagged Cached, want 1 (the duplicate)", cached)
+			}
+			st := e.Stats()
+			if st.DedupedQueries != 1 {
+				t.Errorf("cold batch: DedupedQueries %d, want 1", st.DedupedQueries)
+			}
+			if st.CacheHits != 0 {
+				t.Errorf("cold batch: CacheHits %d, want 0 — a dedup must not count as a hit", st.CacheHits)
+			}
+			if st.CacheMisses != 2 {
+				t.Errorf("cold batch: CacheMisses %d, want 2 (unique targets only)", st.CacheMisses)
+			}
+			if st.Queries != 3 {
+				t.Errorf("cold batch: Queries %d, want 3", st.Queries)
+			}
+
+			// Warm repeat: both unique targets hit the LRU; the duplicate
+			// is still a dedup, not a second hit.
+			for _, r := range e.EstimateBatch(batch) {
+				if r.Err != nil {
+					t.Fatal(r.Err)
+				}
+				if !r.Cached {
+					t.Errorf("warm batch: result (%d,%d) not flagged Cached", r.S, r.T)
+				}
+			}
+			st = e.Stats()
+			if st.CacheHits != 2 {
+				t.Errorf("warm batch: CacheHits %d, want 2", st.CacheHits)
+			}
+			if st.DedupedQueries != 2 {
+				t.Errorf("warm batch: DedupedQueries %d, want 2", st.DedupedQueries)
+			}
+			if st.CacheMisses != 2 {
+				t.Errorf("warm batch: CacheMisses %d, want 2 (no recomputation)", st.CacheMisses)
+			}
+			if st.Queries != 6 {
+				t.Errorf("warm batch: Queries %d, want 6", st.Queries)
+			}
+			if es := st.Estimators[est]; es.Queries != 6 {
+				t.Errorf("estimator row Queries %d, want 6", es.Queries)
+			}
+		})
+	}
+}
+
+// TestProbTreeBatchMatchesSingleLargeGroup drives a wide ProbTree source
+// group (well past the lone-target fallback) through EstimateBatch and
+// checks every answer against the single-query path on a fresh engine.
+func TestProbTreeBatchMatchesSingleLargeGroup(t *testing.T) {
+	cfg := Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 0,
+		Estimators: []string{"ProbTree"}}
+	batch := testEngine(t, cfg)
+	single := testEngine(t, cfg)
+	var qs []Query
+	for d := 1; d < 20; d++ {
+		qs = append(qs, Query{S: 0, T: uncertain.NodeID(d), K: 200, Estimator: "ProbTree"})
+	}
+	for i, res := range batch.EstimateBatch(qs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		want := single.Estimate(qs[i])
+		if res.Reliability != want.Reliability {
+			t.Errorf("query %d: batch %v vs single %v", i, res.Reliability, want.Reliability)
+		}
+	}
+}
