@@ -11,8 +11,9 @@ import (
 // kind — pool replicas are cheap online-scratch handles, so index memory
 // stays O(index) regardless of Workers — a batch API that groups queries
 // by source so BFS Sharing amortizes one traversal across all targets of
-// a source and ProbTree amortizes its source-side bag expansion across a
-// source group, a bounded LRU result cache, and an adaptive per-query
+// a source, ProbTree amortizes its source-side bag expansion across a
+// source group, and PackMC amortizes one pack sweep across a source
+// group, a bounded LRU result cache, and an adaptive per-query
 // estimator router driven by analytic bounds width and online latency
 // statistics. See cmd/relserver for the HTTP surface and DESIGN.md §4 for
 // the architecture.
@@ -48,7 +49,8 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 }
 
 // DefaultEngineEstimators lists the estimators an engine builds when the
-// config leaves the set empty: the paper's six plus ParallelMC.
+// config leaves the set empty: the paper's six plus the word-packed
+// PackMC and the multi-core ParallelMC / ParallelPackMC extensions.
 func DefaultEngineEstimators() []string { return engine.DefaultEstimators() }
 
 // BorrowEstimator runs fn with exclusive use of a pooled instance of the

@@ -31,6 +31,19 @@ func WordsFor(n int) int {
 // New returns an all-zero vector able to hold n bits.
 func New(n int) Vector { return make(Vector, WordsFor(n)) }
 
+// LowBits returns a word whose n lowest bits are set, for n in [0, 64].
+// Estimators use it to mask the live lanes of a partial 64-world pack and
+// the significant tail of a prefix count.
+func LowBits(n int) uint64 {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: LowBits(%d) outside [0,64]", n))
+	}
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
 // Set sets bit i to 1.
 func (v Vector) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
 
@@ -68,25 +81,43 @@ func (v Vector) Zero() {
 // ClearRange clears bits [lo, hi), leaving every bit outside the range
 // untouched. The BFS Sharing index uses it to redraw a sub-range of each
 // edge vector without disturbing worlds sampled on either side.
-func (v Vector) ClearRange(lo, hi int) {
+func (v Vector) ClearRange(lo, hi int) { v.maskRange(lo, hi, false) }
+
+// SetRange sets bits [lo, hi), leaving every bit outside the range
+// untouched — ClearRange's counterpart, used by the mask samplers when
+// drawing a dense range as an inverted sparse one.
+func (v Vector) SetRange(lo, hi int) { v.maskRange(lo, hi, true) }
+
+func (v Vector) maskRange(lo, hi int, set bool) {
 	if lo < 0 || hi < lo {
-		panic(fmt.Sprintf("bitvec: invalid clear range [%d,%d)", lo, hi))
+		panic(fmt.Sprintf("bitvec: invalid bit range [%d,%d)", lo, hi))
 	}
 	if lo == hi {
 		return
+	}
+	apply := func(i int, mask uint64) {
+		if set {
+			v[i] |= mask
+		} else {
+			v[i] &^= mask
+		}
 	}
 	loWord, hiWord := lo>>6, (hi-1)>>6
 	loMask := ^uint64(0) << (uint(lo) & 63)          // bits >= lo within loWord
 	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63)) // bits < hi within hiWord
 	if loWord == hiWord {
-		v[loWord] &^= loMask & hiMask
+		apply(loWord, loMask&hiMask)
 		return
 	}
-	v[loWord] &^= loMask
+	apply(loWord, loMask)
 	for i := loWord + 1; i < hiWord; i++ {
-		v[i] = 0
+		if set {
+			v[i] = ^uint64(0)
+		} else {
+			v[i] = 0
+		}
 	}
-	v[hiWord] &^= hiMask
+	apply(hiWord, hiMask)
 }
 
 // Count returns the number of 1 bits.

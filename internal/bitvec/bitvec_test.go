@@ -222,3 +222,51 @@ func TestClearRange(t *testing.T) {
 	}()
 	New(64).ClearRange(3, 2)
 }
+
+func TestLowBits(t *testing.T) {
+	if LowBits(0) != 0 {
+		t.Errorf("LowBits(0) = %x", LowBits(0))
+	}
+	if LowBits(64) != ^uint64(0) {
+		t.Errorf("LowBits(64) = %x", LowBits(64))
+	}
+	for n := 1; n < 64; n++ {
+		want := (uint64(1) << uint(n)) - 1
+		if got := LowBits(n); got != want {
+			t.Fatalf("LowBits(%d) = %x, want %x", n, got, want)
+		}
+	}
+	for _, bad := range []int{-1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LowBits(%d) did not panic", bad)
+				}
+			}()
+			LowBits(bad)
+		}()
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	for _, c := range []struct{ lo, hi int }{{0, 64}, {3, 61}, {10, 200}, {64, 128}, {5, 6}, {7, 7}} {
+		v := New(256)
+		v.SetRange(c.lo, c.hi)
+		for i := 0; i < 256; i++ {
+			want := i >= c.lo && i < c.hi
+			if v.Get(i) != want {
+				t.Fatalf("SetRange[%d,%d): bit %d = %v", c.lo, c.hi, i, v.Get(i))
+			}
+		}
+		v.ClearRange(c.lo, c.hi)
+		if v.Count() != 0 {
+			t.Fatalf("ClearRange[%d,%d) left %d bits", c.lo, c.hi, v.Count())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRange with invalid range did not panic")
+		}
+	}()
+	New(64).SetRange(5, 4)
+}

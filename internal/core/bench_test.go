@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// benchGraph builds a mid-sized random graph with mixed probabilities, the
+// shape the sampling kernels spend their time on.
+func benchGraph(n, m int) *uncertain.Graph {
+	r := rng.New(11)
+	b := uncertain.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		from := uncertain.NodeID(r.Intn(n))
+		to := uncertain.NodeID(r.Intn(n))
+		if from == to {
+			continue
+		}
+		b.MustAddEdge(from, to, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+// BenchmarkParallelMCWorkers pins the worker-combining path of ParallelMC
+// (worker-local accumulation, no shared hit slice): the scaling across
+// worker counts is the regression signal for reintroduced sharing.
+func BenchmarkParallelMCWorkers(b *testing.B) {
+	g := benchGraph(2000, 10000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewParallelMC(g, 7, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Estimate(0, uncertain.NodeID(g.NumNodes()-1), 4096)
+			}
+		})
+	}
+}
+
+// BenchmarkPackVsMCKernel compares the per-query cost of the word-packed
+// sampler against plain MC at equal K on one shared graph — the kernel
+// behind the dataset-level BenchmarkPackMC at the repository root.
+func BenchmarkPackVsMCKernel(b *testing.B) {
+	g := benchGraph(2000, 10000)
+	t := uncertain.NodeID(g.NumNodes() - 1)
+	for _, bc := range []struct {
+		name string
+		est  Estimator
+	}{
+		{"MC", NewMC(g, 7)},
+		{"PackMC", NewPackMC(g, 7)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc.est.Estimate(0, t, 1024)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"relcomp/internal/bitvec"
 	"relcomp/internal/rng"
@@ -70,20 +71,14 @@ func NewBFSIndex(g *uncertain.Graph, seed uint64, width int) *BFSIndex {
 }
 
 // resampleRange redraws bits [lo, hi) of every edge vector, leaving bits
-// outside the range untouched. Sampling uses geometric skips between set
-// bits, so an edge of probability p costs O(p·(hi-lo)) rather than
-// O(hi-lo) — this makes low-probability datasets (NetHEPT) orders of
-// magnitude cheaper to index while producing exactly independent
-// Bernoulli(p) bits.
+// outside the range untouched. Sampling delegates to rng.FillMask — the
+// same geometric-skip mask generator PackMC uses online — so an edge of
+// probability p costs O((hi-lo)·min(p, 1-p)) rather than O(hi-lo) while
+// producing exactly independent Bernoulli(p) bits.
 func (ix *BFSIndex) resampleRange(lo, hi int) {
 	g := ix.g
 	for id := 0; id < g.NumEdges(); id++ {
-		p := g.Edge(uncertain.EdgeID(id)).P
-		v := ix.edgeBits.Vec(id)
-		v.ClearRange(lo, hi)
-		for i := lo + ix.rng.Geometric(p); i < hi; i += 1 + ix.rng.Geometric(p) {
-			v.Set(i)
-		}
+		ix.rng.FillMask(ix.edgeBits.Vec(id), lo, hi, g.Edge(uncertain.EdgeID(id)).P)
 	}
 }
 
@@ -269,22 +264,19 @@ func (q *BFSQuerier) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, wo
 	q.cascadeQ = queue
 }
 
-// countPrefix counts set bits among the first k bits of v.
+// countPrefix counts set bits among the first k bits of v. It calls
+// math/bits directly — wrapping each word in a one-element bitvec.Vector
+// just to count it would allocate in the per-query hot path.
 func countPrefix(v bitvec.Vector, k int) int {
 	full := k >> 6
 	n := 0
 	for i := 0; i < full; i++ {
-		n += onesCount(v[i])
+		n += bits.OnesCount64(v[i])
 	}
-	if rem := uint(k) & 63; rem != 0 {
-		n += onesCount(v[full] & ((1 << rem) - 1))
+	if rem := k & 63; rem != 0 {
+		n += bits.OnesCount64(v[full] & bitvec.LowBits(rem))
 	}
 	return n
-}
-
-func onesCount(w uint64) int {
-	// Delegate to math/bits via bitvec to keep a single implementation.
-	return bitvec.Vector{w}.Count()
 }
 
 // IndexBytes returns the size of the offline index (edge bit vectors).

@@ -36,8 +36,9 @@ func randomTestGraph(r *rng.Source, n, m int) *uncertain.Graph {
 	return b.Build()
 }
 
-// allEstimators returns one instance of each of the six estimators for g,
-// with BFS Sharing sized for up to maxK samples.
+// allEstimators returns one instance of each of the six estimators for g
+// plus the word-packed extensions, with BFS Sharing sized for up to maxK
+// samples.
 func allEstimators(g *uncertain.Graph, seed uint64, maxK int) []Estimator {
 	return []Estimator{
 		NewMC(g, seed),
@@ -46,6 +47,8 @@ func allEstimators(g *uncertain.Graph, seed uint64, maxK int) []Estimator {
 		NewLazyProp(g, seed),
 		NewRHH(g, seed),
 		NewRSS(g, seed),
+		NewPackMC(g, seed),
+		NewParallelPackMC(g, seed, 3),
 	}
 }
 

@@ -17,13 +17,16 @@ type MC struct {
 	queue []uncertain.NodeID
 }
 
+// mcQueueCap is the initial BFS queue capacity of an MC instance.
+const mcQueueCap = 256
+
 // NewMC returns an MC estimator over g with the given random seed.
 func NewMC(g *uncertain.Graph, seed uint64) *MC {
 	return &MC{
 		g:     g,
 		rng:   rng.New(seed),
 		seen:  newEpochSet(g.NumNodes()),
-		queue: make([]uncertain.NodeID, 0, 256),
+		queue: make([]uncertain.NodeID, 0, mcQueueCap),
 	}
 }
 

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"relcomp/internal/bitvec"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// PackMC is the bit-parallel world-packed Monte Carlo estimator: it draws
+// possible worlds in packs of 64 and evaluates one whole pack per graph
+// traversal, using the machine-word trick the BFS Sharing index proves
+// out — bit i of a 64-bit word stands for world i.
+//
+// Per pack, every node carries a 64-bit reachability mask (bit i set iff
+// the node is reached from s in world i) and every edge lazily draws a
+// 64-bit existence mask on first probe (bit i set iff the edge exists in
+// world i, generated with the same geometric-skip technique as the BFS
+// Sharing index, so a p-probability edge costs O(64·min(p,1-p)) RNG draws
+// instead of 64). Masks propagate with cascading updates until a fixpoint,
+// exactly like Algorithm 3 but one word wide and with no offline index.
+// Worlds that reach t stop propagating (MC's per-sample early exit, lane
+// by lane), and the pack terminates outright once every live world has
+// reached t — the target's mask can no longer change.
+//
+// The estimate is statistically identical to MC — the same K independent
+// Bernoulli worlds, the same unbiasedness and variance — but costs ~64x
+// fewer queue operations and, on low-probability graphs, ~1/p fewer RNG
+// calls.
+//
+// Edge masks are a pure function of (seed, round, pack, edge) — a
+// counter-based stream rather than a sequential one — so the drawn world
+// ensemble does not depend on traversal order. That gives PackMC three
+// properties the sequential-stream estimators lack: early termination
+// cannot change the estimate (it only skips work), EstimateAll answers
+// every target bit-identically to per-target Estimate calls (which is what
+// lets the batch engine fold PackMC queries into amortized source groups),
+// and ParallelPackMC returns bit-identical values to PackMC for any worker
+// count.
+//
+// Like the other estimators, PackMC is deterministic given its seed and
+// not safe for concurrent use.
+type PackMC struct {
+	g    *uncertain.Graph
+	seed uint64
+	// round counts Estimate/EstimateAll calls since the last Reseed; it
+	// salts the mask streams so successive calls draw fresh worlds.
+	round uint64
+
+	// Per-pack scratch, invalidated wholesale by bumping epoch. Mask and
+	// epoch live side by side in one struct so the random accesses of the
+	// propagation loop touch one cache line per node or edge, not two.
+	epoch   uint32
+	nodes   []packNode
+	edges   []packEdge
+	qfix    []uint64 // per-edge probability in rng.FixedProb fixed point
+	sent    []uint64 // per-node lanes already propagated to its out-edges
+	queue   []uncertain.NodeID
+	touched []uncertain.NodeID // nodes stamped this pack (EstimateAll only)
+}
+
+// packNode is a node's pack-local state: its reachability mask (valid iff
+// epoch matches the current pack) and the epoch while it waits in the
+// worklist.
+type packNode struct {
+	mask    uint64
+	epoch   uint32
+	inQueue uint32
+}
+
+// packEdge is an edge's pack-local state: the lanes of its existence mask
+// drawn so far this pack (decided), their values (mask), and the pack
+// epoch they belong to. Lanes are drawn on demand — a probe pays only for
+// the worlds that actually reached the edge.
+type packEdge struct {
+	mask    uint64
+	decided uint64
+	epoch   uint32
+	_       uint32
+}
+
+// packQueueCap is the initial worklist capacity of a PackMC instance.
+const packQueueCap = 256
+
+// NewPackMC returns a PackMC estimator over g with the given random seed.
+func NewPackMC(g *uncertain.Graph, seed uint64) *PackMC {
+	pm := &PackMC{
+		g:     g,
+		seed:  seed,
+		nodes: make([]packNode, g.NumNodes()),
+		edges: make([]packEdge, g.NumEdges()),
+		qfix:  make([]uint64, g.NumEdges()),
+		sent:  make([]uint64, g.NumNodes()),
+		queue: make([]uncertain.NodeID, 0, packQueueCap),
+	}
+	// Classifying and fixed-point-converting every edge probability once
+	// here keeps the float branches out of the per-probe mask draws.
+	for id := 0; id < g.NumEdges(); id++ {
+		pm.qfix[id] = rng.FixedProb(g.Edge(uncertain.EdgeID(id)).P)
+	}
+	return pm
+}
+
+// Name implements Estimator.
+func (pm *PackMC) Name() string { return "PackMC" }
+
+// Reseed implements Seeder: the next Estimate replays the stream the first
+// call after NewPackMC(seed) used.
+func (pm *PackMC) Reseed(seed uint64) {
+	pm.seed = seed
+	pm.round = 0
+}
+
+// numPacks returns how many 64-world packs cover a k-sample budget.
+func numPacks(k int) int { return (k + 63) / 64 }
+
+// activeLanes returns the live-world mask of pack j within a k-sample
+// budget: all 64 lanes except for the final partial pack.
+func activeLanes(j, k int) uint64 {
+	if rem := k - j*64; rem < 64 {
+		return bitvec.LowBits(rem)
+	}
+	return ^uint64(0)
+}
+
+// Estimate implements Estimator.
+func (pm *PackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(pm.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	pm.round++
+	hits := pm.sampleRange(mix(pm.seed, pm.round, 0), s, t, k, 0, numPacks(k))
+	return float64(hits) / float64(k)
+}
+
+// sampleRange runs packs [lo, hi) of a k-sample budget from the given
+// stream base and returns in how many of their worlds t was reached. The
+// result depends only on (base, s, t, k, lo, hi) — ParallelPackMC uses
+// this to shard the packs of one budget across goroutines without
+// changing the estimate.
+func (pm *PackMC) sampleRange(base uint64, s, t uncertain.NodeID, k, lo, hi int) int {
+	hits := 0
+	for j := lo; j < hi; j++ {
+		hits += bits.OnesCount64(pm.runPack(base, uint64(j), s, t, activeLanes(j, k)))
+	}
+	return hits
+}
+
+// EstimateAll draws the same k worlds one Estimate call would and returns
+// the per-world hit fraction of every node from s in them: one pack sweep
+// answers every target at once, which is what the batch engine's
+// source-grouped path amortizes. Because the mask streams are
+// counter-based, EstimateAll(s, k)[t] is bit-identical to what
+// Estimate(s, t, k) would return from the same (seed, round) state.
+// Unvisited nodes report 0 and s reports 1. Implements SourceEstimator.
+func (pm *PackMC) EstimateAll(s uncertain.NodeID, k int) []float64 {
+	g := pm.g
+	mustValidQuery(g, s, s, k)
+	pm.round++
+	base := mix(pm.seed, pm.round, 0)
+	counts := make([]int64, g.NumNodes())
+	for j := 0; j < numPacks(k); j++ {
+		pm.runPack(base, uint64(j), s, -1, activeLanes(j, k))
+		for _, v := range pm.touched {
+			counts[v] += int64(bits.OnesCount64(pm.nodes[v].mask))
+		}
+	}
+	out := make([]float64, g.NumNodes())
+	for v := range out {
+		if uncertain.NodeID(v) == s {
+			out[v] = 1
+		} else if counts[v] > 0 {
+			out[v] = float64(counts[v]) / float64(k)
+		}
+	}
+	return out
+}
+
+// nextPack invalidates all per-pack scratch in O(1); the wrap-around clear
+// runs once every 2^32 packs.
+func (pm *PackMC) nextPack() {
+	pm.epoch++
+	if pm.epoch == 0 {
+		for i := range pm.nodes {
+			pm.nodes[i].epoch = 0
+			pm.nodes[i].inQueue = 0
+		}
+		for i := range pm.edges {
+			pm.edges[i].epoch = 0
+		}
+		pm.epoch = 1
+	}
+}
+
+// runPack propagates one 64-world pack from s and returns the mask of
+// active lanes in which t was reached. A negative t disables the target
+// (no lane pruning, no early exit) and instead records every stamped node
+// in pm.touched with its fixpoint mask left in pm.nodes — the EstimateAll
+// mode.
+func (pm *PackMC) runPack(base, pack uint64, s, t uncertain.NodeID, active uint64) uint64 {
+	g := pm.g
+	pm.nextPack()
+	ep := pm.epoch
+	pm.nodes[s] = packNode{mask: active, epoch: ep, inQueue: ep}
+	pm.sent[s] = 0
+	if t < 0 {
+		pm.touched = append(pm.touched[:0], s)
+	}
+	// alive masks out worlds that already reached t: they are counted and
+	// need no further propagation (MC's early exit, lane-wise).
+	alive := active
+	var tMask uint64
+	q := pm.queue[:0]
+	q = append(q, s)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		nv := &pm.nodes[v]
+		nv.inQueue = 0
+		// Only lanes gained since v's last pop re-propagate: everything in
+		// sent[v] was already ANDed with the (cached, pack-stable) mask of
+		// every out-edge and ORed into the neighbors, so re-sending it
+		// cannot add anything. Dead lanes may be marked sent undelivered —
+		// they are filtered by alive everywhere and never needed again.
+		mv := (nv.mask &^ pm.sent[v]) & alive
+		if mv == 0 {
+			continue
+		}
+		pm.sent[v] = nv.mask
+		outs := g.OutNeighbors(v)
+		ids := g.OutEdgeIDs(v)
+		for i, w := range outs {
+			if w == t {
+				nd := mv &^ tMask
+				if nd == 0 {
+					// Every world v could deliver already reached t; the
+					// edge mask is not needed (and, being counter-based,
+					// not drawing it changes nothing).
+					continue
+				}
+				ee := &pm.edges[ids[i]]
+				em := ee.mask
+				if ee.epoch != ep || nd&^ee.decided != 0 {
+					em = pm.edgeMaskFor(base, pack, ids[i], nd)
+				}
+				m := nd & em
+				if m == 0 {
+					continue
+				}
+				tMask |= m
+				alive = active &^ tMask
+				if alive == 0 {
+					// Every live world reached t: the target's mask can no
+					// longer change, so the rest of the pack is dead work.
+					pm.queue = q
+					return tMask
+				}
+				mv &= alive
+				if mv == 0 {
+					break
+				}
+				continue
+			}
+			nw := &pm.nodes[w]
+			wm := nw.mask
+			if nw.epoch != ep {
+				wm = 0
+				nw.epoch = ep
+				pm.sent[w] = 0
+				if t < 0 {
+					pm.touched = append(pm.touched, w)
+				}
+			}
+			nd := mv &^ wm
+			if nd == 0 {
+				// w already holds every world v could deliver, however the
+				// edge turns out; skip the mask entirely. Frequent on
+				// bi-directed graphs, where the reverse edge of the hop
+				// that reached w is always saturated.
+				nw.mask = wm
+				continue
+			}
+			// Only the worlds w lacks are requested from the edge — and
+			// the cache-hit path of edgeMaskFor is inlined, since most
+			// probes find the lanes they need already drawn for this pack.
+			ee := &pm.edges[ids[i]]
+			em := ee.mask
+			if ee.epoch != ep || nd&^ee.decided != 0 {
+				em = pm.edgeMaskFor(base, pack, ids[i], nd)
+			}
+			m := nd & em
+			if m == 0 {
+				nw.mask = wm
+				continue
+			}
+			nw.mask = wm | m
+			// Cascade: w re-propagates its grown mask, whether it is still
+			// waiting in the worklist or was already processed.
+			if nw.inQueue != ep {
+				nw.inQueue = ep
+				q = append(q, w)
+			}
+		}
+	}
+	pm.queue = q
+	return tMask
+}
+
+// edgeMaskFor returns the edge's existence mask for the current pack,
+// final at least on the lanes in need, drawing lanes on first demand. The
+// mask is a pure function of (base, pack, e) — rng.MaskAtNeed's
+// counter-based trajectory — so neither traversal order nor the need
+// sequence changes which worlds an edge exists in; a probe needing lanes
+// beyond the cached decided set replays the trajectory further and keeps
+// every previously decided lane.
+func (pm *PackMC) edgeMaskFor(base, pack uint64, e uncertain.EdgeID, need uint64) uint64 {
+	ee := &pm.edges[e]
+	if ee.epoch == pm.epoch {
+		need |= ee.decided // extend the trajectory, keeping prior lanes
+	}
+	m, dec := rng.MaskAtFixed(mix(base, pack, uint64(e)), pm.qfix[e], need)
+	*ee = packEdge{mask: m, decided: dec, epoch: pm.epoch}
+	return m
+}
+
+// MemoryBytes implements MemoryReporter: the node pack-state and sent
+// arrays (16+8 bytes per node), the edge pack-state and fixed-point
+// probability arrays (24+8 bytes per edge), and the worklists.
+func (pm *PackMC) MemoryBytes() int64 {
+	n, m := int64(pm.g.NumNodes()), int64(pm.g.NumEdges())
+	return n*(16+8) + m*(24+8) + int64(cap(pm.queue)+cap(pm.touched))*4
+}
+
+var (
+	_ Estimator       = (*PackMC)(nil)
+	_ SourceEstimator = (*PackMC)(nil)
+	_ Seeder          = (*PackMC)(nil)
+)
+
+// ParallelPackMC shards the packs of each PackMC estimate over W worker
+// goroutines, the way ParallelMC shards MC samples. Because PackMC's mask
+// streams are counter-based per pack, the shard boundaries are invisible
+// in the result: ParallelPackMC returns bit-identical values to a
+// sequential PackMC with the same seed, for any worker count — unlike
+// ParallelMC, whose values change with its worker count.
+//
+// Estimate is internally concurrent but the type itself must not be shared
+// between goroutines.
+type ParallelPackMC struct {
+	g       *uncertain.Graph
+	seed    uint64
+	round   uint64
+	workers int
+	pool    sync.Pool // *PackMC workers
+}
+
+// NewParallelPackMC returns a ParallelPackMC with workers goroutines
+// (0 means GOMAXPROCS).
+func NewParallelPackMC(g *uncertain.Graph, seed uint64, workers int) *ParallelPackMC {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelPackMC{g: g, seed: seed, workers: workers}
+	p.pool.New = func() interface{} { return NewPackMC(g, seed) }
+	return p
+}
+
+// Name implements Estimator.
+func (p *ParallelPackMC) Name() string { return "ParallelPackMC" }
+
+// Reseed implements Seeder.
+func (p *ParallelPackMC) Reseed(seed uint64) {
+	p.seed = seed
+	p.round = 0
+}
+
+// Estimate implements Estimator: packs [0, numPacks(k)) are split into
+// contiguous ranges, one per worker, and the per-range hit counts are
+// accumulated worker-locally and combined over a channel (never through a
+// shared slice, which would false-share cache lines between workers).
+func (p *ParallelPackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(p.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	p.round++
+	base := mix(p.seed, p.round, 0)
+	packs := numPacks(k)
+	workers := p.workers
+	if workers > packs {
+		workers = packs
+	}
+	if workers <= 1 {
+		pm := p.pool.Get().(*PackMC)
+		hits := pm.sampleRange(base, s, t, k, 0, packs)
+		p.pool.Put(pm)
+		return float64(hits) / float64(k)
+	}
+	results := make(chan int, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		share := packs / workers
+		if w < packs%workers {
+			share++
+		}
+		go func(lo, hi int) {
+			pm := p.pool.Get().(*PackMC)
+			hits := pm.sampleRange(base, s, t, k, lo, hi)
+			p.pool.Put(pm)
+			results <- hits
+		}(lo, lo+share)
+		lo += share
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		total += <-results
+	}
+	return float64(total) / float64(k)
+}
+
+// MemoryBytes implements MemoryReporter: one PackMC scratch per worker,
+// computed arithmetically rather than by allocating a probe instance.
+func (p *ParallelPackMC) MemoryBytes() int64 {
+	n, m := int64(p.g.NumNodes()), int64(p.g.NumEdges())
+	per := n*(16+8) + m*(24+8) + packQueueCap*4
+	return per * int64(p.workers)
+}
+
+var (
+	_ Estimator = (*ParallelPackMC)(nil)
+	_ Seeder    = (*ParallelPackMC)(nil)
+)

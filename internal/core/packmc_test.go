@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"relcomp/internal/exact"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// TestPackMCMatchesExactFixtures: the word-packed sampler must agree with
+// the exact reliability on the cascade and cycle fixtures that exercise
+// its fixpoint propagation, at a K that makes the MC standard error tiny.
+func TestPackMCMatchesExactFixtures(t *testing.T) {
+	fixtures := [][]uncertain.Edge{
+		{ // diamond with back edge: cascading updates required
+			{From: 0, To: 1, P: 0.3},
+			{From: 0, To: 2, P: 0.9},
+			{From: 2, To: 1, P: 0.9},
+			{From: 1, To: 3, P: 0.8},
+		},
+		{ // directed cycle on the path
+			{From: 0, To: 1, P: 0.9},
+			{From: 1, To: 2, P: 0.9},
+			{From: 2, To: 1, P: 0.9},
+			{From: 2, To: 3, P: 0.9},
+		},
+	}
+	for fi, edges := range fixtures {
+		g := testGraph(t, 4, edges)
+		want, err := exact.Factoring(g, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm := NewPackMC(g, uint64(fi)+3)
+		if got := pm.Estimate(0, 3, 100000); math.Abs(got-want) > 0.01 {
+			t.Errorf("fixture %d: R = %.4f, exact %.4f", fi, got, want)
+		}
+	}
+}
+
+// TestPackMCStatisticallyEquivalentToMC: at equal K, PackMC draws the same
+// number of independent Bernoulli worlds as MC, so repeated reseeded runs
+// must produce the same mean within sampling noise — the tolerance the
+// exact-agreement tests use (0.03 at K = 20000).
+func TestPackMCStatisticallyEquivalentToMC(t *testing.T) {
+	r := rng.New(31)
+	g := randomTestGraph(r, 10, 28)
+	const k, repeats = 2000, 30
+	mean := func(est Estimator, seeder Seeder) float64 {
+		sum := 0.0
+		for rep := 0; rep < repeats; rep++ {
+			seeder.Reseed(uint64(rep)*7919 + 5)
+			sum += est.Estimate(0, 9, k)
+		}
+		return sum / repeats
+	}
+	mc := NewMC(g, 1)
+	pm := NewPackMC(g, 1)
+	mcMean := mean(mc, mc)
+	pmMean := mean(pm, pm)
+	if math.Abs(mcMean-pmMean) > 0.03 {
+		t.Errorf("PackMC mean %.4f vs MC mean %.4f", pmMean, mcMean)
+	}
+	want, err := exact.Factoring(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmMean-want) > 0.03 {
+		t.Errorf("PackMC mean %.4f vs exact %.4f", pmMean, want)
+	}
+}
+
+// TestPackMCDeterminismAndFreshWorlds: a fixed seed replays the exact
+// estimate sequence, while successive calls without a reseed must draw
+// fresh worlds (the round counter salts the mask streams).
+func TestPackMCDeterminismAndFreshWorlds(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{ // R(0,3) = 0.4375: mid-range,
+		{From: 0, To: 1, P: 0.5}, // so 64-lane estimates vary
+		{From: 1, To: 3, P: 0.5},
+		{From: 0, To: 2, P: 0.5},
+		{From: 2, To: 3, P: 0.5},
+	})
+	pm := NewPackMC(g, 9)
+	var first []float64
+	seen := map[float64]bool{}
+	for i := 0; i < 6; i++ {
+		v := pm.Estimate(0, 3, 64)
+		first = append(first, v)
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Error("successive estimates did not vary: rounds are not drawing fresh worlds")
+	}
+	pm.Reseed(9)
+	for i, want := range first {
+		if got := pm.Estimate(0, 3, 64); got != want {
+			t.Fatalf("call %d after Reseed: %v, want %v", i, got, want)
+		}
+	}
+	// A fresh instance with the same seed replays the same sequence too.
+	pm2 := NewPackMC(g, 9)
+	if got := pm2.Estimate(0, 3, 64); got != first[0] {
+		t.Errorf("fresh instance: %v, want %v", got, first[0])
+	}
+}
+
+// TestPackMCEstimateAllMatchesEstimate is the bit-identity contract the
+// engine's source-grouped batch path relies on: from the same (seed,
+// round) state, EstimateAll(s, k)[t] must equal Estimate(s, t, k) exactly
+// — the counter-based mask streams make early termination invisible in
+// the values.
+func TestPackMCEstimateAllMatchesEstimate(t *testing.T) {
+	r := rng.New(35)
+	g := randomTestGraph(r, 12, 36)
+	for _, k := range []int{1, 50, 64, 200} {
+		pm := NewPackMC(g, 17)
+		all := pm.EstimateAll(0, k)
+		if len(all) != g.NumNodes() {
+			t.Fatalf("EstimateAll returned %d entries", len(all))
+		}
+		if all[0] != 1 {
+			t.Errorf("k=%d: source reliability %v, want 1", k, all[0])
+		}
+		for v := 1; v < g.NumNodes(); v++ {
+			pm.Reseed(17)
+			if got := pm.Estimate(0, uncertain.NodeID(v), k); got != all[v] {
+				t.Errorf("k=%d target %d: Estimate %v vs EstimateAll %v", k, v, got, all[v])
+			}
+		}
+	}
+}
+
+// TestParallelPackMCMatchesSequential: sharding packs over any number of
+// workers must be bit-identical to the sequential PackMC — the shard
+// boundaries cannot show because every pack's masks are a pure function
+// of (seed, round, pack, edge).
+func TestParallelPackMCMatchesSequential(t *testing.T) {
+	r := rng.New(37)
+	g := randomTestGraph(r, 10, 30)
+	for _, k := range []int{1, 63, 64, 65, 200, 1000} {
+		pm := NewPackMC(g, 21)
+		want := pm.Estimate(0, 9, k)
+		for _, workers := range []int{1, 2, 3, 8} {
+			pp := NewParallelPackMC(g, 21, workers)
+			if got := pp.Estimate(0, 9, k); got != want {
+				t.Errorf("k=%d workers=%d: %v, want %v", k, workers, got, want)
+			}
+		}
+	}
+	// Successive calls advance the shared round convention in lockstep.
+	pm := NewPackMC(g, 23)
+	pp := NewParallelPackMC(g, 23, 4)
+	for call := 0; call < 4; call++ {
+		a, b := pm.Estimate(0, 9, 300), pp.Estimate(0, 9, 300)
+		if a != b {
+			t.Fatalf("call %d: sequential %v vs parallel %v", call, a, b)
+		}
+	}
+}
+
+// TestPackMCPartialPacks: budgets that do not fill the final 64-world pack
+// must count only the live lanes — a certain chain gives exactly 1 and a
+// broken chain exactly 0 at any K.
+func TestPackMCPartialPacks(t *testing.T) {
+	chain := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 1, To: 2, P: 1},
+		{From: 2, To: 3, P: 1},
+	})
+	broken := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 1},
+		{From: 2, To: 3, P: 1},
+	})
+	for _, k := range []int{1, 7, 63, 64, 65, 100, 128} {
+		if got := NewPackMC(chain, 1).Estimate(0, 3, k); got != 1 {
+			t.Errorf("certain chain k=%d: %v, want 1", k, got)
+		}
+		if got := NewPackMC(broken, 1).Estimate(0, 3, k); got != 0 {
+			t.Errorf("broken chain k=%d: %v, want 0", k, got)
+		}
+	}
+}
+
+// TestPackMCTopKUsesSourcePath: PackMC's EstimateAll plugs into the top-k
+// reliability search as a SourceEstimator.
+func TestPackMCTopKUsesSourcePath(t *testing.T) {
+	g := testGraph(t, 4, []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 0, To: 2, P: 0.2},
+		{From: 1, To: 3, P: 0.5},
+	})
+	top, err := TopKReliableTargets(NewPackMC(g, 7), g, 0, 2, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Node != 1 {
+		t.Fatalf("top-2 from 0: %+v, want node 1 first", top)
+	}
+}

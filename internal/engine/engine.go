@@ -15,8 +15,10 @@
 //   - Batching: EstimateBatch groups queries by (estimator, source) so the
 //     source-rooted methods amortize their per-source work — one BFS
 //     Sharing traversal answers every target of a source via EstimateAll,
-//     and one ProbTree group splice (QueryGraphAll) expands the source-side
-//     bag chain once for every target of a source.
+//     one ProbTree group splice (QueryGraphAll) expands the source-side
+//     bag chain once for every target of a source, and one PackMC pack
+//     sweep (EstimateAll) serves every target of a source from the same
+//     counter-seeded world ensemble its single queries draw.
 //   - Result caching: a bounded LRU keyed by (s, t, estimator, k) with
 //     hit/miss counters (cache.go).
 //   - Adaptive routing: queries that do not name an estimator are routed
@@ -52,9 +54,19 @@ const BoundsName = "bounds"
 
 // DefaultEstimators lists the estimators an engine builds when Config
 // leaves the set empty: the paper's six, in table order, plus the
-// multi-core ParallelMC extension.
+// word-packed PackMC and the multi-core ParallelMC / ParallelPackMC
+// extensions.
 func DefaultEstimators() []string {
-	return []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", "ParallelMC"}
+	return []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", "PackMC", "ParallelMC", "ParallelPackMC"}
+}
+
+// internallyParallel reports whether the named estimator fans its sample
+// budget out over its own goroutines per Estimate. Such pools are capped
+// at one replica — pooling them Workers-deep would run up to
+// Workers x GOMAXPROCS CPU-bound samplers at once — and excluded from
+// adaptive routing.
+func internallyParallel(name string) bool {
+	return name == "ParallelMC" || name == "ParallelPackMC"
 }
 
 // Config configures an Engine.
@@ -163,10 +175,7 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		capacity := cfg.Workers
-		if name == "ParallelMC" {
-			// ParallelMC already fans its budget out over GOMAXPROCS
-			// goroutines per Estimate; pooling it Workers-deep would run
-			// up to Workers x GOMAXPROCS CPU-bound samplers at once.
+		if internallyParallel(name) {
 			capacity = 1
 		}
 		e.pools[name] = newPool(capacity, factory)
@@ -224,8 +233,12 @@ func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int)
 		return func() core.Estimator { return core.NewRHH(g, seed) }, nil
 	case "RSS":
 		return func() core.Estimator { return core.NewRSS(g, seed) }, nil
+	case "PackMC":
+		return func() core.Estimator { return core.NewPackMC(g, seed) }, nil
 	case "ParallelMC":
 		return func() core.Estimator { return core.NewParallelMC(g, seed, workers) }, nil
+	case "ParallelPackMC":
+		return func() core.Estimator { return core.NewParallelPackMC(g, seed, workers) }, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown estimator %q", name)
 	}
@@ -371,9 +384,22 @@ func (e *Engine) runBorrowed(inst core.Estimator, name string, q Query, res *Res
 // runOne reseeds inst for the query and runs the estimate.
 func (e *Engine) runOne(inst core.Estimator, name string, q Query) float64 {
 	if s, ok := inst.(core.Seeder); ok {
-		s.Reseed(querySeed(e.cfg.Seed, name, q.S, q.T, q.K))
+		s.Reseed(e.querySeedFor(name, q.S, q.T, q.K))
 	}
 	return inst.Estimate(q.S, q.T, q.K)
+}
+
+// querySeedFor derives the stream seed runOne reseeds with. PackMC's
+// source-grouped batch path answers every target of an (s, k) group from
+// one reseeded pack sweep (EstimateAll), so its seed must ignore the
+// target — single and grouped execution then draw the same world ensemble
+// and, because PackMC's masks are counter-based, return identical values.
+// Every other estimator keeps the full (s, t, k) key.
+func (e *Engine) querySeedFor(name string, s, t uncertain.NodeID, k int) uint64 {
+	if name == packName {
+		t = s
+	}
+	return querySeed(e.cfg.Seed, name, s, t, k)
 }
 
 // workUnit is one batch work item. Two shapes:
@@ -393,21 +419,26 @@ type workUnit struct {
 	idxs []int // query indices the unit answers
 }
 
-// sharedName and ptName are the estimators whose core API exposes
-// multi-target amortization: one BFS Sharing traversal computes every
-// target's reliability at once (EstimateAll), and one ProbTree group
+// sharedName, ptName, and packName are the estimators whose core API
+// exposes multi-target amortization: one BFS Sharing traversal computes
+// every target's reliability at once (EstimateAll), one ProbTree group
 // splice expands the source-side bag chain once for all targets
-// (QueryGraphAll). All other estimators answer per query, so their batch
-// queries become individual work units and spread over all workers
-// instead of serializing behind a shared source.
+// (QueryGraphAll), and one PackMC pack sweep leaves every reached node's
+// per-world hit counts behind (EstimateAll again). All other estimators
+// answer per query, so their batch queries become individual work units
+// and spread over all workers instead of serializing behind a shared
+// source.
 const (
 	sharedName = "BFSSharing"
 	ptName     = "ProbTree"
+	packName   = "PackMC"
 )
 
 // groupable reports whether name's batch queries are amortized per
 // (source, k) group rather than answered per query.
-func groupable(name string) bool { return name == sharedName || name == ptName }
+func groupable(name string) bool {
+	return name == sharedName || name == ptName || name == packName
+}
 
 // orderedGroups accumulates query indices per key, remembering the keys'
 // first-appearance order so iteration — and with it unit execution order
@@ -685,9 +716,18 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 			// The same per-query reseed as runOne, so the inner sampler
 			// stream — and with it the estimate — matches a single
 			// Estimate call bit for bit.
-			est.Reseed(querySeed(e.cfg.Seed, name, s, missTargets[i], k))
+			est.Reseed(e.querySeedFor(name, s, missTargets[i], k))
 			vals[i] = est.EstimateSpliced(sq, k)
 		})
+	case *core.PackMC:
+		// The same target-less reseed as runOne uses for PackMC, so the
+		// pack sweep draws the exact world ensemble each single query
+		// would, and EstimateAll[t] matches Estimate(s, t, k) bit for bit.
+		est.Reseed(e.querySeedFor(name, s, s, k))
+		all := est.EstimateAll(s, k)
+		for i, t := range missTargets {
+			vals[i] = all[t]
+		}
 	default:
 		panic(fmt.Sprintf("engine: estimator %q grouped without an amortized path", name))
 	}

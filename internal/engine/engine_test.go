@@ -225,10 +225,11 @@ func TestRouterPrefersAccuracyOnWideBounds(t *testing.T) {
 	}
 	// Unmeasured candidates are explored before measured EWMAs are
 	// trusted: once ProbTree has a sample, the next-best unmeasured
-	// candidate by the online-time prior (LP+) is tried.
+	// candidate by the online-time prior (the word-packed PackMC) is
+	// tried.
 	r.observe("ProbTree", 0.5)
-	if got := r.pick(0.1); got != "LP+" {
-		t.Errorf("exploration chose %s, want LP+", got)
+	if got := r.pick(0.1); got != "PackMC" {
+		t.Errorf("exploration chose %s, want PackMC", got)
 	}
 	// Once every candidate is measured, the lowest EWMA wins — routing
 	// can shift away from a slow first choice.

@@ -52,25 +52,31 @@ type router struct {
 // accuracyRank orders estimators by the paper's measured relative error at
 // convergence (lower is better). Unlisted estimators rank last.
 var accuracyRank = map[string]int{
-	"RSS":        0,
-	"RHH":        1,
-	"MC":         2,
-	"ParallelMC": 2, // statistically identical to MC
-	"ProbTree":   3,
-	"BFSSharing": 4,
-	"LP+":        5,
+	"RSS":            0,
+	"RHH":            1,
+	"MC":             2,
+	"PackMC":         2, // statistically identical to MC
+	"ParallelMC":     2, // statistically identical to MC
+	"ParallelPackMC": 2, // bit-identical to PackMC
+	"ProbTree":       3,
+	"BFSSharing":     4,
+	"LP+":            5,
 }
 
-// latencyPrior orders estimators by the paper's per-query online time
-// (lower is faster); it only breaks ties until real measurements arrive.
+// latencyPrior orders estimators by per-query online time (the paper's
+// measurements, with the word-packed extensions slotted in: PackMC does
+// MC's work ~64 worlds per traversal, so it sits with the fast methods);
+// it only breaks ties until real measurements arrive.
 var latencyPrior = map[string]int{
-	"ProbTree":   0,
-	"LP+":        1,
-	"BFSSharing": 2,
-	"RSS":        3,
-	"RHH":        4,
-	"ParallelMC": 5,
-	"MC":         6,
+	"ProbTree":       0,
+	"PackMC":         1,
+	"LP+":            2,
+	"BFSSharing":     3,
+	"RSS":            4,
+	"RHH":            5,
+	"ParallelPackMC": 6,
+	"ParallelMC":     7,
+	"MC":             8,
 }
 
 const (

@@ -74,7 +74,7 @@ func TestSharedIndexAcrossReplicas(t *testing.T) {
 // LRU exactly once per batch, and nothing is double-counted when the same
 // batch repeats against a warm cache.
 func TestRunSharedAccounting(t *testing.T) {
-	for _, est := range []string{"BFSSharing", "ProbTree"} {
+	for _, est := range []string{"BFSSharing", "ProbTree", "PackMC"} {
 		t.Run(est, func(t *testing.T) {
 			e := testEngine(t, Config{Workers: 2, MaxK: 200, Seed: 42, CacheSize: 64,
 				Estimators: []string{est}})
@@ -140,25 +140,32 @@ func TestRunSharedAccounting(t *testing.T) {
 	}
 }
 
-// TestProbTreeBatchMatchesSingleLargeGroup drives a wide ProbTree source
-// group (well past the lone-target fallback) through EstimateBatch and
-// checks every answer against the single-query path on a fresh engine.
-func TestProbTreeBatchMatchesSingleLargeGroup(t *testing.T) {
-	cfg := Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 0,
-		Estimators: []string{"ProbTree"}}
-	batch := testEngine(t, cfg)
-	single := testEngine(t, cfg)
-	var qs []Query
-	for d := 1; d < 20; d++ {
-		qs = append(qs, Query{S: 0, T: uncertain.NodeID(d), K: 200, Estimator: "ProbTree"})
-	}
-	for i, res := range batch.EstimateBatch(qs) {
-		if res.Err != nil {
-			t.Fatal(res.Err)
-		}
-		want := single.Estimate(qs[i])
-		if res.Reliability != want.Reliability {
-			t.Errorf("query %d: batch %v vs single %v", i, res.Reliability, want.Reliability)
-		}
+// TestGroupedBatchMatchesSingleLargeGroup drives a wide source group
+// (well past the lone-target fallback) through EstimateBatch for each
+// amortizing estimator and checks every answer against the single-query
+// path on a fresh engine. For PackMC this pins the counter-based-stream
+// contract: one amortized pack sweep must be bit-identical to per-target
+// queries.
+func TestGroupedBatchMatchesSingleLargeGroup(t *testing.T) {
+	for _, est := range []string{"ProbTree", "PackMC"} {
+		t.Run(est, func(t *testing.T) {
+			cfg := Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 0,
+				Estimators: []string{est}}
+			batch := testEngine(t, cfg)
+			single := testEngine(t, cfg)
+			var qs []Query
+			for d := 1; d < 20; d++ {
+				qs = append(qs, Query{S: 0, T: uncertain.NodeID(d), K: 200, Estimator: est})
+			}
+			for i, res := range batch.EstimateBatch(qs) {
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				want := single.Estimate(qs[i])
+				if res.Reliability != want.Reliability {
+					t.Errorf("query %d: batch %v vs single %v", i, res.Reliability, want.Reliability)
+				}
+			}
+		})
 	}
 }

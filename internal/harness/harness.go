@@ -146,6 +146,12 @@ func (r *Runner) Pairs(name string, hops int) ([]workload.Pair, error) {
 // EstimatorSet names the six estimators in the paper's table order.
 var EstimatorSet = []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS"}
 
+// ExtendedEstimatorSet appends the extensions beyond the paper — the
+// word-packed PackMC and the multi-core shards — so table/figure sweeps
+// and callers of NewEstimator can include them alongside the paper's six.
+var ExtendedEstimatorSet = append(append([]string{}, EstimatorSet...),
+	"PackMC", "ParallelMC", "ParallelPackMC")
+
 // NewEstimator constructs one of the named estimators over g. BFS Sharing
 // is built with index width = the runner's MaxK.
 func (r *Runner) NewEstimator(name string, g *uncertain.Graph) (core.Estimator, error) {
@@ -153,6 +159,12 @@ func (r *Runner) NewEstimator(name string, g *uncertain.Graph) (core.Estimator, 
 	switch name {
 	case "MC":
 		return core.NewMC(g, seed), nil
+	case "PackMC":
+		return core.NewPackMC(g, seed), nil
+	case "ParallelMC":
+		return core.NewParallelMC(g, seed, 0), nil
+	case "ParallelPackMC":
+		return core.NewParallelPackMC(g, seed, 0), nil
 	case "BFSSharing":
 		return core.NewBFSSharing(g, seed, r.opts.MaxK), nil
 	case "ProbTree":

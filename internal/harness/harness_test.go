@@ -67,7 +67,7 @@ func TestNewEstimatorNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range append(append([]string{}, EstimatorSet...), "LP", "ProbTree+LP+", "ProbTree+RHH", "ProbTree+RSS") {
+	for _, name := range append(append([]string{}, ExtendedEstimatorSet...), "LP", "ProbTree+LP+", "ProbTree+RHH", "ProbTree+RSS") {
 		est, err := r.NewEstimator(name, g)
 		if err != nil {
 			t.Fatal(err)

@@ -9,7 +9,12 @@
 // NOT safe for concurrent use; create one per goroutine.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"relcomp/internal/bitvec"
+)
 
 // Source is a xoshiro256++ pseudo-random generator. The zero value is not
 // usable; construct with New.
@@ -25,20 +30,28 @@ func New(seed uint64) *Source {
 	return &r
 }
 
+// golden is the SplitMix64 increment (the 64-bit golden ratio).
+const golden = 0x9e3779b97f4a7c15
+
+// splitmix64 is the SplitMix64 finalizer: successive values of
+// splitmix64(key + i·golden) form a high-quality counter-based stream.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Seed resets the generator state from seed.
 func (r *Source) Seed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		sm += golden
+		return splitmix64(sm)
 	}
 	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
 	// Avoid the all-zero state, which is a fixed point of xoshiro.
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
-		r.s0 = 0x9e3779b97f4a7c15
+		r.s0 = golden
 	}
 }
 
@@ -136,6 +149,209 @@ func (r *Source) Geometric(p float64) int {
 		return maxGeo
 	}
 	return int(x)
+}
+
+// sparseMaskCutoff is the probability below which Mask64 skips
+// geometrically between set bits instead of slicing bits: under it a word
+// holds less than one expected set bit, so a single skip usually clears
+// the whole word.
+const sparseMaskCutoff = 1.0 / 64
+
+// Mask64 returns a word of 64 independent Bernoulli(p) bits: bit i is set
+// with probability p.
+//
+// For low p it skips geometrically between set bits — the technique the
+// BFS Sharing index uses to sample edge bit-vectors — so a word costs
+// O(64·p) draws instead of 64; for high p the complement is skipped and
+// inverted. Mid-range p uses bit-sliced inversion: all 64 lanes compare
+// their uniform bit streams against p's binary expansion at once,
+// deciding a word in ~log2(64) cheap draws with no transcendental calls.
+//
+// p <= 0 yields the zero word; p >= 1 yields all ones.
+func (r *Source) Mask64(p float64) uint64 {
+	switch {
+	case p >= 1:
+		return ^uint64(0)
+	case p <= 0:
+		return 0
+	case p < sparseMaskCutoff:
+		return r.sparseMask64(p)
+	case p > 1-sparseMaskCutoff:
+		return ^r.sparseMask64(1 - p)
+	}
+	// Bit-sliced inversion, most significant bit of p's expansion first.
+	// A lane's (implicit) uniform variate is below p iff at the first
+	// digit where they differ the uniform has 0 and p has 1. und tracks
+	// the lanes whose digits have matched p's so far; each draw decides
+	// half of them in expectation, so the loop almost always ends long
+	// before j runs out. Truncating p to 64 digits perturbs the success
+	// probability by less than 2^-64 — far below Float64's own 2^-53
+	// comparison granularity.
+	q := uint64(p * (1 << 32) * (1 << 32))
+	und := ^uint64(0)
+	var res uint64
+	for j := 63; j >= 0 && und != 0; j-- {
+		w := r.Uint64()
+		if q>>uint(j)&1 == 1 {
+			res |= und &^ w // uniform digit 0 under p digit 1: below p
+			und &= w
+		} else {
+			und &^= w // uniform digit 1 over p digit 0: above p
+		}
+	}
+	return res
+}
+
+// MaskAt returns a word of 64 independent Bernoulli(p) bits drawn from the
+// counter-based SplitMix64 stream identified by key: the result is a pure
+// function of (key, p), and distinct keys yield independent words. It uses
+// the same sparse/dense geometric-skip and mid-range bit-slicing branches
+// as Mask64, but with no generator state to seed.
+func MaskAt(key uint64, p float64) uint64 {
+	m, _ := MaskAtNeed(key, p, ^uint64(0))
+	return m
+}
+
+// MaskAtNeed is MaskAt restricted to the lanes in need: it returns the
+// mask and the set of lanes whose bits are final, which always covers
+// need. Lanes outside the returned decided set are reported as 0 but are
+// NOT drawn — a later call with a larger need replays the same pure
+// trajectory further, so decided lanes never change across calls with the
+// same key. PackMC uses this to probe an edge for just the worlds that
+// reached it: once most worlds have hit the target, a probe needs 2–3
+// lanes and the bit-sliced loop exits after ~log2|need| draws instead of
+// ~log2(64).
+func MaskAtNeed(key uint64, p float64, need uint64) (mask, decided uint64) {
+	return MaskAtFixed(key, FixedProb(p), need)
+}
+
+// FixedProb converts a probability to the 64-bit fixed point the mask
+// samplers draw against: the success rate becomes exactly q/2^64, within
+// 2^-64 of p (finer than Float64's own 2^-53 comparison granularity).
+// p >= 1 maps to the reserved all-ones word meaning "certain" (q = 2^64
+// itself is not representable); p <= 0 maps to zero. Hot paths precompute
+// this per edge so each mask draw skips the float classification.
+func FixedProb(p float64) uint64 {
+	switch {
+	case p >= 1:
+		return ^uint64(0)
+	case p <= 0:
+		return 0
+	}
+	q := uint64(p * (1 << 32) * (1 << 32))
+	if q == ^uint64(0) { // rounding must not reach the "certain" sentinel
+		q--
+	}
+	if q == 0 { // nor must a positive p collapse to "never"
+		q = 1
+	}
+	return q
+}
+
+// fixedSparseCutoff mirrors sparseMaskCutoff in fixed point.
+const fixedSparseCutoff = uint64(1) << 58 // (1/64) · 2^64
+
+// MaskAtFixed is MaskAtNeed for a FixedProb-converted probability.
+func MaskAtFixed(key, q, need uint64) (mask, decided uint64) {
+	switch {
+	case q == ^uint64(0):
+		return ^uint64(0), ^uint64(0)
+	case q == 0:
+		return 0, ^uint64(0)
+	case q < fixedSparseCutoff:
+		return sparseMaskAt(key, float64(q)*(1.0/(1<<32)/(1<<32))), ^uint64(0)
+	case q > ^uint64(0)-fixedSparseCutoff:
+		return ^sparseMaskAt(key, float64(^q)*(1.0/(1<<32)/(1<<32))), ^uint64(0)
+	}
+	// Bit-sliced inversion; see Mask64 for the derivation. The digit
+	// branch is folded into mask arithmetic — b is 0 or 1, so b-1 and -b
+	// select between the two updates without a data-dependent jump. und
+	// lanes are still undecided; every draw halves them in expectation.
+	und := ^uint64(0)
+	var res uint64
+	ctr := key
+	for j := 63; j >= 0 && und&need != 0; j-- {
+		ctr += golden
+		w := splitmix64(ctr)
+		b := q >> uint(j) & 1
+		res |= und &^ w & -b
+		und &= w ^ (b - 1)
+	}
+	return res, ^und
+}
+
+// sparseMaskAt draws a 64-bit Bernoulli(p) word from the counter stream at
+// key by geometric skips, for p in (0, sparseMaskCutoff).
+func sparseMaskAt(key uint64, p float64) uint64 {
+	var m uint64
+	lnq := math.Log1p(-p)
+	ctr := key
+	for i := 0; ; i++ {
+		ctr += golden
+		u := float64(splitmix64(ctr)>>11) * (1.0 / (1 << 53))
+		if u == 0 {
+			i--
+			continue
+		}
+		// Compare as float before converting: for tiny p the skip is
+		// astronomically large and int() of an out-of-range float is
+		// platform-defined (minint on amd64), which the old clamp turned
+		// into a spurious set bit.
+		f := math.Log(u) / lnq
+		if f >= float64(64-i) {
+			return m
+		}
+		skip := int(f)
+		if skip < 0 {
+			skip = 0
+		}
+		i += skip
+		m |= 1 << uint(i)
+	}
+}
+
+// sparseMask64 draws a 64-bit Bernoulli(p) word by geometric skips, for
+// p in (0, 1/2].
+func (r *Source) sparseMask64(p float64) uint64 {
+	var m uint64
+	for i := r.Geometric(p); i < 64; i += 1 + r.Geometric(p) {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// FillMask redraws bits [lo, hi) of dst as independent Bernoulli(p) bits
+// (bit i lives at bit i%64 of word i/64), leaving bits outside the range
+// untouched. Like Mask64 it skips geometrically between the minority bits,
+// so the cost is O((hi-lo)·min(p, 1-p)) draws — this is what makes
+// low-probability datasets orders of magnitude cheaper to index. It panics
+// if the range is invalid or extends past dst.
+func (r *Source) FillMask(dst []uint64, lo, hi int, p float64) {
+	if lo < 0 || hi < lo || hi > len(dst)*64 {
+		panic(fmt.Sprintf("rng: invalid mask range [%d,%d) over %d words", lo, hi, len(dst)))
+	}
+	if lo == hi {
+		return
+	}
+	v := bitvec.Vector(dst)
+	switch {
+	case p >= 1:
+		v.SetRange(lo, hi)
+	case p <= 0:
+		v.ClearRange(lo, hi)
+	case p > 0.5:
+		// Dense: start from all ones and skip-clear the complement.
+		v.SetRange(lo, hi)
+		q := 1 - p
+		for i := lo + r.Geometric(q); i < hi; i += 1 + r.Geometric(q) {
+			dst[i>>6] &^= 1 << (uint(i) & 63)
+		}
+	default:
+		v.ClearRange(lo, hi)
+		for i := lo + r.Geometric(p); i < hi; i += 1 + r.Geometric(p) {
+			dst[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
 }
 
 // Perm fills dst with a uniformly random permutation of 0..len(dst)-1

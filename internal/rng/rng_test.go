@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -150,6 +151,150 @@ func TestGeometricPanics(t *testing.T) {
 		}
 	}()
 	New(9).Geometric(0)
+}
+
+// TestMask64Density: every bit position of Mask64 must be set at rate p,
+// across the sparse, complemented, and degenerate branches.
+func TestMask64Density(t *testing.T) {
+	r := New(12)
+	for _, p := range []float64{0, 0.02, 0.3, 0.5, 0.7, 0.97, 1} {
+		const n = 20000
+		counts := make([]int, 64)
+		for i := 0; i < n; i++ {
+			m := r.Mask64(p)
+			for b := 0; b < 64; b++ {
+				if m&(1<<uint(b)) != 0 {
+					counts[b]++
+				}
+			}
+		}
+		for b, c := range counts {
+			rate := float64(c) / n
+			if math.Abs(rate-p) > 0.015 {
+				t.Fatalf("Mask64(%v) bit %d rate %.4f", p, b, rate)
+			}
+		}
+	}
+}
+
+// TestMask64BitIndependence: adjacent bits must not be correlated (the
+// skip chain must not couple neighbors).
+func TestMask64BitIndependence(t *testing.T) {
+	r := New(13)
+	const p, n = 0.3, 100000
+	both := 0
+	for i := 0; i < n; i++ {
+		m := r.Mask64(p)
+		if m&3 == 3 {
+			both++
+		}
+	}
+	rate := float64(both) / n
+	if math.Abs(rate-p*p) > 0.01 {
+		t.Errorf("P(bit0 & bit1) = %.4f, want %.4f", rate, p*p)
+	}
+}
+
+// TestFillMask: the redrawn range has density p and bits outside the range
+// are untouched, for sub-word, word-spanning, and unaligned ranges.
+func TestFillMask(t *testing.T) {
+	r := New(14)
+	for _, c := range []struct{ lo, hi int }{{0, 64}, {3, 61}, {10, 200}, {64, 256}, {5, 6}} {
+		const n = 8000
+		words := 4
+		set := 0
+		for i := 0; i < n; i++ {
+			dst := []uint64{^uint64(0), 0, ^uint64(0), 0}
+			guard := append([]uint64(nil), dst...)
+			r.FillMask(dst, c.lo, c.hi, 0.25)
+			for b := 0; b < words*64; b++ {
+				in := b >= c.lo && b < c.hi
+				bit := dst[b>>6]&(1<<(uint(b)&63)) != 0
+				if !in {
+					if bit != (guard[b>>6]&(1<<(uint(b)&63)) != 0) {
+						t.Fatalf("range [%d,%d): bit %d outside range changed", c.lo, c.hi, b)
+					}
+				} else if bit {
+					set++
+				}
+			}
+		}
+		rate := float64(set) / float64(n*(c.hi-c.lo))
+		if math.Abs(rate-0.25) > 0.02 {
+			t.Errorf("range [%d,%d): density %.4f, want 0.25", c.lo, c.hi, rate)
+		}
+	}
+}
+
+// TestFillMaskDegenerate: the p <= 0, p >= 1, and empty-range branches.
+func TestFillMaskDegenerate(t *testing.T) {
+	r := New(15)
+	dst := []uint64{^uint64(0), ^uint64(0)}
+	r.FillMask(dst, 4, 100, 0)
+	for b := 4; b < 100; b++ {
+		if dst[b>>6]&(1<<(uint(b)&63)) != 0 {
+			t.Fatalf("FillMask(p=0) left bit %d set", b)
+		}
+	}
+	r.FillMask(dst, 4, 100, 1)
+	for b := 4; b < 100; b++ {
+		if dst[b>>6]&(1<<(uint(b)&63)) == 0 {
+			t.Fatalf("FillMask(p=1) left bit %d clear", b)
+		}
+	}
+	before := append([]uint64(nil), dst...)
+	r.FillMask(dst, 7, 7, 0.5)
+	if dst[0] != before[0] || dst[1] != before[1] {
+		t.Error("empty range modified dst")
+	}
+}
+
+// TestMaskAtTinyProbability: sub-1e-18 probabilities must yield (almost
+// surely) empty words — the regression case where the geometric skip's
+// float-to-int conversion overflowed and set ~3% of bits instead.
+func TestMaskAtTinyProbability(t *testing.T) {
+	set := 0
+	for key := uint64(0); key < 2000; key++ {
+		set += bits.OnesCount64(MaskAt(key*977+1, math.Pow(2, -64)))
+	}
+	if set != 0 {
+		t.Errorf("MaskAt(2^-64) set %d bits over 2000 words, want 0", set)
+	}
+	m, dec := MaskAtFixed(3, FixedProb(1e-300), ^uint64(0))
+	if m != 0 || dec != ^uint64(0) {
+		t.Errorf("MaskAtFixed(tiny p) = %x decided %x", m, dec)
+	}
+}
+
+// TestMaskAtNeedConsistency: extending the need set must keep every
+// previously decided lane — the trajectory-replay contract PackMC's edge
+// cache relies on.
+func TestMaskAtNeedConsistency(t *testing.T) {
+	for key := uint64(1); key < 500; key++ {
+		p := 0.05 + float64(key%9)*0.1
+		small, decS := MaskAtNeed(key, p, 1<<(key%64))
+		full, decF := MaskAtNeed(key, p, ^uint64(0))
+		if decF != ^uint64(0) {
+			t.Fatalf("key %d: full need left lanes undecided: %x", key, decF)
+		}
+		if small&decS != full&decS {
+			t.Fatalf("key %d: decided lanes changed between needs: %x vs %x (decided %x)",
+				key, small, full, decS)
+		}
+	}
+}
+
+func TestFillMaskPanics(t *testing.T) {
+	for _, c := range []struct{ lo, hi int }{{-1, 4}, {5, 4}, {0, 129}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FillMask range [%d,%d) did not panic", c.lo, c.hi)
+				}
+			}()
+			New(16).FillMask(make([]uint64, 2), c.lo, c.hi, 0.5)
+		}()
+	}
 }
 
 func TestPermIsPermutation(t *testing.T) {

@@ -95,6 +95,20 @@ func NewLazyProp(g *Graph, seed uint64) Estimator { return core.NewLazyProp(g, s
 // its estimator with MC as the inner sampler (Alg. 7–8).
 func NewProbTree(g *Graph, seed uint64) Estimator { return core.NewProbTree(g, seed) }
 
+// NewPackMC returns the bit-parallel world-packed Monte Carlo estimator:
+// statistically identical to MC at equal K, but it samples 64 possible
+// worlds per traversal as machine-word lanes, with per-edge existence
+// masks drawn lazily by geometric skips and packs terminated early once
+// the target's mask can no longer change.
+func NewPackMC(g *Graph, seed uint64) Estimator { return core.NewPackMC(g, seed) }
+
+// NewParallelPackMC returns a PackMC that shards its 64-world packs over
+// `workers` goroutines (0 means GOMAXPROCS). Its estimates are
+// bit-identical to NewPackMC with the same seed, for any worker count.
+func NewParallelPackMC(g *Graph, seed uint64, workers int) Estimator {
+	return core.NewParallelPackMC(g, seed, workers)
+}
+
 // Estimators returns fresh instances of the paper's six estimators, in
 // table order, sharing the graph. The BFS Sharing index is sized for
 // Estimate calls up to maxK samples.
