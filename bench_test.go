@@ -1,7 +1,7 @@
 package relcomp
 
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md §5 for the experiment index), plus kernel
+// evaluation (see DESIGN.md §6 for the experiment index), plus kernel
 // benchmarks of every estimator on every dataset (the per-sample cost that
 // Tables 9–14 report).
 //
@@ -11,6 +11,7 @@ package relcomp
 // experiments at realistic scale.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -217,12 +218,12 @@ func BenchmarkEngineBatch(b *testing.B) {
 	// measured. One pass may build fewer replicas than the pool cap —
 	// instances returned early get reused — so run a few.
 	for i := 0; i < 3; i++ {
-		eng.EstimateBatch(queries)
+		eng.EstimateBatch(context.Background(), queries)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, res := range eng.EstimateBatch(queries) {
+		for _, res := range eng.EstimateBatch(context.Background(), queries) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -270,12 +271,12 @@ func BenchmarkPackMCEngineBatch(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < 3; i++ { // warm the replica pools
-				eng.EstimateBatch(queries)
+				eng.EstimateBatch(context.Background(), queries)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				for _, res := range eng.EstimateBatch(queries) {
+				for _, res := range eng.EstimateBatch(context.Background(), queries) {
 					if res.Err != nil {
 						b.Fatal(res.Err)
 					}
@@ -334,7 +335,7 @@ func BenchmarkProbTreeBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng.Estimate(queries[0]) // build the shared index outside the timer
+		eng.Estimate(context.Background(), queries[0]) // build the shared index outside the timer
 		return eng
 	}
 	b.Run("grouped", func(b *testing.B) {
@@ -342,7 +343,7 @@ func BenchmarkProbTreeBatch(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			for _, res := range eng.EstimateBatch(queries) {
+			for _, res := range eng.EstimateBatch(context.Background(), queries) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -357,7 +358,7 @@ func BenchmarkProbTreeBatch(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, q := range queries {
-				if res := eng.Estimate(q); res.Err != nil {
+				if res := eng.Estimate(context.Background(), q); res.Err != nil {
 					b.Fatal(res.Err)
 				}
 			}
@@ -384,6 +385,79 @@ func BenchmarkIndexBuild(b *testing.B) {
 				if _, err := r.NewEstimator(method, g); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// adaptiveBenchWorkload builds the mixed easy/hard anytime workload:
+// `easy` one-hop near-certain pairs, which reach a 1% relative half-width
+// within a few hundred samples, and `hard` multi-hop mid-probability
+// pairs, for which ε = 0.01 is unreachable inside the cap and the full
+// budget runs. Every query names MC so the comparison measures the
+// anytime stopping layer, not routing.
+func adaptiveBenchWorkload(eps float64, budget int) (*Graph, []Query) {
+	const easy, hard, hops = 30, 2, 4
+	gb := NewGraphBuilder(2*easy + hard*(hops+1))
+	node := NodeID(0)
+	var queries []Query
+	for i := 0; i < easy; i++ {
+		gb.MustAddEdge(node, node+1, 0.995)
+		queries = append(queries, Query{S: node, T: node + 1, K: budget, Estimator: "MC", Eps: eps})
+		node += 2
+	}
+	for i := 0; i < hard; i++ {
+		s := node
+		for h := 0; h < hops; h++ {
+			gb.MustAddEdge(node, node+1, 0.75)
+			node++
+		}
+		queries = append(queries, Query{S: s, T: node, K: budget, Estimator: "MC", Eps: eps})
+		node++
+	}
+	return gb.Build(), queries
+}
+
+// BenchmarkAdaptiveEngine compares anytime estimation (ε = 0.01, K as the
+// sample cap) against the fixed-MaxK path on the mixed workload: the easy
+// majority retires after a few hundred samples instead of burning the full
+// 4000, so the adaptive qps should be well over 2x the fixed qps, with
+// samples_used < cap on every easy pair (verified inside the loop).
+func BenchmarkAdaptiveEngine(b *testing.B) {
+	const budget = 4000
+	for _, mode := range []struct {
+		name string
+		eps  float64
+	}{
+		{"fixed", 0},
+		{"adaptive", 0.01},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			g, queries := adaptiveBenchWorkload(mode.eps, budget)
+			eng, err := NewEngine(g, EngineConfig{Workers: 8, MaxK: budget, Seed: 7, CacheSize: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.EstimateBatch(context.Background(), queries) // warm the pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			var drawn, answered int
+			for i := 0; i < b.N; i++ {
+				for _, res := range eng.EstimateBatch(context.Background(), queries) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					if mode.eps > 0 && res.StopReason == string(StopEps) && res.SamplesUsed >= budget {
+						b.Fatalf("easy pair %d->%d reported eps stop at the full cap", res.S, res.T)
+					}
+					drawn += res.SamplesUsed
+					answered++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+			if answered > 0 {
+				b.ReportMetric(float64(drawn)/float64(answered), "samples/query")
 			}
 		})
 	}

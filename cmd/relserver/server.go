@@ -17,17 +17,23 @@ import (
 //	GET  /v1/graph                             graph statistics
 //	GET  /v1/estimators                        available estimator names
 //	GET  /v1/reliability?s=0&t=5&k=1000&estimator=RSS
-//	     (omit estimator= to let the engine route adaptively)
+//	     (omit estimator= to let the engine route adaptively; add
+//	     eps=0.01 and/or deadline_ms=50 for anytime estimation — k
+//	     becomes the sample cap, the default cap rises to the engine
+//	     maximum, and the response reports samples_used and stop_reason)
+//	GET  /v1/estimate                          alias of /v1/reliability
 //	GET  /v1/bounds?s=0&t=5                    analytic bounds + best path
 //	GET  /v1/topk?s=0&n=10&k=1000              top-n reliable targets
-//	POST /v1/batch                             {"queries":[{"s":..,"t":..,"k":..,"estimator":".."}]}
-//	GET  /v1/engine/stats                      engine counters (cache, routing, latency)
+//	POST /v1/batch                             {"queries":[{"s":..,"t":..,"k":..,"estimator":"..","eps":..,"deadline_ms":..}]}
+//	GET  /v1/engine/stats                      engine counters (cache, routing, latency, anytime savings)
 //
 // All query traffic goes through the concurrent batch query engine
 // (relcomp.Engine): per-estimator instance pools replace the old
 // per-estimator mutexes, so queries to the same estimator no longer
 // serialize behind one in-flight request; batch requests amortize
-// per-source work; repeated queries hit the LRU result cache.
+// per-source work; repeated queries hit the LRU result cache. Each
+// request's context is threaded into the engine, so a client disconnect
+// cancels its queued and anytime in-flight work.
 type server struct {
 	graph  *relcomp.Graph
 	engine *relcomp.Engine
@@ -58,6 +64,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/graph", s.handleGraph)
 	mux.HandleFunc("/v1/estimators", s.handleEstimators)
 	mux.HandleFunc("/v1/reliability", s.handleReliability)
+	mux.HandleFunc("/v1/estimate", s.handleReliability)
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
 	mux.HandleFunc("/v1/topk", s.handleTopK)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -105,6 +112,37 @@ func intParamDefault(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// epsParam parses the optional anytime accuracy target: the relative 95%
+// CI half-width at which sampling stops. 0 (the default) keeps the exact
+// fixed budget.
+func epsParam(r *http.Request) (float64, error) {
+	raw := r.URL.Query().Get("eps")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter \"eps\": %v", err)
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("parameter \"eps\": %v outside [0, 1)", v)
+	}
+	return v, nil
+}
+
+// deadlineParam parses the optional anytime latency target in
+// milliseconds; 0 (the default) means unbounded.
+func deadlineParam(r *http.Request) (time.Duration, error) {
+	ms, err := intParamDefault(r, "deadline_ms", 0)
+	if err != nil {
+		return 0, err
+	}
+	if ms < 0 {
+		return 0, fmt.Errorf("parameter \"deadline_ms\": %d must not be negative", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
 // checkNode validates a node id at int width, before any int32 NodeID
 // conversion could silently truncate huge values onto a valid node.
 func (s *server) checkNode(name string, v int) error {
@@ -134,8 +172,16 @@ func (s *server) defaultK() int {
 	return 1000
 }
 
-func (s *server) samplesParam(r *http.Request) (int, error) {
-	k, err := intParamDefault(r, "k", s.defaultK())
+// samplesParam parses the sample budget. Anytime requests (eps or
+// deadline_ms set) default the cap to the engine maximum — they pay only
+// for the samples their stopping rule needs, so the cap should be
+// generous — while fixed requests keep the conservative default.
+func (s *server) samplesParam(r *http.Request, anytime bool) (int, error) {
+	def := s.defaultK()
+	if anytime {
+		def = s.engine.MaxK()
+	}
+	k, err := intParamDefault(r, "k", def)
 	if err != nil {
 		return 0, err
 	}
@@ -167,7 +213,10 @@ func (s *server) handleEstimators(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// resultJSON is the wire form of one engine result.
+// resultJSON is the wire form of one engine result. samples_used and
+// stop_reason report the anytime termination: how many of the k-sample
+// cap were actually drawn and which rule ("eps", "deadline", "max_k", ...)
+// ended sampling; stop_reason is empty for fixed-budget queries.
 type resultJSON struct {
 	S           int     `json:"s"`
 	T           int     `json:"t"`
@@ -176,6 +225,8 @@ type resultJSON struct {
 	Reliability float64 `json:"reliability"`
 	Cached      bool    `json:"cached"`
 	TimeMs      float64 `json:"timeMs"`
+	SamplesUsed int     `json:"samples_used"`
+	StopReason  string  `json:"stop_reason,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
 
@@ -192,6 +243,8 @@ func toJSON(res relcomp.Result) resultJSON {
 		Reliability: res.Reliability,
 		Cached:      res.Cached,
 		TimeMs:      float64(res.Latency.Microseconds()) / 1000,
+		SamplesUsed: res.SamplesUsed,
+		StopReason:  res.StopReason,
 	}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
@@ -211,21 +264,33 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.URL.Query().Get("estimator")
+	eps, err := epsParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	deadline, err := deadlineParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	var k int
 	if name == relcomp.EngineBoundsName {
 		// The bounds pseudo-estimator draws no samples; accept any k so
 		// the same query succeeds here and on /v1/batch.
 		k, err = intParamDefault(r, "k", s.defaultK())
 	} else {
-		k, err = s.samplesParam(r)
+		k, err = s.samplesParam(r, eps > 0 || deadline > 0)
 	}
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	res := s.engine.Estimate(relcomp.Query{
+	res := s.engine.Estimate(r.Context(), relcomp.Query{
 		S: src, T: dst, K: k,
 		Estimator: name,
+		Eps:       eps,
+		Deadline:  deadline,
 	})
 	if res.Err != nil {
 		badRequest(w, "%v", res.Err)
@@ -236,13 +301,19 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 
 // batchRequest is the POST /v1/batch body. K is a pointer so an omitted
 // budget (defaulted) is distinguishable from an explicit k:0 (rejected,
-// as on the single-query endpoint).
+// as on the single-query endpoint). Eps and DeadlineMs make a query
+// anytime, exactly as on /v1/reliability; the top-level pair supplies
+// batch-wide defaults that per-query fields override.
 type batchRequest struct {
-	Queries []struct {
-		S         int    `json:"s"`
-		T         int    `json:"t"`
-		K         *int   `json:"k"`
-		Estimator string `json:"estimator"`
+	Eps        *float64 `json:"eps"`
+	DeadlineMs *int     `json:"deadline_ms"`
+	Queries    []struct {
+		S          int      `json:"s"`
+		T          int      `json:"t"`
+		K          *int     `json:"k"`
+		Estimator  string   `json:"estimator"`
+		Eps        *float64 `json:"eps"`
+		DeadlineMs *int     `json:"deadline_ms"`
 	} `json:"queries"`
 }
 
@@ -279,7 +350,26 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	queries := make([]relcomp.Query, 0, len(req.Queries))
 	engineIdx := make([]int, 0, len(req.Queries)) // out position per engine query
 	for i, q := range req.Queries {
+		eps := 0.0
+		if req.Eps != nil {
+			eps = *req.Eps
+		}
+		if q.Eps != nil {
+			eps = *q.Eps
+		}
+		deadlineMs := 0
+		if req.DeadlineMs != nil {
+			deadlineMs = *req.DeadlineMs
+		}
+		if q.DeadlineMs != nil {
+			deadlineMs = *q.DeadlineMs
+		}
+		// Anytime queries default their cap to the engine maximum, like
+		// the single-query endpoint.
 		k := s.defaultK()
+		if eps > 0 || deadlineMs > 0 {
+			k = s.engine.MaxK()
+		}
 		if q.K != nil {
 			k = *q.K
 		}
@@ -287,6 +377,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		err := s.checkNode("s", q.S)
 		if err == nil {
 			err = s.checkNode("t", q.T)
+		}
+		if err == nil && deadlineMs < 0 {
+			err = fmt.Errorf("parameter \"deadline_ms\": %d must not be negative", deadlineMs)
 		}
 		if err != nil {
 			out[i].Error = err.Error()
@@ -296,11 +389,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries = append(queries, relcomp.Query{
 			S: relcomp.NodeID(q.S), T: relcomp.NodeID(q.T),
 			K: k, Estimator: q.Estimator,
+			Eps:      eps,
+			Deadline: time.Duration(deadlineMs) * time.Millisecond,
 		})
 		engineIdx = append(engineIdx, i)
 	}
 	start := time.Now()
-	results := s.engine.EstimateBatch(queries)
+	results := s.engine.EstimateBatch(r.Context(), queries)
 	elapsed := time.Since(start)
 
 	for j, res := range results {
@@ -363,7 +458,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "parameter \"n\" must be a positive integer")
 		return
 	}
-	k, err := s.samplesParam(r)
+	k, err := s.samplesParam(r, false)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return

@@ -382,3 +382,112 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAnytimeReliability: eps turns the query anytime — the response
+// reports samples_used and a stop_reason, and an easy (high-reliability,
+// short-range) pair stops well under the cap.
+func TestAnytimeReliability(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := get(t, h, "/v1/estimate?s=0&t=5&eps=0.3&estimator=MC")
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	used, ok := body["samples_used"].(float64)
+	if !ok || used <= 0 {
+		t.Fatalf("samples_used missing or zero: %v", body)
+	}
+	reason, _ := body["stop_reason"].(string)
+	if reason == "" {
+		t.Fatalf("stop_reason missing: %v", body)
+	}
+	// k defaults to the engine cap for anytime requests.
+	if k := body["k"].(float64); int(k) != 500 {
+		t.Errorf("anytime default cap %v, want engine MaxK 500", k)
+	}
+	if used > body["k"].(float64) {
+		t.Errorf("samples_used %v exceeds cap %v", used, body["k"])
+	}
+
+	// A fixed query reports its full budget and no stop reason.
+	code, body = get(t, h, "/v1/reliability?s=0&t=5&k=200&estimator=MC")
+	if code != http.StatusOK {
+		t.Fatalf("fixed: status %d", code)
+	}
+	if got := body["samples_used"].(float64); got != 200 {
+		t.Errorf("fixed query samples_used %v, want 200", got)
+	}
+	if _, has := body["stop_reason"]; has {
+		t.Errorf("fixed query reported stop_reason: %v", body)
+	}
+}
+
+// TestAnytimeReliabilityDeadline: deadline_ms bounds the query and is
+// reported as the stop reason when it fires first.
+func TestAnytimeReliabilityDeadline(t *testing.T) {
+	h := testServer(t).handler()
+	// An effectively-zero deadline: the estimate returns immediately with
+	// whatever was drawn, reason "deadline" (or eps if it won the race).
+	code, body := get(t, h, "/v1/reliability?s=0&t=5&deadline_ms=1&eps=0.000001&estimator=MC")
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	if reason, _ := body["stop_reason"].(string); reason == "" {
+		t.Errorf("no stop_reason on deadline query: %v", body)
+	}
+	if _, bad := get(t, h, "/v1/reliability?s=0&t=5&deadline_ms=-4"); bad["error"] == nil {
+		t.Error("negative deadline accepted")
+	}
+	if _, bad := get(t, h, "/v1/reliability?s=0&t=5&eps=1.5"); bad["error"] == nil {
+		t.Error("eps >= 1 accepted")
+	}
+}
+
+// TestAnytimeBatch: per-query and batch-wide eps/deadline_ms fields reach
+// the engine, and the responses carry the termination report.
+func TestAnytimeBatch(t *testing.T) {
+	h := testServer(t).handler()
+	code, body := post(t, h, "/v1/batch",
+		`{"eps": 0.3, "queries": [
+			{"s":0,"t":5,"estimator":"PackMC"},
+			{"s":0,"t":6,"estimator":"PackMC"},
+			{"s":0,"t":5,"estimator":"MC","eps":0}
+		]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, body)
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, raw := range results {
+		r := raw.(map[string]interface{})
+		if r["error"] != nil {
+			t.Fatalf("result %d error %v", i, r["error"])
+		}
+		used := r["samples_used"].(float64)
+		if used <= 0 {
+			t.Errorf("result %d samples_used %v", i, used)
+		}
+		_, hasReason := r["stop_reason"]
+		if i < 2 && !hasReason {
+			t.Errorf("anytime result %d missing stop_reason: %v", i, r)
+		}
+		if i == 2 {
+			// The per-query eps:0 override makes the last query fixed.
+			if hasReason {
+				t.Errorf("fixed result reported stop_reason: %v", r)
+			}
+			if used != 500 {
+				t.Errorf("fixed result samples_used %v, want full default cap 500", used)
+			}
+		}
+	}
+	// Engine stats expose the anytime savings and the bounds memo.
+	_, stats := get(t, h, "/v1/engine/stats")
+	if stats["anytimeQueries"].(float64) <= 0 {
+		t.Errorf("stats missing anytime accounting: %v", stats["anytimeQueries"])
+	}
+	if _, ok := stats["boundsMemo"].(map[string]interface{}); !ok {
+		t.Errorf("stats missing boundsMemo: %v", stats)
+	}
+}

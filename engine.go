@@ -15,8 +15,13 @@ import (
 // source group, and PackMC amortizes one pack sweep across a source
 // group, a bounded LRU result cache, and an adaptive per-query
 // estimator router driven by analytic bounds width and online latency
-// statistics. See cmd/relserver for the HTTP surface and DESIGN.md §4 for
-// the architecture.
+// statistics. Queries carrying an accuracy target (Query.Eps) or latency
+// target (Query.Deadline) run anytime: the engine advances incremental
+// samplers under sequential stopping, spends only the samples each pair
+// needs, and reports SamplesUsed and StopReason per result. Engine
+// methods take a context.Context; cancellation fails queued work and
+// stops anytime queries between sample chunks. See cmd/relserver for the
+// HTTP surface and DESIGN.md §4–5 for the architecture.
 
 type (
 	// Engine is the concurrent batch query engine; all methods are safe

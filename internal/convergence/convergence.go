@@ -141,20 +141,104 @@ type Result struct {
 
 // Sweep increases K from InitialK in steps of StepK until ρ_K < Rho or
 // MaxK is exceeded, computing the variance of est at each point.
+//
+// Rather than re-running every sweep point from k = 0 (the historical
+// behavior, quadratic in the number of points), the sweep resumes
+// samplers between points: each (pair, repeat) run opens one incremental
+// core.Sampler session and advances it through consecutive sweep points,
+// recording the running estimate at each — for the natively incremental
+// estimators a whole run costs one full-budget estimate instead of one
+// per point. To keep the early-exit property (a sweep that converges at
+// the first point must not pay for the last), points are processed in
+// geometrically growing rounds: round r resumes runs through all points
+// up to roughly 2^r·InitialK, convergence is checked after each round,
+// and only unconverged sweeps start the next round. The restart cost at
+// round boundaries is a constant factor of the converged budget — never
+// more than the old per-point restarts, and up to points/2 times less.
 func Sweep(est core.Estimator, pairs []workload.Pair, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	res := Result{Name: est.Name()}
+
+	// All sweep points, then their partition into doubling rounds.
+	var ks []int
 	for k := cfg.InitialK; k <= cfg.MaxK; k += cfg.StepK {
-		ps := Evaluate(est, pairs, k, cfg.Repeats, cfg.SeedBase+uint64(k))
-		pt := Point{K: k, VK: ps.VK(), RK: ps.RK(), Rho: ps.Rho()}
-		res.Curve = append(res.Curve, pt)
-		if pt.Rho < cfg.Rho {
-			res.ConvergedAt = k
-			res.AtConverged = &ps
-			return res
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return res
+	}
+	master := rng.New(cfg.SeedBase)
+	lo := 0 // ks[lo:] not yet evaluated
+	for round := 0; lo < len(ks); round++ {
+		// This round covers the points in (prev target, target].
+		target := cfg.InitialK << uint(round)
+		hi := lo
+		for hi < len(ks) && ks[hi] <= target {
+			hi++
 		}
+		if hi == lo {
+			continue // no sweep point in this doubling window
+		}
+		points := evaluateResumed(est, pairs, ks[lo:hi], cfg.Repeats, master)
+		for i, ps := range points {
+			pt := Point{K: ps.K, VK: ps.VK(), RK: ps.RK(), Rho: ps.Rho()}
+			res.Curve = append(res.Curve, pt)
+			if pt.Rho < cfg.Rho {
+				res.ConvergedAt = ps.K
+				res.AtConverged = &points[i]
+				return res
+			}
+		}
+		lo = hi
 	}
 	return res
+}
+
+// evaluateResumed computes the per-pair means and variances at every
+// sample size in ks (ascending) with one resumed sampler session per
+// (pair, repeat): the session is freshened once, then advanced through
+// the points, recording its running estimate at each. For the natively
+// incremental estimators the recorded estimates are bit-identical to
+// fresh fixed-K runs of the same stream; the restart-adapted recursive
+// estimators re-run per point exactly as the historical sweep did.
+func evaluateResumed(est core.Estimator, pairs []workload.Pair, ks []int, repeats int, master *rng.Source) []PairStats {
+	if repeats < 1 {
+		repeats = 1
+	}
+	maxK := ks[len(ks)-1]
+	welford := make([][]stats.Welford, len(ks)) // [point][pair]
+	for j := range welford {
+		welford[j] = make([]stats.Welford, len(pairs))
+	}
+	for i, pr := range pairs {
+		for rep := 0; rep < repeats; rep++ {
+			// One freshen per run: new stream, and for index-based
+			// estimators new pre-sampled worlds covering the whole round
+			// (the run reads bits [0, maxK) exactly once).
+			freshen(est, master.Uint64(), maxK)
+			sp := core.NewSampler(est, pr.S, pr.T)
+			n := 0
+			for j, k := range ks {
+				sp.Advance(k - n)
+				n = k
+				welford[j][i].Add(sp.Snapshot().Estimate)
+			}
+		}
+	}
+	out := make([]PairStats, len(ks))
+	for j, k := range ks {
+		ps := PairStats{
+			K:    k,
+			Mean: make([]float64, len(pairs)),
+			Var:  make([]float64, len(pairs)),
+		}
+		for i := range pairs {
+			ps.Mean[i] = welford[j][i].Mean()
+			ps.Var[i] = welford[j][i].Variance()
+		}
+		out[j] = ps
+	}
+	return out
 }
 
 // RelativeError computes Eq. 14: the mean over pairs of

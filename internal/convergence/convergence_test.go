@@ -105,6 +105,33 @@ func TestSweepMaxKWithoutConvergence(t *testing.T) {
 	}
 }
 
+// TestSweepCoversEveryPoint: the resumed sweep's doubling rounds must
+// visit each configured sweep point exactly once, in order, whatever the
+// InitialK/StepK/MaxK geometry.
+func TestSweepCoversEveryPoint(t *testing.T) {
+	g := smallGraph(t)
+	pairs := []workload.Pair{{S: 0, T: 1}}
+	for _, cfg := range []Config{
+		{InitialK: 100, StepK: 100, MaxK: 800, Repeats: 2, Rho: 1e-12, SeedBase: 5},
+		{InitialK: 50, StepK: 175, MaxK: 900, Repeats: 2, Rho: 1e-12, SeedBase: 5},
+		{InitialK: 300, StepK: 50, MaxK: 450, Repeats: 2, Rho: 1e-12, SeedBase: 5},
+	} {
+		res := Sweep(core.NewMC(g, 3), pairs, cfg)
+		var want []int
+		for k := cfg.InitialK; k <= cfg.MaxK; k += cfg.StepK {
+			want = append(want, k)
+		}
+		if len(res.Curve) != len(want) {
+			t.Fatalf("cfg %+v: %d curve points, want %d", cfg, len(res.Curve), len(want))
+		}
+		for i, pt := range res.Curve {
+			if pt.K != want[i] {
+				t.Errorf("cfg %+v: point %d at K=%d, want %d", cfg, i, pt.K, want[i])
+			}
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.InitialK != 250 || c.StepK != 250 || c.Repeats != 100 || c.Rho != DefaultRho {

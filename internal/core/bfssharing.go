@@ -148,6 +148,7 @@ type BFSQuerier struct {
 	// vectors as online memory).
 	nodeBits *bitvec.Arena
 	inSet    []bool
+	visited  []uncertain.NodeID // nodes marked in inSet by the last run
 	worklist []uncertain.NodeID
 	cascadeQ []uncertain.NodeID
 }
@@ -173,30 +174,45 @@ func (q *BFSQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
 	if s == t {
 		return 1
 	}
+	q.runRange(s, 0, k)
+	return float64(countPrefix(q.nodeBits.Vec(int(t)), k)) / float64(k)
+}
+
+// runRange runs the shared BFS of Algorithm 2 restricted to the
+// pre-sampled worlds [lo, hi): afterwards, bits [lo, hi) of every visited
+// node's vector hold its reachability in those worlds. Each world's bit
+// column evolves independently under the OR-AND updates, so a run over a
+// sub-range computes exactly the restriction of a full run — which is what
+// lets the incremental samplers advance world ranges chunk by chunk and
+// add up counts bit-identically to one full traversal. Bits outside
+// [lo, hi) inside the covering words are left meaningless (their source
+// bit is never seeded) and must not be read.
+func (q *BFSQuerier) runRange(s uncertain.NodeID, lo, hi int) {
+	ix := q.ix
 	g := ix.g
 	if q.nodeBits == nil {
 		q.nodeBits = bitvec.NewArena(g.NumNodes(), ix.width)
 		q.inSet = make([]bool, g.NumNodes())
 	}
 
-	// Only the first words covering k bits participate; the final word is
+	// Only the words covering [lo, hi) participate; boundary words are
 	// masked at counting time.
-	words := bitvec.WordsFor(k)
+	loWord, hiWord := lo>>6, bitvec.WordsFor(hi)
 	vec := func(arena *bitvec.Arena, i int) bitvec.Vector {
-		return arena.Vec(i)[:words]
+		return arena.Vec(i)[loWord:hiWord]
 	}
 
 	// Reset the node vectors and visited set for the touched nodes of the
-	// previous query.
+	// previous run.
 	q.nodeBits.ZeroAll()
 	for i := range q.inSet {
 		q.inSet[i] = false
 	}
 
-	// Is <- all ones over the first k bits.
-	is := q.nodeBits.Vec(int(s))
-	is.Fill(k)
+	// Is <- all ones over the worlds of the range.
+	q.nodeBits.Vec(int(s)).SetRange(lo, hi)
 	q.inSet[s] = true
+	q.visited = append(q.visited[:0], s)
 
 	// Worklist BFS (Algorithm 2).
 	wl := q.worklist[:0]
@@ -207,6 +223,7 @@ func (q *BFSQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
 			continue
 		}
 		q.inSet[v] = true
+		q.visited = append(q.visited, v)
 		iv := vec(q.nodeBits, int(v))
 
 		// Absorb all visited in-neighbors: Iv |= Iin & Ie(in,v).
@@ -224,23 +241,20 @@ func (q *BFSQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
 			if !q.inSet[out] {
 				wl = append(wl, out)
 			} else {
-				q.cascadeUpdate(v, out, oids[i], words)
+				q.cascadeUpdate(v, out, oids[i], loWord, hiWord)
 			}
 		}
 	}
 	q.worklist = wl
-
-	it := vec(q.nodeBits, int(t))
-	return float64(countPrefix(it, k)) / float64(k)
 }
 
 // cascadeUpdate implements Algorithm 3: after Iv gained worlds, push them
 // through already-visited out-neighbors until a fixpoint. Termination is
 // guaranteed because vectors only ever gain bits.
-func (q *BFSQuerier) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, words int) {
+func (q *BFSQuerier) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, loWord, hiWord int) {
 	g := q.ix.g
 	vec := func(arena *bitvec.Arena, i int) bitvec.Vector {
-		return arena.Vec(i)[:words]
+		return arena.Vec(i)[loWord:hiWord]
 	}
 	if !bitvec.OrAndInto(vec(q.nodeBits, int(u)), vec(q.nodeBits, int(v)), vec(q.ix.edgeBits, int(e))) {
 		return
@@ -262,6 +276,105 @@ func (q *BFSQuerier) cascadeUpdate(v, u uncertain.NodeID, e uncertain.EdgeID, wo
 		}
 	}
 	q.cascadeQ = queue
+}
+
+// Sampler implements IncrementalEstimator. Each Advance runs the shared
+// BFS over the next world range of the pre-sampled index, so Advance(a);
+// Advance(b) accumulates exactly the hit count Estimate(s, t, a+b) counts
+// over worlds [0, a+b). The index width caps the session.
+func (q *BFSQuerier) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(q.ix.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return &bfsSampler{q: q, s: s, t: t}
+}
+
+type bfsSampler struct {
+	q       *BFSQuerier
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *bfsSampler) Advance(dk int) {
+	q := x.q
+	checkAdvance(dk, x.n, q.ix.width)
+	if dk == 0 {
+		return
+	}
+	lo, hi := x.n, x.n+dk
+	q.ix.ensureValid(hi)
+	q.runRange(x.s, lo, hi)
+	x.hits += countRange(q.nodeBits.Vec(int(x.t)), lo, hi)
+	x.n = hi
+}
+
+func (x *bfsSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, x.q.ix.width) }
+
+// AllSampler implements SourceSampler: the anytime form of EstimateAll.
+// Each Advance runs one shared traversal over the next world range and
+// accumulates every visited node's hit count, so after n total samples
+// SnapshotOf(t) matches EstimateAll(s, n)[t] bit for bit.
+func (q *BFSQuerier) AllSampler(s uncertain.NodeID) MultiSampler {
+	mustValidQuery(q.ix.g, s, s, 1)
+	return &bfsAllSampler{q: q, s: s, counts: make([]int64, q.ix.g.NumNodes())}
+}
+
+type bfsAllSampler struct {
+	q      *BFSQuerier
+	s      uncertain.NodeID
+	n      int
+	counts []int64
+}
+
+func (a *bfsAllSampler) Advance(dk int) {
+	q := a.q
+	checkAdvance(dk, a.n, q.ix.width)
+	if dk == 0 {
+		return
+	}
+	lo, hi := a.n, a.n+dk
+	q.ix.ensureValid(hi)
+	q.runRange(a.s, lo, hi)
+	// Only the nodes the traversal visited can hold worlds; scanning the
+	// compact visited list keeps a chunk at O(visited), not O(NumNodes).
+	for _, v := range q.visited {
+		if v != a.s {
+			a.counts[v] += int64(countRange(q.nodeBits.Vec(int(v)), lo, hi))
+		}
+	}
+	a.n = hi
+}
+
+func (a *bfsAllSampler) N() int   { return a.n }
+func (a *bfsAllSampler) Cap() int { return a.q.ix.width }
+
+func (a *bfsAllSampler) SnapshotOf(t uncertain.NodeID) SampleSnapshot {
+	if t == a.s {
+		return SampleSnapshot{Estimate: 1, N: a.n, Cap: a.q.ix.width}
+	}
+	return binomialSnapshot(int(a.counts[t]), a.n, a.q.ix.width)
+}
+
+var (
+	_ IncrementalEstimator = (*BFSQuerier)(nil)
+	_ SourceSampler        = (*BFSQuerier)(nil)
+)
+
+// countRange counts set bits among bits [lo, hi) of v.
+func countRange(v bitvec.Vector, lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	if loW == hiW {
+		return bits.OnesCount64(v[loW] >> (uint(lo) & 63) & bitvec.LowBits(hi-lo))
+	}
+	n := bits.OnesCount64(v[loW] >> (uint(lo) & 63))
+	for w := loW + 1; w < hiW; w++ {
+		n += bits.OnesCount64(v[w])
+	}
+	return n + bits.OnesCount64(v[hiW]&bitvec.LowBits(hi-hiW*64))
 }
 
 // countPrefix counts set bits among the first k bits of v. It calls
@@ -291,7 +404,7 @@ func (q *BFSQuerier) ScratchBytes() int64 {
 		m += q.nodeBits.Bytes()
 		m += int64(len(q.inSet))
 	}
-	m += int64(cap(q.worklist)+cap(q.cascadeQ)) * 4
+	m += int64(cap(q.worklist)+cap(q.cascadeQ)+cap(q.visited)) * 4
 	return m
 }
 

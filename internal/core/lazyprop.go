@@ -90,12 +90,7 @@ func (l *LazyProp) Estimate(s, t uncertain.NodeID, k int) float64 {
 	// Node heaps and counters persist across the k samples of one call
 	// (that is the whole point of the scheme) but must be fresh between
 	// calls.
-	for _, v := range l.touched {
-		l.init[v] = false
-		l.counter[v] = 0
-		l.heaps[v] = l.heaps[v][:0]
-	}
-	l.touched = l.touched[:0]
+	l.resetSchedule()
 
 	hits := 0
 	for i := 0; i < k; i++ {
@@ -104,6 +99,18 @@ func (l *LazyProp) Estimate(s, t uncertain.NodeID, k int) float64 {
 		}
 	}
 	return float64(hits) / float64(k)
+}
+
+// resetSchedule clears the persistent per-node schedules of the previous
+// query, shared by Estimate's prologue and Sampler's open so the two
+// entry points start sessions from provably identical state.
+func (l *LazyProp) resetSchedule() {
+	for _, v := range l.touched {
+		l.init[v] = false
+		l.counter[v] = 0
+		l.heaps[v] = l.heaps[v][:0]
+	}
+	l.touched = l.touched[:0]
 }
 
 func (l *LazyProp) sampleOnce(s, t uncertain.NodeID) bool {
@@ -191,6 +198,41 @@ func (l *LazyProp) initNode(v uncertain.NodeID) {
 	l.init[v] = true
 	l.touched = append(l.touched, v)
 }
+
+// Sampler implements IncrementalEstimator. A session resets the persistent
+// schedule once at open — exactly what Estimate does between calls — and
+// each Advance continues drawing samples against the live heaps, so
+// chunked advancement is bit-identical to one Estimate call with the
+// summed budget (the schedule persisting across the samples of a call is
+// the whole point of lazy propagation).
+func (l *LazyProp) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(l.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	l.resetSchedule()
+	return &lpSampler{l: l, s: s, t: t}
+}
+
+type lpSampler struct {
+	l       *LazyProp
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *lpSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	for i := 0; i < dk; i++ {
+		if x.l.sampleOnce(x.s, x.t) {
+			x.hits++
+		}
+	}
+	x.n += dk
+}
+
+func (x *lpSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
+var _ IncrementalEstimator = (*LazyProp)(nil)
 
 // MemoryBytes implements MemoryReporter: LP adds a counter per node and a
 // geometric-schedule heap per visited node's neighbors.

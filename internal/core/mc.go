@@ -83,8 +83,40 @@ func (mc *MC) sampleOnce(s, t uncertain.NodeID) bool {
 	return false
 }
 
+// Sampler implements IncrementalEstimator: MC's sample stream is
+// sequential, so a session advanced in chunks accumulates exactly the hit
+// count one Estimate call with the summed budget would — Advance(a);
+// Advance(b) is bit-identical to Estimate(s, t, a+b).
+func (mc *MC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(mc.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return &mcSampler{mc: mc, s: s, t: t}
+}
+
+type mcSampler struct {
+	mc      *MC
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *mcSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	for i := 0; i < dk; i++ {
+		if x.mc.sampleOnce(x.s, x.t) {
+			x.hits++
+		}
+	}
+	x.n += dk
+}
+
+func (x *mcSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
 // MemoryBytes implements MemoryReporter: MC keeps only the visited set and
 // the BFS queue beyond the shared graph.
 func (mc *MC) MemoryBytes() int64 {
 	return mc.seen.bytes() + int64(cap(mc.queue))*4
 }
+
+var _ IncrementalEstimator = (*MC)(nil)

@@ -126,6 +126,23 @@ func activeLanes(j, k int) uint64 {
 	return ^uint64(0)
 }
 
+// laneMask returns the mask of pack j's lanes that fall in the global
+// world-index range [lo, hi). World w lives at lane w-64j of pack w/64.
+func laneMask(j, lo, hi int) uint64 {
+	top := hi - j*64
+	if top > 64 {
+		top = 64
+	}
+	bot := lo - j*64
+	if bot < 0 {
+		bot = 0
+	}
+	if top <= bot {
+		return 0
+	}
+	return bitvec.LowBits(top) &^ bitvec.LowBits(bot)
+}
+
 // Estimate implements Estimator.
 func (pm *PackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 	mustValidQuery(pm.g, s, t, k)
@@ -146,6 +163,19 @@ func (pm *PackMC) sampleRange(base uint64, s, t uncertain.NodeID, k, lo, hi int)
 	hits := 0
 	for j := lo; j < hi; j++ {
 		hits += bits.OnesCount64(pm.runPack(base, uint64(j), s, t, activeLanes(j, k)))
+	}
+	return hits
+}
+
+// sampleLanes runs the worlds of the global lane range [lo, hi) from the
+// given stream base and returns in how many t was reached. Because every
+// lane's outcome is a pure function of (base, pack, lane), hit counts are
+// additive over any partition of the lane range — the property that makes
+// chunked advancement bit-identical to a one-shot run over [0, k).
+func (pm *PackMC) sampleLanes(base uint64, s, t uncertain.NodeID, lo, hi int) int {
+	hits := 0
+	for j := lo >> 6; j*64 < hi; j++ {
+		hits += bits.OnesCount64(pm.runPack(base, uint64(j), s, t, laneMask(j, lo, hi)))
 	}
 	return hits
 }
@@ -334,10 +364,92 @@ func (pm *PackMC) MemoryBytes() int64 {
 	return n*(16+8) + m*(24+8) + int64(cap(pm.queue)+cap(pm.touched))*4
 }
 
+// Sampler implements IncrementalEstimator. The session fixes its stream
+// base at open (consuming one round, exactly like an Estimate call) and
+// each Advance runs the next global lane range; because lane outcomes are
+// counter-based pure functions, Advance(a); Advance(b) is bit-identical to
+// Estimate(s, t, a+b) from the same (seed, round) state.
+func (pm *PackMC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(pm.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	pm.round++
+	return &packSampler{pm: pm, base: mix(pm.seed, pm.round, 0), s: s, t: t}
+}
+
+type packSampler struct {
+	pm      *PackMC
+	base    uint64
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *packSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	if dk == 0 {
+		return
+	}
+	x.hits += x.pm.sampleLanes(x.base, x.s, x.t, x.n, x.n+dk)
+	x.n += dk
+}
+
+func (x *packSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
+// AllSampler implements SourceSampler: the anytime form of EstimateAll.
+// Each Advance extends the shared pack sweep by the next lane range and
+// accumulates every reached node's per-world hit count, so after n total
+// samples SnapshotOf(t) is bit-identical to what EstimateAll(s, n)[t]
+// would report from the same (seed, round) state.
+func (pm *PackMC) AllSampler(s uncertain.NodeID) MultiSampler {
+	mustValidQuery(pm.g, s, s, 1)
+	pm.round++
+	return &packAllSampler{
+		pm:     pm,
+		base:   mix(pm.seed, pm.round, 0),
+		s:      s,
+		counts: make([]int64, pm.g.NumNodes()),
+	}
+}
+
+type packAllSampler struct {
+	pm     *PackMC
+	base   uint64
+	s      uncertain.NodeID
+	n      int
+	counts []int64
+}
+
+func (a *packAllSampler) Advance(dk int) {
+	checkAdvance(dk, a.n, 0)
+	if dk == 0 {
+		return
+	}
+	lo, hi := a.n, a.n+dk
+	for j := lo >> 6; j*64 < hi; j++ {
+		a.pm.runPack(a.base, uint64(j), a.s, -1, laneMask(j, lo, hi))
+		for _, v := range a.pm.touched {
+			a.counts[v] += int64(bits.OnesCount64(a.pm.nodes[v].mask))
+		}
+	}
+	a.n = hi
+}
+
+func (a *packAllSampler) N() int   { return a.n }
+func (a *packAllSampler) Cap() int { return 0 }
+
+func (a *packAllSampler) SnapshotOf(t uncertain.NodeID) SampleSnapshot {
+	if t == a.s {
+		return SampleSnapshot{Estimate: 1, N: a.n}
+	}
+	return binomialSnapshot(int(a.counts[t]), a.n, 0)
+}
+
 var (
-	_ Estimator       = (*PackMC)(nil)
-	_ SourceEstimator = (*PackMC)(nil)
-	_ Seeder          = (*PackMC)(nil)
+	_ IncrementalEstimator = (*PackMC)(nil)
+	_ SourceEstimator      = (*PackMC)(nil)
+	_ SourceSampler        = (*PackMC)(nil)
+	_ Seeder               = (*PackMC)(nil)
 )
 
 // ParallelPackMC shards the packs of each PackMC estimate over W worker
@@ -429,7 +541,78 @@ func (p *ParallelPackMC) MemoryBytes() int64 {
 	return per * int64(p.workers)
 }
 
+// Sampler implements IncrementalEstimator. Each Advance shards the next
+// global lane range's packs over the workers; because the lane outcomes
+// are counter-based, the session is bit-identical to a sequential PackMC
+// session — and therefore to one-shot Estimate at the summed budget — for
+// any worker count and any chunking.
+func (p *ParallelPackMC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(p.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	p.round++
+	return &parallelPackSampler{p: p, base: mix(p.seed, p.round, 0), s: s, t: t}
+}
+
+type parallelPackSampler struct {
+	p       *ParallelPackMC
+	base    uint64
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *parallelPackSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	if dk == 0 {
+		return
+	}
+	lo, hi := x.n, x.n+dk
+	x.n = hi
+	p := x.p
+	loPack, hiPack := lo>>6, (hi+63)>>6
+	packs := hiPack - loPack
+	workers := p.workers
+	if workers > packs {
+		workers = packs
+	}
+	if workers <= 1 {
+		pm := p.pool.Get().(*PackMC)
+		hits := pm.sampleLanes(x.base, x.s, x.t, lo, hi)
+		p.pool.Put(pm)
+		x.hits += hits
+		return
+	}
+	results := make(chan int, workers)
+	start := loPack
+	for w := 0; w < workers; w++ {
+		share := packs / workers
+		if w < packs%workers {
+			share++
+		}
+		go func(a, b int) { // pack range [a, b), clipped to the lane range
+			la, lb := a*64, b*64
+			if la < lo {
+				la = lo
+			}
+			if lb > hi {
+				lb = hi
+			}
+			pm := p.pool.Get().(*PackMC)
+			hits := pm.sampleLanes(x.base, x.s, x.t, la, lb)
+			p.pool.Put(pm)
+			results <- hits
+		}(start, start+share)
+		start += share
+	}
+	for w := 0; w < workers; w++ {
+		x.hits += <-results
+	}
+}
+
+func (x *parallelPackSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
 var (
-	_ Estimator = (*ParallelPackMC)(nil)
-	_ Seeder    = (*ParallelPackMC)(nil)
+	_ IncrementalEstimator = (*ParallelPackMC)(nil)
+	_ Seeder               = (*ParallelPackMC)(nil)
 )

@@ -57,20 +57,27 @@ func (p *ParallelMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 		return 1
 	}
 	p.epoch++
+	return float64(p.shardHits(s, t, p.epoch, k)) / float64(k)
+}
+
+// shardHits draws `total` samples sharded over the workers of epoch
+// `epoch` and returns the hit count — Estimate's fan-out, reused by the
+// incremental sampler.
+func (p *ParallelMC) shardHits(s, t uncertain.NodeID, epoch uint64, total int) int {
 	workers := p.workers
-	if workers > k {
-		workers = k
+	if workers > total {
+		workers = total
 	}
 	results := make(chan int, workers)
 	for w := 0; w < workers; w++ {
-		share := k / workers
-		if w < k%workers {
+		share := total / workers
+		if w < total%workers {
 			share++
 		}
 		go func(w, share int) {
 			mc := p.pool.Get().(*MC)
 			// Derive an independent stream per (epoch, worker).
-			mc.Reseed(mix(p.seed, p.epoch, uint64(w)))
+			mc.Reseed(mix(p.seed, epoch, uint64(w)))
 			n := 0
 			for i := 0; i < share; i++ {
 				if mc.sampleOnce(s, t) {
@@ -81,12 +88,44 @@ func (p *ParallelMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 			results <- n
 		}(w, share)
 	}
-	total := 0
+	hits := 0
 	for w := 0; w < workers; w++ {
-		total += <-results
+		hits += <-results
 	}
-	return float64(total) / float64(k)
+	return hits
 }
+
+// Sampler implements IncrementalEstimator. Each Advance is one sharded
+// draw under a fresh epoch, so a session advanced once by k is
+// bit-identical to Estimate(s, t, k); chunked advancement accumulates
+// statistically identical (but not bit-identical) hits, because
+// ParallelMC's sample sharding — like its worker count — shapes the
+// per-worker streams.
+func (p *ParallelMC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(p.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return &parallelMCSampler{p: p, s: s, t: t}
+}
+
+type parallelMCSampler struct {
+	p       *ParallelMC
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *parallelMCSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	if dk == 0 {
+		return
+	}
+	x.p.epoch++
+	x.hits += x.p.shardHits(x.s, x.t, x.p.epoch, dk)
+	x.n += dk
+}
+
+func (x *parallelMCSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
 
 // mix combines the seed, query epoch, and worker id into one stream seed
 // (splitmix64 finalizer).
@@ -106,4 +145,4 @@ func (p *ParallelMC) MemoryBytes() int64 {
 	return per * int64(p.workers)
 }
 
-var _ Estimator = (*ParallelMC)(nil)
+var _ IncrementalEstimator = (*ParallelMC)(nil)

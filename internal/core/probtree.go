@@ -554,6 +554,33 @@ func (q *ProbTreeQuerier) Estimate(s, t uncertain.NodeID, k int) float64 {
 	return q.EstimateSpliced(q.Splice(s, t), k)
 }
 
+// Sampler implements IncrementalEstimator: the query graph is spliced
+// once at open, the inner estimator is constructed once from the querier's
+// stream (the same draw EstimateSpliced charges), and the session then
+// advances on the spliced graph. With an incrementally-advancing inner
+// estimator (the MC default) chunked advancement is bit-identical to one
+// Estimate call with the summed budget.
+func (q *ProbTreeQuerier) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(q.ix.g, s, t, 1)
+	return q.SplicedSampler(q.Splice(s, t))
+}
+
+// SplicedSampler opens an incremental session over an already-spliced
+// query graph — the batch layer splices a source group once and opens one
+// session per target.
+func (q *ProbTreeQuerier) SplicedSampler(sq SplicedQuery) Sampler {
+	if sq.Same {
+		return &trivialSampler{estimate: 1}
+	}
+	if !sq.OK {
+		return &trivialSampler{estimate: 0}
+	}
+	inner := q.inner(sq.G, q.rng.Uint64())
+	return NewSampler(inner, sq.S, sq.T)
+}
+
+var _ IncrementalEstimator = (*ProbTreeQuerier)(nil)
+
 // IndexBytes returns the approximate index size: bag structure, raw edges
 // and contributions.
 func (q *ProbTreeQuerier) IndexBytes() int64 { return q.ix.Bytes() }

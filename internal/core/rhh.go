@@ -114,6 +114,22 @@ func (r *RHH) recurse(k, depth int) float64 {
 	return p*r1 + (1-p)*r2
 }
 
+// Sampler implements IncrementalEstimator via the restart-doubling
+// adapter: RHH's deterministic proportional allocation depends on the
+// total budget, so samples cannot accumulate across chunks; each Advance
+// re-runs the full estimate at the grown budget instead. The reported
+// half-width uses the MC binomial formula, a conservative bound (RHH's
+// variance is provably below MC's at equal K).
+func (r *RHH) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(r.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return newRestartSampler(r, s, t)
+}
+
+var _ IncrementalEstimator = (*RHH)(nil)
+
 // MemoryBytes implements MemoryReporter.
 func (r *RHH) MemoryBytes() int64 {
 	// The recursion stack stores per-level constants; the dominating terms

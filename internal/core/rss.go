@@ -140,6 +140,22 @@ func (e *RSS) recurse(k, depth int) float64 {
 	return total
 }
 
+// Sampler implements IncrementalEstimator via the restart-doubling
+// adapter: RSS's stratified budget split (Eq. 10) depends on the total K,
+// so samples cannot accumulate across chunks; each Advance re-runs the
+// full estimate at the grown budget instead. The reported half-width uses
+// the MC binomial formula, a conservative bound (RSS's variance is
+// provably below MC's at equal K).
+func (e *RSS) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(e.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return newRestartSampler(e, s, t)
+}
+
+var _ IncrementalEstimator = (*RSS)(nil)
+
 // MemoryBytes implements MemoryReporter.
 func (e *RSS) MemoryBytes() int64 {
 	m := e.cond.memoryBytes()

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// samplerGraph builds a mid-size random graph with mixed probabilities so
+// chunk boundaries land in interesting places (partial packs, partial
+// words, multi-hop paths).
+func samplerGraph(tb testing.TB) *uncertain.Graph {
+	tb.Helper()
+	r := rng.New(41)
+	b := uncertain.NewBuilder(60)
+	for i := 0; i < 240; i++ {
+		u, v := uncertain.NodeID(r.Intn(60)), uncertain.NodeID(r.Intn(60))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0.05+0.9*r.Float64())
+	}
+	return b.Build()
+}
+
+// TestSamplerChunkedMatchesOneShot is the contract test of the tentpole:
+// for every natively incremental estimator, Advance(a); Advance(b); ...
+// must equal Estimate(s, t, a+b+...) exactly — not statistically.
+func TestSamplerChunkedMatchesOneShot(t *testing.T) {
+	g := samplerGraph(t)
+	const seed = 97
+	builders := []struct {
+		name string
+		make func() Estimator
+	}{
+		{"MC", func() Estimator { return NewMC(g, seed) }},
+		{"PackMC", func() Estimator { return NewPackMC(g, seed) }},
+		{"ParallelPackMC", func() Estimator { return NewParallelPackMC(g, seed, 3) }},
+		{"BFSSharing", func() Estimator { return NewBFSSharing(g, seed, 2048) }},
+		{"LP+", func() Estimator { return NewLazyProp(g, seed) }},
+		{"ProbTree", func() Estimator { return NewProbTree(g, seed) }},
+	}
+	chunkings := [][]int{
+		{1000},
+		{1, 999},
+		{100, 60, 840},
+		{63, 64, 65, 808},
+		{500, 500},
+	}
+	pairs := [][2]uncertain.NodeID{{0, 7}, {3, 42}, {11, 11}}
+	for _, b := range builders {
+		for _, pr := range pairs {
+			s, tt := pr[0], pr[1]
+			// One-shot reference from a fresh instance.
+			want := b.make().Estimate(s, tt, 1000)
+			if s == tt && want != 1 {
+				t.Fatalf("%s: s==t estimate %v", b.name, want)
+			}
+			for _, chunks := range chunkings {
+				est := b.make()
+				sp := NewSampler(est, s, tt)
+				total := 0
+				for _, dk := range chunks {
+					sp.Advance(dk)
+					total += dk
+				}
+				snap := sp.Snapshot()
+				if snap.N != total {
+					t.Fatalf("%s %v chunks %v: N=%d want %d", b.name, pr, chunks, snap.N, total)
+				}
+				if snap.Estimate != want {
+					t.Errorf("%s (%d,%d) chunks %v: chunked %v != one-shot %v",
+						b.name, s, tt, chunks, snap.Estimate, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSamplerSessionsMatchSuccessiveEstimates: opening sessions back to
+// back must walk the same stream as successive Estimate calls, so pooled
+// replicas behave identically whether they serve fixed or adaptive
+// queries.
+func TestSamplerSessionsMatchSuccessiveEstimates(t *testing.T) {
+	g := samplerGraph(t)
+	const seed, k = 123, 640
+	for _, mk := range []struct {
+		name string
+		make func() Estimator
+	}{
+		{"MC", func() Estimator { return NewMC(g, seed) }},
+		{"PackMC", func() Estimator { return NewPackMC(g, seed) }},
+		{"LP+", func() Estimator { return NewLazyProp(g, seed) }},
+	} {
+		ref := mk.make()
+		want1 := ref.Estimate(2, 9, k)
+		want2 := ref.Estimate(2, 9, k)
+
+		est := mk.make()
+		sp := NewSampler(est, 2, 9)
+		sp.Advance(k)
+		got1 := sp.Snapshot().Estimate
+		sp = NewSampler(est, 2, 9)
+		sp.Advance(k)
+		got2 := sp.Snapshot().Estimate
+		if got1 != want1 || got2 != want2 {
+			t.Errorf("%s: sessions (%v, %v) != estimates (%v, %v)", mk.name, got1, got2, want1, want2)
+		}
+	}
+}
+
+// TestRestartSamplerMatchesEstimate: the restart adapter's first Advance
+// must be exactly one Estimate call, and later Advances must re-run at the
+// summed budget with the naturally advanced stream.
+func TestRestartSamplerMatchesEstimate(t *testing.T) {
+	g := samplerGraph(t)
+	for _, mk := range []struct {
+		name string
+		make func() Estimator
+	}{
+		{"RHH", func() Estimator { return NewRHH(g, 7) }},
+		{"RSS", func() Estimator { return NewRSS(g, 7) }},
+	} {
+		want := mk.make().Estimate(0, 7, 500)
+		sp := NewSampler(mk.make(), 0, 7)
+		sp.Advance(500)
+		if got := sp.Snapshot().Estimate; got != want {
+			t.Errorf("%s: single Advance %v != Estimate %v", mk.name, got, want)
+		}
+		// Chunked restarts track the growing budget.
+		ref := mk.make()
+		r1 := ref.Estimate(0, 7, 200)
+		r2 := ref.Estimate(0, 7, 500)
+		sp = NewSampler(mk.make(), 0, 7)
+		sp.Advance(200)
+		if got := sp.Snapshot().Estimate; got != r1 {
+			t.Errorf("%s: chunk 1 %v != restart ref %v", mk.name, got, r1)
+		}
+		sp.Advance(300)
+		if got := sp.Snapshot().Estimate; got != r2 {
+			t.Errorf("%s: chunk 2 %v != restart ref %v", mk.name, got, r2)
+		}
+	}
+}
+
+// TestAllSamplerMatchesEstimateAll: the multi-target sessions must agree
+// with EstimateAll bit for bit at equal total samples, chunked or not.
+func TestAllSamplerMatchesEstimateAll(t *testing.T) {
+	g := samplerGraph(t)
+	const seed, k = 55, 900
+	type allEst = SourceSampler
+	for _, mk := range []struct {
+		name string
+		make func() allEst
+	}{
+		{"PackMC", func() allEst { return NewPackMC(g, seed) }},
+		{"BFSSharing", func() allEst { return &NewBFSSharing(g, seed, 2048).BFSQuerier }},
+	} {
+		want := mk.make().EstimateAll(4, k)
+		for _, chunks := range [][]int{{k}, {100, 300, 500}, {1, 63, 836}} {
+			est := mk.make()
+			ms := est.AllSampler(4)
+			for _, dk := range chunks {
+				ms.Advance(dk)
+			}
+			if ms.N() != k {
+				t.Fatalf("%s: N=%d want %d", mk.name, ms.N(), k)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				got := ms.SnapshotOf(uncertain.NodeID(v)).Estimate
+				if got != want[v] {
+					t.Errorf("%s chunks %v target %d: %v != EstimateAll %v",
+						mk.name, chunks, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveEstimateFullBudgetBitIdentity: with every stopping rule
+// disabled, AdaptiveEstimate must return exactly the fixed-K result.
+func TestAdaptiveEstimateFullBudgetBitIdentity(t *testing.T) {
+	g := samplerGraph(t)
+	const seed, k = 31, 1500
+	for _, mk := range []struct {
+		name string
+		make func() Estimator
+	}{
+		{"MC", func() Estimator { return NewMC(g, seed) }},
+		{"PackMC", func() Estimator { return NewPackMC(g, seed) }},
+		{"BFSSharing", func() Estimator { return NewBFSSharing(g, seed, 2048) }},
+		{"LP+", func() Estimator { return NewLazyProp(g, seed) }},
+		{"ProbTree", func() Estimator { return NewProbTree(g, seed) }},
+		{"RHH", func() Estimator { return NewRHH(g, seed) }},
+		{"RSS", func() Estimator { return NewRSS(g, seed) }},
+	} {
+		want := mk.make().Estimate(1, 8, k)
+		res := AdaptiveEstimate(NewSampler(mk.make(), 1, 8), AdaptiveOptions{MaxK: k})
+		if res.Estimate != want {
+			t.Errorf("%s: adaptive ε=0 %v != fixed-K %v", mk.name, res.Estimate, want)
+		}
+		if res.Samples != k || res.Reason != StopMaxK {
+			t.Errorf("%s: samples=%d reason=%q, want %d/max_k", mk.name, res.Samples, res.Reason, k)
+		}
+	}
+}
+
+// TestAdaptiveEstimateStopsEarly: an easy query (high reliability, small
+// CI) must terminate well under the budget with reason eps, and the
+// estimate must be near the truth.
+func TestAdaptiveEstimateStopsEarly(t *testing.T) {
+	// Two-node graph with a near-certain edge: converges in a few hundred
+	// samples at ε = 0.05.
+	b := uncertain.NewBuilder(2)
+	b.MustAddEdge(0, 1, 0.98)
+	g := b.Build()
+	const maxK = 200000
+	res := AdaptiveEstimate(NewSampler(NewMC(g, 5), 0, 1), AdaptiveOptions{Eps: 0.05, MaxK: maxK})
+	if res.Reason != StopEps {
+		t.Fatalf("reason %q, want eps (result %+v)", res.Reason, res)
+	}
+	if res.Samples >= maxK/10 {
+		t.Errorf("easy query used %d of %d samples", res.Samples, maxK)
+	}
+	if math.Abs(res.Estimate-0.98) > 0.05 {
+		t.Errorf("estimate %v far from 0.98", res.Estimate)
+	}
+	if res.HalfWidth <= 0 || res.HalfWidth > 0.05*1.05 {
+		t.Errorf("half-width %v inconsistent with ε=0.05 at estimate %v", res.HalfWidth, res.Estimate)
+	}
+}
+
+// TestAdaptiveEstimateTrivialSession: a zero-half-width session (s == t)
+// is exact from the start — the MinK guard must not force phantom
+// samples onto it.
+func TestAdaptiveEstimateTrivialSession(t *testing.T) {
+	g := samplerGraph(t)
+	res := AdaptiveEstimate(NewSampler(NewMC(g, 5), 4, 4), AdaptiveOptions{Eps: 0.1, MaxK: 10000})
+	if res.Estimate != 1 || res.Samples != 0 || res.Reason != StopEps {
+		t.Fatalf("trivial session did not stop at zero samples: %+v", res)
+	}
+	// Same through the lockstep path: a target equal to the source
+	// retires on the first scan.
+	pm := NewPackMC(g, 5)
+	rs := AdaptiveEstimateAll(pm.AllSampler(4), []uncertain.NodeID{4, 9}, AdaptiveOptions{Eps: 0.1, MaxK: 1 << 20})
+	if rs[0].Estimate != 1 || rs[0].Samples != 0 || rs[0].Reason != StopEps {
+		t.Errorf("lockstep trivial target %+v", rs[0])
+	}
+	if rs[1].Samples == 0 {
+		t.Errorf("real target retired without samples: %+v", rs[1])
+	}
+}
+
+// TestAdaptiveEstimateZeroReliability: a disconnected pair must terminate
+// via the absolute floor rather than sampling forever toward an impossible
+// relative target.
+func TestAdaptiveEstimateZeroReliability(t *testing.T) {
+	b := uncertain.NewBuilder(3)
+	b.MustAddEdge(0, 1, 0.5)
+	g := b.Build() // node 2 unreachable
+	res := AdaptiveEstimate(NewSampler(NewMC(g, 5), 0, 2), AdaptiveOptions{Eps: 0.1, MaxK: 1 << 20})
+	if res.Estimate != 0 {
+		t.Fatalf("estimate %v for unreachable pair", res.Estimate)
+	}
+	if res.Reason != StopEps {
+		t.Fatalf("reason %q, want eps via absolute floor", res.Reason)
+	}
+	if res.Samples >= 1<<20 {
+		t.Errorf("unreachable pair burned the whole budget (%d)", res.Samples)
+	}
+}
+
+// TestAdaptiveEstimateDeadline: an expired deadline stops the run at the
+// first check.
+func TestAdaptiveEstimateDeadline(t *testing.T) {
+	g := samplerGraph(t)
+	res := AdaptiveEstimate(NewSampler(NewMC(g, 5), 0, 7), AdaptiveOptions{
+		Eps:      1e-9,
+		MaxK:     1 << 30,
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if res.Reason != StopDeadline {
+		t.Fatalf("reason %q, want deadline", res.Reason)
+	}
+	// A live deadline bounds the run to roughly its duration.
+	start := time.Now()
+	res = AdaptiveEstimate(NewSampler(NewMC(g, 5), 0, 7), AdaptiveOptions{
+		Eps:      1e-9,
+		MaxK:     1 << 30,
+		Deadline: time.Now().Add(30 * time.Millisecond),
+	})
+	if res.Reason != StopDeadline {
+		t.Fatalf("live deadline: reason %q", res.Reason)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline overshot: ran %v", elapsed)
+	}
+	if res.Samples <= 0 {
+		t.Errorf("deadline run drew no samples")
+	}
+}
+
+// TestAdaptiveEstimateCanceledContext: cancellation terminates between
+// chunks.
+func TestAdaptiveEstimateCanceledContext(t *testing.T) {
+	g := samplerGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := AdaptiveEstimate(NewSampler(NewMC(g, 5), 0, 7), AdaptiveOptions{
+		Eps:  1e-9,
+		MaxK: 1 << 30,
+		Ctx:  ctx,
+	})
+	if res.Reason != StopCanceled {
+		t.Fatalf("reason %q, want canceled", res.Reason)
+	}
+}
+
+// TestAdaptiveEstimateRespectsCap: a BFS Sharing sampler is bounded by its
+// index width even under a larger budget.
+func TestAdaptiveEstimateRespectsCap(t *testing.T) {
+	g := samplerGraph(t)
+	bs := NewBFSSharing(g, 9, 512)
+	res := AdaptiveEstimate(NewSampler(bs, 0, 7), AdaptiveOptions{Eps: 1e-12, MaxK: 1 << 20})
+	if res.Samples != 512 || res.Reason != StopMaxK {
+		t.Fatalf("cap not honored: samples=%d reason=%q", res.Samples, res.Reason)
+	}
+}
+
+// TestAdaptiveEstimateAllLockstep: the lockstep group session retires easy
+// targets early while hard targets keep sampling, and ε=0 is bit-identical
+// to EstimateAll.
+func TestAdaptiveEstimateAllLockstep(t *testing.T) {
+	// Source 0 with a near-certain edge to 1 (easy) and a 3-hop 0.5³
+	// chain to 4 (harder).
+	b := uncertain.NewBuilder(5)
+	b.MustAddEdge(0, 1, 0.99)
+	b.MustAddEdge(0, 2, 0.5)
+	b.MustAddEdge(2, 3, 0.5)
+	b.MustAddEdge(3, 4, 0.5)
+	g := b.Build()
+	targets := []uncertain.NodeID{1, 4}
+
+	const budget = 1 << 18
+	pm := NewPackMC(g, 77)
+	results := AdaptiveEstimateAll(pm.AllSampler(0), targets, AdaptiveOptions{Eps: 0.02, MaxK: budget})
+	if results[0].Reason != StopEps {
+		t.Fatalf("easy target: %+v", results[0])
+	}
+	if results[1].Reason != StopEps {
+		t.Fatalf("hard target: %+v", results[1])
+	}
+	if results[0].Samples >= results[1].Samples {
+		t.Errorf("easy target (%d samples) did not retire before hard (%d)",
+			results[0].Samples, results[1].Samples)
+	}
+	if math.Abs(results[0].Estimate-0.99) > 0.02 {
+		t.Errorf("easy estimate %v", results[0].Estimate)
+	}
+	if math.Abs(results[1].Estimate-0.125) > 0.02 {
+		t.Errorf("hard estimate %v", results[1].Estimate)
+	}
+
+	// ε = 0: one full-budget sweep, bit-identical to EstimateAll.
+	const k = 1000
+	pmA := NewPackMC(g, 33)
+	want := pmA.EstimateAll(0, k)
+	pmB := NewPackMC(g, 33)
+	got := AdaptiveEstimateAll(pmB.AllSampler(0), targets, AdaptiveOptions{MaxK: k})
+	for i, tt := range targets {
+		if got[i].Estimate != want[tt] {
+			t.Errorf("ε=0 lockstep target %d: %v != %v", tt, got[i].Estimate, want[tt])
+		}
+		if got[i].Samples != k || got[i].Reason != StopMaxK {
+			t.Errorf("ε=0 lockstep target %d: %+v", tt, got[i])
+		}
+	}
+}
+
+// TestCountRange cross-checks the bit-range population count against the
+// naive loop.
+func TestCountRange(t *testing.T) {
+	r := rng.New(3)
+	v := make([]uint64, 4)
+	for i := range v {
+		v[i] = r.Uint64()
+	}
+	naive := func(lo, hi int) int {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if v[i>>6]&(1<<(uint(i)&63)) != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, rg := range [][2]int{{0, 0}, {0, 1}, {0, 64}, {0, 256}, {1, 63}, {63, 65}, {64, 128}, {100, 101}, {5, 250}, {192, 256}} {
+		if got, want := countRange(v, rg[0], rg[1]), naive(rg[0], rg[1]); got != want {
+			t.Errorf("countRange(%d,%d) = %d, want %d", rg[0], rg[1], got, want)
+		}
+	}
+}

@@ -7,26 +7,40 @@ import (
 	"relcomp/internal/uncertain"
 )
 
-// cacheKey identifies one answered query (or, with est/k zeroed, one
-// (s,t) pair for the router's bounds memo). Results are deterministic
-// given the engine seed (replica pools + per-query reseeding), so a
-// cached value is exactly the value a fresh computation would return and
-// caching is invisible to callers except in latency and the Cached flag.
+// cacheKey identifies one answered query (or, with the non-(s,t) fields
+// zeroed, one (s,t) pair for the router's bounds memo). Results are
+// deterministic given the engine seed (replica pools + per-query
+// reseeding), so a cached value is exactly the value a fresh computation
+// with the same key would return and caching is invisible to callers
+// except in latency and the Cached flag. Anytime (ε-targeted) answers
+// stop at a different sample count than fixed-budget ones, so ε is part
+// of the key — and because a routed anytime query runs a bounds-seeded
+// chunk schedule (prior + first chunk) that stops at different boundaries
+// than the default schedule a named query uses, the schedule is part of
+// the key too; entries from the two paths never mix. Deadline-truncated
+// answers are timing-dependent and never cached at all.
 type cacheKey struct {
 	s, t uncertain.NodeID
 	est  string
 	k    int
+	eps  float64
+	// The anytime chunk schedule that produced the answer: zero for
+	// fixed-budget queries and for anytime queries on the default
+	// schedule; the bounds-derived seed for routed anytime queries.
+	chunk int
+	prior float64
 }
 
 // lruCache is a bounded least-recently-used cache with hit/miss
 // counters. All methods are safe for concurrent use.
 type lruCache[V any] struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[cacheKey]*list.Element
-	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[cacheKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry[V any] struct {
@@ -83,17 +97,35 @@ func (c *lruCache[V]) put(key cacheKey, value V) {
 		if oldest != nil {
 			c.order.Remove(oldest)
 			delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
+			c.evictions++
 		}
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry[V]{key: key, value: value})
 }
 
-// counters returns (hits, misses, current length, capacity).
-func (c *lruCache[V]) counters() (hits, misses uint64, length, capacity int) {
+// CacheStats is a point-in-time snapshot of one bounded cache's counters,
+// exported so operators can size the LRUs (the result cache and the
+// router's bounds memo) from /v1/engine/stats.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Cap       int    `json:"cap"`
+}
+
+// stats snapshots the cache counters.
+func (c *lruCache[V]) stats() CacheStats {
 	if c == nil {
-		return 0, 0, 0, 0
+		return CacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len(), c.capacity
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.order.Len(),
+		Cap:       c.capacity,
+	}
 }

@@ -19,11 +19,20 @@
 //     bag chain once for every target of a source, and one PackMC pack
 //     sweep (EstimateAll) serves every target of a source from the same
 //     counter-seeded world ensemble its single queries draw.
-//   - Result caching: a bounded LRU keyed by (s, t, estimator, k) with
-//     hit/miss counters (cache.go).
+//   - Result caching: a bounded LRU keyed by (s, t, estimator, k, ε) with
+//     hit/miss/eviction counters (cache.go).
 //   - Adaptive routing: queries that do not name an estimator are routed
 //     from the analytic bounds width and online latency statistics,
 //     following the paper's selection guidance (router.go).
+//   - Anytime estimation: queries carrying an accuracy target (Eps) or a
+//     latency target (Deadline) run the incremental core.Sampler sessions
+//     under sequential stopping instead of a fixed budget — K becomes the
+//     sample cap, easy pairs stop after a few hundred samples, and hard
+//     pairs keep sampling until ε, the deadline, or the cap. The router's
+//     bounds interval seeds the stopping layer's chunk schedule; the
+//     source-grouped batch paths advance per-target samplers in lockstep
+//     and retire targets as they converge. Results report the samples
+//     actually used and the rule that stopped them.
 //
 // Results are deterministic given Config.Seed: replicas are identical and
 // every Estimate call reseeds the instance from the query key, so a query
@@ -35,6 +44,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -99,11 +109,26 @@ type Config struct {
 // Query is one s-t reliability request.
 type Query struct {
 	S, T uncertain.NodeID
-	K    int
+	// K is the sample budget: the exact count drawn for a fixed query,
+	// the cap for an anytime one (Eps or Deadline set).
+	K int
 	// Estimator names the method to use; empty selects adaptively, and
 	// BoundsName requests the no-sampling analytic answer.
 	Estimator string
+	// Eps, when positive, turns the query anytime: sampling stops once
+	// the estimate's 95% CI relative half-width reaches Eps (with a small
+	// absolute floor so unreachable pairs terminate), or when K samples
+	// have been drawn, whichever comes first. Must be in [0, 1).
+	Eps float64
+	// Deadline, when positive, bounds the query's sampling wall-clock
+	// time; the estimate so far is returned when it expires. Combined
+	// with a context deadline, the earlier one wins.
+	Deadline time.Duration
 }
+
+// anytime reports whether the query asks for early stopping rather than
+// an exact fixed budget.
+func (q Query) anytime() bool { return q.Eps > 0 || q.Deadline > 0 }
 
 // Result is the engine's answer to one Query.
 type Result struct {
@@ -120,7 +145,16 @@ type Result struct {
 	// batch results report each query's estimation (or amortized
 	// traversal) share, with the parallel routing phase excluded.
 	Latency time.Duration
-	Err     error
+	// SamplesUsed is the number of samples actually drawn: K for a fixed
+	// query, possibly fewer for an anytime one, 0 for bounds-answered and
+	// rejected queries. Cached results report the sample count of the
+	// computation that filled the cache.
+	SamplesUsed int
+	// StopReason reports the rule that ended an anytime query's sampling
+	// ("eps", "rho", "deadline", "max_k", "canceled"); empty for fixed,
+	// bounds-answered, and rejected queries.
+	StopReason string
+	Err        error
 }
 
 // Engine is the concurrent batch query engine. All methods are safe for
@@ -130,7 +164,7 @@ type Engine struct {
 	cfg    Config
 	names  []string // configured estimators, stable order
 	pools  map[string]*pool
-	cache  *lruCache[float64]
+	cache  *lruCache[cacheVal]
 	router *router
 
 	mu      sync.Mutex
@@ -138,7 +172,22 @@ type Engine struct {
 	batches uint64
 	batched uint64 // queries answered (not rejected) via EstimateBatch
 	deduped uint64 // intra-batch duplicates answered by reuse
-	perEst  map[string]*estCounter
+	// Anytime accounting: queries computed under a stopping rule, the
+	// budget they were allowed, and the samples they actually drew — the
+	// samples-saved-vs-MaxK view Stats reports.
+	anytimeQueries uint64
+	samplesBudget  uint64
+	samplesDrawn   uint64
+	perEst         map[string]*estCounter
+}
+
+// cacheVal is the result cache's stored answer: the reliability plus the
+// anytime termination report, so cached replays carry the same metadata
+// as the computation that filled the entry.
+type cacheVal struct {
+	r       float64
+	samples int
+	reason  string
 }
 
 type estCounter struct {
@@ -163,7 +212,7 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 		g:      g,
 		cfg:    cfg,
 		pools:  make(map[string]*pool, len(cfg.Estimators)),
-		cache:  newLRUCache[float64](cfg.CacheSize),
+		cache:  newLRUCache[cacheVal](cfg.CacheSize),
 		perEst: make(map[string]*estCounter, len(cfg.Estimators)),
 	}
 	for _, name := range cfg.Estimators {
@@ -294,6 +343,12 @@ func (e *Engine) validate(q Query) error {
 	if q.K > e.cfg.MaxK {
 		return fmt.Errorf("engine: sample budget %d exceeds engine maximum %d", q.K, e.cfg.MaxK)
 	}
+	if q.Eps < 0 || q.Eps >= 1 {
+		return fmt.Errorf("engine: accuracy target eps %v outside [0, 1)", q.Eps)
+	}
+	if q.Deadline < 0 {
+		return fmt.Errorf("engine: negative deadline %v", q.Deadline)
+	}
 	if q.Estimator != "" && q.Estimator != BoundsName {
 		if _, ok := e.pools[q.Estimator]; !ok {
 			return fmt.Errorf("engine: unknown estimator %q", q.Estimator)
@@ -304,19 +359,30 @@ func (e *Engine) validate(q Query) error {
 
 // Estimate answers one query: route if unnamed, consult the cache, then
 // borrow a pooled instance, reseed it from the query key, and run it.
-func (e *Engine) Estimate(q Query) Result {
+// The context cancels queued and anytime work: a canceled context fails
+// the query up front and stops an anytime query between sample chunks
+// (fixed-budget estimates are not interruptible once started). A context
+// deadline acts like Query.Deadline; the earlier of the two wins.
+func (e *Engine) Estimate(ctx context.Context, q Query) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := Result{Query: q}
 	if err := e.validate(q); err != nil {
 		res.Err = err
 		return res
 	}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	start := time.Now()
-	name, done := e.resolve(q, &res)
+	name, d, done := e.resolve(q, &res)
 	if done {
 		res.Latency = time.Since(start)
 		return res
 	}
-	e.runSingle(name, q, &res)
+	e.runSingle(ctx, name, d, q, &res)
 	// Report the full cost including any routing bounds walk; the
 	// estimator-only time was already fed to the router inside.
 	res.Latency = time.Since(start)
@@ -326,21 +392,23 @@ func (e *Engine) Estimate(q Query) Result {
 // resolve names the estimator for a validated query, routing adaptively
 // when the query names none. When the analytic bounds pinch the answer —
 // or the query explicitly asks for the BoundsName pseudo-estimator — it
-// fills res in and reports done; no sampling runs at all.
-func (e *Engine) resolve(q Query, res *Result) (name string, done bool) {
+// fills res in and reports done; no sampling runs at all. For routed
+// queries the returned decision carries the bounds interval, which seeds
+// the anytime stopping layer's prior and chunk schedule.
+func (e *Engine) resolve(q Query, res *Result) (name string, d decision, done bool) {
 	if q.Estimator == BoundsName {
 		start := time.Now()
 		res.Used = BoundsName
 		res.Reliability = e.router.midpoint(q.S, q.T)
 		res.Latency = time.Since(start)
 		e.record(BoundsName, res.Latency.Seconds(), false)
-		return "", true
+		return "", d, true
 	}
 	if q.Estimator != "" {
-		return q.Estimator, false
+		return q.Estimator, d, false
 	}
 	start := time.Now()
-	d := e.router.route(q.S, q.T)
+	d = e.router.route(q.S, q.T)
 	if d.pinched {
 		res.Used = BoundsName
 		res.Reliability = d.value
@@ -348,45 +416,138 @@ func (e *Engine) resolve(q Query, res *Result) (name string, done bool) {
 		// it so the "bounds" stats row reflects reality, not zero.
 		res.Latency = time.Since(start)
 		e.record(BoundsName, res.Latency.Seconds(), false)
-		return "", true
+		return "", d, true
 	}
-	return d.estimator, false
+	return d.estimator, d, false
+}
+
+// effectiveDeadline resolves a query's wall-clock bound from its Deadline
+// field and the context's deadline; the zero time means unbounded.
+func effectiveDeadline(ctx context.Context, d time.Duration) time.Time {
+	var dl time.Time
+	if d > 0 {
+		dl = time.Now().Add(d)
+	}
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	return dl
+}
+
+// adaptiveOpts builds the stopping configuration for one anytime query.
+// Routed queries seed the prior from the bounds midpoint and pick the
+// chunk schedule from the hard/easy classification: hard queries (wide
+// bounds) start with larger chunks, since their convergence checks cannot
+// succeed early anyway.
+func (e *Engine) adaptiveOpts(ctx context.Context, q Query, dl time.Time, d decision) core.AdaptiveOptions {
+	opts := core.AdaptiveOptions{
+		Eps:      q.Eps,
+		MaxK:     q.K,
+		Deadline: dl,
+		Ctx:      ctx,
+	}
+	if d.width > 0 { // routed: the bounds interval is known
+		opts.Prior = d.prior
+		if d.hard(e.router.hardWidth) {
+			opts.Chunk = hardChunk
+		} else {
+			opts.Chunk = easyChunk
+		}
+	}
+	return opts
+}
+
+// easyChunk and hardChunk are the anytime layer's starting chunk sizes by
+// routed hard/easy classification; unclassified (named-estimator) queries
+// use the core default.
+const (
+	easyChunk = 256
+	hardChunk = 1024
+)
+
+// queryKey builds the result-cache key for a query running under the
+// given stopping configuration: the schedule fields keep bounds-seeded
+// (routed) anytime runs apart from default-schedule ones, since the two
+// stop at different chunk boundaries.
+func (e *Engine) queryKey(name string, q Query, opts core.AdaptiveOptions) cacheKey {
+	return cacheKey{
+		s: q.S, t: q.T, est: name, k: q.K, eps: q.Eps,
+		chunk: opts.Chunk, prior: opts.Prior,
+	}
 }
 
 // runSingle answers one validated query with the named estimator: cache
 // lookup, then a borrowed, per-query-reseeded instance.
-func (e *Engine) runSingle(name string, q Query, res *Result) {
+func (e *Engine) runSingle(ctx context.Context, name string, d decision, q Query, res *Result) {
 	res.Used = name
-	key := cacheKey{s: q.S, t: q.T, est: name, k: q.K}
-	if v, ok := e.cache.get(key); ok {
-		res.Reliability = v
-		res.Cached = true
-		e.record(name, 0, true)
-		return
+	dl := effectiveDeadline(ctx, q.Deadline)
+	var opts core.AdaptiveOptions
+	if q.Eps > 0 || !dl.IsZero() {
+		opts = e.adaptiveOpts(ctx, q, dl, d)
+	}
+	key := e.queryKey(name, q, opts)
+	// Deadline-truncated results are timing-dependent: never cached.
+	if dl.IsZero() {
+		if v, ok := e.cache.get(key); ok {
+			res.Reliability = v.r
+			res.SamplesUsed = v.samples
+			res.StopReason = v.reason
+			res.Cached = true
+			e.record(name, 0, true)
+			return
+		}
 	}
 	p := e.pools[name]
 	inst := p.get()
 	defer p.put(inst) // return the replica even if the estimator panics
-	e.runBorrowed(inst, name, q, res)
+	e.runBorrowed(ctx, inst, name, q, dl, opts, key, res)
 }
 
 // runBorrowed answers one query on an already-borrowed instance and does
 // the full accounting: timing, cache fill, router observation, counters.
-func (e *Engine) runBorrowed(inst core.Estimator, name string, q Query, res *Result) {
+func (e *Engine) runBorrowed(ctx context.Context, inst core.Estimator, name string, q Query, dl time.Time, opts core.AdaptiveOptions, key cacheKey, res *Result) {
 	start := time.Now()
-	res.Reliability = e.runOne(inst, name, q)
+	e.runOne(ctx, inst, name, q, dl, opts, res)
 	res.Latency = time.Since(start)
-	e.cache.put(cacheKey{s: q.S, t: q.T, est: name, k: q.K}, res.Reliability)
+	if res.Err == nil && dl.IsZero() {
+		e.cache.put(key, cacheVal{r: res.Reliability, samples: res.SamplesUsed, reason: res.StopReason})
+	}
 	e.router.observe(name, res.Latency.Seconds())
 	e.record(name, res.Latency.Seconds(), false)
 }
 
-// runOne reseeds inst for the query and runs the estimate.
-func (e *Engine) runOne(inst core.Estimator, name string, q Query) float64 {
+// runOne reseeds inst for the query and runs the estimate: one fixed-K
+// call for a plain query, an incremental session under the given stopping
+// configuration for an anytime one. With Eps = 0 and no deadline the
+// fixed path runs, so plain queries stay bit-identical to the estimators'
+// own Estimate.
+func (e *Engine) runOne(ctx context.Context, inst core.Estimator, name string, q Query, dl time.Time, opts core.AdaptiveOptions, res *Result) {
 	if s, ok := inst.(core.Seeder); ok {
 		s.Reseed(e.querySeedFor(name, q.S, q.T, q.K))
 	}
-	return inst.Estimate(q.S, q.T, q.K)
+	if q.Eps <= 0 && dl.IsZero() {
+		res.Reliability = inst.Estimate(q.S, q.T, q.K)
+		res.SamplesUsed = q.K
+		return
+	}
+	ar := core.AdaptiveEstimate(core.NewSampler(inst, q.S, q.T), opts)
+	res.Reliability = ar.Estimate
+	res.SamplesUsed = ar.Samples
+	res.StopReason = string(ar.Reason)
+	if ar.Reason == core.StopCanceled {
+		res.Err = ctx.Err()
+	}
+	e.recordAnytime(q.K, ar.Samples)
+}
+
+// recordAnytime accumulates the samples-saved-vs-budget accounting for
+// one computed anytime answer.
+func (e *Engine) recordAnytime(budget, drawn int) {
+	e.mu.Lock()
+	e.anytimeQueries++
+	e.samplesBudget += uint64(budget)
+	e.samplesDrawn += uint64(drawn)
+	e.mu.Unlock()
 }
 
 // querySeedFor derives the stream seed runOne reseeds with. PackMC's
@@ -403,20 +564,32 @@ func (e *Engine) querySeedFor(name string, s, t uncertain.NodeID, k int) uint64 
 }
 
 // workUnit is one batch work item. Two shapes:
-//   - a groupable estimator (BFS Sharing, ProbTree): a (source, k) group —
-//     every same-source, same-budget query of the batch, answered with the
-//     per-source work amortized across the group;
-//   - otherwise: one distinct (estimator, s, t, k) query, computed once
-//     and fanned out to every batch position that asked for it.
+//   - a groupable estimator (BFS Sharing, ProbTree, PackMC): a (source,
+//     k, ε, deadline) group — every same-source, same-budget,
+//     same-stopping-rule query of the batch, answered with the per-source
+//     work amortized across the group;
+//   - otherwise: one distinct (estimator, s, t, k, ε, deadline) query,
+//     computed once and fanned out to every batch position that asked
+//     for it.
 //
-// Adaptive (unnamed-estimator) queries are resolved in a parallel phase
+// Routed (unnamed-estimator) queries are resolved in a parallel phase
 // before units are built, so queries the router sends to a groupable
 // estimator join its amortized source groups too.
 type workUnit struct {
-	est  string
-	s    uncertain.NodeID
-	k    int
-	idxs []int // query indices the unit answers
+	est      string
+	s        uncertain.NodeID
+	k        int
+	eps      float64
+	deadline time.Duration
+	idxs     []int // query indices the unit answers
+}
+
+// groupKey identifies one batch work unit: the cache key (whose target is
+// zeroed for amortized source groups) plus the deadline, which shapes
+// anytime execution but never enters the result cache.
+type groupKey struct {
+	key      cacheKey
+	deadline time.Duration
 }
 
 // sharedName, ptName, and packName are the estimators whose core API
@@ -461,14 +634,20 @@ func (g *orderedGroups[K]) add(key K, i int) {
 
 // EstimateBatch answers a set of queries concurrently: validated up
 // front, adaptively routed in a parallel resolve phase, turned into work
-// units (amortized (source, k) groups for BFS Sharing, per-query units
-// otherwise), and spread over the engine's workers. Results are
-// positionally aligned with the input and identical to what sequential
-// Estimate calls would return (modulo adaptive routing, which is
-// latency-dependent).
-func (e *Engine) EstimateBatch(queries []Query) []Result {
+// units (amortized (source, k, ε, deadline) groups for the groupable
+// estimators, per-query units otherwise), and spread over the engine's
+// workers. Results are positionally aligned with the input and identical
+// to what sequential Estimate calls would return (modulo adaptive
+// routing, which is latency-dependent). A canceled context fails the
+// not-yet-started units with the context error; in-flight fixed-budget
+// units finish, in-flight anytime units stop at the next chunk.
+func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(queries))
 	names := make([]string, len(queries))
+	decisions := make([]decision, len(queries))
 	routed := newOrderedGroups[cacheKey]() // adaptive queries by (s, t)
 	for i, q := range queries {
 		results[i].Query = q
@@ -491,10 +670,17 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 	// so routed queries join the amortized groups below like named ones.
 	e.forEachParallel(len(routed.order), func(j int) {
 		idxs := routed.groups[routed.order[j]]
+		if err := ctx.Err(); err != nil {
+			for _, i := range idxs {
+				results[i].Err = err
+			}
+			return
+		}
 		first := idxs[0]
-		name, done := e.resolve(queries[first], &results[first])
+		name, d, done := e.resolve(queries[first], &results[first])
 		if !done {
 			names[first] = name
+			decisions[first] = d
 		}
 		for _, i := range idxs[1:] {
 			if done {
@@ -509,6 +695,7 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 				e.record(BoundsName, 0, true)
 			} else {
 				names[i] = name
+				decisions[i] = d
 				e.router.noteRouted(name)
 			}
 		}
@@ -516,30 +703,43 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 
 	// Units are built in first-appearance order so execution order (and
 	// with it replica construction and stats accumulation) is the same
-	// on every run of an identical batch. Group keys reuse cacheKey: for
-	// amortized groups the target is zeroed, keying on (estimator, s, k).
-	shared := newOrderedGroups[cacheKey]()
-	single := newOrderedGroups[cacheKey]()
+	// on every run of an identical batch. Group keys extend cacheKey with
+	// the deadline; for amortized groups the target is zeroed, keying on
+	// (estimator, s, k, ε, deadline).
+	shared := newOrderedGroups[groupKey]()
+	single := newOrderedGroups[groupKey]()
 	for i, q := range queries {
 		switch {
 		case names[i] == "": // invalid or already answered by the bounds
 		case groupable(names[i]):
-			shared.add(cacheKey{s: q.S, est: names[i], k: q.K}, i)
+			shared.add(groupKey{
+				key:      cacheKey{s: q.S, est: names[i], k: q.K, eps: q.Eps},
+				deadline: q.Deadline,
+			}, i)
 		default:
 			// Dedup identical queries: one computation fans out to every
 			// batch position that asked for it.
-			single.add(cacheKey{s: q.S, t: q.T, est: names[i], k: q.K}, i)
+			single.add(groupKey{
+				key:      cacheKey{s: q.S, t: q.T, est: names[i], k: q.K, eps: q.Eps},
+				deadline: q.Deadline,
+			}, i)
 		}
 	}
 	units := make([]workUnit, 0, len(single.order)+len(shared.order))
-	for _, key := range single.order {
-		units = append(units, workUnit{est: key.est, s: key.s, k: key.k, idxs: single.groups[key]})
+	asUnit := func(gk groupKey, idxs []int) workUnit {
+		return workUnit{
+			est: gk.key.est, s: gk.key.s, k: gk.key.k,
+			eps: gk.key.eps, deadline: gk.deadline, idxs: idxs,
+		}
 	}
-	// One unit per (estimator, source, k): same-source groups with
-	// different budgets (or estimators) are independent, so they
-	// parallelize too.
+	for _, key := range single.order {
+		units = append(units, asUnit(key, single.groups[key]))
+	}
+	// One unit per (estimator, source, k, ε, deadline): same-source
+	// groups with different budgets (or estimators, or stopping rules)
+	// are independent, so they parallelize too.
 	for _, key := range shared.order {
-		units = append(units, workUnit{est: key.est, s: key.s, k: key.k, idxs: shared.groups[key]})
+		units = append(units, asUnit(key, shared.groups[key]))
 	}
 	// Units of single-instance pools (ParallelMC) run last: placed
 	// earlier they would pile all workers up blocked on the one replica
@@ -556,17 +756,26 @@ func (e *Engine) EstimateBatch(queries []Query) []Result {
 
 	e.forEachParallel(len(units), func(j int) {
 		u := units[j]
+		if err := ctx.Err(); err != nil {
+			for _, i := range u.idxs {
+				results[i].Err = err
+			}
+			return
+		}
 		if groupable(u.est) {
-			e.runShared(u.est, u.s, u.k, u.idxs, queries, results)
+			e.runShared(ctx, u, queries, results)
 			return
 		}
 		first := u.idxs[0]
-		e.runSingle(u.est, queries[first], &results[first])
+		e.runSingle(ctx, u.est, decisions[first], queries[first], &results[first])
 		for _, i := range u.idxs[1:] {
 			// Duplicates reuse the computed value — cache-hit semantics,
 			// whether or not the cache itself is enabled.
 			results[i].Used = results[first].Used
 			results[i].Reliability = results[first].Reliability
+			results[i].SamplesUsed = results[first].SamplesUsed
+			results[i].StopReason = results[first].StopReason
+			results[i].Err = results[first].Err
 			results[i].Cached = true
 			e.noteDeduped()
 			e.record(u.est, 0, true)
@@ -647,28 +856,50 @@ func (e *Engine) forEachParallel(n int, fn func(int)) {
 	}
 }
 
-// runShared amortizes a groupable (estimator, source, k) group: every
-// query shares the estimator, source, and sample budget, so the
-// per-source work is paid once for the whole group. For BFS Sharing one
-// EstimateAll traversal answers all targets at once — EstimateAll(s, k)[t]
-// is exactly Estimate(s, t, k), the s-t query just reads one entry of the
-// traversal the method computes anyway. For ProbTree one QueryGraphAll
-// call expands the s-side bag chain once and splices every target against
-// it, producing per-target query graphs identical to per-query splicing;
-// each target's inner estimate then runs under its own per-query reseed.
-// On both paths amortization does not change results.
-func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, queries []Query, results []Result) {
+// runShared amortizes a groupable (estimator, source, k, ε, deadline)
+// group: every query shares the estimator, source, budget, and stopping
+// rule, so the per-source work is paid once for the whole group. For BFS
+// Sharing one EstimateAll traversal answers all targets at once —
+// EstimateAll(s, k)[t] is exactly Estimate(s, t, k), the s-t query just
+// reads one entry of the traversal the method computes anyway. For
+// ProbTree one QueryGraphAll call expands the s-side bag chain once and
+// splices every target against it, producing per-target query graphs
+// identical to per-query splicing; each target's inner estimate then runs
+// under its own per-query reseed. On both paths amortization does not
+// change results.
+//
+// Anytime groups (ε or deadline set) run the same amortized traversals
+// incrementally: BFS Sharing and PackMC advance one multi-target session
+// in lockstep and retire each target as its stopping rule fires, ending
+// the shared sweep once every target is retired; ProbTree splices the
+// source side once and runs each target's inner session under its own
+// stopping. Grouped execution always uses the default chunk schedule —
+// one lockstep sweep cannot honor per-target bounds priors — so a named
+// anytime query's answer is bit-identical to the single path's (which
+// also uses the default schedule; the sessions share streams and chunk
+// boundaries), while a routed anytime query may stop at different
+// boundaries than its bounds-seeded single run, consistent with the
+// engine's routing carve-out from the determinism guarantee. The cache
+// keys schedule fields, so the two variants never mix entries.
+func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, results []Result) {
+	name, s, k := u.est, u.s, u.k
+	dl := effectiveDeadline(ctx, u.deadline)
+	anytime := u.eps > 0 || !dl.IsZero()
+	cacheable := dl.IsZero()
 	// Dedupe by target first, then consult the cache once per unique
 	// target — duplicates never touch the cache counters, matching the
 	// per-query dedup path.
 	byTarget := newOrderedGroups[uncertain.NodeID]()
-	for _, i := range idxs {
+	for _, i := range u.idxs {
 		results[i].Used = name
 		byTarget.add(queries[i].T, i)
 	}
 	reuse := func(first int, dups []int) {
 		for _, i := range dups {
 			results[i].Reliability = results[first].Reliability
+			results[i].SamplesUsed = results[first].SamplesUsed
+			results[i].StopReason = results[first].StopReason
+			results[i].Err = results[first].Err
 			results[i].Cached = true
 			e.noteDeduped()
 			e.record(name, 0, true)
@@ -677,12 +908,16 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 	var missTargets []uncertain.NodeID
 	for _, t := range byTarget.order {
 		grp := byTarget.groups[t]
-		if v, hit := e.cache.get(cacheKey{s: s, t: t, est: name, k: k}); hit {
-			results[grp[0]].Reliability = v
-			results[grp[0]].Cached = true
-			e.record(name, 0, true)
-			reuse(grp[0], grp[1:])
-			continue
+		if cacheable {
+			if v, hit := e.cache.get(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps}); hit {
+				results[grp[0]].Reliability = v.r
+				results[grp[0]].SamplesUsed = v.samples
+				results[grp[0]].StopReason = v.reason
+				results[grp[0]].Cached = true
+				e.record(name, 0, true)
+				reuse(grp[0], grp[1:])
+				continue
+			}
 		}
 		missTargets = append(missTargets, t)
 	}
@@ -695,16 +930,41 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 	defer p.put(inst)
 	if len(missTargets) == 1 {
 		// A lone target gains nothing from amortization; answer it like
-		// any other estimator would.
+		// any other estimator would — on the group path's default chunk
+		// schedule (decision{}), so its cache key matches the lockstep
+		// path's entries for the same (s, t, k, ε).
 		grp := byTarget.groups[missTargets[0]]
-		e.runBorrowed(inst, name, queries[grp[0]], &results[grp[0]])
+		q0 := queries[grp[0]]
+		var opts core.AdaptiveOptions
+		if anytime {
+			opts = e.adaptiveOpts(ctx, q0, dl, decision{})
+		}
+		e.runBorrowed(ctx, inst, name, q0, dl, opts, e.queryKey(name, q0, opts), &results[grp[0]])
 		reuse(grp[0], grp[1:])
 		return
 	}
 	start := time.Now()
 	vals := make([]float64, len(missTargets))
+	samples := make([]int, len(missTargets))
+	reasons := make([]string, len(missTargets))
+	for i := range samples {
+		samples[i] = k // the fixed paths below draw the full budget
+	}
+	opts := core.AdaptiveOptions{Eps: u.eps, MaxK: k, Deadline: dl, Ctx: ctx}
+	fillAdaptive := func(ars []core.AdaptiveResult) {
+		for i, ar := range ars {
+			vals[i] = ar.Estimate
+			samples[i] = ar.Samples
+			reasons[i] = string(ar.Reason)
+			e.recordAnytime(k, ar.Samples)
+		}
+	}
 	switch est := inst.(type) { // factoryFor guarantees the concrete types
 	case *core.BFSQuerier:
+		if anytime {
+			fillAdaptive(core.AdaptiveEstimateAll(est.AllSampler(s), missTargets, opts))
+			break
+		}
 		all := est.EstimateAll(s, k)
 		for i, t := range missTargets {
 			vals[i] = all[t]
@@ -717,6 +977,14 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 			// stream — and with it the estimate — matches a single
 			// Estimate call bit for bit.
 			est.Reseed(e.querySeedFor(name, s, missTargets[i], k))
+			if anytime {
+				ar := core.AdaptiveEstimate(est.SplicedSampler(sq), opts)
+				vals[i] = ar.Estimate
+				samples[i] = ar.Samples
+				reasons[i] = string(ar.Reason)
+				e.recordAnytime(k, ar.Samples)
+				return
+			}
 			vals[i] = est.EstimateSpliced(sq, k)
 		})
 	case *core.PackMC:
@@ -724,6 +992,10 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 		// pack sweep draws the exact world ensemble each single query
 		// would, and EstimateAll[t] matches Estimate(s, t, k) bit for bit.
 		est.Reseed(e.querySeedFor(name, s, s, k))
+		if anytime {
+			fillAdaptive(core.AdaptiveEstimateAll(est.AllSampler(s), missTargets, opts))
+			break
+		}
 		all := est.EstimateAll(s, k)
 		for i, t := range missTargets {
 			vals[i] = all[t]
@@ -737,12 +1009,20 @@ func (e *Engine) runShared(name string, s uncertain.NodeID, k int, idxs []int, q
 	// adaptive query routed here would pay all of it.
 	share := elapsed / time.Duration(len(missTargets))
 	e.router.observe(name, elapsed.Seconds())
+	canceled := ctx.Err()
 	for i, t := range missTargets {
 		grp := byTarget.groups[t]
 		first := grp[0]
 		results[first].Reliability = vals[i]
+		results[first].SamplesUsed = samples[i]
+		results[first].StopReason = reasons[i]
 		results[first].Latency = share
-		e.cache.put(cacheKey{s: s, t: t, est: name, k: k}, vals[i])
+		if reasons[i] == string(core.StopCanceled) {
+			results[first].Err = canceled
+		} else if cacheable {
+			e.cache.put(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps},
+				cacheVal{r: vals[i], samples: samples[i], reason: reasons[i]})
+		}
 		e.record(name, share.Seconds(), false)
 		reuse(first, grp[1:])
 	}
@@ -809,17 +1089,32 @@ type EstimatorStats struct {
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
-	Queries        uint64                    `json:"queries"`
-	Batches        uint64                    `json:"batches"`
-	BatchQueries   uint64                    `json:"batchQueries"`
-	CacheHits      uint64                    `json:"cacheHits"`
-	CacheMisses    uint64                    `json:"cacheMisses"`
-	DedupedQueries uint64                    `json:"dedupedQueries"`
-	CacheLen       int                       `json:"cacheLen"`
-	CacheCap       int                       `json:"cacheCap"`
-	BoundsAnswered uint64                    `json:"boundsAnswered"`
-	Workers        int                       `json:"workers"`
-	Estimators     map[string]EstimatorStats `json:"estimators"`
+	Queries        uint64 `json:"queries"`
+	Batches        uint64 `json:"batches"`
+	BatchQueries   uint64 `json:"batchQueries"`
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	DedupedQueries uint64 `json:"dedupedQueries"`
+	CacheLen       int    `json:"cacheLen"`
+	CacheCap       int    `json:"cacheCap"`
+	BoundsAnswered uint64 `json:"boundsAnswered"`
+	// BoundsMemo reports the router's bounds-memo LRU (hits, misses,
+	// evictions, occupancy) so operators can size it: the memoized
+	// analytic bounds walk is the dominant routing cost, and a memo
+	// churning through evictions means repeated adaptive traffic is
+	// re-paying it.
+	BoundsMemo CacheStats `json:"boundsMemo"`
+	// Anytime accounting: queries computed under a stopping rule (ε or
+	// deadline), the total samples their budgets allowed, and the samples
+	// actually drawn — AnytimeSamplesSaved is the work the stopping rules
+	// avoided versus running every such query to its full budget.
+	AnytimeQueries      uint64                    `json:"anytimeQueries"`
+	AnytimeSampleCap    uint64                    `json:"anytimeSampleCap"`
+	AnytimeSamplesDrawn uint64                    `json:"anytimeSamplesDrawn"`
+	AnytimeSamplesSaved uint64                    `json:"anytimeSamplesSaved"`
+	Workers             int                       `json:"workers"`
+	Estimators          map[string]EstimatorStats `json:"estimators"`
 }
 
 // Stats snapshots the engine's counters. The cache, router, and engine
@@ -828,22 +1123,29 @@ type Stats struct {
 // queries (e.g. CacheHits momentarily exceeding Queries).
 func (e *Engine) Stats() Stats {
 	routed, ewma, pinched := e.router.snapshot()
-	hits, misses, length, capacity := e.cache.counters()
+	cs := e.cache.stats()
+	memo := e.router.memoStats()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Stats{
-		Queries:        e.queries,
-		Batches:        e.batches,
-		BatchQueries:   e.batched,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		DedupedQueries: e.deduped,
-		CacheLen:       length,
-		CacheCap:       capacity,
-		BoundsAnswered: pinched,
-		Workers:        e.cfg.Workers,
-		Estimators:     make(map[string]EstimatorStats, len(e.perEst)),
+		Queries:             e.queries,
+		Batches:             e.batches,
+		BatchQueries:        e.batched,
+		CacheHits:           cs.Hits,
+		CacheMisses:         cs.Misses,
+		CacheEvictions:      cs.Evictions,
+		DedupedQueries:      e.deduped,
+		CacheLen:            cs.Len,
+		CacheCap:            cs.Cap,
+		BoundsAnswered:      pinched,
+		BoundsMemo:          memo,
+		AnytimeQueries:      e.anytimeQueries,
+		AnytimeSampleCap:    e.samplesBudget,
+		AnytimeSamplesDrawn: e.samplesDrawn,
+		AnytimeSamplesSaved: e.samplesBudget - e.samplesDrawn,
+		Workers:             e.cfg.Workers,
+		Estimators:          make(map[string]EstimatorStats, len(e.perEst)),
 	}
 	for name, c := range e.perEst {
 		es := EstimatorStats{

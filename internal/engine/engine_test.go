@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ func testQueries(names []string) []Query {
 func TestEstimateBasic(t *testing.T) {
 	e := testEngine(t, Config{Workers: 2, MaxK: 300, Seed: 42, CacheSize: 64})
 	for _, name := range e.Names() {
-		res := e.Estimate(Query{S: 0, T: 5, K: 100, Estimator: name})
+		res := e.Estimate(context.Background(), Query{S: 0, T: 5, K: 100, Estimator: name})
 		if res.Err != nil {
 			t.Fatalf("%s: %v", name, res.Err)
 		}
@@ -75,11 +76,11 @@ func TestEstimateValidation(t *testing.T) {
 		{S: 0, T: 5, K: 100, Estimator: "Unknown"}, // unknown estimator
 	}
 	for _, q := range bad {
-		if res := e.Estimate(q); res.Err == nil {
+		if res := e.Estimate(context.Background(), q); res.Err == nil {
 			t.Errorf("query %+v accepted", q)
 		}
 	}
-	results := e.EstimateBatch(bad)
+	results := e.EstimateBatch(context.Background(), bad)
 	for i, r := range results {
 		if r.Err == nil {
 			t.Errorf("batch query %+v accepted", bad[i])
@@ -103,14 +104,14 @@ func TestDeterministicAcrossInstances(t *testing.T) {
 	a := testEngine(t, cfg)
 	b := testEngine(t, cfg)
 	for _, q := range testQueries(a.Names()) {
-		ra, rb := a.Estimate(q), b.Estimate(q)
+		ra, rb := a.Estimate(context.Background(), q), b.Estimate(context.Background(), q)
 		if ra.Err != nil || rb.Err != nil {
 			t.Fatalf("%+v: %v / %v", q, ra.Err, rb.Err)
 		}
 		if ra.Reliability != rb.Reliability {
 			t.Errorf("%+v: %v vs %v across engines", q, ra.Reliability, rb.Reliability)
 		}
-		again := a.Estimate(q)
+		again := a.Estimate(context.Background(), q)
 		if again.Reliability != ra.Reliability {
 			t.Errorf("%+v: %v vs %v on repeat", q, again.Reliability, ra.Reliability)
 		}
@@ -127,13 +128,13 @@ func TestBatchMatchesSingle(t *testing.T) {
 	queries := testQueries(single.Names())
 	want := make([]float64, len(queries))
 	for i, q := range queries {
-		res := single.Estimate(q)
+		res := single.Estimate(context.Background(), q)
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 		want[i] = res.Reliability
 	}
-	results := batch.EstimateBatch(queries)
+	results := batch.EstimateBatch(context.Background(), queries)
 	for i, r := range results {
 		if r.Err != nil {
 			t.Fatal(r.Err)
@@ -148,11 +149,11 @@ func TestBatchMatchesSingle(t *testing.T) {
 func TestCacheHitsAndEviction(t *testing.T) {
 	e := testEngine(t, Config{Workers: 1, MaxK: 300, Seed: 42, CacheSize: 2})
 	q := Query{S: 0, T: 5, K: 100, Estimator: "MC"}
-	first := e.Estimate(q)
+	first := e.Estimate(context.Background(), q)
 	if first.Cached {
 		t.Fatal("first answer marked cached")
 	}
-	second := e.Estimate(q)
+	second := e.Estimate(context.Background(), q)
 	if !second.Cached {
 		t.Fatal("second answer not cached")
 	}
@@ -160,9 +161,9 @@ func TestCacheHitsAndEviction(t *testing.T) {
 		t.Fatalf("cache returned %v, computed %v", second.Reliability, first.Reliability)
 	}
 	// Fill the 2-entry cache with two other keys; q must be evicted.
-	e.Estimate(Query{S: 1, T: 5, K: 100, Estimator: "MC"})
-	e.Estimate(Query{S: 2, T: 5, K: 100, Estimator: "MC"})
-	third := e.Estimate(q)
+	e.Estimate(context.Background(), Query{S: 1, T: 5, K: 100, Estimator: "MC"})
+	e.Estimate(context.Background(), Query{S: 2, T: 5, K: 100, Estimator: "MC"})
+	third := e.Estimate(context.Background(), q)
 	if third.Cached {
 		t.Fatal("evicted entry still cached")
 	}
@@ -183,7 +184,7 @@ func TestAdaptiveRouting(t *testing.T) {
 	sawEstimator := false
 	for s := 0; s < 4; s++ {
 		for d := 4; d < 8; d++ {
-			res := e.Estimate(Query{S: uncertain.NodeID(s), T: uncertain.NodeID(d), K: 100})
+			res := e.Estimate(context.Background(), Query{S: uncertain.NodeID(s), T: uncertain.NodeID(d), K: 100})
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
@@ -253,14 +254,14 @@ func TestRoutedBatchUsesSharedGroups(t *testing.T) {
 	for d := 3; d < 15; d++ {
 		qs = append(qs, Query{S: 0, T: uncertain.NodeID(d), K: 100})
 	}
-	for i, res := range batch.EstimateBatch(qs) {
+	for i, res := range batch.EstimateBatch(context.Background(), qs) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 		switch res.Used {
 		case BoundsName: // pinched by the bounds; nothing to compare
 		case "BFSSharing":
-			want := single.Estimate(Query{S: qs[i].S, T: qs[i].T, K: qs[i].K,
+			want := single.Estimate(context.Background(), Query{S: qs[i].S, T: qs[i].T, K: qs[i].K,
 				Estimator: "BFSSharing"})
 			if res.Reliability != want.Reliability {
 				t.Errorf("query %d: routed batch %v vs explicit single %v",
@@ -278,12 +279,12 @@ func TestRoutedBatchUsesSharedGroups(t *testing.T) {
 func TestExplicitBoundsEstimator(t *testing.T) {
 	e := testEngine(t, Config{Workers: 2, MaxK: 300, Seed: 42, CacheSize: 64})
 	q := Query{S: 0, T: 9, K: 100, Estimator: BoundsName}
-	res := e.Estimate(q)
+	res := e.Estimate(context.Background(), q)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	// K is unused on the bounds path, so its zero value must be accepted.
-	if zeroK := e.Estimate(Query{S: 0, T: 9, Estimator: BoundsName}); zeroK.Err != nil {
+	if zeroK := e.Estimate(context.Background(), Query{S: 0, T: 9, Estimator: BoundsName}); zeroK.Err != nil {
 		t.Fatalf("bounds query with zero K rejected: %v", zeroK.Err)
 	} else if zeroK.Reliability != res.Reliability {
 		t.Errorf("zero-K bounds answer %v != %v", zeroK.Reliability, res.Reliability)
@@ -294,7 +295,7 @@ func TestExplicitBoundsEstimator(t *testing.T) {
 	if res.Reliability < 0 || res.Reliability > 1 {
 		t.Errorf("reliability %v", res.Reliability)
 	}
-	for _, r := range e.EstimateBatch([]Query{q, q}) {
+	for _, r := range e.EstimateBatch(context.Background(), []Query{q, q}) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -309,23 +310,27 @@ func TestExplicitBoundsEstimator(t *testing.T) {
 func TestRouterBoundsMemo(t *testing.T) {
 	e := testEngine(t, Config{Workers: 1, MaxK: 300, Seed: 42, CacheSize: 64})
 	q := Query{S: 0, T: 9, K: 100}
-	first := e.Estimate(q)
-	second := e.Estimate(q) // may explore a different estimator; only the
+	first := e.Estimate(context.Background(), q)
+	second := e.Estimate(context.Background(), q) // may explore a different estimator; only the
 	// bounds walk must be memoized
 	if first.Err != nil || second.Err != nil {
 		t.Fatalf("%v / %v", first.Err, second.Err)
 	}
-	hits, misses, _, _ := e.router.memo.counters()
-	if misses != 1 || hits < 1 {
-		t.Errorf("bounds memo hits=%d misses=%d, want 1 miss then hits", hits, misses)
+	ms := e.router.memoStats()
+	if ms.Misses != 1 || ms.Hits < 1 {
+		t.Errorf("bounds memo hits=%d misses=%d, want 1 miss then hits", ms.Hits, ms.Misses)
+	}
+	// The memo stats surface through engine Stats for operators.
+	if st := e.Stats(); st.BoundsMemo != ms {
+		t.Errorf("Stats().BoundsMemo %+v != router memo %+v", st.BoundsMemo, ms)
 	}
 }
 
 func TestStatsCounters(t *testing.T) {
 	e := testEngine(t, Config{Workers: 2, MaxK: 300, Seed: 42, CacheSize: 64})
 	qs := testQueries([]string{"MC", "RSS"})
-	e.EstimateBatch(qs)
-	e.Estimate(qs[0]) // cache hit
+	e.EstimateBatch(context.Background(), qs)
+	e.Estimate(context.Background(), qs[0]) // cache hit
 	st := e.Stats()
 	if st.Batches != 1 {
 		t.Errorf("batches %d", st.Batches)
@@ -377,7 +382,7 @@ func TestDo(t *testing.T) {
 		return v
 	}
 	first := borrowed()
-	e.Estimate(Query{S: 1, T: 6, K: 150, Estimator: "MC"}) // perturb the replica
+	e.Estimate(context.Background(), Query{S: 1, T: 6, K: 150, Estimator: "MC"}) // perturb the replica
 	if again := borrowed(); again != first {
 		t.Errorf("borrowed result drifted with traffic: %v vs %v", again, first)
 	}
@@ -390,7 +395,7 @@ func TestBatchDedupesIdenticalQueries(t *testing.T) {
 	for _, est := range []string{"MC", "BFSSharing"} {
 		e := testEngine(t, Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 0})
 		q := Query{S: 0, T: 5, K: 100, Estimator: est}
-		results := e.EstimateBatch([]Query{q, q, q, q})
+		results := e.EstimateBatch(context.Background(), []Query{q, q, q, q})
 		computed := 0
 		for i, r := range results {
 			if r.Err != nil {
@@ -439,7 +444,7 @@ func TestPoolBoundsReplicaCount(t *testing.T) {
 			K: 100, Estimator: "MC",
 		})
 	}
-	e.EstimateBatch(qs)
+	e.EstimateBatch(context.Background(), qs)
 	if n := e.Stats().Estimators["MC"].PoolReplicas; n > 3 {
 		t.Errorf("pool built %d replicas, cap 3", n)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 	seq := testEngine(t, cfg)
 	want := make([]float64, len(queries))
 	for i, q := range queries {
-		res := seq.Estimate(q)
+		res := seq.Estimate(context.Background(), q)
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -49,7 +50,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				check(i, conc.Estimate(queries[i]))
+				check(i, conc.Estimate(context.Background(), queries[i]))
 			}(i)
 		}
 		// Batch callers, one per chunk of the workload.
@@ -62,7 +63,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				for off, res := range conc.EstimateBatch(queries[lo:hi]) {
+				for off, res := range conc.EstimateBatch(context.Background(), queries[lo:hi]) {
 					check(lo+off, res)
 				}
 			}(lo, hi)
@@ -92,7 +93,7 @@ func TestConcurrentRoutedQueries(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 6; i++ {
-				res := e.Estimate(Query{
+				res := e.Estimate(context.Background(), Query{
 					S: uncertain.NodeID((w + i) % 6),
 					T: uncertain.NodeID(6 + (w*i)%6),
 					K: 100,

@@ -108,7 +108,16 @@ type decision struct {
 	estimator string  // chosen estimator; "" when pinched
 	pinched   bool    // bounds answered the query outright
 	value     float64 // midpoint estimate when pinched
+	// width and prior carry the bounds interval forward: the adaptive
+	// stopping layer seeds its chunk schedule from the midpoint prior and
+	// classifies the query hard/easy from the width.
+	width float64
+	prior float64
 }
+
+// hard reports whether the decision's bounds interval marks the query as
+// hard (high estimator variance expected).
+func (d decision) hard(hardWidth float64) bool { return d.width > hardWidth }
 
 // boundsFor returns the memoized analytic bounds for (s, t).
 func (r *router) boundsFor(s, t uncertain.NodeID) (lo, hi float64) {
@@ -142,12 +151,16 @@ func (r *router) route(s, t uncertain.NodeID) decision {
 	width := hi - lo
 	if width <= r.cutoff {
 		r.notePinched()
-		return decision{pinched: true, value: (lo + hi) / 2}
+		return decision{pinched: true, value: (lo + hi) / 2, width: width, prior: (lo + hi) / 2}
 	}
 	name := r.pick(width)
 	r.noteRouted(name)
-	return decision{estimator: name}
+	return decision{estimator: name, width: width, prior: (lo + hi) / 2}
 }
+
+// memoStats snapshots the bounds memo counters, so operators can size the
+// LRU from engine stats.
+func (r *router) memoStats() CacheStats { return r.memo.stats() }
 
 // pick chooses among the candidates: accuracy-first for hard queries,
 // measured-latency-first otherwise.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"relcomp/internal/core"
@@ -83,7 +84,7 @@ func TestRunSharedAccounting(t *testing.T) {
 			}
 			batch := []Query{q(0, 5), q(0, 5), q(0, 6)} // one source group, one duplicate
 
-			results := e.EstimateBatch(batch)
+			results := e.EstimateBatch(context.Background(), batch)
 			cached := 0
 			for _, r := range results {
 				if r.Err != nil {
@@ -112,7 +113,7 @@ func TestRunSharedAccounting(t *testing.T) {
 
 			// Warm repeat: both unique targets hit the LRU; the duplicate
 			// is still a dedup, not a second hit.
-			for _, r := range e.EstimateBatch(batch) {
+			for _, r := range e.EstimateBatch(context.Background(), batch) {
 				if r.Err != nil {
 					t.Fatal(r.Err)
 				}
@@ -157,11 +158,11 @@ func TestGroupedBatchMatchesSingleLargeGroup(t *testing.T) {
 			for d := 1; d < 20; d++ {
 				qs = append(qs, Query{S: 0, T: uncertain.NodeID(d), K: 200, Estimator: est})
 			}
-			for i, res := range batch.EstimateBatch(qs) {
+			for i, res := range batch.EstimateBatch(context.Background(), qs) {
 				if res.Err != nil {
 					t.Fatal(res.Err)
 				}
-				want := single.Estimate(qs[i])
+				want := single.Estimate(context.Background(), qs[i])
 				if res.Reliability != want.Reliability {
 					t.Errorf("query %d: batch %v vs single %v", i, res.Reliability, want.Reliability)
 				}

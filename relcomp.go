@@ -51,6 +51,18 @@ type (
 
 	// Estimator estimates s-t reliability with a sample budget.
 	Estimator = core.Estimator
+	// Sampler is an open incremental estimation session for one (s, t)
+	// query: Advance draws further samples, Snapshot reports the running
+	// estimate, sample count, and confidence half-width.
+	Sampler = core.Sampler
+	// SampleSnapshot is a Sampler's running state.
+	SampleSnapshot = core.SampleSnapshot
+	// AdaptiveOptions configures AdaptiveEstimate's stopping rules.
+	AdaptiveOptions = core.AdaptiveOptions
+	// AdaptiveResult reports an adaptive estimate and why it stopped.
+	AdaptiveResult = core.AdaptiveResult
+	// StopReason names the rule that ended an adaptive estimate.
+	StopReason = core.StopReason
 	// Pair is one s-t reliability query.
 	Pair = workload.Pair
 
@@ -158,7 +170,37 @@ func Dataset(name string, scale float64, seed uint64) (*Graph, error) {
 }
 
 // ConvergenceSweep runs the paper's variance-convergence procedure
-// (ρ_K = V_K/R_K < 0.001) for one estimator over a workload.
+// (ρ_K = V_K/R_K < 0.001) for one estimator over a workload, resuming
+// incremental samplers between sweep points instead of re-running every
+// point from K = 0.
 func ConvergenceSweep(est Estimator, pairs []Pair, cfg ConvergenceConfig) ConvergenceResult {
 	return convergence.Sweep(est, pairs, cfg)
+}
+
+// Stop reasons reported by AdaptiveEstimate and the engine's anytime
+// queries.
+const (
+	StopEps      = core.StopEps      // accuracy target reached
+	StopRho      = core.StopRho      // dispersion criterion fired
+	StopDeadline = core.StopDeadline // wall-clock deadline expired
+	StopMaxK     = core.StopMaxK     // sample budget exhausted
+	StopCanceled = core.StopCanceled // context canceled
+)
+
+// NewSampler opens an incremental estimation session for (s, t) on est:
+// the estimator's native sampler when it supports chunked advancement
+// (MC, PackMC, BFS Sharing, LP+, ProbTree — all bit-identical to their
+// one-shot Estimate at equal total samples), or a restart-doubling
+// adapter (RHH, RSS). At most one session per estimator instance may be
+// open at a time.
+func NewSampler(est Estimator, s, t NodeID) Sampler { return core.NewSampler(est, s, t) }
+
+// AdaptiveEstimate advances a sampler in geometrically growing chunks
+// until the relative 95% CI half-width reaches opts.Eps, the paper's
+// dispersion criterion fires, the deadline expires, or the budget
+// opts.MaxK is exhausted — anytime s-t reliability with a termination
+// report. With every stopping rule disabled the result is bit-identical
+// to a fixed-K Estimate at opts.MaxK.
+func AdaptiveEstimate(sp Sampler, opts AdaptiveOptions) AdaptiveResult {
+	return core.AdaptiveEstimate(sp, opts)
 }
