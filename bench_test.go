@@ -1,7 +1,7 @@
 package relcomp
 
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md §6 for the experiment index), plus kernel
+// evaluation (see DESIGN.md §7 for the experiment index), plus kernel
 // benchmarks of every estimator on every dataset (the per-sample cost that
 // Tables 9–14 report).
 //
@@ -231,6 +231,49 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkMixedKindBatch pushes a mixed-kind batch — top-k rankings,
+// plain s-t reliability, and single-source sweeps in one EstimateBatch
+// call — through the unified Request surface: the CI smoke for the
+// engine's (kind, source) grouping, where the s-t queries ride the
+// source-amortized traversals while the top-k and single-source requests
+// run as their own pooled units.
+func BenchmarkMixedKindBatch(b *testing.B) {
+	g, err := Dataset("lastFM", 0.1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := QueryPairs(g, 8, 2, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []Request
+	for _, src := range pairs {
+		reqs = append(reqs, Request{Kind: KindTopK, S: src.S, TopK: 10, K: 250})
+		reqs = append(reqs, Request{Kind: KindSingleSource, S: src.S, K: 250})
+		for _, dst := range pairs {
+			reqs = append(reqs, Request{S: src.S, T: dst.T, K: 250, Estimator: "BFSSharing"})
+		}
+	}
+	eng, err := NewEngine(g, EngineConfig{Workers: 8, MaxK: 250, Seed: 7, CacheSize: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // warm the pools; see BenchmarkEngineBatch
+		eng.EstimateBatch(context.Background(), reqs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range eng.EstimateBatch(context.Background(), reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "qps")
 }
 
 // BenchmarkEngineSerialized is the pre-engine baseline the server used to

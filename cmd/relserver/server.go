@@ -14,8 +14,18 @@ import (
 // server exposes reliability queries over a fixed uncertain graph as a
 // small JSON HTTP API:
 //
+//	POST /v1/query                             the unified typed query endpoint:
+//	     {"kind":"reliability|distance|topk|single_source|kterminal",
+//	      "s":0, "t":5, "k":1000, "d":3, "topk":10, "targets":[3,4],
+//	      "estimator":"RSS", "eps":0.01, "deadline_ms":50,
+//	      "evidence":{"include":[edgeID,...],"exclude":[...]}}
+//	     Per-kind response fields: "reliability" for the scalar kinds,
+//	     "reliabilities" (one value per node) for single_source,
+//	     "targets" ([{node, reliability}]) for topk.
+//	POST /v1/batch                             {"queries":[<query objects as above>]} — kinds may be mixed;
+//	     top-level "eps"/"deadline_ms" supply batch-wide defaults
 //	GET  /v1/graph                             graph statistics
-//	GET  /v1/estimators                        available estimator names
+//	GET  /v1/estimators                        available estimator names + query kinds
 //	GET  /v1/reliability?s=0&t=5&k=1000&estimator=RSS
 //	     (omit estimator= to let the engine route adaptively; add
 //	     eps=0.01 and/or deadline_ms=50 for anytime estimation — k
@@ -23,17 +33,17 @@ import (
 //	     maximum, and the response reports samples_used and stop_reason)
 //	GET  /v1/estimate                          alias of /v1/reliability
 //	GET  /v1/bounds?s=0&t=5                    analytic bounds + best path
-//	GET  /v1/topk?s=0&n=10&k=1000              top-n reliable targets
-//	POST /v1/batch                             {"queries":[{"s":..,"t":..,"k":..,"estimator":"..","eps":..,"deadline_ms":..}]}
-//	GET  /v1/engine/stats                      engine counters (cache, routing, latency, anytime savings)
+//	GET  /v1/topk?s=0&n=10&k=1000              alias of /v1/query with kind=topk
+//	GET  /v1/engine/stats                      engine counters (cache, routing, latency, anytime savings, kind mix)
 //
-// All query traffic goes through the concurrent batch query engine
-// (relcomp.Engine): per-estimator instance pools replace the old
-// per-estimator mutexes, so queries to the same estimator no longer
+// All query traffic — every kind — goes through the concurrent batch
+// query engine (relcomp.Engine): per-estimator instance pools replace the
+// old per-estimator mutexes, so queries to the same estimator no longer
 // serialize behind one in-flight request; batch requests amortize
-// per-source work; repeated queries hit the LRU result cache. Each
-// request's context is threaded into the engine, so a client disconnect
-// cancels its queued and anytime in-flight work.
+// per-source work; repeated queries hit the LRU result cache, which keys
+// the query kind and evidence set. Each request's context is threaded
+// into the engine, so a client disconnect cancels its queued and anytime
+// in-flight work.
 type server struct {
 	graph  *relcomp.Graph
 	engine *relcomp.Engine
@@ -63,6 +73,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/graph", s.handleGraph)
 	mux.HandleFunc("/v1/estimators", s.handleEstimators)
+	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/reliability", s.handleReliability)
 	mux.HandleFunc("/v1/estimate", s.handleReliability)
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
@@ -210,46 +221,214 @@ func (s *server) handleEstimators(w http.ResponseWriter, r *http.Request) {
 		"adaptive":   true, // omit estimator= and the engine routes per query
 		// Also accepted: the no-sampling analytic-bounds pseudo-estimator.
 		"pseudoEstimators": []string{relcomp.EngineBoundsName},
+		// The query kinds POST /v1/query and /v1/batch accept.
+		"kinds": relcomp.QueryKinds(),
 	})
 }
 
-// resultJSON is the wire form of one engine result. samples_used and
-// stop_reason report the anytime termination: how many of the k-sample
-// cap were actually drawn and which rule ("eps", "deadline", "max_k", ...)
-// ended sampling; stop_reason is empty for fixed-budget queries.
-type resultJSON struct {
-	S           int     `json:"s"`
-	T           int     `json:"t"`
-	K           int     `json:"k"`
-	Estimator   string  `json:"estimator"`
-	Reliability float64 `json:"reliability"`
-	Cached      bool    `json:"cached"`
-	TimeMs      float64 `json:"timeMs"`
-	SamplesUsed int     `json:"samples_used"`
-	StopReason  string  `json:"stop_reason,omitempty"`
-	Error       string  `json:"error,omitempty"`
+// targetJSON is one entry of a top-k ranking on the wire.
+type targetJSON struct {
+	Node        relcomp.NodeID `json:"node"`
+	Reliability float64        `json:"reliability"`
 }
 
-func toJSON(res relcomp.Result) resultJSON {
+// resultJSON is the wire form of one engine response. Exactly one payload
+// field is populated per kind: "reliability" for the scalar kinds
+// (reliability, distance, kterminal), "reliabilities" for single_source,
+// "targets" for topk. samples_used and stop_reason report the anytime
+// termination: how many of the k-sample cap were actually drawn and which
+// rule ("eps", "deadline", "max_k", "separated", ...) ended sampling;
+// stop_reason is empty for fixed-budget queries.
+type resultJSON struct {
+	Kind          string       `json:"kind"`
+	S             int          `json:"s"`
+	T             int          `json:"t"`
+	K             int          `json:"k"`
+	D             int          `json:"d,omitempty"`
+	TopK          int          `json:"topk,omitempty"`
+	Targets       []targetJSON `json:"targets,omitempty"`
+	Estimator     string       `json:"estimator"`
+	Reliability   float64      `json:"reliability"`
+	Reliabilities []float64    `json:"reliabilities,omitempty"`
+	Cached        bool         `json:"cached"`
+	TimeMs        float64      `json:"timeMs"`
+	SamplesUsed   int          `json:"samples_used"`
+	StopReason    string       `json:"stop_reason,omitempty"`
+	Error         string       `json:"error,omitempty"`
+}
+
+func toJSON(res relcomp.Response) resultJSON {
 	used := res.Used
 	if used == "" {
 		// Engine-rejected queries never resolve an estimator; echo the
 		// requested one so clients can still correlate failures.
-		used = res.Query.Estimator
+		used = res.Request.Estimator
+	}
+	kind := res.Request.Kind
+	if kind == "" {
+		kind = relcomp.KindReliability
 	}
 	out := resultJSON{
-		S: int(res.S), T: int(res.T), K: res.K,
-		Estimator:   used,
-		Reliability: res.Reliability,
-		Cached:      res.Cached,
-		TimeMs:      float64(res.Latency.Microseconds()) / 1000,
-		SamplesUsed: res.SamplesUsed,
-		StopReason:  res.StopReason,
+		Kind: string(kind),
+		S:    int(res.S), T: int(res.T), K: res.K,
+		D: res.D, TopK: res.Request.TopK,
+		Estimator:     used,
+		Reliability:   res.Reliability,
+		Reliabilities: res.Reliabilities,
+		Cached:        res.Cached,
+		TimeMs:        float64(res.Latency.Microseconds()) / 1000,
+		SamplesUsed:   res.SamplesUsed,
+		StopReason:    res.StopReason,
+	}
+	for _, tgt := range res.TopTargets {
+		out.Targets = append(out.Targets, targetJSON{tgt.Node, tgt.R})
 	}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 	}
 	return out
+}
+
+// queryJSON is the wire form of one Request, shared by POST /v1/query and
+// the items of POST /v1/batch. K, Eps, and DeadlineMs are pointers so an
+// omitted field (defaulted) is distinguishable from an explicit zero.
+type queryJSON struct {
+	Kind       string        `json:"kind"`
+	S          int           `json:"s"`
+	T          int           `json:"t"`
+	K          *int          `json:"k"`
+	D          int           `json:"d"`
+	TopK       int           `json:"topk"`
+	Targets    []int         `json:"targets"`
+	Estimator  string        `json:"estimator"`
+	Eps        *float64      `json:"eps"`
+	DeadlineMs *int          `json:"deadline_ms"`
+	Evidence   *evidenceJSON `json:"evidence"`
+}
+
+type evidenceJSON struct {
+	Include []int `json:"include"`
+	Exclude []int `json:"exclude"`
+}
+
+// checkEdge validates an edge id at int width, like checkNode for nodes.
+func (s *server) checkEdge(name string, v int) error {
+	if v < 0 || v >= s.graph.NumEdges() {
+		return fmt.Errorf("parameter %q: edge %d out of range [0,%d)", name, v, s.graph.NumEdges())
+	}
+	return nil
+}
+
+// needsTarget reports whether the kind reads the T field.
+func needsTarget(kind relcomp.QueryKind) bool {
+	return kind == "" || kind == relcomp.KindReliability || kind == relcomp.KindDistance
+}
+
+// buildRequest turns one wire query into an engine Request, validating
+// everything that must be checked at int width before the int32
+// conversions (node ids, target ids, evidence edge ids) and applying the
+// batch-wide eps/deadline defaults. Shape errors the engine can diagnose
+// itself (unknown kinds, negative d or k, missing targets) are left to
+// engine validation, whose errors the handlers surface as 400s.
+func (s *server) buildRequest(q queryJSON, defEps *float64, defDeadlineMs *int) (relcomp.Request, error) {
+	var req relcomp.Request
+	req.Kind = relcomp.QueryKind(q.Kind)
+	req.Estimator = q.Estimator
+	req.D = q.D
+	req.TopK = q.TopK
+
+	if err := s.checkNode("s", q.S); err != nil {
+		return req, err
+	}
+	req.S = relcomp.NodeID(q.S)
+	if needsTarget(req.Kind) {
+		if err := s.checkNode("t", q.T); err != nil {
+			return req, err
+		}
+		req.T = relcomp.NodeID(q.T)
+	}
+	for _, tgt := range q.Targets {
+		if err := s.checkNode("targets", tgt); err != nil {
+			return req, err
+		}
+		req.Targets = append(req.Targets, relcomp.NodeID(tgt))
+	}
+	if q.Evidence != nil {
+		for _, e := range q.Evidence.Include {
+			if err := s.checkEdge("evidence.include", e); err != nil {
+				return req, err
+			}
+			req.Evidence.Include = append(req.Evidence.Include, relcomp.EdgeID(e))
+		}
+		for _, e := range q.Evidence.Exclude {
+			if err := s.checkEdge("evidence.exclude", e); err != nil {
+				return req, err
+			}
+			req.Evidence.Exclude = append(req.Evidence.Exclude, relcomp.EdgeID(e))
+		}
+	}
+
+	eps := 0.0
+	if defEps != nil {
+		eps = *defEps
+	}
+	if q.Eps != nil {
+		eps = *q.Eps
+	}
+	if eps < 0 || eps >= 1 {
+		return req, fmt.Errorf("parameter \"eps\": %v outside [0, 1)", eps)
+	}
+	req.Eps = eps
+	deadlineMs := 0
+	if defDeadlineMs != nil {
+		deadlineMs = *defDeadlineMs
+	}
+	if q.DeadlineMs != nil {
+		deadlineMs = *q.DeadlineMs
+	}
+	if deadlineMs < 0 {
+		return req, fmt.Errorf("parameter \"deadline_ms\": %d must not be negative", deadlineMs)
+	}
+	req.Deadline = time.Duration(deadlineMs) * time.Millisecond
+
+	// Anytime queries default their cap to the engine maximum, like the
+	// GET endpoints; an explicit k always wins (and an explicit k:0 is
+	// rejected by the engine, not silently defaulted).
+	k := s.defaultK()
+	if eps > 0 || deadlineMs > 0 {
+		k = s.engine.MaxK()
+	}
+	if q.K != nil {
+		k = *q.K
+	}
+	req.K = k
+	return req, nil
+}
+
+// handleQuery is the unified typed query endpoint: every kind, one POST
+// body, per-kind response fields.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST required"})
+		return
+	}
+	var q queryJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&q); err != nil {
+		badRequest(w, "invalid JSON body: %v", err)
+		return
+	}
+	req, err := s.buildRequest(q, nil, nil)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	res := s.engine.Estimate(r.Context(), req)
+	if res.Err != nil {
+		badRequest(w, "%v", res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(res))
 }
 
 func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
@@ -299,22 +478,15 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toJSON(res))
 }
 
-// batchRequest is the POST /v1/batch body. K is a pointer so an omitted
-// budget (defaulted) is distinguishable from an explicit k:0 (rejected,
-// as on the single-query endpoint). Eps and DeadlineMs make a query
-// anytime, exactly as on /v1/reliability; the top-level pair supplies
-// batch-wide defaults that per-query fields override.
+// batchRequest is the POST /v1/batch body: a list of query objects in the
+// same wire shape as POST /v1/query — kinds may be mixed freely; the
+// engine groups them by (kind, source, parameters) so same-source work
+// still amortizes. The top-level Eps and DeadlineMs supply batch-wide
+// anytime defaults that per-query fields override.
 type batchRequest struct {
-	Eps        *float64 `json:"eps"`
-	DeadlineMs *int     `json:"deadline_ms"`
-	Queries    []struct {
-		S          int      `json:"s"`
-		T          int      `json:"t"`
-		K          *int     `json:"k"`
-		Estimator  string   `json:"estimator"`
-		Eps        *float64 `json:"eps"`
-		DeadlineMs *int     `json:"deadline_ms"`
-	} `json:"queries"`
+	Eps        *float64    `json:"eps"`
+	DeadlineMs *int        `json:"deadline_ms"`
+	Queries    []queryJSON `json:"queries"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -342,56 +514,26 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "batch of %d queries exceeds limit %d", len(req.Queries), maxBatchQueries)
 		return
 	}
-	// Range-check node ids at int width before the int32 NodeID
-	// conversion — a converted-then-validated id would silently truncate
-	// huge values onto a valid node instead of failing.
+	// Range-check node and edge ids at int width before the int32
+	// conversions — a converted-then-validated id would silently truncate
+	// huge values onto a valid id instead of failing.
 	out := make([]resultJSON, len(req.Queries))
 	failed := 0
-	queries := make([]relcomp.Query, 0, len(req.Queries))
+	queries := make([]relcomp.Request, 0, len(req.Queries))
 	engineIdx := make([]int, 0, len(req.Queries)) // out position per engine query
 	for i, q := range req.Queries {
-		eps := 0.0
-		if req.Eps != nil {
-			eps = *req.Eps
+		built, err := s.buildRequest(q, req.Eps, req.DeadlineMs)
+		kind := string(built.Kind)
+		if kind == "" {
+			kind = string(relcomp.KindReliability)
 		}
-		if q.Eps != nil {
-			eps = *q.Eps
-		}
-		deadlineMs := 0
-		if req.DeadlineMs != nil {
-			deadlineMs = *req.DeadlineMs
-		}
-		if q.DeadlineMs != nil {
-			deadlineMs = *q.DeadlineMs
-		}
-		// Anytime queries default their cap to the engine maximum, like
-		// the single-query endpoint.
-		k := s.defaultK()
-		if eps > 0 || deadlineMs > 0 {
-			k = s.engine.MaxK()
-		}
-		if q.K != nil {
-			k = *q.K
-		}
-		out[i] = resultJSON{S: q.S, T: q.T, K: k, Estimator: q.Estimator}
-		err := s.checkNode("s", q.S)
-		if err == nil {
-			err = s.checkNode("t", q.T)
-		}
-		if err == nil && deadlineMs < 0 {
-			err = fmt.Errorf("parameter \"deadline_ms\": %d must not be negative", deadlineMs)
-		}
+		out[i] = resultJSON{Kind: kind, S: q.S, T: q.T, K: built.K, D: q.D, TopK: q.TopK, Estimator: q.Estimator}
 		if err != nil {
 			out[i].Error = err.Error()
 			failed++
 			continue
 		}
-		queries = append(queries, relcomp.Query{
-			S: relcomp.NodeID(q.S), T: relcomp.NodeID(q.T),
-			K: k, Estimator: q.Estimator,
-			Eps:      eps,
-			Deadline: time.Duration(deadlineMs) * time.Millisecond,
-		})
+		queries = append(queries, built)
 		engineIdx = append(engineIdx, i)
 	}
 	start := time.Now()
@@ -447,6 +589,9 @@ func (s *server) handleBounds(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTopK is the GET alias of POST /v1/query with kind=topk: the same
+// engine Request, the same response shape, query parameters instead of a
+// body (s, n, k, and optionally estimator/eps/deadline_ms).
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	src, err := s.nodeParam(r, "s")
 	if err != nil {
@@ -458,34 +603,29 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "parameter \"n\" must be a positive integer")
 		return
 	}
-	k, err := s.samplesParam(r, false)
+	eps, err := epsParam(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	var top []relcomp.Reliability
-	start := time.Now()
-	err = relcomp.BorrowEstimator(s.engine, "BFSSharing", func(est relcomp.Estimator) error {
-		var err error
-		top, err = relcomp.TopKReliableTargets(est, s.graph, src, n, k)
-		return err
-	})
-	elapsed := time.Since(start)
+	deadline, err := deadlineParam(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	type entry struct {
-		Node        relcomp.NodeID `json:"node"`
-		Reliability float64        `json:"reliability"`
+	k, err := s.samplesParam(r, eps > 0 || deadline > 0)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
 	}
-	out := make([]entry, len(top))
-	for i, t := range top {
-		out[i] = entry{t.Node, t.R}
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"s": src, "k": k,
-		"targets": out,
-		"timeMs":  float64(elapsed.Microseconds()) / 1000,
+	res := s.engine.Estimate(r.Context(), relcomp.Request{
+		Kind: relcomp.KindTopK, S: src, TopK: n, K: k,
+		Estimator: r.URL.Query().Get("estimator"),
+		Eps:       eps, Deadline: deadline,
 	})
+	if res.Err != nil {
+		badRequest(w, "%v", res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(res))
 }

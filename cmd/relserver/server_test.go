@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -381,6 +382,153 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestQueryEndpointEveryKind: POST /v1/query accepts every kind and
+// returns the kind's own payload field.
+func TestQueryEndpointEveryKind(t *testing.T) {
+	h := testServer(t).handler()
+	cases := []struct {
+		body    string
+		payload string // response field the kind must populate
+	}{
+		{`{"kind":"reliability","s":0,"t":5,"k":200,"estimator":"MC"}`, "reliability"},
+		{`{"s":0,"t":5,"k":200}`, "reliability"}, // kind defaults to reliability
+		{`{"kind":"distance","s":0,"t":5,"d":3,"k":200}`, "reliability"},
+		{`{"kind":"topk","s":0,"topk":5,"k":200}`, "targets"},
+		{`{"kind":"single_source","s":0,"k":200}`, "reliabilities"},
+		{`{"kind":"kterminal","s":0,"targets":[3,4],"k":200}`, "reliability"},
+		{`{"kind":"reliability","s":0,"t":5,"k":200,"estimator":"MC","evidence":{"exclude":[0]}}`, "reliability"},
+	}
+	for _, c := range cases {
+		code, body := post(t, h, "/v1/query", c.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", c.body, code, body)
+		}
+		if _, ok := body[c.payload]; !ok {
+			t.Errorf("%s: response missing %q: %v", c.body, c.payload, body)
+		}
+		if body["kind"].(string) == "" {
+			t.Errorf("%s: response missing kind", c.body)
+		}
+	}
+	// single_source returns one value per node, source = 1.
+	_, body := post(t, h, "/v1/query", `{"kind":"single_source","s":0,"k":100}`)
+	rs := body["reliabilities"].([]interface{})
+	if len(rs) == 0 || rs[0].(float64) != 1 {
+		t.Errorf("single_source payload wrong: %d values, R(s,s)=%v", len(rs), rs[0])
+	}
+}
+
+// TestQueryEndpointRejects: unknown kinds and malformed shape parameters
+// are 400s, as are GETs.
+func TestQueryEndpointRejects(t *testing.T) {
+	h := testServer(t).handler()
+	bad := []string{
+		`{"kind":"bogus","s":0,"t":5,"k":100}`,                                      // unknown kind
+		`{"kind":"distance","s":0,"t":5,"k":100}`,                                   // d missing
+		`{"kind":"distance","s":0,"t":5,"d":-3,"k":100}`,                            // negative d
+		`{"kind":"reliability","s":0,"t":5,"k":-5}`,                                 // negative k
+		`{"kind":"topk","s":0,"k":100}`,                                             // topk missing
+		`{"kind":"topk","s":0,"topk":-2,"k":100}`,                                   // negative topk
+		`{"kind":"kterminal","s":0,"k":100}`,                                        // no targets
+		`{"kind":"kterminal","s":0,"targets":[99999],"k":5}`,                        // target range
+		`{"s":0,"t":5,"k":100,"evidence":{"include":[999999]}}`,                     // evidence range
+		`{"s":0,"t":5,"k":100,"estimator":"BFSSharing","evidence":{"exclude":[0]}}`, // index-based + evidence
+		`{bogus`, // malformed JSON
+	}
+	for _, body := range bad {
+		code, out := post(t, h, "/v1/query", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", body, code, out)
+		}
+		if out["error"] == "" {
+			t.Errorf("%s: no error message", body)
+		}
+	}
+	if code, _ := get(t, h, "/v1/query"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query: status %d, want 405", code)
+	}
+}
+
+// TestTopKAliasMatchesQueryEndpoint: GET /v1/topk is an alias of
+// POST /v1/query with kind=topk — identical ranking, identical shape.
+func TestTopKAliasMatchesQueryEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	_, alias := get(t, h, "/v1/topk?s=0&n=5&k=200")
+	_, unified := post(t, h, "/v1/query", `{"kind":"topk","s":0,"topk":5,"k":200}`)
+	if !reflect.DeepEqual(alias["targets"], unified["targets"]) {
+		t.Errorf("alias ranking %v != unified ranking %v", alias["targets"], unified["targets"])
+	}
+	if alias["kind"].(string) != "topk" {
+		t.Errorf("alias response kind %v", alias["kind"])
+	}
+	// The alias accepts anytime parameters too.
+	code, body := get(t, h, "/v1/topk?s=0&n=5&eps=0.3")
+	if code != http.StatusOK {
+		t.Fatalf("anytime alias: status %d body %v", code, body)
+	}
+	if body["stop_reason"].(string) == "" {
+		t.Error("anytime alias reported no stop_reason")
+	}
+}
+
+// TestBatchMixedKinds: one POST /v1/batch may mix every kind; results are
+// positionally aligned and carry per-kind payloads.
+func TestBatchMixedKinds(t *testing.T) {
+	h := testServer(t).handler()
+	code, out := post(t, h, "/v1/batch", `{"queries":[
+		{"s":0,"t":5,"k":200,"estimator":"MC"},
+		{"kind":"topk","s":0,"topk":3,"k":200},
+		{"kind":"single_source","s":1,"k":200},
+		{"kind":"distance","s":0,"t":5,"d":3,"k":200},
+		{"kind":"kterminal","s":0,"targets":[3,4],"k":200},
+		{"kind":"topk","s":0,"topk":3,"k":200}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %v", code, out)
+	}
+	if out["failed"].(float64) != 0 {
+		t.Fatalf("failures: %v", out)
+	}
+	results := out["results"].([]interface{})
+	if len(results) != 6 {
+		t.Fatalf("%d results", len(results))
+	}
+	kinds := []string{"reliability", "topk", "single_source", "distance", "kterminal", "topk"}
+	for i, raw := range results {
+		res := raw.(map[string]interface{})
+		if res["kind"].(string) != kinds[i] {
+			t.Errorf("result %d: kind %v, want %s", i, res["kind"], kinds[i])
+		}
+	}
+	if !reflect.DeepEqual(results[1].(map[string]interface{})["targets"],
+		results[5].(map[string]interface{})["targets"]) {
+		t.Error("duplicate top-k queries disagree")
+	}
+	if results[5].(map[string]interface{})["cached"] != true {
+		t.Error("duplicate top-k not deduplicated")
+	}
+	if rs := results[2].(map[string]interface{})["reliabilities"].([]interface{}); len(rs) == 0 {
+		t.Error("single_source batch result missing reliabilities")
+	}
+	// Partial failure: a bad kind fails its own slot only.
+	code, out = post(t, h, "/v1/batch", `{"queries":[
+		{"s":0,"t":5,"k":100,"estimator":"MC"},
+		{"kind":"bogus","s":0,"t":5,"k":100}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("partial batch: status %d", code)
+	}
+	if out["failed"].(float64) != 1 {
+		t.Errorf("failed = %v, want 1", out["failed"])
+	}
+	// Engine stats expose the kind mix.
+	_, stats := get(t, h, "/v1/engine/stats")
+	km, ok := stats["kinds"].(map[string]interface{})
+	if !ok || km["topk"].(float64) <= 0 {
+		t.Errorf("stats missing kind counters: %v", stats["kinds"])
+	}
 }
 
 // TestAnytimeReliability: eps turns the query anytime — the response

@@ -1,6 +1,7 @@
 package relcomp
 
 import (
+	"relcomp/internal/core"
 	"relcomp/internal/engine"
 )
 
@@ -20,8 +21,15 @@ import (
 // samplers under sequential stopping, spends only the samples each pair
 // needs, and reports SamplesUsed and StopReason per result. Engine
 // methods take a context.Context; cancellation fails queued work and
-// stops anytime queries between sample chunks. See cmd/relserver for the
-// HTTP surface and DESIGN.md §4–5 for the architecture.
+// stops anytime queries between sample chunks.
+//
+// Every query kind flows through the one typed Request union: plain s-t
+// reliability, distance-constrained reachability (Request.D), top-k
+// ranking (Request.TopK, with CI-separation early termination when Eps is
+// set), single-source, and k-terminal (Request.Targets) — each optionally
+// conditioned on per-request Evidence applied as a probability overlay.
+// See cmd/relserver for the HTTP surface and DESIGN.md §4–6 for the
+// architecture.
 
 type (
 	// Engine is the concurrent batch query engine; all methods are safe
@@ -30,21 +38,64 @@ type (
 	// EngineConfig configures NewEngine.
 	EngineConfig = engine.Config
 	// EngineStats is a snapshot of engine counters (cache hit/miss,
-	// per-estimator latency, routing decisions).
+	// per-estimator latency, routing decisions, per-kind traffic).
 	EngineStats = engine.Stats
 	// EngineEstimatorStats is one estimator's entry in
 	// EngineStats.Estimators.
 	EngineEstimatorStats = engine.EstimatorStats
-	// Query is one s-t reliability request; an empty Estimator field
-	// selects the estimator adaptively.
+
+	// Request is one typed query of the unified surface: Kind selects the
+	// query shape (s-t reliability, distance-constrained reachability,
+	// top-k ranking, single-source, k-terminal), Evidence conditions it
+	// on known edges, and Eps/Deadline make it anytime. The zero Kind is
+	// KindReliability, so a plain s-t literal keeps its meaning.
+	Request = engine.Request
+	// Response is the engine's answer to one Request, with exactly one
+	// per-kind payload populated (Reliability, Reliabilities, or
+	// TopTargets).
+	Response = engine.Response
+	// QueryKind names a Request's query kind.
+	QueryKind = engine.Kind
+	// Evidence conditions a Request on partial world knowledge: edges in
+	// Include definitely exist, edges in Exclude definitely do not. The
+	// engine applies it as a per-request probability overlay — no graph
+	// rebuild — and keys its result cache on the evidence set.
+	Evidence = engine.Evidence
+
+	// Query is the pre-union name of Request, kept as an alias.
 	Query = engine.Query
-	// Result is the engine's answer to one Query.
+	// Result is the pre-union name of Response, kept as an alias.
 	Result = engine.Result
 )
+
+// The query kinds of the unified Request surface.
+const (
+	// KindReliability is the paper's s-t reliability query R(s,t).
+	KindReliability = engine.KindReliability
+	// KindDistance is distance-constrained reachability R_d(s,t) with hop
+	// bound Request.D (Jin et al., PVLDB 2011).
+	KindDistance = engine.KindDistance
+	// KindTopK ranks the Request.TopK most reliable targets from s
+	// (Zhu et al., ICDM 2015).
+	KindTopK = engine.KindTopK
+	// KindSingleSource estimates the reliability of every node from s.
+	KindSingleSource = engine.KindSingleSource
+	// KindKTerminal estimates the probability that every Request.Targets
+	// node is reachable from s.
+	KindKTerminal = engine.KindKTerminal
+)
+
+// QueryKinds lists the kinds the engine accepts, in documentation order.
+func QueryKinds() []QueryKind { return engine.Kinds() }
 
 // EngineBoundsName is the pseudo-estimator name reported when the
 // analytic bounds answer a routed query without sampling.
 const EngineBoundsName = engine.BoundsName
+
+// StopSeparated is the stop reason of an anytime top-k request whose
+// ranking converged by CI separation (the k-th and (k+1)-th candidates'
+// confidence intervals no longer overlap).
+const StopSeparated = core.StopSeparated
 
 // NewEngine builds a concurrent batch query engine over g. Estimator
 // replicas are constructed lazily, so this is cheap even for the

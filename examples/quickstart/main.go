@@ -1,11 +1,13 @@
-// Quickstart: build a small uncertain graph by hand, then estimate the
-// s-t reliability the anytime way — give every estimator an accuracy
-// target ε instead of a raw sample count and let sequential stopping
-// decide how many samples each one actually needs — and compare against
-// the exact value (feasible here because the graph is tiny).
+// Quickstart: build a small uncertain graph by hand, then query it
+// through the unified typed Request surface — one engine, every query
+// kind: anytime s-t reliability, distance-constrained reachability,
+// top-k ranking with CI-separation early termination, single-source,
+// k-terminal, and conditioning on evidence — and compare the s-t answer
+// against the exact value (feasible here because the graph is tiny).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,24 +36,58 @@ func main() {
 	g := b.Build()
 	fmt.Printf("graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
 
-	// ε is the accuracy contract: stop as soon as the 95% CI relative
-	// half-width reaches 2%, or at the maxK cap, whichever comes first.
-	const s, t, eps, maxK = 0, 5, 0.02, 200000
-	exact, err := relcomp.ExactReliability(g, s, t)
+	// One engine serves every query kind: pooled estimator replicas, a
+	// result cache, adaptive routing, and anytime stopping.
+	const maxK = 200000
+	eng, err := relcomp.NewEngine(g, relcomp.EngineConfig{Seed: 42, MaxK: maxK, CacheSize: 1024})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exact R(%d,%d)      = %.6f\n\n", s, t, exact)
+	ctx := context.Background()
 
-	for _, est := range relcomp.Estimators(g, 42, maxK) {
-		res := relcomp.AdaptiveEstimate(
-			relcomp.NewSampler(est, s, t),
-			relcomp.AdaptiveOptions{Eps: eps, MaxK: maxK},
-		)
-		fmt.Printf("%-12s R(%d,%d) = %.6f   (error %+.4f, ±%.4f after %d samples, stop: %s)\n",
-			est.Name(), s, t, res.Estimate, res.Estimate-exact, res.HalfWidth, res.Samples, res.Reason)
+	// s-t reliability, the anytime way: Eps is the accuracy contract —
+	// stop as soon as the 95% CI relative half-width reaches 2%.
+	exact, err := relcomp.ExactReliability(g, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Estimate(ctx, relcomp.Request{S: 0, T: 5, K: maxK, Eps: 0.02})
+	fmt.Printf("exact   R(0,5) = %.6f\n", exact)
+	fmt.Printf("engine  R(0,5) = %.6f   (%s, %d samples, stop: %s)\n\n",
+		st.Reliability, st.Used, st.SamplesUsed, st.StopReason)
+
+	// Distance-constrained reachability: can 5 be reached from 0 within
+	// 2 hops? (No path that short exists, so R_2 = 0.)
+	for _, d := range []int{2, 3} {
+		res := eng.Estimate(ctx, relcomp.Request{Kind: relcomp.KindDistance, S: 0, T: 5, D: d, K: 20000})
+		fmt.Printf("R_%d(0,5) = %.4f   (within %d hops)\n", d, res.Reliability, d)
 	}
 
-	fmt.Println("\nEvery estimator stopped at its own convergence point: the anytime")
-	fmt.Println("runtime spends samples until the ε target is met, not a fixed K.")
+	// Top-k ranking with CI-separation early termination: sampling stops
+	// once the k-th and (k+1)-th candidates' intervals no longer overlap.
+	top := eng.Estimate(ctx, relcomp.Request{Kind: relcomp.KindTopK, S: 0, TopK: 3, K: maxK, Eps: 0.05})
+	fmt.Printf("\ntop-3 targets from node 0 (%d samples, stop: %s):\n", top.SamplesUsed, top.StopReason)
+	for i, t := range top.TopTargets {
+		fmt.Printf("  #%d node %d  R = %.4f\n", i+1, t.Node, t.R)
+	}
+
+	// Single-source: every node's reliability from 0 in one traversal.
+	ss := eng.Estimate(ctx, relcomp.Request{Kind: relcomp.KindSingleSource, S: 0, K: 20000})
+	fmt.Printf("\nsingle-source from node 0: %v...\n", ss.Reliabilities[:3])
+
+	// K-terminal: probability that BOTH 3 and 5 are reachable from 0.
+	kt := eng.Estimate(ctx, relcomp.Request{Kind: relcomp.KindKTerminal, S: 0,
+		Targets: []relcomp.NodeID{3, 5}, K: 20000})
+	fmt.Printf("R(0 -> {3,5}) = %.4f\n", kt.Reliability)
+
+	// Evidence: condition any kind on known edges, per request — no graph
+	// rebuild. Suppose we observed that the 0->1 link is down:
+	e01 := g.FindEdge(0, 1)
+	cond := eng.Estimate(ctx, relcomp.Request{S: 0, T: 5, K: 60000,
+		Evidence: relcomp.Evidence{Exclude: []relcomp.EdgeID{e01}}})
+	fmt.Printf("R(0,5 | edge 0->1 down) = %.4f   (vs %.4f unconditioned)\n",
+		cond.Reliability, st.Reliability)
+
+	fmt.Println("\nEvery kind flowed through one Request surface: pooled, cached,")
+	fmt.Println("and stopped adaptively — the same API cmd/relserver exposes over HTTP.")
 }

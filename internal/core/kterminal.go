@@ -113,6 +113,36 @@ func (kt *KTerminal) sampleOnce(s uncertain.NodeID) bool {
 	return false
 }
 
+// Sampler opens an incremental estimation session for the probability that
+// every target is reachable from s — KTerminal's analogue of the s-t
+// Sampler contract. The per-sample BFS consumes the random stream
+// sequentially, exactly like Estimate's loop, so Advance(a); Advance(b)
+// accumulates the hit count Estimate(s, a+b) would.
+func (kt *KTerminal) Sampler(s uncertain.NodeID) Sampler {
+	if err := CheckQuery(kt.g, s, s, 1); err != nil {
+		panic(err)
+	}
+	return &kterminalSampler{kt: kt, s: s}
+}
+
+type kterminalSampler struct {
+	kt      *KTerminal
+	s       uncertain.NodeID
+	n, hits int
+}
+
+func (x *kterminalSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	for i := 0; i < dk; i++ {
+		if x.kt.sampleOnce(x.s) {
+			x.hits++
+		}
+	}
+	x.n += dk
+}
+
+func (x *kterminalSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
 // MemoryBytes implements MemoryReporter.
 func (kt *KTerminal) MemoryBytes() int64 {
 	return kt.seen.bytes() + int64(cap(kt.queue))*4 + int64(len(kt.isTgt)) + int64(len(kt.targets))*4

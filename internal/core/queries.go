@@ -102,16 +102,24 @@ func TopKReliableTargets(est Estimator, g *uncertain.Graph, s uncertain.NodeID, 
 			}
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
+	sortReliabilities(all)
+	if len(all) > topK {
+		all = all[:topK]
+	}
+	return all, nil
+}
+
+// sortReliabilities orders a ranking by reliability descending, ties broken
+// by ascending NodeID. The stable sort plus the total tie-break make every
+// ranking deterministic: two nodes with equal estimates always appear in
+// NodeID order, whatever order the candidates were scanned in.
+func sortReliabilities(all []Reliability) {
+	sort.SliceStable(all, func(i, j int) bool {
 		if all[i].R != all[j].R {
 			return all[i].R > all[j].R
 		}
 		return all[i].Node < all[j].Node
 	})
-	if len(all) > topK {
-		all = all[:topK]
-	}
-	return all, nil
 }
 
 // DistanceConstrainedMC estimates the d-hop constrained reliability
@@ -202,3 +210,34 @@ func (dc *DistanceConstrainedMC) sampleOnce(s, t uncertain.NodeID) bool {
 func (dc *DistanceConstrainedMC) MemoryBytes() int64 {
 	return dc.mc.MemoryBytes() + int64(len(dc.dist))*4
 }
+
+// Sampler implements IncrementalEstimator. The per-sample BFS consumes the
+// random stream sequentially, exactly like Estimate's loop, so Advance(a);
+// Advance(b) accumulates the hit count Estimate(s, t, a+b) would.
+func (dc *DistanceConstrainedMC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(dc.mc.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	return &distanceSampler{dc: dc, s: s, t: t}
+}
+
+type distanceSampler struct {
+	dc      *DistanceConstrainedMC
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *distanceSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	for i := 0; i < dk; i++ {
+		if x.dc.sampleOnce(x.s, x.t) {
+			x.hits++
+		}
+	}
+	x.n += dk
+}
+
+func (x *distanceSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
+var _ IncrementalEstimator = (*DistanceConstrainedMC)(nil)

@@ -193,6 +193,10 @@ const (
 	StopMaxK StopReason = "max_k"
 	// StopCanceled: the context was canceled.
 	StopCanceled StopReason = "canceled"
+	// StopSeparated: a top-k query's ranking converged — the k-th and
+	// (k+1)-th candidates' confidence intervals no longer overlap, so more
+	// samples cannot change the answer set (see AdaptiveTopK).
+	StopSeparated StopReason = "separated"
 )
 
 // AdaptiveOptions configures AdaptiveEstimate.

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"relcomp/internal/uncertain"
+)
+
+// Anytime top-k reliability search: the sequential-stopping form of
+// TopKReliableTargets. A fixed-budget top-k draws the full K for every
+// candidate even when the ranking was already decided after a few hundred
+// samples; AdaptiveTopK instead advances one shared multi-target session
+// (BFS Sharing's or PackMC's AllSampler) in growing chunks and stops as
+// soon as the ranking is statistically settled — the CI-separation rule of
+// the top-k literature: once the k-th and (k+1)-th candidates' confidence
+// intervals are disjoint, no further sample can move a node across the
+// top-k boundary.
+
+// TopKResult reports an anytime top-k ranking and its termination.
+type TopKResult struct {
+	// Top is the ranking: up to topK candidates with positive estimates,
+	// ordered by reliability descending, ties broken by ascending NodeID.
+	Top []Reliability
+	// Samples is the number of shared samples the session drew.
+	Samples int
+	// Reason is the rule that ended the run (StopSeparated when the
+	// ranking converged early).
+	Reason StopReason
+}
+
+// AdaptiveTopK advances ms in geometrically growing chunks until the top-k
+// boundary separates — the k-th candidate's CI lower bound exceeds the
+// (k+1)-th candidate's CI upper bound, candidates ordered by point
+// estimate — or the budget opts.MaxK (or the sampler's cap), the deadline,
+// or the context ends the run. opts.Eps does not gate termination here
+// (separation is the top-k stopping rule); the prior/chunk schedule fields
+// are honored as in AdaptiveEstimate. With len(candidates) <= topK the
+// boundary is vacuous and the run stops at the MinK guard.
+func AdaptiveTopK(ms MultiSampler, candidates []uncertain.NodeID, topK int, opts AdaptiveOptions) TopKResult {
+	if opts.MaxK <= 0 {
+		panic(fmt.Sprintf("core: AdaptiveTopK budget %d must be positive", opts.MaxK))
+	}
+	if topK <= 0 {
+		panic(fmt.Sprintf("core: AdaptiveTopK topK %d must be positive", topK))
+	}
+	maxK := opts.MaxK
+	if c := ms.Cap(); c > 0 && c < maxK {
+		maxK = c
+	}
+	minK := opts.MinK
+	if minK <= 0 {
+		minK = 128
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = 256
+	}
+	if pc := priorChunk(opts.Prior, opts.Eps); pc > chunk {
+		chunk = pc
+	}
+	growth := opts.Growth
+	if growth <= 1 {
+		growth = 2
+	}
+	hasDeadline := !opts.Deadline.IsZero()
+
+	// order is reused across rounds: candidate indices sorted by estimate
+	// descending, NodeID ascending — the same total order the final
+	// ranking uses, so the boundary pair is well-defined under ties.
+	order := make([]int, len(candidates))
+	ests := make([]float64, len(candidates))
+	hws := make([]float64, len(candidates))
+	finish := func(reason StopReason) TopKResult {
+		var top []Reliability
+		for _, t := range candidates {
+			snap := ms.SnapshotOf(t)
+			if snap.Estimate > 0 {
+				top = append(top, Reliability{t, snap.Estimate})
+			}
+		}
+		sortReliabilities(top)
+		if len(top) > topK {
+			top = top[:topK]
+		}
+		return TopKResult{Top: top, Samples: ms.N(), Reason: reason}
+	}
+	separated := func() bool {
+		if len(candidates) <= topK {
+			return true // no boundary: every candidate is in the answer set
+		}
+		for i, t := range candidates {
+			snap := ms.SnapshotOf(t)
+			ests[i], hws[i] = snap.Estimate, snap.HalfWidth
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if ests[ia] != ests[ib] {
+				return ests[ia] > ests[ib]
+			}
+			return candidates[ia] < candidates[ib]
+		})
+		kth, next := order[topK-1], order[topK]
+		return ests[kth]-hws[kth] > ests[next]+hws[next]
+	}
+
+	start := time.Now()
+	for {
+		n := ms.N()
+		if n >= minK && separated() {
+			return finish(StopSeparated)
+		}
+		if n >= maxK {
+			return finish(StopMaxK)
+		}
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return finish(StopCanceled)
+		}
+		dk := chunk
+		if dk > maxK-n {
+			dk = maxK - n
+		}
+		if hasDeadline {
+			remaining := time.Until(opts.Deadline)
+			if remaining <= 0 {
+				return finish(StopDeadline)
+			}
+			if elapsed := time.Since(start); elapsed > 0 && n > 0 {
+				perSample := elapsed / time.Duration(n)
+				if perSample > 0 {
+					if affordable := int(remaining / perSample); affordable < dk {
+						dk = affordable
+					}
+				}
+			}
+			if dk < 1 {
+				dk = 1
+			}
+		}
+		ms.Advance(dk)
+		chunk = growChunk(chunk, growth)
+	}
+}

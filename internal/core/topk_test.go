@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"relcomp/internal/uncertain"
+)
+
+// tieGraph has two targets reachable with certainty (estimate exactly 1)
+// and one weaker target, so rankings exercise the tie-break.
+func tieGraph(t *testing.T) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(4)
+	b.MustAddEdge(0, 2, 1)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(0, 3, 0.3)
+	return b.Build()
+}
+
+// TestTopKTieBreakDeterministic: equal reliabilities rank by ascending
+// NodeID, on both the shared-traversal and the per-candidate paths.
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	g := tieGraph(t)
+	const k = 500
+	paths := map[string]Estimator{
+		"source-estimator": NewBFSSharing(g, 42, k),
+		"per-candidate":    NewMC(g, 42),
+	}
+	for name, est := range paths {
+		top, err := TopKReliableTargets(est, g, 0, 3, k)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(top) != 3 {
+			t.Fatalf("%s: %d results", name, len(top))
+		}
+		if top[0].Node != 1 || top[1].Node != 2 {
+			t.Errorf("%s: tied nodes ranked [%d, %d], want [1, 2]", name, top[0].Node, top[1].Node)
+		}
+		if top[0].R != 1 || top[1].R != 1 {
+			t.Errorf("%s: certain nodes estimated [%v, %v], want 1", name, top[0].R, top[1].R)
+		}
+		if top[2].Node != 3 {
+			t.Errorf("%s: weak node ranked %d", name, top[2].Node)
+		}
+	}
+}
+
+// TestAdaptiveTopKSeparates: a clearly separated ranking terminates by CI
+// separation well under the budget, agreeing with the full-budget ranking.
+func TestAdaptiveTopKSeparates(t *testing.T) {
+	b := uncertain.NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.9)
+	b.MustAddEdge(0, 2, 0.5)
+	b.MustAddEdge(0, 3, 0.1)
+	g := b.Build()
+	const maxK = 20000
+	candidates := []uncertain.NodeID{1, 2, 3}
+
+	full := NewBFSSharing(g, 7, maxK)
+	want, err := TopKReliableTargets(full, g, 0, 2, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bs := NewBFSSharing(g, 7, maxK)
+	res := AdaptiveTopK(bs.AllSampler(0), candidates, 2, AdaptiveOptions{Eps: 0.05, MaxK: maxK})
+	if res.Reason != StopSeparated {
+		t.Fatalf("reason %q, want %q", res.Reason, StopSeparated)
+	}
+	if res.Samples >= maxK {
+		t.Fatalf("no early termination: %d of %d samples", res.Samples, maxK)
+	}
+	if len(res.Top) != len(want) {
+		t.Fatalf("ranking size %d, want %d", len(res.Top), len(want))
+	}
+	for i := range want {
+		if res.Top[i].Node != want[i].Node {
+			t.Errorf("rank %d: node %d, want %d", i, res.Top[i].Node, want[i].Node)
+		}
+	}
+}
+
+// TestAdaptiveTopKBudgetExhaustion: an inseparable tie runs to the budget
+// and reports max_k.
+func TestAdaptiveTopKBudgetExhaustion(t *testing.T) {
+	g := tieGraph(t) // nodes 1 and 2 are exactly tied at 1.0
+	const maxK = 1024
+	bs := NewBFSSharing(g, 3, maxK)
+	res := AdaptiveTopK(bs.AllSampler(0), []uncertain.NodeID{1, 2, 3}, 1, AdaptiveOptions{Eps: 0.05, MaxK: maxK})
+	if res.Reason != StopMaxK {
+		t.Fatalf("tied boundary stopped with %q, want %q", res.Reason, StopMaxK)
+	}
+	if res.Samples != maxK {
+		t.Errorf("drew %d of %d", res.Samples, maxK)
+	}
+	if len(res.Top) != 1 || res.Top[0].Node != 1 {
+		t.Errorf("tie resolved to %+v, want node 1 by NodeID order", res.Top)
+	}
+}
+
+// TestDistanceSamplerMatchesEstimate: chunked advancement accumulates
+// exactly the fixed-K estimate's hit count.
+func TestDistanceSamplerMatchesEstimate(t *testing.T) {
+	g := tieGraph(t)
+	for _, chunks := range [][]int{{400}, {100, 300}, {1, 99, 150, 150}} {
+		total := 0
+		for _, c := range chunks {
+			total += c
+		}
+		want := NewDistanceConstrainedMC(g, 99, 2).Estimate(0, 3, total)
+		sp := NewDistanceConstrainedMC(g, 99, 2).Sampler(0, 3)
+		for _, c := range chunks {
+			sp.Advance(c)
+		}
+		snap := sp.Snapshot()
+		if snap.N != total || snap.Estimate != want {
+			t.Errorf("chunks %v: sampler %v after %d, Estimate %v", chunks, snap.Estimate, snap.N, want)
+		}
+	}
+}
+
+// TestKTerminalSamplerMatchesEstimate: same contract for the k-terminal
+// session.
+func TestKTerminalSamplerMatchesEstimate(t *testing.T) {
+	g := tieGraph(t)
+	targets := []uncertain.NodeID{1, 3}
+	for _, chunks := range [][]int{{500}, {200, 300}, {7, 493}} {
+		total := 0
+		for _, c := range chunks {
+			total += c
+		}
+		ref, err := NewKTerminal(g, 123, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Estimate(0, total)
+		kt, err := NewKTerminal(g, 123, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := kt.Sampler(0)
+		for _, c := range chunks {
+			sp.Advance(c)
+		}
+		snap := sp.Snapshot()
+		if snap.N != total || snap.Estimate != want {
+			t.Errorf("chunks %v: sampler %v after %d, Estimate %v", chunks, snap.Estimate, snap.N, want)
+		}
+	}
+}

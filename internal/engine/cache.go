@@ -29,6 +29,17 @@ type cacheKey struct {
 	// schedule; the bounds-derived seed for routed anytime queries.
 	chunk int
 	prior float64
+	// The request-union dimensions: all zero for a plain s-t reliability
+	// query (so pre-union keys are unchanged). kind separates the query
+	// kinds, d and topk carry the distance bound and ranking size, and
+	// targets/evidence are 128-bit set fingerprints (see fingerprintIDs) —
+	// a k-terminal target set or an evidence overlay is part of a query's
+	// identity, so answers under different sets never alias.
+	kind     Kind
+	d        int
+	topk     int
+	targets  [2]uint64
+	evidence [2]uint64
 }
 
 // lruCache is a bounded least-recently-used cache with hit/miss

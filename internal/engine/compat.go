@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"hash/fnv"
+
+	"relcomp/internal/uncertain"
+)
+
+// Legacy-compatibility seeding. The engine derives every sampling stream
+// from Config.Seed through the splitmix64 finalizer chains replicaSeed and
+// querySeed, so an engine-served query draws a different stream than a
+// hand-constructed estimator seeded with the same raw value. Both chains
+// are bijections on uint64, which makes them invertible: CompatReplicaSeed
+// and CompatQuerySeed return the Config.Seed for which the engine's
+// derived seed equals a caller-chosen raw seed. This is the bridge that
+// lets the legacy relcomp query helpers (SingleSourceReliability,
+// KTerminalReliability, ...) route through the engine's pooled machinery
+// while returning bit-identical values to their pre-engine
+// implementations — and what the equivalence tests assert with.
+
+// unmix64 inverts mix64 (the splitmix64 finalizer): each xor-shift and
+// odd-constant multiply is individually invertible, applied in reverse.
+func unmix64(z uint64) uint64 {
+	z = z ^ (z >> 31) ^ (z >> 62)
+	z *= 0x319642b2d24d8ec3 // modular inverse of 0x94d049bb133111eb
+	z = z ^ (z >> 27) ^ (z >> 54)
+	z *= 0x96de1b173f119089 // modular inverse of 0xbf58476d1ce4e5b9
+	z = z ^ (z >> 30) ^ (z >> 60)
+	return z
+}
+
+// nameHash is the FNV-1a fold replicaSeed applies to the estimator name.
+func nameHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// CompatReplicaSeed returns the Config.Seed for which the engine's replica
+// construction seed for the named estimator equals raw — i.e.
+// replicaSeed(CompatReplicaSeed(name, raw), name) == raw. Use it to make a
+// pooled index-based estimator (whose values depend only on its
+// construction seed) reproduce a hand-built instance bit for bit.
+func CompatReplicaSeed(name string, raw uint64) uint64 {
+	return unmix64(raw) ^ nameHash(name)
+}
+
+// CompatQuerySeed returns the Config.Seed for which the engine's per-query
+// stream seed for (name, s, t, k) equals raw — i.e.
+// querySeed(CompatQuerySeed(...), name, s, t, k) == raw. Use it to make an
+// engine-served sampling query reproduce a hand-seeded estimator's
+// Estimate bit for bit.
+func CompatQuerySeed(name string, s, t uncertain.NodeID, k int, raw uint64) uint64 {
+	z := unmix64(raw) - 0x94d049bb133111eb*uint64(k)
+	z = unmix64(z) - 0xbf58476d1ce4e5b9*uint64(t)
+	z = unmix64(z) - 0x9e3779b97f4a7c15*uint64(s)
+	return unmix64(z) ^ nameHash(name)
+}
+
+// CompatRequestSeed returns the Config.Seed for which the engine's
+// sampling-stream seed for the given request (estimator resolved to the
+// kind's default when unnamed) equals raw — the request-level form of
+// CompatQuerySeed the legacy relcomp helpers use. For the kinds whose
+// values depend on an index construction seed instead (BFS Sharing
+// single-source/top-k), use CompatReplicaSeed.
+func CompatRequestSeed(q Request, raw uint64) uint64 {
+	name := kindEstimatorFor(q)
+	switch q.kind() {
+	case KindReliability, KindDistance:
+		return CompatQuerySeed(name, q.S, q.T, q.K, raw)
+	default: // source-rooted kinds seed target-less
+		return CompatQuerySeed(name, q.S, q.S, q.K, raw)
+	}
+}

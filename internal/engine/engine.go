@@ -3,6 +3,15 @@
 // traffic at production concurrency, which the estimators themselves
 // cannot: each keeps per-instance scratch state and is not goroutine-safe.
 //
+// Queries arrive through one typed Request union (request.go): plain s-t
+// reliability, distance-constrained reachability (Request.D), top-k
+// ranking (Request.TopK), single-source, and k-terminal (Request.Targets)
+// — each optionally conditioned on per-request Evidence applied as a
+// probability overlay over the shared graph. Every kind is served by the
+// same machinery: pooled replicas, the result cache (keyed on the full
+// request identity including kind and evidence), anytime stopping, and
+// batch grouping (kinds.go).
+//
 // The engine combines four mechanisms:
 //
 //   - Estimator pooling: per-estimator pools of replica instances (same
@@ -106,56 +115,8 @@ type Config struct {
 	HardWidth float64
 }
 
-// Query is one s-t reliability request.
-type Query struct {
-	S, T uncertain.NodeID
-	// K is the sample budget: the exact count drawn for a fixed query,
-	// the cap for an anytime one (Eps or Deadline set).
-	K int
-	// Estimator names the method to use; empty selects adaptively, and
-	// BoundsName requests the no-sampling analytic answer.
-	Estimator string
-	// Eps, when positive, turns the query anytime: sampling stops once
-	// the estimate's 95% CI relative half-width reaches Eps (with a small
-	// absolute floor so unreachable pairs terminate), or when K samples
-	// have been drawn, whichever comes first. Must be in [0, 1).
-	Eps float64
-	// Deadline, when positive, bounds the query's sampling wall-clock
-	// time; the estimate so far is returned when it expires. Combined
-	// with a context deadline, the earlier one wins.
-	Deadline time.Duration
-}
-
-// anytime reports whether the query asks for early stopping rather than
-// an exact fixed budget.
-func (q Query) anytime() bool { return q.Eps > 0 || q.Deadline > 0 }
-
-// Result is the engine's answer to one Query.
-type Result struct {
-	Query
-	// Used is the estimator that produced the value (BoundsName when the
-	// analytic bounds answered a routed query outright).
-	Used        string
-	Reliability float64
-	// Cached reports the value was reused rather than computed: an LRU
-	// result-cache hit, or an intra-batch duplicate answered by the
-	// first copy's computation (counted in Stats.DedupedQueries).
-	Cached bool
-	// Latency covers routing plus estimation for single Estimate calls;
-	// batch results report each query's estimation (or amortized
-	// traversal) share, with the parallel routing phase excluded.
-	Latency time.Duration
-	// SamplesUsed is the number of samples actually drawn: K for a fixed
-	// query, possibly fewer for an anytime one, 0 for bounds-answered and
-	// rejected queries. Cached results report the sample count of the
-	// computation that filled the cache.
-	SamplesUsed int
-	// StopReason reports the rule that ended an anytime query's sampling
-	// ("eps", "rho", "deadline", "max_k", "canceled"); empty for fixed,
-	// bounds-answered, and rejected queries.
-	StopReason string
-	Err        error
-}
+// Query and Result — the typed Request union and its Response — are
+// defined in request.go; the names Query and Result remain as aliases.
 
 // Engine is the concurrent batch query engine. All methods are safe for
 // concurrent use.
@@ -166,6 +127,14 @@ type Engine struct {
 	pools  map[string]*pool
 	cache  *lruCache[cacheVal]
 	router *router
+	// overlays memoizes evidence-conditioned probability overlays of g
+	// (kinds.go), so repeated requests under one evidence set pay the
+	// O(m) overlay build once.
+	overlays *lruCache[*uncertain.Graph]
+	// distPools holds the per-hop-bound replica pools of KindDistance,
+	// created on first demand per d.
+	distMu    sync.Mutex
+	distPools map[int]*pool
 
 	mu      sync.Mutex
 	queries uint64
@@ -179,13 +148,19 @@ type Engine struct {
 	samplesBudget  uint64
 	samplesDrawn   uint64
 	perEst         map[string]*estCounter
+	perKind        map[Kind]uint64
 }
 
-// cacheVal is the result cache's stored answer: the reliability plus the
+// cacheVal is the result cache's stored answer: the per-kind payload (the
+// scalar reliability, a single-source vector, or a top-k ranking) plus the
 // anytime termination report, so cached replays carry the same metadata
-// as the computation that filled the entry.
+// as the computation that filled the entry. The slice payloads are shared
+// between the cache and every hit that returns them; Response documents
+// them as read-only.
 type cacheVal struct {
 	r       float64
+	all     []float64
+	top     []core.Reliability
 	samples int
 	reason  string
 }
@@ -209,11 +184,14 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 		cfg.Estimators = DefaultEstimators()
 	}
 	e := &Engine{
-		g:      g,
-		cfg:    cfg,
-		pools:  make(map[string]*pool, len(cfg.Estimators)),
-		cache:  newLRUCache[cacheVal](cfg.CacheSize),
-		perEst: make(map[string]*estCounter, len(cfg.Estimators)),
+		g:         g,
+		cfg:       cfg,
+		pools:     make(map[string]*pool, len(cfg.Estimators)),
+		cache:     newLRUCache[cacheVal](cfg.CacheSize),
+		overlays:  newLRUCache[*uncertain.Graph](overlayCacheCap),
+		distPools: make(map[int]*pool),
+		perEst:    make(map[string]*estCounter, len(cfg.Estimators)),
+		perKind:   make(map[Kind]uint64),
 	}
 	for _, name := range cfg.Estimators {
 		if _, dup := e.pools[name]; dup {
@@ -329,19 +307,12 @@ func (e *Engine) Graph() *uncertain.Graph { return e.g }
 // MaxK returns the per-query sample budget cap.
 func (e *Engine) MaxK() int { return e.cfg.MaxK }
 
-// validate rejects malformed queries before they can reach an estimator
-// (which would panic).
-func (e *Engine) validate(q Query) error {
-	if q.Estimator == BoundsName {
-		// The bounds path draws no samples, so K is unused and a zero
-		// value must not be an error; only the endpoints matter.
-		return core.CheckQuery(e.g, q.S, q.T, 1)
-	}
-	if err := core.CheckQuery(e.g, q.S, q.T, q.K); err != nil {
+// validate rejects malformed requests before they can reach an estimator
+// (which would panic): the shared budget/stopping/evidence rules, then the
+// kind's own shape.
+func (e *Engine) validate(q Request) error {
+	if err := validateEvidence(e.g, q.Evidence); err != nil {
 		return err
-	}
-	if q.K > e.cfg.MaxK {
-		return fmt.Errorf("engine: sample budget %d exceeds engine maximum %d", q.K, e.cfg.MaxK)
 	}
 	if q.Eps < 0 || q.Eps >= 1 {
 		return fmt.Errorf("engine: accuracy target eps %v outside [0, 1)", q.Eps)
@@ -349,12 +320,95 @@ func (e *Engine) validate(q Query) error {
 	if q.Deadline < 0 {
 		return fmt.Errorf("engine: negative deadline %v", q.Deadline)
 	}
-	if q.Estimator != "" && q.Estimator != BoundsName {
-		if _, ok := e.pools[q.Estimator]; !ok {
-			return fmt.Errorf("engine: unknown estimator %q", q.Estimator)
+	checkBudget := func(t uncertain.NodeID) error {
+		if err := core.CheckQuery(e.g, q.S, t, q.K); err != nil {
+			return err
 		}
+		if q.K > e.cfg.MaxK {
+			return fmt.Errorf("engine: sample budget %d exceeds engine maximum %d", q.K, e.cfg.MaxK)
+		}
+		return nil
 	}
-	return nil
+	switch q.kind() {
+	case KindReliability:
+		if q.Estimator == BoundsName {
+			if !q.Evidence.Empty() {
+				return fmt.Errorf("engine: the %q pseudo-estimator is computed on the base graph and cannot honor evidence", BoundsName)
+			}
+			// The bounds path draws no samples, so K is unused and a zero
+			// value must not be an error; only the endpoints matter.
+			return core.CheckQuery(e.g, q.S, q.T, 1)
+		}
+		if err := checkBudget(q.T); err != nil {
+			return err
+		}
+		if !q.Evidence.Empty() {
+			if q.Estimator != "" && !evidenceCapable(q.Estimator) {
+				return fmt.Errorf("engine: estimator %q cannot honor per-request evidence (index-based; use MC or PackMC, or omit the estimator)", q.Estimator)
+			}
+			return nil
+		}
+		if q.Estimator != "" {
+			if _, ok := e.pools[q.Estimator]; !ok {
+				return fmt.Errorf("engine: unknown estimator %q", q.Estimator)
+			}
+		}
+		return nil
+	case KindDistance:
+		if q.D < 1 {
+			return fmt.Errorf("engine: distance bound d %d must be >= 1", q.D)
+		}
+		if q.Estimator != "" && q.Estimator != "MC" {
+			return fmt.Errorf("engine: distance queries run on the MC family; estimator %q not supported", q.Estimator)
+		}
+		return checkBudget(q.T)
+	case KindTopK, KindSingleSource:
+		if q.kind() == KindTopK && q.TopK < 1 {
+			return fmt.Errorf("engine: topk %d must be >= 1", q.TopK)
+		}
+		switch {
+		case q.Estimator == "":
+		case !q.Evidence.Empty():
+			if q.Estimator != packName {
+				return fmt.Errorf("engine: estimator %q cannot honor per-request evidence for %s (use PackMC or omit the estimator)", q.Estimator, q.kind())
+			}
+		case q.Estimator != sharedName && q.Estimator != packName:
+			return fmt.Errorf("engine: %s queries need a multi-target estimator (BFSSharing or PackMC); %q is not one", q.kind(), q.Estimator)
+		default:
+			if _, ok := e.pools[q.Estimator]; !ok {
+				return fmt.Errorf("engine: estimator %q not configured", q.Estimator)
+			}
+		}
+		if q.Evidence.Empty() {
+			if _, ok := e.pools[e.kindEstimator(q)]; !ok {
+				return fmt.Errorf("engine: estimator %q not configured", e.kindEstimator(q))
+			}
+		}
+		return checkBudget(q.S)
+	case KindKTerminal:
+		if len(q.Targets) == 0 {
+			return fmt.Errorf("engine: k-terminal query needs at least one target")
+		}
+		n := uncertain.NodeID(e.g.NumNodes())
+		for _, t := range q.Targets {
+			if t < 0 || t >= n {
+				return fmt.Errorf("engine: k-terminal target %d out of range [0,%d)", t, n)
+			}
+		}
+		if q.Estimator != "" && q.Estimator != "MC" {
+			return fmt.Errorf("engine: k-terminal queries run on the MC family; estimator %q not supported", q.Estimator)
+		}
+		return checkBudget(q.S)
+	default:
+		return fmt.Errorf("engine: unknown query kind %q", q.Kind)
+	}
+}
+
+// noteKind counts one answered request per kind for Stats.
+func (e *Engine) noteKind(k Kind) {
+	e.mu.Lock()
+	e.perKind[k]++
+	e.mu.Unlock()
 }
 
 // Estimate answers one query: route if unnamed, consult the cache, then
@@ -363,17 +417,22 @@ func (e *Engine) validate(q Query) error {
 // the query up front and stops an anytime query between sample chunks
 // (fixed-budget estimates are not interruptible once started). A context
 // deadline acts like Query.Deadline; the earlier of the two wins.
-func (e *Engine) Estimate(ctx context.Context, q Query) Result {
+func (e *Engine) Estimate(ctx context.Context, q Request) Response {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := Result{Query: q}
+	res := Response{Request: q}
 	if err := e.validate(q); err != nil {
 		res.Err = err
 		return res
 	}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
+		return res
+	}
+	e.noteKind(q.kind())
+	if !q.plainReliability() {
+		e.runKind(ctx, q, &res)
 		return res
 	}
 	start := time.Now()
@@ -582,6 +641,14 @@ type workUnit struct {
 	eps      float64
 	deadline time.Duration
 	idxs     []int // query indices the unit answers
+	// isKind marks a non-plain request unit (any kind other than plain
+	// s-t reliability, or any request under evidence): one runKind call
+	// answers the representative query and fans out to duplicates. Such
+	// units are already deduped on the full request identity, so mixed
+	// batches group by (kind, source, parameters) — a top-k and a
+	// single-source request of one source are distinct units, while
+	// identical requests collapse to one computation.
+	isKind bool
 }
 
 // groupKey identifies one batch work unit: the cache key (whose target is
@@ -645,14 +712,22 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := make([]Result, len(queries))
+	results := make([]Response, len(queries))
 	names := make([]string, len(queries))
 	decisions := make([]decision, len(queries))
 	routed := newOrderedGroups[cacheKey]() // adaptive queries by (s, t)
+	kinds := newOrderedGroups[groupKey]()  // non-plain requests by identity
 	for i, q := range queries {
-		results[i].Query = q
+		results[i].Request = q
 		if err := e.validate(q); err != nil {
 			results[i].Err = err
+			continue
+		}
+		e.noteKind(q.kind())
+		if !q.plainReliability() {
+			// Non-plain requests dedupe on their full identity; each
+			// distinct request is one work unit, answered by runKind.
+			kinds.add(groupKey{key: e.kindKey(q, e.kindEstimator(q)), deadline: q.Deadline}, i)
 			continue
 		}
 		if q.Estimator == "" || q.Estimator == BoundsName {
@@ -725,7 +800,7 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 			}, i)
 		}
 	}
-	units := make([]workUnit, 0, len(single.order)+len(shared.order))
+	units := make([]workUnit, 0, len(single.order)+len(shared.order)+len(kinds.order))
 	asUnit := func(gk groupKey, idxs []int) workUnit {
 		return workUnit{
 			est: gk.key.est, s: gk.key.s, k: gk.key.k,
@@ -741,12 +816,19 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 	for _, key := range shared.order {
 		units = append(units, asUnit(key, shared.groups[key]))
 	}
+	// Non-plain kind units parallelize like any other; their estimator
+	// pools (BFS Sharing, PackMC, per-d distance) are Workers-deep.
+	for _, key := range kinds.order {
+		u := asUnit(key, kinds.groups[key])
+		u.isKind = true
+		units = append(units, u)
+	}
 	// Units of single-instance pools (ParallelMC) run last: placed
 	// earlier they would pile all workers up blocked on the one replica
 	// while runnable units wait in the queue.
 	var unconstrained, constrained []workUnit
 	for _, u := range units {
-		if e.pools[u.est].capacity == 1 {
+		if p := e.pools[u.est]; p != nil && p.capacity == 1 {
 			constrained = append(constrained, u)
 		} else {
 			unconstrained = append(unconstrained, u)
@@ -762,6 +844,29 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 			}
 			return
 		}
+		if u.isKind {
+			first := u.idxs[0]
+			e.runKind(ctx, queries[first], &results[first])
+			for _, i := range u.idxs[1:] {
+				// Duplicates reuse the computed value, per-kind payloads
+				// included (the slices are shared, read-only). An errored
+				// representative (context cancellation) propagates its
+				// error without posing as a cache hit.
+				results[i].Used = results[first].Used
+				results[i].Reliability = results[first].Reliability
+				results[i].Reliabilities = results[first].Reliabilities
+				results[i].TopTargets = results[first].TopTargets
+				results[i].SamplesUsed = results[first].SamplesUsed
+				results[i].StopReason = results[first].StopReason
+				results[i].Err = results[first].Err
+				if results[first].Err == nil {
+					results[i].Cached = true
+					e.noteDeduped()
+					e.record(results[first].Used, 0, true)
+				}
+			}
+			return
+		}
 		if groupable(u.est) {
 			e.runShared(ctx, u, queries, results)
 			return
@@ -770,15 +875,19 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 		e.runSingle(ctx, u.est, decisions[first], queries[first], &results[first])
 		for _, i := range u.idxs[1:] {
 			// Duplicates reuse the computed value — cache-hit semantics,
-			// whether or not the cache itself is enabled.
+			// whether or not the cache itself is enabled. An errored
+			// representative (context cancellation) propagates its error
+			// without posing as a cache hit.
 			results[i].Used = results[first].Used
 			results[i].Reliability = results[first].Reliability
 			results[i].SamplesUsed = results[first].SamplesUsed
 			results[i].StopReason = results[first].StopReason
 			results[i].Err = results[first].Err
-			results[i].Cached = true
-			e.noteDeduped()
-			e.record(u.est, 0, true)
+			if results[first].Err == nil {
+				results[i].Cached = true
+				e.noteDeduped()
+				e.record(u.est, 0, true)
+			}
 		}
 	})
 
@@ -900,9 +1009,11 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 			results[i].SamplesUsed = results[first].SamplesUsed
 			results[i].StopReason = results[first].StopReason
 			results[i].Err = results[first].Err
-			results[i].Cached = true
-			e.noteDeduped()
-			e.record(name, 0, true)
+			if results[first].Err == nil {
+				results[i].Cached = true
+				e.noteDeduped()
+				e.record(name, 0, true)
+			}
 		}
 	}
 	var missTargets []uncertain.NodeID
@@ -1060,6 +1171,15 @@ func (e *Engine) noteDeduped() {
 	e.mu.Unlock()
 }
 
+// perEstCap bounds the per-estimator stats map: the distance kind mints a
+// row per client-chosen hop bound ("MC(d<=7)"), so without a cap a client
+// sweeping hop bounds would grow Stats.Estimators without limit. Rows
+// beyond the cap accumulate under the overflow name.
+const (
+	perEstCap      = 256
+	perEstOverflow = "other"
+)
+
 // record accumulates per-estimator counters. Cached answers count as
 // queries but contribute no latency.
 func (e *Engine) record(name string, seconds float64, cached bool) {
@@ -1067,6 +1187,12 @@ func (e *Engine) record(name string, seconds float64, cached bool) {
 	defer e.mu.Unlock()
 	e.queries++
 	c := e.perEst[name]
+	if c == nil {
+		if len(e.perEst) >= perEstCap {
+			name = perEstOverflow
+			c = e.perEst[name]
+		}
+	}
 	if c == nil {
 		c = &estCounter{}
 		e.perEst[name] = c
@@ -1115,6 +1241,10 @@ type Stats struct {
 	AnytimeSamplesSaved uint64                    `json:"anytimeSamplesSaved"`
 	Workers             int                       `json:"workers"`
 	Estimators          map[string]EstimatorStats `json:"estimators"`
+	// Kinds counts accepted requests per query kind ("reliability",
+	// "distance", "topk", "single_source", "kterminal"), so operators see
+	// the workload mix the unified surface carries.
+	Kinds map[string]uint64 `json:"kinds"`
 }
 
 // Stats snapshots the engine's counters. The cache, router, and engine
@@ -1146,6 +1276,10 @@ func (e *Engine) Stats() Stats {
 		AnytimeSamplesSaved: e.samplesBudget - e.samplesDrawn,
 		Workers:             e.cfg.Workers,
 		Estimators:          make(map[string]EstimatorStats, len(e.perEst)),
+		Kinds:               make(map[string]uint64, len(e.perKind)),
+	}
+	for k, v := range e.perKind {
+		st.Kinds[string(k)] = v
 	}
 	for name, c := range e.perEst {
 		es := EstimatorStats{

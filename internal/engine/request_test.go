@@ -1,0 +1,462 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// requestGraph is a small bridge network with known structure, used where
+// exact per-node reasoning matters more than scale.
+func requestGraph(t testing.TB) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(6)
+	for _, e := range []uncertain.Edge{
+		{From: 0, To: 1, P: 0.9},
+		{From: 0, To: 2, P: 0.8},
+		{From: 1, To: 3, P: 0.7},
+		{From: 2, To: 4, P: 0.9},
+		{From: 1, To: 4, P: 0.5},
+		{From: 3, To: 5, P: 0.8},
+		{From: 4, To: 5, P: 0.7},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestEveryKindThroughEstimate: each kind of the union is accepted by
+// Estimate and fills exactly its own payload.
+func TestEveryKindThroughEstimate(t *testing.T) {
+	e := testEngine(t, Config{Workers: 2, MaxK: 400, Seed: 42, CacheSize: 64})
+	ctx := context.Background()
+
+	scalarKinds := []Request{
+		{Kind: KindReliability, S: 0, T: 5, K: 200, Estimator: "MC"},
+		{Kind: KindDistance, S: 0, T: 5, D: 3, K: 200},
+		{Kind: KindKTerminal, S: 0, Targets: []uncertain.NodeID{3, 4}, K: 200},
+	}
+	for _, q := range scalarKinds {
+		res := e.Estimate(ctx, q)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", q.kind(), res.Err)
+		}
+		if res.Reliability < 0 || res.Reliability > 1 {
+			t.Errorf("%s: reliability %v", q.kind(), res.Reliability)
+		}
+		if res.Reliabilities != nil || res.TopTargets != nil {
+			t.Errorf("%s: scalar kind filled a multi payload", q.kind())
+		}
+		if res.SamplesUsed != q.K {
+			t.Errorf("%s: fixed query drew %d of %d", q.kind(), res.SamplesUsed, q.K)
+		}
+	}
+
+	ss := e.Estimate(ctx, Request{Kind: KindSingleSource, S: 0, K: 200})
+	if ss.Err != nil {
+		t.Fatal(ss.Err)
+	}
+	if len(ss.Reliabilities) != e.Graph().NumNodes() {
+		t.Fatalf("single-source returned %d values for %d nodes", len(ss.Reliabilities), e.Graph().NumNodes())
+	}
+	if ss.Reliabilities[0] != 1 {
+		t.Errorf("single-source R(s,s) = %v", ss.Reliabilities[0])
+	}
+	if ss.Used != sharedName {
+		t.Errorf("single-source default estimator %q, want %q", ss.Used, sharedName)
+	}
+
+	tk := e.Estimate(ctx, Request{Kind: KindTopK, S: 0, TopK: 5, K: 200})
+	if tk.Err != nil {
+		t.Fatal(tk.Err)
+	}
+	if len(tk.TopTargets) == 0 || len(tk.TopTargets) > 5 {
+		t.Fatalf("topk returned %d targets", len(tk.TopTargets))
+	}
+	for i := 1; i < len(tk.TopTargets); i++ {
+		prev, cur := tk.TopTargets[i-1], tk.TopTargets[i]
+		if cur.R > prev.R || (cur.R == prev.R && cur.Node < prev.Node) {
+			t.Errorf("topk not sorted at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+}
+
+// TestKindDefaultsAndValidation: malformed kind requests are rejected
+// with errors, not panics.
+func TestKindDefaultsAndValidation(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1, MaxK: 200, Seed: 1})
+	bad := []Request{
+		{Kind: "bogus", S: 0, T: 5, K: 100},                                                                      // unknown kind
+		{Kind: KindDistance, S: 0, T: 5, K: 100},                                                                 // d missing
+		{Kind: KindDistance, S: 0, T: 5, D: -2, K: 100},                                                          // d negative
+		{Kind: KindDistance, S: 0, T: 5, D: 2, K: 100, Estimator: "RSS"},                                         // non-MC distance
+		{Kind: KindTopK, S: 0, K: 100},                                                                           // topk missing
+		{Kind: KindTopK, S: 0, TopK: -1, K: 100},                                                                 // topk negative
+		{Kind: KindTopK, S: 0, TopK: 3, K: 100, Estimator: "RSS"},                                                // not multi-target
+		{Kind: KindKTerminal, S: 0, K: 100},                                                                      // no targets
+		{Kind: KindKTerminal, S: 0, Targets: []uncertain.NodeID{999999}, K: 100},                                 // target range
+		{Kind: KindSingleSource, S: -4, K: 100},                                                                  // s range
+		{Kind: KindSingleSource, S: 0, K: 0},                                                                     // no budget
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Include: []uncertain.EdgeID{999999}}},                            // evidence range
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Include: []uncertain.EdgeID{1}, Exclude: []uncertain.EdgeID{1}}}, // contradiction
+		{S: 0, T: 5, K: 100, Estimator: "BFSSharing", Evidence: Evidence{Exclude: []uncertain.EdgeID{1}}},        // index-based + evidence
+		{S: 0, T: 5, K: 100, Estimator: BoundsName, Evidence: Evidence{Exclude: []uncertain.EdgeID{1}}},          // bounds + evidence
+	}
+	for _, q := range bad {
+		if res := e.Estimate(context.Background(), q); res.Err == nil {
+			t.Errorf("request %+v accepted", q)
+		}
+	}
+}
+
+// TestKindCaching: non-plain results are cached on the full request
+// identity — kind, parameters, and evidence all separate entries.
+func TestKindCaching(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1, MaxK: 300, Seed: 9, CacheSize: 128})
+	ctx := context.Background()
+	reqs := []Request{
+		{Kind: KindDistance, S: 0, T: 5, D: 2, K: 100},
+		{Kind: KindDistance, S: 0, T: 5, D: 3, K: 100}, // different d
+		{Kind: KindTopK, S: 0, TopK: 3, K: 100},
+		{Kind: KindTopK, S: 0, TopK: 4, K: 100}, // different topk
+		{Kind: KindSingleSource, S: 0, K: 100},
+		{Kind: KindKTerminal, S: 0, Targets: []uncertain.NodeID{3, 4}, K: 100},
+		{Kind: KindKTerminal, S: 0, Targets: []uncertain.NodeID{3, 5}, K: 100}, // different targets
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Exclude: []uncertain.EdgeID{0}}},
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Exclude: []uncertain.EdgeID{1}}}, // different evidence
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Include: []uncertain.EdgeID{0}}}, // include != exclude
+	}
+	first := make([]Response, len(reqs))
+	for i, q := range reqs {
+		first[i] = e.Estimate(ctx, q)
+		if first[i].Err != nil {
+			t.Fatalf("request %d: %v", i, first[i].Err)
+		}
+		if first[i].Cached {
+			t.Fatalf("request %d cached on first sight", i)
+		}
+	}
+	for i, q := range reqs {
+		res := e.Estimate(ctx, q)
+		if !res.Cached {
+			t.Errorf("request %d not cached on replay", i)
+		}
+		if res.Reliability != first[i].Reliability ||
+			!reflect.DeepEqual(res.Reliabilities, first[i].Reliabilities) ||
+			!reflect.DeepEqual(res.TopTargets, first[i].TopTargets) {
+			t.Errorf("request %d: cache changed the answer", i)
+		}
+		if res.SamplesUsed != first[i].SamplesUsed {
+			t.Errorf("request %d: cached samples %d != %d", i, res.SamplesUsed, first[i].SamplesUsed)
+		}
+	}
+}
+
+// TestMixedKindBatchMatchesSingle: a batch mixing every kind returns
+// positionally aligned results identical to sequential Estimate calls,
+// and deduplicates identical non-plain requests.
+func TestMixedKindBatchMatchesSingle(t *testing.T) {
+	mk := func() *Engine {
+		return testEngine(t, Config{Workers: 4, MaxK: 300, Seed: 77, CacheSize: 256})
+	}
+	batchEng, singleEng := mk(), mk()
+	ctx := context.Background()
+	reqs := []Request{
+		{S: 0, T: 5, K: 100, Estimator: "MC"},
+		{Kind: KindTopK, S: 0, TopK: 4, K: 150},
+		{Kind: KindSingleSource, S: 1, K: 100},
+		{Kind: KindDistance, S: 0, T: 6, D: 3, K: 100},
+		{Kind: KindKTerminal, S: 0, Targets: []uncertain.NodeID{4, 5}, K: 100},
+		{Kind: KindTopK, S: 0, TopK: 4, K: 150}, // duplicate of #1
+		{S: 2, T: 6, K: 100, Estimator: "BFSSharing"},
+		{S: 0, T: 5, K: 100, Evidence: Evidence{Exclude: []uncertain.EdgeID{2}}},
+	}
+	got := batchEng.EstimateBatch(ctx, reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(got), len(reqs))
+	}
+	for i, q := range reqs {
+		want := singleEng.Estimate(ctx, q)
+		if got[i].Err != nil || want.Err != nil {
+			t.Fatalf("request %d: batch err %v, single err %v", i, got[i].Err, want.Err)
+		}
+		if got[i].Reliability != want.Reliability ||
+			!reflect.DeepEqual(got[i].Reliabilities, want.Reliabilities) ||
+			!reflect.DeepEqual(got[i].TopTargets, want.TopTargets) {
+			t.Errorf("request %d (%s): batch answer differs from single", i, q.kind())
+		}
+	}
+	if !got[5].Cached {
+		t.Errorf("duplicate top-k request not answered by reuse")
+	}
+	st := batchEng.Stats()
+	for _, kind := range []Kind{KindReliability, KindTopK, KindSingleSource, KindDistance, KindKTerminal} {
+		if st.Kinds[string(kind)] == 0 {
+			t.Errorf("stats missing kind %q: %v", kind, st.Kinds)
+		}
+	}
+}
+
+// TestTopKSeparationStopsEarly is the acceptance check for anytime top-k:
+// with Eps set the ranking terminates by CI separation using fewer
+// samples than the fixed-K run draws.
+func TestTopKSeparationStopsEarly(t *testing.T) {
+	g := requestGraph(t)
+	const maxK = 4000
+	mk := func() *Engine {
+		e, err := New(g, Config{Workers: 1, MaxK: maxK, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ctx := context.Background()
+	fixed := mk().Estimate(ctx, Request{Kind: KindTopK, S: 0, TopK: 2, K: maxK})
+	if fixed.Err != nil {
+		t.Fatal(fixed.Err)
+	}
+	if fixed.SamplesUsed != maxK {
+		t.Fatalf("fixed top-k drew %d, want %d", fixed.SamplesUsed, maxK)
+	}
+	adaptive := mk().Estimate(ctx, Request{Kind: KindTopK, S: 0, TopK: 2, K: maxK, Eps: 0.05})
+	if adaptive.Err != nil {
+		t.Fatal(adaptive.Err)
+	}
+	if adaptive.StopReason != string(core.StopSeparated) {
+		t.Errorf("adaptive top-k stop reason %q, want %q", adaptive.StopReason, core.StopSeparated)
+	}
+	if adaptive.SamplesUsed >= fixed.SamplesUsed {
+		t.Errorf("adaptive top-k drew %d samples, no savings vs fixed %d",
+			adaptive.SamplesUsed, fixed.SamplesUsed)
+	}
+	// The separated ranking must agree with the fixed ranking's set on
+	// this clearly-separated graph.
+	if len(adaptive.TopTargets) != len(fixed.TopTargets) {
+		t.Fatalf("adaptive ranking size %d vs fixed %d", len(adaptive.TopTargets), len(fixed.TopTargets))
+	}
+	for i := range fixed.TopTargets {
+		if adaptive.TopTargets[i].Node != fixed.TopTargets[i].Node {
+			t.Errorf("rank %d: adaptive node %d vs fixed node %d",
+				i, adaptive.TopTargets[i].Node, fixed.TopTargets[i].Node)
+		}
+	}
+}
+
+// TestSingleSourceAnytime: per-target retirement serves single-source
+// requests with an eps target.
+func TestSingleSourceAnytime(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1, MaxK: 2000, Seed: 3})
+	res := e.Estimate(context.Background(), Request{Kind: KindSingleSource, S: 0, K: 2000, Eps: 0.2})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.SamplesUsed <= 0 || res.SamplesUsed > 2000 {
+		t.Fatalf("samples used %d", res.SamplesUsed)
+	}
+	if res.StopReason == "" {
+		t.Error("anytime single-source reported no stop reason")
+	}
+	if res.Reliabilities[0] != 1 {
+		t.Errorf("R(s,s) = %v", res.Reliabilities[0])
+	}
+}
+
+// TestEvidenceConditioning: evidence overlays change the answer in the
+// physically required direction — excluding a bridge edge lowers
+// reliability, including it raises it — and the overlay matches the exact
+// conditional value.
+func TestEvidenceConditioning(t *testing.T) {
+	g := requestGraph(t)
+	e, err := New(g, Config{Workers: 1, MaxK: 60000, Seed: 11, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const k = 60000
+	base := e.Estimate(ctx, Request{S: 0, T: 5, K: k, Estimator: "MC"})
+	// Edge ids follow sorted (from, to) order: id 0 is 0->1, id 1 is 0->2.
+	incl := e.Estimate(ctx, Request{S: 0, T: 5, K: k, Estimator: "MC",
+		Evidence: Evidence{Include: []uncertain.EdgeID{0}}})
+	excl := e.Estimate(ctx, Request{S: 0, T: 5, K: k, Estimator: "MC",
+		Evidence: Evidence{Exclude: []uncertain.EdgeID{0}}})
+	for _, r := range []Response{base, incl, excl} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if !(excl.Reliability < base.Reliability && base.Reliability < incl.Reliability) {
+		t.Errorf("conditioning order violated: excl %.4f, base %.4f, incl %.4f",
+			excl.Reliability, base.Reliability, incl.Reliability)
+	}
+	// Exact conditional value over the conditioned graph.
+	cond, err := uncertain.Condition(g, nil, []uncertain.EdgeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactReliability(t, cond, 0, 5)
+	if math.Abs(excl.Reliability-exact) > 0.02 {
+		t.Errorf("evidence-excluded estimate %.4f vs exact conditional %.4f", excl.Reliability, exact)
+	}
+	// The overlay is cached: an immediate replay hits the result cache
+	// without rebuilding anything.
+	if res := e.Estimate(ctx, Request{S: 0, T: 5, K: k, Estimator: "MC",
+		Evidence: Evidence{Exclude: []uncertain.EdgeID{0}}}); !res.Cached {
+		t.Error("evidence request not cached on replay")
+	}
+}
+
+// exactReliability brute-forces R(s,t) by possible-world enumeration —
+// viable only for the tiny request graph (7 edges → 128 worlds).
+func exactReliability(t *testing.T, g *uncertain.Graph, s, tt uncertain.NodeID) float64 {
+	t.Helper()
+	m := g.NumEdges()
+	if m > 20 {
+		t.Fatalf("graph too large for enumeration: %d edges", m)
+	}
+	total := 0.0
+	for world := 0; world < 1<<m; world++ {
+		p := 1.0
+		for e := 0; e < m; e++ {
+			ep := g.Edge(uncertain.EdgeID(e)).P
+			if world&(1<<e) != 0 {
+				p *= ep
+			} else {
+				p *= 1 - ep
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		// BFS over the world's edges.
+		reach := map[uncertain.NodeID]bool{s: true}
+		frontier := []uncertain.NodeID{s}
+		for len(frontier) > 0 {
+			v := frontier[0]
+			frontier = frontier[1:]
+			ids := g.OutEdgeIDs(v)
+			tos := g.OutNeighbors(v)
+			for i, w := range tos {
+				if world&(1<<uint(ids[i])) != 0 && !reach[w] {
+					reach[w] = true
+					frontier = append(frontier, w)
+				}
+			}
+		}
+		if reach[tt] {
+			total += p
+		}
+	}
+	return total
+}
+
+// TestCompatSeedsRoundTrip: the compat helpers invert the engine's seed
+// chains exactly.
+func TestCompatSeedsRoundTrip(t *testing.T) {
+	for _, raw := range []uint64{0, 1, 42, 0xdeadbeefcafe, ^uint64(0)} {
+		if got := mix64(unmix64(raw)); got != raw {
+			t.Fatalf("mix64(unmix64(%#x)) = %#x", raw, got)
+		}
+		if got := unmix64(mix64(raw)); got != raw {
+			t.Fatalf("unmix64(mix64(%#x)) = %#x", raw, got)
+		}
+		cfg := CompatReplicaSeed("BFSSharing", raw)
+		if got := replicaSeed(cfg, "BFSSharing"); got != raw {
+			t.Errorf("CompatReplicaSeed: replicaSeed = %#x, want %#x", got, raw)
+		}
+		cfg = CompatQuerySeed("MC", 3, 9, 500, raw)
+		if got := querySeed(cfg, "MC", 3, 9, 500); got != raw {
+			t.Errorf("CompatQuerySeed: querySeed = %#x, want %#x", got, raw)
+		}
+		req := Request{Kind: KindKTerminal, S: 2, Targets: []uncertain.NodeID{4}, K: 300}
+		cfg = CompatRequestSeed(req, raw)
+		if got := querySeed(cfg, ktName, 2, 2, 300); got != raw {
+			t.Errorf("CompatRequestSeed: querySeed = %#x, want %#x", got, raw)
+		}
+	}
+}
+
+// TestFingerprintIDs: order- and duplicate-insensitive, set-sensitive.
+func TestFingerprintIDs(t *testing.T) {
+	a := fingerprintIDs(1, []uncertain.NodeID{3, 1, 2})
+	b := fingerprintIDs(1, []uncertain.NodeID{2, 3, 1, 1})
+	if a != b {
+		t.Errorf("permutation/duplicate changed fingerprint: %v vs %v", a, b)
+	}
+	if c := fingerprintIDs(1, []uncertain.NodeID{3, 1}); c == a {
+		t.Errorf("distinct sets collide: %v", c)
+	}
+	if z := fingerprintIDs(1, nil); z != ([2]uint64{}) {
+		t.Errorf("empty set fingerprint %v, want zero", z)
+	}
+	ev := Evidence{Include: []uncertain.EdgeID{1}, Exclude: []uncertain.EdgeID{2}}
+	flipped := Evidence{Include: []uncertain.EdgeID{2}, Exclude: []uncertain.EdgeID{1}}
+	if fingerprintEvidence(ev) == fingerprintEvidence(flipped) {
+		t.Error("include/exclude swap not distinguished")
+	}
+}
+
+// TestDistancePoolsShareReplicas: repeated distance queries at one hop
+// bound reuse the per-d pool rather than constructing estimators.
+func TestDistancePoolsShareReplicas(t *testing.T) {
+	e := testEngine(t, Config{Workers: 2, MaxK: 200, Seed: 4})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if res := e.Estimate(ctx, Request{Kind: KindDistance, S: 0, T: 5, D: 2, K: 100}); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	e.distMu.Lock()
+	defer e.distMu.Unlock()
+	if len(e.distPools) != 1 {
+		t.Fatalf("%d distance pools for one hop bound", len(e.distPools))
+	}
+	if n := e.distPools[2].size(); n != 1 {
+		t.Errorf("sequential distance queries built %d replicas, want 1", n)
+	}
+}
+
+// TestDistanceMonotoneInD: R_d grows with d and is capped by plain
+// reliability, across the engine path.
+func TestDistanceMonotoneInD(t *testing.T) {
+	g := requestGraph(t)
+	e, err := New(g, Config{Workers: 1, MaxK: 40000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const k = 40000
+	r2 := e.Estimate(ctx, Request{Kind: KindDistance, S: 0, T: 5, D: 2, K: k}).Reliability
+	r3 := e.Estimate(ctx, Request{Kind: KindDistance, S: 0, T: 5, D: 3, K: k}).Reliability
+	if r2 > r3+0.02 {
+		t.Errorf("R_2 (%.4f) exceeds R_3 (%.4f)", r2, r3)
+	}
+	plain := e.Estimate(ctx, Request{S: 0, T: 5, K: k, Estimator: "MC"}).Reliability
+	if r3 < plain-0.02 {
+		t.Errorf("R_3 (%.4f) below unbounded R (%.4f) on a 3-hop graph", r3, plain)
+	}
+}
+
+// TestKindDeadline: a distance request under an effectively-zero deadline
+// still answers, reports a stop reason, and is not cached.
+func TestKindDeadline(t *testing.T) {
+	e := testEngine(t, Config{Workers: 1, MaxK: 2000, Seed: 6, CacheSize: 64})
+	ctx := context.Background()
+	q := Request{Kind: KindDistance, S: 0, T: 5, D: 3, K: 2000, Deadline: time.Microsecond}
+	res := e.Estimate(ctx, q)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.StopReason == "" {
+		t.Error("deadline request reported no stop reason")
+	}
+	if rep := e.Estimate(ctx, q); rep.Cached {
+		t.Error("deadline-truncated kind result was cached")
+	}
+}

@@ -10,6 +10,29 @@ import "fmt"
 // conditional-reliability query of Khan et al. (TKDE 2018), and the same
 // conditioning that underlies the recursive estimators' prefix groups.
 func Condition(g *Graph, include, exclude []EdgeID) (*Graph, error) {
+	state, err := conditionState(g, include, exclude)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(g.NumNodes()).SetName(g.Name() + "-conditioned")
+	for id, e := range g.Edges() {
+		switch state[id] {
+		case -1:
+			continue
+		case 1:
+			b.MustAddEdge(e.From, e.To, 1)
+		default:
+			b.MustAddEdge(e.From, e.To, e.P)
+		}
+	}
+	return b.Build(), nil
+}
+
+// conditionState validates a conditioning set against g and returns the
+// per-edge verdict: 1 include, -1 exclude, 0 untouched. It is the single
+// home of the conditioning contract — id ranges, and no edge both
+// included and excluded — shared by Condition, Overlay, and CheckCondition.
+func conditionState(g *Graph, include, exclude []EdgeID) ([]int8, error) {
 	m := EdgeID(g.NumEdges())
 	state := make([]int8, m)
 	for _, e := range include {
@@ -27,18 +50,55 @@ func Condition(g *Graph, include, exclude []EdgeID) (*Graph, error) {
 		}
 		state[e] = -1
 	}
-	b := NewBuilder(g.NumNodes()).SetName(g.Name() + "-conditioned")
-	for id, e := range g.Edges() {
+	return state, nil
+}
+
+// CheckCondition validates a conditioning/evidence set against g without
+// building anything — the validation half of Condition and Overlay, for
+// callers (the engine's request validation) that must reject bad evidence
+// before any work is done.
+func CheckCondition(g *Graph, include, exclude []EdgeID) error {
+	_, err := conditionState(g, include, exclude)
+	return err
+}
+
+// Overlay is Condition without the rebuild: it returns a graph that
+// SHARES the receiver's CSR topology (adjacency, edge ids, indices) and
+// copies only the probability columns, with included edges pinned to 1 and
+// excluded edges pinned to 0. Excluded edges therefore stay present in the
+// adjacency — at probability 0 they exist in no possible world, so every
+// sampling estimator treats them as absent (the rng layer's Bernoulli and
+// mask samplers handle p ∈ {0, 1} exactly) — and node/edge ids are
+// unchanged, which is what lets a serving layer condition a query
+// per-request against evidence without invalidating anything keyed by id.
+// Cost is O(m) for the probability copy versus Condition's full
+// sort-merge-rebuild; the topology arrays are not duplicated.
+//
+// Estimators that precompute structure from probabilities (the offline
+// indexes) must still be rebuilt per overlay; Overlay targets the
+// index-free samplers.
+func Overlay(g *Graph, include, exclude []EdgeID) (*Graph, error) {
+	state, err := conditionState(g, include, exclude)
+	if err != nil {
+		return nil, err
+	}
+	ov := *g // share topology slices
+	ov.name = g.name + "-evidence"
+	ov.edges = make([]Edge, len(g.edges))
+	copy(ov.edges, g.edges)
+	for id := range ov.edges {
 		switch state[id] {
-		case -1:
-			continue
 		case 1:
-			b.MustAddEdge(e.From, e.To, 1)
-		default:
-			b.MustAddEdge(e.From, e.To, e.P)
+			ov.edges[id].P = 1
+		case -1:
+			ov.edges[id].P = 0
 		}
 	}
-	return b.Build(), nil
+	ov.outProb = make([]float64, len(g.outProb))
+	for i, id := range g.outEdge {
+		ov.outProb[i] = ov.edges[id].P
+	}
+	return &ov, nil
 }
 
 // FindEdge returns the id of the edge from -> to, or -1 if absent.

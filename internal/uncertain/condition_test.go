@@ -1,0 +1,77 @@
+package uncertain
+
+import "testing"
+
+func overlayTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 0.5)
+	b.MustAddEdge(0, 2, 0.6)
+	b.MustAddEdge(1, 3, 0.7)
+	b.MustAddEdge(2, 3, 0.8)
+	return b.Build()
+}
+
+// TestOverlayPinsProbabilities: included edges read 1, excluded edges 0,
+// the rest unchanged — consistently through both the edge list and the
+// out-adjacency probability column.
+func TestOverlayPinsProbabilities(t *testing.T) {
+	g := overlayTestGraph(t)
+	ov, err := Overlay(g, []EdgeID{1}, []EdgeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[EdgeID]float64{0: 0.5, 1: 1, 2: 0, 3: 0.8}
+	for id, p := range want {
+		if got := ov.Edge(id).P; got != p {
+			t.Errorf("edge %d: P = %v, want %v", id, got, p)
+		}
+	}
+	for v := NodeID(0); int(v) < ov.NumNodes(); v++ {
+		ids := ov.OutEdgeIDs(v)
+		ps := ov.OutProbs(v)
+		for i, id := range ids {
+			if ps[i] != want[id] {
+				t.Errorf("out-prob of edge %d: %v, want %v", id, ps[i], want[id])
+			}
+		}
+	}
+	// The base graph is untouched.
+	if g.Edge(1).P != 0.6 || g.Edge(2).P != 0.7 {
+		t.Error("overlay mutated the base graph")
+	}
+}
+
+// TestOverlaySharesTopology: the overlay aliases the base CSR arrays
+// (that is the point — no rebuild), copying only the probability columns.
+func TestOverlaySharesTopology(t *testing.T) {
+	g := overlayTestGraph(t)
+	ov, err := Overlay(g, nil, []EdgeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ov.outTo[0] != &g.outTo[0] || &ov.inFrom[0] != &g.inFrom[0] ||
+		&ov.outEdge[0] != &g.outEdge[0] || &ov.outIndex[0] != &g.outIndex[0] {
+		t.Error("overlay duplicated topology arrays")
+	}
+	if &ov.outProb[0] == &g.outProb[0] {
+		t.Error("overlay shares the probability column it must copy")
+	}
+	if ov.NumNodes() != g.NumNodes() || ov.NumEdges() != g.NumEdges() {
+		t.Error("overlay changed graph dimensions")
+	}
+}
+
+// TestOverlayValidation mirrors Condition's error contract.
+func TestOverlayValidation(t *testing.T) {
+	g := overlayTestGraph(t)
+	if _, err := Overlay(g, []EdgeID{99}, nil); err == nil {
+		t.Error("out-of-range include accepted")
+	}
+	if _, err := Overlay(g, nil, []EdgeID{-1}); err == nil {
+		t.Error("negative exclude accepted")
+	}
+	if _, err := Overlay(g, []EdgeID{1}, []EdgeID{1}); err == nil {
+		t.Error("contradictory evidence accepted")
+	}
+}

@@ -1,12 +1,25 @@
 package relcomp
 
 import (
+	"context"
+	"sync"
+
 	"relcomp/internal/core"
+	"relcomp/internal/engine"
 	"relcomp/internal/uncertain"
 )
 
 // Extensions beyond the paper's six s-t estimators: the advanced queries
 // its related-work section points to, and multi-core sampling.
+//
+// The value-returning helpers here are thin legacy wrappers over the
+// unified Request surface (see Request/Response in engine.go): each
+// builds a Request and runs it through an engine seeded so the sampling
+// streams match the helper's pre-engine implementation bit for bit (the
+// engine's CompatReplicaSeed/CompatRequestSeed inversions). New code
+// should construct an Engine and use Estimate/EstimateBatch directly —
+// that is the path that pools, caches, batches, and serves anytime
+// stopping for every kind.
 
 // Reliability pairs a node with its estimated reliability from a source.
 type Reliability = core.Reliability
@@ -30,17 +43,87 @@ func NewDistanceConstrainedMC(g *Graph, seed uint64, d int) Estimator {
 // reliability from s — the top-k reliability search of Zhu et al. (ICDM
 // 2015). Pass a BFS Sharing estimator (NewBFSSharing) to answer the whole
 // query with a single shared traversal; any other estimator is evaluated
-// once per candidate node.
+// once per candidate node. The ranking is deterministic: ties are broken
+// by ascending NodeID under a stable sort.
+//
+// The engine serves the same query as Request{Kind: KindTopK} — pooled,
+// cached, and with CI-separation early termination when Eps is set — and
+// returns bit-identical rankings when its BFS index is seeded like est
+// (see the engine's CompatReplicaSeed).
 func TopKReliableTargets(est Estimator, g *Graph, s NodeID, topK, samples int) ([]Reliability, error) {
 	return core.TopKReliableTargets(est, g, s, topK, samples)
 }
 
 // SingleSourceReliability estimates the reliability of every node from s
 // using one shared BFS Sharing traversal with `samples` pre-sampled
-// worlds.
+// worlds. It routes through a pooled engine whose shared BFS index is
+// built once per (graph, seed, samples) and reused across calls — the
+// pre-engine implementation rebuilt the full index on every call — and
+// returns bit-identical values to it: the engine's index is seeded (via
+// CompatReplicaSeed) exactly as NewBFSSharing(g, seed, samples) would be.
+// It panics on invalid input, like the estimators it wraps.
 func SingleSourceReliability(g *Graph, s NodeID, samples int, seed uint64) []float64 {
-	bs := core.NewBFSSharing(g, seed, samples)
-	return bs.EstimateAll(s, samples)
+	res := singleSourceEngine(g, samples, seed).Estimate(context.Background(), Request{
+		Kind: KindSingleSource, S: s, K: samples, Estimator: "BFSSharing",
+	})
+	if res.Err != nil {
+		panic(res.Err)
+	}
+	// Copy out of the engine's result cache: callers own their slice.
+	out := make([]float64, len(res.Reliabilities))
+	copy(out, res.Reliabilities)
+	return out
+}
+
+// ssEngines caches the engines SingleSourceReliability routes through,
+// one per (graph, seed, samples): the BFS Sharing index is the expensive
+// part of a single-source query, and the pool shares one immutable index
+// across all replicas and calls. Bounded so long-running processes that
+// sweep seeds do not accumulate indexes — but note the flip side of the
+// pooling: up to ssEngineCap engines (each pinning its graph and an
+// O(samples × edges) index) stay reachable for the life of the process.
+// Callers that churn many graphs, or want the memory back, should build
+// an Engine themselves and issue KindSingleSource requests — the helper
+// exists for legacy drop-in compatibility.
+var ssEngines struct {
+	mu sync.Mutex
+	m  map[ssEngineKey]*Engine
+}
+
+type ssEngineKey struct {
+	g       *Graph
+	seed    uint64
+	samples int
+}
+
+const ssEngineCap = 8
+
+func singleSourceEngine(g *Graph, samples int, seed uint64) *Engine {
+	ssEngines.mu.Lock()
+	defer ssEngines.mu.Unlock()
+	key := ssEngineKey{g, seed, samples}
+	if eng, ok := ssEngines.m[key]; ok {
+		return eng
+	}
+	if ssEngines.m == nil {
+		ssEngines.m = make(map[ssEngineKey]*Engine)
+	} else if len(ssEngines.m) >= ssEngineCap {
+		for k := range ssEngines.m { // evict an arbitrary entry
+			delete(ssEngines.m, k)
+			break
+		}
+	}
+	eng, err := NewEngine(g, EngineConfig{
+		Seed:       engine.CompatReplicaSeed("BFSSharing", seed),
+		MaxK:       samples,
+		CacheSize:  64,
+		Estimators: []string{"BFSSharing"},
+	})
+	if err != nil {
+		panic(err) // static config; a failure is a programming error
+	}
+	ssEngines.m[key] = eng
+	return eng
 }
 
 // ConditionGraph returns g conditioned on partial world knowledge: edges
@@ -55,11 +138,22 @@ func ConditionGraph(g *Graph, include, exclude []EdgeID) (*Graph, error) {
 
 // KTerminalReliability estimates the probability that every node of
 // targets is reachable from s (source-rooted k-terminal reliability),
-// from k Monte Carlo samples.
+// from k Monte Carlo samples. It is a thin wrapper over the unified
+// Request surface (KindKTerminal) with the engine seeded (via
+// CompatRequestSeed) so the sampling stream — and therefore the value —
+// is bit-identical to the pre-engine core.NewKTerminal(g, seed,
+// targets).Estimate(s, k).
 func KTerminalReliability(g *Graph, s NodeID, targets []NodeID, k int, seed uint64) (float64, error) {
-	kt, err := core.NewKTerminal(g, seed, targets)
+	req := Request{Kind: KindKTerminal, S: s, Targets: targets, K: k}
+	eng, err := NewEngine(g, EngineConfig{
+		Seed:       engine.CompatRequestSeed(req, seed),
+		MaxK:       k,
+		Workers:    1,
+		Estimators: []string{"MC"},
+	})
 	if err != nil {
 		return 0, err
 	}
-	return kt.Estimate(s, k), nil
+	res := eng.Estimate(context.Background(), req)
+	return res.Reliability, res.Err
 }

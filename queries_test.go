@@ -1,8 +1,14 @@
 package relcomp
 
 import (
+	"context"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/engine"
 )
 
 func bridgeGraph(t *testing.T) *Graph {
@@ -68,6 +74,220 @@ func TestTopKFacade(t *testing.T) {
 	if top[0].Node != 1 {
 		t.Errorf("top node %d, want 1 (direct 0.9 edge)", top[0].Node)
 	}
+}
+
+// TestSingleSourceWrapperBitIdentical: the wrapper now routes through a
+// pooled engine, but must return exactly what its pre-engine
+// implementation — a fresh BFS Sharing index per call — returned for the
+// same (seed, samples).
+func TestSingleSourceWrapperBitIdentical(t *testing.T) {
+	g := bridgeGraph(t)
+	const samples, seed = 4000, 99
+	legacy := core.NewBFSSharing(g, seed, samples).EstimateAll(0, samples)
+	got := SingleSourceReliability(g, 0, samples, seed)
+	if !reflect.DeepEqual(got, legacy) {
+		t.Errorf("wrapper diverged from pre-engine implementation:\n got %v\nwant %v", got, legacy)
+	}
+}
+
+// TestSingleSourceOneIndexBuild is the regression test for the wrapper's
+// old behavior of rebuilding the full BFS Sharing index on every call:
+// repeated calls with one (graph, seed, samples) share one engine whose
+// pool hands out queriers over one immutable index.
+func TestSingleSourceOneIndexBuild(t *testing.T) {
+	g := bridgeGraph(t)
+	const samples, seed = 1000, 4242
+	indexOf := func() *core.BFSIndex {
+		var ix *core.BFSIndex
+		err := BorrowEstimator(singleSourceEngine(g, samples, seed), "BFSSharing", func(est Estimator) error {
+			ix = est.(*core.BFSQuerier).Index()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	SingleSourceReliability(g, 0, samples, seed)
+	first := indexOf()
+	SingleSourceReliability(g, 1, samples, seed)
+	if second := indexOf(); second != first {
+		t.Error("second call rebuilt the BFS Sharing index")
+	}
+	ssEngines.mu.Lock()
+	n := 0
+	for key := range ssEngines.m {
+		if key.g == g {
+			n++
+		}
+	}
+	ssEngines.mu.Unlock()
+	if n != 1 {
+		t.Errorf("%d engines registered for one (graph, seed, samples)", n)
+	}
+}
+
+// TestKTerminalWrapperBitIdentical: the wrapper routes through the engine
+// (KindKTerminal) yet reproduces the pre-engine core implementation's
+// value for the same seed, via CompatRequestSeed.
+func TestKTerminalWrapperBitIdentical(t *testing.T) {
+	g := bridgeGraph(t)
+	targets := []NodeID{3, 5}
+	const k, seed = 3000, 7
+	kt, err := core.NewKTerminal(g, seed, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := kt.Estimate(0, k)
+	got, err := KTerminalReliability(g, 0, targets, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != legacy {
+		t.Errorf("wrapper %v != pre-engine %v", got, legacy)
+	}
+}
+
+// TestTopKWrapperMatchesRequestPath: the helper and the engine's
+// KindTopK request return bit-identical rankings when the engine's BFS
+// index is seeded like the helper's estimator.
+func TestTopKWrapperMatchesRequestPath(t *testing.T) {
+	g := bridgeGraph(t)
+	const k, seed = 2000, 21
+	want, err := TopKReliableTargets(NewBFSSharing(g, seed, k), g, 0, 3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, EngineConfig{
+		Seed: engine.CompatReplicaSeed("BFSSharing", seed),
+		MaxK: k, Workers: 1, Estimators: []string{"BFSSharing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Estimate(context.Background(), Request{Kind: KindTopK, S: 0, TopK: 3, K: k})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !reflect.DeepEqual(res.TopTargets, want) {
+		t.Errorf("request path %v != helper %v", res.TopTargets, want)
+	}
+}
+
+// TestSingleSourceWrapperMatchesRequestPath: the wrapper and an
+// explicitly-built engine request agree bit for bit.
+func TestSingleSourceWrapperMatchesRequestPath(t *testing.T) {
+	g := bridgeGraph(t)
+	const samples, seed = 2000, 33
+	want := SingleSourceReliability(g, 0, samples, seed)
+	eng, err := NewEngine(g, EngineConfig{
+		Seed: engine.CompatReplicaSeed("BFSSharing", seed),
+		MaxK: samples, Workers: 1, Estimators: []string{"BFSSharing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Estimate(context.Background(), Request{Kind: KindSingleSource, S: 0, K: samples})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !reflect.DeepEqual(res.Reliabilities, want) {
+		t.Errorf("request path diverged from wrapper")
+	}
+}
+
+// TestEvidenceMatchesConditionGraph: the engine's per-request evidence
+// overlay reproduces the legacy ConditionGraph + fresh-MC path bit for
+// bit. The streams align because probability-0 and probability-1 edges
+// draw nothing: the overlay's pinned edges consume exactly as much
+// randomness as Condition's removed/certain ones — none.
+func TestEvidenceMatchesConditionGraph(t *testing.T) {
+	g := bridgeGraph(t)
+	const k, seed = 5000, 55
+	include := []EdgeID{0}
+	exclude := []EdgeID{3}
+	cond, err := ConditionGraph(g, include, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := core.NewMC(cond, seed).Estimate(0, 5, k)
+	eng, err := NewEngine(g, EngineConfig{
+		Seed: engine.CompatQuerySeed("MC", 0, 5, k, seed),
+		MaxK: k, Workers: 1, Estimators: []string{"MC"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Estimate(context.Background(), Request{
+		S: 0, T: 5, K: k, Estimator: "MC",
+		Evidence: Evidence{Include: include, Exclude: exclude},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Reliability != legacy {
+		t.Errorf("evidence overlay %v != ConditionGraph path %v", res.Reliability, legacy)
+	}
+}
+
+// TestMixedKindBatchRace (run under -race in CI): concurrent mixed-kind
+// batches and legacy wrappers against one engine return exactly the
+// values a sequential run returns.
+func TestMixedKindBatchRace(t *testing.T) {
+	g := bridgeGraph(t)
+	mk := func() *Engine {
+		eng, err := NewEngine(g, EngineConfig{Workers: 4, MaxK: 500, Seed: 13, CacheSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	concurrent, sequential := mk(), mk()
+	reqs := []Request{
+		{S: 0, T: 5, K: 200, Estimator: "MC"},
+		{Kind: KindTopK, S: 0, TopK: 3, K: 200},
+		{Kind: KindSingleSource, S: 0, K: 200},
+		{Kind: KindDistance, S: 0, T: 5, D: 3, K: 200},
+		{Kind: KindKTerminal, S: 0, Targets: []NodeID{3, 4}, K: 200},
+		{S: 1, T: 5, K: 200, Estimator: "PackMC"},
+		{S: 0, T: 4, K: 200, Evidence: Evidence{Exclude: []EdgeID{1}}},
+	}
+	ctx := context.Background()
+	want := sequential.EstimateBatch(ctx, reqs)
+	for i, r := range want {
+		if r.Err != nil {
+			t.Fatalf("sequential request %d: %v", i, r.Err)
+		}
+	}
+	var wg sync.WaitGroup
+	fail := t.Errorf
+	for round := 0; round < 4; round++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			got := concurrent.EstimateBatch(ctx, reqs)
+			for i := range reqs {
+				if got[i].Err != nil {
+					fail("concurrent request %d: %v", i, got[i].Err)
+					continue
+				}
+				if got[i].Reliability != want[i].Reliability ||
+					!reflect.DeepEqual(got[i].Reliabilities, want[i].Reliabilities) ||
+					!reflect.DeepEqual(got[i].TopTargets, want[i].TopTargets) {
+					fail("concurrent request %d diverged from sequential", i)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			// Legacy wrappers race along on their own engines.
+			SingleSourceReliability(g, 0, 400, 77)
+			if _, err := KTerminalReliability(g, 0, []NodeID{3, 4}, 200, 78); err != nil {
+				fail("wrapper kterminal: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestSingleSourceReliabilityFacade(t *testing.T) {
