@@ -1,7 +1,7 @@
 package relcomp
 
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md §7 for the experiment index), plus kernel
+// evaluation (see DESIGN.md §8 for the experiment index), plus kernel
 // benchmarks of every estimator on every dataset (the per-sample cost that
 // Tables 9–14 report).
 //

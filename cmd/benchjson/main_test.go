@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: relcomp/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkSnapshotLoad-8   	      22	  51234567 ns/op	 823.45 MB/s	  102400 B/op	      12 allocs/op
+BenchmarkSnapshotBuildIndexes-8  	       2	 734567890 ns/op
+some unrelated line
+PASS
+ok  	relcomp/internal/core	3.456s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "EPYC") {
+		t.Errorf("context fields: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSnapshotLoad" || b.Procs != 8 || b.Runs != 22 {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	if b.Pkg != "relcomp/internal/core" {
+		t.Errorf("pkg = %q", b.Pkg)
+	}
+	if b.Metrics["ns/op"] != 51234567 || b.Metrics["MB/s"] != 823.45 || b.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics: %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkSnapshotBuildIndexes" || doc.Benchmarks[1].Metrics["ns/op"] != 734567890 {
+		t.Errorf("second benchmark: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	in := `BenchmarkBroken-8 notanumber 12 ns/op
+BenchmarkOdd-8 3 12
+BenchmarkGood-4 100 250 ns/op
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkGood" {
+		t.Errorf("benchmarks: %+v", doc.Benchmarks)
+	}
+}

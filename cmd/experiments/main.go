@@ -1,5 +1,5 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section (see DESIGN.md §7 for the experiment index).
+// evaluation section (see DESIGN.md §8 for the experiment index).
 //
 // Examples:
 //

@@ -35,6 +35,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		dataset   = flag.String("dataset", "lastFM", "synthetic dataset to serve")
 		graphFile = flag.String("graph", "", "graph file in text format (overrides -dataset)")
+		snapPath  = flag.String("snapshot", "", "prebuilt snapshot file (see relsnap); serves its graph with the indexes memory-mapped, skipping index build")
 		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		maxK      = flag.Int("maxk", 2000, "maximum samples per query (BFS Sharing index width)")
@@ -48,23 +49,56 @@ func main() {
 
 	var (
 		g   *relcomp.Graph
-		err error
+		srv *server
 	)
-	if *graphFile != "" {
-		g, err = relcomp.ReadGraphFile(*graphFile)
+	if *snapPath != "" {
+		// A snapshot carries its own graph, seed, and MaxK; flags that
+		// would contradict it are rejected rather than silently ignored.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"dataset", "graph", "scale"} {
+			if set[name] {
+				log.Fatalf("relserver: -%s conflicts with -snapshot (the snapshot defines the graph)", name)
+			}
+		}
+		start := time.Now()
+		snap, err := relcomp.OpenSnapshot(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer snap.Close()
+		cfg := relcomp.EngineConfig{Workers: *workers, CacheSize: *cacheSize}
+		if set["seed"] {
+			cfg.Seed = *seed // NewEngineFromSnapshot rejects a mismatch
+		}
+		if set["maxk"] {
+			cfg.MaxK = *maxK
+		}
+		eng, err := relcomp.NewEngineFromSnapshot(snap, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = snap.Graph
+		srv = newServer(g, eng)
+		log.Printf("relserver: snapshot %s loaded in %s (mapped=%v, %d bytes)",
+			*snapPath, time.Since(start).Round(time.Millisecond), snap.Mapped(), snap.SizeBytes())
 	} else {
-		g, err = relcomp.Dataset(*dataset, *scale, *seed)
+		var err error
+		if *graphFile != "" {
+			g, err = relcomp.ReadGraphFile(*graphFile)
+		} else {
+			g, err = relcomp.Dataset(*dataset, *scale, *seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = newServerWith(g, relcomp.EngineConfig{
+			Seed:      *seed,
+			MaxK:      *maxK,
+			Workers:   *workers,
+			CacheSize: *cacheSize,
+		})
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	srv := newServerWith(g, relcomp.EngineConfig{
-		Seed:      *seed,
-		MaxK:      *maxK,
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-	})
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: srv.handler(),

@@ -66,6 +66,10 @@ func newServerWith(g *relcomp.Graph, cfg relcomp.EngineConfig) *server {
 		// a programming error, not an input error.
 		panic(err)
 	}
+	return newServer(g, eng)
+}
+
+func newServer(g *relcomp.Graph, eng *relcomp.Engine) *server {
 	return &server{graph: g, engine: eng}
 }
 

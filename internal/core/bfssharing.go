@@ -51,6 +51,11 @@ type BFSIndex struct {
 	width    int // L: bits sampled per edge in the index
 	valid    int // bits [0, valid) are from the latest draw
 	edgeBits *bitvec.Arena
+
+	// frozen marks an index whose words alias a read-only memory mapping
+	// (snapshot load): resampling would write through the mapping and
+	// fault, so the mutators refuse up front with a clear message.
+	frozen bool
 }
 
 // NewBFSIndex samples the offline index: bit i of edge e is set with
@@ -76,6 +81,9 @@ func NewBFSIndex(g *uncertain.Graph, seed uint64, width int) *BFSIndex {
 // probability p costs O((hi-lo)·min(p, 1-p)) rather than O(hi-lo) while
 // producing exactly independent Bernoulli(p) bits.
 func (ix *BFSIndex) resampleRange(lo, hi int) {
+	if ix.frozen {
+		panic("core: BFSSharing index loaded from a read-only snapshot mapping is immutable; rebuild with NewBFSIndex to resample")
+	}
 	g := ix.g
 	for id := 0; id < g.NumEdges(); id++ {
 		ix.rng.FillMask(ix.edgeBits.Vec(id), lo, hi, g.Edge(uncertain.EdgeID(id)).P)
@@ -124,6 +132,9 @@ func (ix *BFSIndex) ensureValid(k int) {
 
 // Width returns the index width L.
 func (ix *BFSIndex) Width() int { return ix.width }
+
+// Graph returns the graph the index was built over.
+func (ix *BFSIndex) Graph() *uncertain.Graph { return ix.g }
 
 // ValidPrefix returns how many leading bits of every edge vector belong to
 // the latest draw. It equals Width unless ResamplePrefix shrank it.

@@ -1,12 +1,9 @@
 package core
 
 import (
-	"encoding/gob"
-	"fmt"
 	"io"
 
-	"relcomp/internal/bitvec"
-	"relcomp/internal/rng"
+	"relcomp/internal/snapshot"
 	"relcomp/internal/uncertain"
 )
 
@@ -14,49 +11,36 @@ import (
 // offline structures and be reconstructed against the same graph, which is
 // what the paper's Fig. 13(c) "index loading time" measures: the cost of
 // bringing a pre-built index into main memory before answering queries.
-
-type bfsSharingIndexFile struct {
-	Width    int
-	NumEdges int
-	Words    []uint64
-}
+//
+// The stream encoding is the snapshot container (internal/snapshot): a
+// single-index stream is a container holding just that index's sections,
+// so the same checksummed format serves both the per-index io.Writer API
+// here and the bundled graph+indexes files of OpenSnapshot. The old gob
+// encoding is gone; these functions keep its signatures.
 
 // WriteIndex serializes the offline index (edge bit vectors) to w.
 func (ix *BFSIndex) WriteIndex(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(bfsSharingIndexFile{
-		Width:    ix.width,
-		NumEdges: ix.g.NumEdges(),
-		Words:    ix.edgeBits.Words(),
-	})
+	sw := snapshot.NewWriter()
+	if err := addBFSIndex(sw, ix); err != nil {
+		return err
+	}
+	_, err := sw.WriteTo(w)
+	return err
 }
 
 // WriteIndex serializes the querier's shared offline index to w.
 func (q *BFSQuerier) WriteIndex(w io.Writer) error { return q.ix.WriteIndex(w) }
 
 // LoadBFSIndex reconstructs a shared BFS Sharing index from its serialized
-// form over the same graph it was built from.
+// form over the same graph it was built from. The stream is read into the
+// heap, so the index stays mutable (resamplable), like the indexes this
+// package builds itself.
 func LoadBFSIndex(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSIndex, error) {
-	var f bfsSharingIndexFile
-	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
-		return nil, fmt.Errorf("core: decoding BFSSharing index: %w", err)
-	}
-	if f.NumEdges != g.NumEdges() {
-		return nil, fmt.Errorf("core: index built for %d edges, graph has %d", f.NumEdges, g.NumEdges())
-	}
-	if f.Width <= 0 {
-		return nil, fmt.Errorf("core: invalid index width %d", f.Width)
-	}
-	arena, err := bitvec.ArenaFromWords(f.Words, f.NumEdges, f.Width)
+	f, err := snapshot.ReadFrom(rd)
 	if err != nil {
-		return nil, fmt.Errorf("core: reconstructing BFSSharing index: %w", err)
+		return nil, err
 	}
-	return &BFSIndex{
-		g:        g,
-		rng:      rng.New(seed),
-		width:    f.Width,
-		valid:    f.Width, // a serialized index is one consistent draw
-		edgeBits: arena,
-	}, nil
+	return bfsIndexFromFile(g, f, seed)
 }
 
 // LoadBFSSharing reconstructs a BFSSharing estimator from a serialized
@@ -69,44 +53,13 @@ func LoadBFSSharing(g *uncertain.Graph, rd io.Reader, seed uint64) (*BFSSharing,
 	return &BFSSharing{BFSQuerier{ix: ix}}, nil
 }
 
-type probTreeBagFile struct {
-	Covered  int32
-	Nodes    []uncertain.NodeID
-	Raw      []uncertain.Edge
-	Parent   int
-	Children []int
-	Contrib  []uncertain.Edge
-}
-
-type probTreeIndexFile struct {
-	Width    int
-	NumNodes int
-	Root     int
-	BagOf    []int32
-	Bags     []probTreeBagFile
-}
-
 // WriteIndex serializes the FWD tree (bags, parent links, pre-computed
 // contributions) to w.
 func (ix *ProbTreeIndex) WriteIndex(w io.Writer) error {
-	f := probTreeIndexFile{
-		Width:    ix.width,
-		NumNodes: ix.g.NumNodes(),
-		Root:     ix.root,
-		BagOf:    ix.bagOf,
-		Bags:     make([]probTreeBagFile, len(ix.bags)),
-	}
-	for i, b := range ix.bags {
-		f.Bags[i] = probTreeBagFile{
-			Covered:  b.covered,
-			Nodes:    b.nodes,
-			Raw:      b.raw,
-			Parent:   b.parent,
-			Children: b.children,
-			Contrib:  b.contrib,
-		}
-	}
-	return gob.NewEncoder(w).Encode(f)
+	sw := snapshot.NewWriter()
+	snapshot.AddProbTree(sw, probTreeToData(ix))
+	_, err := sw.WriteTo(w)
+	return err
 }
 
 // WriteIndex serializes the querier's shared offline index to w.
@@ -115,34 +68,15 @@ func (q *ProbTreeQuerier) WriteIndex(w io.Writer) error { return q.ix.WriteIndex
 // LoadProbTreeIndex reconstructs a shared FWD index from its serialized
 // form over the same graph it was built from.
 func LoadProbTreeIndex(g *uncertain.Graph, rd io.Reader) (*ProbTreeIndex, error) {
-	var f probTreeIndexFile
-	if err := gob.NewDecoder(rd).Decode(&f); err != nil {
-		return nil, fmt.Errorf("core: decoding ProbTree index: %w", err)
+	f, err := snapshot.ReadFrom(rd)
+	if err != nil {
+		return nil, err
 	}
-	if f.NumNodes != g.NumNodes() {
-		return nil, fmt.Errorf("core: index built for %d nodes, graph has %d", f.NumNodes, g.NumNodes())
+	d, err := snapshot.LoadProbTree(f)
+	if err != nil {
+		return nil, err
 	}
-	if f.Root < 0 || f.Root >= len(f.Bags) {
-		return nil, fmt.Errorf("core: invalid root bag %d of %d", f.Root, len(f.Bags))
-	}
-	ix := &ProbTreeIndex{
-		g:     g,
-		width: f.Width,
-		root:  f.Root,
-		bagOf: f.BagOf,
-		bags:  make([]ptBag, len(f.Bags)),
-	}
-	for i, b := range f.Bags {
-		ix.bags[i] = ptBag{
-			covered:  b.Covered,
-			nodes:    b.Nodes,
-			raw:      b.Raw,
-			parent:   b.Parent,
-			children: b.Children,
-			contrib:  b.Contrib,
-		}
-	}
-	return ix, nil
+	return probTreeIndexFromData(g, d)
 }
 
 // LoadProbTree reconstructs a ProbTree estimator from a serialized index

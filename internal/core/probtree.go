@@ -74,6 +74,9 @@ func NewProbTreeIndex(g *uncertain.Graph, width int) *ProbTreeIndex {
 // Width returns the decomposition width.
 func (ix *ProbTreeIndex) Width() int { return ix.width }
 
+// Graph returns the graph the index was built over.
+func (ix *ProbTreeIndex) Graph() *uncertain.Graph { return ix.g }
+
 // NumBags returns the number of bags including the root.
 func (ix *ProbTreeIndex) NumBags() int { return len(ix.bags) }
 

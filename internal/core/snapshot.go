@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"relcomp/internal/bitvec"
+	"relcomp/internal/rng"
+	"relcomp/internal/snapshot"
+	"relcomp/internal/uncertain"
+)
+
+// This file bridges the estimators' offline index types to the snapshot
+// container (internal/snapshot): section encodings for BFSIndex and
+// ProbTreeIndex, and the Snapshot bundle that holds a graph plus its
+// indexes loaded from one file.
+//
+// Loading is zero-copy for the heavy data: the BFS word arena, the graph
+// CSR columns, and the ProbTree node lists alias the mapped file image.
+// Small derived structures (edge lists, bag child slices) are
+// materialized. An index loaded over a read-only mapping is frozen — its
+// mutators (Resample and friends) panic instead of faulting — while one
+// loaded from a heap-backed stream stays mutable, matching the behavior
+// of the previous gob-based loaders.
+
+// addBFSIndex adds the BFS Sharing index sections: a small meta record
+// and the word arena. Only a fully valid draw may be persisted — a
+// prefix-resampled index would mix world generations on reload.
+func addBFSIndex(w *snapshot.Writer, ix *BFSIndex) error {
+	if ix.valid != ix.width {
+		return fmt.Errorf("core: cannot snapshot a prefix-resampled BFSSharing index (valid %d of width %d)",
+			ix.valid, ix.width)
+	}
+	w.AddUint64s(snapshot.SecBFSMeta, []uint64{
+		uint64(ix.width), uint64(ix.valid), uint64(ix.g.NumEdges()),
+	})
+	w.AddUint64s(snapshot.SecBFSWords, ix.edgeBits.Words())
+	return nil
+}
+
+// bfsIndexFromFile reconstructs a BFSIndex whose word arena aliases the
+// file image. The meta section is always checksum-verified; the bulk word
+// section is verified only for heap-backed files (a stream read touches
+// every byte anyway), never for mappings (that would fault the whole file
+// in and destroy the O(page faults) cold start — relsnap verify covers
+// it). A mapped index comes back frozen.
+func bfsIndexFromFile(g *uncertain.Graph, f *snapshot.File, seed uint64) (*BFSIndex, error) {
+	meta, err := f.Uint64s(snapshot.SecBFSMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 3 {
+		return nil, fmt.Errorf("%w: bfs.meta has %d entries, want 3", snapshot.ErrCorrupt, len(meta))
+	}
+	width, valid, numEdges := int(meta[0]), int(meta[1]), int(meta[2])
+	if numEdges != g.NumEdges() {
+		return nil, fmt.Errorf("core: index built for %d edges, graph has %d", numEdges, g.NumEdges())
+	}
+	if width <= 0 || valid != width {
+		return nil, fmt.Errorf("%w: bfs.meta implausible: width=%d valid=%d", snapshot.ErrCorrupt, width, valid)
+	}
+	var words []uint64
+	if f.Mapped() {
+		words, err = f.Uint64sNoVerify(snapshot.SecBFSWords)
+	} else {
+		words, err = f.Uint64s(snapshot.SecBFSWords)
+	}
+	if err != nil {
+		return nil, err
+	}
+	arena, err := bitvec.ArenaFromWords(words, numEdges, width)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+	}
+	return &BFSIndex{
+		g:        g,
+		rng:      rng.New(seed),
+		width:    width,
+		valid:    valid,
+		edgeBits: arena,
+		frozen:   f.Mapped(),
+	}, nil
+}
+
+// probTreeToData flattens the decomposition into the container's columnar
+// form.
+func probTreeToData(ix *ProbTreeIndex) *snapshot.ProbTreeData {
+	bags := len(ix.bags)
+	d := &snapshot.ProbTreeData{
+		Width:      ix.width,
+		Root:       ix.root,
+		NumNodes:   ix.g.NumNodes(),
+		BagOf:      ix.bagOf,
+		Covered:    make([]int32, bags),
+		Parent:     make([]int32, bags),
+		NodeOff:    make([]uint64, bags+1),
+		RawOff:     make([]uint64, bags+1),
+		ContribOff: make([]uint64, bags+1),
+		ChildOff:   make([]uint64, bags+1),
+	}
+	for i := range ix.bags {
+		b := &ix.bags[i]
+		d.Covered[i] = int32(b.covered)
+		d.Parent[i] = int32(b.parent)
+		d.Nodes = append(d.Nodes, b.nodes...)
+		for _, e := range b.raw {
+			d.RawFrom = append(d.RawFrom, e.From)
+			d.RawTo = append(d.RawTo, e.To)
+			d.RawP = append(d.RawP, e.P)
+		}
+		for _, e := range b.contrib {
+			d.ContribFrom = append(d.ContribFrom, e.From)
+			d.ContribTo = append(d.ContribTo, e.To)
+			d.ContribP = append(d.ContribP, e.P)
+		}
+		for _, c := range b.children {
+			d.Children = append(d.Children, int32(c))
+		}
+		d.NodeOff[i+1] = uint64(len(d.Nodes))
+		d.RawOff[i+1] = uint64(len(d.RawFrom))
+		d.ContribOff[i+1] = uint64(len(d.ContribFrom))
+		d.ChildOff[i+1] = uint64(len(d.Children))
+	}
+	return d
+}
+
+// probTreeIndexFromData rebuilds a ProbTreeIndex from the columnar form.
+// Each bag's node list aliases the (possibly mapped) concat array —
+// queriers only read it — while edge lists and child slices are
+// materialized. Semantic checks the structural loader could not do run
+// here: node counts against the graph, edge endpoints, probabilities.
+func probTreeIndexFromData(g *uncertain.Graph, d *snapshot.ProbTreeData) (*ProbTreeIndex, error) {
+	if d.NumNodes != g.NumNodes() {
+		return nil, fmt.Errorf("core: index built for %d nodes, graph has %d", d.NumNodes, g.NumNodes())
+	}
+	bags := d.NumBags()
+	ix := &ProbTreeIndex{
+		g:     g,
+		width: d.Width,
+		root:  d.Root,
+		bagOf: d.BagOf,
+		bags:  make([]ptBag, bags),
+	}
+	edgeList := func(which string, off []uint64, i int, from, to []int32, p []float64) ([]uncertain.Edge, error) {
+		lo, hi := off[i], off[i+1]
+		if lo == hi {
+			return nil, nil
+		}
+		out := make([]uncertain.Edge, hi-lo)
+		for j := lo; j < hi; j++ {
+			e := uncertain.Edge{From: from[j], To: to[j], P: p[j]}
+			if e.From < 0 || int(e.From) >= d.NumNodes || e.To < 0 || int(e.To) >= d.NumNodes {
+				return nil, fmt.Errorf("%w: probtree bag %d %s edge (%d,%d) out of range [0,%d)",
+					snapshot.ErrCorrupt, i, which, e.From, e.To, d.NumNodes)
+			}
+			if !(e.P > 0 && e.P <= 1) {
+				return nil, fmt.Errorf("%w: probtree bag %d %s edge probability %v outside (0,1]",
+					snapshot.ErrCorrupt, i, which, e.P)
+			}
+			out[j-lo] = e
+		}
+		return out, nil
+	}
+	for i := 0; i < bags; i++ {
+		b := &ix.bags[i]
+		b.covered = d.Covered[i]
+		b.parent = int(d.Parent[i])
+		b.nodes = d.Nodes[d.NodeOff[i]:d.NodeOff[i+1]:d.NodeOff[i+1]]
+		var err error
+		if b.raw, err = edgeList("raw", d.RawOff, i, d.RawFrom, d.RawTo, d.RawP); err != nil {
+			return nil, err
+		}
+		if b.contrib, err = edgeList("contrib", d.ContribOff, i, d.ContribFrom, d.ContribTo, d.ContribP); err != nil {
+			return nil, err
+		}
+		if lo, hi := d.ChildOff[i], d.ChildOff[i+1]; lo < hi {
+			b.children = make([]int, hi-lo)
+			for j := lo; j < hi; j++ {
+				b.children[j-lo] = int(d.Children[j])
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Snapshot is a graph plus its offline indexes loaded from one container
+// file. Close releases the mapping; every loaded structure aliases it, so
+// nothing loaded from the snapshot may be used after Close.
+type Snapshot struct {
+	Manifest snapshot.Manifest
+	Graph    *uncertain.Graph
+	BFS      *BFSIndex      // nil if the snapshot holds no BFS index
+	ProbTree *ProbTreeIndex // nil if the snapshot holds no ProbTree index
+
+	f *snapshot.File
+}
+
+// WriteSnapshot serializes a graph and its indexes (either may be nil)
+// into one container. The manifest's graph fields are filled in; the
+// caller provides the engine-level fields (EngineSeed, MaxK, PTWidth).
+func WriteSnapshot(w io.Writer, g *uncertain.Graph, bfs *BFSIndex, pt *ProbTreeIndex, man snapshot.Manifest) error {
+	man.GraphName = g.Name()
+	man.Nodes = int64(g.NumNodes())
+	man.Edges = int64(g.NumEdges())
+	man.HasBFS = bfs != nil
+	man.HasProbTree = pt != nil
+	sw := snapshot.NewWriter()
+	if err := sw.AddManifest(man); err != nil {
+		return err
+	}
+	snapshot.AddGraph(sw, g)
+	if bfs != nil {
+		if bfs.g != g {
+			return fmt.Errorf("core: BFS index was built over a different graph")
+		}
+		if err := addBFSIndex(sw, bfs); err != nil {
+			return err
+		}
+	}
+	if pt != nil {
+		if pt.g != g {
+			return fmt.Errorf("core: ProbTree index was built over a different graph")
+		}
+		snapshot.AddProbTree(sw, probTreeToData(pt))
+	}
+	_, err := sw.WriteTo(w)
+	return err
+}
+
+// OpenSnapshot opens the container at path — memory-mapped read-only
+// where the platform allows — and reconstructs the graph and whatever
+// indexes it holds. The caller owns the returned Snapshot and must Close
+// it when the graph and indexes are no longer in use.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	f, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSnapshot(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadSnapshot reads a container stream into the heap and reconstructs
+// its contents. Heap-backed snapshots need no Close and their indexes
+// stay mutable.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	f, err := snapshot.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(f)
+}
+
+func newSnapshot(f *snapshot.File) (*Snapshot, error) {
+	man, err := f.LoadManifest()
+	if err != nil {
+		return nil, err
+	}
+	g, err := snapshot.LoadGraph(f, man.GraphName)
+	if err != nil {
+		return nil, err
+	}
+	if int64(g.NumNodes()) != man.Nodes || int64(g.NumEdges()) != man.Edges {
+		return nil, fmt.Errorf("%w: manifest says n=%d m=%d, graph sections hold n=%d m=%d",
+			snapshot.ErrCorrupt, man.Nodes, man.Edges, g.NumNodes(), g.NumEdges())
+	}
+	s := &Snapshot{Manifest: man, Graph: g, f: f}
+	if f.Has(snapshot.SecBFSWords) {
+		if s.BFS, err = bfsIndexFromFile(g, f, man.EngineSeed); err != nil {
+			return nil, err
+		}
+	}
+	if f.Has(snapshot.SecPTMeta) {
+		d, err := snapshot.LoadProbTree(f)
+		if err != nil {
+			return nil, err
+		}
+		if s.ProbTree, err = probTreeIndexFromData(g, d); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Mapped reports whether the snapshot is backed by a read-only memory
+// mapping (its BFS index is then frozen).
+func (s *Snapshot) Mapped() bool { return s.f.Mapped() }
+
+// SizeBytes returns the container image size.
+func (s *Snapshot) SizeBytes() int64 { return s.f.Size() }
+
+// Verify checksums every section of the underlying container, faulting
+// the whole file in.
+func (s *Snapshot) Verify() error { return s.f.Verify() }
+
+// Sections lists the container's sections, for inspection tools.
+func (s *Snapshot) Sections() []snapshot.SectionInfo { return s.f.Sections() }
+
+// Close releases the underlying mapping, if any. The graph and indexes
+// loaded from the snapshot must not be used afterwards.
+func (s *Snapshot) Close() error { return s.f.Close() }

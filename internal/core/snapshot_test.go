@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relcomp/internal/datasets"
+	"relcomp/internal/rng"
+	"relcomp/internal/snapshot"
+	"relcomp/internal/uncertain"
+)
+
+// writeTestSnapshot serializes g with both indexes and returns the image.
+func writeTestSnapshot(t testing.TB, g *uncertain.Graph, bfs *BFSIndex, pt *ProbTreeIndex, man snapshot.Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, bfs, pt, man); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func snapTestSetup(t testing.TB) (*uncertain.Graph, *BFSIndex, *ProbTreeIndex, []byte) {
+	t.Helper()
+	g := randomTestGraph(rng.New(11), 80, 400)
+	bfs := NewBFSIndex(g, 1234, 64)
+	pt := NewProbTreeIndex(g, DefaultTreeWidth)
+	img := writeTestSnapshot(t, g, bfs, pt, snapshot.Manifest{Tool: "test", EngineSeed: 7, MaxK: 64})
+	return g, bfs, pt, img
+}
+
+func TestSnapshotRoundTripHeap(t *testing.T) {
+	g, bfs, pt, img := snapTestSetup(t)
+
+	snap, err := ReadSnapshot(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if snap.Mapped() {
+		t.Error("heap snapshot reports Mapped")
+	}
+	man := snap.Manifest
+	if man.GraphName != g.Name() || man.Nodes != int64(g.NumNodes()) || man.Edges != int64(g.NumEdges()) {
+		t.Errorf("manifest graph fields %+v do not match graph", man)
+	}
+	if !man.HasBFS || !man.HasProbTree {
+		t.Errorf("manifest index flags %+v", man)
+	}
+	if snap.Graph.NumNodes() != g.NumNodes() || snap.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph shape: got (%d,%d), want (%d,%d)",
+			snap.Graph.NumNodes(), snap.Graph.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if snap.BFS == nil || snap.ProbTree == nil {
+		t.Fatal("indexes missing from loaded snapshot")
+	}
+
+	// The BFS word arena must survive bit-for-bit.
+	got, want := snap.BFS.edgeBits.Words(), bfs.edgeBits.Words()
+	if len(got) != len(want) {
+		t.Fatalf("word arena length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+
+	// Loaded-index estimates must be bit-identical to the source index's.
+	bq, lq := bfs.Querier(), snap.BFS.Querier()
+	pq, lpq := pt.Querier(99, nil), snap.ProbTree.Querier(99, nil)
+	for s := 0; s < 5; s++ {
+		for d := 5; d < 10; d++ {
+			sid, tid := uncertain.NodeID(s), uncertain.NodeID(d)
+			if a, b := bq.Estimate(sid, tid, 64), lq.Estimate(sid, tid, 64); a != b {
+				t.Errorf("BFS estimate(%d,%d) loaded %v != built %v", s, d, b, a)
+			}
+			if a, b := pq.Estimate(sid, tid, 50), lpq.Estimate(sid, tid, 50); a != b {
+				t.Errorf("ProbTree estimate(%d,%d) loaded %v != built %v", s, d, b, a)
+			}
+		}
+	}
+
+	// Heap-backed indexes stay mutable, like the old gob loaders' output.
+	snap.BFS.Resample()
+}
+
+func TestSnapshotOpenMapped(t *testing.T) {
+	_, bfs, _, img := snapTestSetup(t)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	defer snap.Close()
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if snap.SizeBytes() != int64(len(img)) {
+		t.Errorf("SizeBytes = %d, want %d", snap.SizeBytes(), len(img))
+	}
+	if len(snap.Sections()) == 0 {
+		t.Error("Sections returned nothing")
+	}
+
+	bq, lq := bfs.Querier(), snap.BFS.Querier()
+	for s := 0; s < 5; s++ {
+		sid, tid := uncertain.NodeID(s), uncertain.NodeID(s+20)
+		if a, b := bq.Estimate(sid, tid, 64), lq.Estimate(sid, tid, 64); a != b {
+			t.Errorf("estimate(%d,%d) loaded %v != built %v", sid, tid, b, a)
+		}
+	}
+
+	if !snap.Mapped() {
+		t.Skip("platform without mmap: frozen-index semantics not exercised")
+	}
+	// A mapped index aliases a read-only page; Resample must refuse
+	// loudly instead of faulting.
+	defer func() {
+		if recover() == nil {
+			t.Error("Resample on a mapped (frozen) index did not panic")
+		}
+	}()
+	snap.BFS.Resample()
+}
+
+func TestSnapshotGraphOnly(t *testing.T) {
+	g := randomTestGraph(rng.New(5), 30, 90)
+	img := writeTestSnapshot(t, g, nil, nil, snapshot.Manifest{Tool: "test"})
+	snap, err := ReadSnapshot(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.BFS != nil || snap.ProbTree != nil {
+		t.Error("graph-only snapshot produced indexes")
+	}
+	if snap.Manifest.HasBFS || snap.Manifest.HasProbTree {
+		t.Errorf("manifest flags %+v, want none", snap.Manifest)
+	}
+	if snap.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("graph edges %d, want %d", snap.Graph.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestSnapshotRejectsForeignIndexes(t *testing.T) {
+	g := randomTestGraph(rng.New(6), 30, 90)
+	other := randomTestGraph(rng.New(7), 30, 90)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, NewBFSIndex(other, 1, 8), nil, snapshot.Manifest{}); err == nil {
+		t.Error("BFS index over a different graph accepted")
+	}
+	buf.Reset()
+	if err := WriteSnapshot(&buf, g, nil, NewProbTreeIndex(other, DefaultTreeWidth), snapshot.Manifest{}); err == nil {
+		t.Error("ProbTree index over a different graph accepted")
+	}
+}
+
+func TestSnapshotRejectsPrefixResampledIndex(t *testing.T) {
+	g := randomTestGraph(rng.New(8), 30, 90)
+	ix := NewBFSIndex(g, 1, 16)
+	ix.ResamplePrefix(4)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, ix, nil, snapshot.Manifest{}); err == nil {
+		t.Error("prefix-resampled index accepted")
+	}
+}
+
+func TestSnapshotCorruptPayloadFailsLoad(t *testing.T) {
+	_, _, _, img := snapTestSetup(t)
+	// Flip a byte in every section in turn; any loadable result would
+	// mean silently serving garbage. Heap loads checksum everything.
+	f, err := snapshot.FromBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range f.Sections() {
+		if sec.Length == 0 {
+			continue
+		}
+		bad := append([]byte(nil), img...)
+		bad[sec.Offset+sec.Length/2] ^= 0x10
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Errorf("section %s: corrupted snapshot loaded cleanly", sec.Name)
+		} else if !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Errorf("section %s: error %v does not wrap ErrCorrupt", sec.Name, err)
+		}
+	}
+}
+
+func TestIndexIORoundTripStillWorks(t *testing.T) {
+	// The single-index WriteIndex/Load API (once gob, now a thin wrapper
+	// over the container format) must keep its contract: write to a
+	// stream, load from it, identical answers, mutable result.
+	g := randomTestGraph(rng.New(12), 40, 160)
+	ix := NewBFSIndex(g, 77, 32)
+	var buf bytes.Buffer
+	if err := ix.WriteIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBFSIndex(g, &buf, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ix.Querier(), got.Querier()
+	if x, y := a.Estimate(0, 7, 32), b.Estimate(0, 7, 32); x != y {
+		t.Errorf("estimate after stream round trip: %v != %v", y, x)
+	}
+	got.Resample() // stream-loaded indexes stay mutable
+}
+
+// Snapshot cold start vs. from-scratch index build on DBLP_0.2 — the
+// paper's Fig. 13(c) "index loading time" axis. The snapshot is built
+// once outside the timed loop; each iteration opens, reconstructs, and
+// touches the loaded structures.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	g := datasets.DBLP02(0.2, 42)
+	bfs := NewBFSIndex(g, 1234, 2000)
+	pt := NewProbTreeIndex(g, DefaultTreeWidth)
+	path := filepath.Join(b.TempDir(), "dblp02.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSnapshot(f, g, bfs, pt, snapshot.Manifest{Tool: "bench", EngineSeed: 42, MaxK: 2000}); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := OpenSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.BFS == nil || snap.ProbTree == nil {
+			b.Fatal("indexes missing")
+		}
+		// One query per index so lazily-faulted pages are actually touched.
+		snap.BFS.Querier().Estimate(0, 1, 100)
+		snap.ProbTree.Querier(1, nil).Estimate(0, 1, 10)
+		snap.Close()
+	}
+}
+
+// The from-scratch baseline BenchmarkSnapshotLoad is compared against:
+// building the same two indexes over the already-loaded DBLP_0.2 graph.
+func BenchmarkSnapshotBuildIndexes(b *testing.B) {
+	g := datasets.DBLP02(0.2, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs := NewBFSIndex(g, 1234, 2000)
+		pt := NewProbTreeIndex(g, DefaultTreeWidth)
+		bfs.Querier().Estimate(0, 1, 100)
+		pt.Querier(1, nil).Estimate(0, 1, 10)
+	}
+}

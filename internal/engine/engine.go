@@ -113,6 +113,21 @@ type Config struct {
 	// HardWidth is the bounds width above which routing prefers accuracy
 	// over speed; <= 0 means 0.25.
 	HardWidth float64
+	// Preloaded supplies pre-built offline indexes (typically loaded from
+	// a snapshot) for the index-based estimator pools, which then skip
+	// their lazy first-borrow build. Nil fields fall back to building.
+	Preloaded *PreloadedIndexes
+}
+
+// PreloadedIndexes carries pre-built offline indexes into New. Each index
+// must have been built over the exact graph the engine serves, and the
+// BFS index's width must equal the engine's MaxK — with the same engine
+// seed, answers are then bit-identical to an engine that built its own
+// indexes (see NewFromSnapshot, which pins seed and MaxK from the
+// snapshot manifest).
+type PreloadedIndexes struct {
+	BFS      *core.BFSIndex
+	ProbTree *core.ProbTreeIndex
 }
 
 // Query and Result — the typed Request union and its Response — are
@@ -183,6 +198,9 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 	if len(cfg.Estimators) == 0 {
 		cfg.Estimators = DefaultEstimators()
 	}
+	if err := validatePreloaded(g, cfg); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		g:         g,
 		cfg:       cfg,
@@ -197,7 +215,7 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 		if _, dup := e.pools[name]; dup {
 			return nil, fmt.Errorf("engine: estimator %q configured twice", name)
 		}
-		factory, err := factoryFor(name, g, replicaSeed(cfg.Seed, name), cfg.MaxK, cfg.Workers)
+		factory, err := factoryFor(name, g, replicaSeed(cfg.Seed, name), cfg.MaxK, cfg.Workers, cfg.Preloaded)
 		if err != nil {
 			return nil, err
 		}
@@ -243,16 +261,25 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 // replica is a lightweight online-scratch handle over that shared index.
 // Engine memory for an index is therefore O(index) regardless of Workers,
 // and only the first borrow pays build latency; all later replicas
-// construct in near-zero time.
-func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int) (func() core.Estimator, error) {
+// construct in near-zero time. A preloaded index (validated by New)
+// replaces the lazy build outright, so the first borrow costs nothing.
+func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int, pre *PreloadedIndexes) (func() core.Estimator, error) {
 	switch name {
 	case "MC":
 		return func() core.Estimator { return core.NewMC(g, seed) }, nil
 	case "BFSSharing":
 		index := sync.OnceValue(func() *core.BFSIndex { return core.NewBFSIndex(g, seed, maxK) })
+		if pre != nil && pre.BFS != nil {
+			ix := pre.BFS
+			index = func() *core.BFSIndex { return ix }
+		}
 		return func() core.Estimator { return index().Querier() }, nil
 	case "ProbTree":
 		index := sync.OnceValue(func() *core.ProbTreeIndex { return core.NewProbTreeIndex(g, core.DefaultTreeWidth) })
+		if pre != nil && pre.ProbTree != nil {
+			ix := pre.ProbTree
+			index = func() *core.ProbTreeIndex { return ix }
+		}
 		return func() core.Estimator { return index().Querier(seed, nil) }, nil
 	case "LP+":
 		return func() core.Estimator { return core.NewLazyProp(g, seed) }, nil

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"relcomp/internal/core"
+	"relcomp/internal/snapshot"
+	"relcomp/internal/uncertain"
+)
+
+// Snapshot integration: building the engine's offline indexes ahead of
+// time, persisting them with the graph in one container, and starting an
+// engine from a loaded container so cold start skips index construction
+// entirely.
+//
+// Determinism contract: the engine builds its BFS Sharing index with
+// seed replicaSeed(cfg.Seed, "BFSSharing") and width cfg.MaxK, and its
+// ProbTree index deterministically at the default width. BuildIndexes
+// reproduces exactly that, and the snapshot manifest records cfg.Seed
+// and cfg.MaxK — so an engine started by NewFromSnapshot (which pins its
+// seed and MaxK from the manifest) answers every query bit-identically
+// to an engine with the same Config that built the indexes itself.
+
+// validatePreloaded checks cfg.Preloaded against the graph and the
+// normalized config (called by New after defaults are applied).
+func validatePreloaded(g *uncertain.Graph, cfg Config) error {
+	pre := cfg.Preloaded
+	if pre == nil {
+		return nil
+	}
+	if ix := pre.BFS; ix != nil {
+		if ix.Graph() != g {
+			return fmt.Errorf("engine: preloaded BFSSharing index was built over a different graph")
+		}
+		if ix.Width() != cfg.MaxK {
+			return fmt.Errorf("engine: preloaded BFSSharing index width %d != engine MaxK %d", ix.Width(), cfg.MaxK)
+		}
+	}
+	if ix := pre.ProbTree; ix != nil {
+		if ix.Graph() != g {
+			return fmt.Errorf("engine: preloaded ProbTree index was built over a different graph")
+		}
+		if ix.Width() != core.DefaultTreeWidth {
+			return fmt.Errorf("engine: preloaded ProbTree index width %d != engine width %d", ix.Width(), core.DefaultTreeWidth)
+		}
+	}
+	return nil
+}
+
+// BuildIndexes constructs the offline indexes an engine with this config
+// would build lazily: the BFS Sharing index (seeded exactly like the
+// engine's own pool) and the ProbTree decomposition.
+func BuildIndexes(g *uncertain.Graph, cfg Config) *PreloadedIndexes {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 2000
+	}
+	return &PreloadedIndexes{
+		BFS:      core.NewBFSIndex(g, replicaSeed(cfg.Seed, sharedName), cfg.MaxK),
+		ProbTree: core.NewProbTreeIndex(g, core.DefaultTreeWidth),
+	}
+}
+
+// WriteSnapshot builds the indexes for (g, cfg) and writes the complete
+// container — graph, BFS Sharing index, ProbTree index, manifest — to w.
+func WriteSnapshot(w io.Writer, g *uncertain.Graph, cfg Config) error {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 2000
+	}
+	pre := BuildIndexes(g, cfg)
+	return core.WriteSnapshot(w, g, pre.BFS, pre.ProbTree, snapshot.Manifest{
+		Tool:        "relsnap",
+		EngineSeed:  cfg.Seed,
+		MaxK:        cfg.MaxK,
+		PTWidth:     core.DefaultTreeWidth,
+		CreatedUnix: time.Now().Unix(),
+	})
+}
+
+// NewFromSnapshot starts an engine over a loaded snapshot: the snapshot's
+// graph, its indexes preloaded into the estimator pools, and the seed and
+// MaxK pinned from the manifest (the values the indexes were built
+// under). Other Config fields (Workers, CacheSize, Estimators, ...) apply
+// as usual; setting cfg.Seed or cfg.MaxK to a conflicting non-zero value
+// is an error rather than a silent override.
+//
+// The engine aliases the snapshot's mapping; the caller must keep the
+// snapshot open for the engine's lifetime.
+func NewFromSnapshot(snap *core.Snapshot, cfg Config) (*Engine, error) {
+	man := snap.Manifest
+	if cfg.Seed != 0 && cfg.Seed != man.EngineSeed {
+		return nil, fmt.Errorf("engine: config seed %d conflicts with snapshot seed %d", cfg.Seed, man.EngineSeed)
+	}
+	if cfg.MaxK > 0 && cfg.MaxK != man.MaxK {
+		return nil, fmt.Errorf("engine: config MaxK %d conflicts with snapshot MaxK %d", cfg.MaxK, man.MaxK)
+	}
+	cfg.Seed = man.EngineSeed
+	cfg.MaxK = man.MaxK
+	cfg.Preloaded = &PreloadedIndexes{BFS: snap.BFS, ProbTree: snap.ProbTree}
+	return New(snap.Graph, cfg)
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// snapshotPair builds an engine the ordinary way and a second engine from
+// a snapshot written under the same config, over the same graph content.
+func snapshotPair(t *testing.T, cfg Config) (*Engine, *Engine, *core.Snapshot) {
+	t.Helper()
+	g := testGraph(t)
+	built, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, cfg); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	loaded, err := NewFromSnapshot(snap, Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})
+	if err != nil {
+		t.Fatalf("NewFromSnapshot: %v", err)
+	}
+	return built, loaded, snap
+}
+
+func TestNewFromSnapshotBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 42, MaxK: 300, Workers: 2}
+	built, loaded, snap := snapshotPair(t, cfg)
+	if loaded.MaxK() != built.MaxK() {
+		t.Fatalf("loaded MaxK %d, built %d", loaded.MaxK(), built.MaxK())
+	}
+	if !snap.Manifest.HasBFS || !snap.Manifest.HasProbTree {
+		t.Fatalf("snapshot manifest %+v missing indexes", snap.Manifest)
+	}
+
+	ctx := context.Background()
+	// Every estimator, several (s,t,k) points: the snapshot-loaded engine
+	// must answer exactly what the self-built engine answers.
+	for _, name := range built.Names() {
+		for s := 0; s < 3; s++ {
+			q := Query{S: uncertain.NodeID(s), T: uncertain.NodeID(s + 4), K: 120, Estimator: name}
+			a, b := built.Estimate(ctx, q), loaded.Estimate(ctx, q)
+			if a.Err != nil || b.Err != nil {
+				t.Fatalf("%s (%d): built err %v, loaded err %v", name, s, a.Err, b.Err)
+			}
+			if a.Reliability != b.Reliability {
+				t.Errorf("%s s=%d: built %v, loaded %v — not bit-identical", name, s, a.Reliability, b.Reliability)
+			}
+		}
+	}
+
+	// And through the batch path, which exercises the shared-index fast
+	// lane of the BFS Sharing pool.
+	qs := testQueries([]string{"BFSSharing", "ProbTree", "MC"})
+	ra, rb := built.EstimateBatch(ctx, qs), loaded.EstimateBatch(ctx, qs)
+	for i := range qs {
+		if ra[i].Err != nil || rb[i].Err != nil {
+			t.Fatalf("batch %d: errs %v / %v", i, ra[i].Err, rb[i].Err)
+		}
+		if ra[i].Reliability != rb[i].Reliability {
+			t.Errorf("batch %d (%s): built %v, loaded %v", i, qs[i].Estimator, ra[i].Reliability, rb[i].Reliability)
+		}
+	}
+}
+
+func TestNewFromSnapshotRejectsConflicts(t *testing.T) {
+	cfg := Config{Seed: 42, MaxK: 200}
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromSnapshot(snap, Config{Seed: 43}); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("conflicting seed: err = %v", err)
+	}
+	if _, err := NewFromSnapshot(snap, Config{MaxK: 999}); err == nil || !strings.Contains(err.Error(), "MaxK") {
+		t.Errorf("conflicting MaxK: err = %v", err)
+	}
+	// Matching values (and zero values) are fine.
+	if _, err := NewFromSnapshot(snap, Config{Seed: 42, MaxK: 200}); err != nil {
+		t.Errorf("matching config rejected: %v", err)
+	}
+}
+
+func TestValidatePreloaded(t *testing.T) {
+	g := testGraph(t)
+	other := testGraph(t)
+	if _, err := New(g, Config{MaxK: 100, Preloaded: &PreloadedIndexes{
+		BFS: core.NewBFSIndex(g, 1, 50),
+	}}); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Errorf("width-mismatched preloaded BFS index: err = %v", err)
+	}
+	if _, err := New(g, Config{MaxK: 100, Preloaded: &PreloadedIndexes{
+		BFS: core.NewBFSIndex(other, 1, 100),
+	}}); err == nil || !strings.Contains(err.Error(), "different graph") {
+		t.Errorf("foreign preloaded BFS index: err = %v", err)
+	}
+	if _, err := New(g, Config{MaxK: 100, Preloaded: &PreloadedIndexes{
+		ProbTree: core.NewProbTreeIndex(other, core.DefaultTreeWidth),
+	}}); err == nil || !strings.Contains(err.Error(), "different graph") {
+		t.Errorf("foreign preloaded ProbTree index: err = %v", err)
+	}
+	// A correctly matched pair passes.
+	pre := BuildIndexes(g, Config{Seed: 9, MaxK: 100})
+	if _, err := New(g, Config{Seed: 9, MaxK: 100, Preloaded: pre}); err != nil {
+		t.Errorf("valid preloaded indexes rejected: %v", err)
+	}
+}

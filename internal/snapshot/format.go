@@ -1,0 +1,415 @@
+// Package snapshot implements the persistent on-disk container for the
+// immutable offline structures of the paper's index-based estimators: the
+// CSR graph with edge probabilities, the BFS Sharing edge bit-vector
+// arena, and the ProbTree decomposition. The paper's Fig. 13(c) measures
+// "index loading time" — the cost of bringing a pre-built index back into
+// memory — and this package drives it toward O(page faults): files are
+// memory-mapped read-only and the large numeric sections are aliased in
+// place rather than decoded.
+//
+// The container is a sectioned binary format:
+//
+//	offset 0:  64-byte header
+//	           magic "RELSNAP1" | version u32 | sections u32 |
+//	           fileSize u64 | tableCRC u32 | reserved (zeros)
+//	offset 64: section table, 32 bytes per section
+//	           type u32 | crc u32 (crc32c of payload) |
+//	           offset u64 | length u64 | count u64
+//	then:      section payloads, each 64-byte aligned, zero padded
+//
+// All integers are little-endian. Payload offsets are aligned to 64 bytes
+// so that u64/f64 sections can be aliased on any mapping (pages are
+// page-aligned; heap fallbacks are checked at alias time) and so section
+// starts never share a cache line with the previous payload's tail.
+//
+// Corruption never panics: a truncated file, bad magic, or failed
+// checksum surfaces as an error wrapping ErrCorrupt; an unknown format
+// version wraps ErrVersion. Checksums on the bulk sections (the BFS word
+// arena dominates file size) are verified only by an explicit Verify call
+// — an Open followed by queries stays lazy and pays only page faults —
+// while the header, table, and every section a caller actually decodes
+// through the verifying accessors are checked up front.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// Magic identifies a snapshot file; the trailing "1" is part of the magic,
+// not the version (the version field can move independently).
+const Magic = "RELSNAP1"
+
+// Version is the current format version. Readers reject other versions
+// with ErrVersion.
+const Version = 1
+
+const (
+	headerSize = 64
+	entrySize  = 32
+	align      = 64
+)
+
+// maxSections bounds the section count a reader will accept, so a
+// corrupted count cannot drive a huge allocation before the table
+// checksum is even checked.
+const maxSections = 1 << 16
+
+var (
+	// ErrCorrupt is wrapped by every error caused by a malformed,
+	// truncated, or checksum-failing snapshot file.
+	ErrCorrupt = errors.New("snapshot: corrupt file")
+	// ErrVersion is wrapped when the file is a valid snapshot of an
+	// unsupported format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+)
+
+// castagnoli is the CRC-32C table; the polynomial has hardware support on
+// amd64 and arm64, so checksumming runs near memory bandwidth.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// section is one parsed table entry.
+type section struct {
+	typ    uint32
+	crc    uint32
+	offset uint64
+	length uint64
+	count  uint64
+}
+
+// SectionInfo describes one section for inspection tools.
+type SectionInfo struct {
+	Type   uint32
+	Name   string
+	Offset uint64
+	Length uint64
+	Count  uint64
+	CRC    uint32
+}
+
+// Writer accumulates sections and serializes the container. Payload
+// slices are aliased, not copied; the caller must keep them unchanged
+// until WriteTo returns.
+type Writer struct {
+	sections []section
+	payloads [][]byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// AddBytes adds a raw byte section. count is the caller's element count
+// (stored verbatim in the table; the typed accessors cross-check it
+// against the length on load).
+func (w *Writer) AddBytes(typ uint32, payload []byte, count int) {
+	for _, s := range w.sections {
+		if s.typ == typ {
+			panic(fmt.Sprintf("snapshot: duplicate section type %#x", typ))
+		}
+	}
+	w.sections = append(w.sections, section{
+		typ:    typ,
+		crc:    crc32.Checksum(payload, castagnoli),
+		length: uint64(len(payload)),
+		count:  uint64(count),
+	})
+	w.payloads = append(w.payloads, payload)
+}
+
+// AddUint64s adds a []uint64 section.
+func (w *Writer) AddUint64s(typ uint32, v []uint64) { w.AddBytes(typ, u64Bytes(v), len(v)) }
+
+// AddInt32s adds a []int32 section.
+func (w *Writer) AddInt32s(typ uint32, v []int32) { w.AddBytes(typ, i32Bytes(v), len(v)) }
+
+// AddFloat64s adds a []float64 section.
+func (w *Writer) AddFloat64s(typ uint32, v []float64) { w.AddBytes(typ, f64Bytes(v), len(v)) }
+
+// WriteTo serializes the container. It lays out payloads in insertion
+// order at 64-byte aligned offsets, then emits header, table, and
+// payloads with padding.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	off := uint64(alignUp(headerSize + entrySize*len(w.sections)))
+	for i := range w.sections {
+		w.sections[i].offset = off
+		off = alignUp(int(off) + int(w.sections[i].length))
+	}
+	fileSize := off
+	if len(w.sections) > 0 {
+		last := &w.sections[len(w.sections)-1]
+		fileSize = last.offset + last.length // no trailing padding
+	}
+
+	table := make([]byte, entrySize*len(w.sections))
+	for i, s := range w.sections {
+		e := table[i*entrySize:]
+		putU32(e[0:], s.typ)
+		putU32(e[4:], s.crc)
+		putU64(e[8:], s.offset)
+		putU64(e[16:], s.length)
+		putU64(e[24:], s.count)
+	}
+
+	header := make([]byte, headerSize)
+	copy(header, Magic)
+	putU32(header[8:], Version)
+	putU32(header[12:], uint32(len(w.sections)))
+	putU64(header[16:], fileSize)
+	putU32(header[24:], crc32.Checksum(table, castagnoli))
+
+	var n int64
+	write := func(b []byte) error {
+		k, err := out.Write(b)
+		n += int64(k)
+		return err
+	}
+	if err := write(header); err != nil {
+		return n, err
+	}
+	if err := write(table); err != nil {
+		return n, err
+	}
+	pos := uint64(headerSize + len(table))
+	var pad [align]byte
+	for i, s := range w.sections {
+		if s.offset > pos {
+			if err := write(pad[:s.offset-pos]); err != nil {
+				return n, err
+			}
+			pos = s.offset
+		}
+		if err := write(w.payloads[i]); err != nil {
+			return n, err
+		}
+		pos += s.length
+	}
+	return n, nil
+}
+
+func alignUp(n int) uint64 { return uint64((n + align - 1) &^ (align - 1)) }
+
+// File is an open snapshot. The data is either a read-only memory mapping
+// (Mapped reports true) or a heap buffer; either way sections returned by
+// the accessors alias it and stay valid until Close.
+type File struct {
+	data     []byte
+	sections []section
+	unmap    func() error
+	mapped   bool
+	verified []bool // per-section: payload CRC already checked
+}
+
+// Open opens the snapshot at path, memory-mapping it read-only where the
+// platform supports it and reading it into the heap otherwise. The
+// header, section table, and table checksum are validated; payload
+// checksums are validated lazily (see File.Bytes and Verify).
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if data, unmap, ok := mmapFile(f, st.Size()); ok {
+		sf, err := newFile(data, true, unmap)
+		if err != nil {
+			unmap()
+			return nil, err
+		}
+		return sf, nil
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return newFile(data, false, nil)
+}
+
+// ReadFrom reads a snapshot stream into the heap. Heap-backed files are
+// writable by the structures loaded over them (there is no read-only
+// mapping to fault on).
+func ReadFrom(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(data)
+}
+
+// FromBytes parses an in-memory snapshot image. The File aliases data.
+func FromBytes(data []byte) (*File, error) {
+	return newFile(data, false, nil)
+}
+
+func newFile(data []byte, mapped bool, unmap func() error) (*File, error) {
+	if len(data) < headerSize {
+		return nil, corruptf("file is %d bytes, shorter than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[:8]) != Magic {
+		return nil, corruptf("bad magic %q", data[:8])
+	}
+	if v := getU32(data[8:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, reader supports %d", ErrVersion, v, Version)
+	}
+	nsec := int(getU32(data[12:]))
+	if nsec > maxSections {
+		return nil, corruptf("section count %d exceeds limit %d", nsec, maxSections)
+	}
+	if size := getU64(data[16:]); size != uint64(len(data)) {
+		return nil, corruptf("header says %d bytes, file has %d (truncated?)", size, len(data))
+	}
+	tableEnd := headerSize + nsec*entrySize
+	if tableEnd > len(data) {
+		return nil, corruptf("section table extends past end of file")
+	}
+	table := data[headerSize:tableEnd]
+	if got := crc32.Checksum(table, castagnoli); got != getU32(data[24:]) {
+		return nil, corruptf("section table checksum mismatch")
+	}
+
+	sections := make([]section, nsec)
+	for i := range sections {
+		e := table[i*entrySize:]
+		s := section{
+			typ:    getU32(e[0:]),
+			crc:    getU32(e[4:]),
+			offset: getU64(e[8:]),
+			length: getU64(e[16:]),
+			count:  getU64(e[24:]),
+		}
+		if s.offset%align != 0 {
+			return nil, corruptf("section %#x at misaligned offset %d", s.typ, s.offset)
+		}
+		if s.offset > uint64(len(data)) || s.length > uint64(len(data))-s.offset {
+			return nil, corruptf("section %#x spans [%d,+%d), past the %d-byte file",
+				s.typ, s.offset, s.length, len(data))
+		}
+		for _, prev := range sections[:i] {
+			if prev.typ == s.typ {
+				return nil, corruptf("duplicate section type %#x", s.typ)
+			}
+		}
+		sections[i] = s
+	}
+	return &File{
+		data:     data,
+		sections: sections,
+		unmap:    unmap,
+		mapped:   mapped,
+		verified: make([]bool, nsec),
+	}, nil
+}
+
+// Mapped reports whether the file is backed by a read-only memory
+// mapping. Structures loaded over a mapped file must never be written.
+func (f *File) Mapped() bool { return f.mapped }
+
+// Size returns the snapshot image size in bytes.
+func (f *File) Size() int64 { return int64(len(f.data)) }
+
+// Close releases the mapping, if any. Sections handed out by the
+// accessors must not be used after Close.
+func (f *File) Close() error {
+	if f == nil || f.unmap == nil {
+		return nil
+	}
+	u := f.unmap
+	f.unmap = nil
+	f.data = nil
+	return u()
+}
+
+// Has reports whether a section of the given type is present.
+func (f *File) Has(typ uint32) bool {
+	_, ok := f.find(typ)
+	return ok
+}
+
+func (f *File) find(typ uint32) (int, bool) {
+	for i := range f.sections {
+		if f.sections[i].typ == typ {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (f *File) payload(i int) []byte {
+	s := f.sections[i]
+	return f.data[s.offset : s.offset+s.length : s.offset+s.length]
+}
+
+// Bytes returns a section's payload after verifying its checksum (once;
+// later calls are free). The slice aliases the file image: read-only when
+// the file is mapped.
+func (f *File) Bytes(typ uint32) ([]byte, error) {
+	i, ok := f.find(typ)
+	if !ok {
+		return nil, corruptf("missing section %s", SectionName(typ))
+	}
+	p := f.payload(i)
+	if !f.verified[i] {
+		if got := crc32.Checksum(p, castagnoli); got != f.sections[i].crc {
+			return nil, corruptf("section %s checksum mismatch (file %#08x, data %#08x)",
+				SectionName(typ), f.sections[i].crc, got)
+		}
+		f.verified[i] = true
+	}
+	return p, nil
+}
+
+// BytesNoVerify returns a section's payload without checksumming it. The
+// loaders use it for the bulk sections so a cold open stays O(page
+// faults); Verify covers them on demand.
+func (f *File) BytesNoVerify(typ uint32) ([]byte, int, error) {
+	i, ok := f.find(typ)
+	if !ok {
+		return nil, 0, corruptf("missing section %s", SectionName(typ))
+	}
+	return f.payload(i), int(f.sections[i].count), nil
+}
+
+// Verify checksums every section payload, faulting the whole file in.
+// relsnap verify and the corruption tests use it; serving paths do not.
+func (f *File) Verify() error {
+	for i := range f.sections {
+		if f.verified[i] {
+			continue
+		}
+		p := f.payload(i)
+		if got := crc32.Checksum(p, castagnoli); got != f.sections[i].crc {
+			return corruptf("section %s checksum mismatch (file %#08x, data %#08x)",
+				SectionName(f.sections[i].typ), f.sections[i].crc, got)
+		}
+		f.verified[i] = true
+	}
+	return nil
+}
+
+// Sections lists the file's sections in file order, for inspection.
+func (f *File) Sections() []SectionInfo {
+	out := make([]SectionInfo, len(f.sections))
+	for i, s := range f.sections {
+		out[i] = SectionInfo{
+			Type:   s.typ,
+			Name:   SectionName(s.typ),
+			Offset: s.offset,
+			Length: s.length,
+			Count:  s.count,
+			CRC:    s.crc,
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}

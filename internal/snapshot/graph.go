@@ -1,0 +1,71 @@
+package snapshot
+
+import "relcomp/internal/uncertain"
+
+// AddGraph adds the graph's CSR columns as sections. The Writer aliases
+// the graph's storage; the graph must stay alive until WriteTo returns.
+func AddGraph(w *Writer, g *uncertain.Graph) {
+	r := g.RawCSR()
+	w.AddInt32s(SecGraphOutIndex, r.OutIndex)
+	w.AddInt32s(SecGraphOutTo, r.OutTo)
+	w.AddFloat64s(SecGraphOutProb, r.OutProb)
+	w.AddInt32s(SecGraphOutEdge, r.OutEdge)
+	w.AddInt32s(SecGraphInIndex, r.InIndex)
+	w.AddInt32s(SecGraphInFrom, r.InFrom)
+	w.AddInt32s(SecGraphInEdge, r.InEdge)
+}
+
+// LoadGraph reconstructs the graph over the file's CSR sections. The
+// numeric columns alias the file image (NodeID and EdgeID are int32
+// aliases); only the edge list is materialized. uncertain.FromRawCSR
+// revalidates every structural invariant, and the column reads verify
+// their checksums, so a corrupted file fails here rather than panicking
+// inside a later query.
+func LoadGraph(f *File, name string) (*uncertain.Graph, error) {
+	outIndex, err := f.Int32s(SecGraphOutIndex)
+	if err != nil {
+		return nil, err
+	}
+	outTo, err := f.Int32s(SecGraphOutTo)
+	if err != nil {
+		return nil, err
+	}
+	outProb, err := f.Float64s(SecGraphOutProb)
+	if err != nil {
+		return nil, err
+	}
+	outEdge, err := f.Int32s(SecGraphOutEdge)
+	if err != nil {
+		return nil, err
+	}
+	inIndex, err := f.Int32s(SecGraphInIndex)
+	if err != nil {
+		return nil, err
+	}
+	inFrom, err := f.Int32s(SecGraphInFrom)
+	if err != nil {
+		return nil, err
+	}
+	inEdge, err := f.Int32s(SecGraphInEdge)
+	if err != nil {
+		return nil, err
+	}
+	if len(outIndex) == 0 {
+		return nil, corruptf("graph.outIndex is empty")
+	}
+	g, err := uncertain.FromRawCSR(uncertain.RawCSR{
+		Name:     name,
+		NumNodes: len(outIndex) - 1,
+		OutIndex: outIndex,
+		OutTo:    outTo,
+		OutProb:  outProb,
+		OutEdge:  outEdge,
+		InIndex:  inIndex,
+		InFrom:   inFrom,
+		InEdge:   inEdge,
+	})
+	if err != nil {
+		return nil, corruptf("%v", err)
+	}
+	return g, nil
+}

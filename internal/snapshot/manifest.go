@@ -1,0 +1,44 @@
+package snapshot
+
+import "encoding/json"
+
+// Manifest is the snapshot's self-description, stored as a JSON section
+// so inspection tools can show it without knowing the numeric sections.
+// EngineSeed and MaxK pin the engine configuration the indexes were built
+// under: an engine started from the snapshot must use exactly these for
+// its answers to be bit-identical to one that built the indexes itself.
+type Manifest struct {
+	Tool        string `json:"tool,omitempty"`
+	GraphName   string `json:"graph"`
+	Nodes       int64  `json:"nodes"`
+	Edges       int64  `json:"edges"`
+	EngineSeed  uint64 `json:"engineSeed"`
+	MaxK        int    `json:"maxK,omitempty"`
+	PTWidth     int    `json:"ptWidth,omitempty"`
+	HasBFS      bool   `json:"hasBFS"`
+	HasProbTree bool   `json:"hasProbTree"`
+	CreatedUnix int64  `json:"createdUnix,omitempty"`
+}
+
+// AddManifest adds the manifest section.
+func (w *Writer) AddManifest(m Manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	w.AddBytes(SecManifest, b, len(b))
+	return nil
+}
+
+// LoadManifest decodes the manifest section.
+func (f *File) LoadManifest() (Manifest, error) {
+	b, err := f.Bytes(SecManifest)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, corruptf("manifest: %v", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package snapshot
+
+import "os"
+
+// mmapFile on platforms without a (stdlib-reachable) mmap: always decline,
+// so Open falls back to reading the file into the heap.
+func mmapFile(*os.File, int64) ([]byte, func() error, bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,22 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A false third result means the
+// platform or this particular file cannot be mapped (empty files, exotic
+// filesystems) and the caller should fall back to reading into the heap.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, func() error { return syscall.Munmap(data) }, true
+}

@@ -1,0 +1,199 @@
+package snapshot
+
+// ProbTreeData is the columnar (structure-of-arrays) encoding of a
+// ProbTree decomposition: per-bag scalars as parallel arrays, and each
+// bag's variable-length lists (nodes, raw edges, contributions, children)
+// as one concatenated array plus a numBags+1 offset array. This is what
+// the container stores; internal/core converts it to and from its bag
+// structs. Edge lists are split into from/to/p columns so each column is
+// a homogeneous numeric section.
+type ProbTreeData struct {
+	Width    int
+	Root     int
+	NumNodes int
+
+	BagOf   []int32 // node -> covering bag, -1 if in root
+	Covered []int32 // per bag: eliminated node, -1 for root
+	Parent  []int32 // per bag: parent bag, -1 for root
+
+	NodeOff []uint64
+	Nodes   []int32
+
+	RawOff         []uint64
+	RawFrom, RawTo []int32
+	RawP           []float64
+
+	ContribOff             []uint64
+	ContribFrom, ContribTo []int32
+	ContribP               []float64
+
+	ChildOff []uint64
+	Children []int32
+}
+
+// NumBags returns the number of bags including the root.
+func (d *ProbTreeData) NumBags() int { return len(d.Covered) }
+
+// AddProbTree adds the decomposition's sections.
+func AddProbTree(w *Writer, d *ProbTreeData) {
+	w.AddUint64s(SecPTMeta, []uint64{
+		uint64(d.Width), uint64(d.Root), uint64(d.NumBags()), uint64(d.NumNodes),
+	})
+	w.AddInt32s(SecPTBagOf, d.BagOf)
+	w.AddInt32s(SecPTCovered, d.Covered)
+	w.AddInt32s(SecPTParent, d.Parent)
+	w.AddUint64s(SecPTNodeOff, d.NodeOff)
+	w.AddInt32s(SecPTNodes, d.Nodes)
+	w.AddUint64s(SecPTRawOff, d.RawOff)
+	w.AddInt32s(SecPTRawFrom, d.RawFrom)
+	w.AddInt32s(SecPTRawTo, d.RawTo)
+	w.AddFloat64s(SecPTRawP, d.RawP)
+	w.AddUint64s(SecPTContribOff, d.ContribOff)
+	w.AddInt32s(SecPTContribFrom, d.ContribFrom)
+	w.AddInt32s(SecPTContribTo, d.ContribTo)
+	w.AddFloat64s(SecPTContribP, d.ContribP)
+	w.AddUint64s(SecPTChildOff, d.ChildOff)
+	w.AddInt32s(SecPTChildren, d.Children)
+}
+
+// LoadProbTree reads and structurally validates the decomposition
+// sections. Array-shape and id-range invariants are checked here (so a
+// corrupted file cannot index out of range during conversion); semantic
+// checks that need the graph (edge endpoints, probabilities) happen in
+// the core conversion.
+func LoadProbTree(f *File) (*ProbTreeData, error) {
+	meta, err := f.Uint64s(SecPTMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 4 {
+		return nil, corruptf("probtree.meta has %d entries, want 4", len(meta))
+	}
+	d := &ProbTreeData{
+		Width:    int(meta[0]),
+		Root:     int(meta[1]),
+		NumNodes: int(meta[3]),
+	}
+	bags := int(meta[2])
+	if d.Width < 1 || bags < 1 || d.NumNodes < 0 || d.Root < 0 || d.Root >= bags {
+		return nil, corruptf("probtree.meta implausible: width=%d root=%d bags=%d nodes=%d",
+			d.Width, d.Root, bags, d.NumNodes)
+	}
+
+	load32 := func(typ uint32, want int, dst *[]int32) error {
+		v, err := f.Int32s(typ)
+		if err != nil {
+			return err
+		}
+		if want >= 0 && len(v) != want {
+			return corruptf("section %s has %d entries, want %d", SectionName(typ), len(v), want)
+		}
+		*dst = v
+		return nil
+	}
+	loadF := func(typ uint32, want int, dst *[]float64) error {
+		v, err := f.Float64s(typ)
+		if err != nil {
+			return err
+		}
+		if want >= 0 && len(v) != want {
+			return corruptf("section %s has %d entries, want %d", SectionName(typ), len(v), want)
+		}
+		*dst = v
+		return nil
+	}
+	loadOff := func(typ uint32, dst *[]uint64) error {
+		v, err := f.Uint64s(typ)
+		if err != nil {
+			return err
+		}
+		if len(v) != bags+1 {
+			return corruptf("section %s has %d entries, want %d", SectionName(typ), len(v), bags+1)
+		}
+		if v[0] != 0 {
+			return corruptf("section %s starts at %d, want 0", SectionName(typ), v[0])
+		}
+		for i := 1; i < len(v); i++ {
+			if v[i] < v[i-1] {
+				return corruptf("section %s decreases at bag %d", SectionName(typ), i-1)
+			}
+		}
+		*dst = v
+		return nil
+	}
+
+	if err := load32(SecPTBagOf, d.NumNodes, &d.BagOf); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTCovered, bags, &d.Covered); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTParent, bags, &d.Parent); err != nil {
+		return nil, err
+	}
+	if err := loadOff(SecPTNodeOff, &d.NodeOff); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTNodes, int(d.NodeOff[bags]), &d.Nodes); err != nil {
+		return nil, err
+	}
+	if err := loadOff(SecPTRawOff, &d.RawOff); err != nil {
+		return nil, err
+	}
+	nraw := int(d.RawOff[bags])
+	if err := load32(SecPTRawFrom, nraw, &d.RawFrom); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTRawTo, nraw, &d.RawTo); err != nil {
+		return nil, err
+	}
+	if err := loadF(SecPTRawP, nraw, &d.RawP); err != nil {
+		return nil, err
+	}
+	if err := loadOff(SecPTContribOff, &d.ContribOff); err != nil {
+		return nil, err
+	}
+	ncon := int(d.ContribOff[bags])
+	if err := load32(SecPTContribFrom, ncon, &d.ContribFrom); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTContribTo, ncon, &d.ContribTo); err != nil {
+		return nil, err
+	}
+	if err := loadF(SecPTContribP, ncon, &d.ContribP); err != nil {
+		return nil, err
+	}
+	if err := loadOff(SecPTChildOff, &d.ChildOff); err != nil {
+		return nil, err
+	}
+	if err := load32(SecPTChildren, int(d.ChildOff[bags]), &d.Children); err != nil {
+		return nil, err
+	}
+
+	for v, b := range d.BagOf {
+		if b < -1 || int(b) >= bags {
+			return nil, corruptf("probtree.bagOf[%d] = %d out of range [-1,%d)", v, b, bags)
+		}
+	}
+	for i, c := range d.Covered {
+		if c < -1 || int(c) >= d.NumNodes {
+			return nil, corruptf("probtree.covered[%d] = %d out of range [-1,%d)", i, c, d.NumNodes)
+		}
+	}
+	for i, p := range d.Parent {
+		if p < -1 || int(p) >= bags {
+			return nil, corruptf("probtree.parent[%d] = %d out of range [-1,%d)", i, p, bags)
+		}
+	}
+	for i, c := range d.Children {
+		if c < 0 || int(c) >= bags {
+			return nil, corruptf("probtree.children[%d] = %d out of range [0,%d)", i, c, bags)
+		}
+	}
+	for i, v := range d.Nodes {
+		if v < 0 || int(v) >= d.NumNodes {
+			return nil, corruptf("probtree.nodes[%d] = %d out of range [0,%d)", i, v, d.NumNodes)
+		}
+	}
+	return d, nil
+}

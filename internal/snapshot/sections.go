@@ -1,0 +1,239 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Section types. The numbering is part of the format: readers look
+// sections up by type, so values must never be reused for a different
+// meaning within a format version.
+const (
+	SecManifest uint32 = 0x01 // JSON Manifest
+
+	SecGraphOutIndex uint32 = 0x10 // []int32, n+1
+	SecGraphOutTo    uint32 = 0x11 // []int32, m
+	SecGraphOutProb  uint32 = 0x12 // []float64, m
+	SecGraphOutEdge  uint32 = 0x13 // []int32, m
+	SecGraphInIndex  uint32 = 0x14 // []int32, n+1
+	SecGraphInFrom   uint32 = 0x15 // []int32, m
+	SecGraphInEdge   uint32 = 0x16 // []int32, m
+
+	SecBFSMeta  uint32 = 0x20 // []uint64: width, valid, numEdges
+	SecBFSWords uint32 = 0x21 // []uint64: the edge bit-vector arena
+
+	SecPTMeta        uint32 = 0x30 // []uint64: width, root, numBags, numNodes
+	SecPTBagOf       uint32 = 0x31 // []int32, numNodes
+	SecPTCovered     uint32 = 0x32 // []int32, numBags
+	SecPTParent      uint32 = 0x33 // []int32, numBags
+	SecPTNodeOff     uint32 = 0x34 // []uint64, numBags+1
+	SecPTNodes       uint32 = 0x35 // []int32, concat of bag node lists
+	SecPTRawOff      uint32 = 0x36 // []uint64, numBags+1
+	SecPTRawFrom     uint32 = 0x37 // []int32
+	SecPTRawTo       uint32 = 0x38 // []int32
+	SecPTRawP        uint32 = 0x39 // []float64
+	SecPTContribOff  uint32 = 0x3a // []uint64, numBags+1
+	SecPTContribFrom uint32 = 0x3b // []int32
+	SecPTContribTo   uint32 = 0x3c // []int32
+	SecPTContribP    uint32 = 0x3d // []float64
+	SecPTChildOff    uint32 = 0x3e // []uint64, numBags+1
+	SecPTChildren    uint32 = 0x3f // []int32, concat of bag child lists
+)
+
+var sectionNames = map[uint32]string{
+	SecManifest:      "manifest",
+	SecGraphOutIndex: "graph.outIndex",
+	SecGraphOutTo:    "graph.outTo",
+	SecGraphOutProb:  "graph.outProb",
+	SecGraphOutEdge:  "graph.outEdge",
+	SecGraphInIndex:  "graph.inIndex",
+	SecGraphInFrom:   "graph.inFrom",
+	SecGraphInEdge:   "graph.inEdge",
+	SecBFSMeta:       "bfs.meta",
+	SecBFSWords:      "bfs.words",
+	SecPTMeta:        "probtree.meta",
+	SecPTBagOf:       "probtree.bagOf",
+	SecPTCovered:     "probtree.covered",
+	SecPTParent:      "probtree.parent",
+	SecPTNodeOff:     "probtree.nodeOff",
+	SecPTNodes:       "probtree.nodes",
+	SecPTRawOff:      "probtree.rawOff",
+	SecPTRawFrom:     "probtree.rawFrom",
+	SecPTRawTo:       "probtree.rawTo",
+	SecPTRawP:        "probtree.rawP",
+	SecPTContribOff:  "probtree.contribOff",
+	SecPTContribFrom: "probtree.contribFrom",
+	SecPTContribTo:   "probtree.contribTo",
+	SecPTContribP:    "probtree.contribP",
+	SecPTChildOff:    "probtree.childOff",
+	SecPTChildren:    "probtree.children",
+}
+
+// SectionName returns a human-readable name for a section type.
+func SectionName(typ uint32) string {
+	if n, ok := sectionNames[typ]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown(%#x)", typ)
+}
+
+// hostLE reports whether the host is little-endian — the only case in
+// which sections can be aliased in place. Big-endian hosts fall back to
+// copy-decoding, so the on-disk format stays portable.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Typed accessors. Each checks that the stored element count matches the
+// payload length, then returns a slice that aliases the file image when
+// the host is little-endian and the payload is suitably aligned (payload
+// offsets are 64-byte aligned, so a page-aligned mapping always is; a
+// heap buffer is checked), and a decoded copy otherwise.
+
+// Uint64s returns a []uint64 section, verifying its checksum.
+func (f *File) Uint64s(typ uint32) ([]uint64, error) {
+	p, err := f.Bytes(typ)
+	if err != nil {
+		return nil, err
+	}
+	return asUint64s(typ, p, f.count(typ))
+}
+
+// Uint64sNoVerify returns a []uint64 section without checksumming it.
+func (f *File) Uint64sNoVerify(typ uint32) ([]uint64, error) {
+	p, count, err := f.BytesNoVerify(typ)
+	if err != nil {
+		return nil, err
+	}
+	return asUint64s(typ, p, count)
+}
+
+// Int32s returns a []int32 section, verifying its checksum.
+func (f *File) Int32s(typ uint32) ([]int32, error) {
+	p, err := f.Bytes(typ)
+	if err != nil {
+		return nil, err
+	}
+	return asInt32s(typ, p, f.count(typ))
+}
+
+// Float64s returns a []float64 section, verifying its checksum.
+func (f *File) Float64s(typ uint32) ([]float64, error) {
+	p, err := f.Bytes(typ)
+	if err != nil {
+		return nil, err
+	}
+	return asFloat64s(typ, p, f.count(typ))
+}
+
+func (f *File) count(typ uint32) int {
+	i, _ := f.find(typ) // callers only reach here after a successful read
+	return int(f.sections[i].count)
+}
+
+func asUint64s(typ uint32, p []byte, count int) ([]uint64, error) {
+	if len(p) != count*8 {
+		return nil, corruptf("section %s: %d bytes cannot hold %d uint64s", SectionName(typ), len(p), count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if hostLE && uintptr(unsafe.Pointer(&p[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&p[0])), count), nil
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[i*8:])
+	}
+	return out, nil
+}
+
+func asInt32s(typ uint32, p []byte, count int) ([]int32, error) {
+	if len(p) != count*4 {
+		return nil, corruptf("section %s: %d bytes cannot hold %d int32s", SectionName(typ), len(p), count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if hostLE && uintptr(unsafe.Pointer(&p[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&p[0])), count), nil
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	return out, nil
+}
+
+func asFloat64s(typ uint32, p []byte, count int) ([]float64, error) {
+	if len(p) != count*8 {
+		return nil, corruptf("section %s: %d bytes cannot hold %d float64s", SectionName(typ), len(p), count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if hostLE && uintptr(unsafe.Pointer(&p[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), count), nil
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return out, nil
+}
+
+// Write-side encoders: alias the caller's slice as bytes on little-endian
+// hosts, copy-encode elsewhere.
+
+func u64Bytes(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLE {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], x)
+	}
+	return out
+}
+
+func i32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLE {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	out := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(x))
+	}
+	return out
+}
+
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLE {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	out := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+// Header field helpers (the header and table are small; plain
+// binary.LittleEndian keeps them portable).
+
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }

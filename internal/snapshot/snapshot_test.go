@@ -1,0 +1,301 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testImage builds a small valid container with one section of each typed
+// kind and returns its serialized bytes.
+func testImage(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.AddBytes(SecManifest, []byte(`{"tool":"test"}`), 15)
+	w.AddUint64s(SecBFSMeta, []uint64{3, 1 << 40, 0, 7})
+	w.AddInt32s(SecGraphOutTo, []int32{-1, 0, 5, 1 << 20})
+	w.AddFloat64s(SecGraphOutProb, []float64{0.25, 1, 0.001})
+	w.AddUint64s(SecBFSWords, []uint64{0xdeadbeef, 0, ^uint64(0)})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	img := testImage(t)
+	f, err := FromBytes(img)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if f.Mapped() {
+		t.Error("in-memory file reports Mapped")
+	}
+	if f.Size() != int64(len(img)) {
+		t.Errorf("Size = %d, want %d", f.Size(), len(img))
+	}
+
+	raw, err := f.Bytes(SecManifest)
+	if err != nil || string(raw) != `{"tool":"test"}` {
+		t.Errorf("manifest section = %q, %v", raw, err)
+	}
+	u, err := f.Uint64s(SecBFSMeta)
+	if err != nil || len(u) != 4 || u[0] != 3 || u[1] != 1<<40 || u[3] != 7 {
+		t.Errorf("uint64 section = %v, %v", u, err)
+	}
+	i32, err := f.Int32s(SecGraphOutTo)
+	if err != nil || len(i32) != 4 || i32[0] != -1 || i32[3] != 1<<20 {
+		t.Errorf("int32 section = %v, %v", i32, err)
+	}
+	f64, err := f.Float64s(SecGraphOutProb)
+	if err != nil || len(f64) != 3 || f64[0] != 0.25 || f64[1] != 1 || f64[2] != 0.001 {
+		t.Errorf("float64 section = %v, %v", f64, err)
+	}
+	nv, err := f.Uint64sNoVerify(SecBFSWords)
+	if err != nil || len(nv) != 3 || nv[0] != 0xdeadbeef || nv[2] != ^uint64(0) {
+		t.Errorf("no-verify uint64 section = %v, %v", nv, err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if !f.Has(SecBFSWords) || f.Has(SecPTMeta) {
+		t.Error("Has answers wrong")
+	}
+	if _, err := f.Bytes(SecPTMeta); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing section error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSectionAlignment(t *testing.T) {
+	f, err := FromBytes(testImage(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Sections() {
+		if s.Offset%64 != 0 {
+			t.Errorf("section %s at offset %d, not 64-byte aligned", s.Name, s.Offset)
+		}
+	}
+}
+
+func TestEmptySectionRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.AddUint64s(SecBFSWords, nil)
+	w.AddInt32s(SecGraphOutTo, []int32{})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, err := f.Uint64s(SecBFSWords); err != nil || len(u) != 0 {
+		t.Errorf("empty uint64 section = %v, %v", u, err)
+	}
+	if v, err := f.Int32s(SecGraphOutTo); err != nil || len(v) != 0 {
+		t.Errorf("empty int32 section = %v, %v", v, err)
+	}
+}
+
+func TestEmptyContainer(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("zero-section container rejected: %v", err)
+	}
+	if len(f.Sections()) != 0 {
+		t.Errorf("sections = %v, want none", f.Sections())
+	}
+}
+
+func TestDuplicateSectionPanicsOnWrite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("adding a duplicate section type did not panic")
+		}
+	}()
+	w := NewWriter()
+	w.AddUint64s(SecBFSMeta, []uint64{1})
+	w.AddUint64s(SecBFSMeta, []uint64{2})
+}
+
+func TestOpenFile(t *testing.T) {
+	img := testImage(t)
+	path := filepath.Join(t.TempDir(), "test.snap")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	// On platforms with mmap support the file must come back mapped —
+	// the zero-copy path is the point of the format.
+	if !f.Mapped() {
+		t.Log("Open fell back to heap (platform without mmap?)")
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	u, err := f.Uint64s(SecBFSMeta)
+	if err != nil || len(u) != 4 || u[1] != 1<<40 {
+		t.Errorf("mapped uint64 section = %v, %v", u, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.snap")); err == nil {
+		t.Error("Open on a missing file succeeded")
+	}
+}
+
+func TestReadFrom(t *testing.T) {
+	img := testImage(t)
+	f, err := ReadFrom(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mapped() {
+		t.Error("stream-read file reports Mapped")
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// fixTableCRC recomputes the section-table checksum after a test mutation
+// of the table, so the mutation under test is the only corruption.
+func fixTableCRC(data []byte) {
+	nsec := int(getU32(data[12:]))
+	table := data[headerSize : headerSize+nsec*entrySize]
+	putU32(data[24:], crc32.Checksum(table, castagnoli))
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	base := testImage(t)
+	// Every case mutates a private copy of a valid image, then opens it
+	// and decodes every section. Whatever the mutation, the outcome must
+	// be an error wrapping wantErr — never a panic, never silent success.
+	cases := []struct {
+		name    string
+		mutate  func(data []byte) []byte
+		wantErr error
+	}{
+		{"truncated below header", func(d []byte) []byte { return d[:headerSize-1] }, ErrCorrupt},
+		{"truncated mid table", func(d []byte) []byte { return d[:headerSize+entrySize+5] }, ErrCorrupt},
+		{"truncated mid payload", func(d []byte) []byte { return d[:len(d)-7] }, ErrCorrupt},
+		{"empty file", func(d []byte) []byte { return nil }, ErrCorrupt},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, ErrCorrupt},
+		{"future version", func(d []byte) []byte { putU32(d[8:], Version+1); return d }, ErrVersion},
+		{"version zero", func(d []byte) []byte { putU32(d[8:], 0); return d }, ErrVersion},
+		{"huge section count", func(d []byte) []byte { putU32(d[12:], maxSections+1); return d }, ErrCorrupt},
+		{"section count past file", func(d []byte) []byte { putU32(d[12:], 9999); return d }, ErrCorrupt},
+		{"wrong file size", func(d []byte) []byte { putU64(d[16:], uint64(len(d))+64); return d }, ErrCorrupt},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0xff) }, ErrCorrupt},
+		{"table bit flip", func(d []byte) []byte { d[headerSize+3] ^= 0x40; return d }, ErrCorrupt},
+		{"payload bit flip", func(d []byte) []byte { d[len(d)-2] ^= 0x01; return d }, ErrCorrupt},
+		{"misaligned section offset", func(d []byte) []byte {
+			putU64(d[headerSize+entrySize+8:], getU64(d[headerSize+entrySize+8:])+4)
+			fixTableCRC(d)
+			return d
+		}, ErrCorrupt},
+		{"section past end of file", func(d []byte) []byte {
+			putU64(d[headerSize+16:], uint64(len(d))*2)
+			fixTableCRC(d)
+			return d
+		}, ErrCorrupt},
+		{"duplicate section type", func(d []byte) []byte {
+			// Retype entry 1 to entry 0's type.
+			putU32(d[headerSize+entrySize:], getU32(d[headerSize:]))
+			fixTableCRC(d)
+			return d
+		}, ErrCorrupt},
+		{"count disagrees with length", func(d []byte) []byte {
+			// Entry 1 is the SecBFSMeta []uint64 section; grow its count.
+			putU64(d[headerSize+entrySize+24:], getU64(d[headerSize+entrySize+24:])+1)
+			fixTableCRC(d)
+			return d
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			f, err := FromBytes(data)
+			if err == nil {
+				// Structure parsed; the corruption must surface when the
+				// sections are actually decoded and checksummed.
+				_, merr := f.Bytes(SecManifest)
+				_, uerr := f.Uint64s(SecBFSMeta)
+				verr := f.Verify()
+				err = errors.Join(merr, uerr, verr)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got error %v, want one wrapping %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSectionNames(t *testing.T) {
+	if got := SectionName(SecBFSWords); got != "bfs.words" {
+		t.Errorf("SectionName(SecBFSWords) = %q", got)
+	}
+	if got := SectionName(0xeeee); !strings.Contains(got, "unknown") {
+		t.Errorf("SectionName(unknown) = %q", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	man := Manifest{Tool: "test", GraphName: "g", Nodes: 10, Edges: 20, EngineSeed: 42, MaxK: 500, HasBFS: true}
+	if err := w.AddManifest(man); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.LoadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != man {
+		t.Errorf("manifest round trip: got %+v, want %+v", got, man)
+	}
+}
+
+func TestManifestCorrupt(t *testing.T) {
+	w := NewWriter()
+	w.AddBytes(SecManifest, []byte("not json"), 8)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadManifest(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadManifest on garbage = %v, want ErrCorrupt", err)
+	}
+}

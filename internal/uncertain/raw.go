@@ -1,0 +1,151 @@
+package uncertain
+
+import "fmt"
+
+// RawCSR is the flat-array view of a Graph's CSR storage, the exchange
+// format between a Graph and the persistent snapshot store: every field is
+// a plain numeric column that can be written to — and memory-mapped back
+// from — disk without per-element encoding. The arrays obey the same
+// invariants Build establishes; FromRawCSR revalidates them all, so a
+// column set read from an untrusted file either reconstructs a well-formed
+// Graph or fails, never producing one that later panics mid-query.
+type RawCSR struct {
+	Name     string
+	NumNodes int
+
+	// Out-adjacency CSR: node v's edge slots are OutIndex[v]..OutIndex[v+1].
+	OutIndex []int32
+	OutTo    []NodeID
+	OutProb  []float64
+	OutEdge  []EdgeID
+
+	// In-adjacency CSR over the same edges, keyed by destination.
+	InIndex []int32
+	InFrom  []NodeID
+	InEdge  []EdgeID
+}
+
+// RawCSR returns the graph's backing arrays. The slices alias graph
+// storage and must not be modified.
+func (g *Graph) RawCSR() RawCSR {
+	return RawCSR{
+		Name:     g.name,
+		NumNodes: g.n,
+		OutIndex: g.outIndex,
+		OutTo:    g.outTo,
+		OutProb:  g.outProb,
+		OutEdge:  g.outEdge,
+		InIndex:  g.inIndex,
+		InFrom:   g.inFrom,
+		InEdge:   g.inEdge,
+	}
+}
+
+// FromRawCSR reconstructs a Graph directly over the given arrays, which
+// the Graph aliases from then on (the caller must not modify them — they
+// may be a read-only memory mapping). Only the edge list is materialized,
+// derived from the out-CSR columns.
+//
+// Every structural invariant is checked: monotone index arrays, id ranges,
+// probabilities in (0,1], no self loops, a permutation edge numbering, and
+// in-CSR consistency with the out-CSR. A violation returns an error
+// describing the first problem found.
+func FromRawCSR(r RawCSR) (*Graph, error) {
+	n := r.NumNodes
+	if n < 0 {
+		return nil, fmt.Errorf("uncertain: negative node count %d", n)
+	}
+	if len(r.OutIndex) != n+1 || len(r.InIndex) != n+1 {
+		return nil, fmt.Errorf("uncertain: index arrays have %d/%d entries, want %d",
+			len(r.OutIndex), len(r.InIndex), n+1)
+	}
+	m := len(r.OutTo)
+	if len(r.OutProb) != m || len(r.OutEdge) != m || len(r.InFrom) != m || len(r.InEdge) != m {
+		return nil, fmt.Errorf("uncertain: edge columns disagree on length: to=%d prob=%d edge=%d from=%d inedge=%d",
+			len(r.OutTo), len(r.OutProb), len(r.OutEdge), len(r.InFrom), len(r.InEdge))
+	}
+	if err := checkIndex("out", r.OutIndex, m); err != nil {
+		return nil, err
+	}
+	if err := checkIndex("in", r.InIndex, m); err != nil {
+		return nil, err
+	}
+
+	// Walk the out-CSR: range checks, plus the edge list it defines. The
+	// edge numbering must be a permutation of [0, m).
+	edges := make([]Edge, m)
+	seen := make([]bool, m)
+	for v := 0; v < n; v++ {
+		for s := r.OutIndex[v]; s < r.OutIndex[v+1]; s++ {
+			to, p, id := r.OutTo[s], r.OutProb[s], r.OutEdge[s]
+			if to < 0 || int(to) >= n {
+				return nil, fmt.Errorf("uncertain: out slot %d: head %d out of range [0,%d)", s, to, n)
+			}
+			if NodeID(v) == to {
+				return nil, fmt.Errorf("uncertain: out slot %d: self loop at node %d", s, v)
+			}
+			if !(p > 0 && p <= 1) {
+				return nil, fmt.Errorf("uncertain: out slot %d: probability %v outside (0,1]", s, p)
+			}
+			if id < 0 || int(id) >= m {
+				return nil, fmt.Errorf("uncertain: out slot %d: edge id %d out of range [0,%d)", s, id, m)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("uncertain: edge id %d assigned to two out slots", id)
+			}
+			seen[id] = true
+			edges[id] = Edge{From: NodeID(v), To: to, P: p}
+		}
+	}
+
+	// Cross-check the in-CSR against the edge list the out-CSR defined.
+	// All m ids were seen (m slots, all distinct), so edges is complete.
+	inSeen := make([]bool, m)
+	for v := 0; v < n; v++ {
+		for s := r.InIndex[v]; s < r.InIndex[v+1]; s++ {
+			id := r.InEdge[s]
+			if id < 0 || int(id) >= m {
+				return nil, fmt.Errorf("uncertain: in slot %d: edge id %d out of range [0,%d)", s, id, m)
+			}
+			if inSeen[id] {
+				return nil, fmt.Errorf("uncertain: edge id %d assigned to two in slots", id)
+			}
+			inSeen[id] = true
+			e := edges[id]
+			if e.To != NodeID(v) || e.From != r.InFrom[s] {
+				return nil, fmt.Errorf("uncertain: in slot %d: edge %d is (%d,%d), in-CSR says (%d,%d)",
+					s, id, e.From, e.To, r.InFrom[s], v)
+			}
+		}
+	}
+
+	return &Graph{
+		name:     r.Name,
+		n:        n,
+		outIndex: r.OutIndex,
+		outTo:    r.OutTo,
+		outProb:  r.OutProb,
+		outEdge:  r.OutEdge,
+		inIndex:  r.InIndex,
+		inFrom:   r.InFrom,
+		inEdge:   r.InEdge,
+		edges:    edges,
+	}, nil
+}
+
+// checkIndex validates one CSR index array: starts at 0, monotone
+// non-decreasing, ends at m.
+func checkIndex(which string, idx []int32, m int) error {
+	if idx[0] != 0 {
+		return fmt.Errorf("uncertain: %s-index starts at %d, want 0", which, idx[0])
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] < idx[i-1] {
+			return fmt.Errorf("uncertain: %s-index decreases at node %d (%d -> %d)", which, i-1, idx[i-1], idx[i])
+		}
+	}
+	if int(idx[len(idx)-1]) != m {
+		return fmt.Errorf("uncertain: %s-index ends at %d, want %d edges", which, idx[len(idx)-1], m)
+	}
+	return nil
+}

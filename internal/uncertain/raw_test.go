@@ -1,0 +1,124 @@
+package uncertain
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"relcomp/internal/rng"
+)
+
+func rawTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(6)
+	b.SetName("raw-test")
+	edges := []Edge{
+		{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.7}, {0, 3, 0.5},
+		{3, 4, 0.6}, {4, 5, 1.0}, {5, 0, 0.1}, {2, 5, 0.25},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(e.From, e.To, e.P)
+	}
+	return b.Build()
+}
+
+func TestRawCSRRoundTrip(t *testing.T) {
+	g := rawTestGraph(t)
+	g2, err := FromRawCSR(g.RawCSR())
+	if err != nil {
+		t.Fatalf("FromRawCSR: %v", err)
+	}
+	if g2.Name() != g.Name() || g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape: got (%q,%d,%d), want (%q,%d,%d)",
+			g2.Name(), g2.NumNodes(), g2.NumEdges(), g.Name(), g.NumNodes(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Errorf("edge lists differ:\n got %v\nwant %v", g2.Edges(), g.Edges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if !reflect.DeepEqual(g2.OutNeighbors(id), g.OutNeighbors(id)) {
+			t.Errorf("node %d: out-neighbors differ", v)
+		}
+		if !reflect.DeepEqual(g2.InNeighbors(id), g.InNeighbors(id)) {
+			t.Errorf("node %d: in-neighbors differ", v)
+		}
+		if !reflect.DeepEqual(g2.OutProbs(id), g.OutProbs(id)) {
+			t.Errorf("node %d: out-probs differ", v)
+		}
+	}
+}
+
+func TestRawCSRRoundTripRandom(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 10; trial++ {
+		b := NewBuilder(50)
+		for i := 0; i < 300; i++ {
+			from, to := NodeID(r.Intn(50)), NodeID(r.Intn(50))
+			if from == to {
+				continue
+			}
+			b.MustAddEdge(from, to, 0.05+0.9*r.Float64())
+		}
+		g := b.Build()
+		g2, err := FromRawCSR(g.RawCSR())
+		if err != nil {
+			t.Fatalf("trial %d: FromRawCSR: %v", trial, err)
+		}
+		if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+			t.Fatalf("trial %d: edge lists differ", trial)
+		}
+	}
+}
+
+// cloneRaw deep-copies a RawCSR so a test can corrupt one column without
+// touching the source graph's aliased storage.
+func cloneRaw(r RawCSR) RawCSR {
+	r.OutIndex = append([]int32(nil), r.OutIndex...)
+	r.OutTo = append([]NodeID(nil), r.OutTo...)
+	r.OutProb = append([]float64(nil), r.OutProb...)
+	r.OutEdge = append([]EdgeID(nil), r.OutEdge...)
+	r.InIndex = append([]int32(nil), r.InIndex...)
+	r.InFrom = append([]NodeID(nil), r.InFrom...)
+	r.InEdge = append([]EdgeID(nil), r.InEdge...)
+	return r
+}
+
+func TestFromRawCSRRejectsInvalid(t *testing.T) {
+	g := rawTestGraph(t)
+	cases := []struct {
+		name   string
+		mutate func(r *RawCSR)
+		want   string // substring of the error
+	}{
+		{"negative node count", func(r *RawCSR) { r.NumNodes = -1 }, "negative node count"},
+		{"out-index wrong length", func(r *RawCSR) { r.OutIndex = r.OutIndex[:3] }, "index arrays"},
+		{"edge columns disagree", func(r *RawCSR) { r.OutProb = r.OutProb[:2] }, "disagree on length"},
+		{"out-index bad start", func(r *RawCSR) { r.OutIndex[0] = 1 }, "starts at"},
+		{"out-index decreases", func(r *RawCSR) { r.OutIndex[2] = r.OutIndex[1] - 1 }, "decreases"},
+		{"out-index bad end", func(r *RawCSR) { r.OutIndex[len(r.OutIndex)-1]-- }, "ends at"},
+		{"head out of range", func(r *RawCSR) { r.OutTo[0] = 99 }, "out of range"},
+		{"negative head", func(r *RawCSR) { r.OutTo[0] = -2 }, "out of range"},
+		{"self loop", func(r *RawCSR) { r.OutTo[0] = 0 }, "self loop"},
+		{"probability zero", func(r *RawCSR) { r.OutProb[1] = 0 }, "probability"},
+		{"probability above one", func(r *RawCSR) { r.OutProb[1] = 1.5 }, "probability"},
+		{"edge id out of range", func(r *RawCSR) { r.OutEdge[0] = EdgeID(len(r.OutTo)) }, "out of range"},
+		{"duplicate edge id", func(r *RawCSR) { r.OutEdge[1] = r.OutEdge[0] }, "two out slots"},
+		{"in edge id duplicated", func(r *RawCSR) { r.InEdge[1] = r.InEdge[0] }, "two in slots"},
+		{"in-CSR endpoint mismatch", func(r *RawCSR) {
+			// Swap two in-slots' from columns without swapping edge ids.
+			r.InFrom[0], r.InFrom[1] = r.InFrom[1], r.InFrom[0]
+		}, "in-CSR says"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := cloneRaw(g.RawCSR())
+			tc.mutate(&raw)
+			if _, err := FromRawCSR(raw); err == nil {
+				t.Fatal("invalid RawCSR accepted")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package relcomp
+
+import (
+	"io"
+
+	"relcomp/internal/core"
+	"relcomp/internal/engine"
+	snapshotpkg "relcomp/internal/snapshot"
+)
+
+// The persistent snapshot store, re-exported from internal/core and
+// internal/snapshot. A snapshot is one versioned, checksummed container
+// file holding a graph's CSR arrays plus the offline structures of the
+// index-based estimators (the BFS Sharing word arena and the ProbTree
+// decomposition). Opening memory-maps the file read-only and aliases the
+// numeric sections in place, so cold start costs page faults, not an
+// index build — the "index loading time" axis of the paper's Fig. 13(c).
+// See cmd/relsnap for the build/inspect/verify CLI, relserver's
+// -snapshot flag for serving from one, and DESIGN.md §7 for the format.
+
+type (
+	// Snapshot is a graph plus its offline indexes loaded from one
+	// container file. Close releases the mapping; everything loaded from
+	// the snapshot aliases it.
+	Snapshot = core.Snapshot
+	// SnapshotManifest is the container's self-description: graph shape
+	// plus the engine seed and MaxK the indexes were built under.
+	SnapshotManifest = snapshotpkg.Manifest
+	// PreloadedIndexes supplies pre-built offline indexes to NewEngine
+	// via EngineConfig.Preloaded.
+	PreloadedIndexes = engine.PreloadedIndexes
+)
+
+// ErrSnapshotCorrupt is wrapped by every error caused by a malformed,
+// truncated, or checksum-failing snapshot file.
+var ErrSnapshotCorrupt = snapshotpkg.ErrCorrupt
+
+// ErrSnapshotVersion is wrapped when a snapshot file has an unsupported
+// format version.
+var ErrSnapshotVersion = snapshotpkg.ErrVersion
+
+// OpenSnapshot opens a snapshot file, memory-mapping it read-only where
+// the platform allows. The caller must Close the snapshot once the graph
+// and indexes are no longer in use.
+func OpenSnapshot(path string) (*Snapshot, error) { return core.OpenSnapshot(path) }
+
+// ReadSnapshot reads a snapshot stream into the heap (no mapping, no
+// Close obligation, indexes stay mutable).
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return core.ReadSnapshot(r) }
+
+// WriteEngineSnapshot builds the offline indexes an engine with cfg would
+// build (same seeds, same widths) and writes the complete container —
+// graph, indexes, manifest — to w.
+func WriteEngineSnapshot(w io.Writer, g *Graph, cfg EngineConfig) error {
+	return engine.WriteSnapshot(w, g, cfg)
+}
+
+// NewEngineFromSnapshot starts an engine over a loaded snapshot, with the
+// snapshot's indexes preloaded and its seed and MaxK pinned from the
+// manifest; answers are bit-identical to an engine that built the indexes
+// itself with the same config. The snapshot must stay open for the
+// engine's lifetime.
+func NewEngineFromSnapshot(snap *Snapshot, cfg EngineConfig) (*Engine, error) {
+	return engine.NewFromSnapshot(snap, cfg)
+}
