@@ -1,0 +1,212 @@
+// Command relint runs the repo's invariant-checker pack (internal/relint)
+// over Go packages. It works two ways:
+//
+//	relint ./...                      # standalone: re-execs go vet -vettool=<self>
+//	go vet -vettool=$(which relint) ./...
+//
+// In both cases the heavy lifting — package loading, export data, build
+// caching — is done by the go command: relint implements the vet tool
+// protocol (it is invoked once per package with a JSON config file and
+// type-checks against the compiler's export data), so it needs no
+// third-party loader and works offline.
+//
+// Exit status: 0 when clean, 1 on operational errors, 2 when findings
+// were reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"relcomp/internal/relint"
+)
+
+func main() {
+	// Vet tool protocol probes, handled before normal flag parsing: the
+	// go command asks for the tool's identity with -V=full (stdout must
+	// be "<name> version <ver>", used as a build cache key) and for its
+	// flag set with -flags (a JSON array; the pack adds no flags).
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V" || strings.HasPrefix(os.Args[1], "-V="):
+			fmt.Println("relint version v0.1.0")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: relint [packages]\n       go vet -vettool=relint [packages]\n\nAnalyzers:\n")
+		for _, a := range relint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone re-execs the go command with this binary as the vet tool,
+// inheriting go's package pattern handling and build cache.
+func runStandalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relint: cannot locate own binary: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for vet tools
+// (cmd/go/internal/work.vetConfig). Fields we don't use are kept so the
+// struct documents the full protocol.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package as directed by a vet config file.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "relint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command runs the tool over dependencies just to produce
+	// facts ("vetx"); the pack has none, so emit an empty file and stop.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("relint.vetx\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := loadFromVetConfig(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "relint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := relint.Run(pkg, relint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// loadFromVetConfig parses and type-checks the package using the export
+// data the go command already built for its imports.
+func loadFromVetConfig(cfg *vetConfig) (*relint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	tc := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " // indirect"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &relint.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -62,9 +62,7 @@ func (kt *KTerminal) Targets() []uncertain.NodeID { return kt.targets }
 // from k Monte Carlo samples. The per-sample BFS terminates early once
 // every target has been found.
 func (kt *KTerminal) Estimate(s uncertain.NodeID, k int) float64 {
-	if err := CheckQuery(kt.g, s, s, k); err != nil {
-		panic(err)
-	}
+	mustValidQuery(kt.g, s, s, k)
 	hits := 0
 	for i := 0; i < k; i++ {
 		if kt.sampleOnce(s) {
@@ -119,9 +117,7 @@ func (kt *KTerminal) sampleOnce(s uncertain.NodeID) bool {
 // sequentially, exactly like Estimate's loop, so Advance(a); Advance(b)
 // accumulates the hit count Estimate(s, a+b) would.
 func (kt *KTerminal) Sampler(s uncertain.NodeID) Sampler {
-	if err := CheckQuery(kt.g, s, s, 1); err != nil {
-		panic(err)
-	}
+	mustValidQuery(kt.g, s, s, 1)
 	return &kterminalSampler{kt: kt, s: s}
 }
 

@@ -255,7 +255,7 @@ func (ix *ProbTreeIndex) eliminate(
 	takeUnmarked func(bag *ptBag, u, w uncertain.NodeID),
 ) []uncertain.NodeID {
 	nbrs := make([]uncertain.NodeID, 0, len(adj[v]))
-	for u := range adj[v] {
+	for u := range adj[v] { //lint:allow maprange keys are collected then sorted before any order can escape
 		nbrs = append(nbrs, u)
 	}
 	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
@@ -345,7 +345,7 @@ func smallReliability(edges []uncertain.Edge, s, t uncertain.NodeID) float64 {
 		p        float64
 	}
 	list := make([]dedge, 0, len(merged))
-	for k, p := range merged {
+	for k, p := range merged { //lint:allow maprange entries are collected then sorted before any order can escape
 		list = append(list, dedge{k[0], k[1], p})
 	}
 	sort.Slice(list, func(i, j int) bool {
@@ -494,9 +494,7 @@ func (q *ProbTreeQuerier) QueryGraph(s, t uncertain.NodeID) (qg *uncertain.Graph
 // a given edge list always yields the identical graph.
 func (q *ProbTreeQuerier) buildSpliced(s, t uncertain.NodeID, edges []uncertain.Edge) (*uncertain.Graph, uncertain.NodeID, uncertain.NodeID) {
 	nodeOf := q.nodeOf
-	for k := range nodeOf {
-		delete(nodeOf, k)
-	}
+	clear(nodeOf)
 	id := uncertain.NodeID(0)
 	intern := func(v uncertain.NodeID) {
 		if _, seen := nodeOf[v]; !seen {

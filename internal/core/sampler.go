@@ -330,6 +330,7 @@ func AdaptiveEstimate(sp Sampler, opts AdaptiveOptions) AdaptiveResult {
 		growth = 2
 	}
 
+	//lint:allow detrand deadline pacing: Deadline stopping is documented wall-clock-dependent and its results are never cached
 	start := time.Now()
 	for {
 		snap = sp.Snapshot()
@@ -356,12 +357,13 @@ func AdaptiveEstimate(sp Sampler, opts AdaptiveOptions) AdaptiveResult {
 			dk = maxK - snap.N
 		}
 		if hasDeadline {
-			remaining := time.Until(opts.Deadline)
+			remaining := time.Until(opts.Deadline) //lint:allow detrand deadline stopping is documented wall-clock-dependent
 			if remaining <= 0 {
 				return finish(StopDeadline)
 			}
 			// Trim the chunk to the samples the remaining time should
 			// afford, once elapsed work gives a per-sample cost estimate.
+			//lint:allow detrand deadline chunk trimming is documented wall-clock-dependent
 			if elapsed := time.Since(start); elapsed > 0 && snap.N > 0 {
 				perSample := elapsed / time.Duration(snap.N)
 				if perSample > 0 {
@@ -474,6 +476,7 @@ func AdaptiveEstimateAll(ms MultiSampler, targets []uncertain.NodeID, opts Adapt
 		growth = 2
 	}
 
+	//lint:allow detrand deadline pacing: Deadline stopping is documented wall-clock-dependent and its results are never cached
 	start := time.Now()
 	live := len(targets)
 	for {
@@ -512,10 +515,11 @@ func AdaptiveEstimateAll(ms MultiSampler, targets []uncertain.NodeID, opts Adapt
 			dk = maxK - n
 		}
 		if hasDeadline {
-			remaining := time.Until(opts.Deadline)
+			remaining := time.Until(opts.Deadline) //lint:allow detrand deadline stopping is documented wall-clock-dependent
 			if remaining <= 0 {
 				return retireAll(StopDeadline)
 			}
+			//lint:allow detrand deadline chunk trimming is documented wall-clock-dependent
 			if elapsed := time.Since(start); elapsed > 0 && n > 0 {
 				perSample := elapsed / time.Duration(n)
 				if perSample > 0 {

@@ -54,7 +54,7 @@ func bfsIndexFromFile(g *uncertain.Graph, f *snapshot.File, seed uint64) (*BFSIn
 	}
 	width, valid, numEdges := int(meta[0]), int(meta[1]), int(meta[2])
 	if numEdges != g.NumEdges() {
-		return nil, fmt.Errorf("core: index built for %d edges, graph has %d", numEdges, g.NumEdges())
+		return nil, fmt.Errorf("%w: index built for %d edges, graph has %d", snapshot.ErrCorrupt, numEdges, g.NumEdges())
 	}
 	if width <= 0 || valid != width {
 		return nil, fmt.Errorf("%w: bfs.meta implausible: width=%d valid=%d", snapshot.ErrCorrupt, width, valid)
@@ -131,7 +131,7 @@ func probTreeToData(ix *ProbTreeIndex) *snapshot.ProbTreeData {
 // here: node counts against the graph, edge endpoints, probabilities.
 func probTreeIndexFromData(g *uncertain.Graph, d *snapshot.ProbTreeData) (*ProbTreeIndex, error) {
 	if d.NumNodes != g.NumNodes() {
-		return nil, fmt.Errorf("core: index built for %d nodes, graph has %d", d.NumNodes, g.NumNodes())
+		return nil, fmt.Errorf("%w: index built for %d nodes, graph has %d", snapshot.ErrCorrupt, d.NumNodes, g.NumNodes())
 	}
 	bags := d.NumBags()
 	ix := &ProbTreeIndex{

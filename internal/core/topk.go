@@ -106,6 +106,7 @@ func AdaptiveTopK(ms MultiSampler, candidates []uncertain.NodeID, topK int, opts
 		return ests[kth]-hws[kth] > ests[next]+hws[next]
 	}
 
+	//lint:allow detrand deadline pacing: Deadline stopping is documented wall-clock-dependent and its results are never cached
 	start := time.Now()
 	for {
 		n := ms.N()
@@ -123,10 +124,11 @@ func AdaptiveTopK(ms MultiSampler, candidates []uncertain.NodeID, topK int, opts
 			dk = maxK - n
 		}
 		if hasDeadline {
-			remaining := time.Until(opts.Deadline)
+			remaining := time.Until(opts.Deadline) //lint:allow detrand deadline stopping is documented wall-clock-dependent
 			if remaining <= 0 {
 				return finish(StopDeadline)
 			}
+			//lint:allow detrand deadline chunk trimming is documented wall-clock-dependent
 			if elapsed := time.Since(start); elapsed > 0 && n > 0 {
 				perSample := elapsed / time.Duration(n)
 				if perSample > 0 {

@@ -446,7 +446,7 @@ func (e *Engine) noteKind(k Kind) {
 // deadline acts like Query.Deadline; the earlier of the two wins.
 func (e *Engine) Estimate(ctx context.Context, q Request) Response {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
 	res := Response{Request: q}
 	if err := e.validate(q); err != nil {
@@ -737,7 +737,7 @@ func (g *orderedGroups[K]) add(key K, i int) {
 // units finish, in-flight anytime units stop at the next chunk.
 func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
 	results := make([]Response, len(queries))
 	names := make([]string, len(queries))
@@ -988,7 +988,7 @@ func (e *Engine) forEachParallel(n int, fn func(int)) {
 	}
 	wg.Wait()
 	if panicFired {
-		panic(panicMsg)
+		panic(panicMsg) //lint:allow nopanic re-raises a captured worker panic on the caller goroutine; the message carries the original stack
 	}
 }
 
@@ -1305,10 +1305,10 @@ func (e *Engine) Stats() Stats {
 		Estimators:          make(map[string]EstimatorStats, len(e.perEst)),
 		Kinds:               make(map[string]uint64, len(e.perKind)),
 	}
-	for k, v := range e.perKind {
+	for k, v := range e.perKind { //lint:allow maprange commutative map-to-map copy for a stats snapshot
 		st.Kinds[string(k)] = v
 	}
-	for name, c := range e.perEst {
+	for name, c := range e.perEst { //lint:allow maprange commutative map-to-map copy for a stats snapshot
 		es := EstimatorStats{
 			Queries:       c.queries,
 			Routed:        routed[name],

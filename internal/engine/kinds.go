@@ -123,10 +123,17 @@ func (e *Engine) distPool(d int) *pool {
 		return p
 	}
 	if len(e.distPools) >= distPoolCap {
-		for k := range e.distPools {
-			delete(e.distPools, k)
-			break
+		// Evict the largest-d pool. Any fixed rule works for capacity
+		// control (evicted pools rebuild deterministically from their
+		// seed); picking one by map iteration order would make eviction —
+		// and therefore rebuild cost — vary run to run.
+		evict := -1
+		for k := range e.distPools { //lint:allow maprange commutative max over keys; eviction choice is order-independent
+			if k > evict {
+				evict = k
+			}
 		}
+		delete(e.distPools, evict)
 	}
 	seed := replicaSeed(e.cfg.Seed, distName(d))
 	g := e.g

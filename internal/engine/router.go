@@ -242,11 +242,11 @@ func (r *router) snapshot() (routed map[string]uint64, latency map[string]float6
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	routed = make(map[string]uint64, len(r.routed))
-	for k, v := range r.routed {
+	for k, v := range r.routed { //lint:allow maprange commutative map-to-map copy for a stats snapshot
 		routed[k] = v
 	}
 	latency = make(map[string]float64, len(r.latency))
-	for k, v := range r.latency {
+	for k, v := range r.latency { //lint:allow maprange commutative map-to-map copy for a stats snapshot
 		latency[k] = v
 	}
 	return routed, latency, r.pinched

@@ -1,0 +1,13 @@
+package relint
+
+// All returns the full invariant-checker pack in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detrand,
+		Maprange,
+		Ctxflow,
+		Frozenwrite,
+		Errwrapped,
+		Nopanic,
+	}
+}

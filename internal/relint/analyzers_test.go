@@ -1,0 +1,55 @@
+package relint_test
+
+import (
+	"testing"
+
+	"relcomp/internal/relint"
+	"relcomp/internal/relint/relinttest"
+)
+
+func TestDetrand(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Detrand, "detrand/internal/core")
+}
+
+func TestDetrandOutOfScope(t *testing.T) {
+	// Wall-clock reads outside the deterministic packages are legal.
+	relinttest.Run(t, "testdata", relint.Detrand, "detrand/clockuser")
+}
+
+func TestMaprange(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Maprange, "maprange/internal/engine")
+}
+
+func TestCtxflow(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Ctxflow, "ctxflow/internal/engine")
+}
+
+func TestFrozenwrite(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Frozenwrite, "frozenwrite/use")
+}
+
+func TestFrozenwriteExemptsSnapshotPkg(t *testing.T) {
+	// The snapshot package itself owns the mapping machinery: its own
+	// writes (and its unsafe usage in the real repo) are in bounds.
+	relinttest.Run(t, "testdata", relint.Frozenwrite, "frozenwrite/internal/snapshot")
+}
+
+func TestErrwrapped(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Errwrapped, "errwrapped/internal/snapshot")
+}
+
+func TestErrwrappedCoreFileScope(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Errwrapped, "errwrapped/internal/core")
+}
+
+func TestNopanicLibrary(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Nopanic, "nopanic/lib")
+}
+
+func TestNopanicDecodePackage(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Nopanic, "nopanic/internal/snapshot")
+}
+
+func TestNopanicSkipsMainPackages(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Nopanic, "nopanic/mainpkg")
+}

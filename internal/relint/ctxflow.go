@@ -1,0 +1,81 @@
+package relint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context threading below the engine API surface: once a
+// function has received a context.Context, minting a fresh
+// context.Background()/context.TODO() severs the caller's cancellation
+// and deadline from every sampler loop underneath it — the anytime
+// stopping layer silently stops honoring ctx. The received context must
+// be threaded through instead.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions that receive a context.Context must thread it down; " +
+		"no context.Background()/context.TODO() below the engine API surface",
+	PkgSuffixes: []string{"internal/engine"},
+	Run:         runCtxflow,
+}
+
+func runCtxflow(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Walk(&ctxVisitor{p: p}, f)
+	}
+	return nil
+}
+
+// ctxVisitor walks with a "some enclosing function has a ctx parameter"
+// flag; each function node returns a child visitor with the flag updated,
+// so closures inherit their enclosing function's obligation.
+type ctxVisitor struct {
+	p     *Pass
+	inCtx bool
+}
+
+func (v *ctxVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return &ctxVisitor{p: v.p, inCtx: v.inCtx || v.hasCtxParam(n.Type)}
+	case *ast.FuncLit:
+		return &ctxVisitor{p: v.p, inCtx: v.inCtx || v.hasCtxParam(n.Type)}
+	case *ast.CallExpr:
+		if !v.inCtx {
+			return v
+		}
+		fn := v.p.Callee(n)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			switch fn.Name() {
+			case "Background", "TODO":
+				v.p.Reportf(n.Pos(),
+					"context.%s inside a function that already receives a context.Context: thread the caller's ctx so cancellation and deadlines reach the samplers", fn.Name())
+			}
+		}
+	}
+	return v
+}
+
+func (v *ctxVisitor) hasCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(v.p.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,64 @@
+package relint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Detrand enforces the determinism contract of the estimator packages:
+// every sampler answer is a pure function of (seed, round, pack, edge), so
+// nothing below the engine API may observe ambient randomness or the wall
+// clock. All variates must come from internal/rng counter streams.
+//
+// Deadline-based anytime stopping is the documented exception — it is
+// explicitly nondeterministic (deadline results are never cached) — and
+// its few clock reads carry //lint:allow detrand directives.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and wall-clock reads in deterministic estimator packages; " +
+		"randomness must flow through internal/rng counter streams",
+	PkgSuffixes: []string{
+		"internal/core",
+		"internal/rng",
+		"internal/uncertain",
+		"internal/bitvec",
+		"internal/repworld",
+	},
+	Run: runDetrand,
+}
+
+func runDetrand(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(imp.Pos(),
+					"import of %s in a deterministic package: draw variates from internal/rng counter streams instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.Callee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				p.Reportf(call.Pos(),
+					"wall-clock read time.%s in a deterministic package: sampler results must be a pure function of the counter-based seed", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package relint_test
+
+import (
+	"strings"
+	"testing"
+
+	"relcomp/internal/relint"
+	"relcomp/internal/relint/relinttest"
+)
+
+// TestDirectives pins the //lint:allow contract: same-line and
+// line-above directives with a reason suppress, a directive without a
+// reason both fails to suppress and is reported itself, a directive for
+// a different analyzer does not suppress, and distance matters.
+func TestDirectives(t *testing.T) {
+	pkg := relinttest.Load(t, "testdata", "directives/lib")
+	diags, err := relint.Run(pkg, []*relint.Analyzer{relint.Nopanic})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wanted struct {
+		line     int
+		analyzer string
+		substr   string
+	}
+	wants := []wanted{
+		{17, "relint", "missing its mandatory reason"},
+		{18, "nopanic", "undocumented panic"}, // reasonless directive does not suppress
+		{22, "nopanic", "undocumented panic"}, // wrong-analyzer directive does not suppress
+		{28, "nopanic", "undocumented panic"}, // directive two lines up does not suppress
+	}
+
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("diag %d = %v; want line %d analyzer %s message ~%q", i, d, w.line, w.analyzer, w.substr)
+		}
+	}
+}

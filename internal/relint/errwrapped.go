@@ -1,0 +1,92 @@
+package relint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Errwrapped enforces the corruption-error contract of the decode paths:
+// a malformed or version-skewed snapshot must surface as an error wrapping
+// ErrCorrupt or ErrVersion (callers dispatch on errors.Is), and decode
+// code must never panic on untrusted bytes. Concretely, inside decode
+// functions every fmt.Errorf must wrap with %w (use corruptf, or wrap a
+// sentinel directly), errors.New is forbidden, and panic is forbidden.
+//
+// Scope: all of internal/snapshot, plus the decode functions of the
+// core-side loaders (internal/core/snapshot.go, internal/core/index_io.go)
+// — functions named like Load*/Open*/Read*/new*, or *FromFile/*FromData.
+var Errwrapped = &Analyzer{
+	Name: "errwrapped",
+	Doc: "decode-path errors must wrap ErrCorrupt/ErrVersion with %w; " +
+		"no naked fmt.Errorf, errors.New, or panic on untrusted bytes",
+	PkgSuffixes: []string{"internal/snapshot"},
+	ExtraFileSuffixes: []string{
+		"internal/core/snapshot.go",
+		"internal/core/index_io.go",
+	},
+	Run: runErrwrapped,
+}
+
+// decodeFuncRe identifies decode entry points in the extra (core-side)
+// files. Inside internal/snapshot every function is a decode function.
+var decodeFuncRe = regexp.MustCompile(`(?i)^(load|open|read|decode|parse|unmarshal|new)|from(file|data|bytes|snapshot|reader)`)
+
+func runErrwrapped(p *Pass) error {
+	inSnapshotPkg := matchesAny(p.Path, p.Analyzer.PkgSuffixes)
+	for _, f := range p.Files {
+		if p.IsTestFile(f) || !p.InScopeFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !inSnapshotPkg && !decodeFuncRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkDecodeFunc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkDecodeFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p.IsBuiltin(call, "panic") {
+			p.Reportf(call.Pos(),
+				"panic in decode path %s: corrupted input must return an error wrapping ErrCorrupt, never panic", fd.Name.Name)
+			return true
+		}
+		fn := p.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "errors.New":
+			p.Reportf(call.Pos(),
+				"errors.New in decode path %s: wrap ErrCorrupt/ErrVersion with %%w so errors.Is dispatch keeps working", fd.Name.Name)
+		case "fmt.Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true // non-constant format: can't prove either way
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"fmt.Errorf without %%w in decode path %s: wrap ErrCorrupt/ErrVersion (e.g. corruptf) so errors.Is dispatch keeps working", fd.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+// Package core is a deliberately non-compliant fixture: it lives in an
+// internal/core path and reaches for math/rand, which detrand must
+// reject. CI runs relint over this module and asserts a nonzero exit,
+// proving the vettool wiring actually fails the build on violations.
+package core
+
+import "math/rand"
+
+// Draw is the canonical violation: global, seed-free randomness inside
+// a package whose outputs must be replayable from (seed, round, pack).
+func Draw() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,154 @@
+package relint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Frozenwrite enforces the frozen-index contract: slices handed out by
+// internal/snapshot section accessors and the uncertain.RawCSR columns
+// alias a read-only memory mapping — a write through them is a SIGSEGV on
+// mapped files and silent index corruption on heap loads. It also confines
+// the machinery that makes aliasing possible (package unsafe,
+// syscall.Mmap) to internal/snapshot itself.
+var Frozenwrite = &Analyzer{
+	Name: "frozenwrite",
+	Doc: "no writes through snapshot section slices or uncertain.RawCSR columns; " +
+		"unsafe and syscall.Mmap stay confined to internal/snapshot",
+	SkipPkgSuffixes: []string{"internal/snapshot"},
+	Run:             runFrozenwrite,
+}
+
+func runFrozenwrite(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				p.Reportf(imp.Pos(),
+					"import of unsafe outside internal/snapshot: pointer aliasing of mapped memory is confined to the snapshot package")
+			}
+		}
+		frozen := frozenLocals(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isFrozenExpr(p, frozen, ix.X) {
+						p.Reportf(lhs.Pos(),
+							"write through a frozen snapshot-backed slice: the backing array may be a read-only memory mapping")
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isFrozenExpr(p, frozen, ix.X) {
+					p.Reportf(n.Pos(),
+						"write through a frozen snapshot-backed slice: the backing array may be a read-only memory mapping")
+				}
+			case *ast.CallExpr:
+				if (p.IsBuiltin(n, "copy") || p.IsBuiltin(n, "append")) &&
+					len(n.Args) > 0 && isFrozenExpr(p, frozen, n.Args[0]) {
+					p.Reportf(n.Pos(),
+						"%s into a frozen snapshot-backed slice: the backing array may be a read-only memory mapping",
+						ast.Unparen(n.Fun).(*ast.Ident).Name)
+				}
+				if fn := p.Callee(n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "syscall" {
+					switch fn.Name() {
+					case "Mmap", "Munmap", "Mprotect":
+						p.Reportf(n.Pos(),
+							"syscall.%s outside internal/snapshot: memory mapping is confined to the snapshot package", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// frozenLocals collects the objects of local variables bound directly from
+// a frozen-source call (`words, err := f.Uint64s(...)`). One lexical pass,
+// no flow analysis: rebinding a frozen name to something safe later in the
+// function keeps it flagged — the fix is a fresh name, which is clearer
+// anyway.
+func frozenLocals(p *Pass, f *ast.File) map[types.Object]bool {
+	frozen := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isFrozenSource(p, call) {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				frozen[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				frozen[obj] = true
+			}
+		}
+		return true
+	})
+	return frozen
+}
+
+// isFrozenSource reports whether call is a snapshot.File section accessor:
+// any method on internal/snapshot's File type whose first result is a
+// slice (Bytes, Uint64s, Int32s, Float64s, and their NoVerify variants).
+func isFrozenSource(p *Pass, call *ast.CallExpr) bool {
+	fn := p.Callee(call)
+	if fn == nil || fn.Pkg() == nil || !PathHasSuffix(fn.Pkg().Path(), "internal/snapshot") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := derefNamed(sig.Recv().Type())
+	if !ok || named.Obj().Name() != "File" {
+		return false
+	}
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// isFrozenExpr reports whether e denotes frozen snapshot-backed storage:
+// a direct accessor call, a local bound from one, or a column selected
+// from an uncertain.RawCSR value (which aliases graph or mapped storage).
+func isFrozenExpr(p *Pass, frozen map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isFrozenSource(p, e)
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		return obj != nil && frozen[obj]
+	case *ast.SelectorExpr:
+		named, ok := derefNamed(p.Info.TypeOf(e.X))
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), "internal/uncertain") || obj.Name() != "RawCSR" {
+			return false
+		}
+		_, isSlice := p.Info.TypeOf(e).Underlying().(*types.Slice)
+		return isSlice
+	}
+	return false
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

@@ -1,0 +1,52 @@
+package relint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maprange enforces order-stabilized iteration in the packages whose
+// outputs must be bit-identical across runs: Go randomizes map iteration
+// order, so any `range` over a map in a deterministic package is flagged.
+// Iterate a sorted key slice instead, or — when the loop provably cannot
+// leak its order (e.g. a commutative reduction) — waive the finding with
+// //lint:allow maprange <reason>.
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc: "forbid map iteration in deterministic packages; iterate sorted keys " +
+		"so request/target set order never depends on map hash seeds",
+	PkgSuffixes: []string{
+		"internal/core",
+		"internal/engine",
+		"internal/rng",
+		"internal/snapshot",
+		"internal/uncertain",
+		"internal/bitvec",
+		"internal/bounds",
+	},
+	Run: runMaprange,
+}
+
+func runMaprange(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				p.Reportf(rs.Pos(),
+					"map iteration order is randomized: iterate a sorted key slice so results stay bit-identical across runs")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package relint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Nopanic enforces the library panic policy. In internal/snapshot — the
+// package that parses untrusted bytes — panicking is forbidden outright
+// (the corruption tests assert "never a panic"). In every other library
+// package a panic is allowed only as a documented invariant violation:
+// either the enclosing function is a Must* helper, or the panic message
+// is a constant prefixed with the package name ("core: ...") so the
+// contract it enforces is stated at the site. Data-dependent panics like
+// panic(err) are flagged — they launder runtime errors into crashes.
+var Nopanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "library panics must be documented invariant violations (pkg-prefixed " +
+		"constant message or Must* helper); decode packages never panic",
+	SkipMainPkgs: true,
+	Run:          runNopanic,
+}
+
+var mustFuncRe = regexp.MustCompile(`(?i)^must`)
+
+func runNopanic(p *Pass) error {
+	decodePkg := PathHasSuffix(p.Path, "internal/snapshot")
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isMust := mustFuncRe.MatchString(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !p.IsBuiltin(call, "panic") {
+					return true
+				}
+				switch {
+				case decodePkg:
+					p.Reportf(call.Pos(),
+						"panic in decode package %s: untrusted input must surface as a wrapped ErrCorrupt/ErrVersion error", p.Pkg.Name())
+				case isMust:
+					// Must* helpers panic by contract.
+				case len(call.Args) == 1 && isInvariantMessage(p, call.Args[0]):
+					// Documented invariant violation.
+				default:
+					p.Reportf(call.Pos(),
+						"undocumented panic in library package %s: use a %q-prefixed constant message for invariant violations, or return an error", p.Pkg.Name(), p.Pkg.Name()+": ")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isInvariantMessage reports whether the panic argument is a constant
+// string (or fmt.Sprintf of one) carrying the package-name prefix that
+// marks documented invariant panics, e.g. panic("core: width must be >= 1").
+func isInvariantMessage(p *Pass, arg ast.Expr) bool {
+	prefix := p.Pkg.Name() + ": "
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(arg.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.CallExpr:
+		fn := p.Callee(arg)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+			return false
+		}
+		if len(arg.Args) == 0 {
+			return false
+		}
+		lit, ok := ast.Unparen(arg.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return false
+		}
+		s, err := strconv.Unquote(lit.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+// Package relint is the repo's invariant-checker pack: a small set of
+// static analyzers that mechanically enforce the contracts the engine's
+// bit-identical determinism guarantee rests on — counter-based rng
+// streams, order-stabilized iteration, context threading, frozen
+// mmap-backed indexes, and typed corruption errors in decode paths.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is built on the standard library
+// only, so the module stays dependency-free: cmd/relint drives the pack
+// either standalone over Go package patterns or as a `go vet -vettool`.
+//
+// Suppression: a finding may be waived with a directive comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory — a directive without one is itself reported — so every
+// escape hatch is documented at the call site.
+package relint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant. Scope is declarative so the runner,
+// the tests, and the docs agree on where a contract applies.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// PkgSuffixes limits the analyzer to packages whose import path ends
+	// with one of these path suffixes. Empty means every package.
+	PkgSuffixes []string
+	// SkipPkgSuffixes exempts packages (checked after PkgSuffixes).
+	SkipPkgSuffixes []string
+	// ExtraFileSuffixes pulls single files of otherwise out-of-scope
+	// packages into scope (matched against the slash-separated file path).
+	ExtraFileSuffixes []string
+	// SkipMainPkgs exempts package main (binaries own their process and
+	// may panic, time, and mint contexts at will).
+	SkipMainPkgs bool
+
+	Run func(*Pass) error
+}
+
+// A Package is one loaded, type-checked package — produced either by the
+// vettool driver (export data) or by the test loader (source).
+type Package struct {
+	Path  string // import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Diagnostic is one reported finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether f is a _test.go file. Test code exercises
+// invariant boundaries deliberately (clock-based deadlines, corrupted
+// columns), so every analyzer in the pack skips it.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Callee resolves the *types.Func a call expression invokes, or nil for
+// builtins, conversions, and indirect calls.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsBuiltin reports whether a call invokes the named builtin.
+func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// PathHasSuffix reports whether import or file path ends with suffix on a
+// path-segment boundary.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func matchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// applies reports whether a runs on pkg at all; file-level scoping
+// (ExtraFileSuffixes, test files) is the analyzer's own job.
+func (a *Analyzer) applies(pkg *Package) bool {
+	if a.SkipMainPkgs && pkg.Types != nil && pkg.Types.Name() == "main" {
+		return false
+	}
+	if matchesAny(pkg.Path, a.SkipPkgSuffixes) {
+		return false
+	}
+	if len(a.PkgSuffixes) == 0 {
+		return true
+	}
+	if matchesAny(pkg.Path, a.PkgSuffixes) {
+		return true
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Package).Filename
+		if matchesAny(name, a.ExtraFileSuffixes) {
+			return true
+		}
+	}
+	return false
+}
+
+// InScopeFile reports whether the analyzer's package-level scope covers f,
+// or f is explicitly pulled in via ExtraFileSuffixes. Analyzers with
+// ExtraFileSuffixes call this to avoid checking unrelated files of a
+// package that is in scope only through one of its files.
+func (p *Pass) InScopeFile(f *ast.File) bool {
+	a := p.Analyzer
+	if len(a.PkgSuffixes) == 0 || matchesAny(p.Path, a.PkgSuffixes) {
+		return true
+	}
+	return matchesAny(p.Fset.Position(f.Package).Filename, a.ExtraFileSuffixes)
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:allow\s+(\S+)(?:\s+(.*))?$`)
+
+// collectDirectives maps filename → line → directives found there.
+func collectDirectives(pkg *Package) map[string]map[int][]directive {
+	out := make(map[string]map[int][]directive)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], directive{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every in-scope analyzer over pkg, applies //lint:allow
+// suppression, and returns the surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !a.applies(pkg) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("relint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	dirs := collectDirectives(pkg)
+	allowed := func(d Diagnostic) bool {
+		byLine := dirs[d.Pos.Filename]
+		if byLine == nil {
+			return false
+		}
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range byLine[line] {
+				if dir.analyzer == d.Analyzer && dir.reason != "" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+
+	// A directive without a reason is a contract violation of its own:
+	// the escape hatch exists so that waivers stay documented.
+	for _, byLine := range dirs {
+		for _, ds := range byLine {
+			for _, dir := range ds {
+				if dir.reason == "" {
+					kept = append(kept, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: "relint",
+						Message:  fmt.Sprintf("lint:allow %s directive is missing its mandatory reason", dir.analyzer),
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}

@@ -1,0 +1,176 @@
+// Package relinttest is the golden-file harness for the relint analyzer
+// pack, modeled on golang.org/x/tools/go/analysis/analysistest but built
+// on the standard library only. Fixture packages live under
+// testdata/src/<importpath>/; imports between fixture packages resolve
+// within that tree, everything else loads from the standard library via
+// the source importer. Expected findings are declared in the fixtures as
+//
+//	someCode() // want "regexp" "another regexp"
+//
+// comments on the flagged line: every diagnostic must match a want on its
+// line, and every want must be matched by a diagnostic.
+package relinttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"relcomp/internal/relint"
+)
+
+// Run loads testdata/src/<path> and checks a's diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, testdata string, a *relint.Analyzer, path string) {
+	t.Helper()
+	pkg := Load(t, testdata, path)
+	diags, err := relint.Run(pkg, []*relint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("relint.Run(%s, %s): %v", a.Name, path, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// Load parses and type-checks the fixture package at testdata/src/<path>.
+func Load(t *testing.T, testdata, path string) *relint.Package {
+	t.Helper()
+	l := &loader{
+		root: filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+		std:  importer.For("source", nil),
+	}
+	pkg, files, info, err := l.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	return &relint.Package{Path: path, Fset: l.fset, Files: files, Types: pkg, Info: info}
+}
+
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+// Import resolves fixture-tree packages first, then falls back to the
+// standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		pkg, _, _, err := l.load(path)
+		return pkg, err
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+// A want is one expected-diagnostic declaration.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+func checkWants(t *testing.T, pkg *relint.Package, diags []relint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

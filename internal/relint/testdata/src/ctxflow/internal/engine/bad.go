@@ -1,0 +1,29 @@
+// Package engine is a ctxflow fixture standing in for the engine package
+// (import path suffix internal/engine).
+package engine
+
+import "context"
+
+func withCtx(ctx context.Context) {
+	_ = context.Background() // want "context.Background inside a function that already receives a context.Context"
+	_ = context.TODO()       // want "context.TODO inside a function that already receives a context.Context"
+	_ = ctx
+}
+
+func closureInheritsObligation(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want "context.Background inside a function that already receives a context.Context"
+	}
+}
+
+func entryPointMintsItsOwn() {
+	// No ctx parameter: this is where a context may legitimately begin.
+	_ = context.Background()
+}
+
+func nilDefaulting(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
+	}
+	return ctx
+}

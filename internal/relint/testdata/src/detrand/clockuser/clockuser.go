@@ -1,0 +1,9 @@
+// Package clockuser is outside detrand's scope (its import path has no
+// deterministic-package suffix), so wall-clock reads are legal here.
+package clockuser
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,32 @@
+// Package core is a detrand fixture standing in for a deterministic
+// estimator package (import path suffix internal/core).
+package core
+
+import (
+	"math/rand" // want "import of math/rand in a deterministic package"
+	"time"
+)
+
+func sample() float64 {
+	_ = time.Now() // want "wall-clock read time.Now"
+	var t0 time.Time
+	_ = time.Since(t0) // want "wall-clock read time.Since"
+	_ = time.Until(t0) // want "wall-clock read time.Until"
+	return rand.Float64()
+}
+
+func deadlinePacing() time.Time {
+	// The documented escape hatch: anytime deadline stopping may read the
+	// clock, with the waiver stating so at the site.
+	return time.Now() //lint:allow detrand deadline stopping is documented wall-clock-dependent
+}
+
+func notTheClock() {
+	// Same-named methods on other types stay legal.
+	var c fakeClock
+	_ = c.Now()
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }

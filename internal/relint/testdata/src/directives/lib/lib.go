@@ -1,0 +1,29 @@
+// Package lib is the directive-semantics fixture, checked
+// programmatically (not via want comments) by TestDirectives.
+package lib
+
+import "errors"
+
+func suppressedSameLine() {
+	panic(errors.New("a")) //lint:allow nopanic reviewed: fixture case
+}
+
+func suppressedLineAbove() {
+	//lint:allow nopanic reviewed: fixture case
+	panic(errors.New("b"))
+}
+
+func missingReason() {
+	//lint:allow nopanic
+	panic(errors.New("c"))
+}
+
+func wrongAnalyzer() {
+	panic(errors.New("d")) //lint:allow detrand reason for the wrong analyzer
+}
+
+func tooFarAbove() {
+	//lint:allow nopanic two lines up does not count
+
+	panic(errors.New("e"))
+}

@@ -1,0 +1,27 @@
+// Package core is an errwrapped fixture for the file-scoped core-side
+// loaders: only decode-named functions in internal/core/snapshot.go are
+// in scope; write-side functions keep their plain error style.
+package core
+
+import "fmt"
+
+func loadIndex(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("core: empty index") // want "fmt.Errorf without %w in decode path loadIndex"
+	}
+	return nil
+}
+
+func indexFromData(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative count %d", n) // want "fmt.Errorf without %w in decode path indexFromData"
+	}
+	return nil
+}
+
+func writeIndex(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: cannot write %d entries", n) // write side: out of scope
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Package snapshot is an errwrapped fixture standing in for the decode
+// package (import path suffix internal/snapshot): every function here is
+// a decode path.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the one legal errors.New site.
+var (
+	ErrCorrupt = errors.New("snapshot: corrupt file")
+	ErrVersion = errors.New("snapshot: unsupported format version")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func decodeHeader(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("short header: %d bytes", len(b)) // want "fmt.Errorf without %w in decode path decodeHeader"
+	}
+	if b[0] != 'R' {
+		return errors.New("bad magic") // want "errors.New in decode path decodeHeader"
+	}
+	if b[1] == 0 {
+		panic("zero section") // want "panic in decode path decodeHeader"
+	}
+	if b[2] == 0 {
+		return corruptf("empty section table")
+	}
+	return fmt.Errorf("%w: file version %d", ErrVersion, b[3])
+}
+
+func writerSideAssertion(typ uint32) {
+	if typ == 0 {
+		//lint:allow errwrapped write-side builder invariant, never sees untrusted bytes
+		panic(fmt.Sprintf("snapshot: reserved section type %#x", typ))
+	}
+}

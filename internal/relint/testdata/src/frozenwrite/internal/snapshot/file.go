@@ -1,0 +1,15 @@
+// Package snapshot is a frozenwrite fixture stub of the real snapshot
+// container (import path suffix internal/snapshot): its File accessors
+// hand out slices that may alias a read-only memory mapping.
+package snapshot
+
+type File struct {
+	words []uint64
+}
+
+func (f *File) Uint64s(typ uint32) ([]uint64, error) { return f.words, nil }
+
+func (f *File) Bytes(typ uint32) ([]byte, error) { return nil, nil }
+
+// Count returns a scalar: not a section slice, so not a frozen source.
+func (f *File) Count(typ uint32) int { return len(f.words) }

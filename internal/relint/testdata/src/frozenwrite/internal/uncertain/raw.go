@@ -1,0 +1,12 @@
+// Package uncertain is a frozenwrite fixture stub of the graph package
+// (import path suffix internal/uncertain): RawCSR columns alias graph or
+// mapped storage and must never be written.
+package uncertain
+
+type NodeID int32
+
+type RawCSR struct {
+	NumNodes int
+	OutIndex []int32
+	OutTo    []NodeID
+}

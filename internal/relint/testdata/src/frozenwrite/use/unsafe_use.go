@@ -1,0 +1,14 @@
+package use
+
+import (
+	"syscall"
+	"unsafe" // want "import of unsafe outside internal/snapshot"
+)
+
+func alias(x *uint16) byte {
+	return *(*byte)(unsafe.Pointer(x))
+}
+
+func mapSomething(fd int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, 4096, syscall.PROT_READ, syscall.MAP_SHARED) // want "syscall.Mmap outside internal/snapshot"
+}

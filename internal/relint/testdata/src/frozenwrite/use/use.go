@@ -1,0 +1,47 @@
+// Package use exercises frozenwrite from outside internal/snapshot.
+package use
+
+import (
+	"frozenwrite/internal/snapshot"
+	"frozenwrite/internal/uncertain"
+)
+
+func directWrite(f *snapshot.File) {
+	mustUint64s(f)[0] = 1 // fine: helper copies are not tracked
+}
+
+func accessorWrites(f *snapshot.File) uint64 {
+	words, _ := f.Uint64s(1)
+	words[0] = 7             // want "write through a frozen snapshot-backed slice"
+	words[1]++               // want "write through a frozen snapshot-backed slice"
+	copy(words, []uint64{1}) // want "copy into a frozen snapshot-backed slice"
+	_ = append(words, 2)     // want "append into a frozen snapshot-backed slice"
+	local := make([]uint64, 4)
+	copy(local, words) // reading a frozen slice is fine
+	return words[0]
+}
+
+func rawCSRWrites(r uncertain.RawCSR) {
+	r.OutTo[0] = 3    // want "write through a frozen snapshot-backed slice"
+	r.OutIndex[1] = 2 // want "write through a frozen snapshot-backed slice"
+	r.NumNodes = 9    // scalar field: not a frozen column
+}
+
+func scratchRebuild(f *snapshot.File) {
+	words, _ := f.Uint64s(1)
+	scratch := make([]uint64, len(words))
+	copy(scratch, words)
+	scratch[0] = 1 // heap copy: writable
+	//lint:allow frozenwrite fixture demonstrating the escape hatch on a heap-loaded, provably unmapped section
+	words[0] = scratch[0]
+}
+
+func mustUint64s(f *snapshot.File) []uint64 {
+	v, err := f.Uint64s(1)
+	if err != nil {
+		return nil
+	}
+	out := make([]uint64, len(v))
+	copy(out, v)
+	return out
+}

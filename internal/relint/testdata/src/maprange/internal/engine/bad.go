@@ -1,0 +1,40 @@
+// Package engine is a maprange fixture standing in for a deterministic
+// package (import path suffix internal/engine).
+package engine
+
+import "sort"
+
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { //lint:allow maprange keys are collected then sorted before any order can escape
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRangeIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+type counts map[string]int
+
+func namedMapType(c counts) int {
+	total := 0
+	for range c { // want "map iteration order is randomized"
+		total++
+	}
+	return total
+}

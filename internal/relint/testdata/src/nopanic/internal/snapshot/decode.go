@@ -1,0 +1,10 @@
+// Package snapshot is a nopanic fixture for the decode package: no panic
+// is acceptable on the untrusted-bytes path, documented or not.
+package snapshot
+
+func decode(b []byte) byte {
+	if len(b) == 0 {
+		panic("snapshot: empty input") // want "panic in decode package snapshot"
+	}
+	return b[0]
+}

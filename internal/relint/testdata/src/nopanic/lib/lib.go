@@ -1,0 +1,46 @@
+// Package lib is a nopanic fixture for an ordinary library package: a
+// panic must be a documented invariant violation — a "lib: "-prefixed
+// constant message or a Must* helper — never a laundered runtime error.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+func documentedInvariant(width int) {
+	if width < 1 {
+		panic("lib: width must be >= 1")
+	}
+}
+
+func documentedSprintf(width int) {
+	if width < 1 {
+		panic(fmt.Sprintf("lib: width %d must be >= 1", width))
+	}
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic(errors.New("empty")) // Must* helpers panic by contract
+	}
+	return len(s)
+}
+
+func launderedError() {
+	if err := errors.New("boom"); err != nil {
+		panic(err) // want "undocumented panic in library package lib"
+	}
+}
+
+func bareMessage() {
+	panic("something went wrong") // want "undocumented panic in library package lib"
+}
+
+func wrongPrefix() {
+	panic("otherpkg: not ours") // want "undocumented panic in library package lib"
+}
+
+func waived(v any) {
+	panic(v) //lint:allow nopanic fixture demonstrating a reviewed re-raise
+}

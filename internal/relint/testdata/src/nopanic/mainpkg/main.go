@@ -1,0 +1,11 @@
+// Command mainpkg shows nopanic exempting binaries: a main package owns
+// its process and may crash on startup errors.
+package main
+
+import "errors"
+
+func main() {
+	if err := errors.New("usage"); err != nil {
+		panic(err)
+	}
+}

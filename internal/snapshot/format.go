@@ -112,7 +112,8 @@ func NewWriter() *Writer { return &Writer{} }
 func (w *Writer) AddBytes(typ uint32, payload []byte, count int) {
 	for _, s := range w.sections {
 		if s.typ == typ {
-			panic(fmt.Sprintf("snapshot: duplicate section type %#x", typ))
+			//lint:allow nopanic write-side builder invariant: section types are compile-time constants, not untrusted input
+			panic(fmt.Sprintf("snapshot: duplicate section type %#x", typ)) //lint:allow errwrapped write-side AddBytes never sees untrusted bytes
 		}
 	}
 	w.sections = append(w.sections, section{

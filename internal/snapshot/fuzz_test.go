@@ -1,0 +1,94 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedImage builds a small valid container exercising every typed
+// section kind plus a manifest, so mutations start from a parseable file
+// and quickly reach the interior decode paths rather than dying at the
+// magic-number check.
+func fuzzSeedImage(tb testing.TB) []byte {
+	tb.Helper()
+	w := NewWriter()
+	if err := w.AddManifest(Manifest{Tool: "fuzz", GraphName: "g", Nodes: 2, Edges: 2}); err != nil {
+		tb.Fatalf("AddManifest: %v", err)
+	}
+	w.AddUint64s(SecBFSMeta, []uint64{3, 2, 7})
+	w.AddUint64s(SecBFSWords, []uint64{0xdeadbeef, 0, ^uint64(0)})
+	w.AddInt32s(SecGraphOutIndex, []int32{0, 1, 2})
+	w.AddInt32s(SecGraphOutTo, []int32{1, 0})
+	w.AddFloat64s(SecGraphOutProb, []float64{0.5, 0.25})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		tb.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotOpen is the crash-resistance contract for the decode path:
+// FromBytes on arbitrary bytes either succeeds or returns an error
+// wrapping ErrCorrupt or ErrVersion — it must never panic, and on
+// success every section accessor must stay within the same error
+// contract. CI runs this for a short smoke window on every push.
+func FuzzSnapshotOpen(f *testing.F) {
+	valid := fuzzSeedImage(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("RELSNAP1"))
+	// Truncations at structurally interesting offsets: inside the header,
+	// at the section-table boundary, and mid-payload.
+	for _, n := range []int{1, 7, 8, 16, 63, 64, len(valid) / 2, len(valid) - 1} {
+		if n >= 0 && n < len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	// Single-bit flips spread across header, table, and payloads.
+	for i := 0; i < len(valid); i += 97 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 1 << (i % 8)
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := FromBytes(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("FromBytes error is not ErrCorrupt/ErrVersion: %v", err)
+			}
+			return
+		}
+		defer file.Close()
+
+		// A file that opened must keep its accessors panic-free and its
+		// errors typed, whatever the fuzzer did to the interior bytes.
+		if err := file.Verify(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Verify error is not ErrCorrupt: %v", err)
+		}
+		if _, err := file.LoadManifest(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("LoadManifest error is not ErrCorrupt: %v", err)
+		}
+		for _, s := range file.Sections() {
+			if _, err := file.Bytes(s.Type); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Bytes(%#x) error is not ErrCorrupt: %v", s.Type, err)
+			}
+			if _, err := file.Uint64s(s.Type); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Uint64s(%#x) error is not ErrCorrupt: %v", s.Type, err)
+			}
+			if _, err := file.Int32s(s.Type); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Int32s(%#x) error is not ErrCorrupt: %v", s.Type, err)
+			}
+			if _, err := file.Float64s(s.Type); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Float64s(%#x) error is not ErrCorrupt: %v", s.Type, err)
+			}
+		}
+		if _, err := LoadGraph(file, "out"); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("LoadGraph error is not ErrCorrupt: %v", err)
+		}
+		if _, err := LoadProbTree(file); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("LoadProbTree error is not ErrCorrupt: %v", err)
+		}
+	})
+}
