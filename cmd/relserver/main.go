@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -44,8 +45,25 @@ func main() {
 		readTO    = flag.Duration("read-timeout", 30*time.Second, "HTTP read timeout (full request, headers and body)")
 		writeTO   = flag.Duration("write-timeout", 2*time.Minute, "HTTP write timeout (covers batch computation)")
 		grace     = flag.Duration("shutdown-grace", 30*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+
+		// Admission control: bounds on concurrent engine work. The defaults
+		// keep the server overload-safe out of the box; -max-inflight 0
+		// disables admission entirely (every request runs immediately).
+		maxInflight = flag.Int("max-inflight", 64, "max concurrently executing engine requests (0 disables admission control)")
+		maxQueue    = flag.Int("max-queue", 256, "max requests waiting for admission before new ones are shed with 429")
+		queueWait   = flag.Duration("queue-wait", 50*time.Millisecond, "max time a request waits for admission before 503 (0 = engine default)")
+		maxSamples  = flag.Int64("max-inflight-samples", 0, "budget of concurrently in-flight sample work, in samples (0 = unlimited)")
+		softMemMB   = flag.Int64("soft-mem-mb", 0, "soft heap watermark in MiB above which answers degrade (0 = unlimited)")
 	)
 	flag.Parse()
+
+	admission := relcomp.AdmissionConfig{
+		MaxInflight:        *maxInflight,
+		MaxQueue:           *maxQueue,
+		QueueWait:          *queueWait,
+		MaxInflightSamples: *maxSamples,
+		SoftMemBytes:       *softMemMB << 20,
+	}
 
 	var (
 		g   *relcomp.Graph
@@ -62,22 +80,18 @@ func main() {
 			}
 		}
 		start := time.Now()
-		snap, err := relcomp.OpenSnapshot(*snapPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer snap.Close()
-		cfg := relcomp.EngineConfig{Workers: *workers, CacheSize: *cacheSize}
+		cfg := relcomp.EngineConfig{Workers: *workers, CacheSize: *cacheSize, Admission: admission}
 		if set["seed"] {
 			cfg.Seed = *seed // NewEngineFromSnapshot rejects a mismatch
 		}
 		if set["maxk"] {
 			cfg.MaxK = *maxK
 		}
-		eng, err := relcomp.NewEngineFromSnapshot(snap, cfg)
+		snap, eng, err := openVerifiedSnapshot(*snapPath, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer snap.Close()
 		g = snap.Graph
 		srv = newServer(g, eng)
 		log.Printf("relserver: snapshot %s loaded in %s (mapped=%v, %d bytes)",
@@ -97,6 +111,7 @@ func main() {
 			MaxK:      *maxK,
 			Workers:   *workers,
 			CacheSize: *cacheSize,
+			Admission: admission,
 		})
 	}
 	httpSrv := &http.Server{
@@ -104,10 +119,14 @@ func main() {
 		Handler: srv.handler(),
 		// Slow-client protection: a stalled reader or writer must not pin
 		// a connection (and its engine work) forever. The write timeout is
-		// sized for batch requests, which compute before responding.
-		ReadTimeout:  *readTO,
-		WriteTimeout: *writeTO,
-		IdleTimeout:  2 * time.Minute,
+		// sized for batch requests, which compute before responding; the
+		// header timeout and size cap shut out slowloris-style clients
+		// before a request body is ever read.
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 
 	fmt.Printf("relserver: serving %s (%d nodes, %d edges) on %s\n",
@@ -117,6 +136,7 @@ func main() {
 	defer stop()
 
 	serveErr := make(chan error, 1)
+	srv.ready.Store(true)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 
 	select {
@@ -125,6 +145,9 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
+		// Flip readiness before closing the listener, so /readyz tells
+		// load balancers to stop routing while in-flight work drains.
+		srv.ready.Store(false)
 		log.Printf("relserver: signal received, draining in-flight requests (up to %s)", *grace)
 		shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
@@ -136,4 +159,44 @@ func main() {
 		}
 		log.Print("relserver: drained, bye")
 	}
+}
+
+// openVerifiedSnapshot opens and verifies the snapshot, preferring the
+// memory-mapped fast path. When the mapped image fails to open or verify
+// with a corruption error, the server degrades instead of crashing: it
+// re-reads the file onto the heap, where every section is
+// checksum-verified as its structure is rebuilt, and logs a warning. Only
+// when the heap rebuild fails too — the file really is damaged — does
+// startup fail.
+func openVerifiedSnapshot(path string, cfg relcomp.EngineConfig) (*relcomp.Snapshot, *relcomp.Engine, error) {
+	snap, verr := relcomp.OpenSnapshot(path)
+	if verr == nil {
+		if verr = snap.Verify(); verr == nil {
+			eng, err := relcomp.NewEngineFromSnapshot(snap, cfg)
+			if err != nil {
+				snap.Close()
+				return nil, nil, err
+			}
+			return snap, eng, nil
+		}
+		snap.Close()
+	}
+	if !errors.Is(verr, relcomp.ErrSnapshotCorrupt) {
+		return nil, nil, verr
+	}
+	log.Printf("relserver: WARNING: snapshot %s failed verification (%v); degrading to a heap rebuild", path, verr)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relserver: snapshot heap rebuild: %v (mapped open failed: %v)", err, verr)
+	}
+	defer f.Close()
+	heapSnap, err := relcomp.ReadSnapshot(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("relserver: snapshot heap rebuild failed: %v (mapped: %v)", err, verr)
+	}
+	eng, err := relcomp.NewEngineFromSnapshot(heapSnap, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return heapSnap, eng, nil
 }

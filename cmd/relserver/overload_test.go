@@ -1,0 +1,212 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relcomp"
+	"relcomp/internal/faultinject"
+)
+
+// Tests of the overload and failure surface: health probes, oversized
+// bodies, and the 429/503 backpressure statuses the admission controller
+// produces under injected load.
+
+func TestHealthEndpoints(t *testing.T) {
+	s := testServer(t)
+	h := s.handler()
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	// readyz starts false (main flips it true once serving) and follows
+	// the ready bit — it must go 503 the moment a drain begins.
+	if code, _ := get(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before ready: %d, want 503", code)
+	}
+	s.ready.Store(true)
+	if code, body := get(t, h, "/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz while serving: %d %v", code, body)
+	}
+	s.ready.Store(false) // drain start
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("readyz during drain: %d %v", code, body)
+	}
+	// Liveness is unaffected by drain.
+	if code, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: %d", code)
+	}
+}
+
+// TestQueryBodyTooLarge: an oversized /v1/query body is 413, like batch.
+func TestQueryBodyTooLarge(t *testing.T) {
+	h := testServer(t).handler()
+	body := `{"s":0,"t":5,"k":100,"pad":"` + strings.Repeat("x", maxBatchBytes) + `"}`
+	code, out := post(t, h, "/v1/query", body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized query body: %d %v, want 413", code, out)
+	}
+}
+
+// overloadServer builds a server whose engine admits one request at a
+// time, with every estimator slowed by injection so a single in-flight
+// request reliably occupies the slot while the test probes a second one.
+func overloadServer(t *testing.T, admission relcomp.AdmissionConfig) *server {
+	t.Helper()
+	g, err := relcomp.Dataset("lastFM", 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServerWith(g, relcomp.EngineConfig{
+		Seed: 42, MaxK: 500, Workers: 2, CacheSize: 0, Admission: admission,
+	})
+}
+
+// occupy sends one slow request in the background and blocks until the
+// admission controller shows it inflight; the returned wait function
+// joins it.
+func occupy(t *testing.T, s *server) (wait func()) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req := httptest.NewRequest(http.MethodGet, "/v1/reliability?s=0&t=5&k=100&estimator=MC", nil)
+		s.handler().ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	for i := 0; s.engine.Stats().Admission.Inflight == 0; i++ {
+		if i > 5000 {
+			t.Fatal("occupier never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return wg.Wait
+}
+
+// TestOverloadShed429: with no queue, a request past the inflight limit
+// is shed with 429 and a Retry-After hint.
+func TestOverloadShed429(t *testing.T) {
+	inj := faultinject.NewSeeded(1).
+		WithRate(faultinject.SlowReplica, 1).WithDelay(300 * time.Millisecond)
+	defer faultinject.Set(inj)()
+
+	s := overloadServer(t, relcomp.AdmissionConfig{MaxInflight: 1, MaxQueue: 0})
+	wait := occupy(t, s)
+	defer wait()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/reliability?s=1&t=6&k=100&estimator=MC", nil)
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed request: %d %s, want 429", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if st := s.engine.Stats().Admission; st.Shed == 0 {
+		t.Fatalf("shed not counted: %+v", st)
+	}
+}
+
+// TestOverloadQueueTimeout503: a queued request whose wait expires gets
+// 503 with Retry-After.
+func TestOverloadQueueTimeout503(t *testing.T) {
+	inj := faultinject.NewSeeded(1).
+		WithRate(faultinject.SlowReplica, 1).WithDelay(500 * time.Millisecond)
+	defer faultinject.Set(inj)()
+
+	s := overloadServer(t, relcomp.AdmissionConfig{
+		MaxInflight: 1, MaxQueue: 8, QueueWait: 20 * time.Millisecond,
+	})
+	wait := occupy(t, s)
+	defer wait()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/reliability?s=1&t=6&k=100&estimator=MC", nil)
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request: %d %s, want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if st := s.engine.Stats().Admission; st.TimedOut == 0 {
+		t.Fatalf("timeout not counted: %+v", st)
+	}
+}
+
+// TestSnapshotVerifyFallback: a snapshot whose mapped image fails Verify
+// (injected bit-flip) must not kill the server — startup degrades to a
+// heap re-read, and the rebuilt engine answers identically to a healthy
+// mapped one.
+func TestSnapshotVerifyFallback(t *testing.T) {
+	g, err := relcomp.Dataset("lastFM", 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := relcomp.EngineConfig{Seed: 42, MaxK: 500}
+	path := filepath.Join(t.TempDir(), "g.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relcomp.WriteEngineSnapshot(f, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Healthy path first: verified, stays mapped.
+	snap, eng, err := openVerifiedSnapshot(path, relcomp.EngineConfig{})
+	if err != nil {
+		t.Fatalf("healthy snapshot: %v", err)
+	}
+	want := eng.Estimate(t.Context(), relcomp.Query{S: 0, T: 5, K: 200, Estimator: "BFSSharing"})
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+	snap.Close()
+
+	// Now every Verify checksum "flips": the mapped image is rejected and
+	// startup must fall back to the heap.
+	inj := faultinject.NewSeeded(1).WithRate(faultinject.SnapshotFlip, 1)
+	restore := faultinject.Set(inj)
+	snap2, eng2, err := openVerifiedSnapshot(path, relcomp.EngineConfig{})
+	restore()
+	if err != nil {
+		t.Fatalf("verify-failure fallback: %v", err)
+	}
+	defer snap2.Close()
+	if snap2.Mapped() {
+		t.Fatal("fallback snapshot still mapped")
+	}
+	got := eng2.Estimate(t.Context(), relcomp.Query{S: 0, T: 5, K: 200, Estimator: "BFSSharing"})
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if got.Reliability != want.Reliability {
+		t.Fatalf("heap-rebuilt answer %v != mapped answer %v", got.Reliability, want.Reliability)
+	}
+}
+
+// TestDegradedOnWire: a degraded answer reports "degraded": true in the
+// JSON response.
+func TestDegradedOnWire(t *testing.T) {
+	res := relcomp.Response{
+		Request:     relcomp.Request{S: 0, T: 5, K: 100},
+		Used:        relcomp.EngineBoundsName,
+		Reliability: 0.5,
+		Degraded:    true,
+		StopReason:  string(relcomp.StopDegraded),
+	}
+	out := toJSON(res)
+	if !out.Degraded || out.StopReason != "degraded" {
+		t.Fatalf("wire form lost degradation: %+v", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"relcomp"
@@ -47,13 +48,18 @@ import (
 type server struct {
 	graph  *relcomp.Graph
 	engine *relcomp.Engine
+	// ready gates /readyz: true once serving, flipped false when the
+	// drain starts so load balancers stop routing before in-flight
+	// requests finish.
+	ready atomic.Bool
 }
 
 // maxBatchQueries bounds the work and result memory one POST /v1/batch
 // request can demand; maxBatchBytes bounds the body size before
-// decoding. Neither is global admission control — concurrent requests
-// each get their own engine workers; put rate limiting in front of the
-// server for that.
+// decoding. Global admission control — queue, concurrency, and sample
+// budgets across all concurrent requests — lives in the engine (the
+// -max-inflight family of flags); these per-request limits only keep a
+// single body from being unboundedly large.
 const (
 	maxBatchQueries = 4096
 	maxBatchBytes   = 4 << 20
@@ -84,7 +90,27 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/topk", s.handleTopK)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/engine/stats", s.handleEngineStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// goroutine runs. It stays 200 through drain — a draining server is alive.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the server accepts new
+// query traffic, 503 before startup completes and from the moment a
+// drain begins, so load balancers stop routing ahead of the listener
+// closing.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -99,6 +125,28 @@ type apiError struct {
 
 func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
 	writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeEngineError maps an engine result error to its HTTP status.
+// Overload is backpressure, not a client mistake: a full admission queue
+// is 429 (the client should back off and retry) and a queue-wait timeout
+// is 503 (the server gave up on this one), both with Retry-After so
+// well-behaved clients pace their retries. A contained estimator panic is
+// a server fault (500). Everything else — validation, unknown estimator,
+// cancellation — keeps the 400 the engine's error text explains.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, relcomp.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, relcomp.ErrQueueTimeout):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.Is(err, relcomp.ErrEstimatorPanic):
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
 }
 
 // intParam parses a required integer query parameter.
@@ -255,6 +303,7 @@ type resultJSON struct {
 	Reliability   float64      `json:"reliability"`
 	Reliabilities []float64    `json:"reliabilities,omitempty"`
 	Cached        bool         `json:"cached"`
+	Degraded      bool         `json:"degraded,omitempty"`
 	TimeMs        float64      `json:"timeMs"`
 	SamplesUsed   int          `json:"samples_used"`
 	StopReason    string       `json:"stop_reason,omitempty"`
@@ -280,6 +329,7 @@ func toJSON(res relcomp.Response) resultJSON {
 		Reliability:   res.Reliability,
 		Reliabilities: res.Reliabilities,
 		Cached:        res.Cached,
+		Degraded:      res.Degraded,
 		TimeMs:        float64(res.Latency.Microseconds()) / 1000,
 		SamplesUsed:   res.SamplesUsed,
 		StopReason:    res.StopReason,
@@ -419,6 +469,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var q queryJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes)).Decode(&q); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("query body exceeds %d bytes", maxBatchBytes)})
+			return
+		}
 		badRequest(w, "invalid JSON body: %v", err)
 		return
 	}
@@ -429,7 +485,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res := s.engine.Estimate(r.Context(), req)
 	if res.Err != nil {
-		badRequest(w, "%v", res.Err)
+		writeEngineError(w, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJSON(res))
@@ -476,7 +532,7 @@ func (s *server) handleReliability(w http.ResponseWriter, r *http.Request) {
 		Deadline:  deadline,
 	})
 	if res.Err != nil {
-		badRequest(w, "%v", res.Err)
+		writeEngineError(w, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJSON(res))
@@ -628,7 +684,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Eps:       eps, Deadline: deadline,
 	})
 	if res.Err != nil {
-		badRequest(w, "%v", res.Err)
+		writeEngineError(w, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJSON(res))

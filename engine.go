@@ -66,6 +66,31 @@ type (
 	Query = engine.Query
 	// Result is the pre-union name of Response, kept as an alias.
 	Result = engine.Result
+
+	// AdmissionConfig configures EngineConfig.Admission: the bounded
+	// admission queue and load-shedding budgets. The zero value disables
+	// admission control entirely.
+	AdmissionConfig = engine.AdmissionConfig
+	// AdmissionStats is the admission-control section of EngineStats:
+	// admitted/queued/shed/timed-out/degraded counters plus current
+	// inflight occupancy.
+	AdmissionStats = engine.AdmissionStats
+)
+
+// The overload errors a shedding engine returns instead of computing.
+// Serving layers map these to backpressure statuses (HTTP 429/503) rather
+// than treating them as client errors.
+var (
+	// ErrOverloaded is wrapped when admission control rejects a request
+	// outright: the queue is full, so waiting would not help.
+	ErrOverloaded = engine.ErrOverloaded
+	// ErrQueueTimeout is wrapped when a request was queued but no capacity
+	// freed within the admission queue-wait window.
+	ErrQueueTimeout = engine.ErrQueueTimeout
+	// ErrEstimatorPanic is wrapped when an estimator panicked while
+	// serving the request; the fault was contained to this request and the
+	// replica discarded.
+	ErrEstimatorPanic = engine.ErrEstimatorPanic
 )
 
 // The query kinds of the unified Request surface.
@@ -96,6 +121,11 @@ const EngineBoundsName = engine.BoundsName
 // ranking converged by CI separation (the k-th and (k+1)-th candidates'
 // confidence intervals no longer overlap).
 const StopSeparated = core.StopSeparated
+
+// StopDegraded is the stop reason of a request answered from the
+// analytic-bounds floor by the overload degradation ladder; the response
+// also reports Response.Degraded.
+const StopDegraded = core.StopDegraded
 
 // NewEngine builds a concurrent batch query engine over g. Estimator
 // replicas are constructed lazily, so this is cheap even for the

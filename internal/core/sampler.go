@@ -197,6 +197,12 @@ const (
 	// (k+1)-th candidates' confidence intervals no longer overlap, so more
 	// samples cannot change the answer set (see AdaptiveTopK).
 	StopSeparated StopReason = "separated"
+	// StopDegraded: the serving layer answered below the requested
+	// fidelity under overload — at the floor of the degradation ladder the
+	// answer is the analytic-bounds midpoint with no sampling at all. The
+	// core stopping rules never emit this reason; it exists here so the
+	// vocabulary of termination reports stays in one place.
+	StopDegraded StopReason = "degraded"
 )
 
 // AdaptiveOptions configures AdaptiveEstimate.

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relcomp/internal/faultinject"
+	"relcomp/internal/memtrack"
+)
+
+// Overload admission control. The engine bounds the work it accepts with
+// three coupled limits — concurrent requests, a cost-weighted inflight
+// sample budget, and a FIFO admission queue with a wait deadline — and
+// couples them to the degradation ladder (degradeRequest): as pressure
+// builds, admitted requests shed precision first (wider ε, smaller
+// budgets, cheaper estimators, finally the analytic-bounds floor), and
+// only when the queue itself is full are requests shed outright. The
+// zero AdmissionConfig disables all of it, so existing embedders see no
+// behavior change.
+
+var (
+	// ErrOverloaded reports a request shed at admission: the engine was at
+	// its inflight limit and the admission queue was full. Clients should
+	// back off and retry (relserver maps it to 429 + Retry-After).
+	ErrOverloaded = errors.New("engine: overloaded")
+	// ErrQueueTimeout reports a queued request whose admission-queue wait
+	// exceeded the configured deadline without an inflight slot freeing
+	// (relserver maps it to 503 + Retry-After).
+	ErrQueueTimeout = errors.New("engine: admission queue wait exceeded")
+)
+
+// AdmissionConfig bounds the work an engine accepts at once. The zero
+// value disables admission control (and with it the degradation ladder).
+type AdmissionConfig struct {
+	// MaxInflight caps the requests running past admission at once; one
+	// Estimate call or one EstimateBatch call counts as one request.
+	// <= 0 disables admission control entirely.
+	MaxInflight int
+	// MaxQueue caps the requests parked waiting for an inflight slot.
+	// <= 0 means no queue: at the inflight limit, requests shed
+	// immediately with ErrOverloaded.
+	MaxQueue int
+	// QueueWait caps how long a queued request waits for admission before
+	// failing with ErrQueueTimeout; <= 0 means 50ms.
+	QueueWait time.Duration
+	// MaxInflightSamples caps the summed estimated sample cost of the
+	// admitted requests (estimates come from the router's bounds memo;
+	// see costEstimate). <= 0 means unlimited. A request costing more
+	// than the whole budget still admits when it is alone, so no request
+	// can starve forever.
+	MaxInflightSamples int64
+	// SoftMemBytes is the Go-heap watermark (memtrack.Monitor) above
+	// which the degradation ladder engages regardless of queue state;
+	// <= 0 disables the memory signal.
+	SoftMemBytes int64
+}
+
+// defaultQueueWait bounds queue time when the config does not: long
+// enough to absorb a burst, short enough that a queued client learns its
+// fate well inside a typical request timeout.
+const defaultQueueWait = 50 * time.Millisecond
+
+// waiter is one request parked in the admission queue. grant is closed —
+// under the admission lock, after the waiter has been popped and its cost
+// admitted — when a slot frees up.
+type waiter struct {
+	cost  int64
+	grant chan struct{}
+}
+
+// admission is the engine's admission controller. A nil *admission admits
+// everything at level 0, so the engine wires it unconditionally.
+type admission struct {
+	cfg AdmissionConfig
+	mem *memtrack.Monitor
+
+	degraded atomic.Uint64 // requests answered below requested fidelity
+
+	mu       sync.Mutex
+	inflight int
+	samples  int64 // summed cost of admitted requests
+	waiters  []*waiter
+	admitted uint64
+	queued   uint64 // admissions that had to queue first
+	shed     uint64 // rejected outright (queue full)
+	timedOut uint64 // rejected after exhausting QueueWait
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = defaultQueueWait
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &admission{cfg: cfg, mem: memtrack.NewMonitor(cfg.SoftMemBytes, 0)}
+}
+
+// memOver reports the memory-pressure signal: the real heap watermark, or
+// the injected one (the soak exercises the ladder without inflating the
+// heap).
+func (a *admission) memOver(key uint64) bool {
+	return a.mem.Over() || faultinject.FireAt(faultinject.MemPressure, key)
+}
+
+// fitsLocked reports whether a request of the given cost can be admitted
+// now. The inflight == 0 escape keeps an over-budget request from
+// starving: alone, anything runs.
+func (a *admission) fitsLocked(cost int64) bool {
+	if a.inflight >= a.cfg.MaxInflight {
+		return false
+	}
+	if a.cfg.MaxInflightSamples > 0 && a.inflight > 0 && a.samples+cost > a.cfg.MaxInflightSamples {
+		return false
+	}
+	return true
+}
+
+func (a *admission) admitLocked(cost int64) {
+	a.inflight++
+	a.samples += cost
+	a.admitted++
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit. Only
+// the head is considered — skipping a large head for a small successor
+// would starve it — so admission order equals arrival order.
+func (a *admission) grantLocked() {
+	for len(a.waiters) > 0 && a.fitsLocked(a.waiters[0].cost) {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.admitLocked(w.cost)
+		close(w.grant)
+	}
+}
+
+// abandon removes w from the queue, reporting false when w was already
+// granted (its grant channel is closed, or will be before the admission
+// lock is released — the caller must then consume the grant).
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, x := range a.waiters {
+		if x == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (a *admission) release(cost int64) {
+	a.mu.Lock()
+	a.inflight--
+	a.samples -= cost
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// levelLocked maps the controller's pressure signals to a degradation
+// ladder level (degradeRequest interprets it):
+//
+//	0 — no pressure: full-fidelity anytime run.
+//	1 — queueing (this request waited, or the queue is half full):
+//	    widen ε / halve the sample budget.
+//	2 — near saturation (queue ≥ 90% full) or the memory watermark is
+//	    exceeded: additionally route to the cheapest estimator.
+//	3 — memory pressure with queueing on top: plain queries fall to the
+//	    analytic-bounds floor (StopDegraded), everything else stays at 2.
+func (a *admission) levelLocked(waited, memOver bool) int {
+	q := len(a.waiters)
+	full := a.cfg.MaxQueue
+	switch {
+	case memOver && (waited || q > 0):
+		return 3
+	case memOver:
+		return 2
+	case full > 0 && q*10 >= full*9:
+		return 2
+	case waited || (full > 0 && q*2 >= full):
+		return 1
+	}
+	return 0
+}
+
+// acquire admits one request of the given estimated cost, queueing it —
+// up to MaxQueue deep, for up to QueueWait — when the engine is at
+// capacity. It returns a release the caller must invoke exactly once
+// after the request finishes, and the degradation ladder level in force
+// at admission. key identifies the request for the deterministic
+// fault-injection points (MemPressure, ClockSkew). A nil *admission
+// admits everything immediately at level 0.
+func (a *admission) acquire(ctx context.Context, cost int64, key uint64) (release func(), level int, err error) {
+	if a == nil {
+		return func() {}, 0, nil
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	memOver := a.memOver(key)
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.fitsLocked(cost) {
+		a.admitLocked(cost)
+		level = a.levelLocked(false, memOver)
+		a.mu.Unlock()
+		return func() { a.release(cost) }, level, nil
+	}
+	if len(a.waiters) >= a.cfg.MaxQueue {
+		a.shed++
+		inflight, depth := a.inflight, len(a.waiters)
+		a.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w (%d inflight, %d queued)", ErrOverloaded, inflight, depth)
+	}
+	w := &waiter{cost: cost, grant: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.queued++
+	a.mu.Unlock()
+
+	// The queue-wait deadline is where a skewed clock bites: positive
+	// injected skew shortens the wait this request is actually allowed,
+	// as if the deadline were computed on a clock running ahead.
+	wait := a.cfg.QueueWait
+	if skew := faultinject.SkewAt(faultinject.ClockSkew, key); skew != 0 {
+		wait -= skew
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	admitted := func() (func(), int, error) {
+		over := a.memOver(key)
+		a.mu.Lock()
+		lvl := a.levelLocked(true, over)
+		a.mu.Unlock()
+		return func() { a.release(cost) }, lvl, nil
+	}
+	select {
+	case <-w.grant:
+		return admitted()
+	case <-timer.C:
+		if a.abandon(w) {
+			a.mu.Lock()
+			a.timedOut++
+			a.mu.Unlock()
+			return nil, 0, fmt.Errorf("%w (waited %v)", ErrQueueTimeout, wait)
+		}
+		// Granted concurrently with the timer: the slot is ours, serve.
+		<-w.grant
+		return admitted()
+	case <-ctx.Done():
+		if a.abandon(w) {
+			return nil, 0, ctx.Err()
+		}
+		// Granted concurrently with cancellation: the caller will not
+		// run, so give the slot straight back.
+		<-w.grant
+		a.release(cost)
+		return nil, 0, ctx.Err()
+	}
+}
+
+// noteDegraded counts one request answered below its requested fidelity.
+func (a *admission) noteDegraded() {
+	if a == nil {
+		return
+	}
+	a.degraded.Add(1)
+}
+
+// AdmissionStats snapshots the admission controller for Stats: cumulative
+// outcome counters plus the live inflight/queue gauges.
+type AdmissionStats struct {
+	Enabled         bool   `json:"enabled"`
+	Admitted        uint64 `json:"admitted"`
+	Queued          uint64 `json:"queued"`
+	Shed            uint64 `json:"shed"`
+	TimedOut        uint64 `json:"timedOut"`
+	Degraded        uint64 `json:"degraded"`
+	Inflight        int    `json:"inflight"`
+	InflightSamples int64  `json:"inflightSamples"`
+	QueueLen        int    `json:"queueLen"`
+	SoftMemBytes    int64  `json:"softMemBytes"`
+}
+
+func (a *admission) stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Enabled:         true,
+		Admitted:        a.admitted,
+		Queued:          a.queued,
+		Shed:            a.shed,
+		TimedOut:        a.timedOut,
+		Degraded:        a.degraded.Load(),
+		Inflight:        a.inflight,
+		InflightSamples: a.samples,
+		QueueLen:        len(a.waiters),
+		SoftMemBytes:    a.mem.Soft(),
+	}
+}

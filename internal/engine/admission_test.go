@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"relcomp/internal/faultinject"
+)
+
+// admissionFor builds a bare admission controller for unit tests.
+func admissionFor(t *testing.T, cfg AdmissionConfig) *admission {
+	t.Helper()
+	a := newAdmission(cfg)
+	if a == nil {
+		t.Fatalf("newAdmission(%+v) disabled", cfg)
+	}
+	return a
+}
+
+func TestAdmissionImmediate(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 2, MaxQueue: 4})
+	rel1, lvl, err := a.acquire(context.Background(), 10, 1)
+	if err != nil || lvl != 0 {
+		t.Fatalf("first acquire: lvl=%d err=%v", lvl, err)
+	}
+	rel2, _, err := a.acquire(context.Background(), 10, 2)
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	st := a.stats()
+	if st.Inflight != 2 || st.InflightSamples != 20 || st.Admitted != 2 {
+		t.Fatalf("stats after two admits: %+v", st)
+	}
+	rel1()
+	rel2()
+	st = a.stats()
+	if st.Inflight != 0 || st.InflightSamples != 0 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+// TestAdmissionShed: with no queue, a request past the inflight limit is
+// rejected immediately with ErrOverloaded.
+func TestAdmissionShed(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 0})
+	rel, _, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, _, err := a.acquire(context.Background(), 1, 2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if st := a.stats(); st.Shed != 1 {
+		t.Fatalf("shed counter: %+v", st)
+	}
+}
+
+// TestAdmissionQueueGrant: a queued request is granted when the slot
+// frees, FIFO, and reports that it waited (level >= 1).
+func TestAdmissionQueueGrant(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel, _, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type got struct {
+		lvl int
+		err error
+	}
+	done := make(chan got, 1)
+	go func() {
+		rel2, lvl, err := a.acquire(context.Background(), 1, 2)
+		if err == nil {
+			rel2()
+		}
+		done <- got{lvl, err}
+	}()
+	// Wait until the second request is parked, then free the slot.
+	for i := 0; a.stats().QueueLen == 0; i++ {
+		if i > 1000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	g := <-done
+	if g.err != nil {
+		t.Fatalf("queued acquire failed: %v", g.err)
+	}
+	if g.lvl < 1 {
+		t.Fatalf("waited request reports level %d, want >= 1", g.lvl)
+	}
+	if st := a.stats(); st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestAdmissionQueueTimeout: a queued request whose wait expires fails
+// with ErrQueueTimeout and leaves the queue clean.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Millisecond})
+	rel, _, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, _, err := a.acquire(context.Background(), 1, 2); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("want ErrQueueTimeout, got %v", err)
+	}
+	if st := a.stats(); st.TimedOut != 1 || st.QueueLen != 0 {
+		t.Fatalf("stats after timeout: %+v", st)
+	}
+}
+
+// TestAdmissionCtxCancel: cancelling a queued request returns its context
+// error and removes it from the queue without leaking the slot.
+func TestAdmissionCtxCancel(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel, _, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.acquire(ctx, 1, 2)
+		done <- err
+	}()
+	for i := 0; a.stats().QueueLen == 0; i++ {
+		if i > 1000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	rel()
+	// The slot must be reusable afterwards.
+	rel2, _, err := a.acquire(context.Background(), 1, 3)
+	if err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+	rel2()
+}
+
+// TestAdmissionSampleBudget: the inflight-samples budget rejects work that
+// would overflow it while anything admits when the engine is idle (the
+// starvation escape).
+func TestAdmissionSampleBudget(t *testing.T) {
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 8, MaxQueue: 0, MaxInflightSamples: 100})
+	relBig, _, err := a.acquire(context.Background(), 1000, 1)
+	if err != nil {
+		t.Fatalf("over-budget request must admit when alone: %v", err)
+	}
+	if _, _, err := a.acquire(context.Background(), 50, 2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("budget overflow must shed, got %v", err)
+	}
+	relBig()
+	rel1, _, err := a.acquire(context.Background(), 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel1()
+	rel2, _, err := a.acquire(context.Background(), 40, 4)
+	if err != nil {
+		t.Fatalf("60+40 fits the 100 budget: %v", err)
+	}
+	rel2()
+}
+
+// TestAdmissionMemPressureLevels: the injected memory-pressure signal
+// drives the ladder — level 2 when admitted immediately, level 3 after
+// queueing on top of it.
+func TestAdmissionMemPressureLevels(t *testing.T) {
+	inj := faultinject.NewSeeded(1).WithRate(faultinject.MemPressure, 1)
+	defer faultinject.Set(inj)()
+
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel, lvl, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 2 {
+		t.Fatalf("memory pressure alone: level %d, want 2", lvl)
+	}
+	done := make(chan int, 1)
+	go func() {
+		rel2, lvl2, err := a.acquire(context.Background(), 1, 2)
+		if err != nil {
+			done <- -1
+			return
+		}
+		rel2()
+		done <- lvl2
+	}()
+	for i := 0; a.stats().QueueLen == 0; i++ {
+		if i > 1000 {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if lvl2 := <-done; lvl2 != 3 {
+		t.Fatalf("memory pressure + queueing: level %d, want 3", lvl2)
+	}
+}
+
+// TestAdmissionClockSkew: positive injected skew shortens the queue wait,
+// so a request that would have been granted times out instead.
+func TestAdmissionClockSkew(t *testing.T) {
+	inj := faultinject.NewSeeded(1).
+		WithRate(faultinject.ClockSkew, 1).
+		WithSkew(time.Hour) // shrinks any wait to zero
+	defer faultinject.Set(inj)()
+
+	a := admissionFor(t, AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	rel, _, err := a.acquire(context.Background(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, _, err = a.acquire(context.Background(), 1, 2)
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("want ErrQueueTimeout under skew, got %v", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("skewed wait took %v, want ~0", waited)
+	}
+}
+
+// TestDegradeRequest covers the ladder's request rewriting.
+func TestDegradeRequest(t *testing.T) {
+	e := testEngine(t, Config{Seed: 42, MaxK: 2000, Workers: 1})
+
+	// Level 0 touches nothing.
+	q := Query{S: 0, T: 5, K: 1000}
+	if dq, changed := e.degradeRequest(q, 0); changed || dq.K != q.K || dq.Eps != q.Eps || dq.Estimator != q.Estimator {
+		t.Fatalf("level 0 changed the request: %+v", dq)
+	}
+
+	// Level 1 halves a fixed budget, with a floor.
+	dq, changed := e.degradeRequest(Query{S: 0, T: 5, K: 1000}, 1)
+	if !changed || dq.K != 500 {
+		t.Fatalf("level 1 fixed budget: K=%d changed=%v", dq.K, changed)
+	}
+	dq, _ = e.degradeRequest(Query{S: 0, T: 5, K: 70}, 1)
+	if dq.K != degradeKFloor {
+		t.Fatalf("level 1 floor: K=%d want %d", dq.K, degradeKFloor)
+	}
+	if dq, changed := e.degradeRequest(Query{S: 0, T: 5, K: degradeKFloor}, 1); changed {
+		t.Fatalf("budget at the floor still degraded: %+v", dq)
+	}
+
+	// Level 1 widens an anytime target instead, capped.
+	dq, _ = e.degradeRequest(Query{S: 0, T: 5, K: 1000, Eps: 0.05}, 1)
+	if dq.Eps != 0.1 || dq.K != 1000 {
+		t.Fatalf("level 1 anytime: eps=%v K=%d", dq.Eps, dq.K)
+	}
+	dq, _ = e.degradeRequest(Query{S: 0, T: 5, K: 1000, Eps: 0.4}, 1)
+	if dq.Eps != degradeEpsCap {
+		t.Fatalf("level 1 eps cap: eps=%v want %v", dq.Eps, degradeEpsCap)
+	}
+
+	// Level 2 also forces routed plain queries to the cheapest estimator.
+	dq, _ = e.degradeRequest(Query{S: 0, T: 5, K: 1000}, 2)
+	if dq.Estimator == "" {
+		t.Fatal("level 2 left the routed query unrouted")
+	}
+	if _, ok := e.pools[dq.Estimator]; !ok {
+		t.Fatalf("level 2 picked unknown estimator %q", dq.Estimator)
+	}
+	// An explicit estimator choice is respected at level 2.
+	dq, _ = e.degradeRequest(Query{S: 0, T: 5, K: 1000, Estimator: "MC"}, 2)
+	if dq.Estimator != "MC" {
+		t.Fatalf("level 2 overrode the explicit estimator: %q", dq.Estimator)
+	}
+
+	// Level 3 sends plain queries to the bounds floor; other kinds stay
+	// at level-2 treatment (bounds cannot answer them).
+	dq, changed = e.degradeRequest(Query{S: 0, T: 5, K: 1000}, 3)
+	if !changed || dq.Estimator != BoundsName {
+		t.Fatalf("level 3 plain: estimator=%q", dq.Estimator)
+	}
+	dq, _ = e.degradeRequest(Query{Kind: KindTopK, S: 0, TopK: 3, K: 1000}, 3)
+	if dq.Estimator == BoundsName {
+		t.Fatal("level 3 sent a top-k query to the bounds floor")
+	}
+	if dq.K != 500 {
+		t.Fatalf("level 3 top-k budget: K=%d want 500", dq.K)
+	}
+}
+
+// TestDegradedBoundsFloor drives the full path end to end: a request that
+// queues under injected memory pressure is served from the analytic
+// bounds, flagged Degraded with StopReason "degraded", and the original
+// request shape is echoed back.
+func TestDegradedBoundsFloor(t *testing.T) {
+	inj := faultinject.NewSeeded(1).WithRate(faultinject.MemPressure, 1)
+	defer faultinject.Set(inj)()
+
+	e := testEngine(t, Config{
+		Seed: 42, MaxK: 2000, Workers: 1, CacheSize: 64,
+		Admission: AdmissionConfig{MaxInflight: 1, MaxQueue: 4, QueueWait: 5 * time.Second},
+	})
+	// Occupy the only slot directly so the query below must queue.
+	rel, _, err := e.adm.acquire(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for e.adm.stats().QueueLen == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		rel()
+	}()
+	q := Query{S: 0, T: 5, K: 1000}
+	res := e.Estimate(context.Background(), q)
+	if res.Err != nil {
+		t.Fatalf("degraded query failed: %v", res.Err)
+	}
+	if !res.Degraded {
+		t.Fatal("level-3 answer not flagged Degraded")
+	}
+	if res.Used != BoundsName {
+		t.Fatalf("level-3 answer used %q, want the bounds floor", res.Used)
+	}
+	if res.StopReason != "degraded" {
+		t.Fatalf("stop reason %q, want degraded", res.StopReason)
+	}
+	if res.Request.Estimator != q.Estimator || res.Request.K != q.K {
+		t.Fatalf("degraded response mutated the echoed request: %+v", res.Request)
+	}
+	if res.Reliability < 0 || res.Reliability > 1 {
+		t.Fatalf("bounds-floor reliability %v", res.Reliability)
+	}
+	if st := e.adm.stats(); st.Degraded == 0 {
+		t.Fatalf("degraded counter not bumped: %+v", st)
+	}
+}
+
+// TestAdmissionDisabledUnchanged: an engine without admission config
+// serves exactly as before — no level, no Degraded flag, stats disabled.
+func TestAdmissionDisabledUnchanged(t *testing.T) {
+	e := testEngine(t, Config{Seed: 42, MaxK: 500, Workers: 2})
+	if e.adm != nil {
+		t.Fatal("zero AdmissionConfig built a controller")
+	}
+	res := e.Estimate(context.Background(), Query{S: 0, T: 5, K: 200})
+	if res.Err != nil || res.Degraded {
+		t.Fatalf("unadmitted serve: err=%v degraded=%v", res.Err, res.Degraded)
+	}
+	if st := e.Stats(); st.Admission.Enabled {
+		t.Fatalf("admission stats claim enabled: %+v", st.Admission)
+	}
+}

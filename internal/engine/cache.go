@@ -90,6 +90,25 @@ func (c *lruCache[V]) get(key cacheKey) (V, bool) {
 	return el.Value.(*cacheEntry[V]).value, true
 }
 
+// peek looks the key up without promoting it and without touching the
+// hit/miss counters — for advisory consumers (the admission controller's
+// cost estimator peeks the router's bounds memo) that must not skew the
+// stats operators size the caches from, nor perturb the LRU order real
+// traffic establishes.
+func (c *lruCache[V]) peek(key cacheKey) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return zero, false
+	}
+	return el.Value.(*cacheEntry[V]).value, true
+}
+
 // put inserts or refreshes the key, evicting the least-recently-used
 // entry when the cache is full.
 func (c *lruCache[V]) put(key cacheKey, value V) {

@@ -57,11 +57,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"time"
 
 	"relcomp/internal/core"
+	"relcomp/internal/faultinject"
 	"relcomp/internal/uncertain"
 )
 
@@ -117,6 +117,10 @@ type Config struct {
 	// a snapshot) for the index-based estimator pools, which then skip
 	// their lazy first-borrow build. Nil fields fall back to building.
 	Preloaded *PreloadedIndexes
+	// Admission bounds the work the engine accepts at once and arms the
+	// overload degradation ladder; the zero value disables both (every
+	// request admitted immediately, full fidelity). See AdmissionConfig.
+	Admission AdmissionConfig
 }
 
 // PreloadedIndexes carries pre-built offline indexes into New. Each index
@@ -150,6 +154,9 @@ type Engine struct {
 	// created on first demand per d.
 	distMu    sync.Mutex
 	distPools map[int]*pool
+	// adm is the admission controller (admission.go); nil when disabled,
+	// which every acquire/noteDegraded call handles.
+	adm *admission
 
 	mu      sync.Mutex
 	queries uint64
@@ -249,6 +256,7 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 		candidates = e.names
 	}
 	e.router = newRouter(g, candidates, cfg.BoundsCutoff, cfg.HardWidth, memoSize)
+	e.adm = newAdmission(cfg.Admission)
 	return e, nil
 }
 
@@ -444,6 +452,12 @@ func (e *Engine) noteKind(k Kind) {
 // the query up front and stops an anytime query between sample chunks
 // (fixed-budget estimates are not interruptible once started). A context
 // deadline acts like Query.Deadline; the earlier of the two wins.
+//
+// With admission control configured the query first passes the admission
+// controller: at capacity it queues (bounded, deadline-bounded), sheds
+// with ErrOverloaded or ErrQueueTimeout when the queue overflows or the
+// wait expires, and under pressure the degradation ladder may answer
+// below the requested fidelity, flagged via Response.Degraded.
 func (e *Engine) Estimate(ctx context.Context, q Request) Response {
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
@@ -457,18 +471,34 @@ func (e *Engine) Estimate(ctx context.Context, q Request) Response {
 		res.Err = err
 		return res
 	}
+	release, lvl, err := e.admit(ctx, q)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer release()
 	e.noteKind(q.kind())
-	if !q.plainReliability() {
-		e.runKind(ctx, q, &res)
+	dq, degraded := e.degradeRequest(q, lvl)
+	if degraded {
+		res.Degraded = true
+		e.adm.noteDegraded()
+	}
+	if !dq.plainReliability() {
+		e.runKind(ctx, dq, &res)
 		return res
 	}
 	start := time.Now()
-	name, d, done := e.resolve(q, &res)
+	name, d, done := e.resolve(dq, &res)
 	if done {
+		if degraded && res.Used == BoundsName && q.Estimator != BoundsName {
+			// The ladder floor: the request asked for sampling and got the
+			// bounds midpoint instead.
+			res.StopReason = string(core.StopDegraded)
+		}
 		res.Latency = time.Since(start)
 		return res
 	}
-	e.runSingle(ctx, name, d, q, &res)
+	e.runSingle(ctx, name, d, dq, &res)
 	// Report the full cost including any routing bounds walk; the
 	// estimator-only time was already fed to the router inside.
 	res.Latency = time.Since(start)
@@ -584,9 +614,13 @@ func (e *Engine) runSingle(ctx context.Context, name string, d decision, q Query
 		}
 	}
 	p := e.pools[name]
-	inst := p.get()
-	defer p.put(inst) // return the replica even if the estimator panics
-	e.runBorrowed(ctx, inst, name, q, dl, opts, key, res)
+	if err := e.withReplica(p, func(inst core.Estimator) {
+		e.runBorrowed(ctx, inst, name, q, dl, opts, key, res)
+	}); err != nil {
+		// A faulted replica (or factory) costs exactly this query: the
+		// replica was discarded, the error is typed, nothing is cached.
+		res.Err = err
+	}
 }
 
 // runBorrowed answers one query on an already-borrowed instance and does
@@ -608,6 +642,14 @@ func (e *Engine) runBorrowed(ctx context.Context, inst core.Estimator, name stri
 // fixed path runs, so plain queries stay bit-identical to the estimators'
 // own Estimate.
 func (e *Engine) runOne(ctx context.Context, inst core.Estimator, name string, q Query, dl time.Time, opts core.AdaptiveOptions, res *Result) {
+	if faultinject.Enabled() {
+		// Injection points keyed by the per-query stream seed, so a seeded
+		// injector faults the same queries on every run regardless of
+		// scheduling. The panic is contained by withReplica above.
+		fkey := e.querySeedFor(name, q.S, q.T, q.K)
+		faultinject.Sleep(faultinject.SlowReplica, fkey)
+		faultinject.MaybePanic(faultinject.EstimatorPanic, fkey)
+	}
 	if s, ok := inst.(core.Seeder); ok {
 		s.Reseed(e.querySeedFor(name, q.S, q.T, q.K))
 	}
@@ -735,17 +777,44 @@ func (g *orderedGroups[K]) add(key K, i int) {
 // routing, which is latency-dependent). A canceled context fails the
 // not-yet-started units with the context error; in-flight fixed-budget
 // units finish, in-flight anytime units stop at the next chunk.
+//
+// Under admission control the batch admits as one request costed at the
+// sum of its queries; a shed batch fails every position with the
+// admission error, and a degradation level in force at admission applies
+// to every query (per-position Degraded flags report which were actually
+// reduced).
 func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
 	results := make([]Response, len(queries))
+	release, lvl, aerr := e.admitBatch(ctx, queries)
+	if aerr != nil {
+		for i := range results {
+			results[i].Request = queries[i]
+			results[i].Err = aerr
+		}
+		return results
+	}
+	defer release()
+	orig := queries
+	var degradedAt []bool
+	if lvl > 0 {
+		dq := make([]Query, len(queries))
+		degradedAt = make([]bool, len(queries))
+		for i, q := range queries {
+			dq[i], degradedAt[i] = e.degradeRequest(q, lvl)
+		}
+		queries = dq
+	}
 	names := make([]string, len(queries))
 	decisions := make([]decision, len(queries))
 	routed := newOrderedGroups[cacheKey]() // adaptive queries by (s, t)
 	kinds := newOrderedGroups[groupKey]()  // non-plain requests by identity
 	for i, q := range queries {
-		results[i].Request = q
+		// Results echo the request as asked, not the degraded variant
+		// actually executed.
+		results[i].Request = orig[i]
 		if err := e.validate(q); err != nil {
 			results[i].Err = err
 			continue
@@ -800,6 +869,10 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 				decisions[i] = d
 				e.router.noteRouted(name)
 			}
+		}
+	}, func(j int, err error) {
+		for _, i := range routed.groups[routed.order[j]] {
+			results[i].Err = err
 		}
 	})
 
@@ -916,7 +989,27 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 				e.record(u.est, 0, true)
 			}
 		}
+	}, func(j int, err error) {
+		// A unit that still panicked past the replica-level containment
+		// (an engine bug, not a replica fault) costs its own positions
+		// only; the rest of the batch is unaffected.
+		for _, i := range units[j].idxs {
+			results[i].Err = err
+		}
 	})
+
+	if degradedAt != nil {
+		for i := range results {
+			if !degradedAt[i] || results[i].Err != nil {
+				continue
+			}
+			results[i].Degraded = true
+			e.adm.noteDegraded()
+			if results[i].Used == BoundsName && orig[i].Estimator != BoundsName && results[i].StopReason == "" {
+				results[i].StopReason = string(core.StopDegraded)
+			}
+		}
+	}
 
 	answered := uint64(0)
 	for i := range results {
@@ -932,13 +1025,19 @@ func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
 }
 
 // forEachParallel runs fn(0..n-1) across up to Workers goroutines,
-// returning when all calls complete. A panic in fn is re-raised on the
-// caller's goroutine — an unrecovered panic on an engine-spawned
-// goroutine would kill the whole process, where the caller (e.g. an
-// net/http handler) may have a recover boundary of its own.
-func (e *Engine) forEachParallel(n int, fn func(int)) {
+// returning when all calls complete. A panic in fn is contained to its
+// work item: capturePanic converts it to a typed error and onPanic(j,
+// err) reports it, so one faulting unit costs exactly that unit's
+// results — never the process (an unrecovered panic on an engine-spawned
+// goroutine would kill it) and never the batch's other units.
+func (e *Engine) forEachParallel(n int, fn func(int), onPanic func(int, error)) {
 	if n == 0 {
 		return
+	}
+	run := func(j int) {
+		if err := capturePanic(func() { fn(j) }); err != nil && onPanic != nil {
+			onPanic(j, err)
+		}
 	}
 	workers := e.cfg.Workers
 	if workers > n {
@@ -946,7 +1045,7 @@ func (e *Engine) forEachParallel(n int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for j := 0; j < n; j++ {
-			fn(j)
+			run(j)
 		}
 		return
 	}
@@ -955,41 +1054,17 @@ func (e *Engine) forEachParallel(n int, fn func(int)) {
 		work <- j
 	}
 	close(work)
-	var (
-		wg         sync.WaitGroup
-		panicOnce  sync.Once
-		panicMsg   string
-		panicFired bool
-	)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicOnce.Do(func() {
-								// Keep the faulting goroutine's stack — the
-								// re-panic below happens frames away from
-								// the actual bug — and drain the queue so
-								// no further units run on a doomed call.
-								panicMsg = fmt.Sprintf("engine: worker panic: %v\n%s", r, debug.Stack())
-								panicFired = true
-								for range work {
-								}
-							})
-						}
-					}()
-					fn(j)
-				}()
+				run(j)
 			}
 		}()
 	}
 	wg.Wait()
-	if panicFired {
-		panic(panicMsg) //lint:allow nopanic re-raises a captured worker panic on the caller goroutine; the message carries the original stack
-	}
 }
 
 // runShared amortizes a groupable (estimator, source, k, ε, deadline)
@@ -1064,8 +1139,33 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 	}
 
 	p := e.pools[name]
-	inst := p.get()
-	defer p.put(inst)
+	perr := e.withReplica(p, func(inst core.Estimator) {
+		e.runSharedOn(ctx, inst, u, queries, results, byTarget, missTargets, dl, anytime, cacheable, reuse)
+	})
+	if perr != nil {
+		// The replica faulted (and was discarded): every miss target of
+		// the group fails with the typed error — the cache-served targets
+		// above already have their answers and keep them.
+		for _, t := range missTargets {
+			for _, i := range byTarget.groups[t] {
+				results[i].Err = perr
+			}
+		}
+	}
+}
+
+// runSharedOn is runShared's borrowed-replica body: the amortized
+// multi-target traversal (or the lone-target fallback) on an instance the
+// caller owns for the duration.
+func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUnit, queries []Query, results []Result, byTarget *orderedGroups[uncertain.NodeID], missTargets []uncertain.NodeID, dl time.Time, anytime, cacheable bool, reuse func(int, []int)) {
+	name, s, k := u.est, u.s, u.k
+	if faultinject.Enabled() {
+		// The whole group is one traversal, so it faults (or drags) as a
+		// unit, keyed by the group's target-less stream seed.
+		fkey := e.querySeedFor(name, s, s, k)
+		faultinject.Sleep(faultinject.SlowReplica, fkey)
+		faultinject.MaybePanic(faultinject.EstimatorPanic, fkey)
+	}
 	if len(missTargets) == 1 {
 		// A lone target gains nothing from amortization; answer it like
 		// any other estimator would — on the group path's default chunk
@@ -1262,12 +1362,17 @@ type Stats struct {
 	// deadline), the total samples their budgets allowed, and the samples
 	// actually drawn — AnytimeSamplesSaved is the work the stopping rules
 	// avoided versus running every such query to its full budget.
-	AnytimeQueries      uint64                    `json:"anytimeQueries"`
-	AnytimeSampleCap    uint64                    `json:"anytimeSampleCap"`
-	AnytimeSamplesDrawn uint64                    `json:"anytimeSamplesDrawn"`
-	AnytimeSamplesSaved uint64                    `json:"anytimeSamplesSaved"`
-	Workers             int                       `json:"workers"`
-	Estimators          map[string]EstimatorStats `json:"estimators"`
+	AnytimeQueries      uint64 `json:"anytimeQueries"`
+	AnytimeSampleCap    uint64 `json:"anytimeSampleCap"`
+	AnytimeSamplesDrawn uint64 `json:"anytimeSamplesDrawn"`
+	AnytimeSamplesSaved uint64 `json:"anytimeSamplesSaved"`
+	Workers             int    `json:"workers"`
+	// Admission reports the overload controller: requests admitted,
+	// queued, shed (429-class), timed out in the queue (503-class), and
+	// answered degraded, plus the live inflight and queue gauges. All
+	// zero (Enabled false) when admission control is off.
+	Admission  AdmissionStats            `json:"admission"`
+	Estimators map[string]EstimatorStats `json:"estimators"`
 	// Kinds counts accepted requests per query kind ("reliability",
 	// "distance", "topk", "single_source", "kterminal"), so operators see
 	// the workload mix the unified surface carries.
@@ -1302,6 +1407,7 @@ func (e *Engine) Stats() Stats {
 		AnytimeSamplesDrawn: e.samplesDrawn,
 		AnytimeSamplesSaved: e.samplesBudget - e.samplesDrawn,
 		Workers:             e.cfg.Workers,
+		Admission:           e.adm.stats(),
 		Estimators:          make(map[string]EstimatorStats, len(e.perEst)),
 		Kinds:               make(map[string]uint64, len(e.perKind)),
 	}

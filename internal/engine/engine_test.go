@@ -2,8 +2,9 @@ package engine
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"relcomp/internal/core"
@@ -414,25 +415,44 @@ func TestBatchDedupesIdenticalQueries(t *testing.T) {
 	}
 }
 
-// TestForEachParallelPanicPropagates: a panic on an engine worker must
-// re-raise on the caller's goroutine (with the original message) instead
-// of killing the process from an unrecoverable goroutine.
-func TestForEachParallelPanicPropagates(t *testing.T) {
+// TestForEachParallelPanicContained: a panic on an engine worker must be
+// contained to its work item — reported through onPanic as a typed error
+// carrying the original message — while every other item still runs;
+// nothing may escape to the caller's goroutine or kill the process.
+func TestForEachParallelPanicContained(t *testing.T) {
 	e := testEngine(t, Config{Workers: 4, MaxK: 300, Seed: 1})
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic not propagated to caller")
-		}
-		if !strings.Contains(fmt.Sprint(r), "boom") {
-			t.Fatalf("panic message lost: %v", r)
-		}
-	}()
+	var mu sync.Mutex
+	ran := make([]bool, 8)
+	var faults []error
 	e.forEachParallel(8, func(j int) {
+		mu.Lock()
+		ran[j] = true
+		mu.Unlock()
 		if j == 3 {
 			panic("boom")
 		}
+	}, func(j int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if j != 3 {
+			t.Errorf("panic attributed to unit %d, want 3", j)
+		}
+		faults = append(faults, err)
 	})
+	for j, ok := range ran {
+		if !ok {
+			t.Errorf("unit %d did not run after unit 3 panicked", j)
+		}
+	}
+	if len(faults) != 1 {
+		t.Fatalf("%d fault reports, want 1", len(faults))
+	}
+	if !errors.Is(faults[0], ErrEstimatorPanic) {
+		t.Errorf("fault %v does not wrap ErrEstimatorPanic", faults[0])
+	}
+	if !strings.Contains(faults[0].Error(), "boom") {
+		t.Errorf("panic message lost: %v", faults[0])
+	}
 }
 
 func TestPoolBoundsReplicaCount(t *testing.T) {

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"relcomp/internal/core"
+)
+
+// Fault isolation. A panicking estimator replica — a real bug or an
+// injected fault — must cost exactly the work item that hit it, never the
+// process: panics are captured at the borrow boundary, surfaced as typed
+// per-unit errors, and the faulted replica is discarded (its scratch
+// state is suspect) so the pool rebuilds the slot with backoff.
+
+// ErrEstimatorPanic wraps every contained estimator panic, so callers can
+// errors.Is a failed unit back to "a replica faulted" (relserver maps it
+// to a 500 without dying).
+var ErrEstimatorPanic = errors.New("engine: estimator fault")
+
+// capturePanic runs fn and converts a panic into an
+// ErrEstimatorPanic-wrapped error carrying the faulting goroutine's
+// stack — the panic would otherwise unwind frames away from the bug.
+func capturePanic(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", ErrEstimatorPanic, r, debug.Stack())
+		}
+	}()
+	fn()
+	return nil
+}
+
+// withReplica borrows a replica from p for fn, containing panics: a
+// faulting factory (the borrow itself) or a faulting replica (inside fn)
+// becomes an error instead of unwinding the caller. A replica that
+// faulted mid-query is discarded rather than returned — whatever state
+// the panic left behind must never serve another query — and the pool
+// rebuilds the slot with backoff. Healthy replicas return to the pool as
+// before, so the fault-free path is unchanged.
+func (e *Engine) withReplica(p *pool, fn func(core.Estimator)) error {
+	var inst core.Estimator
+	if err := capturePanic(func() { inst = p.get() }); err != nil {
+		// The factory panicked before an instance existed; get already
+		// released the build slot on its way out.
+		return err
+	}
+	if err := capturePanic(func() { fn(inst) }); err != nil {
+		p.discard()
+		return err
+	}
+	p.put(inst)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"relcomp/internal/core"
+	"relcomp/internal/faultinject"
 	"relcomp/internal/uncertain"
 )
 
@@ -183,7 +184,12 @@ func (e *Engine) runKind(ctx context.Context, q Request, res *Response) {
 		}
 	}
 	start := time.Now()
-	e.computeKind(ctx, name, q, dl, res)
+	if err := capturePanic(func() { e.computeKind(ctx, name, q, dl, res) }); err != nil {
+		// Panics on the non-pooled kind paths (overlay estimators,
+		// k-terminal samplers) are contained here; pooled borrows inside
+		// computeKind contain and discard via withReplica before this.
+		res.Err = err
+	}
 	res.Latency = time.Since(start)
 	if res.Err == nil && dl.IsZero() {
 		e.cache.put(key, cacheVal{
@@ -196,6 +202,13 @@ func (e *Engine) runKind(ctx context.Context, q Request, res *Response) {
 
 // computeKind dispatches one non-plain request to its kind's execution.
 func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl time.Time, res *Response) {
+	if faultinject.Enabled() {
+		// Keyed by the kind's deterministic stream seed; the injected
+		// panic fires before any pool borrow and is contained by runKind.
+		fkey := e.kindSeed(name, q)
+		faultinject.Sleep(faultinject.SlowReplica, fkey)
+		faultinject.MaybePanic(faultinject.EstimatorPanic, fkey)
+	}
 	g, err := e.graphFor(q.Evidence)
 	if err != nil {
 		res.Err = err
@@ -210,10 +223,12 @@ func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl tim
 	case KindDistance:
 		if q.Evidence.Empty() {
 			p := e.distPool(q.D)
-			inst := p.get()
-			defer p.put(inst)
-			inst.(core.Seeder).Reseed(e.kindSeed(name, q))
-			e.runScalar(ctx, q, inst.Estimate, stSampler(inst, q), anytime, opts, res)
+			if err := e.withReplica(p, func(inst core.Estimator) {
+				inst.(core.Seeder).Reseed(e.kindSeed(name, q))
+				e.runScalar(ctx, q, inst.Estimate, stSampler(inst, q), anytime, opts, res)
+			}); err != nil {
+				res.Err = err
+			}
 			return
 		}
 		inst := core.NewDistanceConstrainedMC(g, e.kindSeed(name, q), q.D)
@@ -267,15 +282,22 @@ func (e *Engine) runScalar(ctx context.Context, q Request, est func(s, t uncerta
 // over the shared index, the pooled PackMC, or an index-free PackMC built
 // over the evidence overlay.
 func (e *Engine) runSourceRooted(ctx context.Context, name string, g *uncertain.Graph, q Request, anytime bool, opts core.AdaptiveOptions, res *Response) {
-	var inst core.Estimator
 	if q.Evidence.Empty() {
 		p := e.pools[name]
-		pooled := p.get()
-		defer p.put(pooled)
-		inst = pooled
-	} else {
-		inst = core.NewPackMC(g, replicaSeed(e.cfg.Seed, packName))
+		if err := e.withReplica(p, func(pooled core.Estimator) {
+			e.sourceRootedOn(ctx, name, g, q, pooled, anytime, opts, res)
+		}); err != nil {
+			res.Err = err
+		}
+		return
 	}
+	inst := core.NewPackMC(g, replicaSeed(e.cfg.Seed, packName))
+	e.sourceRootedOn(ctx, name, g, q, inst, anytime, opts, res)
+}
+
+// sourceRootedOn runs the source-rooted kinds on an instance the caller
+// owns (a pooled replica or an overlay-built estimator).
+func (e *Engine) sourceRootedOn(ctx context.Context, name string, g *uncertain.Graph, q Request, inst core.Estimator, anytime bool, opts core.AdaptiveOptions, res *Response) {
 	// PackMC is reseeded target-less exactly like the plain batch path, so
 	// its traversal draws the world ensemble each single s-t query would.
 	// The BFS querier has no per-query stream — its worlds are the shared

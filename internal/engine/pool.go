@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"relcomp/internal/core"
 )
@@ -34,7 +35,23 @@ type pool struct {
 	idle     []core.Estimator
 	created  int
 	capacity int
+	// Fault accounting: discard drops a replica that panicked mid-query
+	// (its scratch state is suspect) and frees its capacity slot, so the
+	// pool rebuilds on the next demand instead of leaking capacity. Each
+	// discard doubles rebuildDelay — a replica faulting deterministically
+	// (a poisoned index, a bad page) must not spin build-fault-build at
+	// full speed — and any successful build resets it.
+	discards     int
+	rebuildDelay time.Duration
 }
+
+// rebuildBackoffBase and rebuildBackoffMax bound the build backoff after
+// a discarded replica: exponential from 1ms, capped low enough that a
+// recovered pool returns to full capacity quickly.
+const (
+	rebuildBackoffBase = time.Millisecond
+	rebuildBackoffMax  = 250 * time.Millisecond
+)
 
 func newPool(capacity int, factory func() core.Estimator) *pool {
 	p := &pool{
@@ -59,12 +76,20 @@ func (p *pool) get() core.Estimator {
 		}
 		if p.created < p.capacity {
 			p.created++
+			delay := p.rebuildDelay
 			p.mu.Unlock()
 			// Build outside the lock: index construction can be slow and
 			// must not serialize unrelated borrowers. A panicking factory
 			// must give its capacity slot back on the way out — and wake a
 			// parked borrower so it can retry the build — otherwise every
 			// panic permanently burns a slot and waiters block forever.
+			if delay > 0 {
+				// A replica was recently discarded after a fault: back off
+				// before rebuilding so a deterministically faulting replica
+				// cannot spin the pool through build-fault-build at full
+				// speed.
+				time.Sleep(delay)
+			}
 			built := false
 			defer func() {
 				if !built {
@@ -76,6 +101,9 @@ func (p *pool) get() core.Estimator {
 			}()
 			est := p.factory()
 			built = true
+			p.mu.Lock()
+			p.rebuildDelay = 0
+			p.mu.Unlock()
 			return est
 		}
 		p.cond.Wait()
@@ -88,6 +116,35 @@ func (p *pool) put(est core.Estimator) {
 	p.idle = append(p.idle, est)
 	p.cond.Signal()
 	p.mu.Unlock()
+}
+
+// discard drops a borrowed instance instead of returning it — the caller
+// observed it fault (panic mid-query) and its scratch state must never
+// serve again. The capacity slot is freed so get can rebuild (after the
+// backoff), and a parked borrower is woken to take the freed slot;
+// without both, every fault would permanently shrink the pool toward a
+// deadlock at zero replicas.
+func (p *pool) discard() {
+	p.mu.Lock()
+	p.created--
+	p.discards++
+	if p.rebuildDelay == 0 {
+		p.rebuildDelay = rebuildBackoffBase
+	} else if p.rebuildDelay < rebuildBackoffMax {
+		p.rebuildDelay *= 2
+		if p.rebuildDelay > rebuildBackoffMax {
+			p.rebuildDelay = rebuildBackoffMax
+		}
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// faults reports how many replicas have been discarded after faults.
+func (p *pool) faults() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.discards
 }
 
 // size reports how many replicas have been constructed so far.

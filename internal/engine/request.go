@@ -151,6 +151,13 @@ type Response struct {
 	// result-cache hit, or an intra-batch duplicate answered by the
 	// first copy's computation (counted in Stats.DedupedQueries).
 	Cached bool
+	// Degraded reports the answer was served below the requested
+	// fidelity by the overload degradation ladder (widened ε, reduced
+	// sample budget, a cheaper estimator, or the analytic-bounds floor,
+	// whose StopReason is "degraded"). Full-fidelity answers report
+	// false, including answers served under load without shedding
+	// precision.
+	Degraded bool
 	// Latency covers routing plus estimation for single Estimate calls;
 	// batch results report each query's estimation (or amortized
 	// traversal) share, with the parallel routing phase excluded.

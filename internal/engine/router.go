@@ -137,6 +137,19 @@ func (r *router) boundsFor(s, t uncertain.NodeID) (lo, hi float64) {
 	return lo, hi
 }
 
+// peekBounds returns the memoized bounds for (s, t) without computing,
+// filling, or counting anything — the admission controller's cost
+// estimator consults it on every request, and a cost estimate must
+// neither pay the bounds walk nor skew the memo stats. ok is false when
+// the pair has not been routed yet.
+func (r *router) peekBounds(s, t uncertain.NodeID) (lo, hi float64, ok bool) {
+	b, ok := r.memo.peek(cacheKey{s: s, t: t})
+	if !ok {
+		return 0, 1, false
+	}
+	return b[0], b[1], true
+}
+
 // midpoint answers a query from the bounds alone, regardless of width —
 // the explicitly requested "bounds" pseudo-estimator.
 func (r *router) midpoint(s, t uncertain.NodeID) float64 {

@@ -1,0 +1,254 @@
+// Package faultinject is the repo's deterministic fault-injection
+// harness: named injection points compiled into the serving runtime
+// (estimator panics, slow replicas, snapshot read faults, memory
+// pressure, clock skew) behind one process-global Injector that costs a
+// single atomic load when disabled — the default for every production
+// process, which never calls Set.
+//
+// Sites consult the harness with a stable 64-bit key derived from the
+// work item's identity (the engine uses its per-query stream seed), so a
+// seeded injector fires on the same requests on every run, independent of
+// goroutine scheduling. That is what lets the soak tests assert exact
+// behavior under faults: with the same workload and the same injector
+// seed, the set of injected requests is a pure function of the inputs,
+// and every uninjected request must still answer bit-identically to a
+// fault-free run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. Sites are compiled into production
+// code, so the set is small and stable; each constant documents where it
+// fires.
+type Point uint8
+
+const (
+	// EstimatorPanic fires inside the engine's estimator execution, at
+	// the point a replica's Estimate (or sampler session) is about to
+	// run. The site panics, exercising the engine's per-unit containment
+	// and pool-discard paths.
+	EstimatorPanic Point = iota
+	// SlowReplica fires at the same site and delays the replica by the
+	// injector's Delay, exercising queue-wait deadlines, degradation,
+	// and cancellation mid-batch.
+	SlowReplica
+	// SnapshotRead fires in internal/snapshot's container open path and
+	// surfaces as a wrapped ErrCorrupt, exercising the heap-rebuild
+	// degradation at server startup.
+	SnapshotRead
+	// SnapshotFlip fires in internal/snapshot's Verify checksum sweep,
+	// standing in for a bit-flipped payload: Verify reports a wrapped
+	// ErrCorrupt without any real byte needing to change (the mapping is
+	// read-only).
+	SnapshotFlip
+	// MemPressure fires in the engine's admission controller and forces
+	// its memory-watermark signal on, exercising the degradation ladder
+	// without having to inflate the real heap.
+	MemPressure
+	// ClockSkew fires in the admission controller's queue-wait deadline,
+	// shrinking (positive skew) or stretching (negative skew) the wait a
+	// queued request is allowed, as a skewed clock would.
+	ClockSkew
+
+	numPoints = int(ClockSkew) + 1
+)
+
+// String returns the point's stable name (used in logs and errors).
+func (p Point) String() string {
+	switch p {
+	case EstimatorPanic:
+		return "estimator-panic"
+	case SlowReplica:
+		return "slow-replica"
+	case SnapshotRead:
+		return "snapshot-read"
+	case SnapshotFlip:
+		return "snapshot-flip"
+	case MemPressure:
+		return "mem-pressure"
+	case ClockSkew:
+		return "clock-skew"
+	default:
+		return fmt.Sprintf("point(%d)", uint8(p))
+	}
+}
+
+// Outcome is an injector's verdict for one site consultation. The zero
+// Outcome means "no fault": the site proceeds untouched.
+type Outcome struct {
+	// Panic instructs the site to panic (EstimatorPanic).
+	Panic bool
+	// Err is an error the site must surface (SnapshotRead, SnapshotFlip);
+	// the site wraps it in its own typed error (e.g. ErrCorrupt).
+	Err error
+	// Delay is how long the site must sleep before proceeding
+	// (SlowReplica).
+	Delay time.Duration
+	// Skew shifts a deadline the site is about to honor (ClockSkew):
+	// positive skew makes the deadline earlier.
+	Skew time.Duration
+	// Fire is the generic boolean signal (MemPressure).
+	Fire bool
+}
+
+// Injector decides what happens at an injection point. key identifies the
+// work item deterministically (the engine passes its per-query stream
+// seed; sites with no natural identity pass 0), so a seeded injector's
+// verdicts are reproducible regardless of scheduling. Implementations
+// must be safe for concurrent use.
+type Injector interface {
+	At(p Point, key uint64) Outcome
+}
+
+// holder wraps the interface so the global can live in an atomic.Pointer.
+type holder struct{ inj Injector }
+
+var active atomic.Pointer[holder]
+
+// Set installs inj as the process-global injector and returns a restore
+// function that reinstates the previous one — tests defer it so injection
+// never leaks across test boundaries. Set(nil) disables injection.
+func Set(inj Injector) (restore func()) {
+	var h *holder
+	if inj != nil {
+		h = &holder{inj: inj}
+	}
+	prev := active.Swap(h)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether an injector is installed. Sites may use it to
+// skip building keys when injection is off; the helpers below already
+// fold the check in.
+func Enabled() bool { return active.Load() != nil }
+
+// Check consults the installed injector; with none installed it returns
+// the zero Outcome at the cost of one atomic load.
+func Check(p Point, key uint64) Outcome {
+	h := active.Load()
+	if h == nil {
+		return Outcome{}
+	}
+	return h.inj.At(p, key)
+}
+
+// Sleep consults p and sleeps the instructed delay, if any.
+func Sleep(p Point, key uint64) {
+	if d := Check(p, key).Delay; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// MaybePanic consults p and panics when instructed — the estimator-fault
+// site. It never fires without an installed injector.
+func MaybePanic(p Point, key uint64) {
+	if Check(p, key).Panic {
+		panic(fmt.Sprintf("faultinject: injected %s (key %#x)", p, key))
+	}
+}
+
+// ErrorAt consults p and returns the error to inject, nil when none.
+func ErrorAt(p Point, key uint64) error {
+	return Check(p, key).Err
+}
+
+// FireAt consults p and reports the boolean signal (MemPressure).
+func FireAt(p Point, key uint64) bool {
+	return Check(p, key).Fire
+}
+
+// SkewAt consults p and returns the deadline skew to apply.
+func SkewAt(p Point, key uint64) time.Duration {
+	return Check(p, key).Skew
+}
+
+// ErrInjected is the base of the errors a Seeded injector returns from
+// its error-bearing points, so tests can errors.Is their way back to
+// "this failure was injected, not real".
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Seeded is the standard deterministic injector: each point fires with a
+// configured probability, decided by hashing (seed, point, key) — never
+// by a global RNG — so the fired set is a pure function of the workload,
+// stable under concurrency and replay. Configure before installing; the
+// With* setters are not safe to call once the injector is shared.
+type Seeded struct {
+	seed  uint64
+	rate  [numPoints]float64
+	delay time.Duration // SlowReplica sleep when it fires
+	skew  time.Duration // ClockSkew shift when it fires
+	fired [numPoints]atomic.Uint64
+}
+
+// NewSeeded returns a Seeded injector with every rate zero.
+func NewSeeded(seed uint64) *Seeded { return &Seeded{seed: seed} }
+
+// WithRate sets the firing probability of p (clamped to [0, 1]) and
+// returns the injector for chaining.
+func (s *Seeded) WithRate(p Point, rate float64) *Seeded {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.rate[p] = rate
+	return s
+}
+
+// WithDelay sets the sleep a fired SlowReplica injects.
+func (s *Seeded) WithDelay(d time.Duration) *Seeded {
+	s.delay = d
+	return s
+}
+
+// WithSkew sets the deadline shift a fired ClockSkew injects.
+func (s *Seeded) WithSkew(d time.Duration) *Seeded {
+	s.skew = d
+	return s
+}
+
+// Fired reports how many times p has fired since construction.
+func (s *Seeded) Fired(p Point) uint64 { return s.fired[p].Load() }
+
+// Fires reports whether p fires for key, without counting — the replay
+// predicate soak tests use to decide which requests were injected.
+func (s *Seeded) Fires(p Point, key uint64) bool {
+	if s.rate[p] <= 0 {
+		return false
+	}
+	// splitmix64 finalizer over (seed, point, key): uniform enough for a
+	// firing decision and exactly reproducible.
+	z := s.seed ^ (uint64(p)+1)*0x9e3779b97f4a7c15 ^ key
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < s.rate[p]
+}
+
+// At implements Injector.
+func (s *Seeded) At(p Point, key uint64) Outcome {
+	if !s.Fires(p, key) {
+		return Outcome{}
+	}
+	s.fired[p].Add(1)
+	out := Outcome{}
+	switch p {
+	case EstimatorPanic:
+		out.Panic = true
+	case SlowReplica:
+		out.Delay = s.delay
+	case SnapshotRead, SnapshotFlip:
+		out.Err = fmt.Errorf("%w at %s (key %#x)", ErrInjected, p, key)
+	case MemPressure:
+		out.Fire = true
+	case ClockSkew:
+		out.Skew = s.skew
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledIsZero: with no injector installed, every helper is a
+// no-op returning zero values — the production fast path.
+func TestDisabledIsZero(t *testing.T) {
+	if Enabled() {
+		t.Fatal("injector enabled at package init")
+	}
+	if out := Check(EstimatorPanic, 123); out != (Outcome{}) {
+		t.Fatalf("Check with no injector = %+v, want zero", out)
+	}
+	if err := ErrorAt(SnapshotRead, 1); err != nil {
+		t.Fatalf("ErrorAt with no injector = %v", err)
+	}
+	if FireAt(MemPressure, 0) {
+		t.Fatal("FireAt with no injector fired")
+	}
+	if SkewAt(ClockSkew, 0) != 0 {
+		t.Fatal("SkewAt with no injector skewed")
+	}
+	MaybePanic(EstimatorPanic, 42) // must not panic
+	Sleep(SlowReplica, 42)         // must not sleep
+}
+
+// TestSetRestore: Set installs, restore reinstates the previous injector
+// (including nil), and nested Set/restore pairs unwind correctly.
+func TestSetRestore(t *testing.T) {
+	a := NewSeeded(1).WithRate(MemPressure, 1)
+	b := NewSeeded(2)
+	restoreA := Set(a)
+	if !Enabled() || !FireAt(MemPressure, 0) {
+		t.Fatal("first injector not active")
+	}
+	restoreB := Set(b)
+	if FireAt(MemPressure, 0) {
+		t.Fatal("second injector did not replace the first")
+	}
+	restoreB()
+	if !FireAt(MemPressure, 0) {
+		t.Fatal("restore did not reinstate the first injector")
+	}
+	restoreA()
+	if Enabled() {
+		t.Fatal("outer restore did not disable injection")
+	}
+}
+
+// TestSeededDeterministic: Fires is a pure function of (seed, point,
+// key) — identical across calls and across equal-seeded injectors — and
+// different seeds decide differently somewhere.
+func TestSeededDeterministic(t *testing.T) {
+	a := NewSeeded(7).WithRate(EstimatorPanic, 0.3)
+	b := NewSeeded(7).WithRate(EstimatorPanic, 0.3)
+	c := NewSeeded(8).WithRate(EstimatorPanic, 0.3)
+	diff := 0
+	for key := uint64(0); key < 2000; key++ {
+		fa, fb := a.Fires(EstimatorPanic, key), b.Fires(EstimatorPanic, key)
+		if fa != fb {
+			t.Fatalf("equal-seeded injectors disagree at key %d", key)
+		}
+		if fa != c.Fires(EstimatorPanic, key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds never disagree — firing ignores the seed")
+	}
+}
+
+// TestSeededRate: the empirical firing rate over many keys approximates
+// the configured probability, and rate 0 / rate 1 are exact.
+func TestSeededRate(t *testing.T) {
+	s := NewSeeded(42).WithRate(SlowReplica, 0.2)
+	fired := 0
+	const n = 20000
+	for key := uint64(0); key < n; key++ {
+		if s.Fires(SlowReplica, key) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("empirical rate %.3f, want ~0.2", got)
+	}
+	always := NewSeeded(1).WithRate(EstimatorPanic, 1)
+	never := NewSeeded(1) // rate 0
+	for key := uint64(0); key < 100; key++ {
+		if !always.Fires(EstimatorPanic, key) {
+			t.Fatalf("rate 1 did not fire at key %d", key)
+		}
+		if never.Fires(EstimatorPanic, key) {
+			t.Fatalf("rate 0 fired at key %d", key)
+		}
+	}
+}
+
+// TestSeededOutcomes: each point's fired Outcome carries the right
+// payload, and the fired counters track consultations.
+func TestSeededOutcomes(t *testing.T) {
+	s := NewSeeded(1).
+		WithRate(EstimatorPanic, 1).
+		WithRate(SlowReplica, 1).
+		WithRate(SnapshotRead, 1).
+		WithRate(SnapshotFlip, 1).
+		WithRate(MemPressure, 1).
+		WithRate(ClockSkew, 1).
+		WithDelay(3 * time.Millisecond).
+		WithSkew(50 * time.Millisecond)
+
+	if out := s.At(EstimatorPanic, 0); !out.Panic {
+		t.Fatal("EstimatorPanic outcome lacks Panic")
+	}
+	if out := s.At(SlowReplica, 0); out.Delay != 3*time.Millisecond {
+		t.Fatalf("SlowReplica delay %v", out.Delay)
+	}
+	if out := s.At(SnapshotRead, 0); !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("SnapshotRead err %v, want ErrInjected", out.Err)
+	}
+	if out := s.At(SnapshotFlip, 0); !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("SnapshotFlip err %v, want ErrInjected", out.Err)
+	}
+	if out := s.At(MemPressure, 0); !out.Fire {
+		t.Fatal("MemPressure outcome lacks Fire")
+	}
+	if out := s.At(ClockSkew, 0); out.Skew != 50*time.Millisecond {
+		t.Fatalf("ClockSkew skew %v", out.Skew)
+	}
+	for p := EstimatorPanic; int(p) < numPoints; p++ {
+		if got := s.Fired(p); got != 1 {
+			t.Fatalf("Fired(%s) = %d, want 1", p, got)
+		}
+	}
+}
+
+// TestMaybePanicPanics: the panic helper actually panics when instructed.
+func TestMaybePanicPanics(t *testing.T) {
+	restore := Set(NewSeeded(1).WithRate(EstimatorPanic, 1))
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaybePanic did not panic with a firing injector")
+		}
+	}()
+	MaybePanic(EstimatorPanic, 99)
+}
+
+// TestConcurrentConsultation: concurrent Check/Set races are safe (run
+// under -race in CI).
+func TestConcurrentConsultation(t *testing.T) {
+	s := NewSeeded(3).WithRate(MemPressure, 0.5)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					Check(MemPressure, uint64(w*1000+i))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		restore := Set(s)
+		restore()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPointStrings: every point has a distinct stable name.
+func TestPointStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := EstimatorPanic; int(p) < numPoints; p++ {
+		name := p.String()
+		if name == "" || seen[name] {
+			t.Fatalf("point %d name %q empty or duplicated", p, name)
+		}
+		seen[name] = true
+	}
+}

@@ -3,10 +3,15 @@
 // are combined: the analytic resident-bytes report of estimators that
 // implement core.MemoryReporter (exact for index and scratch structures),
 // and the Go heap delta around a call (captures transient allocation).
+//
+// It also provides Monitor, a cheap throttled heap gauge the engine's
+// admission controller uses as its memory-pressure watermark.
 package memtrack
 
 import (
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"relcomp/internal/core"
 )
@@ -46,4 +51,60 @@ func Measure(est core.Estimator, fn func()) int64 {
 		return a
 	}
 	return delta
+}
+
+// Monitor is a throttled gauge of the Go heap for watermark checks on hot
+// paths: Over costs two atomic loads between refreshes, and at most one
+// caller per refresh interval pays the runtime.ReadMemStats read (which
+// briefly stops the world — the throttle exists so admission checks never
+// serialize behind it). All methods are safe for concurrent use.
+type Monitor struct {
+	soft    int64 // watermark bytes; <= 0 means the watermark never trips
+	refresh int64 // nanoseconds between ReadMemStats reads
+	heap    atomic.Int64
+	nextAt  atomic.Int64 // unix nanos after which the next refresh may run
+}
+
+// defaultRefresh bounds how stale a Monitor reading can be; 100ms is far
+// finer than the seconds-scale pressure episodes admission reacts to.
+const defaultRefresh = 100 * time.Millisecond
+
+// NewMonitor returns a Monitor that reports Over once the Go heap
+// exceeds softBytes, re-reading the heap at most every refresh (<= 0
+// means 100ms). softBytes <= 0 builds a monitor that never trips, so
+// callers can wire it unconditionally.
+func NewMonitor(softBytes int64, refresh time.Duration) *Monitor {
+	if refresh <= 0 {
+		refresh = defaultRefresh
+	}
+	return &Monitor{soft: softBytes, refresh: int64(refresh)}
+}
+
+// HeapBytes returns the most recent heap-in-use reading, refreshing it if
+// the throttle window has elapsed.
+func (m *Monitor) HeapBytes() int64 {
+	now := time.Now().UnixNano()
+	next := m.nextAt.Load()
+	if now >= next && m.nextAt.CompareAndSwap(next, now+m.refresh) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m.heap.Store(int64(ms.HeapInuse))
+	}
+	return m.heap.Load()
+}
+
+// Over reports whether the heap watermark is exceeded.
+func (m *Monitor) Over() bool {
+	if m == nil || m.soft <= 0 {
+		return false
+	}
+	return m.HeapBytes() > m.soft
+}
+
+// Soft returns the configured watermark (0 when the monitor never trips).
+func (m *Monitor) Soft() int64 {
+	if m == nil || m.soft < 0 {
+		return 0
+	}
+	return m.soft
 }

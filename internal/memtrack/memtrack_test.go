@@ -2,6 +2,7 @@ package memtrack
 
 import (
 	"testing"
+	"time"
 
 	"relcomp/internal/core"
 	"relcomp/internal/rng"
@@ -41,6 +42,47 @@ func TestHeapDeltaNonNegative(t *testing.T) {
 		t.Errorf("4MiB allocation measured as %d bytes", d)
 	}
 	heapSink = nil
+}
+
+// TestMonitorWatermark: a tiny watermark trips immediately, a huge one
+// never does, and the nil / disabled monitors are safe no-ops.
+func TestMonitorWatermark(t *testing.T) {
+	tiny := NewMonitor(1, time.Millisecond)
+	if !tiny.Over() {
+		t.Error("1-byte watermark not exceeded by a live Go heap")
+	}
+	if tiny.HeapBytes() <= 0 {
+		t.Error("HeapBytes reported a non-positive heap")
+	}
+	huge := NewMonitor(1<<50, time.Millisecond)
+	if huge.Over() {
+		t.Error("1 PiB watermark reported exceeded")
+	}
+	off := NewMonitor(0, 0)
+	if off.Over() {
+		t.Error("disabled monitor tripped")
+	}
+	if off.Soft() != 0 {
+		t.Errorf("disabled monitor Soft() = %d", off.Soft())
+	}
+	var nilMon *Monitor
+	if nilMon.Over() || nilMon.Soft() != 0 {
+		t.Error("nil monitor not a safe no-op")
+	}
+}
+
+// TestMonitorThrottle: between refreshes the reading is served from the
+// cached value (the throttle is what makes Over hot-path safe). The test
+// observes the cache by checking the reading stays fixed inside a long
+// refresh window even as the heap grows.
+func TestMonitorThrottle(t *testing.T) {
+	m := NewMonitor(1, time.Hour)
+	first := m.HeapBytes() // pays the first read, arms the hour window
+	heapSink = make([]byte, 1<<23)
+	defer func() { heapSink = nil }()
+	if got := m.HeapBytes(); got != first {
+		t.Errorf("reading moved inside the refresh window: %d -> %d", first, got)
+	}
 }
 
 func TestMeasureCoversIndex(t *testing.T) {

@@ -38,6 +38,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"relcomp/internal/faultinject"
 )
 
 // Magic identifies a snapshot file; the trailing "1" is part of the magic,
@@ -222,6 +224,12 @@ func Open(path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fault-injection site: a read fault on the container surfaces exactly
+	// like a truncated or unreadable file — wrapped in ErrCorrupt so
+	// callers' degradation paths (heap rebuild at server startup) engage.
+	if ferr := faultinject.ErrorAt(faultinject.SnapshotRead, uint64(st.Size())); ferr != nil {
+		return nil, corruptf("read fault on %s: %v", path, ferr)
+	}
 	if data, unmap, ok := mmapFile(f, st.Size()); ok {
 		sf, err := newFile(data, true, unmap)
 		if err != nil {
@@ -387,6 +395,14 @@ func (f *File) Verify() error {
 	for i := range f.sections {
 		if f.verified[i] {
 			continue
+		}
+		// Fault-injection site: a bit-flipped payload is indistinguishable
+		// from a checksum mismatch, so the injected fault reports one
+		// without any real byte changing (the mapping is read-only).
+		if ferr := faultinject.ErrorAt(faultinject.SnapshotFlip,
+			uint64(f.sections[i].typ)<<32|uint64(f.sections[i].crc)); ferr != nil {
+			return corruptf("section %s checksum mismatch: %v",
+				SectionName(f.sections[i].typ), ferr)
 		}
 		p := f.payload(i)
 		if got := crc32.Checksum(p, castagnoli); got != f.sections[i].crc {
