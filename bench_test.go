@@ -154,22 +154,26 @@ func benchPackWorkload(b *testing.B, dataset string, hops int, estimator string)
 	}
 }
 
-// BenchmarkPackMC is the word-packed sampler against the MC baseline at
-// equal K (250, the same budget BenchmarkQuery measures): within each
-// <dataset>/h=<hops> group, divide the MC row by the PackMC row for the
-// single-thread speedup of packing 64 worlds per traversal. h=2 is the
-// paper's default workload; h=4 is its distance-sensitivity regime
-// (Figs. 14–15), where estimates ride long paths, per-sample BFS cost
-// grows, and MC's find-the-target early exit rarely fires — the regime
-// the pack amortization targets (≥5x on the dense mid-probability
-// DBLP_0.2). Where one BFS dies after a handful of probes (NetHept's low
-// probabilities), plain MC stays ahead: the per-world frontiers are too
-// disjoint for 64-way sharing, which is why the engine keeps both and
-// routes per query.
+// BenchmarkPackMC is the word-packed sampler family against the MC
+// baseline at equal K (250, the same budget BenchmarkQuery measures):
+// within each <dataset>/h=<hops> group, divide the MC row by a Pack row
+// for the single-thread speedup of packing 64/256/512 worlds per
+// traversal, and the PackMC row by a wide row for the marginal win of the
+// multi-word lanes (fewer traversals, denser per-node masks, and the
+// dense-frontier pull switch). h=2 is the paper's default workload; h=4
+// is its distance-sensitivity regime (Figs. 14–15), where estimates ride
+// long paths, per-sample BFS cost grows, and MC's find-the-target early
+// exit rarely fires — the regime the pack amortization targets (≥5x on
+// the dense mid-probability DBLP_0.2 for 64 lanes, ≥2x again from 64 to
+// the wide widths). Where one BFS dies after a handful of probes
+// (NetHept's low probabilities), plain MC stays ahead: the per-world
+// frontiers are too disjoint for sharing, which is why the engine keeps
+// both and routes per query. bench/BENCH_PR9_kernels.json archives a
+// reference run of this benchmark.
 func BenchmarkPackMC(b *testing.B) {
 	for _, ds := range []string{"lastFM", "NetHept", "AS_Topology", "DBLP_0.2", "DBLP_0.05", "BioMine"} {
 		for _, hops := range []int{2, 4} {
-			for _, est := range []string{"MC", "PackMC"} {
+			for _, est := range []string{"MC", "PackMC", "PackMC256", "PackMC512"} {
 				b.Run(fmt.Sprintf("%s/h=%d/%s", ds, hops, est), func(b *testing.B) {
 					benchPackWorkload(b, ds, hops, est)
 				})

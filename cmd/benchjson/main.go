@@ -7,6 +7,18 @@
 // The parser follows the standard benchmark line format: a name column,
 // an iteration count, then (value, unit) pairs. Context lines (goos,
 // goarch, pkg, cpu) annotate the benchmarks that follow them.
+//
+// With -baseline, benchjson additionally compares the fresh results
+// against a previously archived document and prints a per-benchmark
+// ns/op delta table:
+//
+//	go test -run '^$' -bench . ./... | benchjson -o new.json -baseline bench/old.json
+//
+// Benchmarks are matched by (pkg, name); ones that exist on only one
+// side are listed but never fail the run. The exit status is nonzero
+// iff some matched benchmark slowed down by more than -threshold
+// percent, so CI can surface regressions without hard-failing on the
+// noise floor (pair it with `|| true` or a non-blocking job to taste).
 package main
 
 import (
@@ -16,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,6 +52,8 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "archived BENCH_*.json to diff the fresh results against")
+	threshold := flag.Float64("threshold", 10, "ns/op regression percentage above which the exit status is nonzero")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -58,12 +73,106 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadDoc(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	regressed := compare(os.Stdout, base, doc, *threshold)
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%% vs %s\n",
+			regressed, *threshold, *baseline)
+		os.Exit(1)
+	}
+}
+
+func loadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchKey identifies a benchmark across documents. Procs is included so
+// a -cpu sweep does not collapse distinct rows.
+func benchKey(b Benchmark) string {
+	return b.Pkg + "\x00" + b.Name + "\x00" + strconv.Itoa(b.Procs)
+}
+
+// compare prints a per-benchmark ns/op delta table of cur against base and
+// returns how many matched benchmarks slowed down by more than threshold
+// percent. Benchmarks present on only one side are reported but never
+// counted as regressions.
+func compare(w io.Writer, base, cur *Doc, threshold float64) int {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[benchKey(b)] = b
+	}
+	matched := make(map[string]bool)
+
+	type row struct {
+		name  string
+		old   float64
+		cur   float64
+		delta float64
+	}
+	var rows []row
+	var added []string
+	for _, c := range cur.Benchmarks {
+		key := benchKey(c)
+		b, ok := baseBy[key]
+		if !ok {
+			added = append(added, c.Name)
+			continue
+		}
+		matched[key] = true
+		oldNs, okOld := b.Metrics["ns/op"]
+		newNs, okNew := c.Metrics["ns/op"]
+		if !okOld || !okNew || oldNs <= 0 {
+			continue
+		}
+		rows = append(rows, row{
+			name:  c.Name,
+			old:   oldNs,
+			cur:   newNs,
+			delta: (newNs - oldNs) / oldNs * 100,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].delta > rows[j].delta })
+
+	regressed := 0
+	fmt.Fprintf(w, "benchmark comparison (threshold %.1f%%):\n", threshold)
+	for _, r := range rows {
+		flag := ""
+		if r.delta > threshold {
+			flag = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "  %-60s %14.0f -> %14.0f ns/op  %+7.2f%%%s\n",
+			r.name, r.old, r.cur, r.delta, flag)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "  %-60s (new, no baseline)\n", name)
+	}
+	for _, b := range base.Benchmarks {
+		if !matched[benchKey(b)] {
+			fmt.Fprintf(w, "  %-60s (removed, baseline only)\n", b.Name)
+		}
+	}
+	return regressed
 }
 
 func parse(r io.Reader) (*Doc, error) {

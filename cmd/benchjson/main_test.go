@@ -42,6 +42,71 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func bench(pkg, name string, procs int, nsop float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Procs: procs, Runs: 1,
+		Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("relcomp", "BenchmarkPackMC/DBLP_0.2/h=2/PackMC256", 8, 1000),
+		bench("relcomp", "BenchmarkPackMC/DBLP_0.2/h=2/PackMC", 8, 2000),
+		bench("relcomp", "BenchmarkGone", 8, 500),
+	}}
+	cur := &Doc{Benchmarks: []Benchmark{
+		bench("relcomp", "BenchmarkPackMC/DBLP_0.2/h=2/PackMC256", 8, 1200), // +20%: regressed
+		bench("relcomp", "BenchmarkPackMC/DBLP_0.2/h=2/PackMC", 8, 2100),    // +5%: within threshold
+		bench("relcomp", "BenchmarkNew", 8, 100),
+	}}
+	var buf strings.Builder
+	if got := compare(&buf, base, cur, 10); got != 1 {
+		t.Fatalf("compare = %d regressions, want 1\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"PackMC256", "+20.00%", "REGRESSED",
+		"BenchmarkNew", "(new, no baseline)",
+		"BenchmarkGone", "(removed, baseline only)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkPackMC/DBLP_0.2/h=2/PackMC \u0020") &&
+		strings.Count(out, "REGRESSED") != 1 {
+		t.Errorf("only the +20%% row should be flagged:\n%s", out)
+	}
+}
+
+func TestCompareMatchesByPkgAndProcs(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("relcomp/internal/core", "BenchmarkX", 8, 1000),
+		bench("relcomp", "BenchmarkX", 8, 9999),
+	}}
+	cur := &Doc{Benchmarks: []Benchmark{
+		bench("relcomp/internal/core", "BenchmarkX", 8, 1010),
+	}}
+	var buf strings.Builder
+	if got := compare(&buf, base, cur, 10); got != 0 {
+		t.Fatalf("compare = %d regressions, want 0 (must match the same-pkg row)\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "(removed, baseline only)") {
+		t.Errorf("other-pkg row should be reported as unmatched:\n%s", buf.String())
+	}
+}
+
+func TestCompareImprovementNotFlagged(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{bench("p", "BenchmarkFast", 4, 2000)}}
+	cur := &Doc{Benchmarks: []Benchmark{bench("p", "BenchmarkFast", 4, 900)}}
+	var buf strings.Builder
+	if got := compare(&buf, base, cur, 10); got != 0 {
+		t.Fatalf("a 2.2x speedup must not count as a regression\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "-55.00%") {
+		t.Errorf("delta column: %s", buf.String())
+	}
+}
+
 func TestParseIgnoresMalformedLines(t *testing.T) {
 	in := `BenchmarkBroken-8 notanumber 12 ns/op
 BenchmarkOdd-8 3 12

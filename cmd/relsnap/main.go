@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"relcomp"
+	"relcomp/internal/uncertain"
 )
 
 func main() {
@@ -134,8 +135,22 @@ func runInspect(args []string) error {
 		return err
 	}
 	fmt.Printf("manifest: %s\n", man)
-	fmt.Printf("mapped:   %v\nsize:     %d bytes\n\n", snap.Mapped(), snap.SizeBytes())
-	fmt.Printf("%-22s %10s %12s %12s %10s\n", "SECTION", "OFFSET", "BYTES", "COUNT", "CRC32C")
+	fmt.Printf("mapped:   %v\nsize:     %d bytes\n", snap.Mapped(), snap.SizeBytes())
+
+	// Degree shape drives estimator cache behavior (the wide kernels walk
+	// the out-CSR), so inspect surfaces it next to the layout provenance.
+	maxD, meanD, p99 := uncertain.DegreeStats(snap.Graph)
+	fmt.Printf("degree:   out max=%d mean=%.2f p99=%d\n", maxD, meanD, p99)
+	switch {
+	case snap.Manifest.DegreeRelabeled:
+		fmt.Printf("relabel:  degree-sorted (relabel.* sections carry the id translation)\n")
+	case uncertain.IsDegreeSorted(snap.Graph):
+		fmt.Printf("relabel:  layout is degree-sorted, but the manifest does not mark a relabel\n")
+	default:
+		fmt.Printf("relabel:  original node order\n")
+	}
+
+	fmt.Printf("\n%-22s %10s %12s %12s %10s\n", "SECTION", "OFFSET", "BYTES", "COUNT", "CRC32C")
 	for _, s := range snap.Sections() {
 		fmt.Printf("%-22s %10d %12d %12d   %08x\n", s.Name, s.Offset, s.Length, s.Count, s.CRC)
 	}

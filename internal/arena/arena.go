@@ -1,0 +1,114 @@
+// Package arena provides a recycling bump allocator for per-query
+// estimator scratch. The sampling hot paths open and close short-lived
+// working sets — per-node hit counters for a multi-target sweep, lane
+// buffers for a wide pack — on every query; allocating them with make()
+// hands the garbage collector O(n) of garbage per query, which under
+// engine concurrency turns into measurable GC pressure. An Arena instead
+// carves those slices out of a handful of persistent slabs and reclaims
+// them all at once with Reset, so steady-state queries allocate nothing.
+//
+// # Ownership and lifetime
+//
+// An Arena is owned by exactly one estimator instance and shares that
+// instance's concurrency contract: not safe for concurrent use. The
+// engine's replica pools hand each borrowed estimator — and therefore
+// its arena — to one worker at a time, which is what keeps concurrent
+// queries from ever sharing scratch (asserted by the engine's -race
+// tests).
+//
+// Memory returned by the allocation methods is valid until the owning
+// instance's next query begins (each query calls Reset first). A caller
+// that must keep data past that point — a returned result slice, for
+// example — must copy it out; estimator results handed to engine callers
+// are always heap-allocated for this reason.
+//
+// # The append ban
+//
+// The allocation methods return defined slice types (Uint64s, Int64s,
+// Float64s, NodeIDs) rather than raw slices. Appending to an
+// arena-owned slice is always a bug: either it grows in place and
+// silently overlaps the next allocation from the same slab, or it
+// reallocates onto the heap and the "arena-backed" buffer quietly stops
+// being one. The defined types give the relint arenaappend analyzer a
+// mechanical handle: append on any of them outside this package is a
+// vet failure.
+package arena
+
+import "relcomp/internal/uncertain"
+
+// Uint64s, Int64s, Float64s, and NodeIDs are arena-owned slices. They
+// index and slice like their underlying types; appending to them outside
+// this package is forbidden (enforced by relint's arenaappend analyzer).
+type (
+	Uint64s  []uint64
+	Int64s   []int64
+	Float64s []float64
+	NodeIDs  []uncertain.NodeID
+)
+
+// Arena is the allocator: one persistent slab per element kind, carved
+// by a bump offset, recycled wholesale by Reset. The zero value is ready
+// to use.
+type Arena struct {
+	u64 slab[uint64]
+	i64 slab[int64]
+	f64 slab[float64]
+	ids slab[uncertain.NodeID]
+}
+
+// slab is one element kind's backing store. When a request outgrows the
+// current buffer a larger one replaces it; outstanding slices keep the
+// old buffer alive until their owning query ends, so growth never
+// invalidates memory the current query handed out.
+type slab[T uint64 | int64 | float64 | uncertain.NodeID] struct {
+	buf []T
+	off int
+}
+
+// alloc returns n zeroed elements from the slab.
+func (s *slab[T]) alloc(n int) []T {
+	if n < 0 {
+		panic("arena: negative allocation size")
+	}
+	if s.off+n > len(s.buf) {
+		grown := 2 * len(s.buf)
+		if grown < s.off+n {
+			grown = s.off + n
+		}
+		s.buf = make([]T, grown)
+		s.off = 0
+	}
+	out := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
+	clear(out)
+	return out
+}
+
+// Reset reclaims every allocation at once. The owning estimator calls it
+// at the start of each query; all slices handed out earlier are dead from
+// the caller's point of view (their memory will be re-carved) and must
+// not be used again.
+func (a *Arena) Reset() {
+	a.u64.off = 0
+	a.i64.off = 0
+	a.f64.off = 0
+	a.ids.off = 0
+}
+
+// Uint64s returns n zeroed uint64s valid until the next Reset.
+func (a *Arena) Uint64s(n int) Uint64s { return a.u64.alloc(n) }
+
+// Int64s returns n zeroed int64s valid until the next Reset.
+func (a *Arena) Int64s(n int) Int64s { return a.i64.alloc(n) }
+
+// Float64s returns n zeroed float64s valid until the next Reset.
+func (a *Arena) Float64s(n int) Float64s { return a.f64.alloc(n) }
+
+// NodeIDs returns n zeroed node ids valid until the next Reset.
+func (a *Arena) NodeIDs(n int) NodeIDs { return a.ids.alloc(n) }
+
+// MemoryBytes reports the arena's slab footprint.
+func (a *Arena) MemoryBytes() int64 {
+	return int64(cap(a.u64.buf))*8 + int64(cap(a.i64.buf))*8 +
+		int64(cap(a.f64.buf))*8 + int64(cap(a.ids.buf))*4
+}

@@ -1,0 +1,84 @@
+package arena
+
+import "testing"
+
+func TestAllocZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	x := a.Int64s(10)
+	y := a.Int64s(10)
+	if len(x) != 10 || len(y) != 10 {
+		t.Fatalf("lengths: %d, %d", len(x), len(y))
+	}
+	for i := range x {
+		x[i] = int64(i + 1)
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %d after writing x; allocations overlap", i, v)
+		}
+	}
+	x2 := a.Uint64s(3)
+	f := a.Float64s(3)
+	ids := a.NodeIDs(3)
+	if len(x2) != 3 || len(f) != 3 || len(ids) != 3 {
+		t.Fatalf("mixed-kind lengths wrong")
+	}
+}
+
+func TestResetRecycles(t *testing.T) {
+	var a Arena
+	x := a.Int64s(1000)
+	x[0] = 42
+	a.Reset()
+	y := a.Int64s(1000)
+	if &x[0] != &y[0] {
+		t.Fatalf("Reset did not recycle the slab")
+	}
+	if y[0] != 0 {
+		t.Fatalf("recycled allocation not zeroed: %d", y[0])
+	}
+}
+
+func TestGrowthKeepsOldAllocationsValid(t *testing.T) {
+	var a Arena
+	x := a.Uint64s(8)
+	for i := range x {
+		x[i] = uint64(i) + 100
+	}
+	// Outgrow the slab: x must keep its values (it aliases the old buffer).
+	y := a.Uint64s(1 << 16)
+	_ = y
+	for i := range x {
+		if x[i] != uint64(i)+100 {
+			t.Fatalf("x[%d] corrupted by slab growth", i)
+		}
+	}
+}
+
+func TestFullSliceExpressionBlocksInPlaceGrowth(t *testing.T) {
+	var a Arena
+	x := a.Int64s(4)
+	y := a.Int64s(4)
+	if cap(x) != 4 {
+		t.Fatalf("allocation capacity %d exposes slab tail", cap(x))
+	}
+	// Even an (illegal) append cannot clobber y: capacity is clamped, so
+	// growth must reallocate off-slab.
+	z := append([]int64(x), 7)
+	z[0] = -1
+	if y[0] != 0 || x[0] != 0 {
+		t.Fatalf("append aliased arena memory: x[0]=%d y[0]=%d", x[0], y[0])
+	}
+}
+
+func TestZeroLengthAndMemory(t *testing.T) {
+	var a Arena
+	if s := a.Int64s(0); len(s) != 0 {
+		t.Fatalf("zero-length alloc returned %d elems", len(s))
+	}
+	a.Uint64s(10)
+	a.NodeIDs(10)
+	if a.MemoryBytes() < 10*8+10*4 {
+		t.Fatalf("MemoryBytes %d below slab sizes", a.MemoryBytes())
+	}
+}

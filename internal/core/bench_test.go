@@ -53,6 +53,8 @@ func BenchmarkPackVsMCKernel(b *testing.B) {
 	}{
 		{"MC", NewMC(g, 7)},
 		{"PackMC", NewPackMC(g, 7)},
+		{"PackMC256", NewWidePackMC(g, 7, 256)},
+		{"PackMC512", NewWidePackMC(g, 7, 512)},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 
+	"relcomp/internal/arena"
 	"relcomp/internal/bitvec"
 	"relcomp/internal/rng"
 	"relcomp/internal/uncertain"
@@ -60,6 +62,10 @@ type PackMC struct {
 	sent    []uint64 // per-node lanes already propagated to its out-edges
 	queue   []uncertain.NodeID
 	touched []uncertain.NodeID // nodes stamped this pack (EstimateAll only)
+
+	// scratch is the per-query arena (multi-target hit counters); each
+	// query Resets it, so its memory lives until the instance's next query.
+	scratch arena.Arena
 }
 
 // packNode is a node's pack-local state: its reachability mask (valid iff
@@ -114,13 +120,22 @@ func (pm *PackMC) Reseed(seed uint64) {
 	pm.round = 0
 }
 
+// ScratchArena exposes the instance's per-query arena for diagnostics and
+// the engine's scratch-isolation tests; callers must not allocate from it.
+func (pm *PackMC) ScratchArena() *arena.Arena { return &pm.scratch }
+
 // numPacks returns how many 64-world packs cover a k-sample budget.
 func numPacks(k int) int { return (k + 63) / 64 }
 
 // activeLanes returns the live-world mask of pack j within a k-sample
-// budget: all 64 lanes except for the final partial pack.
+// budget: all 64 lanes except for the final partial pack, and zero for
+// packs at or beyond numPacks(k) (k=0 has no live lanes anywhere).
 func activeLanes(j, k int) uint64 {
-	if rem := k - j*64; rem < 64 {
+	rem := k - j*64
+	switch {
+	case rem <= 0:
+		return 0
+	case rem < 64:
 		return bitvec.LowBits(rem)
 	}
 	return ^uint64(0)
@@ -191,8 +206,9 @@ func (pm *PackMC) EstimateAll(s uncertain.NodeID, k int) []float64 {
 	g := pm.g
 	mustValidQuery(g, s, s, k)
 	pm.round++
+	pm.scratch.Reset()
 	base := mix(pm.seed, pm.round, 0)
-	counts := make([]int64, g.NumNodes())
+	counts := pm.scratch.Int64s(g.NumNodes())
 	for j := 0; j < numPacks(k); j++ {
 		pm.runPack(base, uint64(j), s, -1, activeLanes(j, k))
 		for _, v := range pm.touched {
@@ -401,14 +417,18 @@ func (x *packSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits
 // accumulates every reached node's per-world hit count, so after n total
 // samples SnapshotOf(t) is bit-identical to what EstimateAll(s, n)[t]
 // would report from the same (seed, round) state.
+// The per-node counts live in the instance arena and are reused across
+// Advance chunks; like every arena allocation they are valid until the
+// instance's next query begins.
 func (pm *PackMC) AllSampler(s uncertain.NodeID) MultiSampler {
 	mustValidQuery(pm.g, s, s, 1)
 	pm.round++
+	pm.scratch.Reset()
 	return &packAllSampler{
 		pm:     pm,
 		base:   mix(pm.seed, pm.round, 0),
 		s:      s,
-		counts: make([]int64, pm.g.NumNodes()),
+		counts: pm.scratch.Int64s(pm.g.NumNodes()),
 	}
 }
 
@@ -417,7 +437,7 @@ type packAllSampler struct {
 	base   uint64
 	s      uncertain.NodeID
 	n      int
-	counts []int64
+	counts arena.Int64s
 }
 
 func (a *packAllSampler) Advance(dk int) {
@@ -450,7 +470,27 @@ var (
 	_ SourceEstimator      = (*PackMC)(nil)
 	_ SourceSampler        = (*PackMC)(nil)
 	_ Seeder               = (*PackMC)(nil)
+	_ packKernel           = (*PackMC)(nil)
 )
+
+// packKernel is the shardable world-packed sampling surface shared by
+// PackMC (64 lanes) and WidePackMC (256/512 lanes): both draw each
+// 64-world pack's masks from the same counter streams, so ParallelPackMC
+// can shard pack or lane ranges over either kernel and stay bit-identical
+// to the sequential estimator at that width.
+type packKernel interface {
+	sampleRange(base uint64, s, t uncertain.NodeID, k, lo, hi int) int
+	sampleLanes(base uint64, s, t uncertain.NodeID, lo, hi int) int
+}
+
+// newPackKernel builds the sequential kernel for a lane width (64, 256,
+// or 512).
+func newPackKernel(g *uncertain.Graph, seed uint64, lanes int) packKernel {
+	if lanes == 64 {
+		return NewPackMC(g, seed)
+	}
+	return NewWidePackMC(g, seed, lanes)
+}
 
 // ParallelPackMC shards the packs of each PackMC estimate over W worker
 // goroutines, the way ParallelMC shards MC samples. Because PackMC's mask
@@ -466,22 +506,38 @@ type ParallelPackMC struct {
 	seed    uint64
 	round   uint64
 	workers int
-	pool    sync.Pool // *PackMC workers
+	lanes   int       // worlds per traversal of each worker kernel
+	pool    sync.Pool // packKernel workers
 }
 
 // NewParallelPackMC returns a ParallelPackMC with workers goroutines
-// (0 means GOMAXPROCS).
+// (0 means GOMAXPROCS) over 64-lane PackMC worker kernels.
 func NewParallelPackMC(g *uncertain.Graph, seed uint64, workers int) *ParallelPackMC {
+	return NewParallelPackMCLanes(g, seed, workers, 64)
+}
+
+// NewParallelPackMCLanes is NewParallelPackMC with a chosen worker-kernel
+// width: 64 (PackMC), 256, or 512 (WidePackMC). Values are bit-identical
+// to the sequential kernel at that width for any worker count.
+func NewParallelPackMCLanes(g *uncertain.Graph, seed uint64, workers, lanes int) *ParallelPackMC {
+	if lanes != 64 && lanes != 256 && lanes != 512 {
+		panic(fmt.Sprintf("core: ParallelPackMC lanes must be 64, 256, or 512, got %d", lanes))
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &ParallelPackMC{g: g, seed: seed, workers: workers}
-	p.pool.New = func() interface{} { return NewPackMC(g, seed) }
+	p := &ParallelPackMC{g: g, seed: seed, workers: workers, lanes: lanes}
+	p.pool.New = func() interface{} { return newPackKernel(g, seed, lanes) }
 	return p
 }
 
 // Name implements Estimator.
-func (p *ParallelPackMC) Name() string { return "ParallelPackMC" }
+func (p *ParallelPackMC) Name() string {
+	if p.lanes == 64 {
+		return "ParallelPackMC"
+	}
+	return fmt.Sprintf("ParallelPackMC%d", p.lanes)
+}
 
 // Reseed implements Seeder.
 func (p *ParallelPackMC) Reseed(seed uint64) {
@@ -506,7 +562,7 @@ func (p *ParallelPackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 		workers = packs
 	}
 	if workers <= 1 {
-		pm := p.pool.Get().(*PackMC)
+		pm := p.pool.Get().(packKernel)
 		hits := pm.sampleRange(base, s, t, k, 0, packs)
 		p.pool.Put(pm)
 		return float64(hits) / float64(k)
@@ -519,7 +575,7 @@ func (p *ParallelPackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 			share++
 		}
 		go func(lo, hi int) {
-			pm := p.pool.Get().(*PackMC)
+			pm := p.pool.Get().(packKernel)
 			hits := pm.sampleRange(base, s, t, k, lo, hi)
 			p.pool.Put(pm)
 			results <- hits
@@ -533,11 +589,15 @@ func (p *ParallelPackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
 	return float64(total) / float64(k)
 }
 
-// MemoryBytes implements MemoryReporter: one PackMC scratch per worker,
-// computed arithmetically rather than by allocating a probe instance.
+// MemoryBytes implements MemoryReporter: one worker kernel's scratch per
+// worker, computed arithmetically rather than by allocating a probe
+// instance.
 func (p *ParallelPackMC) MemoryBytes() int64 {
 	n, m := int64(p.g.NumNodes()), int64(p.g.NumEdges())
 	per := n*(16+8) + m*(24+8) + packQueueCap*4
+	if p.lanes > 64 {
+		per = wideScratchBytes(p.g.NumNodes(), p.g.NumEdges(), p.lanes/64) + packQueueCap*4
+	}
 	return per * int64(p.workers)
 }
 
@@ -577,7 +637,7 @@ func (x *parallelPackSampler) Advance(dk int) {
 		workers = packs
 	}
 	if workers <= 1 {
-		pm := p.pool.Get().(*PackMC)
+		pm := p.pool.Get().(packKernel)
 		hits := pm.sampleLanes(x.base, x.s, x.t, lo, hi)
 		p.pool.Put(pm)
 		x.hits += hits
@@ -598,7 +658,7 @@ func (x *parallelPackSampler) Advance(dk int) {
 			if lb > hi {
 				lb = hi
 			}
-			pm := p.pool.Get().(*PackMC)
+			pm := p.pool.Get().(packKernel)
 			hits := pm.sampleLanes(x.base, x.s, x.t, la, lb)
 			p.pool.Put(pm)
 			results <- hits

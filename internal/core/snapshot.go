@@ -192,6 +192,14 @@ type Snapshot struct {
 	BFS      *BFSIndex      // nil if the snapshot holds no BFS index
 	ProbTree *ProbTreeIndex // nil if the snapshot holds no ProbTree index
 
+	// Degree-relabel translation, present only when the manifest's
+	// DegreeRelabeled flag is set: Graph is then the degree-sorted rename
+	// of the original, RelabelToOld maps internal node ids back to the
+	// caller's, and RelabelEdgeToNew maps the caller's edge ids to the
+	// rename's. Both slices may alias the file mapping.
+	RelabelToOld     []int32
+	RelabelEdgeToNew []int32
+
 	f *snapshot.File
 }
 
@@ -199,6 +207,25 @@ type Snapshot struct {
 // into one container. The manifest's graph fields are filled in; the
 // caller provides the engine-level fields (EngineSeed, MaxK, PTWidth).
 func WriteSnapshot(w io.Writer, g *uncertain.Graph, bfs *BFSIndex, pt *ProbTreeIndex, man snapshot.Manifest) error {
+	return WriteSnapshotWithRelabel(w, g, bfs, pt, man, nil, nil)
+}
+
+// WriteSnapshotWithRelabel is WriteSnapshot for a degree-relabeled graph:
+// toOld (internal node id -> original) and edgeToNew (original edge id ->
+// internal) are persisted alongside the graph, and the manifest is marked
+// DegreeRelabeled. Both nil writes an ordinary snapshot.
+func WriteSnapshotWithRelabel(w io.Writer, g *uncertain.Graph, bfs *BFSIndex, pt *ProbTreeIndex, man snapshot.Manifest, toOld, edgeToNew []int32) error {
+	if (toOld != nil) != (edgeToNew != nil) {
+		return fmt.Errorf("core: relabel sections must be written together (toOld nil: %v, edgeToNew nil: %v)",
+			toOld == nil, edgeToNew == nil)
+	}
+	if toOld != nil {
+		if len(toOld) != g.NumNodes() || len(edgeToNew) != g.NumEdges() {
+			return fmt.Errorf("core: relabel sections sized %d nodes / %d edges, graph has %d / %d",
+				len(toOld), len(edgeToNew), g.NumNodes(), g.NumEdges())
+		}
+		man.DegreeRelabeled = true
+	}
 	man.GraphName = g.Name()
 	man.Nodes = int64(g.NumNodes())
 	man.Edges = int64(g.NumEdges())
@@ -209,6 +236,10 @@ func WriteSnapshot(w io.Writer, g *uncertain.Graph, bfs *BFSIndex, pt *ProbTreeI
 		return err
 	}
 	snapshot.AddGraph(sw, g)
+	if toOld != nil {
+		sw.AddInt32s(snapshot.SecRelabelToOld, toOld)
+		sw.AddInt32s(snapshot.SecRelabelEdgeToNew, edgeToNew)
+	}
 	if bfs != nil {
 		if bfs.g != g {
 			return fmt.Errorf("core: BFS index was built over a different graph")
@@ -269,6 +300,18 @@ func newSnapshot(f *snapshot.File) (*Snapshot, error) {
 			snapshot.ErrCorrupt, man.Nodes, man.Edges, g.NumNodes(), g.NumEdges())
 	}
 	s := &Snapshot{Manifest: man, Graph: g, f: f}
+	if man.DegreeRelabeled {
+		if s.RelabelToOld, err = f.Int32s(snapshot.SecRelabelToOld); err != nil {
+			return nil, err
+		}
+		if s.RelabelEdgeToNew, err = f.Int32s(snapshot.SecRelabelEdgeToNew); err != nil {
+			return nil, err
+		}
+		if len(s.RelabelToOld) != g.NumNodes() || len(s.RelabelEdgeToNew) != g.NumEdges() {
+			return nil, fmt.Errorf("%w: relabel sections sized %d nodes / %d edges, graph has %d / %d",
+				snapshot.ErrCorrupt, len(s.RelabelToOld), len(s.RelabelEdgeToNew), g.NumNodes(), g.NumEdges())
+		}
+	}
 	if f.Has(snapshot.SecBFSWords) {
 		if s.BFS, err = bfsIndexFromFile(g, f, man.EngineSeed); err != nil {
 			return nil, err

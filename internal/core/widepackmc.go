@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"relcomp/internal/arena"
+	"relcomp/internal/rng"
+	"relcomp/internal/uncertain"
+)
+
+// WidePackMC generalizes PackMC from one 64-bit machine word to lane
+// groups of 4 or 8 words — 256 or 512 possible worlds per graph
+// traversal. One wide traversal does the work of 4 (or 8) consecutive
+// PackMC packs: the worklist is walked once, each node's CSR row is
+// scanned once, and each edge's epoch is checked once for the whole
+// group, so the per-pack bookkeeping that dominates PackMC on
+// mid-probability graphs is amortized w-fold.
+//
+// The hot kernels (widepack4.go, widepack8.go) are fully unrolled over
+// the lane group: masks live in scalar locals the register allocator can
+// keep out of memory, and a node's (mask, sent) pair — like an edge's
+// (mask, decided) pair — is one interleaved 64-byte group, so a random
+// node or edge probe at 256 lanes touches exactly one cache line where
+// four separate PackMC sweeps would take four dependent misses spread
+// over time.
+//
+// Bit-identity contract: word ww of wide pack J is 64-world pack
+// j = J·w + ww, and draws its edge masks from the exact counter stream
+// PackMC's pack j uses — key mix(base, j, edge) — restricted to the same
+// active lanes. Per-lane outcomes are therefore identical to PackMC's for
+// the same (seed, round), hit counts are additive over any partition of
+// the lane range, and Estimate / EstimateAll / Sampler / AllSampler all
+// return bit-identical values to PackMC at every width, for any traversal
+// order, early exit, chunking, or sharding (asserted by the package's
+// width-identity tests). A corollary the 512-lane kernel exploits: a wide
+// pack whose upper four words carry no live worlds (any budget ≤ 256
+// lanes into the group) is exactly a 4-word pack over 64-packs
+// J·8 .. J·8+3, so it runs on the 4-word kernel and pays 4-word costs.
+//
+// Traversal is frontier-compressed and direction-aware: the sparse mode
+// is PackMC's cascading worklist (cost proportional to the frontier,
+// discovery order), and when the worklist backlog crosses a fixed
+// fraction of the graph the pack switches to a dense mode that runs the
+// remaining cascade level-synchronously over a frontier bitmap — nodes
+// are visited in ascending id order (the forward direction of the CSR,
+// which after degree relabeling streams the hub-dense low ids
+// sequentially), each node at most once per level however many times its
+// mask grew, and the next level's frontier is built by setting bits
+// instead of pushing queue entries. Because edge masks are pure counter
+// functions, the switch only reorders work and is invisible in the
+// values.
+//
+// Per-query scratch that scales with the graph (multi-target hit counts)
+// comes from an instance-owned arena (internal/arena) reused across
+// Advance chunks and batch units, so steady-state queries allocate
+// nothing. Arena memory is valid until the instance's next query; like
+// every estimator, a WidePackMC instance is not safe for concurrent use.
+type WidePackMC struct {
+	g    *uncertain.Graph
+	seed uint64
+	// round counts queries since the last Reseed, exactly like PackMC.
+	round uint64
+	w     int // words per wide pack: 4 (256 lanes) or 8 (512 lanes)
+
+	// Pack-local state, invalidated wholesale by bumping epoch.
+	// nstamp packs a node's two stamps into one word — low half "mask is
+	// valid this pack", high half "node is in the sparse worklist" — so a
+	// neighbor probe resolves both with a single cache line.
+	// Edge scratch (edgeEpoch, qfix, edges4/8) is indexed by out-CSR SLOT,
+	// not edge id: a node scan then touches its edge state sequentially,
+	// and the insertion-ordered edge id — which only the counter-stream
+	// key needs — is loaded from the CSR solely on the probes that draw.
+	epoch     uint32
+	nstamp    []uint64
+	edgeEpoch []uint32
+	qfix      []uint64 // per-slot probability in rng.FixedProb fixed point
+	queue     []uncertain.NodeID
+	touched   []uncertain.NodeID // nodes stamped this pack (EstimateAll mode)
+
+	// Width-specific node/edge word groups, allocated on first use: a
+	// 512-lane instance whose queries never exceed 256 live lanes per
+	// group runs entirely on the 4-word scratch.
+	nodes4 []wideNode4
+	edges4 []wideEdge4
+	nodes8 []wideNode8
+	edges8 []wideEdge8
+
+	// Dense-mode frontier bitmaps (one bit per node), allocated on the
+	// first sparse→dense switch.
+	frontier     []uint64
+	nextFrontier []uint64
+
+	// denseThreshold is the worklist backlog above which a pack switches
+	// to the level-synchronous bitmap mode; 0 disables the switch. Set
+	// from the graph size at construction; tests override it to force
+	// either mode.
+	denseThreshold int
+
+	// scratch is the per-query arena; each query Resets it, so memory
+	// handed out lives exactly until the instance's next query.
+	scratch arena.Arena
+}
+
+// wideNode4 is a node's 256-lane pack state: reachability mask and
+// already-propagated lanes, interleaved into one 64-byte cache line.
+type wideNode4 struct {
+	mask [4]uint64
+	sent [4]uint64
+}
+
+// wideEdge4 is an edge's 256-lane pack state: existence mask and the
+// lanes drawn so far, one 64-byte line.
+type wideEdge4 struct {
+	mask [4]uint64
+	dec  [4]uint64
+}
+
+// wideNode8 and wideEdge8 are the 512-lane equivalents (two lines each).
+type wideNode8 struct {
+	mask [8]uint64
+	sent [8]uint64
+}
+
+type wideEdge8 struct {
+	mask [8]uint64
+	dec  [8]uint64
+}
+
+// maxWideWords is the widest supported lane group (512 lanes).
+const maxWideWords = 8
+
+// denseSwitchDen sets the default dense-switch threshold to
+// NumNodes/denseSwitchDen: only a backlog of half the graph means the
+// cascade is dense enough that level-synchronous bitmap sweeps (one visit
+// per node per level, sequential access) beat cascading re-pushes. Lower
+// switch points looked attractive on uniform random graphs but lose on
+// power-law datasets, where even a wide cascade leaves most bitmap words
+// empty; SetDenseThreshold exposes the knob for workloads that differ.
+const denseSwitchDen = 2
+
+// mixGolden and mixMul1 are mix's epoch and worker multipliers
+// (parallel.go); the kernels exploit that consecutive word indices of one
+// edge differ by +mixGolden in mix's pre-finalizer state, so a wide
+// edge draw combines the key once and pays only the finalizer per word.
+const (
+	mixGolden = 0x9e3779b97f4a7c15
+	mixMul1   = 0xbf58476d1ce4e5b9
+)
+
+// mixFinal is mix's splitmix64 finalizer: mix(seed, epoch, worker) ==
+// mixFinal(seed + mixGolden·epoch + mixMul1·worker + 1).
+func mixFinal(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewWidePackMC returns a wide-pack estimator over g with the given seed.
+// lanes must be 256 or 512 (PackMC itself is the 64-lane case).
+func NewWidePackMC(g *uncertain.Graph, seed uint64, lanes int) *WidePackMC {
+	if lanes != 256 && lanes != 512 {
+		panic(fmt.Sprintf("core: WidePackMC lanes must be 256 or 512, got %d", lanes))
+	}
+	w := lanes / 64
+	n, m := g.NumNodes(), g.NumEdges()
+	pm := &WidePackMC{
+		g:              g,
+		seed:           seed,
+		w:              w,
+		nstamp:         make([]uint64, n),
+		edgeEpoch:      make([]uint32, m),
+		qfix:           make([]uint64, m),
+		queue:          make([]uncertain.NodeID, 0, packQueueCap),
+		denseThreshold: n / denseSwitchDen,
+	}
+	for v := 0; v < n; v++ {
+		lo, _ := g.OutSpan(uncertain.NodeID(v))
+		for i, p := range g.OutProbs(uncertain.NodeID(v)) {
+			pm.qfix[lo+i] = rng.FixedProb(p)
+		}
+	}
+	return pm
+}
+
+// Name implements Estimator: "PackMC256" or "PackMC512".
+func (pm *WidePackMC) Name() string { return fmt.Sprintf("PackMC%d", pm.w*64) }
+
+// Lanes returns the worlds evaluated per traversal (256 or 512).
+func (pm *WidePackMC) Lanes() int { return pm.w * 64 }
+
+// Reseed implements Seeder.
+func (pm *WidePackMC) Reseed(seed uint64) {
+	pm.seed = seed
+	pm.round = 0
+}
+
+// ScratchArena exposes the instance's per-query arena for diagnostics and
+// the engine's scratch-isolation tests; callers must not allocate from it.
+func (pm *WidePackMC) ScratchArena() *arena.Arena { return &pm.scratch }
+
+// SetDenseThreshold overrides the worklist-occupancy switch point between
+// the sparse (queue-driven) and dense (level-synchronous bitmap) traversal
+// modes. The default is NumNodes/8; 0 disables the dense mode entirely.
+// Both modes compute bit-identical results — this knob only trades queue
+// bookkeeping against bitmap scans, so callers may tune it freely per
+// workload.
+func (pm *WidePackMC) SetDenseThreshold(occupancy int) {
+	pm.denseThreshold = occupancy
+}
+
+// Estimate implements Estimator, bit-identical to PackMC.Estimate for the
+// same (seed, round) state at any width.
+func (pm *WidePackMC) Estimate(s, t uncertain.NodeID, k int) float64 {
+	mustValidQuery(pm.g, s, t, k)
+	if s == t {
+		return 1
+	}
+	pm.round++
+	pm.scratch.Reset()
+	hits := pm.sampleRange(mix(pm.seed, pm.round, 0), s, t, k, 0, numPacks(k))
+	return float64(hits) / float64(k)
+}
+
+// sampleRange runs 64-world packs [lo, hi) of a k-sample budget, grouped
+// into wide packs, and returns in how many of their worlds t was reached.
+// The range need not be aligned to the wide width: packs outside [lo, hi)
+// ride along with zero active lanes, so shard boundaries (ParallelPackMC
+// sharding) can split a wide pack without changing any value.
+func (pm *WidePackMC) sampleRange(base uint64, s, t uncertain.NodeID, k, lo, hi int) int {
+	hits := 0
+	w := pm.w
+	var active, tm [maxWideWords]uint64
+	for j := lo; j < hi; {
+		wp := j / w
+		end := (wp + 1) * w
+		if end > hi {
+			end = hi
+		}
+		for ww := 0; ww < w; ww++ {
+			active[ww] = 0
+			tm[ww] = 0
+		}
+		for ; j < end; j++ {
+			active[j-wp*w] = activeLanes(j, k)
+		}
+		pm.runWidePack(base, uint64(wp), s, t, &active, &tm)
+		for ww := 0; ww < w; ww++ {
+			hits += bits.OnesCount64(tm[ww])
+		}
+	}
+	return hits
+}
+
+// sampleLanes runs the worlds of the global lane range [lo, hi), grouped
+// into wide packs; hit counts are additive over any partition of the lane
+// range, exactly as for PackMC.
+func (pm *WidePackMC) sampleLanes(base uint64, s, t uncertain.NodeID, lo, hi int) int {
+	hits := 0
+	w := pm.w
+	var active, tm [maxWideWords]uint64
+	for j := lo >> 6; j*64 < hi; {
+		wp := j / w
+		end := (wp + 1) * w
+		for ww := 0; ww < w; ww++ {
+			active[ww] = 0
+			tm[ww] = 0
+		}
+		for ; j < end && j*64 < hi; j++ {
+			active[j-wp*w] = laneMask(j, lo, hi)
+		}
+		pm.runWidePack(base, uint64(wp), s, t, &active, &tm)
+		for ww := 0; ww < w; ww++ {
+			hits += bits.OnesCount64(tm[ww])
+		}
+	}
+	return hits
+}
+
+// EstimateAll implements SourceEstimator: one wide sweep per pack group
+// leaves every reached node's per-world counts behind, bit-identical to
+// PackMC.EstimateAll and to per-target Estimate calls.
+func (pm *WidePackMC) EstimateAll(s uncertain.NodeID, k int) []float64 {
+	g := pm.g
+	mustValidQuery(g, s, s, k)
+	pm.round++
+	pm.scratch.Reset()
+	counts := pm.scratch.Int64s(g.NumNodes())
+	pm.accumulateAll(mix(pm.seed, pm.round, 0), s, 0, k, counts)
+	out := make([]float64, g.NumNodes())
+	for v := range out {
+		if uncertain.NodeID(v) == s {
+			out[v] = 1
+		} else if counts[v] > 0 {
+			out[v] = float64(counts[v]) / float64(k)
+		}
+	}
+	return out
+}
+
+// accumulateAll runs the lane range [lo, hi) in EstimateAll mode (no
+// target) and adds every touched node's per-world hit count into counts.
+func (pm *WidePackMC) accumulateAll(base uint64, s uncertain.NodeID, lo, hi int, counts []int64) {
+	w := pm.w
+	var active, tm [maxWideWords]uint64
+	for j := lo >> 6; j*64 < hi; {
+		wp := j / w
+		end := (wp + 1) * w
+		for ww := 0; ww < w; ww++ {
+			active[ww] = 0
+		}
+		for ; j < end && j*64 < hi; j++ {
+			active[j-wp*w] = laneMask(j, lo, hi)
+		}
+		pm.runWidePack(base, uint64(wp), s, -1, &active, &tm)
+		if w == 4 || active[4]|active[5]|active[6]|active[7] == 0 {
+			// The pack ran on the 4-word kernel (native 256-lane width, or a
+			// 512-lane group whose upper words carried no live worlds).
+			for _, v := range pm.touched {
+				nm := &pm.nodes4[v].mask
+				counts[v] += int64(bits.OnesCount64(nm[0]) + bits.OnesCount64(nm[1]) +
+					bits.OnesCount64(nm[2]) + bits.OnesCount64(nm[3]))
+			}
+		} else {
+			for _, v := range pm.touched {
+				nm := &pm.nodes8[v].mask
+				c := 0
+				for ww := range nm {
+					c += bits.OnesCount64(nm[ww])
+				}
+				counts[v] += int64(c)
+			}
+		}
+	}
+}
+
+// runWidePack propagates one wide pack from s, accumulating the lanes in
+// which t was reached into tMask (word ww covers 64-world pack wp·w+ww).
+// A negative t disables the target and records every stamped node in
+// pm.touched with its fixpoint word group left behind — EstimateAll mode.
+// 512-lane groups whose upper four words have no live worlds delegate to
+// the 4-word kernel on the same counter streams (see the type comment).
+func (pm *WidePackMC) runWidePack(base, wp uint64, s, t uncertain.NodeID, active, tMask *[maxWideWords]uint64) {
+	if pm.w == 4 {
+		pm.runWide4(base, wp*4, s, t, (*[4]uint64)(active[:4]), (*[4]uint64)(tMask[:4]))
+		return
+	}
+	if active[4]|active[5]|active[6]|active[7] == 0 {
+		pm.runWide4(base, wp*8, s, t, (*[4]uint64)(active[:4]), (*[4]uint64)(tMask[:4]))
+		return
+	}
+	pm.runWide8(base, wp*8, s, t, active, tMask)
+}
+
+// nextPack invalidates all wide-pack scratch in O(1), with the same
+// 2^32-wrap clear as PackMC.
+func (pm *WidePackMC) nextPack() {
+	pm.epoch++
+	if pm.epoch == 0 {
+		clear(pm.nstamp)
+		clear(pm.edgeEpoch)
+		pm.epoch = 1
+	}
+}
+
+// ensureFrontier allocates the dense-mode bitmaps on the first
+// sparse→dense switch and clears any bits a previous pack's early exit
+// left behind.
+func (pm *WidePackMC) ensureFrontier() (cur, next []uint64) {
+	if pm.frontier == nil {
+		words := (pm.g.NumNodes() + 63) / 64
+		pm.frontier = make([]uint64, words)
+		pm.nextFrontier = make([]uint64, words)
+	} else {
+		clear(pm.frontier)
+		clear(pm.nextFrontier)
+	}
+	return pm.frontier, pm.nextFrontier
+}
+
+// MemoryBytes implements MemoryReporter: the committed full-width
+// capacity plus whatever the 512-lane instance's half-width delegation
+// and the dense bitmaps have actually allocated.
+func (pm *WidePackMC) MemoryBytes() int64 {
+	b := wideScratchBytes(pm.g.NumNodes(), pm.g.NumEdges(), pm.w) +
+		int64(cap(pm.queue)+cap(pm.touched))*4 + pm.scratch.MemoryBytes()
+	if pm.w == 8 && pm.nodes4 != nil {
+		b += int64(len(pm.nodes4))*64 + int64(len(pm.edges4))*64
+	}
+	b += int64(len(pm.frontier)+len(pm.nextFrontier)) * 8
+	return b
+}
+
+// wideScratchBytes is the graph-proportional scratch of one WidePackMC:
+// per node an interleaved mask+sent group plus the packed stamp word, per
+// edge an interleaved mask+decided group, a stamp, and the fixed-point
+// probability.
+func wideScratchBytes(n, m, w int) int64 {
+	return int64(n)*int64(16*w+8) + int64(m)*int64(16*w+12)
+}
+
+// Sampler implements IncrementalEstimator, with PackMC's session
+// semantics: Advance(a); Advance(b) is bit-identical to Estimate(s, t,
+// a+b) from the same (seed, round) state, at every width.
+func (pm *WidePackMC) Sampler(s, t uncertain.NodeID) Sampler {
+	mustValidQuery(pm.g, s, t, 1)
+	if s == t {
+		return &trivialSampler{estimate: 1}
+	}
+	pm.round++
+	pm.scratch.Reset()
+	return &widePackSampler{pm: pm, base: mix(pm.seed, pm.round, 0), s: s, t: t}
+}
+
+type widePackSampler struct {
+	pm      *WidePackMC
+	base    uint64
+	s, t    uncertain.NodeID
+	n, hits int
+}
+
+func (x *widePackSampler) Advance(dk int) {
+	checkAdvance(dk, x.n, 0)
+	if dk == 0 {
+		return
+	}
+	x.hits += x.pm.sampleLanes(x.base, x.s, x.t, x.n, x.n+dk)
+	x.n += dk
+}
+
+func (x *widePackSampler) Snapshot() SampleSnapshot { return binomialSnapshot(x.hits, x.n, 0) }
+
+// AllSampler implements SourceSampler: the anytime form of EstimateAll,
+// bit-identical to PackMC's at every width. The per-node counts live in
+// the instance arena, reused across Advance chunks; they are valid until
+// the instance's next query, like every arena allocation.
+func (pm *WidePackMC) AllSampler(s uncertain.NodeID) MultiSampler {
+	mustValidQuery(pm.g, s, s, 1)
+	pm.round++
+	pm.scratch.Reset()
+	return &widePackAllSampler{
+		pm:     pm,
+		base:   mix(pm.seed, pm.round, 0),
+		s:      s,
+		counts: pm.scratch.Int64s(pm.g.NumNodes()),
+	}
+}
+
+type widePackAllSampler struct {
+	pm     *WidePackMC
+	base   uint64
+	s      uncertain.NodeID
+	n      int
+	counts arena.Int64s
+}
+
+func (a *widePackAllSampler) Advance(dk int) {
+	checkAdvance(dk, a.n, 0)
+	if dk == 0 {
+		return
+	}
+	a.pm.accumulateAll(a.base, a.s, a.n, a.n+dk, a.counts)
+	a.n += dk
+}
+
+func (a *widePackAllSampler) N() int   { return a.n }
+func (a *widePackAllSampler) Cap() int { return 0 }
+
+func (a *widePackAllSampler) SnapshotOf(t uncertain.NodeID) SampleSnapshot {
+	if t == a.s {
+		return SampleSnapshot{Estimate: 1, N: a.n}
+	}
+	return binomialSnapshot(int(a.counts[t]), a.n, 0)
+}
+
+var (
+	_ IncrementalEstimator = (*WidePackMC)(nil)
+	_ SourceEstimator      = (*WidePackMC)(nil)
+	_ SourceSampler        = (*WidePackMC)(nil)
+	_ Seeder               = (*WidePackMC)(nil)
+	_ packKernel           = (*WidePackMC)(nil)
+)

@@ -73,10 +73,11 @@ const BoundsName = "bounds"
 
 // DefaultEstimators lists the estimators an engine builds when Config
 // leaves the set empty: the paper's six, in table order, plus the
-// word-packed PackMC and the multi-core ParallelMC / ParallelPackMC
+// word-packed PackMC at every lane width (64/256/512 — rankable variants
+// for the router) and the multi-core ParallelMC / ParallelPackMC
 // extensions.
 func DefaultEstimators() []string {
-	return []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", "PackMC", "ParallelMC", "ParallelPackMC"}
+	return []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS", "PackMC", "PackMC256", "PackMC512", "ParallelMC", "ParallelPackMC"}
 }
 
 // internallyParallel reports whether the named estimator fans its sample
@@ -121,6 +122,16 @@ type Config struct {
 	// overload degradation ladder; the zero value disables both (every
 	// request admitted immediately, full fidelity). See AdmissionConfig.
 	Admission AdmissionConfig
+	// DegreeRelabel serves a degree-sorted rename of the graph (hubs get
+	// the lowest ids, clustering the hot CSR rows and kernel scratch at
+	// the front of their arrays) while the query surface keeps the
+	// caller's ids; see relabel.go. The rename changes which worlds the
+	// counter-based samplers draw (edge ids move), not their distribution,
+	// and stays deterministic per (graph, config). Incompatible with
+	// Preloaded indexes built over the un-relabeled graph; snapshots
+	// written by a relabeling engine carry the permutation, and
+	// NewFromSnapshot restores it without re-relabeling.
+	DegreeRelabel bool
 }
 
 // PreloadedIndexes carries pre-built offline indexes into New. Each index
@@ -154,6 +165,9 @@ type Engine struct {
 	// created on first demand per d.
 	distMu    sync.Mutex
 	distPools map[int]*pool
+	// relab translates ids between the caller's graph and the served
+	// degree-sorted rename; nil when DegreeRelabel is off (relabel.go).
+	relab *relabelMap
 	// adm is the admission controller (admission.go); nil when disabled,
 	// which every acquire/noteDegraded call handles.
 	adm *admission
@@ -194,8 +208,30 @@ type estCounter struct {
 }
 
 // New builds an engine over g. It constructs one replica per configured
-// estimator lazily on first demand, so construction is cheap.
+// estimator lazily on first demand, so construction is cheap — except
+// under Config.DegreeRelabel, which rebuilds the CSR in degree-sorted
+// order up front (O(m log m)).
 func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
+	var relab *relabelMap
+	if cfg.DegreeRelabel {
+		if cfg.Preloaded != nil {
+			return nil, fmt.Errorf("engine: DegreeRelabel cannot be combined with Preloaded indexes built over the original graph; load a relabeled snapshot with NewFromSnapshot instead")
+		}
+		perm := uncertain.DegreePerm(g)
+		rg, edgeMap, err := uncertain.Relabel(g, perm)
+		if err != nil {
+			return nil, err
+		}
+		relab = newRelabelMap(perm, edgeMap)
+		g = rg
+	}
+	return newEngine(g, cfg, relab)
+}
+
+// newEngine is New's body over the graph actually served (possibly a
+// degree-sorted rename); NewFromSnapshot calls it directly with the
+// relabel map restored from the snapshot, never re-relabeling.
+func newEngine(g *uncertain.Graph, cfg Config, relab *relabelMap) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -211,6 +247,7 @@ func New(g *uncertain.Graph, cfg Config) (*Engine, error) {
 	e := &Engine{
 		g:         g,
 		cfg:       cfg,
+		relab:     relab,
 		pools:     make(map[string]*pool, len(cfg.Estimators)),
 		cache:     newLRUCache[cacheVal](cfg.CacheSize),
 		overlays:  newLRUCache[*uncertain.Graph](overlayCacheCap),
@@ -295,8 +332,8 @@ func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int,
 		return func() core.Estimator { return core.NewRHH(g, seed) }, nil
 	case "RSS":
 		return func() core.Estimator { return core.NewRSS(g, seed) }, nil
-	case "PackMC":
-		return func() core.Estimator { return core.NewPackMC(g, seed) }, nil
+	case "PackMC", pack256Name, pack512Name:
+		return func() core.Estimator { return newPackLike(name, g, seed) }, nil
 	case "ParallelMC":
 		return func() core.Estimator { return core.NewParallelMC(g, seed, workers) }, nil
 	case "ParallelPackMC":
@@ -336,7 +373,11 @@ func (e *Engine) Names() []string {
 	return out
 }
 
-// Graph returns the engine's underlying uncertain graph.
+// Graph returns the graph the engine actually serves. Under
+// Config.DegreeRelabel this is the degree-sorted rename, not the
+// constructor's graph — its node and edge ids are the internal ones
+// (Do-borrowed estimators speak them too); the Estimate/EstimateBatch
+// surface translates, this accessor does not.
 func (e *Engine) Graph() *uncertain.Graph { return e.g }
 
 // MaxK returns the per-query sample budget cap.
@@ -404,11 +445,11 @@ func (e *Engine) validate(q Request) error {
 		switch {
 		case q.Estimator == "":
 		case !q.Evidence.Empty():
-			if q.Estimator != packName {
-				return fmt.Errorf("engine: estimator %q cannot honor per-request evidence for %s (use PackMC or omit the estimator)", q.Estimator, q.kind())
+			if !packLike(q.Estimator) {
+				return fmt.Errorf("engine: estimator %q cannot honor per-request evidence for %s (use a PackMC width or omit the estimator)", q.Estimator, q.kind())
 			}
-		case q.Estimator != sharedName && q.Estimator != packName:
-			return fmt.Errorf("engine: %s queries need a multi-target estimator (BFSSharing or PackMC); %q is not one", q.kind(), q.Estimator)
+		case q.Estimator != sharedName && !packLike(q.Estimator):
+			return fmt.Errorf("engine: %s queries need a multi-target estimator (BFSSharing or a PackMC width); %q is not one", q.kind(), q.Estimator)
 		default:
 			if _, ok := e.pools[q.Estimator]; !ok {
 				return fmt.Errorf("engine: estimator %q not configured", q.Estimator)
@@ -458,7 +499,7 @@ func (e *Engine) noteKind(k Kind) {
 // with ErrOverloaded or ErrQueueTimeout when the queue overflows or the
 // wait expires, and under pressure the degradation ladder may answer
 // below the requested fidelity, flagged via Response.Degraded.
-func (e *Engine) Estimate(ctx context.Context, q Request) Response {
+func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
@@ -685,7 +726,7 @@ func (e *Engine) recordAnytime(budget, drawn int) {
 // and, because PackMC's masks are counter-based, return identical values.
 // Every other estimator keeps the full (s, t, k) key.
 func (e *Engine) querySeedFor(name string, s, t uncertain.NodeID, k int) uint64 {
-	if name == packName {
+	if packLike(name) {
 		t = s
 	}
 	return querySeed(e.cfg.Seed, name, s, t, k)
@@ -738,15 +779,37 @@ type groupKey struct {
 // and spread over all workers instead of serializing behind a shared
 // source.
 const (
-	sharedName = "BFSSharing"
-	ptName     = "ProbTree"
-	packName   = "PackMC"
+	sharedName  = "BFSSharing"
+	ptName      = "ProbTree"
+	packName    = "PackMC"
+	pack256Name = "PackMC256"
+	pack512Name = "PackMC512"
 )
+
+// packLike reports whether name is a world-packed kernel at any lane
+// width. All three share PackMC's counter-based stream properties: the
+// target-less query seed, the amortized EstimateAll batch path, and
+// evidence capability (index-free, O(n) construction per overlay).
+func packLike(name string) bool {
+	return name == packName || name == pack256Name || name == pack512Name
+}
+
+// newPackLike builds the named world-packed kernel over g.
+func newPackLike(name string, g *uncertain.Graph, seed uint64) core.Estimator {
+	switch name {
+	case pack256Name:
+		return core.NewWidePackMC(g, seed, 256)
+	case pack512Name:
+		return core.NewWidePackMC(g, seed, 512)
+	default:
+		return core.NewPackMC(g, seed)
+	}
+}
 
 // groupable reports whether name's batch queries are amortized per
 // (source, k) group rather than answered per query.
 func groupable(name string) bool {
-	return name == sharedName || name == ptName || name == packName
+	return name == sharedName || name == ptName || packLike(name)
 }
 
 // orderedGroups accumulates query indices per key, remembering the keys'
@@ -783,7 +846,7 @@ func (g *orderedGroups[K]) add(key K, i int) {
 // admission error, and a degradation level in force at admission applies
 // to every query (per-position Degraded flags report which were actually
 // reduced).
-func (e *Engine) EstimateBatch(ctx context.Context, queries []Query) []Result {
+func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []Result {
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
@@ -1229,6 +1292,18 @@ func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUni
 		// The same target-less reseed as runOne uses for PackMC, so the
 		// pack sweep draws the exact world ensemble each single query
 		// would, and EstimateAll[t] matches Estimate(s, t, k) bit for bit.
+		est.Reseed(e.querySeedFor(name, s, s, k))
+		if anytime {
+			fillAdaptive(core.AdaptiveEstimateAll(est.AllSampler(s), missTargets, opts))
+			break
+		}
+		all := est.EstimateAll(s, k)
+		for i, t := range missTargets {
+			vals[i] = all[t]
+		}
+	case *core.WidePackMC:
+		// Identical contract at 256/512 lanes: counter-based streams make
+		// the wide group sweep bit-identical to per-target queries.
 		est.Reseed(e.querySeedFor(name, s, s, k))
 		if anytime {
 			fillAdaptive(core.AdaptiveEstimateAll(est.AllSampler(s), missTargets, opts))

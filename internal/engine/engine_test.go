@@ -227,11 +227,11 @@ func TestRouterPrefersAccuracyOnWideBounds(t *testing.T) {
 	}
 	// Unmeasured candidates are explored before measured EWMAs are
 	// trusted: once ProbTree has a sample, the next-best unmeasured
-	// candidate by the online-time prior (the word-packed PackMC) is
-	// tried.
+	// candidate by the online-time prior (the widest word-packed kernel)
+	// is tried.
 	r.observe("ProbTree", 0.5)
-	if got := r.pick(0.1); got != "PackMC" {
-		t.Errorf("exploration chose %s, want PackMC", got)
+	if got := r.pick(0.1); got != "PackMC512" {
+		t.Errorf("exploration chose %s, want PackMC512", got)
 	}
 	// Once every candidate is measured, the lowest EWMA wins — routing
 	// can shift away from a slow first choice.

@@ -37,7 +37,7 @@ const overlayCacheCap = 64
 // evidenceCapable reports whether the named estimator can answer
 // evidence-conditioned requests: it must be index-free (an offline index
 // bakes the base probabilities in) and constructible in O(n) per overlay.
-func evidenceCapable(name string) bool { return name == "MC" || name == packName }
+func evidenceCapable(name string) bool { return name == "MC" || packLike(name) }
 
 // kindEstimator resolves the estimator name a non-plain request runs on.
 // Resolution is deterministic (no latency-dependent routing): the analytic
@@ -291,7 +291,9 @@ func (e *Engine) runSourceRooted(ctx context.Context, name string, g *uncertain.
 		}
 		return
 	}
-	inst := core.NewPackMC(g, replicaSeed(e.cfg.Seed, packName))
+	// Under evidence, validate restricted name to a PackMC width; build the
+	// index-free kernel at that width over the overlay.
+	inst := newPackLike(name, g, replicaSeed(e.cfg.Seed, name))
 	e.sourceRootedOn(ctx, name, g, q, inst, anytime, opts, res)
 }
 
@@ -392,8 +394,8 @@ func worseReason(a, b core.StopReason) core.StopReason {
 // stream seed the pooled path would use.
 func (e *Engine) overlayEstimator(name string, g *uncertain.Graph, q Request) core.Estimator {
 	seed := e.kindSeed(name, q)
-	if name == packName {
-		return core.NewPackMC(g, seed)
+	if packLike(name) {
+		return newPackLike(name, g, seed)
 	}
 	return core.NewMC(g, seed)
 }

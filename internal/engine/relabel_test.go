@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"relcomp/internal/core"
+	"relcomp/internal/uncertain"
+)
+
+// The relabeling transparency contract: an engine with DegreeRelabel set
+// is exactly a plain engine over the pre-relabeled graph, wrapped in id
+// translation. These tests hold the two side by side and require
+// bit-identical answers under the mapping, across every query shape the
+// translation layer touches (scalar, single-source vectors, top-k node
+// ids, evidence edge ids).
+
+// relabeledPair returns an engine with DegreeRelabel on over g, a plain
+// engine over the degree-sorted rename of g, and the permutation and edge
+// map between them.
+func relabeledPair(t *testing.T, cfg Config) (*Engine, *Engine, []uncertain.NodeID, []uncertain.EdgeID) {
+	t.Helper()
+	g := testGraph(t)
+	rcfg := cfg
+	rcfg.DegreeRelabel = true
+	relabeled, err := New(g, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := uncertain.DegreePerm(g)
+	rg, edgeMap, err := uncertain.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(rg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return relabeled, plain, perm, edgeMap
+}
+
+func TestDegreeRelabelServesDegreeSortedGraph(t *testing.T) {
+	relabeled, _, _, _ := relabeledPair(t, Config{Seed: 42, MaxK: 300})
+	if !relabeled.DegreeRelabeled() {
+		t.Fatal("DegreeRelabeled() false on a relabeling engine")
+	}
+	if !uncertain.IsDegreeSorted(relabeled.Graph()) {
+		t.Fatal("served graph is not degree-sorted")
+	}
+	plainOnly := testEngine(t, Config{Seed: 42, MaxK: 300})
+	if plainOnly.DegreeRelabeled() {
+		t.Fatal("DegreeRelabeled() true without the flag")
+	}
+}
+
+// TestDegreeRelabelTransparent: for every estimator and every query kind,
+// the relabeling engine's answer to a query in original ids equals the
+// plain engine's answer to the hand-translated query, with vectors and
+// node ids mapped back.
+func TestDegreeRelabelTransparent(t *testing.T) {
+	cfg := Config{Seed: 42, MaxK: 300, Workers: 2, CacheSize: 0}
+	relabeled, plain, perm, edgeMap := relabeledPair(t, cfg)
+	ctx := context.Background()
+
+	// Scalar s-t reliability, every estimator.
+	for _, name := range relabeled.Names() {
+		for s := uncertain.NodeID(0); s < 3; s++ {
+			q := Query{S: s, T: s + 4, K: 150, Estimator: name}
+			got := relabeled.Estimate(ctx, q)
+			want := plain.Estimate(ctx, Query{S: perm[q.S], T: perm[q.T], K: q.K, Estimator: name})
+			if got.Err != nil || want.Err != nil {
+				t.Fatalf("%s s=%d: %v / %v", name, s, got.Err, want.Err)
+			}
+			if got.Reliability != want.Reliability {
+				t.Errorf("%s s=%d: relabeled %v != plain-over-renamed %v", name, s, got.Reliability, want.Reliability)
+			}
+			if got.Request.S != q.S || got.Request.T != q.T {
+				t.Errorf("%s: response echoes S=%d T=%d, want the submitted ids S=%d T=%d",
+					name, got.Request.S, got.Request.T, q.S, q.T)
+			}
+		}
+	}
+
+	// Single-source: the external vector must be the internal one
+	// re-permuted, i.e. got[v] == want[perm[v]].
+	for _, name := range []string{"BFSSharing", "PackMC256", "PackMC512"} {
+		got := relabeled.Estimate(ctx, Query{Kind: KindSingleSource, S: 1, K: 200, Estimator: name})
+		want := plain.Estimate(ctx, Query{Kind: KindSingleSource, S: perm[1], K: 200, Estimator: name})
+		if got.Err != nil || want.Err != nil {
+			t.Fatalf("single-source %s: %v / %v", name, got.Err, want.Err)
+		}
+		if len(got.Reliabilities) != len(want.Reliabilities) {
+			t.Fatalf("single-source %s: vector sizes %d / %d", name, len(got.Reliabilities), len(want.Reliabilities))
+		}
+		for v := range got.Reliabilities {
+			if got.Reliabilities[v] != want.Reliabilities[perm[v]] {
+				t.Fatalf("single-source %s: got[%d]=%v, plain[perm]=%v",
+					name, v, got.Reliabilities[v], want.Reliabilities[perm[v]])
+			}
+		}
+	}
+
+	// Top-k: values identical, node ids mapped back to original names.
+	gotTop := relabeled.Estimate(ctx, Query{Kind: KindTopK, S: 0, K: 200, TopK: 4, Estimator: "PackMC512"})
+	wantTop := plain.Estimate(ctx, Query{Kind: KindTopK, S: perm[0], K: 200, TopK: 4, Estimator: "PackMC512"})
+	if gotTop.Err != nil || wantTop.Err != nil {
+		t.Fatalf("top-k: %v / %v", gotTop.Err, wantTop.Err)
+	}
+	if len(gotTop.TopTargets) != len(wantTop.TopTargets) {
+		t.Fatalf("top-k sizes %d / %d", len(gotTop.TopTargets), len(wantTop.TopTargets))
+	}
+	for i := range gotTop.TopTargets {
+		if gotTop.TopTargets[i].R != wantTop.TopTargets[i].R {
+			t.Errorf("top-k %d: R %v != %v", i, gotTop.TopTargets[i].R, wantTop.TopTargets[i].R)
+		}
+		if perm[gotTop.TopTargets[i].Node] != wantTop.TopTargets[i].Node {
+			t.Errorf("top-k %d: node %d does not map to internal %d",
+				i, gotTop.TopTargets[i].Node, wantTop.TopTargets[i].Node)
+		}
+	}
+
+	// K-terminal: target sets translated element-wise.
+	targets := []uncertain.NodeID{3, 5, 6}
+	internalTargets := make([]uncertain.NodeID, len(targets))
+	for i, v := range targets {
+		internalTargets[i] = perm[v]
+	}
+	gotKT := relabeled.Estimate(ctx, Query{Kind: KindKTerminal, S: 0, Targets: targets, K: 200})
+	wantKT := plain.Estimate(ctx, Query{Kind: KindKTerminal, S: perm[0], Targets: internalTargets, K: 200})
+	if gotKT.Err != nil || wantKT.Err != nil {
+		t.Fatalf("k-terminal: %v / %v", gotKT.Err, wantKT.Err)
+	}
+	if gotKT.Reliability != wantKT.Reliability {
+		t.Errorf("k-terminal: %v != %v", gotKT.Reliability, wantKT.Reliability)
+	}
+
+	// Evidence: edge ids translated through the edge map.
+	ev := Evidence{Include: []uncertain.EdgeID{2}, Exclude: []uncertain.EdgeID{7}}
+	internalEv := Evidence{
+		Include: []uncertain.EdgeID{edgeMap[2]},
+		Exclude: []uncertain.EdgeID{edgeMap[7]},
+	}
+	gotEv := relabeled.Estimate(ctx, Query{S: 0, T: 5, K: 150, Estimator: "PackMC256", Evidence: ev})
+	wantEv := plain.Estimate(ctx, Query{S: perm[0], T: perm[5], K: 150, Estimator: "PackMC256", Evidence: internalEv})
+	if gotEv.Err != nil || wantEv.Err != nil {
+		t.Fatalf("evidence: %v / %v", gotEv.Err, wantEv.Err)
+	}
+	if gotEv.Reliability != wantEv.Reliability {
+		t.Errorf("evidence: %v != %v", gotEv.Reliability, wantEv.Reliability)
+	}
+	if len(gotEv.Request.Evidence.Include) != 1 || gotEv.Request.Evidence.Include[0] != 2 {
+		t.Errorf("evidence request echoed as %+v, want the caller's edge ids", gotEv.Request.Evidence)
+	}
+}
+
+// TestDegreeRelabelBatchMatchesSingle: the translation layer preserves
+// positional alignment through EstimateBatch.
+func TestDegreeRelabelBatchMatchesSingle(t *testing.T) {
+	cfg := Config{Seed: 42, MaxK: 300, Workers: 4, CacheSize: 0, DegreeRelabel: true}
+	single, err := New(testGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := New(testGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qs := testQueries([]string{"PackMC", "PackMC256", "PackMC512", "BFSSharing"})
+	results := batch.EstimateBatch(ctx, qs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch %d: %v", i, r.Err)
+		}
+		want := single.Estimate(ctx, qs[i])
+		if r.Reliability != want.Reliability {
+			t.Errorf("query %d: batch %v != single %v", i, r.Reliability, want.Reliability)
+		}
+		if r.Request.S != qs[i].S || r.Request.T != qs[i].T {
+			t.Errorf("query %d: request echoed as S=%d T=%d", i, r.Request.S, r.Request.T)
+		}
+	}
+}
+
+// TestDegreeRelabelValidationSpeaksCallerIds: out-of-range ids must be
+// rejected with the caller's value, not a translated one.
+func TestDegreeRelabelValidationSpeaksCallerIds(t *testing.T) {
+	e, err := New(testGraph(t), Config{Seed: 1, MaxK: 200, DegreeRelabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Estimate(context.Background(), Query{S: 0, T: 999999, K: 100})
+	if res.Err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if !strings.Contains(res.Err.Error(), "999999") {
+		t.Errorf("validation error %q does not name the caller's id", res.Err)
+	}
+}
+
+func TestDegreeRelabelRejectsPreloaded(t *testing.T) {
+	g := testGraph(t)
+	pre := BuildIndexes(g, Config{Seed: 9, MaxK: 100})
+	_, err := New(g, Config{Seed: 9, MaxK: 100, Preloaded: pre, DegreeRelabel: true})
+	if err == nil || !strings.Contains(err.Error(), "DegreeRelabel") {
+		t.Fatalf("Preloaded+DegreeRelabel: err = %v", err)
+	}
+}
+
+// TestDegreeRelabelSnapshotRoundTrip: a snapshot written under
+// DegreeRelabel restores a translating engine that answers bit-identically
+// to one that relabeled and built its indexes itself — and the manifest
+// and sections carry the permutation.
+func TestDegreeRelabelSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 42, MaxK: 300, Workers: 2, DegreeRelabel: true}
+	g := testGraph(t)
+	built, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, cfg); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if !snap.Manifest.DegreeRelabeled {
+		t.Fatal("manifest not marked DegreeRelabeled")
+	}
+	if len(snap.RelabelToOld) != g.NumNodes() || len(snap.RelabelEdgeToNew) != g.NumEdges() {
+		t.Fatalf("relabel sections sized %d/%d, want %d/%d",
+			len(snap.RelabelToOld), len(snap.RelabelEdgeToNew), g.NumNodes(), g.NumEdges())
+	}
+	// The flag is optional on load — the snapshot is authoritative.
+	loaded, err := NewFromSnapshot(snap, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewFromSnapshot: %v", err)
+	}
+	if !loaded.DegreeRelabeled() {
+		t.Fatal("loaded engine does not translate ids")
+	}
+
+	ctx := context.Background()
+	for _, name := range built.Names() {
+		q := Query{S: 0, T: 5, K: 150, Estimator: name}
+		a, b := built.Estimate(ctx, q), loaded.Estimate(ctx, q)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s: %v / %v", name, a.Err, b.Err)
+		}
+		if a.Reliability != b.Reliability {
+			t.Errorf("%s: built %v, loaded %v — not bit-identical", name, a.Reliability, b.Reliability)
+		}
+	}
+	ga := built.Estimate(ctx, Query{Kind: KindSingleSource, S: 0, K: 200, Estimator: "BFSSharing"})
+	gb := loaded.Estimate(ctx, Query{Kind: KindSingleSource, S: 0, K: 200, Estimator: "BFSSharing"})
+	if ga.Err != nil || gb.Err != nil {
+		t.Fatalf("single-source: %v / %v", ga.Err, gb.Err)
+	}
+	for v := range ga.Reliabilities {
+		if ga.Reliabilities[v] != gb.Reliabilities[v] {
+			t.Fatalf("single-source[%d]: built %v, loaded %v", v, ga.Reliabilities[v], gb.Reliabilities[v])
+		}
+	}
+}
+
+// TestDegreeRelabelSnapshotFlagMismatch: asking for DegreeRelabel over an
+// un-relabeled snapshot is an error (the indexes were built over the
+// original layout; the snapshot must be rebuilt).
+func TestDegreeRelabelSnapshotFlagMismatch(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, Config{Seed: 42, MaxK: 200}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromSnapshot(snap, Config{DegreeRelabel: true}); err == nil ||
+		!strings.Contains(err.Error(), "un-relabeled") {
+		t.Fatalf("DegreeRelabel over plain snapshot: err = %v", err)
+	}
+	// And the plain load still works.
+	if _, err := NewFromSnapshot(snap, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

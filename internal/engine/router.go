@@ -56,6 +56,8 @@ var accuracyRank = map[string]int{
 	"RHH":            1,
 	"MC":             2,
 	"PackMC":         2, // statistically identical to MC
+	"PackMC256":      2, // bit-identical to PackMC
+	"PackMC512":      2, // bit-identical to PackMC
 	"ParallelMC":     2, // statistically identical to MC
 	"ParallelPackMC": 2, // bit-identical to PackMC
 	"ProbTree":       3,
@@ -65,18 +67,21 @@ var accuracyRank = map[string]int{
 
 // latencyPrior orders estimators by per-query online time (the paper's
 // measurements, with the word-packed extensions slotted in: PackMC does
-// MC's work ~64 worlds per traversal, so it sits with the fast methods);
-// it only breaks ties until real measurements arrive.
+// MC's work ~64 worlds per traversal, and the wide kernels amortize that
+// traversal over 256/512 worlds, so the widest sits first among the
+// samplers); it only breaks ties until real measurements arrive.
 var latencyPrior = map[string]int{
 	"ProbTree":       0,
-	"PackMC":         1,
-	"LP+":            2,
-	"BFSSharing":     3,
-	"RSS":            4,
-	"RHH":            5,
-	"ParallelPackMC": 6,
-	"ParallelMC":     7,
-	"MC":             8,
+	"PackMC512":      1,
+	"PackMC256":      2,
+	"PackMC":         3,
+	"LP+":            4,
+	"BFSSharing":     5,
+	"RSS":            6,
+	"RHH":            7,
+	"ParallelPackMC": 8,
+	"ParallelMC":     9,
+	"MC":             10,
 }
 
 const (

@@ -64,18 +64,41 @@ func BuildIndexes(g *uncertain.Graph, cfg Config) *PreloadedIndexes {
 
 // WriteSnapshot builds the indexes for (g, cfg) and writes the complete
 // container — graph, BFS Sharing index, ProbTree index, manifest — to w.
+//
+// Under cfg.DegreeRelabel the snapshot stores the degree-sorted rename —
+// graph, indexes, and the id translation back to the caller's original
+// ids — and NewFromSnapshot restores the translating engine without
+// re-relabeling.
 func WriteSnapshot(w io.Writer, g *uncertain.Graph, cfg Config) error {
 	if cfg.MaxK <= 0 {
 		cfg.MaxK = 2000
 	}
+	var toOld32, edgeToNew32 []int32
+	if cfg.DegreeRelabel {
+		perm := uncertain.DegreePerm(g)
+		rg, edgeMap, err := uncertain.Relabel(g, perm)
+		if err != nil {
+			return fmt.Errorf("engine: degree relabel failed: %w", err)
+		}
+		toOld := uncertain.InversePerm(perm)
+		toOld32 = make([]int32, len(toOld))
+		for i, v := range toOld {
+			toOld32[i] = int32(v)
+		}
+		edgeToNew32 = make([]int32, len(edgeMap))
+		for i, v := range edgeMap {
+			edgeToNew32[i] = int32(v)
+		}
+		g = rg
+	}
 	pre := BuildIndexes(g, cfg)
-	return core.WriteSnapshot(w, g, pre.BFS, pre.ProbTree, snapshot.Manifest{
+	return core.WriteSnapshotWithRelabel(w, g, pre.BFS, pre.ProbTree, snapshot.Manifest{
 		Tool:        "relsnap",
 		EngineSeed:  cfg.Seed,
 		MaxK:        cfg.MaxK,
 		PTWidth:     core.DefaultTreeWidth,
 		CreatedUnix: time.Now().Unix(),
-	})
+	}, toOld32, edgeToNew32)
 }
 
 // NewFromSnapshot starts an engine over a loaded snapshot: the snapshot's
@@ -87,6 +110,13 @@ func WriteSnapshot(w io.Writer, g *uncertain.Graph, cfg Config) error {
 //
 // The engine aliases the snapshot's mapping; the caller must keep the
 // snapshot open for the engine's lifetime.
+//
+// A snapshot written under Config.DegreeRelabel restores a translating
+// engine (the stored rename is served, the query surface speaks the
+// original ids) whether or not cfg.DegreeRelabel is set — the snapshot,
+// not the flag, is authoritative. Setting cfg.DegreeRelabel against an
+// un-relabeled snapshot is an error: the graph must be renamed when the
+// indexes are built, so rewrite the snapshot instead.
 func NewFromSnapshot(snap *core.Snapshot, cfg Config) (*Engine, error) {
 	man := snap.Manifest
 	if cfg.Seed != 0 && cfg.Seed != man.EngineSeed {
@@ -95,8 +125,24 @@ func NewFromSnapshot(snap *core.Snapshot, cfg Config) (*Engine, error) {
 	if cfg.MaxK > 0 && cfg.MaxK != man.MaxK {
 		return nil, fmt.Errorf("engine: config MaxK %d conflicts with snapshot MaxK %d", cfg.MaxK, man.MaxK)
 	}
+	if cfg.DegreeRelabel && !man.DegreeRelabeled {
+		return nil, fmt.Errorf("engine: DegreeRelabel is set but the snapshot holds an un-relabeled graph; rebuild the snapshot with DegreeRelabel")
+	}
 	cfg.Seed = man.EngineSeed
 	cfg.MaxK = man.MaxK
 	cfg.Preloaded = &PreloadedIndexes{BFS: snap.BFS, ProbTree: snap.ProbTree}
-	return New(snap.Graph, cfg)
+	var relab *relabelMap
+	if man.DegreeRelabeled {
+		toOld := make([]uncertain.NodeID, len(snap.RelabelToOld))
+		for i, v := range snap.RelabelToOld {
+			toOld[i] = uncertain.NodeID(v)
+		}
+		edgeToNew := make([]uncertain.EdgeID, len(snap.RelabelEdgeToNew))
+		for i, v := range snap.RelabelEdgeToNew {
+			edgeToNew[i] = uncertain.EdgeID(v)
+		}
+		relab = &relabelMap{toNew: uncertain.InversePerm(toOld), toOld: toOld, edgeToNew: edgeToNew}
+	}
+	cfg.DegreeRelabel = relab != nil
+	return newEngine(snap.Graph, cfg, relab)
 }

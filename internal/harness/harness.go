@@ -150,7 +150,7 @@ var EstimatorSet = []string{"MC", "BFSSharing", "ProbTree", "LP+", "RHH", "RSS"}
 // word-packed PackMC and the multi-core shards — so table/figure sweeps
 // and callers of NewEstimator can include them alongside the paper's six.
 var ExtendedEstimatorSet = append(append([]string{}, EstimatorSet...),
-	"PackMC", "ParallelMC", "ParallelPackMC")
+	"PackMC", "PackMC256", "PackMC512", "ParallelMC", "ParallelPackMC")
 
 // NewEstimator constructs one of the named estimators over g. BFS Sharing
 // is built with index width = the runner's MaxK.
@@ -161,6 +161,10 @@ func (r *Runner) NewEstimator(name string, g *uncertain.Graph) (core.Estimator, 
 		return core.NewMC(g, seed), nil
 	case "PackMC":
 		return core.NewPackMC(g, seed), nil
+	case "PackMC256":
+		return core.NewWidePackMC(g, seed, 256), nil
+	case "PackMC512":
+		return core.NewWidePackMC(g, seed, 512), nil
 	case "ParallelMC":
 		return core.NewParallelMC(g, seed, 0), nil
 	case "ParallelPackMC":

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		Maprange,
 		Ctxflow,
 		Frozenwrite,
+		Arenaappend,
 		Errwrapped,
 		Nopanic,
 	}

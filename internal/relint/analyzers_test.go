@@ -34,6 +34,16 @@ func TestFrozenwriteExemptsSnapshotPkg(t *testing.T) {
 	relinttest.Run(t, "testdata", relint.Frozenwrite, "frozenwrite/internal/snapshot")
 }
 
+func TestArenaappend(t *testing.T) {
+	relinttest.Run(t, "testdata", relint.Arenaappend, "arenaappend/use")
+}
+
+func TestArenaappendExemptsArenaPkg(t *testing.T) {
+	// The arena package owns the slab machinery; its own growth appends
+	// are the one legal site.
+	relinttest.Run(t, "testdata", relint.Arenaappend, "arenaappend/internal/arena")
+}
+
 func TestErrwrapped(t *testing.T) {
 	relinttest.Run(t, "testdata", relint.Errwrapped, "errwrapped/internal/snapshot")
 }

@@ -1,0 +1,62 @@
+package relint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Arenaappend enforces internal/arena's append ban: the allocator hands
+// out defined slice types (arena.Uint64s and friends) whose backing
+// storage is a shared bump-allocated slab. An append either grows in
+// place and overlaps the slab's next allocation, or reallocates onto the
+// heap so the "arena-backed" buffer silently stops being one; both are
+// bugs that only surface as data corruption under load. Inside the arena
+// package itself the slab machinery may grow buffers; everywhere else
+// append on an arena-owned type is a vet failure.
+var Arenaappend = &Analyzer{
+	Name: "arenaappend",
+	Doc: "no append on arena-owned slice types outside internal/arena; " +
+		"growth corrupts the slab or silently migrates the buffer to the heap",
+	SkipPkgSuffixes: []string{"internal/arena"},
+	Run:             runArenaappend,
+}
+
+func runArenaappend(p *Pass) error {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.IsBuiltin(call, "append") || len(call.Args) == 0 {
+				return true
+			}
+			if name, ok := arenaOwnedType(p, call.Args[0]); ok {
+				p.Reportf(call.Pos(),
+					"append on arena-owned %s: the buffer belongs to a recycled slab — size it up front with the arena allocator instead",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// arenaOwnedType reports whether e's type is one of internal/arena's
+// defined slice types (directly or re-sliced — slicing preserves the
+// defined type). A conversion to the raw slice type sheds the name and
+// with it the ban; that is the deliberate, greppable escape hatch.
+func arenaOwnedType(p *Pass, e ast.Expr) (string, bool) {
+	named, ok := p.Info.TypeOf(e).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if _, isSlice := named.Underlying().(*types.Slice); !isSlice {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), "internal/arena") {
+		return "", false
+	}
+	return "arena." + obj.Name(), true
+}

@@ -1,0 +1,25 @@
+// Package arena is the fixture stub of the real internal/arena: defined
+// slice types backed by recycled slabs. Inside this package the slab
+// machinery may grow buffers, so its own appends are exempt.
+package arena
+
+type (
+	Uint64s  []uint64
+	NodeIDs  []int32
+	Float64s []float64
+)
+
+type Arena struct {
+	u64 []uint64
+}
+
+func (a *Arena) Uint64s(n int) Uint64s {
+	if len(a.u64) < n {
+		a.u64 = append(a.u64, make([]uint64, n-len(a.u64))...) // slab growth: in bounds here
+	}
+	return Uint64s(a.u64[:n])
+}
+
+func (a *Arena) grow(extra Uint64s) Uint64s {
+	return append(extra, 0) // still the arena package: exempt
+}

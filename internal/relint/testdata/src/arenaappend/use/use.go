@@ -1,0 +1,32 @@
+// Package use exercises arenaappend from outside internal/arena.
+package use
+
+import "arenaappend/internal/arena"
+
+func violations(a *arena.Arena) arena.Uint64s {
+	buf := a.Uint64s(8)
+	buf = append(buf, 1) // want "append on arena-owned arena.Uint64s"
+	reuse := buf[:0]
+	reuse = append(reuse, 2)         // want "append on arena-owned arena.Uint64s"
+	_ = append(a.Uint64s(4), buf...) // want "append on arena-owned arena.Uint64s"
+	return reuse
+}
+
+func typed(ids arena.NodeIDs, fs arena.Float64s) {
+	ids = append(ids, 7) // want "append on arena-owned arena.NodeIDs"
+	fs = append(fs, 0.5) // want "append on arena-owned arena.Float64s"
+	_, _ = ids, fs
+}
+
+func legal(a *arena.Arena) []uint64 {
+	buf := a.Uint64s(8)
+	buf[0] = 1 // writes in range are fine; only growth is banned
+	heap := make([]uint64, 0, len(buf))
+	heap = append(heap, buf...) // appending arena data to a heap slice is fine
+
+	// Converting to the raw slice type sheds the defined type: the
+	// deliberate, greppable escape hatch.
+	raw := []uint64(buf)
+	raw = append(raw, 9)
+	return heap
+}

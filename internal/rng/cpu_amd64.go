@@ -1,0 +1,44 @@
+//go:build amd64
+
+package rng
+
+// useAVX512 gates the vector path of MaskAtFixed4: AVX-512 F+DQ+VL give
+// VPMULLQ on 256-bit registers, which runs the four fused splitmix chains
+// as single vector multiplies. The scalar and vector paths walk the same
+// digit trajectories two digits per stop-check, so every decided lane gets
+// the identical value either way and the choice is invisible in results.
+var useAVX512 = detectAVX512()
+
+// cpuid and xgetbv0 are implemented in cpu_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() uint64
+
+func detectAVX512() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	// The OS must context-switch XMM+YMM and the AVX-512 opmask/ZMM state.
+	const xcr0Needed = 1<<1 | 1<<2 | 1<<5 | 1<<6 | 1<<7
+	if xgetbv0()&xcr0Needed != xcr0Needed {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	const avx512dq = 1 << 17
+	const avx512vl = 1 << 31
+	return b7&(avx512f|avx512dq|avx512vl) == avx512f|avx512dq|avx512vl
+}
+
+// maskAtFixed4Asm is the AVX-512 body of MaskAtFixed4's bit-sliced
+// mid-range: four interleaved digit trajectories, two digits per
+// stop-check, masked writeback for zero-need words. Implemented in
+// maskfixed4_amd64.s; only called when useAVX512 is true.
+//
+//go:noescape
+func maskAtFixed4Asm(keys *[4]uint64, q uint64, need, mask, decided *[4]uint64)

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package rng
+
+// Non-amd64 builds always take the scalar path of MaskAtFixed4; the two
+// paths are bit-identical, so cross-architecture results agree.
+const useAVX512 = false
+
+func maskAtFixed4Asm(keys *[4]uint64, q uint64, need, mask, decided *[4]uint64) {
+	panic("rng: maskAtFixed4Asm without AVX-512")
+}

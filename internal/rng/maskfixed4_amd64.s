@@ -1,0 +1,101 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func maskAtFixed4Asm(keys *[4]uint64, q uint64, need, mask, decided *[4]uint64)
+//
+// Vector form of MaskAtFixed4's bit-sliced mid-range loop: the four counter
+// chains live one per qword lane of a 256-bit register, so each digit costs
+// two VPMULLQ instead of four serialized scalar splitmix chains (8 IMULs).
+// The digit schedule is identical to the scalar loop — two digits per stop
+// check, at most 64 digits — so both paths decide the same lane sets with
+// the same values and the build-time choice is invisible in results.
+//
+// Register map:
+//   Y0 counters   Y1 undecided  Y2 result   Y3 need
+//   Y4 golden     Y5 splitmix M1            Y6 splitmix M2
+//   Y7 w          Y8 scratch    Y9 nb (digit mask)  Y10 bm (^nb)
+//   Y11 qq digits (replicated)  Y12 all-ones
+//   K1 pending-lane test        K2 need!=0 writeback mask
+TEXT ·maskAtFixed4Asm(SB), NOSPLIT, $0-40
+	MOVQ keys+0(FP), AX
+	MOVQ need+16(FP), BX
+	MOVQ mask+24(FP), DI
+	MOVQ decided+32(FP), SI
+
+	VMOVDQU64    (AX), Y0
+	VMOVDQU64    (BX), Y3
+	VPBROADCASTQ q+8(FP), Y11
+
+	VPTERNLOGQ $0xFF, Y12, Y12, Y12 // all-ones
+	MOVQ       $0x9e3779b97f4a7c15, AX
+	VPBROADCASTQ AX, Y4
+	MOVQ       $0xbf58476d1ce4e5b9, AX
+	VPBROADCASTQ AX, Y5
+	MOVQ       $0x94d049bb133111eb, AX
+	VPBROADCASTQ AX, Y6
+
+	VPXORQ   Y8, Y8, Y8
+	VPCMPUQ  $4, Y8, Y3, K2 // K2: words with need != 0
+	VMOVDQA64 Y12, Y1       // u = all-ones (zero-need lanes never written back)
+	VPXORQ   Y2, Y2, Y2     // r = 0
+
+	MOVQ $32, CX
+
+loop:
+	// ---- digit 1 ----
+	VPSRAQ $63, Y11, Y9  // nb: all-ones iff current digit is 1
+	VPXORQ Y12, Y9, Y10  // bm = ^nb
+	VPSLLQ $1, Y11, Y11
+	VPADDQ Y4, Y0, Y0    // c += golden
+
+	VPSRLQ  $30, Y0, Y8  // w = splitmix64(c)
+	VPXORQ  Y0, Y8, Y7
+	VPMULLQ Y5, Y7, Y7
+	VPSRLQ  $27, Y7, Y8
+	VPXORQ  Y8, Y7, Y7
+	VPMULLQ Y6, Y7, Y7
+	VPSRLQ  $31, Y7, Y8
+	VPXORQ  Y8, Y7, Y7
+
+	VPANDNQ Y1, Y7, Y8   // t = u &^ w
+	VPANDQ  Y9, Y8, Y8
+	VPORQ   Y8, Y2, Y2   // r |= u &^ w & nb
+	VPXORQ  Y10, Y7, Y8
+	VPANDQ  Y8, Y1, Y1   // u &= w ^ bm
+
+	// ---- digit 2 ----
+	VPSRAQ $63, Y11, Y9
+	VPXORQ Y12, Y9, Y10
+	VPSLLQ $1, Y11, Y11
+	VPADDQ Y4, Y0, Y0
+
+	VPSRLQ  $30, Y0, Y8
+	VPXORQ  Y0, Y8, Y7
+	VPMULLQ Y5, Y7, Y7
+	VPSRLQ  $27, Y7, Y8
+	VPXORQ  Y8, Y7, Y7
+	VPMULLQ Y6, Y7, Y7
+	VPSRLQ  $31, Y7, Y8
+	VPXORQ  Y8, Y7, Y7
+
+	VPANDNQ Y1, Y7, Y8
+	VPANDQ  Y9, Y8, Y8
+	VPORQ   Y8, Y2, Y2
+	VPXORQ  Y10, Y7, Y8
+	VPANDQ  Y8, Y1, Y1
+
+	// stop once every needed lane is decided
+	VPANDQ   Y3, Y1, Y8
+	VPTESTMQ Y8, Y8, K1
+	KORTESTB K1, K1
+	JZ       done
+	DECQ     CX
+	JNZ      loop
+
+done:
+	VMOVDQU64 Y2, K2, (DI)  // mask, drawn words only
+	VPANDNQ   Y12, Y1, Y1   // decided = ^u
+	VMOVDQU64 Y1, K2, (SI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,61 @@
+//go:build amd64
+
+package rng
+
+import "testing"
+
+// TestMaskAtFixed4AsmMatchesScalar pins the AVX-512 path to the portable
+// scalar body bit for bit: same masks, same decided sets, and untouched
+// storage for zero-need words. The two implementations must stay
+// interchangeable or pack width / build host would leak into sampled worlds.
+func TestMaskAtFixed4AsmMatchesScalar(t *testing.T) {
+	if !useAVX512 {
+		t.Skip("no AVX-512 on this machine; scalar path is the only path")
+	}
+	qs := []uint64{
+		fixedSparseCutoff,
+		fixedSparseCutoff + 12345,
+		FixedProb(0.1), FixedProb(0.25), FixedProb(0.5),
+		FixedProb(0.6180339887), FixedProb(0.75), FixedProb(0.9),
+		^uint64(0) - fixedSparseCutoff,
+	}
+	needs := [][4]uint64{
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+		{1, 0, 0, 0},
+		{0, 0, 0, 1 << 63},
+		{0xdeadbeef, 0, ^uint64(0), 0},
+		{0, 0, 0, 0},
+		{1, 2, 4, 8},
+	}
+	for qi, q := range qs {
+		for ni, nd := range needs {
+			base := splitmix64(uint64(qi)*1000003 + uint64(ni))
+			keys := [4]uint64{
+				splitmix64(base + 11),
+				splitmix64(base + 22),
+				splitmix64(base + 33),
+				splitmix64(base + 44),
+			}
+			// Distinct sentinel garbage per word proves zero-need words
+			// are left untouched by both paths.
+			var sm, sd, vm, vd [4]uint64
+			for w := range sm {
+				sm[w], sd[w] = 0x1111*uint64(w+1), 0x2222*uint64(w+1)
+				vm[w], vd[w] = sm[w], sd[w]
+			}
+			need := nd
+			maskAtFixed4Scalar(keys[0], keys[1], keys[2], keys[3], q, &need, &sm, &sd)
+			need = nd
+			maskAtFixed4Asm(&keys, q, &need, &vm, &vd)
+			if sm != vm || sd != vd {
+				t.Fatalf("q=%#x need=%v:\n scalar mask=%v dec=%v\n vector mask=%v dec=%v",
+					q, nd, sm, sd, vm, vd)
+			}
+			for w, n := range nd {
+				if n != 0 && vd[w]&n != n {
+					t.Fatalf("q=%#x need=%v word %d: needed lanes undecided (dec=%#x)", q, nd, w, vd[w])
+				}
+			}
+		}
+	}
+}

@@ -280,6 +280,154 @@ func MaskAtFixed(key, q, need uint64) (mask, decided uint64) {
 	return res, ^und
 }
 
+// MaskAtFixedWords is the multi-word (wide-pack) form of MaskAtFixed: it
+// draws up to len(keys) independent 64-lane Bernoulli words in one call,
+// word w from the counter stream at keys[w], restricted to the lanes of
+// need[w]. A word whose need is zero is skipped entirely — mask[w] and
+// decided[w] keep whatever the caller cached there; every other word
+// receives exactly what MaskAtFixed(keys[w], q, need[w]) returns. Each
+// drawn word replays its own pure counter trajectory, so a wide draw is
+// bit-identical to the repeated narrow draws and pack width can never
+// change sampled values. mask, need, and decided must each hold at least
+// len(keys) words.
+func MaskAtFixedWords(keys []uint64, q uint64, need, mask, decided []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	_ = need[len(keys)-1]
+	_ = mask[len(keys)-1]
+	_ = decided[len(keys)-1]
+	for w, key := range keys {
+		if need[w] == 0 {
+			continue
+		}
+		mask[w], decided[w] = MaskAtFixed(key, q, need[w])
+	}
+}
+
+// MaskAtFixed4 draws four independent 64-lane Bernoulli words in one fused
+// loop, word w from the counter stream at keyw, restricted to the lanes of
+// need[w]. A word whose need is zero is skipped: mask[w] and decided[w]
+// keep whatever the caller cached there. Every drawn word is bit-identical
+// to MaskAtFixed(keyw, q, need[w]) on all lanes the narrow call decides,
+// and may decide additional lanes — those carry the same values a later
+// replay of the trajectory would produce, so callers can cache them.
+//
+// The point of fusing is throughput, not fewer draws: the four splitmix
+// chains are data-independent, so interleaving them hides the multiply/xor
+// latency that serial per-word draws pay in full, and the wider decided
+// sets suppress later replay draws on the same edge.
+func MaskAtFixed4(key0, key1, key2, key3, q uint64, need, mask, decided *[4]uint64) {
+	if q == ^uint64(0) || q == 0 || q < fixedSparseCutoff || q > ^uint64(0)-fixedSparseCutoff {
+		// Sentinel and sparse regimes have word-local fast paths; the
+		// fused loop only pays off in the bit-sliced mid-range.
+		if need[0] != 0 {
+			mask[0], decided[0] = MaskAtFixed(key0, q, need[0])
+		}
+		if need[1] != 0 {
+			mask[1], decided[1] = MaskAtFixed(key1, q, need[1])
+		}
+		if need[2] != 0 {
+			mask[2], decided[2] = MaskAtFixed(key2, q, need[2])
+		}
+		if need[3] != 0 {
+			mask[3], decided[3] = MaskAtFixed(key3, q, need[3])
+		}
+		return
+	}
+	if useAVX512 {
+		// Same digit schedule, four chains in qword lanes; bit-identical
+		// to maskAtFixed4Scalar (see maskfixed4_amd64.s).
+		keys := [4]uint64{key0, key1, key2, key3}
+		maskAtFixed4Asm(&keys, q, need, mask, decided)
+		return
+	}
+	maskAtFixed4Scalar(key0, key1, key2, key3, q, need, mask, decided)
+}
+
+// maskAtFixed4Scalar is the portable mid-range body of MaskAtFixed4 and the
+// reference the vector path is tested against. q must be strictly between
+// the sparse cutoffs.
+func maskAtFixed4Scalar(key0, key1, key2, key3, q uint64, need, mask, decided *[4]uint64) {
+	n0, n1, n2, n3 := need[0], need[1], need[2], need[3]
+	var u0, u1, u2, u3 uint64
+	if n0 != 0 {
+		u0 = ^uint64(0)
+	}
+	if n1 != 0 {
+		u1 = ^uint64(0)
+	}
+	if n2 != 0 {
+		u2 = ^uint64(0)
+	}
+	if n3 != 0 {
+		u3 = ^uint64(0)
+	}
+	var r0, r1, r2, r3 uint64
+	c0, c1, c2, c3 := key0, key1, key2, key3
+	// Two digits per trip: deciding lanes past the point every need is
+	// satisfied is harmless (the extra lanes carry their replay values),
+	// so the stop check only needs to run once per pair of digits, and the
+	// eight interleaved splitmix chains keep the multiplier ports busy. qq
+	// is a shift register over q's digits, high bit first.
+	qq := q
+	for j := 0; j < 32; j++ {
+		if (u0&n0)|(u1&n1)|(u2&n2)|(u3&n3) == 0 {
+			break
+		}
+		b := qq >> 63
+		qq <<= 1
+		nb, bm := -b, b-1
+		c0 += golden
+		w := splitmix64(c0)
+		r0 |= u0 &^ w & nb
+		u0 &= w ^ bm
+		c1 += golden
+		w = splitmix64(c1)
+		r1 |= u1 &^ w & nb
+		u1 &= w ^ bm
+		c2 += golden
+		w = splitmix64(c2)
+		r2 |= u2 &^ w & nb
+		u2 &= w ^ bm
+		c3 += golden
+		w = splitmix64(c3)
+		r3 |= u3 &^ w & nb
+		u3 &= w ^ bm
+		b = qq >> 63
+		qq <<= 1
+		nb, bm = -b, b-1
+		c0 += golden
+		w = splitmix64(c0)
+		r0 |= u0 &^ w & nb
+		u0 &= w ^ bm
+		c1 += golden
+		w = splitmix64(c1)
+		r1 |= u1 &^ w & nb
+		u1 &= w ^ bm
+		c2 += golden
+		w = splitmix64(c2)
+		r2 |= u2 &^ w & nb
+		u2 &= w ^ bm
+		c3 += golden
+		w = splitmix64(c3)
+		r3 |= u3 &^ w & nb
+		u3 &= w ^ bm
+	}
+	if n0 != 0 {
+		mask[0], decided[0] = r0, ^u0
+	}
+	if n1 != 0 {
+		mask[1], decided[1] = r1, ^u1
+	}
+	if n2 != 0 {
+		mask[2], decided[2] = r2, ^u2
+	}
+	if n3 != 0 {
+		mask[3], decided[3] = r3, ^u3
+	}
+}
+
 // sparseMaskAt draws a 64-bit Bernoulli(p) word from the counter stream at
 // key by geometric skips, for p in (0, sparseMaskCutoff).
 func sparseMaskAt(key uint64, p float64) uint64 {

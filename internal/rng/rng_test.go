@@ -360,3 +360,85 @@ func TestZeroSeedUsable(t *testing.T) {
 		t.Error("zero seed produced a degenerate stream")
 	}
 }
+
+func TestMaskAtFixedWordsMatchesNarrow(t *testing.T) {
+	// Each drawn word must be exactly MaskAtFixed at its own key; words
+	// with zero need must keep the caller's cached values. Sweep the
+	// probability regimes so the sentinel, sparse, and bit-sliced branches
+	// are all hit.
+	for _, p := range []float64{0.001, 0.05, 0.3, 0.5, 0.8, 0.97, 1} {
+		q := FixedProb(p)
+		keys := []uint64{11, 22, 33, 44, 55, 66, 77, 88}
+		need := []uint64{^uint64(0), 1, 0, 0xFF00, 0, 1 << 63, 3, 0}
+		mask := make([]uint64, 8)
+		dec := make([]uint64, 8)
+		for w := range mask { // sentinel garbage that zero-need words must keep
+			mask[w] = 0xDEAD + uint64(w)
+			dec[w] = 0xBEEF + uint64(w)
+		}
+		MaskAtFixedWords(keys, q, need, mask, dec)
+		for w := range keys {
+			if need[w] == 0 {
+				if mask[w] != 0xDEAD+uint64(w) || dec[w] != 0xBEEF+uint64(w) {
+					t.Fatalf("p=%v word %d: zero-need word was overwritten", p, w)
+				}
+				continue
+			}
+			wantM, wantD := MaskAtFixed(keys[w], q, need[w])
+			if mask[w] != wantM || dec[w] != wantD {
+				t.Fatalf("p=%v word %d: got (%#x,%#x), want (%#x,%#x)",
+					p, w, mask[w], dec[w], wantM, wantD)
+			}
+		}
+	}
+	MaskAtFixedWords(nil, FixedProb(0.5), nil, nil, nil) // empty call is a no-op
+}
+
+func TestMaskAtFixed4MatchesNarrow(t *testing.T) {
+	// The fused draw may decide MORE lanes than the narrow per-word calls
+	// (it runs until the slowest word is satisfied), but on every lane the
+	// narrow call decides the values must agree exactly, the decided set
+	// must be a superset, and the extra lanes must match what a full replay
+	// of the word's trajectory would produce. Zero-need words keep the
+	// caller's cached values.
+	for _, p := range []float64{0.001, 0.05, 0.3, 0.5, 0.8, 0.97, 1} {
+		q := FixedProb(p)
+		for _, need := range [][4]uint64{
+			{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+			{1, 1 << 63, 0xFF00, 3},
+			{^uint64(0), 0, 1, 0},
+			{0, 0, 0, 7},
+		} {
+			keys := [4]uint64{101, 202, 303, 404}
+			var mask, dec [4]uint64
+			for w := range mask { // sentinel garbage zero-need words must keep
+				mask[w] = 0xDEAD + uint64(w)
+				dec[w] = 0xBEEF + uint64(w)
+			}
+			nd := need
+			MaskAtFixed4(keys[0], keys[1], keys[2], keys[3], q, &nd, &mask, &dec)
+			for w := range keys {
+				if need[w] == 0 {
+					if mask[w] != 0xDEAD+uint64(w) || dec[w] != 0xBEEF+uint64(w) {
+						t.Fatalf("p=%v word %d: zero-need word was overwritten", p, w)
+					}
+					continue
+				}
+				narrowM, narrowD := MaskAtFixed(keys[w], q, need[w])
+				if dec[w]&narrowD != narrowD {
+					t.Fatalf("p=%v word %d: decided %#x is not a superset of narrow %#x",
+						p, w, dec[w], narrowD)
+				}
+				if mask[w]&narrowD != narrowM&narrowD {
+					t.Fatalf("p=%v word %d: mask %#x disagrees with narrow %#x on decided lanes %#x",
+						p, w, mask[w], narrowM, narrowD)
+				}
+				// Lanes the fused loop over-decided must equal a full replay.
+				fullM, fullD := MaskAtFixed(keys[w], q, dec[w])
+				if fullD&dec[w] != dec[w] || mask[w] != fullM&dec[w] {
+					t.Fatalf("p=%v word %d: over-decided lanes diverge from replay", p, w)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,10 @@ type Manifest struct {
 	HasBFS      bool   `json:"hasBFS"`
 	HasProbTree bool   `json:"hasProbTree"`
 	CreatedUnix int64  `json:"createdUnix,omitempty"`
+	// DegreeRelabeled marks a snapshot whose stored graph is the
+	// degree-sorted rename of the original; the relabel.* sections carry
+	// the id translation. Old snapshots decode with it false.
+	DegreeRelabeled bool `json:"degreeRelabeled,omitempty"`
 }
 
 // AddManifest adds the manifest section.

@@ -40,6 +40,13 @@ const (
 	SecPTContribP    uint32 = 0x3d // []float64
 	SecPTChildOff    uint32 = 0x3e // []uint64, numBags+1
 	SecPTChildren    uint32 = 0x3f // []int32, concat of bag child lists
+
+	// Degree-relabeled snapshots: the stored graph is the degree-sorted
+	// rename and these sections carry the id translation back to the
+	// caller's original ids. Absent in un-relabeled snapshots; old readers
+	// that predate them ignore unknown sections.
+	SecRelabelToOld     uint32 = 0x40 // []int32, n: internal node id -> external
+	SecRelabelEdgeToNew uint32 = 0x41 // []int32, m: external edge id -> internal
 )
 
 var sectionNames = map[uint32]string{
@@ -69,6 +76,9 @@ var sectionNames = map[uint32]string{
 	SecPTContribP:    "probtree.contribP",
 	SecPTChildOff:    "probtree.childOff",
 	SecPTChildren:    "probtree.children",
+
+	SecRelabelToOld:     "relabel.toOld",
+	SecRelabelEdgeToNew: "relabel.edgeToNew",
 }
 
 // SectionName returns a human-readable name for a section type.

@@ -88,6 +88,16 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 	return g.outTo[g.outIndex[v]:g.outIndex[v+1]]
 }
 
+// OutSpan returns the half-open CSR slot range of v's outgoing edges:
+// OutNeighbors(v)[i], OutProbs(v)[i], and OutEdgeIDs(v)[i] occupy slot
+// lo+i, and every edge owns exactly one slot in [0, NumEdges). Estimators
+// that keep per-edge scratch can index it by slot instead of edge id, so a
+// node scan touches its edge state sequentially regardless of the order
+// edges were inserted in.
+func (g *Graph) OutSpan(v NodeID) (lo, hi int) {
+	return int(g.outIndex[v]), int(g.outIndex[v+1])
+}
+
 // OutProbs returns the probabilities of v's outgoing edges, aligned with
 // OutNeighbors. The slice aliases graph storage.
 func (g *Graph) OutProbs(v NodeID) []float64 {

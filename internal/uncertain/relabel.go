@@ -1,0 +1,170 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements degree-sorted CSR relabeling: renaming nodes so
+// that high-out-degree hubs get the lowest ids. Sampling traversals spend
+// most of their time streaming the CSR rows of hub nodes; after
+// relabeling, those rows (and the per-node scratch the kernels key by
+// node id) cluster at the front of their arrays and share cache lines
+// instead of being scattered across the whole graph. The relabeled graph
+// is semantically identical — only the names change — so any estimator
+// runs on it unmodified; callers that must preserve the external id
+// surface (the engine) translate queries in and results out with the
+// permutation.
+//
+// Permutation contract: perm[old] = new for nodes. Relabel additionally
+// returns edgeMap[oldEdge] = newEdge, because the Builder re-sorts edges
+// by (from, to) and edge ids are positional. Sampling streams are keyed
+// by edge id, so a relabeled graph draws different (but identically
+// distributed) worlds than the original — relabeling preserves the
+// estimator contract and the distribution, not the bit-exact stream.
+
+// DegreePerm returns the degree-sorting permutation of g: perm[old] = new,
+// where new ids are assigned by descending out-degree, ties broken by
+// ascending old id. It is deterministic, so writer and reader of a
+// snapshot derive the same permutation from the same graph.
+func DegreePerm(g *Graph) []NodeID {
+	n := g.NumNodes()
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.OutDegree(order[i]), g.OutDegree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	perm := make([]NodeID, n)
+	for newID, old := range order {
+		perm[old] = NodeID(newID)
+	}
+	return perm
+}
+
+// InversePerm returns the inverse permutation: inv[perm[v]] = v.
+func InversePerm(perm []NodeID) []NodeID {
+	inv := make([]NodeID, len(perm))
+	for old, new := range perm {
+		inv[new] = NodeID(old)
+	}
+	return inv
+}
+
+// checkPerm validates that perm is a permutation of [0, n).
+func checkPerm(perm []NodeID, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("uncertain: permutation has %d entries for %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for old, new := range perm {
+		if new < 0 || int(new) >= n {
+			return fmt.Errorf("uncertain: perm[%d] = %d outside [0, %d)", old, new, n)
+		}
+		if seen[new] {
+			return fmt.Errorf("uncertain: perm maps two nodes to %d", new)
+		}
+		seen[new] = true
+	}
+	return nil
+}
+
+// Relabel returns g with every node v renamed to perm[v]: the same edges,
+// the same probabilities, a freshly sorted CSR. Because edge ids are
+// positional in the (from, to)-sorted edge list, they move too; the
+// returned edgeMap gives edgeMap[oldEdge] = newEdge so callers can
+// translate edge-keyed state (evidence conditions, snapshot sections)
+// across the rename. RelabelInverse(Relabel(g, perm)) reconstructs a
+// graph isomorphic to g with the original names.
+func Relabel(g *Graph, perm []NodeID) (*Graph, []EdgeID, error) {
+	if err := checkPerm(perm, g.NumNodes()); err != nil {
+		return nil, nil, err
+	}
+	b := NewBuilder(g.NumNodes()).SetName(g.Name())
+	for _, e := range g.Edges() {
+		if err := b.AddEdge(perm[e.From], perm[e.To], e.P); err != nil {
+			return nil, nil, err
+		}
+	}
+	ng := b.Build()
+	if ng.NumEdges() != g.NumEdges() {
+		// Cannot happen for a graph that itself came out of Build (parallel
+		// edges were already merged), but guard the invariant the edge map
+		// depends on.
+		return nil, nil, fmt.Errorf("uncertain: relabel merged %d edges to %d",
+			g.NumEdges(), ng.NumEdges())
+	}
+	// New edge ids are the ranks of the renamed (from, to) pairs: sort the
+	// old ids by renamed endpoint and read the ranks off.
+	m := g.NumEdges()
+	idx := make([]EdgeID, m)
+	for i := range idx {
+		idx[i] = EdgeID(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, c := g.Edge(idx[i]), g.Edge(idx[j])
+		af, at := perm[a.From], perm[a.To]
+		cf, ct := perm[c.From], perm[c.To]
+		if af != cf {
+			return af < cf
+		}
+		return at < ct
+	})
+	edgeMap := make([]EdgeID, m)
+	for newID, oldID := range idx {
+		edgeMap[oldID] = EdgeID(newID)
+	}
+	return ng, edgeMap, nil
+}
+
+// RelabelInverse undoes a Relabel: given the graph produced with perm, it
+// relabels by InversePerm(perm), restoring the original node names (and
+// therefore the original edge ids, since the sorted edge list is
+// determined by the names).
+func RelabelInverse(g *Graph, perm []NodeID) (*Graph, []EdgeID, error) {
+	return Relabel(g, InversePerm(perm))
+}
+
+// IsDegreeSorted reports whether g's nodes are already in descending
+// out-degree order — the layout DegreePerm produces. Useful to detect a
+// relabeled CSR without carrying the permutation around.
+func IsDegreeSorted(g *Graph) bool {
+	for v := 1; v < g.NumNodes(); v++ {
+		if g.OutDegree(NodeID(v)) > g.OutDegree(NodeID(v-1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeStats summarizes g's out-degree distribution: the maximum, the
+// mean, and the 99th percentile (the degree at rank ceil(0.99·n) of the
+// ascending order; the maximum for tiny graphs).
+func DegreeStats(g *Graph) (max int, mean float64, p99 int) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	degs := make([]int, n)
+	total := 0
+	for v := range degs {
+		d := g.OutDegree(NodeID(v))
+		degs[v] = d
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	sort.Ints(degs)
+	r := (99*n + 99) / 100 // ceil(0.99·n), 1-based rank
+	if r > n {
+		r = n
+	}
+	p99 = degs[r-1]
+	return max, float64(total) / float64(n), p99
+}

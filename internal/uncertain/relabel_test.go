@@ -1,0 +1,126 @@
+package uncertain
+
+import (
+	"testing"
+)
+
+func relabelTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(6).SetName("relabel-test")
+	// Node 3 is the hub (out-degree 3), node 0 has none.
+	edges := []Edge{
+		{From: 3, To: 0, P: 0.5},
+		{From: 3, To: 1, P: 0.25},
+		{From: 3, To: 5, P: 0.75},
+		{From: 1, To: 2, P: 0.5},
+		{From: 1, To: 4, P: 0.9},
+		{From: 2, To: 3, P: 0.1},
+	}
+	for _, e := range edges {
+		b.MustAddEdge(e.From, e.To, e.P)
+	}
+	return b.Build()
+}
+
+func TestDegreePermSortsHubsFirst(t *testing.T) {
+	g := relabelTestGraph(t)
+	perm := DegreePerm(g)
+	// Descending out-degree, ties by old id: 3(3), 1(2), 2(1), then 0, 4, 5.
+	want := []NodeID{3, 1, 2, 0, 4, 5} // order[new] = old
+	inv := InversePerm(perm)
+	for newID, old := range want {
+		if inv[newID] != old {
+			t.Fatalf("rank %d: node %d, want %d (inv=%v)", newID, inv[newID], old, inv)
+		}
+	}
+	rg, _, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDegreeSorted(rg) {
+		t.Fatalf("relabeled graph not degree-sorted")
+	}
+	if IsDegreeSorted(g) {
+		t.Fatalf("original graph reports degree-sorted")
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := relabelTestGraph(t)
+	perm := DegreePerm(g)
+	rg, edgeMap, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumNodes() != g.NumNodes() || rg.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d vs %d/%d", rg.NumNodes(), rg.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if rg.Name() != g.Name() {
+		t.Fatalf("name changed: %q", rg.Name())
+	}
+	// Every old edge must reappear under its mapped id with renamed
+	// endpoints and the same probability.
+	seen := make([]bool, g.NumEdges())
+	for id := 0; id < g.NumEdges(); id++ {
+		old := g.Edge(EdgeID(id))
+		ne := rg.Edge(edgeMap[id])
+		if ne.From != perm[old.From] || ne.To != perm[old.To] || ne.P != old.P {
+			t.Fatalf("edge %d: got %+v, want (%d->%d p=%v)", id, ne, perm[old.From], perm[old.To], old.P)
+		}
+		if seen[edgeMap[id]] {
+			t.Fatalf("edge map not injective at %d", edgeMap[id])
+		}
+		seen[edgeMap[id]] = true
+	}
+}
+
+func TestRelabelInverseRoundTrips(t *testing.T) {
+	g := relabelTestGraph(t)
+	perm := DegreePerm(g)
+	rg, _, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := RelabelInverse(rg, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		if back.Edge(EdgeID(id)) != g.Edge(EdgeID(id)) {
+			t.Fatalf("edge %d: %+v != %+v", id, back.Edge(EdgeID(id)), g.Edge(EdgeID(id)))
+		}
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := relabelTestGraph(t)
+	for _, perm := range [][]NodeID{
+		{0, 1, 2},             // wrong length
+		{0, 1, 2, 3, 4, 9},    // out of range
+		{0, 1, 2, 3, 4, 4},    // duplicate
+		{0, 1, 2, 3, 4, -1},   // negative
+		{5, 4, 3, 2, 1, 0, 0}, // wrong length (long)
+	} {
+		if _, _, err := Relabel(g, perm); err == nil {
+			t.Fatalf("perm %v accepted", perm)
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := relabelTestGraph(t)
+	max, mean, p99 := DegreeStats(g)
+	if max != 3 {
+		t.Fatalf("max = %d, want 3", max)
+	}
+	if mean != 1.0 { // 6 edges / 6 nodes
+		t.Fatalf("mean = %v, want 1", mean)
+	}
+	if p99 != 3 { // rank ceil(0.99*6)=6 of [0 0 0 1 2 3]
+		t.Fatalf("p99 = %d, want 3", p99)
+	}
+	empty := NewBuilder(0).Build()
+	if m, me, p := DegreeStats(empty); m != 0 || me != 0 || p != 0 {
+		t.Fatalf("empty stats = %d %v %d", m, me, p)
+	}
+}

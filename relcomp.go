@@ -121,6 +121,16 @@ func NewParallelPackMC(g *Graph, seed uint64, workers int) Estimator {
 	return core.NewParallelPackMC(g, seed, workers)
 }
 
+// NewWidePackMC returns the wide-lane world-packed estimator: lanes (256
+// or 512) worlds per traversal as unrolled lane groups, with fused
+// multi-word mask draws (AVX-512 accelerated where available), a dense
+// bitmap sweep for saturated frontiers, and arena-recycled scratch. Its
+// estimates are bit-identical to NewPackMC's repeated 64-world packs
+// with the same seed at every width.
+func NewWidePackMC(g *Graph, seed uint64, lanes int) Estimator {
+	return core.NewWidePackMC(g, seed, lanes)
+}
+
 // Estimators returns fresh instances of the paper's six estimators, in
 // table order, sharing the graph. The BFS Sharing index is sized for
 // Estimate calls up to maxK samples.
