@@ -649,3 +649,71 @@ func BenchmarkOverload(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMutateQuery is the sustained dynamic-graph workload: each
+// iteration commits one topology-preserving update batch and then pushes
+// the mixed BFSSharing+ProbTree batch through the new epoch. The post-run
+// gate asserts the engine repaired its indexes incrementally on every
+// commit — zero full rebuilds — which is the contract for update/remove
+// churn below the ProbTree rebuild threshold.
+func BenchmarkMutateQuery(b *testing.B) {
+	g, queries := engineBenchWorkload(b)
+	// A slice of ProbTree queries keeps both offline indexes hot, so a
+	// commit must repair both.
+	for i := 0; i < 8 && i < len(queries); i++ {
+		q := queries[i]
+		q.Estimator = "ProbTree"
+		queries = append(queries, q)
+	}
+	eng, err := NewEngine(g, EngineConfig{Workers: 8, MaxK: 250, Seed: 7, CacheSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm pools and build both indexes
+		eng.EstimateBatch(ctx, queries)
+	}
+
+	// Oscillate the probability of a rotating set of edges, one small
+	// batch per iteration. Updates never change topology, so the ProbTree
+	// churn counter must stay under the rebuild threshold forever.
+	edges := make([]Edge, 0, 16)
+	for v := 0; v < g.NumNodes() && len(edges) < cap(edges); v++ {
+		for _, id := range g.OutEdgeIDs(NodeID(v)) {
+			if len(edges) == cap(edges) {
+				break
+			}
+			edges = append(edges, g.Edge(id))
+		}
+	}
+	if len(edges) == 0 {
+		b.Fatal("workload graph has no edges")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		// Flip each edge's probability on alternate rotations, so every
+		// commit really changes the graph (a same-value update would be
+		// recognized as a no-op and skip the repair path entirely).
+		muts := []Mutation{{Op: OpUpdateEdgeProb, From: e.From, To: e.To, P: 0.25 + 0.5*float64(i/len(edges)%2)}}
+		if _, err := eng.Apply(ctx, muts); err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range eng.EstimateBatch(ctx, queries) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+
+	st := eng.Stats()
+	if st.Mutations.IndexRebuilds != 0 {
+		b.Fatalf("update-only churn forced %d full index rebuilds; repair path not engaged", st.Mutations.IndexRebuilds)
+	}
+	b.ReportMetric(float64(st.Mutations.IndexRepairs)/float64(b.N), "repairs/op")
+	b.ReportMetric(float64(st.Mutations.InvalidatedSources)/float64(b.N), "invalidated/op")
+	b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+}

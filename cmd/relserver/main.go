@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -94,8 +95,11 @@ func main() {
 		defer snap.Close()
 		g = snap.Graph
 		srv = newServer(g, eng)
-		log.Printf("relserver: snapshot %s loaded in %s (mapped=%v, %d bytes)",
-			*snapPath, time.Since(start).Round(time.Millisecond), snap.Mapped(), snap.SizeBytes())
+		if err := attachSidecar(srv, *snapPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("relserver: snapshot %s loaded in %s (mapped=%v, %d bytes, epoch %d)",
+			*snapPath, time.Since(start).Round(time.Millisecond), snap.Mapped(), snap.SizeBytes(), eng.Epoch())
 	} else {
 		var err error
 		if *graphFile != "" {
@@ -159,6 +163,62 @@ func main() {
 		}
 		log.Print("relserver: drained, bye")
 	}
+}
+
+// attachSidecar wires the snapshot's sidecar mutation log into the
+// server: an existing sidecar is replayed — its first batch must chain
+// from the snapshot's manifest epoch — catching the engine up from the
+// snapshot state to the live epoch, and the file is then held open for
+// append so future /v1/mutate batches persist across restarts. A missing
+// sidecar is created (header only).
+func attachSidecar(srv *server, snapPath string) error {
+	path := relcomp.MutationSidecarPath(snapPath)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("relserver: sidecar %s: %v", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("relserver: sidecar %s: %v", path, err)
+	}
+	if info.Size() == 0 {
+		if err := relcomp.WriteMutationSidecarHeader(f); err != nil {
+			f.Close()
+			return fmt.Errorf("relserver: sidecar %s: %v", path, err)
+		}
+	} else {
+		batches, err := relcomp.ReadMutationSidecar(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("relserver: sidecar %s: %v", path, err)
+		}
+		if len(batches) > 0 {
+			if want := srv.engine.Epoch() + 1; batches[0].Epoch != want {
+				f.Close()
+				return fmt.Errorf("relserver: sidecar %s starts at epoch %d, which does not chain from snapshot epoch %d",
+					path, batches[0].Epoch, srv.engine.Epoch())
+			}
+			for _, b := range batches {
+				epoch, err := srv.engine.Apply(context.Background(), b.Muts)
+				if err != nil {
+					f.Close()
+					return fmt.Errorf("relserver: sidecar %s replay of epoch %d: %v", path, b.Epoch, err)
+				}
+				if epoch != b.Epoch {
+					f.Close()
+					return fmt.Errorf("relserver: sidecar %s replay desynced: applied epoch %d, recorded %d", path, epoch, b.Epoch)
+				}
+			}
+			log.Printf("relserver: replayed %d sidecar batches to epoch %d", len(batches), srv.engine.Epoch())
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return fmt.Errorf("relserver: sidecar %s: %v", path, err)
+		}
+	}
+	srv.sidecar = f
+	return nil
 }
 
 // openVerifiedSnapshot opens and verifies the snapshot, preferring the

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,7 +37,9 @@ import (
 //	GET  /v1/estimate                          alias of /v1/reliability
 //	GET  /v1/bounds?s=0&t=5                    analytic bounds + best path
 //	GET  /v1/topk?s=0&n=10&k=1000              alias of /v1/query with kind=topk
-//	GET  /v1/engine/stats                      engine counters (cache, routing, latency, anytime savings, kind mix)
+//	POST /v1/mutate                            commit a batch of edge mutations (see mutate.go)
+//	GET  /v1/subscribe?s=0&t=5                 SSE continuous query: re-estimates per relevant mutation batch
+//	GET  /v1/engine/stats                      engine counters (cache, routing, latency, anytime savings, kind mix, mutations)
 //
 // All query traffic — every kind — goes through the concurrent batch
 // query engine (relcomp.Engine): per-estimator instance pools replace the
@@ -52,6 +56,12 @@ type server struct {
 	// drain starts so load balancers stop routing before in-flight
 	// requests finish.
 	ready atomic.Bool
+
+	// The dynamic-graph surface (mutate.go). sidecar, when non-nil, is
+	// the snapshot's on-disk mutation log; mutMu orders commits and their
+	// sidecar appends so on-disk epochs stay contiguous.
+	mutMu   sync.Mutex
+	sidecar *os.File
 }
 
 // maxBatchQueries bounds the work and result memory one POST /v1/batch
@@ -89,6 +99,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/bounds", s.handleBounds)
 	mux.HandleFunc("/v1/topk", s.handleTopK)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/engine/stats", s.handleEngineStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -304,10 +316,14 @@ type resultJSON struct {
 	Reliabilities []float64    `json:"reliabilities,omitempty"`
 	Cached        bool         `json:"cached"`
 	Degraded      bool         `json:"degraded,omitempty"`
-	TimeMs        float64      `json:"timeMs"`
-	SamplesUsed   int          `json:"samples_used"`
-	StopReason    string       `json:"stop_reason,omitempty"`
-	Error         string       `json:"error,omitempty"`
+	// Epoch is the mutation epoch the answer was computed under; cached
+	// answers for sources no mutation has touched may report an earlier
+	// epoch than the engine's current one (the value is identical).
+	Epoch       uint64  `json:"epoch"`
+	TimeMs      float64 `json:"timeMs"`
+	SamplesUsed int     `json:"samples_used"`
+	StopReason  string  `json:"stop_reason,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 func toJSON(res relcomp.Response) resultJSON {
@@ -330,6 +346,7 @@ func toJSON(res relcomp.Response) resultJSON {
 		Reliabilities: res.Reliabilities,
 		Cached:        res.Cached,
 		Degraded:      res.Degraded,
+		Epoch:         res.Epoch,
 		TimeMs:        float64(res.Latency.Microseconds()) / 1000,
 		SamplesUsed:   res.SamplesUsed,
 		StopReason:    res.StopReason,

@@ -136,6 +136,26 @@ func runInspect(args []string) error {
 	}
 	fmt.Printf("manifest: %s\n", man)
 	fmt.Printf("mapped:   %v\nsize:     %d bytes\n", snap.Mapped(), snap.SizeBytes())
+	fmt.Printf("epoch:    %d\n", snap.Manifest.Epoch)
+
+	// A sidecar mutation log (<snapshot>.mutlog) carries batches committed
+	// after the snapshot was taken; relserver replays it at startup.
+	side := relcomp.MutationSidecarPath(args[0])
+	switch batches, found, serr := readSidecarFile(side); {
+	case serr != nil:
+		fmt.Printf("sidecar:  %s (unreadable: %v)\n", side, serr)
+	case !found:
+		fmt.Printf("sidecar:  none\n")
+	case len(batches) == 0:
+		fmt.Printf("sidecar:  %s (header only, no batches)\n", side)
+	default:
+		muts := 0
+		for _, b := range batches {
+			muts += len(b.Muts)
+		}
+		fmt.Printf("sidecar:  %s (%d batches, %d mutations, epochs %d..%d)\n",
+			side, len(batches), muts, batches[0].Epoch, batches[len(batches)-1].Epoch)
+	}
 
 	// Degree shape drives estimator cache behavior (the wide kernels walk
 	// the out-CSR), so inspect surfaces it next to the layout provenance.
@@ -169,9 +189,45 @@ func runVerify(args []string) error {
 	if err := snap.Verify(); err != nil {
 		return err
 	}
-	fmt.Printf("ok: %s n=%d m=%d bfs=%v probtree=%v (%d bytes, verified in %s)\n",
-		snap.Manifest.GraphName, snap.Graph.NumNodes(), snap.Graph.NumEdges(),
-		snap.BFS != nil, snap.ProbTree != nil, snap.SizeBytes(),
+
+	// A sidecar mutation log is part of the served state: verify fails if
+	// it is unreadable or its first batch does not chain from the
+	// snapshot's manifest epoch (relserver would refuse to replay it).
+	sideName := "none"
+	side := relcomp.MutationSidecarPath(args[0])
+	batches, found, err := readSidecarFile(side)
+	if err != nil {
+		return fmt.Errorf("sidecar %s: %v", side, err)
+	}
+	if found {
+		sideName = "ok(empty)"
+		if len(batches) > 0 {
+			if batches[0].Epoch != snap.Manifest.Epoch+1 {
+				return fmt.Errorf("sidecar %s starts at epoch %d, which does not chain from snapshot epoch %d",
+					side, batches[0].Epoch, snap.Manifest.Epoch)
+			}
+			sideName = fmt.Sprintf("ok(epochs %d..%d)", batches[0].Epoch, batches[len(batches)-1].Epoch)
+		}
+	}
+	fmt.Printf("ok: %s n=%d m=%d epoch=%d bfs=%v probtree=%v sidecar=%s (%d bytes, verified in %s)\n",
+		snap.Manifest.GraphName, snap.Graph.NumNodes(), snap.Graph.NumEdges(), snap.Manifest.Epoch,
+		snap.BFS != nil, snap.ProbTree != nil, sideName, snap.SizeBytes(),
 		time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// readSidecarFile loads the sidecar mutation log at path. A missing file
+// reports found=false: snapshots without mutation history are the common
+// case, not an error.
+func readSidecarFile(path string) (batches []relcomp.MutationBatch, found bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	batches, err = relcomp.ReadMutationSidecar(f)
+	return batches, true, err
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relcomp"
+)
+
+func buildTestSnapshot(t *testing.T) string {
+	t.Helper()
+	g, err := relcomp.Dataset("lastFM", 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relcomp.WriteEngineSnapshot(f, g, relcomp.EngineConfig{Seed: 1, MaxK: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeSidecar(t *testing.T, snapPath string, batches []relcomp.MutationBatch) {
+	t.Helper()
+	f, err := os.Create(relcomp.MutationSidecarPath(snapPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relcomp.WriteMutationSidecar(f, batches); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifySidecarChain: verify accepts a missing or chaining sidecar
+// and rejects one whose first batch does not follow the manifest epoch.
+func TestVerifySidecarChain(t *testing.T) {
+	path := buildTestSnapshot(t)
+	if err := runVerify([]string{path}); err != nil {
+		t.Fatalf("verify without sidecar: %v", err)
+	}
+
+	chain := []relcomp.MutationBatch{
+		{Epoch: 1, Muts: []relcomp.Mutation{{Op: relcomp.OpUpdateEdgeProb, From: 0, To: 1, P: 0.5}}},
+		{Epoch: 2, Muts: []relcomp.Mutation{{Op: relcomp.OpRemoveEdge, From: 0, To: 1}}},
+	}
+	writeSidecar(t, path, chain)
+	if err := runVerify([]string{path}); err != nil {
+		t.Fatalf("verify with chaining sidecar: %v", err)
+	}
+
+	writeSidecar(t, path, []relcomp.MutationBatch{chain[1]}) // starts at 2, manifest is 0
+	err := runVerify([]string{path})
+	if err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("non-chaining sidecar: err = %v, want chain error", err)
+	}
+}
+
+func TestInspectRuns(t *testing.T) {
+	path := buildTestSnapshot(t)
+	if err := runInspect([]string{path}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	writeSidecar(t, path, []relcomp.MutationBatch{
+		{Epoch: 1, Muts: []relcomp.Mutation{{Op: relcomp.OpRemoveEdge, From: 0, To: 1}}},
+	})
+	if err := runInspect([]string{path}); err != nil {
+		t.Fatalf("inspect with sidecar: %v", err)
+	}
+}

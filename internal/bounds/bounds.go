@@ -169,6 +169,11 @@ func mostReliablePathAvoiding(g *uncertain.Graph, s, t uncertain.NodeID, removed
 		if removed[[2]uncertain.NodeID{e.From, e.To}] {
 			continue
 		}
+		// Tombstoned edges (p = 0, from dynamic-graph removal) lie on no
+		// path; dropping them here keeps the Builder's (0,1] invariant.
+		if e.P <= 0 {
+			continue
+		}
 		b.MustAddEdge(e.From, e.To, e.P)
 	}
 	return MostReliablePath(b.Build(), s, t)

@@ -45,8 +45,24 @@ import (
 // harness, which charges an index redraw between independent runs, not for
 // shared serving.
 type BFSIndex struct {
-	g   *uncertain.Graph
-	rng *rng.Source // sampling stream; used only while (re)building
+	g *uncertain.Graph
+
+	// Row streams are counter-based: every edge's bit vector is drawn from
+	// its own stream seeded by (seed, gen, edge id, range start), so one
+	// edge's worlds can be redrawn — after a probability mutation — without
+	// touching, or even reading, any other row. gen distinguishes
+	// independent full redraws (the convergence harness charges one per
+	// run); the engine never resamples, so its indexes stay at gen 0 and an
+	// incrementally repaired index is bit-identical to a fresh build over
+	// the mutated graph.
+	seed uint64
+	gen  uint64
+	row  *rng.Source // reusable stream, reseeded per row while (re)building
+
+	// reseeded marks a Reseed whose redraw has not happened yet: the next
+	// Resample keeps gen 0 so Reseed(s)+Resample reproduces NewBFSIndex(s)
+	// exactly, as the sequential-stream implementation did.
+	reseeded bool
 
 	width    int // L: bits sampled per edge in the index
 	valid    int // bits [0, valid) are from the latest draw
@@ -66,13 +82,21 @@ func NewBFSIndex(g *uncertain.Graph, seed uint64, width int) *BFSIndex {
 	}
 	ix := &BFSIndex{
 		g:        g,
-		rng:      rng.New(seed),
+		seed:     seed,
+		row:      rng.New(0),
 		width:    width,
 		edgeBits: bitvec.NewArena(g.NumEdges(), width),
 	}
 	ix.resampleRange(0, width)
 	ix.valid = width
 	return ix
+}
+
+// rowSeed keys edge id's stream for a draw starting at bit lo. The range
+// start participates so a lazy tail refresh ([valid, k), see ensureValid)
+// and a prefix draw ([0, k)) are independent rather than replays.
+func (ix *BFSIndex) rowSeed(id, lo int) uint64 {
+	return mix(ix.seed, ix.gen, uint64(uint32(id))<<32|uint64(uint32(lo)))
 }
 
 // resampleRange redraws bits [lo, hi) of every edge vector, leaving bits
@@ -86,16 +110,71 @@ func (ix *BFSIndex) resampleRange(lo, hi int) {
 	}
 	g := ix.g
 	for id := 0; id < g.NumEdges(); id++ {
-		ix.rng.FillMask(ix.edgeBits.Vec(id), lo, hi, g.Edge(uncertain.EdgeID(id)).P)
+		ix.row.Seed(ix.rowSeed(id, lo))
+		ix.row.FillMask(ix.edgeBits.Vec(id), lo, hi, g.Edge(uncertain.EdgeID(id)).P)
 	}
+}
+
+// repairRow redraws one edge's full row from its counter-based stream —
+// exactly the bits a from-scratch build at the current (seed, gen) would
+// give it.
+func (ix *BFSIndex) repairRow(id int) {
+	ix.row.Seed(ix.rowSeed(id, 0))
+	ix.row.FillMask(ix.edgeBits.Vec(id), 0, ix.width, ix.g.Edge(uncertain.EdgeID(id)).P)
+}
+
+// Repair returns a new index over newG in which only the rows named in
+// changed are redrawn; every other row's words are copied verbatim.
+// newG must preserve ix's edge ids (it may append new ones past the old
+// range — ApplyDeltas guarantees both). The receiver is not modified, so
+// Repair works on a frozen snapshot-mapped index too; the result owns its
+// words and is never frozen. At gen 0 — the engine's case — the result is
+// bit-identical to NewBFSIndex(newG, seed, width).
+func (ix *BFSIndex) Repair(newG *uncertain.Graph, changed []uncertain.EdgeID) *BFSIndex {
+	oldM, newM := ix.g.NumEdges(), newG.NumEdges()
+	if newM < oldM {
+		panic("core: BFSSharing repair target graph has fewer edges than the index")
+	}
+	out := &BFSIndex{
+		g:        newG,
+		seed:     ix.seed,
+		gen:      ix.gen,
+		row:      rng.New(0),
+		width:    ix.width,
+		valid:    ix.valid,
+		edgeBits: bitvec.NewArena(newM, ix.width),
+	}
+	for id := 0; id < oldM; id++ {
+		copy(out.edgeBits.Vec(id), ix.edgeBits.Vec(id))
+	}
+	for id := oldM; id < newM; id++ {
+		out.repairRow(id)
+	}
+	for _, id := range changed {
+		if int(id) < oldM {
+			out.repairRow(int(id))
+		}
+	}
+	return out
 }
 
 // Resample regenerates the whole index. The paper (Table 15) charges this
 // per query when successive queries must be independent. Requires
 // exclusive ownership of the index.
 func (ix *BFSIndex) Resample() {
+	ix.nextGen()
 	ix.resampleRange(0, ix.width)
 	ix.valid = ix.width
+}
+
+// nextGen advances to the next independent draw, except immediately after
+// a Reseed, whose first redraw is the new seed's canonical gen-0 draw.
+func (ix *BFSIndex) nextGen() {
+	if ix.reseeded {
+		ix.reseeded = false
+		return
+	}
+	ix.gen++
 }
 
 // ResamplePrefix regenerates only the first k bits of the index, which is
@@ -113,6 +192,7 @@ func (ix *BFSIndex) ResamplePrefix(k int) {
 	if k < 0 {
 		k = 0
 	}
+	ix.nextGen()
 	ix.resampleRange(0, k)
 	ix.valid = k
 }
@@ -448,5 +528,10 @@ func (b *BFSSharing) Resample() { b.ix.Resample() }
 func (b *BFSSharing) ResamplePrefix(k int) { b.ix.ResamplePrefix(k) }
 
 // Reseed implements Seeder. Reseeding alone does not change the index;
-// call Resample afterwards to draw new worlds.
-func (b *BFSSharing) Reseed(seed uint64) { b.ix.rng.Seed(seed) }
+// call Resample afterwards to draw new worlds — the first redraw after a
+// Reseed reproduces NewBFSIndex(g, seed, width) bit for bit.
+func (b *BFSSharing) Reseed(seed uint64) {
+	b.ix.seed = seed
+	b.ix.gen = 0
+	b.ix.reseeded = true
+}

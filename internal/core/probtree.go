@@ -245,6 +245,122 @@ func (ix *ProbTreeIndex) build() {
 	}
 }
 
+// DefaultProbTreeChurn returns the default repair budget for a graph of m
+// edges: the number of changed edges above which Repair falls back to a
+// full rebuild. Repair walks every bag's raw list plus the dirty
+// contribution chains, so its advantage over a rebuild (which also redoes
+// elimination and every contribution) erodes as churn approaches the
+// edge count; one eighth is a comfortable margin.
+func DefaultProbTreeChurn(m int) int {
+	if c := m / 8; c > 16 {
+		return c
+	}
+	return 16
+}
+
+// Repair derives the index for newG from this one after a batch of edge
+// changes. The decomposition's structure (bags, parent links, bagOf) is a
+// pure function of adjacency, so a probability-only change — including
+// tombstoning an edge to 0 or resurrecting one — keeps the structure and
+// only patches the dirty bags: the raw-edge copies whose probability
+// moved, then the contribution chains above them, bottom-up, recomputing
+// a parent only while a child's contribution actually changed. The
+// receiver is never modified; untouched bags share their slices with it.
+//
+// If newG adds new adjacency (appended edge ids) or the change exceeds
+// maxChanged edges (<= 0 selects DefaultProbTreeChurn), repair cannot
+// keep the structure and a full rebuild runs instead; the boolean
+// reports which path was taken (true = rebuilt). Either way the result
+// is identical to NewProbTreeIndex(newG, width) — Repair recomputes the
+// same deterministic folds in the same order — so queriers over a
+// repaired index answer bit-identically to a from-scratch build.
+func (ix *ProbTreeIndex) Repair(newG *uncertain.Graph, changed []uncertain.EdgeID, maxChanged int) (*ProbTreeIndex, bool) {
+	if maxChanged <= 0 {
+		maxChanged = DefaultProbTreeChurn(ix.g.NumEdges())
+	}
+	oldM := ix.g.NumEdges()
+	rebuild := newG.NumEdges() != oldM || len(changed) > maxChanged
+	for _, id := range changed {
+		if int(id) >= oldM {
+			rebuild = true
+		}
+	}
+	if rebuild {
+		return NewProbTreeIndex(newG, ix.width), true
+	}
+
+	out := &ProbTreeIndex{
+		g:     newG,
+		width: ix.width,
+		bags:  append([]ptBag(nil), ix.bags...),
+		root:  ix.root,
+		bagOf: ix.bagOf,
+	}
+
+	// Patch the raw copies. Directed pairs are unique after the Builder's
+	// parallel merge and every edge is owned by exactly one bag, so a
+	// value match on (from, to) locates each changed id exactly once.
+	want := make(map[[2]uncertain.NodeID]float64, len(changed))
+	for _, id := range changed {
+		e := newG.Edge(id)
+		want[[2]uncertain.NodeID{e.From, e.To}] = e.P
+	}
+	dirty := make([]bool, len(out.bags))
+	found := 0
+	for bi := range out.bags {
+		b := &out.bags[bi]
+		copied := false
+		for si, e := range b.raw {
+			p, ok := want[[2]uncertain.NodeID{e.From, e.To}]
+			if !ok {
+				continue
+			}
+			if !copied {
+				b.raw = append([]uncertain.Edge(nil), b.raw...)
+				copied = true
+			}
+			b.raw[si].P = p
+			found++
+		}
+		if copied {
+			dirty[bi] = true
+		}
+	}
+	if found != len(want) {
+		panic("core: ProbTree repair could not locate every changed edge in the decomposition")
+	}
+
+	// Recompute dirty contribution chains bottom-up. Bags were created in
+	// elimination order (children before parents), so one forward pass
+	// sees every dirty child before its parent; an unchanged recomputed
+	// contribution stops the propagation — the parent's inputs are then
+	// byte-identical to a fresh build's.
+	for i := range out.bags {
+		if i == out.root || !dirty[i] {
+			continue
+		}
+		old := out.bags[i].contrib
+		out.bags[i].contrib = nil
+		out.computeContribution(i)
+		if p := out.bags[i].parent; p >= 0 && !edgeListsEqual(old, out.bags[i].contrib) {
+			dirty[p] = true
+		}
+	}
+	return out, false
+}
+
+func edgeListsEqual(a, b []uncertain.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // eliminate removes v into a new bag, marking its incident unmarked edges
 // and adding the fill-in clique among its neighbors. It returns v's
 // neighbors so the caller can refresh its elimination worklist.
@@ -502,15 +618,25 @@ func (q *ProbTreeQuerier) buildSpliced(s, t uncertain.NodeID, edges []uncertain.
 			id++
 		}
 	}
+	// Tombstoned edges (p = 0, from dynamic-graph removal) stay in the
+	// bags' raw lists — keeping slot order stable is what makes a repaired
+	// index byte-identical to a fresh build — but they exist in no world,
+	// so the splice drops them here, before the Builder's (0,1] check.
 	intern(s)
 	intern(t)
 	for _, e := range edges {
+		if e.P <= 0 {
+			continue
+		}
 		intern(e.From)
 		intern(e.To)
 	}
 
 	qb := uncertain.NewBuilder(int(id)).SetName("probtree-query")
 	for _, e := range edges {
+		if e.P <= 0 {
+			continue
+		}
 		qb.MustAddEdge(nodeOf[e.From], nodeOf[e.To], e.P)
 	}
 	return qb.Build(), nodeOf[s], nodeOf[t]

@@ -74,7 +74,8 @@ func bfsIndexFromFile(g *uncertain.Graph, f *snapshot.File, seed uint64) (*BFSIn
 	}
 	return &BFSIndex{
 		g:        g,
-		rng:      rng.New(seed),
+		seed:     seed,
+		row:      rng.New(0),
 		width:    width,
 		valid:    valid,
 		edgeBits: arena,

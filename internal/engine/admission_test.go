@@ -272,7 +272,7 @@ func TestDegradeRequest(t *testing.T) {
 	if dq.Estimator == "" {
 		t.Fatal("level 2 left the routed query unrouted")
 	}
-	if _, ok := e.pools[dq.Estimator]; !ok {
+	if _, ok := e.state.Load().pools[dq.Estimator]; !ok {
 		t.Fatalf("level 2 picked unknown estimator %q", dq.Estimator)
 	}
 	// An explicit estimator choice is respected at level 2.

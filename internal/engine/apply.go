@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"relcomp/internal/core"
+	"relcomp/internal/mutate"
+	"relcomp/internal/uncertain"
+)
+
+// errEmptyBatch rejects Apply calls with nothing to commit: an empty
+// batch would burn an epoch (invalidating nothing, notifying every
+// subscriber) without recording any change.
+var errEmptyBatch = errors.New("engine: empty mutation batch")
+
+// mutationAdmitCost is the admission cost of one mutation, in the sample
+// units the MaxInflightSamples budget is denominated in. A mutation batch
+// competes with queries for the same budget: applying a batch rebuilds
+// pools and repairs indexes, work on the order of a medium sampling query
+// per mutation, so batches are costed accordingly instead of slipping
+// past admission at zero weight.
+const mutationAdmitCost = 64
+
+// Apply commits one batch of mutations atomically: it validates every
+// mutation against the current graph (rejecting the whole batch on the
+// first bad one), derives the successor graph, repairs whichever offline
+// indexes have been built (incrementally — see core.BFSIndex.Repair and
+// core.ProbTreeIndex.Repair — falling back to a rebuild only above the
+// ProbTree churn threshold), bumps the invalidation tag of exactly the
+// sources that can reach a changed edge, publishes the successor state,
+// and records the batch in the mutation log. It returns the new epoch.
+//
+// Concurrent queries are never torn: each query works against the state
+// snapshot it loaded, so it observes the pre-batch world or the
+// post-batch world in full. Batches serialize against each other.
+// Mutations speak caller-side node ids (translated internally under
+// DegreeRelabel); new edges get engine-internal ids and are therefore
+// not addressable as evidence.
+func (e *Engine) Apply(ctx context.Context, muts []mutate.Mutation) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
+	}
+	if len(muts) == 0 {
+		return 0, errEmptyBatch
+	}
+	if e.adm != nil {
+		release, _, err := e.adm.acquire(ctx, int64(len(muts))*mutationAdmitCost, e.mutationKey(muts))
+		if err != nil {
+			return 0, err
+		}
+		defer release()
+	}
+
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	st := e.state.Load()
+
+	internal := muts
+	if e.relab != nil {
+		internal = make([]mutate.Mutation, len(muts))
+		for i, m := range muts {
+			m.From = e.relab.nodeIn(m.From)
+			m.To = e.relab.nodeIn(m.To)
+			internal[i] = m
+		}
+	}
+	deltas := make([]uncertain.EdgeDelta, len(internal))
+	for i, m := range internal {
+		if err := m.Check(st.g); err != nil {
+			return 0, err
+		}
+		deltas[i] = m.Delta()
+	}
+
+	ng, changed, err := uncertain.ApplyDeltas(st.g, deltas)
+	if err != nil {
+		return 0, err
+	}
+
+	epoch := st.epoch + 1
+	var next *epochState
+	var affected []uncertain.NodeID
+	var repairs, rebuilds uint64
+	if ng == st.g {
+		// The batch had no net effect on the graph (e.g. updates writing
+		// the current probability): the epoch still advances and the batch
+		// is still logged, but every piece of serving state is shared.
+		next = st.sharedSuccessor(epoch)
+	} else {
+		bfsIx := newLazyIndex(func() *core.BFSIndex {
+			return core.NewBFSIndex(ng, replicaSeed(e.cfg.Seed, sharedName), e.cfg.MaxK)
+		})
+		if old, ok := st.bfsIx.peek(); ok {
+			bfsIx = resolvedIndex(old.Repair(ng, changed))
+			repairs++
+		}
+		ptIx := newLazyIndex(func() *core.ProbTreeIndex {
+			return core.NewProbTreeIndex(ng, core.DefaultTreeWidth)
+		})
+		if old, ok := st.ptIx.peek(); ok {
+			nix, rebuilt := old.Repair(ng, changed, 0)
+			ptIx = resolvedIndex(nix)
+			if rebuilt {
+				rebuilds++
+			} else {
+				repairs++
+			}
+		}
+
+		affected = affectedSources(ng, changed)
+		srcEpoch := append([]uint64(nil), st.srcEpoch...)
+		for _, u := range affected {
+			srcEpoch[u] = epoch
+		}
+
+		next, err = buildEpochState(e.cfg, ng, epoch, srcEpoch, bfsIx, ptIx)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	e.state.Store(next)
+	rec := mutate.Batch{Epoch: epoch, Muts: append([]mutate.Mutation(nil), muts...)}
+	if err := e.log.Append(rec); err != nil {
+		// applyMu serializes commits, so the log's chain can only break if
+		// the engine's own bookkeeping is wrong.
+		panic(fmt.Sprintf("engine: mutation log out of sync: %v", err))
+	}
+
+	e.mu.Lock()
+	e.mutBatches++
+	e.mutApplied += uint64(len(muts))
+	e.srcInvalidated += uint64(len(affected))
+	e.idxRepairs += repairs
+	e.idxRebuilds += rebuilds
+	e.mu.Unlock()
+
+	e.notifySubs()
+	return epoch, nil
+}
+
+// affectedSources returns every node from which some changed edge is
+// reachable — the sources whose reliability answers a batch may have
+// moved, found by one multi-source BFS over the reverse adjacency seeded
+// at the changed edges' tails. The walk is over topology alone (tombstoned
+// edges are traversed), which makes it conservative in both directions:
+// an edge that was removed still invalidates the sources that could reach
+// it before, and an edge that was added invalidates the sources that can
+// reach it now. R(s, ·), the analytic bounds, and every source-rooted
+// kind depend only on s's reachable subgraph, so sources outside this set
+// provably answer identically pre- and post-batch.
+func affectedSources(g *uncertain.Graph, changed []uncertain.EdgeID) []uncertain.NodeID {
+	if len(changed) == 0 {
+		return nil
+	}
+	seen := make([]bool, g.NumNodes())
+	var queue []uncertain.NodeID
+	for _, id := range changed {
+		if u := g.Edge(id).From; !seen[u] {
+			seen[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		for _, u := range g.InNeighbors(queue[i]) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return queue
+}
+
+// mutationKey folds a batch into the deterministic key the admission
+// controller's fault-injection points are consulted with, mirroring
+// admissionKey for queries.
+func (e *Engine) mutationKey(muts []mutate.Mutation) uint64 {
+	var key uint64
+	for _, m := range muts {
+		key = mix64(key ^ querySeed(e.cfg.Seed, "mutate", m.From, m.To, int(m.Op)))
+	}
+	return key
+}

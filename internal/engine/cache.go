@@ -40,6 +40,12 @@ type cacheKey struct {
 	topk     int
 	targets  [2]uint64
 	evidence [2]uint64
+	// epoch is the source's mutation-invalidation tag (epochState.srcEpoch):
+	// a mutation reachable from s bumps the tag, so s's old entries become
+	// unreachable and age out of the LRU, while untouched sources keep
+	// hitting across the epoch bump. The router's bounds memo keys carry
+	// the same tag.
+	epoch uint64
 }
 
 // lruCache is a bounded least-recently-used cache with hit/miss

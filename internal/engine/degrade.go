@@ -69,7 +69,7 @@ func (e *Engine) degradeRequest(q Request, lvl int) (Request, bool) {
 // answer it), and an easy pair under an anytime target converges well
 // under its cap. The memo is only peeked: estimating cost must not pay
 // the bounds walk the estimate exists to predict.
-func (e *Engine) costEstimate(q Request) int64 {
+func (e *Engine) costEstimate(st *epochState, q Request) int64 {
 	cost := int64(q.K)
 	if cost < 1 {
 		cost = 1
@@ -81,7 +81,7 @@ func (e *Engine) costEstimate(q Request) int64 {
 		return 1
 	}
 	if q.Estimator == "" {
-		if lo, hi, ok := e.router.peekBounds(q.S, q.T); ok {
+		if lo, hi, ok := e.router.peekBounds(st.srcTag(q.S), q.S, q.T); ok {
 			switch width := hi - lo; {
 			case width <= e.router.cutoff:
 				cost = 1
@@ -103,11 +103,11 @@ func (e *Engine) admissionKey(q Request) uint64 {
 }
 
 // admit runs one request through admission control; see admission.acquire.
-func (e *Engine) admit(ctx context.Context, q Request) (release func(), level int, err error) {
+func (e *Engine) admit(ctx context.Context, st *epochState, q Request) (release func(), level int, err error) {
 	if e.adm == nil {
 		return func() {}, 0, nil
 	}
-	return e.adm.acquire(ctx, e.costEstimate(q), e.admissionKey(q))
+	return e.adm.acquire(ctx, e.costEstimate(st, q), e.admissionKey(q))
 }
 
 // admitBatch admits a whole batch as one request costed at the sum of its
@@ -115,14 +115,14 @@ func (e *Engine) admit(ctx context.Context, q Request) (release func(), level in
 // its true weight, not as one unit — keyed by a fold of the per-query
 // admission keys so batch-level injection decisions are as deterministic
 // as per-query ones.
-func (e *Engine) admitBatch(ctx context.Context, queries []Query) (release func(), level int, err error) {
+func (e *Engine) admitBatch(ctx context.Context, st *epochState, queries []Query) (release func(), level int, err error) {
 	if e.adm == nil {
 		return func() {}, 0, nil
 	}
 	var cost int64
 	var key uint64
 	for _, q := range queries {
-		cost += e.costEstimate(q)
+		cost += e.costEstimate(st, q)
 		key = mix64(key ^ e.admissionKey(q))
 	}
 	return e.adm.acquire(ctx, cost, key)

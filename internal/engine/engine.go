@@ -58,10 +58,12 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relcomp/internal/core"
 	"relcomp/internal/faultinject"
+	"relcomp/internal/mutate"
 	"relcomp/internal/uncertain"
 )
 
@@ -132,6 +134,14 @@ type Config struct {
 	// written by a relabeling engine carry the permutation, and
 	// NewFromSnapshot restores it without re-relabeling.
 	DegreeRelabel bool
+	// BaseEpoch is the mutation epoch of the supplied graph: 0 for a
+	// fresh build, the manifest epoch when resuming from a snapshot (set
+	// by NewFromSnapshot). Engine.Apply numbers committed batches from
+	// here, and the engine's mutation log chains from it.
+	BaseEpoch uint64
+	// MutationLogLimit bounds the in-memory replay buffer of committed
+	// mutation batches; <= 0 selects mutate.DefaultLogLimit.
+	MutationLogLimit int
 }
 
 // PreloadedIndexes carries pre-built offline indexes into New. Each index
@@ -151,26 +161,33 @@ type PreloadedIndexes struct {
 // Engine is the concurrent batch query engine. All methods are safe for
 // concurrent use.
 type Engine struct {
-	g      *uncertain.Graph
-	cfg    Config
-	names  []string // configured estimators, stable order
-	pools  map[string]*pool
+	cfg   Config
+	names []string // configured estimators, stable order
+	// state is the current epoch's graph-derived serving state (graph,
+	// pools, indexes, memos, invalidation tags); see state.go. Queries
+	// load it once and run against that consistent snapshot; Apply swaps
+	// in a successor.
+	state  atomic.Pointer[epochState]
 	cache  *lruCache[cacheVal]
 	router *router
-	// overlays memoizes evidence-conditioned probability overlays of g
-	// (kinds.go), so repeated requests under one evidence set pay the
-	// O(m) overlay build once.
-	overlays *lruCache[*uncertain.Graph]
-	// distPools holds the per-hop-bound replica pools of KindDistance,
-	// created on first demand per d.
-	distMu    sync.Mutex
-	distPools map[int]*pool
 	// relab translates ids between the caller's graph and the served
 	// degree-sorted rename; nil when DegreeRelabel is off (relabel.go).
+	// Mutations never change the node set, so the map survives every
+	// epoch (new edges are engine-internal and not evidence-addressable).
 	relab *relabelMap
 	// adm is the admission controller (admission.go); nil when disabled,
 	// which every acquire/noteDegraded call handles.
 	adm *admission
+	// log records committed mutation batches for replay and subscriber
+	// catch-up; applyMu serializes Apply so epochs chain (apply.go).
+	log     *mutate.Log
+	applyMu sync.Mutex
+
+	// subs is the live subscription registry (subscribe.go); Apply pings
+	// every entry after publishing a new state.
+	subMu  sync.Mutex
+	subs   map[uint64]*Subscription
+	subSeq uint64
 
 	mu      sync.Mutex
 	queries uint64
@@ -183,6 +200,14 @@ type Engine struct {
 	anytimeQueries uint64
 	samplesBudget  uint64
 	samplesDrawn   uint64
+	// Mutation accounting (apply.go): committed batches, individual
+	// mutations applied, sources whose invalidation tag was bumped, and
+	// the incremental-repair vs full-rebuild split of index maintenance.
+	mutBatches     uint64
+	mutApplied     uint64
+	srcInvalidated uint64
+	idxRepairs     uint64
+	idxRebuilds    uint64
 	perEst         map[string]*estCounter
 	perKind        map[Kind]uint64
 }
@@ -199,6 +224,10 @@ type cacheVal struct {
 	top     []core.Reliability
 	samples int
 	reason  string
+	// epoch is the engine epoch the filling computation ran under,
+	// reported on hits via Response.Epoch: a hit for a mutation-unaffected
+	// source may legitimately predate the current epoch.
+	epoch uint64
 }
 
 type estCounter struct {
@@ -245,29 +274,25 @@ func newEngine(g *uncertain.Graph, cfg Config, relab *relabelMap) (*Engine, erro
 		return nil, err
 	}
 	e := &Engine{
-		g:         g,
-		cfg:       cfg,
-		relab:     relab,
-		pools:     make(map[string]*pool, len(cfg.Estimators)),
-		cache:     newLRUCache[cacheVal](cfg.CacheSize),
-		overlays:  newLRUCache[*uncertain.Graph](overlayCacheCap),
-		distPools: make(map[int]*pool),
-		perEst:    make(map[string]*estCounter, len(cfg.Estimators)),
-		perKind:   make(map[Kind]uint64),
+		cfg:     cfg,
+		relab:   relab,
+		cache:   newLRUCache[cacheVal](cfg.CacheSize),
+		log:     mutate.NewLog(cfg.BaseEpoch, cfg.MutationLogLimit),
+		subs:    make(map[uint64]*Subscription),
+		perEst:  make(map[string]*estCounter, len(cfg.Estimators)),
+		perKind: make(map[Kind]uint64),
 	}
+	srcEpoch := make([]uint64, g.NumNodes())
+	for i := range srcEpoch {
+		srcEpoch[i] = cfg.BaseEpoch
+	}
+	bfsIx, ptIx := indexHolders(cfg, g)
+	st, err := buildEpochState(cfg, g, cfg.BaseEpoch, srcEpoch, bfsIx, ptIx)
+	if err != nil {
+		return nil, err
+	}
+	e.state.Store(st)
 	for _, name := range cfg.Estimators {
-		if _, dup := e.pools[name]; dup {
-			return nil, fmt.Errorf("engine: estimator %q configured twice", name)
-		}
-		factory, err := factoryFor(name, g, replicaSeed(cfg.Seed, name), cfg.MaxK, cfg.Workers, cfg.Preloaded)
-		if err != nil {
-			return nil, err
-		}
-		capacity := cfg.Workers
-		if internallyParallel(name) {
-			capacity = 1
-		}
-		e.pools[name] = newPool(capacity, factory)
 		e.names = append(e.names, name)
 		e.perEst[name] = &estCounter{}
 	}
@@ -285,14 +310,14 @@ func newEngine(g *uncertain.Graph, cfg Config, relab *relabelMap) (*Engine, erro
 	// explicit request.
 	var candidates []string
 	for _, name := range e.names {
-		if e.pools[name].capacity >= cfg.Workers {
+		if st.pools[name].capacity >= cfg.Workers {
 			candidates = append(candidates, name)
 		}
 	}
 	if len(candidates) == 0 {
 		candidates = e.names
 	}
-	e.router = newRouter(g, candidates, cfg.BoundsCutoff, cfg.HardWidth, memoSize)
+	e.router = newRouter(candidates, cfg.BoundsCutoff, cfg.HardWidth, memoSize)
 	e.adm = newAdmission(cfg.Admission)
 	return e, nil
 }
@@ -301,31 +326,23 @@ func newEngine(g *uncertain.Graph, cfg Config, relab *relabelMap) (*Engine, erro
 // sizes ParallelMC's internal fan-out, pinning its (otherwise
 // GOMAXPROCS-dependent) sample sharding to the engine config.
 //
-// The index-based estimators build their immutable offline index exactly
-// once per estimator kind — lazily, on the pool's first borrow — and every
-// replica is a lightweight online-scratch handle over that shared index.
-// Engine memory for an index is therefore O(index) regardless of Workers,
-// and only the first borrow pays build latency; all later replicas
-// construct in near-zero time. A preloaded index (validated by New)
-// replaces the lazy build outright, so the first borrow costs nothing.
-func factoryFor(name string, g *uncertain.Graph, seed uint64, maxK, workers int, pre *PreloadedIndexes) (func() core.Estimator, error) {
+// The index-based estimators share the epoch's lazy index cells (see
+// state.go): the immutable offline index is built exactly once per
+// estimator kind — lazily, on the pool's first borrow, or repaired
+// incrementally across mutations — and every replica is a lightweight
+// online-scratch handle over that shared index. Engine memory for an
+// index is therefore O(index) regardless of Workers, and only the first
+// borrow pays build latency; all later replicas construct in near-zero
+// time. A preloaded index (validated by New) resolves the cell up front,
+// so the first borrow costs nothing.
+func factoryFor(name string, g *uncertain.Graph, seed uint64, workers int, bfsIx *lazyIndex[*core.BFSIndex], ptIx *lazyIndex[*core.ProbTreeIndex]) (func() core.Estimator, error) {
 	switch name {
 	case "MC":
 		return func() core.Estimator { return core.NewMC(g, seed) }, nil
 	case "BFSSharing":
-		index := sync.OnceValue(func() *core.BFSIndex { return core.NewBFSIndex(g, seed, maxK) })
-		if pre != nil && pre.BFS != nil {
-			ix := pre.BFS
-			index = func() *core.BFSIndex { return ix }
-		}
-		return func() core.Estimator { return index().Querier() }, nil
+		return func() core.Estimator { return bfsIx.get().Querier() }, nil
 	case "ProbTree":
-		index := sync.OnceValue(func() *core.ProbTreeIndex { return core.NewProbTreeIndex(g, core.DefaultTreeWidth) })
-		if pre != nil && pre.ProbTree != nil {
-			ix := pre.ProbTree
-			index = func() *core.ProbTreeIndex { return ix }
-		}
-		return func() core.Estimator { return index().Querier(seed, nil) }, nil
+		return func() core.Estimator { return ptIx.get().Querier(seed, nil) }, nil
 	case "LP+":
 		return func() core.Estimator { return core.NewLazyProp(g, seed) }, nil
 	case "RHH":
@@ -373,21 +390,29 @@ func (e *Engine) Names() []string {
 	return out
 }
 
-// Graph returns the graph the engine actually serves. Under
-// Config.DegreeRelabel this is the degree-sorted rename, not the
-// constructor's graph — its node and edge ids are the internal ones
-// (Do-borrowed estimators speak them too); the Estimate/EstimateBatch
-// surface translates, this accessor does not.
-func (e *Engine) Graph() *uncertain.Graph { return e.g }
+// Graph returns the graph the engine currently serves (the newest epoch's
+// graph under mutation). Under Config.DegreeRelabel this is the
+// degree-sorted rename, not the constructor's graph — its node and edge
+// ids are the internal ones (Do-borrowed estimators speak them too); the
+// Estimate/EstimateBatch surface translates, this accessor does not.
+func (e *Engine) Graph() *uncertain.Graph { return e.state.Load().g }
+
+// Epoch returns the current mutation epoch: BaseEpoch plus the number of
+// batches Apply has committed.
+func (e *Engine) Epoch() uint64 { return e.state.Load().epoch }
+
+// MutationLog returns the engine's committed-batch log (bounded replay
+// buffer); see mutate.Log.
+func (e *Engine) MutationLog() *mutate.Log { return e.log }
 
 // MaxK returns the per-query sample budget cap.
 func (e *Engine) MaxK() int { return e.cfg.MaxK }
 
 // validate rejects malformed requests before they can reach an estimator
 // (which would panic): the shared budget/stopping/evidence rules, then the
-// kind's own shape.
-func (e *Engine) validate(q Request) error {
-	if err := validateEvidence(e.g, q.Evidence); err != nil {
+// kind's own shape. st is the epoch snapshot the request will run under.
+func (e *Engine) validate(st *epochState, q Request) error {
+	if err := validateEvidence(st.g, q.Evidence); err != nil {
 		return err
 	}
 	if q.Eps < 0 || q.Eps >= 1 {
@@ -397,7 +422,7 @@ func (e *Engine) validate(q Request) error {
 		return fmt.Errorf("engine: negative deadline %v", q.Deadline)
 	}
 	checkBudget := func(t uncertain.NodeID) error {
-		if err := core.CheckQuery(e.g, q.S, t, q.K); err != nil {
+		if err := core.CheckQuery(st.g, q.S, t, q.K); err != nil {
 			return err
 		}
 		if q.K > e.cfg.MaxK {
@@ -413,7 +438,7 @@ func (e *Engine) validate(q Request) error {
 			}
 			// The bounds path draws no samples, so K is unused and a zero
 			// value must not be an error; only the endpoints matter.
-			return core.CheckQuery(e.g, q.S, q.T, 1)
+			return core.CheckQuery(st.g, q.S, q.T, 1)
 		}
 		if err := checkBudget(q.T); err != nil {
 			return err
@@ -425,7 +450,7 @@ func (e *Engine) validate(q Request) error {
 			return nil
 		}
 		if q.Estimator != "" {
-			if _, ok := e.pools[q.Estimator]; !ok {
+			if _, ok := st.pools[q.Estimator]; !ok {
 				return fmt.Errorf("engine: unknown estimator %q", q.Estimator)
 			}
 		}
@@ -451,12 +476,12 @@ func (e *Engine) validate(q Request) error {
 		case q.Estimator != sharedName && !packLike(q.Estimator):
 			return fmt.Errorf("engine: %s queries need a multi-target estimator (BFSSharing or a PackMC width); %q is not one", q.kind(), q.Estimator)
 		default:
-			if _, ok := e.pools[q.Estimator]; !ok {
+			if _, ok := st.pools[q.Estimator]; !ok {
 				return fmt.Errorf("engine: estimator %q not configured", q.Estimator)
 			}
 		}
 		if q.Evidence.Empty() {
-			if _, ok := e.pools[e.kindEstimator(q)]; !ok {
+			if _, ok := st.pools[e.kindEstimator(q)]; !ok {
 				return fmt.Errorf("engine: estimator %q not configured", e.kindEstimator(q))
 			}
 		}
@@ -465,7 +490,7 @@ func (e *Engine) validate(q Request) error {
 		if len(q.Targets) == 0 {
 			return fmt.Errorf("engine: k-terminal query needs at least one target")
 		}
-		n := uncertain.NodeID(e.g.NumNodes())
+		n := uncertain.NodeID(st.g.NumNodes())
 		for _, t := range q.Targets {
 			if t < 0 || t >= n {
 				return fmt.Errorf("engine: k-terminal target %d out of range [0,%d)", t, n)
@@ -503,8 +528,12 @@ func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
-	res := Response{Request: q}
-	if err := e.validate(q); err != nil {
+	// One state load per query: the whole call — validation, routing,
+	// pool borrow, cache keys — runs against this epoch snapshot, so a
+	// concurrent Apply can never hand it a blend of two worlds.
+	st := e.state.Load()
+	res := Response{Request: q, Epoch: st.epoch}
+	if err := e.validate(st, q); err != nil {
 		res.Err = err
 		return res
 	}
@@ -512,7 +541,7 @@ func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 		res.Err = err
 		return res
 	}
-	release, lvl, err := e.admit(ctx, q)
+	release, lvl, err := e.admit(ctx, st, q)
 	if err != nil {
 		res.Err = err
 		return res
@@ -525,11 +554,11 @@ func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 		e.adm.noteDegraded()
 	}
 	if !dq.plainReliability() {
-		e.runKind(ctx, dq, &res)
+		e.runKind(ctx, st, dq, &res)
 		return res
 	}
 	start := time.Now()
-	name, d, done := e.resolve(dq, &res)
+	name, d, done := e.resolve(st, dq, &res)
 	if done {
 		if degraded && res.Used == BoundsName && q.Estimator != BoundsName {
 			// The ladder floor: the request asked for sampling and got the
@@ -539,7 +568,7 @@ func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 		res.Latency = time.Since(start)
 		return res
 	}
-	e.runSingle(ctx, name, d, dq, &res)
+	e.runSingle(ctx, st, name, d, dq, &res)
 	// Report the full cost including any routing bounds walk; the
 	// estimator-only time was already fed to the router inside.
 	res.Latency = time.Since(start)
@@ -552,11 +581,11 @@ func (e *Engine) estimateInternal(ctx context.Context, q Request) Response {
 // fills res in and reports done; no sampling runs at all. For routed
 // queries the returned decision carries the bounds interval, which seeds
 // the anytime stopping layer's prior and chunk schedule.
-func (e *Engine) resolve(q Query, res *Result) (name string, d decision, done bool) {
+func (e *Engine) resolve(st *epochState, q Query, res *Result) (name string, d decision, done bool) {
 	if q.Estimator == BoundsName {
 		start := time.Now()
 		res.Used = BoundsName
-		res.Reliability = e.router.midpoint(q.S, q.T)
+		res.Reliability = e.router.midpoint(st.g, st.srcTag(q.S), q.S, q.T)
 		res.Latency = time.Since(start)
 		e.record(BoundsName, res.Latency.Seconds(), false)
 		return "", d, true
@@ -565,7 +594,7 @@ func (e *Engine) resolve(q Query, res *Result) (name string, d decision, done bo
 		return q.Estimator, d, false
 	}
 	start := time.Now()
-	d = e.router.route(q.S, q.T)
+	d = e.router.route(st.g, st.srcTag(q.S), q.S, q.T)
 	if d.pinched {
 		res.Used = BoundsName
 		res.Reliability = d.value
@@ -625,24 +654,25 @@ const (
 // queryKey builds the result-cache key for a query running under the
 // given stopping configuration: the schedule fields keep bounds-seeded
 // (routed) anytime runs apart from default-schedule ones, since the two
-// stop at different chunk boundaries.
-func (e *Engine) queryKey(name string, q Query, opts core.AdaptiveOptions) cacheKey {
+// stop at different chunk boundaries. The source's invalidation tag makes
+// entries outdated by a mutation unreachable (cache.go).
+func (e *Engine) queryKey(st *epochState, name string, q Query, opts core.AdaptiveOptions) cacheKey {
 	return cacheKey{
 		s: q.S, t: q.T, est: name, k: q.K, eps: q.Eps,
-		chunk: opts.Chunk, prior: opts.Prior,
+		chunk: opts.Chunk, prior: opts.Prior, epoch: st.srcTag(q.S),
 	}
 }
 
 // runSingle answers one validated query with the named estimator: cache
 // lookup, then a borrowed, per-query-reseeded instance.
-func (e *Engine) runSingle(ctx context.Context, name string, d decision, q Query, res *Result) {
+func (e *Engine) runSingle(ctx context.Context, st *epochState, name string, d decision, q Query, res *Result) {
 	res.Used = name
 	dl := effectiveDeadline(ctx, q.Deadline)
 	var opts core.AdaptiveOptions
 	if q.Eps > 0 || !dl.IsZero() {
 		opts = e.adaptiveOpts(ctx, q, dl, d)
 	}
-	key := e.queryKey(name, q, opts)
+	key := e.queryKey(st, name, q, opts)
 	// Deadline-truncated results are timing-dependent: never cached.
 	if dl.IsZero() {
 		if v, ok := e.cache.get(key); ok {
@@ -650,13 +680,14 @@ func (e *Engine) runSingle(ctx context.Context, name string, d decision, q Query
 			res.SamplesUsed = v.samples
 			res.StopReason = v.reason
 			res.Cached = true
+			res.Epoch = v.epoch
 			e.record(name, 0, true)
 			return
 		}
 	}
-	p := e.pools[name]
+	p := st.pools[name]
 	if err := e.withReplica(p, func(inst core.Estimator) {
-		e.runBorrowed(ctx, inst, name, q, dl, opts, key, res)
+		e.runBorrowed(ctx, st, inst, name, q, dl, opts, key, res)
 	}); err != nil {
 		// A faulted replica (or factory) costs exactly this query: the
 		// replica was discarded, the error is typed, nothing is cached.
@@ -666,12 +697,12 @@ func (e *Engine) runSingle(ctx context.Context, name string, d decision, q Query
 
 // runBorrowed answers one query on an already-borrowed instance and does
 // the full accounting: timing, cache fill, router observation, counters.
-func (e *Engine) runBorrowed(ctx context.Context, inst core.Estimator, name string, q Query, dl time.Time, opts core.AdaptiveOptions, key cacheKey, res *Result) {
+func (e *Engine) runBorrowed(ctx context.Context, st *epochState, inst core.Estimator, name string, q Query, dl time.Time, opts core.AdaptiveOptions, key cacheKey, res *Result) {
 	start := time.Now()
 	e.runOne(ctx, inst, name, q, dl, opts, res)
 	res.Latency = time.Since(start)
 	if res.Err == nil && dl.IsZero() {
-		e.cache.put(key, cacheVal{r: res.Reliability, samples: res.SamplesUsed, reason: res.StopReason})
+		e.cache.put(key, cacheVal{r: res.Reliability, samples: res.SamplesUsed, reason: res.StopReason, epoch: st.epoch})
 	}
 	e.router.observe(name, res.Latency.Seconds())
 	e.record(name, res.Latency.Seconds(), false)
@@ -850,8 +881,12 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 	if ctx == nil {
 		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
 	}
+	// The whole batch runs against one epoch snapshot: admission costing,
+	// validation, routing, amortized groups, and cache keys all agree on
+	// the graph, whatever Apply does concurrently.
+	st := e.state.Load()
 	results := make([]Response, len(queries))
-	release, lvl, aerr := e.admitBatch(ctx, queries)
+	release, lvl, aerr := e.admitBatch(ctx, st, queries)
 	if aerr != nil {
 		for i := range results {
 			results[i].Request = queries[i]
@@ -878,15 +913,16 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 		// Results echo the request as asked, not the degraded variant
 		// actually executed.
 		results[i].Request = orig[i]
-		if err := e.validate(q); err != nil {
+		if err := e.validate(st, q); err != nil {
 			results[i].Err = err
 			continue
 		}
+		results[i].Epoch = st.epoch
 		e.noteKind(q.kind())
 		if !q.plainReliability() {
 			// Non-plain requests dedupe on their full identity; each
 			// distinct request is one work unit, answered by runKind.
-			kinds.add(groupKey{key: e.kindKey(q, e.kindEstimator(q)), deadline: q.Deadline}, i)
+			kinds.add(groupKey{key: e.kindKey(st, q, e.kindEstimator(q)), deadline: q.Deadline}, i)
 			continue
 		}
 		if q.Estimator == "" || q.Estimator == BoundsName {
@@ -911,7 +947,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 			return
 		}
 		first := idxs[0]
-		name, d, done := e.resolve(queries[first], &results[first])
+		name, d, done := e.resolve(st, queries[first], &results[first])
 		if !done {
 			names[first] = name
 			decisions[first] = d
@@ -923,6 +959,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 				// count in the bounds counters like separate calls.
 				results[i].Used = results[first].Used
 				results[i].Reliability = results[first].Reliability
+				results[i].Epoch = results[first].Epoch
 				results[i].Cached = true
 				e.router.notePinched()
 				e.noteDeduped()
@@ -991,7 +1028,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 	// while runnable units wait in the queue.
 	var unconstrained, constrained []workUnit
 	for _, u := range units {
-		if p := e.pools[u.est]; p != nil && p.capacity == 1 {
+		if p := st.pools[u.est]; p != nil && p.capacity == 1 {
 			constrained = append(constrained, u)
 		} else {
 			unconstrained = append(unconstrained, u)
@@ -1009,7 +1046,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 		}
 		if u.isKind {
 			first := u.idxs[0]
-			e.runKind(ctx, queries[first], &results[first])
+			e.runKind(ctx, st, queries[first], &results[first])
 			for _, i := range u.idxs[1:] {
 				// Duplicates reuse the computed value, per-kind payloads
 				// included (the slices are shared, read-only). An errored
@@ -1021,6 +1058,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 				results[i].TopTargets = results[first].TopTargets
 				results[i].SamplesUsed = results[first].SamplesUsed
 				results[i].StopReason = results[first].StopReason
+				results[i].Epoch = results[first].Epoch
 				results[i].Err = results[first].Err
 				if results[first].Err == nil {
 					results[i].Cached = true
@@ -1031,11 +1069,11 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 			return
 		}
 		if groupable(u.est) {
-			e.runShared(ctx, u, queries, results)
+			e.runShared(ctx, st, u, queries, results)
 			return
 		}
 		first := u.idxs[0]
-		e.runSingle(ctx, u.est, decisions[first], queries[first], &results[first])
+		e.runSingle(ctx, st, u.est, decisions[first], queries[first], &results[first])
 		for _, i := range u.idxs[1:] {
 			// Duplicates reuse the computed value — cache-hit semantics,
 			// whether or not the cache itself is enabled. An errored
@@ -1045,6 +1083,7 @@ func (e *Engine) estimateBatchInternal(ctx context.Context, queries []Query) []R
 			results[i].Reliability = results[first].Reliability
 			results[i].SamplesUsed = results[first].SamplesUsed
 			results[i].StopReason = results[first].StopReason
+			results[i].Epoch = results[first].Epoch
 			results[i].Err = results[first].Err
 			if results[first].Err == nil {
 				results[i].Cached = true
@@ -1155,7 +1194,7 @@ func (e *Engine) forEachParallel(n int, fn func(int), onPanic func(int, error)) 
 // boundaries than its bounds-seeded single run, consistent with the
 // engine's routing carve-out from the determinism guarantee. The cache
 // keys schedule fields, so the two variants never mix entries.
-func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, results []Result) {
+func (e *Engine) runShared(ctx context.Context, st *epochState, u workUnit, queries []Query, results []Result) {
 	name, s, k := u.est, u.s, u.k
 	dl := effectiveDeadline(ctx, u.deadline)
 	anytime := u.eps > 0 || !dl.IsZero()
@@ -1173,6 +1212,7 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 			results[i].Reliability = results[first].Reliability
 			results[i].SamplesUsed = results[first].SamplesUsed
 			results[i].StopReason = results[first].StopReason
+			results[i].Epoch = results[first].Epoch
 			results[i].Err = results[first].Err
 			if results[first].Err == nil {
 				results[i].Cached = true
@@ -1185,11 +1225,12 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 	for _, t := range byTarget.order {
 		grp := byTarget.groups[t]
 		if cacheable {
-			if v, hit := e.cache.get(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps}); hit {
+			if v, hit := e.cache.get(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps, epoch: st.srcTag(s)}); hit {
 				results[grp[0]].Reliability = v.r
 				results[grp[0]].SamplesUsed = v.samples
 				results[grp[0]].StopReason = v.reason
 				results[grp[0]].Cached = true
+				results[grp[0]].Epoch = v.epoch
 				e.record(name, 0, true)
 				reuse(grp[0], grp[1:])
 				continue
@@ -1201,9 +1242,9 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 		return
 	}
 
-	p := e.pools[name]
+	p := st.pools[name]
 	perr := e.withReplica(p, func(inst core.Estimator) {
-		e.runSharedOn(ctx, inst, u, queries, results, byTarget, missTargets, dl, anytime, cacheable, reuse)
+		e.runSharedOn(ctx, st, inst, u, queries, results, byTarget, missTargets, dl, anytime, cacheable, reuse)
 	})
 	if perr != nil {
 		// The replica faulted (and was discarded): every miss target of
@@ -1220,7 +1261,7 @@ func (e *Engine) runShared(ctx context.Context, u workUnit, queries []Query, res
 // runSharedOn is runShared's borrowed-replica body: the amortized
 // multi-target traversal (or the lone-target fallback) on an instance the
 // caller owns for the duration.
-func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUnit, queries []Query, results []Result, byTarget *orderedGroups[uncertain.NodeID], missTargets []uncertain.NodeID, dl time.Time, anytime, cacheable bool, reuse func(int, []int)) {
+func (e *Engine) runSharedOn(ctx context.Context, st *epochState, inst core.Estimator, u workUnit, queries []Query, results []Result, byTarget *orderedGroups[uncertain.NodeID], missTargets []uncertain.NodeID, dl time.Time, anytime, cacheable bool, reuse func(int, []int)) {
 	name, s, k := u.est, u.s, u.k
 	if faultinject.Enabled() {
 		// The whole group is one traversal, so it faults (or drags) as a
@@ -1240,7 +1281,7 @@ func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUni
 		if anytime {
 			opts = e.adaptiveOpts(ctx, q0, dl, decision{})
 		}
-		e.runBorrowed(ctx, inst, name, q0, dl, opts, e.queryKey(name, q0, opts), &results[grp[0]])
+		e.runBorrowed(ctx, st, inst, name, q0, dl, opts, e.queryKey(st, name, q0, opts), &results[grp[0]])
 		reuse(grp[0], grp[1:])
 		return
 	}
@@ -1333,8 +1374,8 @@ func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUni
 		if reasons[i] == string(core.StopCanceled) {
 			results[first].Err = canceled
 		} else if cacheable {
-			e.cache.put(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps},
-				cacheVal{r: vals[i], samples: samples[i], reason: reasons[i]})
+			e.cache.put(cacheKey{s: s, t: t, est: name, k: k, eps: u.eps, epoch: st.srcTag(s)},
+				cacheVal{r: vals[i], samples: samples[i], reason: reasons[i], epoch: st.epoch})
 		}
 		e.record(name, share.Seconds(), false)
 		reuse(first, grp[1:])
@@ -1352,7 +1393,7 @@ func (e *Engine) runSharedOn(ctx context.Context, inst core.Estimator, u workUni
 // one of a bounded pool of replicas, and on a single-replica pool
 // (Workers = 1, or ParallelMC) a re-entrant borrow blocks forever.
 func (e *Engine) Do(name string, fn func(core.Estimator) error) error {
-	p, ok := e.pools[name]
+	p, ok := e.state.Load().pools[name]
 	if !ok {
 		return fmt.Errorf("engine: unknown estimator %q", name)
 	}
@@ -1446,12 +1487,31 @@ type Stats struct {
 	// queued, shed (429-class), timed out in the queue (503-class), and
 	// answered degraded, plus the live inflight and queue gauges. All
 	// zero (Enabled false) when admission control is off.
-	Admission  AdmissionStats            `json:"admission"`
+	Admission AdmissionStats `json:"admission"`
+	// Mutations reports the dynamic-graph subsystem: the current epoch
+	// and the cumulative mutation/invalidation/repair counters.
+	Mutations  MutationStats             `json:"mutations"`
 	Estimators map[string]EstimatorStats `json:"estimators"`
 	// Kinds counts accepted requests per query kind ("reliability",
 	// "distance", "topk", "single_source", "kterminal"), so operators see
 	// the workload mix the unified surface carries.
 	Kinds map[string]uint64 `json:"kinds"`
+}
+
+// MutationStats is Stats' dynamic-graph section: the current epoch, the
+// committed batch / applied mutation counts, how many source invalidation
+// tags mutations have bumped (the precise-invalidation work), the
+// incremental-repair vs full-rebuild split of index maintenance, the
+// mutation log's retained batch count, and the live subscriber gauge.
+type MutationStats struct {
+	Epoch              uint64 `json:"epoch"`
+	Batches            uint64 `json:"batches"`
+	Applied            uint64 `json:"applied"`
+	InvalidatedSources uint64 `json:"invalidatedSources"`
+	IndexRepairs       uint64 `json:"indexRepairs"`
+	IndexRebuilds      uint64 `json:"indexRebuilds"`
+	LogRetained        int    `json:"logRetained"`
+	Subscribers        int    `json:"subscribers"`
 }
 
 // Stats snapshots the engine's counters. The cache, router, and engine
@@ -1462,10 +1522,14 @@ func (e *Engine) Stats() Stats {
 	routed, ewma, pinched := e.router.snapshot()
 	cs := e.cache.stats()
 	memo := e.router.memoStats()
+	st := e.state.Load()
+	e.subMu.Lock()
+	subscribers := len(e.subs)
+	e.subMu.Unlock()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := Stats{
+	out := Stats{
 		Queries:             e.queries,
 		Batches:             e.batches,
 		BatchQueries:        e.batched,
@@ -1483,11 +1547,21 @@ func (e *Engine) Stats() Stats {
 		AnytimeSamplesSaved: e.samplesBudget - e.samplesDrawn,
 		Workers:             e.cfg.Workers,
 		Admission:           e.adm.stats(),
-		Estimators:          make(map[string]EstimatorStats, len(e.perEst)),
-		Kinds:               make(map[string]uint64, len(e.perKind)),
+		Mutations: MutationStats{
+			Epoch:              st.epoch,
+			Batches:            e.mutBatches,
+			Applied:            e.mutApplied,
+			InvalidatedSources: e.srcInvalidated,
+			IndexRepairs:       e.idxRepairs,
+			IndexRebuilds:      e.idxRebuilds,
+			LogRetained:        e.log.Len(),
+			Subscribers:        subscribers,
+		},
+		Estimators: make(map[string]EstimatorStats, len(e.perEst)),
+		Kinds:      make(map[string]uint64, len(e.perKind)),
 	}
 	for k, v := range e.perKind { //lint:allow maprange commutative map-to-map copy for a stats snapshot
-		st.Kinds[string(k)] = v
+		out.Kinds[string(k)] = v
 	}
 	for name, c := range e.perEst { //lint:allow maprange commutative map-to-map copy for a stats snapshot
 		es := EstimatorStats{
@@ -1498,10 +1572,10 @@ func (e *Engine) Stats() Stats {
 		if c.computed > 0 {
 			es.AvgLatencyMs = c.totalSecs / float64(c.computed) * 1000
 		}
-		if p := e.pools[name]; p != nil {
+		if p := st.pools[name]; p != nil {
 			es.PoolReplicas = p.size()
 		}
-		st.Estimators[name] = es
+		out.Estimators[name] = es
 	}
-	return st
+	return out
 }

@@ -216,7 +216,7 @@ func TestAdaptiveRouting(t *testing.T) {
 // TestRouterPrefersAccuracyOnWideBounds pins the paper-guided policy: a
 // maximally wide interval routes to RSS (the accuracy ranking's best).
 func TestRouterPrefersAccuracyOnWideBounds(t *testing.T) {
-	r := newRouter(nil, DefaultEstimators(), 0.02, 0.25, 0)
+	r := newRouter(DefaultEstimators(), 0.02, 0.25, 0)
 	if got := r.pick(0.9); got != "RSS" {
 		t.Errorf("wide bounds routed to %s, want RSS", got)
 	}
@@ -235,7 +235,7 @@ func TestRouterPrefersAccuracyOnWideBounds(t *testing.T) {
 	}
 	// Once every candidate is measured, the lowest EWMA wins — routing
 	// can shift away from a slow first choice.
-	r2 := newRouter(nil, []string{"ProbTree", "MC"}, 0.02, 0.25, 0)
+	r2 := newRouter([]string{"ProbTree", "MC"}, 0.02, 0.25, 0)
 	r2.observe("ProbTree", 0.5)
 	r2.observe("MC", 0.001)
 	if got := r2.pick(0.1); got != "MC" {

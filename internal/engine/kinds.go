@@ -73,34 +73,38 @@ func kindEstimatorFor(q Request) string {
 
 // kindKey builds the result-cache key for a non-plain request: the full
 // request identity, with the estimator name resolved so an explicit
-// default and an omitted one share the entry.
-func (e *Engine) kindKey(q Request, name string) cacheKey {
+// default and an omitted one share the entry, tagged with the source's
+// invalidation epoch like every other key.
+func (e *Engine) kindKey(st *epochState, q Request, name string) cacheKey {
 	return cacheKey{
 		s: q.S, t: q.T, est: name, k: q.K, eps: q.Eps,
 		kind: q.kind(), d: q.D, topk: q.TopK,
 		targets:  fingerprintIDs(0x7a6e75, q.Targets),
 		evidence: fingerprintEvidence(q.Evidence),
+		epoch:    st.srcTag(q.S),
 	}
 }
 
-// graphFor resolves the request's effective graph: the engine's shared
-// graph, or — under evidence — a probability overlay from the bounded
-// overlay LRU, built on first use. Concurrent first requests for one
-// evidence set may race to build the overlay; the race is benign (the
-// overlays are identical) and the LRU keeps one.
-func (e *Engine) graphFor(ev Evidence) (*uncertain.Graph, error) {
+// graphFor resolves the request's effective graph: the epoch's shared
+// graph, or — under evidence — a probability overlay from the epoch's
+// bounded overlay LRU, built on first use (overlay probabilities come
+// from the epoch's graph, so the memo lives and dies with the state).
+// Concurrent first requests for one evidence set may race to build the
+// overlay; the race is benign (the overlays are identical) and the LRU
+// keeps one.
+func (e *Engine) graphFor(st *epochState, ev Evidence) (*uncertain.Graph, error) {
 	if ev.Empty() {
-		return e.g, nil
+		return st.g, nil
 	}
 	key := cacheKey{evidence: fingerprintEvidence(ev)}
-	if g, ok := e.overlays.get(key); ok {
+	if g, ok := st.overlays.get(key); ok {
 		return g, nil
 	}
-	g, err := uncertain.Overlay(e.g, ev.Include, ev.Exclude)
+	g, err := uncertain.Overlay(st.g, ev.Include, ev.Exclude)
 	if err != nil {
 		return nil, err
 	}
-	e.overlays.put(key, g)
+	st.overlays.put(key, g)
 	return g, nil
 }
 
@@ -111,37 +115,38 @@ func (e *Engine) graphFor(ev Evidence) (*uncertain.Graph, error) {
 // for the same reason).
 const distPoolCap = 32
 
-// distPool returns the replica pool for the hop bound d, creating it on
-// first demand. Distance pools are keyed per d — the hop bound is baked
-// into the estimator — and sized like every named pool. At most
+// distPool returns the epoch's replica pool for the hop bound d, creating
+// it on first demand. Distance pools are keyed per d — the hop bound is
+// baked into the estimator — and sized like every named pool. At most
 // distPoolCap distinct hop bounds are pooled at once; beyond that an
 // arbitrary pool is evicted (in-flight borrowers keep their own pool
 // pointer, so eviction never disturbs a running query).
-func (e *Engine) distPool(d int) *pool {
-	e.distMu.Lock()
-	defer e.distMu.Unlock()
-	if p, ok := e.distPools[d]; ok {
+func (e *Engine) distPool(st *epochState, d int) *pool {
+	ds := st.dist
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if p, ok := ds.pools[d]; ok {
 		return p
 	}
-	if len(e.distPools) >= distPoolCap {
+	if len(ds.pools) >= distPoolCap {
 		// Evict the largest-d pool. Any fixed rule works for capacity
 		// control (evicted pools rebuild deterministically from their
 		// seed); picking one by map iteration order would make eviction —
 		// and therefore rebuild cost — vary run to run.
 		evict := -1
-		for k := range e.distPools { //lint:allow maprange commutative max over keys; eviction choice is order-independent
+		for k := range ds.pools { //lint:allow maprange commutative max over keys; eviction choice is order-independent
 			if k > evict {
 				evict = k
 			}
 		}
-		delete(e.distPools, evict)
+		delete(ds.pools, evict)
 	}
 	seed := replicaSeed(e.cfg.Seed, distName(d))
-	g := e.g
+	g := ds.g
 	p := newPool(e.cfg.Workers, func() core.Estimator {
 		return core.NewDistanceConstrainedMC(g, seed, d)
 	})
-	e.distPools[d] = p
+	ds.pools[d] = p
 	return p
 }
 
@@ -166,11 +171,11 @@ func (e *Engine) kindSeed(name string, q Request) uint64 {
 // full request identity, then per-kind computation, cache fill, and
 // accounting. The deadline rule matches the plain path: deadline-truncated
 // answers are timing-dependent and never cached.
-func (e *Engine) runKind(ctx context.Context, q Request, res *Response) {
+func (e *Engine) runKind(ctx context.Context, st *epochState, q Request, res *Response) {
 	name := e.kindEstimator(q)
 	res.Used = name
 	dl := effectiveDeadline(ctx, q.Deadline)
-	key := e.kindKey(q, name)
+	key := e.kindKey(st, q, name)
 	if dl.IsZero() {
 		if v, ok := e.cache.get(key); ok {
 			res.Reliability = v.r
@@ -179,12 +184,13 @@ func (e *Engine) runKind(ctx context.Context, q Request, res *Response) {
 			res.SamplesUsed = v.samples
 			res.StopReason = v.reason
 			res.Cached = true
+			res.Epoch = v.epoch
 			e.record(name, 0, true)
 			return
 		}
 	}
 	start := time.Now()
-	if err := capturePanic(func() { e.computeKind(ctx, name, q, dl, res) }); err != nil {
+	if err := capturePanic(func() { e.computeKind(ctx, st, name, q, dl, res) }); err != nil {
 		// Panics on the non-pooled kind paths (overlay estimators,
 		// k-terminal samplers) are contained here; pooled borrows inside
 		// computeKind contain and discard via withReplica before this.
@@ -194,14 +200,14 @@ func (e *Engine) runKind(ctx context.Context, q Request, res *Response) {
 	if res.Err == nil && dl.IsZero() {
 		e.cache.put(key, cacheVal{
 			r: res.Reliability, all: res.Reliabilities, top: res.TopTargets,
-			samples: res.SamplesUsed, reason: res.StopReason,
+			samples: res.SamplesUsed, reason: res.StopReason, epoch: st.epoch,
 		})
 	}
 	e.record(name, res.Latency.Seconds(), false)
 }
 
 // computeKind dispatches one non-plain request to its kind's execution.
-func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl time.Time, res *Response) {
+func (e *Engine) computeKind(ctx context.Context, st *epochState, name string, q Request, dl time.Time, res *Response) {
 	if faultinject.Enabled() {
 		// Keyed by the kind's deterministic stream seed; the injected
 		// panic fires before any pool borrow and is contained by runKind.
@@ -209,7 +215,7 @@ func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl tim
 		faultinject.Sleep(faultinject.SlowReplica, fkey)
 		faultinject.MaybePanic(faultinject.EstimatorPanic, fkey)
 	}
-	g, err := e.graphFor(q.Evidence)
+	g, err := e.graphFor(st, q.Evidence)
 	if err != nil {
 		res.Err = err
 		return
@@ -222,7 +228,7 @@ func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl tim
 		e.runScalar(ctx, q, inst.Estimate, stSampler(inst, q), anytime, opts, res)
 	case KindDistance:
 		if q.Evidence.Empty() {
-			p := e.distPool(q.D)
+			p := e.distPool(st, q.D)
 			if err := e.withReplica(p, func(inst core.Estimator) {
 				inst.(core.Seeder).Reseed(e.kindSeed(name, q))
 				e.runScalar(ctx, q, inst.Estimate, stSampler(inst, q), anytime, opts, res)
@@ -242,7 +248,7 @@ func (e *Engine) computeKind(ctx context.Context, name string, q Request, dl tim
 		est := func(s, _ uncertain.NodeID, k int) float64 { return kt.Estimate(s, k) }
 		e.runScalar(ctx, q, est, func() core.Sampler { return kt.Sampler(q.S) }, anytime, opts, res)
 	case KindTopK, KindSingleSource:
-		e.runSourceRooted(ctx, name, g, q, anytime, opts, res)
+		e.runSourceRooted(ctx, st, name, g, q, anytime, opts, res)
 	default:
 		res.Err = fmt.Errorf("engine: unknown kind %q", q.Kind)
 	}
@@ -281,9 +287,9 @@ func (e *Engine) runScalar(ctx context.Context, q Request, est func(s, t uncerta
 // traversal on a SourceSampler estimator — the pooled BFS Sharing querier
 // over the shared index, the pooled PackMC, or an index-free PackMC built
 // over the evidence overlay.
-func (e *Engine) runSourceRooted(ctx context.Context, name string, g *uncertain.Graph, q Request, anytime bool, opts core.AdaptiveOptions, res *Response) {
+func (e *Engine) runSourceRooted(ctx context.Context, st *epochState, name string, g *uncertain.Graph, q Request, anytime bool, opts core.AdaptiveOptions, res *Response) {
 	if q.Evidence.Empty() {
-		p := e.pools[name]
+		p := st.pools[name]
 		if err := e.withReplica(p, func(pooled core.Estimator) {
 			e.sourceRootedOn(ctx, name, g, q, pooled, anytime, opts, res)
 		}); err != nil {

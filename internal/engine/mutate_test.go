@@ -1,0 +1,527 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relcomp/internal/mutate"
+	"relcomp/internal/uncertain"
+)
+
+// mutTestGraph is a two-component graph whose source sets are separable,
+// so invalidation precision is observable: mutating inside one component
+// must not touch the other's cached answers.
+//
+//	0 -0.8-> 1 -0.7-> 2 -0.6-> 3      4 -0.9-> 5 -0.5-> 6 -0.4-> 7
+func mutTestGraph(t *testing.T) *uncertain.Graph {
+	t.Helper()
+	b := uncertain.NewBuilder(8)
+	for _, e := range []uncertain.Edge{
+		{From: 0, To: 1, P: 0.8}, {From: 1, To: 2, P: 0.7}, {From: 2, To: 3, P: 0.6},
+		{From: 4, To: 5, P: 0.9}, {From: 5, To: 6, P: 0.5}, {From: 6, To: 7, P: 0.4},
+	} {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// findAbsentPair returns a node pair with no edge in either direction, so
+// an OpAdd creates a genuinely new adjacency.
+func findAbsentPair(t *testing.T, g *uncertain.Graph) (uncertain.NodeID, uncertain.NodeID) {
+	t.Helper()
+	n := uncertain.NodeID(g.NumNodes())
+	for a := uncertain.NodeID(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if g.FindEdge(a, b) < 0 && g.FindEdge(b, a) < 0 {
+				return a, b
+			}
+		}
+	}
+	t.Fatal("no absent pair in test graph")
+	return 0, 0
+}
+
+// TestApplyBitIdentity is the tentpole's determinism contract: after
+// Apply, the mutated engine answers every request bit-identically to an
+// engine built from scratch over the post-mutation graph — across the
+// repaired BFSSharing index, the re-spliced (or rebuilt) ProbTree index,
+// and the sampling estimators, on the single and the batch path. Cache
+// hits that predate the batch (sources the mutation cannot reach) report
+// their computing epoch and must match a from-scratch engine on *that*
+// epoch's graph.
+func TestApplyBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t)
+	cfg := Config{Workers: 2, MaxK: 300, Seed: 42, CacheSize: 256,
+		Estimators: []string{"MC", "PackMC", "BFSSharing", "ProbTree", "RSS"}}
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testQueries(e.Names())
+
+	// Warm every estimator so Apply exercises index repair, not laziness.
+	for _, q := range queries {
+		if res := e.Estimate(ctx, q); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	// Batch 1 preserves topology (update + remove): both indexes repair.
+	e0, e1 := g.Edge(0), g.Edge(1)
+	epoch1, err := e.Apply(ctx, []mutate.Mutation{
+		{Op: mutate.OpUpdate, From: e0.From, To: e0.To, P: 0.95},
+		{Op: mutate.OpRemove, From: e1.From, To: e1.To},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch1 != 1 || e.Epoch() != 1 {
+		t.Fatalf("epoch after first batch = %d/%d, want 1", epoch1, e.Epoch())
+	}
+	ms := e.Stats().Mutations
+	if ms.IndexRepairs != 2 || ms.IndexRebuilds != 0 {
+		t.Fatalf("topology-preserving batch: repairs=%d rebuilds=%d, want 2/0", ms.IndexRepairs, ms.IndexRebuilds)
+	}
+
+	// Batch 2 appends a new adjacency: BFS repairs its appended rows,
+	// ProbTree falls back to a rebuild (its decomposition is structural).
+	na, nb := findAbsentPair(t, e.Graph())
+	epoch2, err := e.Apply(ctx, []mutate.Mutation{{Op: mutate.OpAdd, From: na, To: nb, P: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms = e.Stats().Mutations
+	if ms.Epoch != 2 || ms.Batches != 2 || ms.Applied != 3 {
+		t.Fatalf("mutation counters = %+v", ms)
+	}
+	if ms.IndexRepairs != 3 || ms.IndexRebuilds != 1 {
+		t.Fatalf("append batch: repairs=%d rebuilds=%d, want 3/1", ms.IndexRepairs, ms.IndexRebuilds)
+	}
+
+	// References: from-scratch engines on the pre-mutation graph (for old
+	// cached answers) and on the post-mutation graph.
+	pre, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postCfg := cfg
+	postCfg.BaseEpoch = epoch2
+	post, err := New(e.Graph(), postCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFor := func(res Response) *Engine {
+		if res.Epoch == epoch2 {
+			return post
+		}
+		if res.Epoch == 0 {
+			return pre
+		}
+		t.Fatalf("answer from unexpected epoch %d", res.Epoch)
+		return nil
+	}
+
+	sawPost := false
+	for i, q := range queries {
+		res := e.Estimate(ctx, q)
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		want := refFor(res).Estimate(ctx, q)
+		if want.Err != nil {
+			t.Fatalf("reference query %d: %v", i, want.Err)
+		}
+		if res.Reliability != want.Reliability || res.SamplesUsed != want.SamplesUsed {
+			t.Fatalf("query %d (%s s=%d t=%d, epoch %d): got %v/%d samples, from-scratch %v/%d",
+				i, q.Estimator, q.S, q.T, res.Epoch, res.Reliability, res.SamplesUsed, want.Reliability, want.SamplesUsed)
+		}
+		sawPost = sawPost || res.Epoch == epoch2
+	}
+	if !sawPost {
+		t.Fatal("no query was answered on the post-mutation epoch")
+	}
+
+	// The batch path must agree with the same references.
+	for i, res := range e.EstimateBatch(ctx, queries) {
+		if res.Err != nil {
+			t.Fatalf("batch query %d: %v", i, res.Err)
+		}
+		want := refFor(res).Estimate(ctx, queries[i])
+		if res.Reliability != want.Reliability {
+			t.Fatalf("batch query %d (epoch %d): got %v, from-scratch %v", i, res.Epoch, res.Reliability, want.Reliability)
+		}
+	}
+}
+
+// TestApplyInvalidation pins the precision of cache invalidation
+// (satellite: result cache + bounds memo): after a mutation, queries from
+// sources that can reach a changed edge miss and recompute on the new
+// epoch, while untouched sources — including evidence-conditioned entries
+// — keep hitting their pre-mutation entries.
+func TestApplyInvalidation(t *testing.T) {
+	ctx := context.Background()
+	g := mutTestGraph(t)
+	e, err := New(g, Config{Workers: 2, MaxK: 200, Seed: 7, CacheSize: 64, Estimators: []string{"MC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	affected := Query{S: 0, T: 3, K: 100, Estimator: "MC"}
+	unaffected := Query{S: 4, T: 7, K: 100, Estimator: "MC"}
+	evidence := Query{S: 4, T: 7, K: 100, Estimator: "MC",
+		Evidence: Evidence{Include: []uncertain.EdgeID{3}}} // edge 4->5
+	for _, q := range []Query{affected, unaffected, evidence} {
+		if res := e.Estimate(ctx, q); res.Err != nil || res.Cached {
+			t.Fatalf("fill %+v: err=%v cached=%v", q, res.Err, res.Cached)
+		}
+		if res := e.Estimate(ctx, q); res.Err != nil || !res.Cached {
+			t.Fatalf("refill %+v: err=%v cached=%v, want hit", q, res.Err, res.Cached)
+		}
+	}
+	boundsBefore := e.Estimate(ctx, Query{S: 0, T: 3, Estimator: BoundsName})
+	if boundsBefore.Err != nil {
+		t.Fatal(boundsBefore.Err)
+	}
+	if res := e.Estimate(ctx, Query{S: 4, T: 7, Estimator: BoundsName}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	// Mutate edge 1->2: reachable from sources {0, 1} only.
+	epoch, err := e.Apply(ctx, []mutate.Mutation{{Op: mutate.OpUpdate, From: 1, To: 2, P: 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := e.Stats().Mutations
+	if ms.InvalidatedSources != 2 {
+		t.Fatalf("invalidated %d sources, want 2 (nodes 0 and 1)", ms.InvalidatedSources)
+	}
+
+	if res := e.Estimate(ctx, affected); res.Cached || res.Epoch != epoch {
+		t.Fatalf("affected source after mutation: cached=%v epoch=%d, want fresh on epoch %d", res.Cached, res.Epoch, epoch)
+	}
+	if res := e.Estimate(ctx, unaffected); !res.Cached || res.Epoch != 0 {
+		t.Fatalf("unaffected source after mutation: cached=%v epoch=%d, want pre-mutation hit", res.Cached, res.Epoch)
+	}
+	if res := e.Estimate(ctx, evidence); !res.Cached || res.Epoch != 0 {
+		t.Fatalf("unaffected evidence entry after mutation: cached=%v epoch=%d, want pre-mutation hit", res.Cached, res.Epoch)
+	}
+
+	// Bounds memo: the affected pair's entry is orphaned (its tag moved)
+	// and the fresh bounds see the new probability; the untouched pair's
+	// entry is still reachable under its old tag.
+	st := e.state.Load()
+	if _, _, ok := e.router.peekBounds(st.srcTag(0), 0, 3); ok {
+		t.Fatal("affected (0,3) bounds entry still reachable under the new tag")
+	}
+	if _, _, ok := e.router.peekBounds(st.srcTag(4), 4, 7); !ok {
+		t.Fatal("unaffected (4,7) bounds entry was lost")
+	}
+	boundsAfter := e.Estimate(ctx, Query{S: 0, T: 3, Estimator: BoundsName})
+	if boundsAfter.Err != nil {
+		t.Fatal(boundsAfter.Err)
+	}
+	if boundsAfter.Reliability == boundsBefore.Reliability {
+		t.Fatalf("bounds answer %v did not move with the edge probability", boundsAfter.Reliability)
+	}
+}
+
+// TestApplyRejectsBadBatches: validation failures reject the whole batch
+// atomically — no epoch bump, no partial application, no log entry.
+func TestApplyRejectsBadBatches(t *testing.T) {
+	ctx := context.Background()
+	e, err := New(mutTestGraph(t), Config{Workers: 1, MaxK: 100, Seed: 1, Estimators: []string{"MC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Graph()
+	for _, muts := range [][]mutate.Mutation{
+		nil,
+		{{Op: mutate.OpUpdate, From: 0, To: 1, P: 1.5}},
+		{{Op: mutate.OpUpdate, From: 0, To: 1, P: 0.5}, {Op: mutate.OpAdd, From: 0, To: 99, P: 0.5}},
+		{{Op: mutate.OpUpdate, From: 0, To: 7, P: 0.5}}, // absent pair
+	} {
+		if _, err := e.Apply(ctx, muts); err == nil {
+			t.Fatalf("batch %+v was accepted", muts)
+		}
+	}
+	if e.Epoch() != 0 || e.Graph() != before || e.MutationLog().Len() != 0 {
+		t.Fatalf("rejected batches left state behind: epoch=%d log=%d", e.Epoch(), e.MutationLog().Len())
+	}
+}
+
+// TestApplyNoOpBatchSharesState: a batch whose net effect is nil still
+// advances and logs the epoch but shares every piece of serving state.
+func TestApplyNoOpBatchSharesState(t *testing.T) {
+	ctx := context.Background()
+	g := mutTestGraph(t)
+	e, err := New(g, Config{Workers: 1, MaxK: 100, Seed: 1, CacheSize: 16, Estimators: []string{"MC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := e.Estimate(ctx, Query{S: 0, T: 3, K: 50, Estimator: "MC"})
+	if fill.Err != nil {
+		t.Fatal(fill.Err)
+	}
+	epoch, err := e.Apply(ctx, []mutate.Mutation{{Op: mutate.OpUpdate, From: 0, To: 1, P: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || e.Graph() != g {
+		t.Fatalf("no-op batch: epoch=%d, graph replaced=%v", epoch, e.Graph() != g)
+	}
+	if ms := e.Stats().Mutations; ms.InvalidatedSources != 0 || ms.IndexRepairs != 0 {
+		t.Fatalf("no-op batch did invalidation work: %+v", ms)
+	}
+	if res := e.Estimate(ctx, Query{S: 0, T: 3, K: 50, Estimator: "MC"}); !res.Cached {
+		t.Fatal("no-op batch dropped the result cache")
+	}
+}
+
+// recvSub reads one response from a subscription with a timeout.
+func recvSub(t *testing.T, sub *Subscription) Response {
+	t.Helper()
+	select {
+	case res, ok := <-sub.C:
+		if !ok {
+			t.Fatal("subscription channel closed early")
+		}
+		return res
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for subscription delivery")
+	}
+	return Response{}
+}
+
+// TestSubscribe covers the continuous-query surface: an immediate initial
+// estimate, a re-estimate after every batch that can move the answer,
+// coalescing-away of batches that provably cannot, and a clean close.
+func TestSubscribe(t *testing.T) {
+	ctx := context.Background()
+	e, err := New(mutTestGraph(t), Config{Workers: 2, MaxK: 200, Seed: 7, CacheSize: 64, Estimators: []string{"MC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := e.Subscribe(ctx, Query{S: 0, T: 3, K: 100, Estimator: "MC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Subscribe(ctx, Query{S: 99, T: 3, K: 100}); err == nil {
+		t.Fatal("subscription to an out-of-range source was accepted")
+	}
+
+	initial := recvSub(t, sub)
+	if initial.Err != nil || initial.Epoch != 0 {
+		t.Fatalf("initial estimate: err=%v epoch=%d", initial.Err, initial.Epoch)
+	}
+
+	// Epoch 1 cannot affect source 0 (other component); epoch 2 can. The
+	// subscriber must deliver exactly one re-estimate, on epoch 2 — seeing
+	// an epoch-1 delivery here would mean the irrelevant batch was not
+	// coalesced away.
+	if _, err := e.Apply(ctx, []mutate.Mutation{{Op: mutate.OpUpdate, From: 6, To: 7, P: 0.45}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(ctx, []mutate.Mutation{{Op: mutate.OpUpdate, From: 1, To: 2, P: 0.95}}); err != nil {
+		t.Fatal(err)
+	}
+	re := recvSub(t, sub)
+	if re.Err != nil || re.Epoch != 2 {
+		t.Fatalf("re-estimate: err=%v epoch=%d, want epoch 2", re.Err, re.Epoch)
+	}
+	if re.Reliability == initial.Reliability {
+		t.Fatalf("re-estimate %v did not move with the mutation", re.Reliability)
+	}
+
+	if n := e.Stats().Mutations.Subscribers; n != 1 {
+		t.Fatalf("subscriber gauge = %d, want 1", n)
+	}
+	sub.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription channel not closed after Close")
+		}
+	}
+}
+
+// TestMutationSoak (satellite: run under -race) drives concurrent Apply
+// batches against single-query, batch-query, and subscription clients.
+// Every answer must match a from-scratch engine on the epoch the answer
+// reports — never a blend of worlds. Scaled by RELCOMP_SOAK_MS.
+func TestMutationSoak(t *testing.T) {
+	ctx := context.Background()
+	g := testGraph(t)
+	cfg := Config{Workers: 4, MaxK: 300, Seed: 42, CacheSize: 256,
+		Estimators: []string{"MC", "PackMC", "BFSSharing", "ProbTree"}}
+
+	// The mutation script: topology-preserving edits plus a tombstone
+	// resurrection, each batch valid against the state the previous one
+	// left. Epoch i's graph is gs[i].
+	ea, eb := g.Edge(2), g.Edge(5)
+	script := [][]mutate.Mutation{
+		{{Op: mutate.OpUpdate, From: ea.From, To: ea.To, P: 0.9}},
+		{{Op: mutate.OpRemove, From: eb.From, To: eb.To}},
+		{{Op: mutate.OpAdd, From: eb.From, To: eb.To, P: eb.P},
+			{Op: mutate.OpUpdate, From: ea.From, To: ea.To, P: 0.2}},
+		{{Op: mutate.OpUpdate, From: ea.From, To: ea.To, P: ea.P}},
+	}
+	gs := []*uncertain.Graph{g}
+	for _, batch := range script {
+		deltas := make([]uncertain.EdgeDelta, len(batch))
+		for i, m := range batch {
+			deltas[i] = m.Delta()
+		}
+		ng, _, err := uncertain.ApplyDeltas(gs[len(gs)-1], deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, ng)
+	}
+
+	queries := []Query{
+		{S: 0, T: 5, K: 60, Estimator: "MC"},
+		{S: 1, T: 6, K: 60, Estimator: "PackMC"},
+		{S: 2, T: 5, K: 60, Estimator: "BFSSharing"},
+		{S: 0, T: 6, K: 60, Estimator: "ProbTree"},
+		{S: 1, T: 5, K: 90, Estimator: "MC"},
+		{S: 2, T: 6, K: 90, Estimator: "ProbTree"},
+	}
+	// ref[epoch][i] is the from-scratch answer to queries[i] on gs[epoch].
+	ref := make([][]float64, len(gs))
+	for ep, eg := range gs {
+		fresh, err := New(eg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[ep] = make([]float64, len(queries))
+		for i, q := range queries {
+			res := fresh.Estimate(ctx, q)
+			if res.Err != nil {
+				t.Fatalf("reference epoch %d query %d: %v", ep, i, res.Err)
+			}
+			ref[ep][i] = res.Reliability
+		}
+	}
+
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures atomic.Int64
+	check := func(who string, i int, res Response) {
+		if res.Err != nil {
+			t.Errorf("%s query %d: %v", who, i, res.Err)
+			failures.Add(1)
+			return
+		}
+		if res.Epoch >= uint64(len(ref)) {
+			t.Errorf("%s query %d: impossible epoch %d", who, i, res.Epoch)
+			failures.Add(1)
+			return
+		}
+		if want := ref[res.Epoch][i]; res.Reliability != want {
+			t.Errorf("%s query %d on epoch %d: got %v, from-scratch %v (blended worlds?)",
+				who, i, res.Epoch, res.Reliability, want)
+			failures.Add(1)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Mutator: walk the script across the soak window, then rest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		interval := soakDuration() / time.Duration(len(script)+1)
+		for _, batch := range script {
+			select {
+			case <-stop:
+				return
+			case <-time.After(interval):
+			}
+			if _, err := e.Apply(ctx, batch); err != nil {
+				t.Errorf("apply: %v", err)
+				failures.Add(1)
+				return
+			}
+		}
+	}()
+
+	// Two single-query clients and one batch client.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for n := c; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := n % len(queries)
+				check("single", i, e.Estimate(ctx, queries[i]))
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i, res := range e.EstimateBatch(ctx, queries) {
+				check("batch", i, res)
+			}
+		}
+	}()
+
+	// A subscriber on queries[0]: every delivery is checked like a query.
+	sub, err := e.Subscribe(ctx, queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for res := range sub.C {
+			check("subscribe", 0, res)
+		}
+	}()
+
+	time.Sleep(soakDuration())
+	close(stop)
+	sub.Close()
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d soak failures", n)
+	}
+	ms := e.Stats().Mutations
+	if ms.Epoch != uint64(len(script)) && ms.Epoch != 0 {
+		// The mutator may not finish the script on a very short soak, but
+		// whatever it committed must be fully accounted.
+		t.Logf("soak ended at epoch %d of %d", ms.Epoch, len(script))
+	}
+	if ms.IndexRebuilds != 0 && ms.Epoch > 0 {
+		// Only batch 3 resurrects within existing topology; no batch adds
+		// a new adjacency, so ProbTree must never have rebuilt... except
+		// the resurrection batch keeps edge count constant, so any rebuild
+		// here is a regression in the repair path.
+		t.Errorf("topology-preserving soak performed %d full rebuilds", ms.IndexRebuilds)
+	}
+}

@@ -137,6 +137,13 @@ type Response struct {
 	// Used is the estimator that produced the value (BoundsName when the
 	// analytic bounds answered a routed query outright).
 	Used string
+	// Epoch is the engine epoch the answer was computed under: the current
+	// epoch for fresh computations, the filling computation's epoch for
+	// cache hits. A hit for a source no mutation has touched may
+	// legitimately predate the current epoch — the value is identical to a
+	// fresh computation's, but callers correlating answers with mutation
+	// epochs (subscriptions, the soak harness) can see which world answered.
+	Epoch uint64
 	// Reliability is the scalar answer of KindReliability, KindDistance,
 	// and KindKTerminal.
 	Reliability float64

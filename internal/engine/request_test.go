@@ -412,12 +412,13 @@ func TestDistancePoolsShareReplicas(t *testing.T) {
 			t.Fatal(res.Err)
 		}
 	}
-	e.distMu.Lock()
-	defer e.distMu.Unlock()
-	if len(e.distPools) != 1 {
-		t.Fatalf("%d distance pools for one hop bound", len(e.distPools))
+	ds := e.state.Load().dist
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if len(ds.pools) != 1 {
+		t.Fatalf("%d distance pools for one hop bound", len(ds.pools))
 	}
-	if n := e.distPools[2].size(); n != 1 {
+	if n := ds.pools[2].size(); n != 1 {
 		t.Errorf("sequential distance queries built %d replicas, want 1", n)
 	}
 }

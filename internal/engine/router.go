@@ -30,15 +30,18 @@ import (
 // propagation degenerates, LP+'s EWMA grows and traffic shifts away from
 // it without configuration.
 type router struct {
-	g          *uncertain.Graph
 	cutoff     float64  // bounds width below which no sampling is needed
 	hardWidth  float64  // bounds width above which accuracy dominates
 	candidates []string // estimator names the router may pick, engine order
 
-	// memo caches the (lo, hi) bounds per (s, t): the bounds are static
-	// properties of the graph, and computing them walks a large part of
-	// it, so repeated adaptive queries (including bounds-pinched ones)
-	// must not pay that walk every time. There is no in-flight dedup —
+	// memo caches the (lo, hi) bounds per (s, t, source-epoch tag): the
+	// bounds are static properties of one epoch's graph, and computing
+	// them walks a large part of it, so repeated adaptive queries
+	// (including bounds-pinched ones) must not pay that walk every time.
+	// The caller passes the graph per call (it changes across mutation
+	// epochs) and the source's invalidation tag, which keys entries so a
+	// mutation reachable from s orphans s's memoized bounds while every
+	// other source keeps hitting. There is no in-flight dedup —
 	// concurrent first queries for one (s, t) may race to fill the entry
 	// (benign: the walks return identical values).
 	memo *lruCache[[2]float64]
@@ -90,7 +93,7 @@ const (
 	latencyEWMAWeight   = 0.2
 )
 
-func newRouter(g *uncertain.Graph, candidates []string, cutoff, hardWidth float64, memoSize int) *router {
+func newRouter(candidates []string, cutoff, hardWidth float64, memoSize int) *router {
 	if cutoff <= 0 {
 		cutoff = defaultBoundsCutoff
 	}
@@ -98,7 +101,6 @@ func newRouter(g *uncertain.Graph, candidates []string, cutoff, hardWidth float6
 		hardWidth = defaultHardWidth
 	}
 	return &router{
-		g:          g,
 		cutoff:     cutoff,
 		hardWidth:  hardWidth,
 		candidates: candidates,
@@ -124,13 +126,14 @@ type decision struct {
 // hard (high estimator variance expected).
 func (d decision) hard(hardWidth float64) bool { return d.width > hardWidth }
 
-// boundsFor returns the memoized analytic bounds for (s, t).
-func (r *router) boundsFor(s, t uncertain.NodeID) (lo, hi float64) {
-	memoKey := cacheKey{s: s, t: t}
+// boundsFor returns the memoized analytic bounds for (s, t) on g, keyed
+// by the source's invalidation tag.
+func (r *router) boundsFor(g *uncertain.Graph, tag uint64, s, t uncertain.NodeID) (lo, hi float64) {
+	memoKey := cacheKey{s: s, t: t, epoch: tag}
 	if b, ok := r.memo.get(memoKey); ok {
 		return b[0], b[1]
 	}
-	lo, hi, err := bounds.Bounds(r.g, s, t)
+	lo, hi, err := bounds.Bounds(g, s, t)
 	if err != nil {
 		// Out-of-range queries are caught by engine validation before
 		// routing; a bounds failure here means a degenerate graph, so
@@ -142,13 +145,13 @@ func (r *router) boundsFor(s, t uncertain.NodeID) (lo, hi float64) {
 	return lo, hi
 }
 
-// peekBounds returns the memoized bounds for (s, t) without computing,
-// filling, or counting anything — the admission controller's cost
-// estimator consults it on every request, and a cost estimate must
-// neither pay the bounds walk nor skew the memo stats. ok is false when
-// the pair has not been routed yet.
-func (r *router) peekBounds(s, t uncertain.NodeID) (lo, hi float64, ok bool) {
-	b, ok := r.memo.peek(cacheKey{s: s, t: t})
+// peekBounds returns the memoized bounds for (s, t) at the source tag
+// without computing, filling, or counting anything — the admission
+// controller's cost estimator consults it on every request, and a cost
+// estimate must neither pay the bounds walk nor skew the memo stats. ok
+// is false when the pair has not been routed yet (at this tag).
+func (r *router) peekBounds(tag uint64, s, t uncertain.NodeID) (lo, hi float64, ok bool) {
+	b, ok := r.memo.peek(cacheKey{s: s, t: t, epoch: tag})
 	if !ok {
 		return 0, 1, false
 	}
@@ -157,15 +160,15 @@ func (r *router) peekBounds(s, t uncertain.NodeID) (lo, hi float64, ok bool) {
 
 // midpoint answers a query from the bounds alone, regardless of width —
 // the explicitly requested "bounds" pseudo-estimator.
-func (r *router) midpoint(s, t uncertain.NodeID) float64 {
-	lo, hi := r.boundsFor(s, t)
+func (r *router) midpoint(g *uncertain.Graph, tag uint64, s, t uncertain.NodeID) float64 {
+	lo, hi := r.boundsFor(g, tag, s, t)
 	r.notePinched()
 	return (lo + hi) / 2
 }
 
 // route decides how to answer an s-t query with no named estimator.
-func (r *router) route(s, t uncertain.NodeID) decision {
-	lo, hi := r.boundsFor(s, t)
+func (r *router) route(g *uncertain.Graph, tag uint64, s, t uncertain.NodeID) decision {
+	lo, hi := r.boundsFor(g, tag, s, t)
 	width := hi - lo
 	if width <= r.cutoff {
 		r.notePinched()

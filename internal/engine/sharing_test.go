@@ -20,7 +20,7 @@ func TestSharedIndexAcrossReplicas(t *testing.T) {
 
 	// Force every replica into existence by borrowing up to capacity.
 	borrowAll := func(name string) []core.Estimator {
-		p := e.pools[name]
+		p := e.state.Load().pools[name]
 		insts := make([]core.Estimator, workers)
 		for i := range insts {
 			insts[i] = p.get()
@@ -29,7 +29,7 @@ func TestSharedIndexAcrossReplicas(t *testing.T) {
 	}
 	returnAll := func(name string, insts []core.Estimator) {
 		for _, inst := range insts {
-			e.pools[name].put(inst)
+			e.state.Load().pools[name].put(inst)
 		}
 	}
 
@@ -48,8 +48,8 @@ func TestSharedIndexAcrossReplicas(t *testing.T) {
 			t.Fatalf("replica %d estimate %v", i, r)
 		}
 	}
-	if e.pools["BFSSharing"].size() != workers {
-		t.Fatalf("built %d BFS replicas, want %d", e.pools["BFSSharing"].size(), workers)
+	if e.state.Load().pools["BFSSharing"].size() != workers {
+		t.Fatalf("built %d BFS replicas, want %d", e.state.Load().pools["BFSSharing"].size(), workers)
 	}
 	// Total index memory across all replicas is one arena: every handle
 	// reports the same index object, whose size is one index.

@@ -98,6 +98,7 @@ func WriteSnapshot(w io.Writer, g *uncertain.Graph, cfg Config) error {
 		MaxK:        cfg.MaxK,
 		PTWidth:     core.DefaultTreeWidth,
 		CreatedUnix: time.Now().Unix(),
+		Epoch:       cfg.BaseEpoch,
 	}, toOld32, edgeToNew32)
 }
 
@@ -128,8 +129,12 @@ func NewFromSnapshot(snap *core.Snapshot, cfg Config) (*Engine, error) {
 	if cfg.DegreeRelabel && !man.DegreeRelabeled {
 		return nil, fmt.Errorf("engine: DegreeRelabel is set but the snapshot holds an un-relabeled graph; rebuild the snapshot with DegreeRelabel")
 	}
+	if cfg.BaseEpoch != 0 && cfg.BaseEpoch != man.Epoch {
+		return nil, fmt.Errorf("engine: config BaseEpoch %d conflicts with snapshot epoch %d", cfg.BaseEpoch, man.Epoch)
+	}
 	cfg.Seed = man.EngineSeed
 	cfg.MaxK = man.MaxK
+	cfg.BaseEpoch = man.Epoch
 	cfg.Preloaded = &PreloadedIndexes{BFS: snap.BFS, ProbTree: snap.ProbTree}
 	var relab *relabelMap
 	if man.DegreeRelabeled {

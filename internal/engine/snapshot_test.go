@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"relcomp/internal/core"
+	"relcomp/internal/mutate"
 	"relcomp/internal/uncertain"
 )
 
@@ -94,6 +95,43 @@ func TestNewFromSnapshotRejectsConflicts(t *testing.T) {
 	// Matching values (and zero values) are fine.
 	if _, err := NewFromSnapshot(snap, Config{Seed: 42, MaxK: 200}); err != nil {
 		t.Errorf("matching config rejected: %v", err)
+	}
+}
+
+// TestSnapshotEpochPinned: a snapshot taken at a nonzero epoch (e.g. by
+// a mutated engine) restarts the loaded engine at exactly that epoch, and
+// a contradicting BaseEpoch is rejected.
+func TestSnapshotEpochPinned(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{Seed: 42, MaxK: 200, BaseEpoch: 7}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := core.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Manifest.Epoch != 7 {
+		t.Fatalf("manifest epoch %d, want 7", snap.Manifest.Epoch)
+	}
+	eng, err := NewFromSnapshot(snap, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Epoch() != 7 {
+		t.Fatalf("loaded engine at epoch %d, want 7", eng.Epoch())
+	}
+	// The next committed batch continues the chain.
+	e0 := g.Edge(g.OutEdgeIDs(0)[0])
+	if ep, err := eng.Apply(context.Background(), []mutate.Mutation{
+		{Op: mutate.OpUpdate, From: e0.From, To: e0.To, P: 0.42},
+	}); err != nil || ep != 8 {
+		t.Fatalf("Apply after snapshot restore: epoch %d, err %v (want 8)", ep, err)
+	}
+	if _, err := NewFromSnapshot(snap, Config{BaseEpoch: 3}); err == nil ||
+		!strings.Contains(err.Error(), "BaseEpoch") {
+		t.Errorf("conflicting BaseEpoch: err = %v", err)
 	}
 }
 

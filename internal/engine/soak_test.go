@@ -245,7 +245,7 @@ func TestPoolDiscardAccounting(t *testing.T) {
 			t.Fatalf("query %d: faulted result claims cached", i)
 		}
 	}
-	p := e.pools["MC"]
+	p := e.state.Load().pools["MC"]
 	if got := p.faults(); got != faultsWanted {
 		t.Fatalf("pool discards = %d, want %d", got, faultsWanted)
 	}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+
+	"relcomp/internal/uncertain"
+)
+
+// subChanCap bounds each subscription's delivery buffer. A slow consumer
+// never blocks the re-estimation loop: when the buffer is full the oldest
+// queued re-estimate is dropped in favor of the newest (stale reliability
+// values are exactly the ones a subscriber does not want), with drops
+// counted on the subscription.
+const subChanCap = 8
+
+// Subscription is a continuous query: a registered Request that is
+// re-estimated whenever a committed mutation batch could have changed its
+// answer, created by Engine.Subscribe.
+type Subscription struct {
+	// C delivers the initial estimate and every subsequent re-estimate.
+	// It is closed after Close (or context cancellation) once the
+	// subscription's goroutine has fully retired.
+	C <-chan Response
+
+	e      *Engine
+	id     uint64
+	src    uncertain.NodeID // internal source id, for invalidation-tag checks
+	q      Request          // caller-space request, re-submitted per re-estimate
+	c      chan Response
+	notify chan struct{}
+	cancel context.CancelFunc
+
+	dropped atomic.Uint64
+}
+
+// Subscribe registers q as a continuous query. The subscription computes
+// an initial estimate immediately, then re-estimates after every Apply
+// whose mutated edges are reachable from q.S — batches that provably
+// cannot move the answer (per the same conservative source-invalidation
+// mask the result cache uses) are coalesced away, as are bursts of
+// batches that land while a re-estimate is in flight (only the newest
+// state is re-estimated). Estimates flow through the full engine path —
+// routing, caching, admission, degradation — so a subscription under
+// overload may receive degraded or errored responses like any client.
+//
+// ctx bounds the subscription's lifetime; Close releases it earlier.
+func (e *Engine) Subscribe(ctx context.Context, q Request) (*Subscription, error) {
+	if ctx == nil {
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility defaulting at the API boundary itself
+	}
+	iq := q
+	if e.relab != nil {
+		iq = e.relab.requestIn(q)
+	}
+	if err := e.validate(e.state.Load(), iq); err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	sub := &Subscription{
+		e:      e,
+		src:    iq.S,
+		q:      q,
+		c:      make(chan Response, subChanCap),
+		notify: make(chan struct{}, 1),
+		cancel: cancel,
+	}
+	sub.C = sub.c
+	e.subMu.Lock()
+	e.subSeq++
+	sub.id = e.subSeq
+	e.subs[sub.id] = sub
+	e.subMu.Unlock()
+	go sub.run(sctx)
+	return sub, nil
+}
+
+// Close ends the subscription. C is closed once the re-estimation
+// goroutine retires; pending buffered responses remain readable first.
+func (s *Subscription) Close() { s.cancel() }
+
+// Dropped returns how many re-estimates were discarded unread because the
+// consumer fell more than subChanCap responses behind.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// run is the subscription's re-estimation loop: estimate whenever the
+// source's invalidation tag has moved since the last delivered estimate,
+// then sleep until the next Apply notification or cancellation.
+func (s *Subscription) run(ctx context.Context) {
+	defer func() {
+		s.e.subMu.Lock()
+		delete(s.e.subs, s.id)
+		s.e.subMu.Unlock()
+		close(s.c)
+	}()
+	first := true
+	var lastTag uint64
+	for {
+		st := s.e.state.Load()
+		if tag := st.srcTag(s.src); first || tag != lastTag {
+			first, lastTag = false, tag
+			res := s.e.Estimate(ctx, s.q)
+			if res.Err != nil && ctx.Err() != nil {
+				return
+			}
+			s.deliver(res)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.notify:
+		}
+	}
+}
+
+// deliver enqueues one response, dropping the oldest queued response when
+// the consumer is full (drop-oldest keeps the freshest estimates).
+func (s *Subscription) deliver(res Response) {
+	for {
+		select {
+		case s.c <- res:
+			return
+		default:
+		}
+		select {
+		case <-s.c:
+			s.dropped.Add(1)
+		default:
+			// The consumer drained between the two selects; retry the send.
+		}
+	}
+}
+
+// notifySubs pokes every live subscription after a committed batch. The
+// per-subscription notify channel has capacity one and the send never
+// blocks: consecutive batches coalesce into a single wakeup, and each
+// subscription decides from its source's invalidation tag whether the
+// batch concerns it.
+func (e *Engine) notifySubs() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, sub := range e.subs { //lint:allow maprange wakeup fan-out is commutative: every subscriber gets one non-blocking poke
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}

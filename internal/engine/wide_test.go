@@ -102,7 +102,7 @@ func TestArenaScratchNotSharedAcrossReplicas(t *testing.T) {
 	e := testEngine(t, Config{Workers: 4, MaxK: 300, Seed: 1,
 		Estimators: []string{"PackMC", "PackMC256", "PackMC512"}})
 	for _, name := range []string{"PackMC", "PackMC256", "PackMC512"} {
-		p := e.pools[name]
+		p := e.state.Load().pools[name]
 		seen := make(map[*arena.Arena]int)
 		var borrowed []core.Estimator
 		for i := 0; i < 4; i++ {

@@ -1,0 +1,191 @@
+// Package mutate is the dynamic-graph subsystem's bookkeeping layer: the
+// typed mutation vocabulary (UpdateEdgeProb / AddEdge / RemoveEdge), the
+// append-only epoch-stamped mutation log with a bounded replay buffer,
+// and the sidecar text format that persists a log next to a snapshot so
+// a cold start can replay itself forward to the live epoch.
+//
+// The package is deliberately mechanism-free: translating mutations into
+// a successor graph is uncertain.ApplyDeltas, and index repair plus cache
+// invalidation live in the engine. Everything here is the durable,
+// replayable record of what changed and in which order.
+package mutate
+
+import (
+	"fmt"
+	"sync"
+
+	"relcomp/internal/uncertain"
+)
+
+// Op identifies one mutation verb.
+type Op uint8
+
+const (
+	// OpUpdate replaces an existing edge's probability (p in (0,1]; use
+	// OpRemove for 0).
+	OpUpdate Op = iota + 1
+	// OpAdd creates the edge (p in (0,1]): a brand-new adjacency gets a
+	// fresh edge id, a tombstoned pair is resurrected under its old id,
+	// and an existing live pair is treated as an update.
+	OpAdd
+	// OpRemove tombstones the edge: it keeps its id and adjacency slot
+	// but drops to probability 0, existing in no possible world.
+	OpRemove
+)
+
+// String returns the wire name of the op ("update", "add", "remove").
+func (o Op) String() string {
+	switch o {
+	case OpUpdate:
+		return "update"
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp inverts String.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "update":
+		return OpUpdate, nil
+	case "add":
+		return OpAdd, nil
+	case "remove":
+		return OpRemove, nil
+	}
+	return 0, fmt.Errorf("mutate: unknown op %q", s)
+}
+
+// Mutation is one edge change, addressed by endpoints (ids stay stable
+// across mutations, but endpoints survive degree relabeling and are what
+// clients naturally speak).
+type Mutation struct {
+	Op   Op
+	From uncertain.NodeID
+	To   uncertain.NodeID
+	P    float64 // OpUpdate / OpAdd only
+}
+
+// Delta translates the mutation into the uncertain-layer edit.
+func (m Mutation) Delta() uncertain.EdgeDelta {
+	d := uncertain.EdgeDelta{From: m.From, To: m.To, P: m.P}
+	if m.Op == OpRemove {
+		d.P = 0
+	}
+	return d
+}
+
+// Check validates the mutation's shape against a graph: op known,
+// endpoints in range, no self loop, probability legal for the op.
+// Existence checks (update of an absent pair) are left to ApplyDeltas,
+// which sees the batch's cumulative state.
+func (m Mutation) Check(g *uncertain.Graph) error {
+	n := uncertain.NodeID(g.NumNodes())
+	switch m.Op {
+	case OpUpdate, OpAdd:
+		if !(m.P > 0 && m.P <= 1) {
+			return fmt.Errorf("mutate: %s (%d,%d) probability %v outside (0,1]", m.Op, m.From, m.To, m.P)
+		}
+	case OpRemove:
+	default:
+		return fmt.Errorf("mutate: unknown op %d", m.Op)
+	}
+	if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n {
+		return fmt.Errorf("mutate: %s edge (%d,%d) out of range [0,%d)", m.Op, m.From, m.To, n)
+	}
+	if m.From == m.To {
+		return fmt.Errorf("mutate: %s self loop at node %d", m.Op, m.From)
+	}
+	if m.Op == OpUpdate && g.FindEdge(m.From, m.To) < 0 {
+		return fmt.Errorf("mutate: update of absent edge (%d,%d); use add", m.From, m.To)
+	}
+	return nil
+}
+
+// Batch is one committed group of mutations: the unit of atomicity and
+// epoch numbering. Epoch e is the state after applying batches 1..e in
+// order to the epoch-0 base graph.
+type Batch struct {
+	Epoch uint64
+	Muts  []Mutation
+}
+
+// Log is the append-only, epoch-stamped mutation log with a bounded
+// replay buffer: the most recent Limit batches stay replayable; older
+// ones are trimmed (their effect lives on in the graph, only replay
+// loses reach). Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	base    uint64 // epoch of the state before batches[0]
+	batches []Batch
+	limit   int
+}
+
+// DefaultLogLimit bounds the replay buffer when NewLog is given no
+// explicit limit.
+const DefaultLogLimit = 1024
+
+// NewLog returns an empty log whose replay buffer keeps up to limit
+// batches (<= 0 selects DefaultLogLimit). base is the epoch of the
+// initial state — 0 for a fresh graph, the manifest epoch when resuming
+// from a snapshot-plus-sidecar pair.
+func NewLog(base uint64, limit int) *Log {
+	if limit <= 0 {
+		limit = DefaultLogLimit
+	}
+	return &Log{base: base, limit: limit}
+}
+
+// Append records a committed batch. Epochs must chain: the batch's epoch
+// is exactly the log's latest epoch plus one.
+func (l *Log) Append(b Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if want := l.latestLocked() + 1; b.Epoch != want {
+		return fmt.Errorf("mutate: batch epoch %d does not chain (want %d)", b.Epoch, want)
+	}
+	l.batches = append(l.batches, b)
+	if len(l.batches) > l.limit {
+		drop := len(l.batches) - l.limit
+		l.base += uint64(drop)
+		l.batches = append(l.batches[:0], l.batches[drop:]...)
+	}
+	return nil
+}
+
+func (l *Log) latestLocked() uint64 {
+	return l.base + uint64(len(l.batches))
+}
+
+// LatestEpoch returns the epoch of the newest recorded batch (the base
+// epoch if none).
+func (l *Log) LatestEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.latestLocked()
+}
+
+// Since returns copies of every retained batch with epoch > epoch, in
+// order. ok is false when the request reaches behind the replay buffer
+// (trimmed history): the caller cannot catch up by replay alone.
+func (l *Log) Since(epoch uint64) (batches []Batch, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch < l.base {
+		return nil, false
+	}
+	if epoch >= l.latestLocked() {
+		return nil, true
+	}
+	return append([]Batch(nil), l.batches[epoch-l.base:]...), true
+}
+
+// Len returns the number of retained batches.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.batches)
+}

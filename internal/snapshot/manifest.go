@@ -22,6 +22,11 @@ type Manifest struct {
 	// degree-sorted rename of the original; the relabel.* sections carry
 	// the id translation. Old snapshots decode with it false.
 	DegreeRelabeled bool `json:"degreeRelabeled,omitempty"`
+	// Epoch is the mutation epoch of the stored graph: 0 for a snapshot of
+	// a never-mutated graph (old snapshots decode with 0), the engine's
+	// epoch at write time otherwise. A sidecar mutation log replayed over
+	// this snapshot must chain from exactly this epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // AddManifest adds the manifest section.

@@ -1,0 +1,97 @@
+package uncertain
+
+import "fmt"
+
+// Dynamic-graph support: ApplyDeltas derives a successor Graph from an
+// immutable one under a batch of edge-probability changes, preserving
+// node and edge ids so everything keyed by id (indexes, caches, evidence
+// sets) stays addressable across the change.
+//
+// Removal is represented as a tombstone: the edge keeps its id and its
+// adjacency slot but its probability drops to 0, so it exists in no
+// possible world — the same convention Overlay uses for excluded
+// evidence, and one every sampling path already handles exactly (the rng
+// layer's Bernoulli and mask fills treat p <= 0 as never-exists).
+// A tombstoned edge can be resurrected by a later delta with p > 0.
+// Truly new adjacency (a pair the graph has never seen) is appended with
+// a fresh edge id past the existing range; existing ids never move.
+//
+// The successor therefore relaxes the Builder's (0,1] probability
+// invariant to [0,1] on surviving ids. Graphs with tombstones are a
+// runtime-only shape: the snapshot loaders keep the strict invariant,
+// and persistence of a mutated graph goes through snapshot-plus-
+// mutation-log replay instead of direct serialization.
+
+// EdgeDelta is one edge change addressed by endpoints. Applied to an
+// existing pair it replaces the probability (0 tombstones the edge; any
+// value in [0,1] is legal, including resurrecting a tombstone). Applied
+// to an absent pair it appends a new edge, which requires p in (0,1].
+type EdgeDelta struct {
+	From NodeID
+	To   NodeID
+	P    float64
+}
+
+// ApplyDeltas returns a new Graph reflecting the batch, plus the ids of
+// every edge whose probability differs from g's (appended edges
+// included), in ascending id order. Later deltas in the batch override
+// earlier ones for the same pair; a batch whose net effect is nil
+// returns g itself with no changed ids. g is not modified.
+func ApplyDeltas(g *Graph, deltas []EdgeDelta) (*Graph, []EdgeID, error) {
+	if len(deltas) == 0 {
+		return g, nil, nil
+	}
+	edges := append([]Edge(nil), g.edges...)
+	var added []Edge
+	addedIdx := make(map[[2]NodeID]int)
+	for _, d := range deltas {
+		if d.From < 0 || int(d.From) >= g.n || d.To < 0 || int(d.To) >= g.n {
+			return nil, nil, fmt.Errorf("uncertain: delta edge (%d,%d) out of range [0,%d)", d.From, d.To, g.n)
+		}
+		if d.From == d.To {
+			return nil, nil, fmt.Errorf("uncertain: delta self loop at node %d", d.From)
+		}
+		if id := g.FindEdge(d.From, d.To); id >= 0 {
+			if !(d.P >= 0 && d.P <= 1) {
+				return nil, nil, fmt.Errorf("uncertain: delta edge (%d,%d) probability %v outside [0,1]", d.From, d.To, d.P)
+			}
+			edges[id].P = d.P
+			continue
+		}
+		if !(d.P > 0 && d.P <= 1) {
+			return nil, nil, fmt.Errorf("uncertain: new edge (%d,%d) probability %v outside (0,1]", d.From, d.To, d.P)
+		}
+		if j, ok := addedIdx[[2]NodeID{d.From, d.To}]; ok {
+			added[j].P = d.P
+			continue
+		}
+		addedIdx[[2]NodeID{d.From, d.To}] = len(added)
+		added = append(added, Edge{From: d.From, To: d.To, P: d.P})
+	}
+
+	var changed []EdgeID
+	for id := range edges {
+		if edges[id].P != g.edges[id].P {
+			changed = append(changed, EdgeID(id))
+		}
+	}
+	for j := range added {
+		changed = append(changed, EdgeID(len(edges)+j))
+	}
+	if len(changed) == 0 {
+		return g, nil, nil
+	}
+
+	if len(added) == 0 {
+		// Probability-only change: share the topology arrays like Overlay
+		// and copy just the probability columns.
+		ng := *g
+		ng.edges = edges
+		ng.outProb = make([]float64, len(g.outProb))
+		for i, id := range g.outEdge {
+			ng.outProb[i] = edges[id].P
+		}
+		return &ng, changed, nil
+	}
+	return buildCSR(g.name, g.n, append(edges, added...)), changed, nil
+}

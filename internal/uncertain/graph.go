@@ -210,22 +210,27 @@ func (b *Builder) MustAddEdge(from, to NodeID, p float64) {
 // probability that at least one copy exists: 1 - Π(1-p_i). Build leaves the
 // builder reusable but further edges will not affect the built graph.
 func (b *Builder) Build() *Graph {
-	edges := mergeParallel(b.edges)
+	return buildCSR(b.name, b.n, mergeParallel(b.edges))
+}
 
+// buildCSR materializes the CSR arrays for an edge list whose ids are the
+// slice positions. Shared by Build (after parallel-merge) and ApplyDeltas
+// (which appends new edges past an existing id range).
+func buildCSR(name string, n int, edges []Edge) *Graph {
 	g := &Graph{
-		name:  b.name,
-		n:     b.n,
+		name:  name,
+		n:     n,
 		edges: edges,
 	}
 	m := len(edges)
 
-	g.outIndex = make([]int32, b.n+1)
-	g.inIndex = make([]int32, b.n+1)
+	g.outIndex = make([]int32, n+1)
+	g.inIndex = make([]int32, n+1)
 	for _, e := range edges {
 		g.outIndex[e.From+1]++
 		g.inIndex[e.To+1]++
 	}
-	for v := 0; v < b.n; v++ {
+	for v := 0; v < n; v++ {
 		g.outIndex[v+1] += g.outIndex[v]
 		g.inIndex[v+1] += g.inIndex[v]
 	}
@@ -236,8 +241,8 @@ func (b *Builder) Build() *Graph {
 	g.inFrom = make([]NodeID, m)
 	g.inEdge = make([]EdgeID, m)
 
-	outPos := make([]int32, b.n)
-	inPos := make([]int32, b.n)
+	outPos := make([]int32, n)
+	inPos := make([]int32, n)
 	for id, e := range edges {
 		op := g.outIndex[e.From] + outPos[e.From]
 		g.outTo[op] = e.To

@@ -1,0 +1,81 @@
+package relcomp
+
+import (
+	"io"
+
+	"relcomp/internal/engine"
+	"relcomp/internal/mutate"
+)
+
+// The dynamic-graph surface, re-exported from internal/mutate and
+// internal/engine. A served graph is no longer frozen at construction:
+// Engine.Apply commits a batch of edge mutations atomically — bumping a
+// monotonic epoch, deriving the successor graph as a delta over the
+// immutable CSR (edge ids and adjacency slots stay stable; removals are
+// probability-0 tombstones), incrementally repairing whichever offline
+// indexes have been built, and invalidating exactly the cached results
+// and bounds whose source can reach a changed edge. Engine.Subscribe
+// registers a continuous query that is re-estimated after every batch
+// that could move its answer. Determinism is preserved: a mutated engine
+// answers bit-identically to an engine built from scratch over the
+// post-mutation graph. See DESIGN.md §13.
+
+type (
+	// Mutation is one edge change: Op plus endpoints plus (for update/add)
+	// the new probability. Mutations speak the caller's node ids.
+	Mutation = mutate.Mutation
+	// MutationOp identifies a mutation verb; see OpUpdateEdgeProb,
+	// OpAddEdge, OpRemoveEdge.
+	MutationOp = mutate.Op
+	// MutationBatch is one committed, epoch-stamped group of mutations —
+	// the unit of atomicity, logging, and sidecar replay.
+	MutationBatch = mutate.Batch
+	// MutationLog is the engine's append-only mutation log with a bounded
+	// replay buffer; Engine.MutationLog exposes the live one.
+	MutationLog = mutate.Log
+	// Subscription is a continuous query created by Engine.Subscribe: its
+	// C channel delivers an initial estimate and a re-estimate after every
+	// batch that could change the answer, with drop-oldest backpressure.
+	Subscription = engine.Subscription
+	// EngineMutationStats is the dynamic-graph section of EngineStats:
+	// epoch, batch/mutation counters, invalidation and index repair work,
+	// log retention, and the live subscriber gauge.
+	EngineMutationStats = engine.MutationStats
+)
+
+// The mutation verbs.
+const (
+	// OpUpdateEdgeProb replaces an existing edge's probability (in (0,1]).
+	OpUpdateEdgeProb = mutate.OpUpdate
+	// OpAddEdge creates an edge: a brand-new adjacency gets a fresh edge
+	// id, a tombstoned pair is resurrected under its old id, and an
+	// existing live pair is treated as an update.
+	OpAddEdge = mutate.OpAdd
+	// OpRemoveEdge tombstones an edge: it keeps its id and adjacency slot
+	// but exists in no possible world until re-added.
+	OpRemoveEdge = mutate.OpRemove
+)
+
+// ParseMutationOp parses a wire op name ("update", "add", "remove").
+func ParseMutationOp(s string) (MutationOp, error) { return mutate.ParseOp(s) }
+
+// MutationSidecarPath returns the conventional on-disk mutation-log path
+// riding next to a snapshot file (<snapshot>.mutlog).
+func MutationSidecarPath(snapshot string) string { return mutate.SidecarPath(snapshot) }
+
+// ReadMutationSidecar parses a sidecar mutation log: ordered batches with
+// contiguous epochs. Chaining against a snapshot's manifest epoch is the
+// caller's check (relsnap verify, relserver's replay path).
+func ReadMutationSidecar(r io.Reader) ([]MutationBatch, error) { return mutate.ReadSidecar(r) }
+
+// WriteMutationSidecar writes a complete sidecar file (header + batches).
+func WriteMutationSidecar(w io.Writer, batches []MutationBatch) error {
+	return mutate.WriteSidecar(w, batches)
+}
+
+// AppendMutationSidecar appends one committed batch to an open sidecar;
+// the caller owns ordering and durability.
+func AppendMutationSidecar(w io.Writer, b MutationBatch) error { return mutate.AppendSidecar(w, b) }
+
+// WriteMutationSidecarHeader starts a new sidecar file.
+func WriteMutationSidecarHeader(w io.Writer) error { return mutate.WriteSidecarHeader(w) }
